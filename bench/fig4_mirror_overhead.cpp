@@ -1,0 +1,93 @@
+// Reproduces paper Figure 4: "Overhead of mirroring to a single site with
+// 'simple' and 'selective' mirroring" — total execution time vs data event
+// size for (a) no mirroring, (b) simple mirroring to one mirror site,
+// (c) selective mirroring (keep 1 of every 8 position updates per flight).
+//
+// Paper claims reproduced as checks:
+//  * simple mirroring costs ~15-20% over no mirroring, more at larger sizes;
+//  * selective mirroring reduces the overhead significantly, with savings
+//    growing with event size.
+#include "fig_common.h"
+
+using namespace admire;
+
+int main() {
+  bench::FigureReport report(
+      "Figure 4", "Mirroring overhead vs event size (1 mirror site)",
+      "event_size_B", "total_time_s");
+
+  const std::vector<std::size_t> sizes = {64,   512,  1024, 2048,
+                                          4096, 6144, 8192};
+  auto spec_for = [](std::size_t padding) {
+    harness::RunSpec spec;
+    spec.faa_events = 3000;
+    spec.num_flights = 50;
+    spec.event_padding = padding;
+    return spec;
+  };
+
+  auto& none_series = report.add_series("no-mirroring");
+  auto& simple_series = report.add_series("simple-mirroring");
+  auto& selective_series = report.add_series("selective-mirroring(L=8)");
+
+  std::vector<double> none_t, simple_t, selective_t;
+  for (const std::size_t size : sizes) {
+    harness::RunSpec none = spec_for(size);
+    none.mirroring_enabled = false;
+    none.mirrors = 0;
+    harness::RunSpec simple = spec_for(size);
+    harness::RunSpec selective = spec_for(size);
+    selective.function = rules::selective_mirroring(8);
+
+    const double tn = to_seconds(harness::run_sim(none).total_time);
+    const double ts = to_seconds(harness::run_sim(simple).total_time);
+    const double tl = to_seconds(harness::run_sim(selective).total_time);
+    none_t.push_back(tn);
+    simple_t.push_back(ts);
+    selective_t.push_back(tl);
+    none_series.points.emplace_back(static_cast<double>(size), tn);
+    simple_series.points.emplace_back(static_cast<double>(size), ts);
+    selective_series.points.emplace_back(static_cast<double>(size), tl);
+  }
+
+  bool ordering = true, band = true;
+  double min_overhead = 1e9, max_overhead = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ordering &= none_t[i] < selective_t[i] && selective_t[i] < simple_t[i];
+    const double overhead =
+        harness::percent_over(simple_t[i], none_t[i]);
+    min_overhead = std::min(min_overhead, overhead);
+    max_overhead = std::max(max_overhead, overhead);
+    band &= overhead > 8.0 && overhead < 30.0;
+  }
+  report.check("ordering none < selective < simple at every size", ordering,
+               "paper: selective sits between baseline and simple");
+  report.check("simple-mirroring overhead in the 15-20% band (±tolerance)",
+               band,
+               bench::fmt("measured %.1f%%..%.1f%% (paper: ~15-20%%)",
+                          min_overhead, max_overhead));
+
+  const double abs_small = simple_t.front() - none_t.front();
+  const double abs_large = simple_t.back() - none_t.back();
+  report.check("absolute overhead grows with event size",
+               abs_large > 2.0 * abs_small,
+               bench::fmt("+%.2fs at %.0fB -> +%.2fs at 8KB", abs_small,
+                          static_cast<double>(sizes.front()), abs_large));
+
+  const double sel_saving_small =
+      (simple_t.front() - selective_t.front());
+  const double sel_saving_large = (simple_t.back() - selective_t.back());
+  report.check("selective savings more pronounced for larger events",
+               sel_saving_large > 2.0 * sel_saving_small,
+               bench::fmt("saves %.2fs small vs %.2fs large",
+                          sel_saving_small, sel_saving_large));
+  const double sel_overhead_large =
+      harness::percent_over(selective_t.back(), none_t.back());
+  report.check("selective overhead reduced significantly vs simple",
+               sel_overhead_large <
+                   0.5 * harness::percent_over(simple_t.back(), none_t.back()),
+               bench::fmt("selective +%.1f%% vs simple +%.1f%% at 8KB",
+                          sel_overhead_large,
+                          harness::percent_over(simple_t.back(), none_t.back())));
+  return report.finish();
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Figure 5: "Overheads implied by additional mirrors" —
+// total execution time vs the number of mirror sites at a fixed event size.
+//
+// Paper claims reproduced as checks:
+//  * "on the average, there is a less than 10% increase in the execution
+//    time of the application when a new mirror site is added";
+//  * §4.1 text: "mirroring can result in a 30% slowdown ... when there are
+//    4 mirror machines" (we allow a generous band around it).
+#include "fig_common.h"
+
+using namespace admire;
+
+int main() {
+  bench::FigureReport report("Figure 5",
+                             "Total execution time vs number of mirror sites "
+                             "(1 KB events, no client load)",
+                             "mirror_sites", "total_time_s");
+
+  const std::vector<std::size_t> mirror_counts = {1, 2, 4, 6, 8};
+  auto spec_for = [](std::size_t mirrors) {
+    harness::RunSpec spec;
+    spec.faa_events = 3000;
+    spec.num_flights = 50;
+    spec.event_padding = 1024;
+    spec.mirrors = mirrors;
+    return spec;
+  };
+
+  harness::RunSpec baseline = spec_for(0);
+  baseline.mirroring_enabled = false;
+  const double t_none = to_seconds(harness::run_sim(baseline).total_time);
+
+  auto& series = report.add_series("simple-mirroring");
+  std::vector<double> totals;
+  for (const std::size_t m : mirror_counts) {
+    const double t = to_seconds(harness::run_sim(spec_for(m)).total_time);
+    totals.push_back(t);
+    series.points.emplace_back(static_cast<double>(m), t);
+  }
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < totals.size(); ++i) {
+    monotone &= totals[i] >= totals[i - 1] * 0.999;
+  }
+  report.check("execution time grows with mirror count", monotone,
+               "each extra mirror adds send-side work at the central site");
+
+  // Average per-added-mirror increase between the 1- and 8-mirror configs.
+  const double per_mirror =
+      harness::percent_over(totals.back(), totals.front()) /
+      static_cast<double>(mirror_counts.back() - mirror_counts.front());
+  report.check("less than 10% average increase per added mirror",
+               per_mirror > 0.0 && per_mirror < 10.0,
+               bench::fmt("measured %.1f%% per mirror", per_mirror));
+
+  // §4.1: "mirroring can result in a 30% slowdown ... when there are 4
+  // mirror machines". We read this as the extra cost of fanning out to 4
+  // mirrors relative to the minimal 1-mirror configuration (the per-mirror
+  // arithmetic of Figs. 4+5 only adds up under that reading; see
+  // EXPERIMENTS.md). The absolute slowdown vs the unmirrored baseline is
+  // also reported for transparency.
+  const double slowdown_vs_one = harness::percent_over(totals[2], totals[0]);
+  const double slowdown_vs_none = harness::percent_over(totals[2], t_none);
+  report.check("~30% slowdown from mirroring to 4 sites (band 15-40%)",
+               slowdown_vs_one > 15.0 && slowdown_vs_one < 40.0,
+               bench::fmt("measured %.1f%% vs 1 mirror (%.1f%% vs no "
+                          "mirroring; paper: ~30%%)",
+                          slowdown_vs_one, slowdown_vs_none));
+  return report.finish();
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Figure 6: "Mirroring to multiple mirror sites, under
+// constant request load of 100 req/sec balanced across the mirrors" —
+// total time (event processing + request servicing) vs event size for
+// servers with 1, 2 and 4 mirror sites.
+//
+// Paper claim reproduced as checks: "for data sizes larger than some
+// cross-over size (where experimental lines intersect), mirroring
+// overheads can be outweighed by the performance improvements attained
+// from mirroring" — i.e. below the crossover more mirrors cost more
+// (pure overhead), beyond it the larger mirror pool wins because each
+// mirror carries a smaller share of the (size-dependent) request work.
+#include "fig_common.h"
+
+using namespace admire;
+
+int main() {
+  bench::FigureReport report(
+      "Figure 6",
+      "Total time vs event size under 100 req/s balanced across mirrors",
+      "event_size_B", "total_time_s");
+
+  const std::vector<std::size_t> sizes = {64, 1024, 2048, 4096, 6144};
+  const std::vector<std::size_t> mirror_counts = {1, 2, 4};
+
+  auto spec_for = [](std::size_t padding, std::size_t mirrors) {
+    harness::RunSpec spec;
+    spec.faa_events = 8000;
+    spec.num_flights = 50;
+    spec.event_padding = padding;
+    spec.mirrors = mirrors;
+    spec.request_rate = 100.0;  // sustained while the server is busy
+    spec.lb = sim::LbPolicy::kMirrorsOnly;
+    return spec;
+  };
+
+  // totals[mirror_index][size_index]
+  std::vector<std::vector<double>> totals(mirror_counts.size());
+  for (std::size_t mi = 0; mi < mirror_counts.size(); ++mi) {
+    auto& series = report.add_series(
+        std::to_string(mirror_counts[mi]) + "-mirrors");
+    for (const std::size_t size : sizes) {
+      const auto r = harness::run_sim(spec_for(size, mirror_counts[mi]));
+      const double t = to_seconds(r.total_time);
+      totals[mi].push_back(t);
+      series.points.emplace_back(static_cast<double>(size), t);
+    }
+  }
+
+  // Below the crossover (smallest size): fewer mirrors is no worse.
+  report.check("at small event sizes more mirrors cost more (pure overhead)",
+               totals[2].front() >= totals[0].front() * 0.98,
+               bench::fmt("64B: 1-mirror %.2fs vs 4-mirror %.2fs",
+                          totals[0].front(), totals[2].front()));
+  // Beyond the crossover (largest size): more mirrors win decisively.
+  report.check("at large event sizes 4 mirrors beat 1 mirror",
+               totals[2].back() < totals[0].back(),
+               bench::fmt("6KB: 1-mirror %.2fs vs 4-mirror %.2fs",
+                          totals[0].back(), totals[2].back()));
+  report.check("2-mirror curve sits between at the largest size",
+               totals[1].back() <= totals[0].back() &&
+                   totals[1].back() >= totals[2].back() * 0.95,
+               bench::fmt("6KB: %.2fs / %.2fs / %.2fs", totals[0].back(),
+                          totals[1].back(), totals[2].back()));
+
+  // Locate the crossover: the first size where the 4-mirror config wins.
+  std::size_t crossover = sizes.size();
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    if (totals[2][si] < totals[0][si]) {
+      crossover = si;
+      break;
+    }
+  }
+  report.check("a crossover size exists strictly inside the sweep",
+               crossover > 0 && crossover < sizes.size(),
+               crossover < sizes.size()
+                   ? bench::fmt("lines intersect near %.0f B",
+                                static_cast<double>(sizes[crossover]))
+                   : "no intersection found");
+  return report.finish();
+}

@@ -1,0 +1,73 @@
+// Shared scaffolding for the figure-reproduction benches: each binary
+// prints the series the corresponding paper figure plots, then evaluates
+// the paper's qualitative claims as PASS/FAIL checks. Exit code = number
+// of failed checks.
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "metrics/metrics.h"
+
+namespace admire::bench {
+
+class FigureReport {
+ public:
+  FigureReport(std::string figure_id, std::string title, std::string x_label,
+               std::string y_label)
+      : figure_id_(std::move(figure_id)),
+        title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  /// References stay valid across further add_series calls (deque-backed).
+  metrics::Series& add_series(std::string label) {
+    series_.push_back(metrics::Series{std::move(label), {}});
+    return series_.back();
+  }
+
+  void check(const std::string& what, bool ok, const std::string& detail) {
+    checks_.push_back({what, ok, detail});
+    if (!ok) ++failed_;
+  }
+
+  /// Print everything; returns the number of failed checks (exit code).
+  int finish() const {
+    metrics::print_figure(figure_id_, title_, x_label_, y_label_,
+                          {series_.begin(), series_.end()});
+    std::printf("--- paper-expected properties ---\n");
+    for (const auto& c : checks_) {
+      metrics::print_check(c.what, c.ok, c.detail);
+    }
+    std::printf("%s: %zu/%zu checks passed\n\n", figure_id_.c_str(),
+                checks_.size() - failed_, checks_.size());
+    return static_cast<int>(failed_);
+  }
+
+ private:
+  struct Check {
+    std::string what;
+    bool ok;
+    std::string detail;
+  };
+
+  std::string figure_id_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::deque<metrics::Series> series_;
+  std::vector<Check> checks_;
+  std::size_t failed_ = 0;
+};
+
+inline std::string fmt(const char* format, double a, double b = 0,
+                       double c = 0) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, a, b, c);
+  return buf;
+}
+
+}  // namespace admire::bench

@@ -1,0 +1,211 @@
+// Micro-benchmarks (google-benchmark) for the substrate components on this
+// host: codec, framing, rule engine, coalescer, queues, checkpoint round,
+// channel dispatch, EDE processing and state snapshots. These measure the
+// real implementation's costs (wall clock), complementing the virtual-time
+// figure benches.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "checkpoint/coordinator.h"
+#include "checkpoint/participant.h"
+#include "echo/channel.h"
+#include "ede/engine.h"
+#include "ede/snapshot.h"
+#include "mirror/pipeline_core.h"
+#include "queueing/backup_queue.h"
+#include "rules/coalescer.h"
+#include "rules/rule_engine.h"
+#include "serialize/event_codec.h"
+
+namespace admire {
+namespace {
+
+event::Event make_event(std::size_t padding, FlightKey flight = 7,
+                        SeqNo seq = 1) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  pos.lat_deg = 33.64;
+  pos.lon_deg = -84.43;
+  pos.altitude_ft = 31000;
+  event::Event ev = event::make_faa_position(0, seq, pos, padding);
+  ev.header().vts.observe(0, seq);
+  return ev;
+}
+
+void BM_EncodeEvent(benchmark::State& state) {
+  const event::Event ev = make_event(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize::encode_event(ev));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ev.wire_size()));
+}
+BENCHMARK(BM_EncodeEvent)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_DecodeEvent(benchmark::State& state) {
+  const Bytes wire =
+      serialize::encode_event(make_event(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto decoded = serialize::decode_event(ByteSpan(wire.data(), wire.size()));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodeEvent)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_FrameParser(benchmark::State& state) {
+  const Bytes framed = serialize::frame_event(make_event(1024));
+  for (auto _ : state) {
+    serialize::FrameParser parser;
+    parser.feed(ByteSpan(framed.data(), framed.size()));
+    benchmark::DoNotOptimize(parser.next());
+  }
+}
+BENCHMARK(BM_FrameParser);
+
+void BM_RuleEngineSimple(benchmark::State& state) {
+  rules::RuleEngine engine(
+      rules::MirroringParams{.function = rules::simple_mirroring()});
+  queueing::StatusTable table;
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.on_receive(make_event(0, 7, ++seq), table));
+  }
+}
+BENCHMARK(BM_RuleEngineSimple);
+
+void BM_RuleEngineOisRules(benchmark::State& state) {
+  rules::RuleEngine engine(
+      rules::ois_default_rules(rules::selective_mirroring(8)));
+  queueing::StatusTable table;
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    benchmark::DoNotOptimize(
+        engine.on_receive(make_event(0, 1 + seq % 50, seq), table));
+  }
+}
+BENCHMARK(BM_RuleEngineOisRules);
+
+void BM_CoalescerOffer(benchmark::State& state) {
+  rules::Coalescer coalescer(true, 10);
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coalescer.offer(make_event(256, 7, ++seq)));
+  }
+}
+BENCHMARK(BM_CoalescerOffer);
+
+void BM_BackupQueuePushTrim(benchmark::State& state) {
+  queueing::BackupQueue backup;
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    event::Event ev = make_event(0, 7, ++seq);
+    backup.push(std::move(ev));
+    if (seq % 64 == 0) {
+      event::VectorTimestamp commit;
+      commit.observe(0, seq);
+      benchmark::DoNotOptimize(backup.trim_committed(commit));
+    }
+  }
+}
+BENCHMARK(BM_BackupQueuePushTrim);
+
+void BM_PipelineCoreIngest(benchmark::State& state) {
+  mirror::PipelineCore core(
+      rules::MirroringParams{.function = rules::selective_mirroring(8)}, 2);
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    benchmark::DoNotOptimize(
+        core.on_incoming(make_event(1024, 1 + seq % 50, seq), 0));
+    if (auto step = core.try_send_step()) benchmark::DoNotOptimize(*step);
+    if (seq % 128 == 0) {
+      event::VectorTimestamp commit;
+      commit.observe(0, seq);
+      core.backup().trim_committed(commit);
+    }
+  }
+}
+BENCHMARK(BM_PipelineCoreIngest);
+
+void BM_CheckpointRound(benchmark::State& state) {
+  const auto participants = static_cast<std::size_t>(state.range(0));
+  checkpoint::Coordinator coord(0, participants);
+  std::deque<checkpoint::Participant> sites;  // Participant is pinned (mutex)
+  for (std::size_t i = 0; i < participants; ++i) {
+    sites.emplace_back(static_cast<SiteId>(i + 1));
+  }
+  SeqNo progress = 0;
+  for (auto _ : state) {
+    progress += 10;
+    event::VectorTimestamp suggested;
+    suggested.observe(0, progress);
+    const auto chkpt = coord.begin_round(suggested);
+    for (auto& site : sites) {
+      benchmark::DoNotOptimize(coord.on_reply(site.make_reply(chkpt, suggested)));
+    }
+  }
+}
+BENCHMARK(BM_CheckpointRound)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ChannelSubmit(benchmark::State& state) {
+  auto channel = echo::EventChannel::create(1, "bench", echo::ChannelRole::kData);
+  std::vector<echo::Subscription> subs;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    subs.push_back(channel->subscribe(
+        [&sink](const event::Event& ev) { sink += ev.seq(); }));
+  }
+  const event::Event ev = make_event(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel->submit(ev));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ChannelSubmit)->Arg(1)->Arg(8);
+
+void BM_EdeProcess(benchmark::State& state) {
+  ede::OperationalState opstate;
+  ede::Ede engine(&opstate);
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    benchmark::DoNotOptimize(engine.process(make_event(1024, 1 + seq % 50, seq)));
+  }
+}
+BENCHMARK(BM_EdeProcess);
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  ede::OperationalState opstate;
+  ede::Ede engine(&opstate);
+  for (SeqNo i = 1; i <= 200; ++i) {
+    engine.process(make_event(static_cast<std::size_t>(state.range(0)),
+                              1 + i % 50, i));
+  }
+  ede::SnapshotService service(&opstate);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.build(++id));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(service.last_state_bytes()));
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_StateFingerprint(benchmark::State& state) {
+  ede::OperationalState opstate;
+  ede::Ede engine(&opstate);
+  for (SeqNo i = 1; i <= 500; ++i) engine.process(make_event(256, 1 + i % 100, i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opstate.fingerprint());
+  }
+}
+BENCHMARK(BM_StateFingerprint);
+
+}  // namespace
+}  // namespace admire
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// Multi-process cluster emulation on one box: the central site and two
+// mirror sites run as separate OS processes, connected over TCP loopback —
+// the deployment shape of the paper's cluster, emulated with processes
+// instead of machines, using the RemoteMirrorHost / attach_remote_mirror
+// API.
+//
+// Each forked child runs a full remote mirror site (data replication +
+// checkpoint participation). On end-of-stream each child ships a snapshot
+// of its replica back on an exported "results" channel; the parent
+// restores the snapshots and verifies every replica converged to its own
+// state.
+//
+//   ./examples/multiprocess_cluster
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "cluster/remote_mirror.h"
+#include "transport/tcp.h"
+#include "workload/scenario.h"
+
+using namespace admire;
+
+namespace {
+
+constexpr std::size_t kMirrors = 2;
+
+workload::Trace make_workload() {
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 800;
+  scenario.num_flights = 20;
+  scenario.event_padding = 256;
+  return workload::make_ois_trace(scenario);
+}
+
+/// Mirror-site process: replicate until the end-of-stream control event on
+/// the data channel, then send home a snapshot of the replica.
+int run_mirror(SiteId site, std::uint16_t port) {
+  auto link = transport::tcp_connect("127.0.0.1", port);
+  if (!link.is_ok()) {
+    std::fprintf(stderr, "mirror%u: connect failed: %s\n", site,
+                 link.status().to_string().c_str());
+    return 1;
+  }
+  cluster::RemoteMirrorHost host({.site = site}, link.value());
+  auto results =
+      host.registry()->create_auto("results", echo::ChannelRole::kData);
+  host.export_channel(results);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  auto data = host.registry()->by_name("central.data");
+  auto end_watch = data->subscribe([&](const event::Event& ev) {
+    if (ev.type() == event::EventType::kControl) {
+      std::lock_guard lock(done_mu);
+      done = true;
+      done_cv.notify_one();
+    }
+  });
+  host.start();
+
+  {
+    std::unique_lock lock(done_mu);
+    if (!done_cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done; })) {
+      std::fprintf(stderr, "mirror%u: timed out\n", site);
+      return 1;
+    }
+  }
+  host.drain();
+  for (auto& chunk : host.main_unit().build_snapshot(/*request_id=*/site)) {
+    results->submit(chunk);
+  }
+  std::printf("mirror%u: processed %llu events, fingerprint %016llx\n", site,
+              static_cast<unsigned long long>(host.site().events_processed()),
+              static_cast<unsigned long long>(
+                  host.main_unit().state().fingerprint()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // drain bridge
+  host.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  auto listener_res = transport::TcpListener::bind(0);
+  if (!listener_res.is_ok()) {
+    std::fprintf(stderr, "bind failed\n");
+    return 1;
+  }
+  auto listener = std::move(listener_res).value();
+  const std::uint16_t port = listener->port();
+
+  // Fork the mirror processes BEFORE the parent spawns any threads.
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < kMirrors; ++i) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Leak the inherited listener fd: close()/destructor would shutdown
+      // the socket shared with the parent. It vanishes on child exit.
+      (void)listener.release();
+      return run_mirror(static_cast<SiteId>(i + 10), port);
+    }
+    children.push_back(pid);
+  }
+
+  // Parent: a normal Cluster with zero local mirrors; both mirrors remote.
+  cluster::ClusterConfig config;
+  config.num_mirrors = 0;
+  cluster::Cluster server(config);
+  server.start();
+
+  // Results come back on a name-routed channel the children export.
+  auto results =
+      server.registry()->create_auto("results", echo::ChannelRole::kData);
+  std::mutex results_mu;
+  std::condition_variable results_cv;
+  std::map<std::uint64_t, std::vector<event::Event>> snapshots;
+  auto results_sub = results->subscribe([&](const event::Event& ev) {
+    const auto* snap = ev.as<event::Snapshot>();
+    if (snap == nullptr) return;
+    std::lock_guard lock(results_mu);
+    snapshots[snap->request_id].push_back(ev);
+    results_cv.notify_one();
+  });
+
+  std::vector<std::unique_ptr<cluster::RemoteMirrorAttachment>> attachments;
+  for (std::size_t i = 0; i < kMirrors; ++i) {
+    auto link = listener->accept();
+    if (!link.is_ok()) {
+      std::fprintf(stderr, "accept failed: %s\n",
+                   link.status().to_string().c_str());
+      return 1;
+    }
+    attachments.push_back(
+        cluster::attach_remote_mirror(server, std::move(link).value()));
+  }
+
+  const workload::Trace trace = make_workload();
+  for (const auto& item : trace.items) {
+    if (!server.ingest(item.ev).is_ok()) return 1;
+  }
+  server.drain();
+  server.checkpoint_and_wait();
+  server.central().api().mirror(event::make_control(to_bytes("END")));
+  std::printf("central: streamed %zu events to %zu mirror processes\n",
+              trace.size(), kMirrors);
+
+  bool all_received = false;
+  {
+    std::unique_lock lock(results_mu);
+    all_received = results_cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      if (snapshots.size() < kMirrors) return false;
+      for (const auto& [site, chunks] : snapshots) {
+        if (chunks.size() !=
+            chunks.front().as<event::Snapshot>()->chunk_count) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  if (!all_received) {
+    std::fprintf(stderr, "central: timed out waiting for snapshots\n");
+    return 1;
+  }
+
+  const std::uint64_t reference =
+      server.central().main_unit().state().fingerprint();
+  bool converged = true;
+  for (auto& [site, chunks] : snapshots) {
+    ede::OperationalState replica;
+    const bool ok =
+        ede::SnapshotService::restore(chunks, replica).is_ok() &&
+        replica.fingerprint() == reference;
+    converged &= ok;
+    std::printf("central: mirror%llu replica %s (%zu flights)\n",
+                static_cast<unsigned long long>(site),
+                ok ? "MATCHES" : "DIVERGED", replica.flight_count());
+  }
+
+  for (auto& a : attachments) a->detach();
+  for (const pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) converged = false;
+  }
+  std::printf("multiprocess cluster: %s\n",
+              converged ? "all replicas converged" : "FAILURE");
+  server.stop();
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// trace_replay: command-line experiment driver — generate or load a
+// workload trace, replay it through the simulated mirrored server with the
+// mirroring function and load of your choice, and print a metrics report.
+//
+//   ./examples/trace_replay --events 5000 --size 2048 --mirrors 2
+//         --function selective --overwrite 8 --rate 150    (one command line)
+//   ./examples/trace_replay --save /tmp/ois.trace --events 3000
+//   ./examples/trace_replay --input /tmp/ois.trace --mirrors 4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiments.h"
+#include "workload/trace_io.h"
+
+using namespace admire;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --events N          FAA events to generate (default 3000)\n"
+      "  --flights N         flights in the scenario (default 50)\n"
+      "  --size BYTES        event payload size (default 1024)\n"
+      "  --seed S            workload seed (default 42)\n"
+      "  --save PATH         generate the trace, save it, and exit\n"
+      "  --input PATH        replay a saved trace instead of generating\n"
+      "  --mirrors N         mirror sites (default 1)\n"
+      "  --no-mirroring      baseline server without the mirroring layer\n"
+      "  --function NAME     simple | selective | coalesce (default simple)\n"
+      "  --overwrite L       overwrite run length for selective (default 8)\n"
+      "  --chkpt F           checkpoint every F processed events (default 50)\n"
+      "  --rate R            client requests/second while busy (default 0)\n"
+      "  --lb MODE           all | mirrors (default all)\n"
+      "  --paced SECONDS     paced replay over this horizon (default batch)\n"
+      "  --ni-offload        simulate the NI co-processor send offload\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::RunSpec spec;
+  std::string save_path, input_path, function = "simple";
+  std::uint32_t overwrite = 8, chkpt = 50;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--events") spec.faa_events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--flights") spec.num_flights = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--size") spec.event_padding = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") spec.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--save") save_path = next();
+    else if (arg == "--input") input_path = next();
+    else if (arg == "--mirrors") spec.mirrors = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--no-mirroring") { spec.mirroring_enabled = false; spec.mirrors = 0; }
+    else if (arg == "--function") function = next();
+    else if (arg == "--overwrite") overwrite = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--chkpt") chkpt = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--rate") spec.request_rate = std::strtod(next(), nullptr);
+    else if (arg == "--lb") spec.lb = std::string(next()) == "mirrors" ? sim::LbPolicy::kMirrorsOnly : sim::LbPolicy::kAllSites;
+    else if (arg == "--paced") spec.event_horizon = static_cast<Nanos>(std::strtod(next(), nullptr) * 1e9);
+    else if (arg == "--ni-offload") spec.ni_offload = true;
+    else if (arg == "--help" || arg == "-h") { usage(argv[0]); return 0; }
+    else { std::fprintf(stderr, "unknown option %s\n", arg.c_str()); usage(argv[0]); return 2; }
+  }
+
+  if (function == "selective") {
+    spec.function = rules::selective_mirroring(overwrite, chkpt);
+  } else if (function == "coalesce") {
+    spec.function = rules::fig9_function_a();
+    spec.function.checkpoint_every = chkpt;
+  } else if (function == "simple") {
+    spec.function = rules::simple_mirroring();
+    spec.function.checkpoint_every = chkpt;
+  } else {
+    std::fprintf(stderr, "unknown function '%s'\n", function.c_str());
+    return 2;
+  }
+
+  if (!save_path.empty()) {
+    const auto trace = harness::make_trace(spec);
+    auto status = workload::save_trace(trace, save_path);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("saved %zu events (%.1f MB) to %s\n", trace.size(),
+                static_cast<double>(trace.total_bytes()) / 1e6,
+                save_path.c_str());
+    return 0;
+  }
+
+  workload::Trace trace;
+  if (!input_path.empty()) {
+    auto loaded = workload::load_trace(input_path);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+    trace = harness::rescale_trace(std::move(trace), spec.event_horizon);
+  } else {
+    trace = harness::make_trace(spec);
+  }
+
+  sim::SimConfig config;
+  config.num_mirrors = spec.mirrors;
+  config.mirroring_enabled = spec.mirroring_enabled;
+  config.params.function = spec.function;
+  config.lb = spec.lb;
+  config.closed_loop_source = spec.event_horizon == 0;
+  config.ni_offload = spec.ni_offload;
+  if (spec.request_rate > 0) config.auto_request_rate = spec.request_rate;
+  sim::SimCluster cluster(std::move(config));
+  const auto r = cluster.run(trace, {});
+
+  std::printf("== replay report\n");
+  std::printf("events offered:        %llu (%.1f MB)\n",
+              static_cast<unsigned long long>(r.events_offered),
+              static_cast<double>(trace.total_bytes()) / 1e6);
+  std::printf("total time (virtual):  %.3f s\n", to_seconds(r.total_time));
+  std::printf("wire events mirrored:  %llu (%.0f%% of offered, x%zu mirrors)\n",
+              static_cast<unsigned long long>(r.wire_events_mirrored),
+              spec.mirrors > 0
+                  ? 100.0 * static_cast<double>(r.pipeline_counters.sent) /
+                        static_cast<double>(std::max<std::uint64_t>(
+                            r.events_offered, 1))
+                  : 0.0,
+              spec.mirrors);
+  std::printf("requests served:       %llu (mean latency %.2f ms)\n",
+              static_cast<unsigned long long>(r.requests_served),
+              r.request_latency->mean() / 1e6);
+  std::printf("update delay:          mean %.2f ms, p99 %.2f ms, cv %.2f\n",
+              r.update_delays->mean() / 1e6,
+              r.update_delays->percentile(0.99) / 1e6,
+              r.update_delays->perturbation());
+  std::printf("checkpoints:           %llu committed / %llu started\n",
+              static_cast<unsigned long long>(r.checkpoints_committed),
+              static_cast<unsigned long long>(r.checkpoints_started));
+  std::printf("cpu utilization:       central %.0f%%",
+              100.0 * r.cpu_utilization[0]);
+  for (std::size_t i = 1; i < r.cpu_utilization.size(); ++i) {
+    std::printf(", mirror%zu %.0f%%", i, 100.0 * r.cpu_utilization[i]);
+  }
+  std::printf("\nreplica fingerprints: ");
+  for (const auto fp : r.state_fingerprints) {
+    std::printf(" %016llx", static_cast<unsigned long long>(fp));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-shot verification: configure, build, run the full test suite, then
+# every bench binary (paper-figure reproductions exit nonzero if a
+# paper-expected property fails to hold).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+status=0
+for b in build/bench/*; do
+  echo "==== $b"
+  "$b" || status=$?
+done
+exit "$status"

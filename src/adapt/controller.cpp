@@ -1,0 +1,110 @@
+#include "adapt/controller.h"
+
+#include <algorithm>
+
+namespace admire::adapt {
+
+void AdaptationController::ingest(const MonitorReport& report) {
+  std::lock_guard lock(mu_);
+  for (const auto& s : report.samples) {
+    values_[{report.site, s.variable}] = s.value;
+  }
+}
+
+void AdaptationController::observe(SiteId site, MonitoredVariable variable,
+                                   double value) {
+  std::lock_guard lock(mu_);
+  values_[{site, variable}] = value;
+}
+
+std::optional<AdaptationDirective> AdaptationController::evaluate() {
+  std::lock_guard lock(mu_);
+
+  auto max_of = [&](MonitoredVariable v) {
+    double m = 0.0;
+    for (const auto& [key, value] : values_) {
+      if (key.second == v) m = std::max(m, value);
+    }
+    return m;
+  };
+
+  bool should_engage = engaged_;
+  if (!engaged_) {
+    // Engage when any monitored variable reaches its primary threshold.
+    for (const auto& t : policy_.thresholds) {
+      if (max_of(t.variable) >= t.primary) {
+        should_engage = true;
+        break;
+      }
+    }
+  } else {
+    // Release only when every variable fell below (primary - secondary).
+    should_engage = false;
+    for (const auto& t : policy_.thresholds) {
+      if (max_of(t.variable) >= t.primary - t.secondary) {
+        should_engage = true;
+        break;
+      }
+    }
+  }
+
+  if (should_engage == engaged_) return std::nullopt;
+  engaged_ = should_engage;
+  ++transitions_;
+
+  AdaptationDirective d;
+  d.epoch = ++epoch_;
+  d.engaged = engaged_;
+  d.spec = engaged_ ? engaged_spec_locked() : policy_.normal_spec;
+  return d;
+}
+
+rules::MirrorFunctionSpec AdaptationController::engaged_spec_locked() const {
+  if (policy_.mode == PolicyMode::kSwitchFunction) return policy_.engaged_spec;
+  return apply_adjustments(policy_.normal_spec, policy_.adjustments);
+}
+
+rules::MirrorFunctionSpec AdaptationController::current_spec() const {
+  std::lock_guard lock(mu_);
+  return engaged_ ? engaged_spec_locked() : policy_.normal_spec;
+}
+
+bool AdaptationController::engaged() const {
+  std::lock_guard lock(mu_);
+  return engaged_;
+}
+
+std::uint64_t AdaptationController::transitions() const {
+  std::lock_guard lock(mu_);
+  return transitions_;
+}
+
+double AdaptationController::max_value(MonitoredVariable variable) const {
+  std::lock_guard lock(mu_);
+  double m = 0.0;
+  for (const auto& [key, value] : values_) {
+    if (key.second == variable) m = std::max(m, value);
+  }
+  return m;
+}
+
+std::optional<rules::MirrorFunctionSpec> DirectiveApplier::apply(
+    const AdaptationDirective& d) {
+  std::lock_guard lock(mu_);
+  if (d.epoch <= last_epoch_) return std::nullopt;  // stale or duplicate
+  last_epoch_ = d.epoch;
+  ++applied_;
+  return d.spec;
+}
+
+std::uint64_t DirectiveApplier::last_epoch() const {
+  std::lock_guard lock(mu_);
+  return last_epoch_;
+}
+
+std::uint64_t DirectiveApplier::applied_count() const {
+  std::lock_guard lock(mu_);
+  return applied_;
+}
+
+}  // namespace admire::adapt

@@ -1,0 +1,89 @@
+// AdaptationController — the decision maker running at the central site
+// (paper §3.2.2: "while the monitored decision variables are dispersed
+// across mirror sites, adaptation decisions are made at the main site,
+// thereby ensuring that all mirrors are adapted in the same fashion").
+//
+// Strategy implemented is the paper's: each monitored variable has a
+// primary and a secondary threshold; reaching the primary engages the
+// modified mirroring configuration, and the original is reinstalled only
+// when the value falls below (primary - secondary) — a hysteresis band
+// that prevents oscillation.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "adapt/directive.h"
+
+namespace admire::adapt {
+
+/// How the engaged regime modifies mirroring.
+enum class PolicyMode : std::uint8_t {
+  kSwitchFunction = 0,  ///< install `engaged_spec` wholesale (Fig. 9 style)
+  kAdjustParams = 1,    ///< apply set_adapt() percent adjustments to normal
+};
+
+struct AdaptationPolicy {
+  std::vector<ThresholdSpec> thresholds;
+  PolicyMode mode = PolicyMode::kSwitchFunction;
+  rules::MirrorFunctionSpec normal_spec;
+  rules::MirrorFunctionSpec engaged_spec;          // kSwitchFunction
+  std::vector<ParamAdjustment> adjustments;        // kAdjustParams
+};
+
+class AdaptationController {
+ public:
+  explicit AdaptationController(AdaptationPolicy policy)
+      : policy_(std::move(policy)) {}
+
+  /// Ingest a monitor report from a site (latest value per variable wins).
+  void ingest(const MonitorReport& report);
+
+  /// Convenience for locally observed values at the central site.
+  void observe(SiteId site, MonitoredVariable variable, double value);
+
+  /// Evaluate thresholds; returns a new directive exactly when the regime
+  /// flips (engage or release), nullopt while it is unchanged. The caller
+  /// piggybacks the directive on the next checkpoint message.
+  std::optional<AdaptationDirective> evaluate();
+
+  /// The spec that should currently be installed.
+  rules::MirrorFunctionSpec current_spec() const;
+
+  bool engaged() const;
+  std::uint64_t transitions() const;
+
+  /// Highest value currently known for a variable across all sites.
+  double max_value(MonitoredVariable variable) const;
+
+  const AdaptationPolicy& policy() const { return policy_; }
+
+ private:
+  rules::MirrorFunctionSpec engaged_spec_locked() const;
+
+  AdaptationPolicy policy_;
+  mutable std::mutex mu_;
+  // (site, variable) -> latest value
+  std::map<std::pair<SiteId, MonitoredVariable>, double> values_;
+  bool engaged_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+/// Mirror-side applier: installs directives in epoch order, at most once.
+class DirectiveApplier {
+ public:
+  /// Returns the spec to install when `d` is new; nullopt when stale.
+  std::optional<rules::MirrorFunctionSpec> apply(const AdaptationDirective& d);
+
+  std::uint64_t last_epoch() const;
+  std::uint64_t applied_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t last_epoch_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace admire::adapt

@@ -1,0 +1,109 @@
+#include "adapt/directive.h"
+
+#include <algorithm>
+
+#include "serialize/wire.h"
+
+namespace admire::adapt {
+
+namespace {
+
+std::uint32_t adjust(std::uint32_t value, int percent) {
+  const double adjusted =
+      static_cast<double>(value) * (1.0 + static_cast<double>(percent) / 100.0);
+  return static_cast<std::uint32_t>(std::max(1.0, adjusted));
+}
+
+void encode_spec(const rules::MirrorFunctionSpec& spec, serialize::Writer& w) {
+  w.bytes(to_bytes(spec.name));
+  w.u8(spec.coalesce_enabled ? 1 : 0);
+  w.u32(spec.coalesce_max);
+  w.u32(spec.overwrite_max);
+  w.u32(spec.checkpoint_every);
+}
+
+bool decode_spec(serialize::Reader& r, rules::MirrorFunctionSpec& spec) {
+  const Bytes name = r.bytes();
+  spec.name = std::string(as_string_view(ByteSpan(name.data(), name.size())));
+  spec.coalesce_enabled = r.u8() != 0;
+  spec.coalesce_max = r.u32();
+  spec.overwrite_max = r.u32();
+  spec.checkpoint_every = r.u32();
+  return r.ok();
+}
+
+}  // namespace
+
+rules::MirrorFunctionSpec apply_adjustments(
+    rules::MirrorFunctionSpec spec,
+    const std::vector<ParamAdjustment>& adjustments) {
+  for (const auto& a : adjustments) {
+    switch (a.id) {
+      case ParamId::kCoalesceMax:
+        spec.coalesce_max = adjust(spec.coalesce_max, a.percent);
+        spec.coalesce_enabled = spec.coalesce_max > 1;
+        break;
+      case ParamId::kOverwriteMax:
+        spec.overwrite_max = adjust(spec.overwrite_max, a.percent);
+        break;
+      case ParamId::kCheckpointEvery:
+        spec.checkpoint_every = adjust(spec.checkpoint_every, a.percent);
+        break;
+    }
+  }
+  return spec;
+}
+
+Bytes encode_directive(const AdaptationDirective& d) {
+  serialize::Writer w(64);
+  w.u8(1);  // tag: directive
+  w.u64(d.epoch);
+  w.u8(d.engaged ? 1 : 0);
+  encode_spec(d.spec, w);
+  return w.take();
+}
+
+Result<AdaptationDirective> decode_directive(ByteSpan body) {
+  serialize::Reader r(body);
+  if (r.u8() != 1) return err(StatusCode::kCorrupt, "not a directive");
+  AdaptationDirective d;
+  d.epoch = r.u64();
+  d.engaged = r.u8() != 0;
+  if (!decode_spec(r, d.spec) || r.remaining() != 0) {
+    return err(StatusCode::kCorrupt, "bad directive spec");
+  }
+  return d;
+}
+
+Bytes encode_report(const MonitorReport& report) {
+  serialize::Writer w(32);
+  w.u8(2);  // tag: report
+  w.u32(report.site);
+  w.varint(report.samples.size());
+  for (const auto& s : report.samples) {
+    w.u8(static_cast<std::uint8_t>(s.variable));
+    w.f64(s.value);
+  }
+  return w.take();
+}
+
+Result<MonitorReport> decode_report(ByteSpan body) {
+  serialize::Reader r(body);
+  if (r.u8() != 2) return err(StatusCode::kCorrupt, "not a report");
+  MonitorReport report;
+  report.site = r.u32();
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > 1024) return err(StatusCode::kCorrupt, "bad report");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MonitorSample s;
+    s.variable = static_cast<MonitoredVariable>(r.u8());
+    s.value = r.f64();
+    report.samples.push_back(s);
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return err(StatusCode::kCorrupt, "truncated report");
+  }
+  return report;
+}
+
+}  // namespace admire::adapt

@@ -1,0 +1,98 @@
+// Adaptation vocabulary (paper §3.2.2): monitored variables, threshold
+// specifications, the directives the central site distributes to mirrors,
+// and the monitor reports mirrors send back. Both directives and reports
+// are encoded to opaque bytes so they can ride in the checkpoint messages'
+// piggyback slot ("adaptation messages are piggybacked onto checkpointing
+// messages").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "rules/params.h"
+
+namespace admire::adapt {
+
+/// Runtime quantities the paper monitors: "the lengths of the ready and
+/// backup queues in mirror sites ... the length of an application level
+/// buffer holding all pending client requests".
+enum class MonitoredVariable : std::uint8_t {
+  kReadyQueueLength = 0,
+  kBackupQueueLength = 1,
+  kPendingRequests = 2,
+};
+
+constexpr const char* monitored_variable_name(MonitoredVariable v) {
+  switch (v) {
+    case MonitoredVariable::kReadyQueueLength: return "ready_queue";
+    case MonitoredVariable::kBackupQueueLength: return "backup_queue";
+    case MonitoredVariable::kPendingRequests: return "pending_requests";
+  }
+  return "unknown";
+}
+
+/// set_monitor_values(index, p, s): engage when value >= primary; the
+/// modification "remains valid" until value < (primary - secondary).
+struct ThresholdSpec {
+  MonitoredVariable variable = MonitoredVariable::kReadyQueueLength;
+  double primary = 0.0;
+  double secondary = 0.0;
+
+  bool operator==(const ThresholdSpec&) const = default;
+};
+
+/// Parameters adjustable by percent via set_adapt(p_id, p).
+enum class ParamId : std::uint8_t {
+  kCoalesceMax = 0,
+  kOverwriteMax = 1,
+  kCheckpointEvery = 2,
+};
+
+struct ParamAdjustment {
+  ParamId id = ParamId::kOverwriteMax;
+  int percent = 0;  ///< applied when engaged, e.g. +100 doubles the value
+
+  bool operator==(const ParamAdjustment&) const = default;
+};
+
+/// Apply percent adjustments to a function spec (minimum value 1 each).
+rules::MirrorFunctionSpec apply_adjustments(
+    rules::MirrorFunctionSpec spec,
+    const std::vector<ParamAdjustment>& adjustments);
+
+/// One monitored-value sample shipped from a mirror to the central site.
+struct MonitorSample {
+  MonitoredVariable variable = MonitoredVariable::kReadyQueueLength;
+  double value = 0.0;
+
+  bool operator==(const MonitorSample&) const = default;
+};
+
+struct MonitorReport {
+  SiteId site = 0;
+  std::vector<MonitorSample> samples;
+
+  bool operator==(const MonitorReport&) const = default;
+};
+
+/// The directive the central site broadcasts: install `spec` (and remember
+/// whether the system is in the engaged regime). Epochs are monotone so
+/// mirrors apply each directive at most once and in order.
+struct AdaptationDirective {
+  std::uint64_t epoch = 0;
+  bool engaged = false;
+  rules::MirrorFunctionSpec spec;
+
+  bool operator==(const AdaptationDirective&) const = default;
+};
+
+Bytes encode_directive(const AdaptationDirective& d);
+Result<AdaptationDirective> decode_directive(ByteSpan body);
+
+Bytes encode_report(const MonitorReport& r);
+Result<MonitorReport> decode_report(ByteSpan body);
+
+}  // namespace admire::adapt

@@ -1,0 +1,95 @@
+#include "checkpoint/coordinator.h"
+
+namespace admire::checkpoint {
+
+ControlMessage Coordinator::begin_round(
+    const event::VectorTimestamp& suggested, Bytes piggyback) {
+  std::lock_guard lock(mu_);
+  ControlMessage msg;
+  msg.kind = ControlKind::kChkpt;
+  msg.round = next_round_++;
+  msg.from = self_;
+  msg.vts = suggested;
+  msg.piggyback = std::move(piggyback);
+  open_[msg.round] = RoundState{};
+  ++rounds_started_;
+  return msg;
+}
+
+std::optional<ControlMessage> Coordinator::on_reply(
+    const ControlMessage& reply) {
+  std::lock_guard lock(mu_);
+  auto it = open_.find(reply.round);
+  if (it == open_.end()) return std::nullopt;  // abandoned or unknown round
+  it->second.replies[reply.from] = reply.vts;
+  return complete_round_locked(reply.round);
+}
+
+std::optional<ControlMessage> Coordinator::complete_round_locked(
+    std::uint64_t round) {
+  auto it = open_.find(round);
+  if (it == open_.end()) return std::nullopt;
+  if (it->second.replies.size() < expected_replies_) return std::nullopt;
+
+  // All replies in: commit = component-wise min of every reply, merged with
+  // the previous commit for monotonicity.
+  std::vector<event::VectorTimestamp> vts;
+  vts.reserve(it->second.replies.size());
+  for (const auto& [site, v] : it->second.replies) vts.push_back(v);
+  event::VectorTimestamp commit = event::VectorTimestamp::component_min(vts);
+  commit.merge(committed_);
+  committed_ = commit;
+
+  // This commit encapsulates every older round still open.
+  const std::uint64_t committed_round = it->first;
+  open_.erase(open_.begin(), std::next(it));
+  ++rounds_committed_;
+
+  ControlMessage out;
+  out.kind = ControlKind::kCommit;
+  out.round = committed_round;
+  out.from = self_;
+  out.vts = committed_;
+  return out;
+}
+
+std::optional<ControlMessage> Coordinator::set_expected_replies(
+    std::size_t n) {
+  std::lock_guard lock(mu_);
+  expected_replies_ = std::max<std::size_t>(n, 1);
+  // A shrink may complete open rounds. Commit the newest completable one;
+  // that encapsulates (discards) every older round.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->second.replies.size() >= expected_replies_) {
+      return complete_round_locked(it->first);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t Coordinator::expected_replies() const {
+  std::lock_guard lock(mu_);
+  return expected_replies_;
+}
+
+event::VectorTimestamp Coordinator::committed() const {
+  std::lock_guard lock(mu_);
+  return committed_;
+}
+
+std::uint64_t Coordinator::rounds_started() const {
+  std::lock_guard lock(mu_);
+  return rounds_started_;
+}
+
+std::uint64_t Coordinator::rounds_committed() const {
+  std::lock_guard lock(mu_);
+  return rounds_committed_;
+}
+
+std::size_t Coordinator::open_rounds() const {
+  std::lock_guard lock(mu_);
+  return open_.size();
+}
+
+}  // namespace admire::checkpoint

@@ -1,0 +1,79 @@
+// Checkpoint coordinator — the role of the central site's auxiliary unit
+// (paper §3.2.1, Fig. 3):
+//
+//   init_CHKPT: chkpt = last on backup queue; send CHKPT to all
+//   CHKPT_REP : commit = min from all chkpt_reply; send COMMIT to all
+//
+// Properties implemented exactly as the paper specifies:
+//  * no NO votes, no ABORT messages, no timeouts;
+//  * rounds may overlap — "if a checkpointing procedure has not completed a
+//    commit before the following one is initiated, the later commit will
+//    encapsulate the earlier one" (older incomplete rounds are abandoned
+//    once a newer round commits);
+//  * commits are monotone (merged with the previous committed view), so a
+//    straggler reply can never move the consistent view backwards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "checkpoint/messages.h"
+
+namespace admire::checkpoint {
+
+class Coordinator {
+ public:
+  /// `expected_replies` = number of participating units that answer a
+  /// CHKPT: every mirror site's chain plus the central site's own main
+  /// unit.
+  Coordinator(SiteId self, std::size_t expected_replies)
+      : self_(self), expected_replies_(expected_replies) {}
+
+  /// Membership change (recovery extension): rounds opened after this call
+  /// expect the new count; already-open rounds are re-evaluated so a
+  /// shrink cannot leave a round waiting for a dead site forever. Returns
+  /// any commit unblocked by the shrink.
+  std::optional<ControlMessage> set_expected_replies(std::size_t n);
+
+  std::size_t expected_replies() const;
+
+  /// Open a new round suggesting `suggested` (the most recent value in the
+  /// coordinator's backup queue). `piggyback` is attached verbatim.
+  ControlMessage begin_round(const event::VectorTimestamp& suggested,
+                             Bytes piggyback = {});
+
+  /// Feed a CHKPT_REP. When the round completes, returns the COMMIT to
+  /// broadcast; otherwise nullopt. Replies for abandoned (encapsulated)
+  /// rounds are ignored.
+  std::optional<ControlMessage> on_reply(const ControlMessage& reply);
+
+  /// Last committed consistent view (empty VTS before the first commit).
+  event::VectorTimestamp committed() const;
+
+  std::uint64_t rounds_started() const;
+  std::uint64_t rounds_committed() const;
+  std::size_t open_rounds() const;
+
+ private:
+  std::optional<ControlMessage> complete_round_locked(std::uint64_t round);
+
+  const SiteId self_;
+  std::size_t expected_replies_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_round_ = 1;
+  std::uint64_t rounds_started_ = 0;
+  std::uint64_t rounds_committed_ = 0;
+  event::VectorTimestamp committed_;
+  // round id -> replies received so far (one per participant; duplicates
+  // from the same site replace the earlier value).
+  struct RoundState {
+    std::map<SiteId, event::VectorTimestamp> replies;
+  };
+  std::map<std::uint64_t, RoundState> open_;
+};
+
+}  // namespace admire::checkpoint

@@ -1,0 +1,54 @@
+#include "checkpoint/messages.h"
+
+#include "serialize/wire.h"
+
+namespace admire::checkpoint {
+
+Bytes encode_control(const ControlMessage& msg) {
+  serialize::Writer w(64 + msg.piggyback.size());
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.u64(msg.round);
+  w.u32(msg.from);
+  w.varint(msg.vts.num_streams());
+  for (std::size_t i = 0; i < msg.vts.num_streams(); ++i) {
+    w.varint(msg.vts.component(static_cast<StreamId>(i)));
+  }
+  w.bytes(msg.piggyback);
+  return w.take();
+}
+
+event::Event to_control_event(const ControlMessage& msg) {
+  return event::make_control(encode_control(msg));
+}
+
+Result<ControlMessage> decode_control(ByteSpan body) {
+  serialize::Reader r(body);
+  ControlMessage msg;
+  const auto kind = r.u8();
+  if (kind < 1 || kind > 3) {
+    return err(StatusCode::kCorrupt, "bad control kind");
+  }
+  msg.kind = static_cast<ControlKind>(kind);
+  msg.round = r.u64();
+  msg.from = r.u32();
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > 1024) {
+    return err(StatusCode::kCorrupt, "bad control vts");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    msg.vts.observe(static_cast<StreamId>(i), r.varint());
+  }
+  msg.piggyback = r.bytes();
+  if (!r.ok()) return err(StatusCode::kCorrupt, "truncated control message");
+  return msg;
+}
+
+Result<ControlMessage> from_control_event(const event::Event& ev) {
+  const auto* ctrl = ev.as<event::Control>();
+  if (ctrl == nullptr) {
+    return err(StatusCode::kInvalidArgument, "not a control event");
+  }
+  return decode_control(ByteSpan(ctrl->body.data(), ctrl->body.size()));
+}
+
+}  // namespace admire::checkpoint

@@ -1,0 +1,55 @@
+// Control-plane messages of the checkpointing protocol (paper §3.2.1,
+// Fig. 3) carried as kControl events on the bi-directional control
+// channels. Adaptation directives (§3.2.2) ride in the opaque `piggyback`
+// slot — "adaptation messages are piggybacked onto checkpointing messages"
+// — so this module needs no knowledge of the adaptation vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "event/event.h"
+#include "event/vector_timestamp.h"
+
+namespace admire::checkpoint {
+
+enum class ControlKind : std::uint8_t {
+  kChkpt = 1,       ///< coordinator -> participants: suggested timestamp
+  kChkptReply = 2,  ///< participant -> coordinator: min(chkpt, last local)
+  kCommit = 3,      ///< coordinator -> participants: agreed timestamp
+};
+
+constexpr const char* control_kind_name(ControlKind k) {
+  switch (k) {
+    case ControlKind::kChkpt: return "CHKPT";
+    case ControlKind::kChkptReply: return "CHKPT_REP";
+    case ControlKind::kCommit: return "COMMIT";
+  }
+  return "UNKNOWN";
+}
+
+struct ControlMessage {
+  ControlKind kind = ControlKind::kChkpt;
+  std::uint64_t round = 0;  ///< checkpoint round id (monotone per coordinator)
+  SiteId from = 0;          ///< sender site
+  event::VectorTimestamp vts;
+  Bytes piggyback;          ///< opaque adaptation directive, may be empty
+
+  bool operator==(const ControlMessage&) const = default;
+};
+
+/// Encode into a control-event body.
+Bytes encode_control(const ControlMessage& msg);
+
+/// Wrap into a transportable kControl event.
+event::Event to_control_event(const ControlMessage& msg);
+
+/// Decode from a control-event body; kCorrupt on malformed input.
+Result<ControlMessage> decode_control(ByteSpan body);
+
+/// Convenience: decode from a kControl event (kInvalidArgument otherwise).
+Result<ControlMessage> from_control_event(const event::Event& ev);
+
+}  // namespace admire::checkpoint

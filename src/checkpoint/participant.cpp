@@ -1,0 +1,47 @@
+#include "checkpoint/participant.h"
+
+namespace admire::checkpoint {
+
+ControlMessage Participant::make_reply(
+    const ControlMessage& chkpt,
+    const event::VectorTimestamp& local_progress) const {
+  ControlMessage reply;
+  reply.kind = ControlKind::kChkptReply;
+  reply.round = chkpt.round;
+  reply.from = self_;
+  reply.vts =
+      event::VectorTimestamp::component_min({chkpt.vts, local_progress});
+  return reply;
+}
+
+std::size_t Participant::apply_commit(const ControlMessage& commit,
+                                      queueing::BackupQueue& backup) {
+  {
+    std::lock_guard lock(mu_);
+    if (applied_.dominates(commit.vts)) {
+      // Stale commit, already encapsulated by a newer one we applied.
+      ++commits_ignored_;
+      return 0;
+    }
+    applied_.merge(commit.vts);
+    ++commits_applied_;
+  }
+  return backup.trim_committed(commit.vts);
+}
+
+event::VectorTimestamp Participant::applied() const {
+  std::lock_guard lock(mu_);
+  return applied_;
+}
+
+std::uint64_t Participant::commits_applied() const {
+  std::lock_guard lock(mu_);
+  return commits_applied_;
+}
+
+std::uint64_t Participant::commits_ignored() const {
+  std::lock_guard lock(mu_);
+  return commits_ignored_;
+}
+
+}  // namespace admire::checkpoint

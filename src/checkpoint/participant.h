@@ -1,0 +1,57 @@
+// Participant-side checkpoint logic, shared by main units and mirror
+// auxiliary units (paper Fig. 3):
+//
+//   Main Unit     CHKPT : chkpt_rep = min{chkpt, last in backup};
+//                         send chkpt_rep to aux
+//                 COMMIT: if commit in backup queue, update backup queue
+//   Mirror Aux    CHKPT : forward to main unit
+//                 CHKPT_REP: if chkpt_rep in backup queue, forward to
+//                            central site
+//                 COMMIT: if commit in backup queue, update backup queue;
+//                         forward to main unit
+//
+// The "if ... in backup queue" guards are realized by trim_committed being
+// a no-op for already-trimmed views, plus the encapsulation rule (a commit
+// older than what we already applied is ignored).
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "checkpoint/messages.h"
+#include "queueing/backup_queue.h"
+
+namespace admire::checkpoint {
+
+class Participant {
+ public:
+  explicit Participant(SiteId self) : self_(self) {}
+
+  /// Answer a CHKPT given this unit's local processing progress (the VTS of
+  /// the last event its business logic handled / its backup queue tail).
+  /// Reply carries component-min(suggested, local) — "these control
+  /// messages attempt to agree upon the most recent event processed by the
+  /// sites' business logic, prior to the one indicated in the CHKPT".
+  ControlMessage make_reply(const ControlMessage& chkpt,
+                            const event::VectorTimestamp& local_progress) const;
+
+  /// Apply a COMMIT to a backup queue. Returns entries trimmed (0 when the
+  /// commit was stale/encapsulated — "this event is ignored").
+  std::size_t apply_commit(const ControlMessage& commit,
+                           queueing::BackupQueue& backup);
+
+  /// Highest committed view applied so far.
+  event::VectorTimestamp applied() const;
+
+  std::uint64_t commits_applied() const;
+  std::uint64_t commits_ignored() const;
+
+ private:
+  const SiteId self_;
+  mutable std::mutex mu_;
+  event::VectorTimestamp applied_;
+  std::uint64_t commits_applied_ = 0;
+  std::uint64_t commits_ignored_ = 0;
+};
+
+}  // namespace admire::checkpoint

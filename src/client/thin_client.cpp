@@ -1,0 +1,121 @@
+#include "client/thin_client.h"
+
+namespace admire::client {
+
+Status ThinClient::initialize(
+    const std::shared_ptr<echo::EventChannel>& updates,
+    const SnapshotRequester& requester) {
+  if (!updates || !requester) {
+    return err(StatusCode::kInvalidArgument, "need channel and requester");
+  }
+
+  // 1. Subscribe first; live updates buffer until the snapshot lands.
+  {
+    std::lock_guard lock(mu_);
+    initialized_ = false;
+    buffering_ = true;
+    init_buffer_.clear();
+  }
+  subscription_ = updates->subscribe([this](const event::Event& ev) {
+    std::lock_guard lock(mu_);
+    if (buffering_) {
+      init_buffer_.push_back(ev);
+      ++buffered_during_init_;
+      return;
+    }
+    if (initialized_) apply(ev);
+  });
+
+  // 2. Fetch + restore the initial view.
+  auto chunks = requester(client_id_);
+  if (!chunks.is_ok()) {
+    subscription_.reset();
+    std::lock_guard lock(mu_);
+    buffering_ = false;
+    return chunks.status();
+  }
+  ede::OperationalState restored;
+  auto status = ede::SnapshotService::restore(chunks.value(), restored);
+  if (!status.is_ok()) {
+    subscription_.reset();
+    std::lock_guard lock(mu_);
+    buffering_ = false;
+    return status;
+  }
+
+  // 3. Install the view and drain buffered updates (last-value semantics
+  //    make replaying snapshot-covered updates harmless).
+  {
+    std::lock_guard lock(mu_);
+    const Bytes wire = restored.serialize();
+    auto install = view_.deserialize(ByteSpan(wire.data(), wire.size()));
+    if (!install.is_ok()) {
+      buffering_ = false;
+      return install;
+    }
+    while (!init_buffer_.empty()) {
+      apply(init_buffer_.front());
+      init_buffer_.pop_front();
+    }
+    buffering_ = false;
+    initialized_ = true;
+  }
+  return Status::ok();
+}
+
+void ThinClient::detach() {
+  subscription_.reset();
+  std::lock_guard lock(mu_);
+  initialized_ = false;
+  buffering_ = false;
+}
+
+bool ThinClient::initialized() const {
+  std::lock_guard lock(mu_);
+  return initialized_;
+}
+
+void ThinClient::apply(const event::Event& ev) {
+  const auto* derived = ev.as<event::Derived>();
+  if (derived == nullptr) return;  // thin displays only track statuses
+  view_.update(derived->flight, [&](ede::FlightRecord& rec) {
+    rec.status = derived->status;
+  });
+  ++updates_applied_;
+  freshest_ = std::max(freshest_, ev.header().ingress_time);
+}
+
+std::optional<event::FlightStatus> ThinClient::flight_status(
+    FlightKey flight) const {
+  std::lock_guard lock(mu_);
+  auto rec = view_.get(flight);
+  if (!rec.has_value()) return std::nullopt;
+  return rec->status;
+}
+
+std::size_t ThinClient::known_flights() const {
+  std::lock_guard lock(mu_);
+  return view_.flight_count();
+}
+
+std::uint64_t ThinClient::view_fingerprint() const {
+  std::lock_guard lock(mu_);
+  return view_.fingerprint();
+}
+
+std::uint64_t ThinClient::updates_applied() const {
+  std::lock_guard lock(mu_);
+  return updates_applied_;
+}
+
+std::uint64_t ThinClient::updates_buffered_during_init() const {
+  std::lock_guard lock(mu_);
+  return buffered_during_init_;
+}
+
+Nanos ThinClient::freshest_update() const {
+  std::lock_guard lock(mu_);
+  return freshest_;
+}
+
+}  // namespace admire::client

@@ -1,0 +1,76 @@
+// ThinClient: the paper's client side (§2) — "clients request new initial
+// states when airport or gate displays are brought back online ... Once
+// they receive these initial views, clients maintain their own local views
+// of the system's state, which they continuously update based on events
+// received from the OIS server."
+//
+// Initialization protocol (race-free): subscribe to the update channel
+// FIRST (updates buffer while initialization is in flight), then request
+// the initial snapshot, restore it, and drain the buffer. Status updates
+// carry last-value semantics, so replaying a buffered update that the
+// snapshot already covered is harmless.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "echo/channel.h"
+#include "ede/operational_state.h"
+#include "ede/snapshot.h"
+
+namespace admire::client {
+
+/// Fetches the initial state for this client (typically routed through the
+/// cluster's request load balancer, e.g. Cluster::request_snapshot).
+using SnapshotRequester =
+    std::function<Result<std::vector<event::Event>>(std::uint64_t request_id)>;
+
+class ThinClient {
+ public:
+  explicit ThinClient(std::uint64_t client_id) : client_id_(client_id) {}
+
+  /// Attach to a site's update channel and obtain the initial view.
+  /// Idempotent re-initialization is allowed (a display rebooting again).
+  Status initialize(const std::shared_ptr<echo::EventChannel>& updates,
+                    const SnapshotRequester& requester);
+
+  /// Detach from the update stream (display switched off).
+  void detach();
+
+  bool initialized() const;
+
+  /// Local view of a flight's status; nullopt when unknown.
+  std::optional<event::FlightStatus> flight_status(FlightKey flight) const;
+
+  /// Number of flights in the local view.
+  std::size_t known_flights() const;
+
+  /// Content hash of the local view (tests compare against the server).
+  std::uint64_t view_fingerprint() const;
+
+  std::uint64_t updates_applied() const;
+  std::uint64_t updates_buffered_during_init() const;
+
+  /// Ingress timestamp of the newest update folded into the view — the
+  /// client-side freshness measure.
+  Nanos freshest_update() const;
+
+ private:
+  void apply(const event::Event& ev);
+
+  const std::uint64_t client_id_;
+  mutable std::mutex mu_;
+  ede::OperationalState view_;
+  echo::Subscription subscription_;
+  bool initialized_ = false;
+  bool buffering_ = false;
+  std::deque<event::Event> init_buffer_;
+  std::uint64_t updates_applied_ = 0;
+  std::uint64_t buffered_during_init_ = 0;
+  Nanos freshest_ = 0;
+};
+
+}  // namespace admire::client

@@ -1,0 +1,206 @@
+#include "cluster/central_site.h"
+
+#include "common/logging.h"
+
+namespace admire::cluster {
+
+using checkpoint::ControlKind;
+using checkpoint::ControlMessage;
+
+ThreadedCentralSite::ThreadedCentralSite(
+    CentralSiteConfig config, std::shared_ptr<echo::ChannelRegistry> registry,
+    std::shared_ptr<Clock> clock, std::size_t num_mirrors)
+    : config_(std::move(config)),
+      registry_(std::move(registry)),
+      clock_(std::move(clock)),
+      num_mirrors_(num_mirrors),
+      core_(config_.params, config_.num_streams),
+      main_(kCentralSite),
+      coordinator_(kCentralSite, /*expected_replies=*/1 + num_mirrors),
+      inbox_(config_.inbox_capacity),
+      control_inbox_(1024),
+      update_delays_(kSecond) {
+  if (config_.adaptation.has_value()) {
+    controller_.emplace(*config_.adaptation);
+  }
+  data_channel_ = registry_->create_auto("central.data", echo::ChannelRole::kData);
+  updates_channel_ =
+      registry_->create_auto("central.updates", echo::ChannelRole::kData);
+  ctrl_down_ = registry_->create_auto("ctrl.down", echo::ChannelRole::kControl);
+  ctrl_up_ = registry_->create_auto("ctrl.up", echo::ChannelRole::kControl);
+
+  // Replies from mirrors land on ctrl.up; hand them to the control task.
+  ctrl_up_sub_ = ctrl_up_->subscribe([this](const event::Event& ev) {
+    auto msg = checkpoint::from_control_event(ev);
+    if (!msg.is_ok()) return;
+    if (msg.value().kind != ControlKind::kChkptReply) return;
+    (void)control_inbox_.push(
+        ControlItem{ControlItem::Kind::kReply, std::move(msg).value()});
+  });
+
+  api_.load(config_.params);
+  api_.bind(
+      &core_,
+      /*mirror_sink=*/[this](const event::Event& ev) { data_channel_->submit(ev); },
+      /*fwd_sink=*/
+      [this](const event::Event& ev) {
+        const auto outputs = main_.process(ev);
+        ede_processed_.fetch_add(1, std::memory_order_relaxed);
+        if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
+        for (const auto& out : outputs) {
+          const Nanos now = clock_->now();
+          update_delays_.add(out.header().ingress_time,
+                             now - out.header().ingress_time);
+          updates_channel_->submit(out);
+        }
+      },
+      /*checkpoint_trigger=*/[this] { trigger_checkpoint(); });
+}
+
+ThreadedCentralSite::~ThreadedCentralSite() { stop(); }
+
+void ThreadedCentralSite::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  recv_thread_ = std::thread([this] { recv_loop(); });
+  send_thread_ = std::thread([this] { send_loop(); });
+  control_thread_ = std::thread([this] { control_loop(); });
+}
+
+void ThreadedCentralSite::stop() {
+  if (!running_.exchange(false)) return;
+  inbox_.close();
+  control_inbox_.close();
+  send_cv_.notify_all();
+  if (recv_thread_.joinable()) recv_thread_.join();
+  if (send_thread_.joinable()) send_thread_.join();
+  if (control_thread_.joinable()) control_thread_.join();
+}
+
+Status ThreadedCentralSite::ingest(event::Event ev) {
+  ev.header().ingress_time = clock_->now();
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  return inbox_.push(std::move(ev));
+}
+
+void ThreadedCentralSite::recv_loop() {
+  while (auto ev = inbox_.pop()) {
+    const auto outcome = core_.on_incoming(std::move(*ev), clock_->now());
+    // fwd(): the main unit's EDE sees the full stream (§3.2.1 semantics:
+    // rules reduce mirror traffic, not the regular clients' updates).
+    if (outcome.forward.has_value()) api_.fwd(*outcome.forward);
+    if (outcome.checkpoint_due) trigger_checkpoint();
+    recv_done_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t credits = (outcome.enqueued ? 1u : 0u) +
+                                  (outcome.combined_enqueued ? 1u : 0u);
+    if (credits > 0) {
+      credits_granted_.fetch_add(credits, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(send_mu_);
+        send_credits_ += credits;
+      }
+      send_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadedCentralSite::send_loop() {
+  while (true) {
+    {
+      std::unique_lock lock(send_mu_);
+      send_cv_.wait(lock, [&] { return send_credits_ > 0 || !running_; });
+      if (send_credits_ == 0 && !running_) return;
+      if (send_credits_ > 0) --send_credits_;
+    }
+    auto step = core_.try_send_step();
+    if (step.has_value()) dispatch(*step);
+    sends_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadedCentralSite::dispatch(const mirror::PipelineCore::SendStep& step) {
+  for (const auto& ev : step.to_send) api_.mirror(ev);
+}
+
+void ThreadedCentralSite::trigger_checkpoint() {
+  (void)control_inbox_.push(
+      ControlItem{ControlItem::Kind::kStartRound, ControlMessage{}});
+}
+
+void ThreadedCentralSite::control_loop() {
+  while (auto item = control_inbox_.pop()) {
+    switch (item->kind) {
+      case ControlItem::Kind::kStartRound:
+        start_round();
+        break;
+      case ControlItem::Kind::kReply:
+        handle_reply(item->msg);
+        break;
+    }
+  }
+}
+
+void ThreadedCentralSite::start_round() {
+  Bytes piggyback = evaluate_adaptation();
+  const auto last = core_.backup().last_vts();
+  ControlMessage chkpt =
+      coordinator_.begin_round(last.value_or(core_.stamp()), std::move(piggyback));
+  // Own main unit replies locally, without the network.
+  handle_reply(main_.on_chkpt(chkpt));
+  ctrl_down_->submit(checkpoint::to_control_event(chkpt));
+}
+
+void ThreadedCentralSite::handle_reply(const ControlMessage& reply) {
+  if (!reply.piggyback.empty() && controller_.has_value()) {
+    auto report = adapt::decode_report(
+        ByteSpan(reply.piggyback.data(), reply.piggyback.size()));
+    if (report.is_ok()) controller_->ingest(report.value());
+  }
+  auto commit = coordinator_.on_reply(reply);
+  if (!commit.has_value()) return;
+  core_.backup().trim_committed(commit->vts);
+  main_.on_commit(*commit);
+  ctrl_down_->submit(checkpoint::to_control_event(*commit));
+}
+
+Bytes ThreadedCentralSite::evaluate_adaptation() {
+  if (!controller_.has_value()) return {};
+  controller_->observe(kCentralSite,
+                       adapt::MonitoredVariable::kReadyQueueLength,
+                       static_cast<double>(core_.ready().size()));
+  controller_->observe(kCentralSite,
+                       adapt::MonitoredVariable::kBackupQueueLength,
+                       static_cast<double>(core_.backup().size()));
+  controller_->observe(kCentralSite, adapt::MonitoredVariable::kPendingRequests,
+                       static_cast<double>(pending_requests_.load()));
+  auto directive = controller_->evaluate();
+  if (!directive.has_value()) return {};
+  adaptation_transitions_.fetch_add(1, std::memory_order_relaxed);
+  core_.install(directive->spec);
+  ADMIRE_LOG(kInfo, "central: adaptation ",
+             directive->engaged ? "ENGAGED" : "RELEASED", " -> ",
+             directive->spec.name);
+  return adapt::encode_directive(*directive);
+}
+
+void ThreadedCentralSite::drain() {
+  // Phase 1: wait for the receiving and sending tasks to catch up.
+  while (inbox_.size() > 0 || recv_done_.load() < ingested_.load() ||
+         sends_done_.load() < credits_granted_.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  // Phase 2: flush coalescing buffers and dispatch the remainder inline.
+  auto step = core_.flush();
+  if (!step.to_send.empty()) dispatch(step);
+}
+
+std::vector<event::Event> ThreadedCentralSite::serve_request(
+    std::uint64_t request_id, Nanos burn) {
+  pending_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto chunks = main_.build_snapshot(request_id);
+  if (burn > 0) burn_for(burn);
+  pending_requests_.fetch_sub(1, std::memory_order_relaxed);
+  return chunks;
+}
+
+}  // namespace admire::cluster

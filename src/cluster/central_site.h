@@ -1,0 +1,136 @@
+// ThreadedCentralSite: the central (primary) site of Fig. 2 running as real
+// threads — a receiving task, a sending task and a control task inside the
+// auxiliary unit (exactly the paper's §3.1 task structure), plus the main
+// unit's EDE. Communication uses ECho-style event channels:
+//   "central.data"    mirrored events -> mirror sites
+//   "central.updates" EDE state updates -> regular clients
+//   "ctrl.down"       CHKPT/COMMIT -> mirrors
+//   "ctrl.up"         CHKPT_REP <- mirrors
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "adapt/controller.h"
+#include "checkpoint/coordinator.h"
+#include "common/bounded_queue.h"
+#include "common/clock.h"
+#include "common/cpu_work.h"
+#include "echo/channel.h"
+#include "metrics/metrics.h"
+#include "mirror/main_unit_core.h"
+#include "mirror/mirroring_api.h"
+#include "mirror/pipeline_core.h"
+
+namespace admire::cluster {
+
+struct CentralSiteConfig {
+  rules::MirroringParams params;
+  std::optional<adapt::AdaptationPolicy> adaptation;
+  std::size_t num_streams = 2;
+  std::size_t inbox_capacity = 8192;
+  /// Optional artificial CPU burn per processed event, emulating the
+  /// paper-era business-logic cost in real time (examples use this).
+  Nanos burn_per_event = 0;
+};
+
+class ThreadedCentralSite {
+ public:
+  ThreadedCentralSite(CentralSiteConfig config,
+                      std::shared_ptr<echo::ChannelRegistry> registry,
+                      std::shared_ptr<Clock> clock, std::size_t num_mirrors);
+  ~ThreadedCentralSite();
+
+  ThreadedCentralSite(const ThreadedCentralSite&) = delete;
+  ThreadedCentralSite& operator=(const ThreadedCentralSite&) = delete;
+
+  void start();
+  void stop();
+
+  /// Feed one source event (called by workload replayers / data sources).
+  Status ingest(event::Event ev);
+
+  /// Block until every ingested event has passed the full pipeline
+  /// (receiving, rules, sending, EDE) and the coalescer has been flushed.
+  void drain();
+
+  /// Explicitly run the checkpointing procedure (also triggered
+  /// automatically every checkpoint_every sent events).
+  void trigger_checkpoint();
+
+  mirror::PipelineCore& core() { return core_; }
+  mirror::MainUnitCore& main_unit() { return main_; }
+  mirror::MirroringApi& api() { return api_; }
+  checkpoint::Coordinator& coordinator() { return coordinator_; }
+  metrics::LatencyRecorder& update_delays() { return update_delays_; }
+
+  std::uint64_t ingested() const { return ingested_.load(); }
+  std::uint64_t processed_by_ede() const { return ede_processed_.load(); }
+
+  /// Request servicing at the central site (it is the primary mirror).
+  std::vector<event::Event> serve_request(std::uint64_t request_id,
+                                          Nanos burn = 0);
+  std::uint64_t pending_requests() const { return pending_requests_.load(); }
+
+ private:
+  void recv_loop();
+  void send_loop();
+  void control_loop();
+  void dispatch(const mirror::PipelineCore::SendStep& step);
+  void handle_reply(const checkpoint::ControlMessage& reply);
+  void start_round();
+  Bytes evaluate_adaptation();
+
+  struct ControlItem {
+    enum class Kind { kStartRound, kReply } kind;
+    checkpoint::ControlMessage msg;
+  };
+
+  CentralSiteConfig config_;
+  std::shared_ptr<echo::ChannelRegistry> registry_;
+  std::shared_ptr<Clock> clock_;
+  const std::size_t num_mirrors_;
+
+  mirror::PipelineCore core_;
+  mirror::MainUnitCore main_;
+  checkpoint::Coordinator coordinator_;
+  mirror::MirroringApi api_;
+  std::optional<adapt::AdaptationController> controller_;
+
+  std::shared_ptr<echo::EventChannel> data_channel_;
+  std::shared_ptr<echo::EventChannel> updates_channel_;
+  std::shared_ptr<echo::EventChannel> ctrl_down_;
+  std::shared_ptr<echo::EventChannel> ctrl_up_;
+  echo::Subscription ctrl_up_sub_;
+
+  BoundedQueue<event::Event> inbox_;
+  BoundedQueue<ControlItem> control_inbox_;
+
+  std::mutex send_mu_;
+  std::condition_variable send_cv_;
+  std::uint64_t send_credits_ = 0;  // enqueued-but-unsent events
+
+  std::atomic<bool> running_{false};
+  std::thread recv_thread_;
+  std::thread send_thread_;
+  std::thread control_thread_;
+
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> recv_done_{0};
+  std::atomic<std::uint64_t> credits_granted_{0};
+  std::atomic<std::uint64_t> sends_done_{0};
+  std::atomic<std::uint64_t> ede_processed_{0};
+  std::atomic<std::uint64_t> pending_requests_{0};
+  std::atomic<std::uint64_t> adaptation_transitions_{0};
+
+  metrics::LatencyRecorder update_delays_;
+
+ public:
+  std::uint64_t adaptation_transitions() const {
+    return adaptation_transitions_.load();
+  }
+};
+
+}  // namespace admire::cluster

@@ -1,0 +1,175 @@
+#include "cluster/cluster.h"
+
+#include <future>
+
+namespace admire::cluster {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      clock_(std::make_shared<SteadyClock>()),
+      registry_(std::make_shared<echo::ChannelRegistry>()),
+      lb_(config_.lb) {
+  CentralSiteConfig central_config;
+  central_config.params = config_.params;
+  central_config.adaptation = config_.adaptation;
+  central_config.num_streams = config_.num_streams;
+  central_config.burn_per_event = config_.burn_per_event;
+  central_ = std::make_unique<ThreadedCentralSite>(
+      central_config, registry_, clock_, config_.num_mirrors);
+
+  for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
+    MirrorSiteConfig mc;
+    mc.site = next_site_id_++;
+    mc.burn_per_event = config_.burn_per_event;
+    mc.burn_per_request = config_.burn_per_request;
+    mirrors_.push_back(
+        std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_));
+  }
+
+  if (!config_.oplog_path.empty()) {
+    oplog_ = std::make_unique<oplog::LogWriter>(config_.oplog_path);
+    if (oplog_->ok()) {
+      oplog_sub_ = registry_->by_name("central.updates")
+                       ->subscribe([this](const event::Event& ev) {
+                         (void)oplog_->append(ev);
+                       });
+    }
+  }
+
+  if (config_.central_serves_requests) {
+    central_requests_ = std::make_unique<RequestService>(
+        [this](std::uint64_t id) {
+          return central_->serve_request(id, config_.burn_per_request);
+        },
+        clock_);
+    lb_.add_target(LoadBalancer::Target{
+        "central",
+        [this](std::uint64_t id, ServiceCallback cb) {
+          return central_requests_->submit(id, std::move(cb));
+        },
+        [this] { return central_requests_->pending(); }});
+  }
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    auto* site = mirrors_[i].get();
+    lb_.add_target(LoadBalancer::Target{
+        "mirror" + std::to_string(i + 1),
+        [site](std::uint64_t id, ServiceCallback cb) {
+          return site->submit_request(id, std::move(cb));
+        },
+        [site] { return site->pending_requests(); }});
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  central_->start();
+  for (auto& m : mirrors_) m->start();
+  if (central_requests_) central_requests_->start();
+}
+
+void Cluster::stop() {
+  if (!started_.exchange(false)) return;
+  if (central_requests_) central_requests_->stop();
+  for (auto& m : mirrors_) m->stop();
+  central_->stop();
+}
+
+Status Cluster::ingest(event::Event ev) {
+  return central_->ingest(std::move(ev));
+}
+
+void Cluster::drain() {
+  central_->drain();
+  for (auto& m : mirrors_) m->drain();
+}
+
+void Cluster::checkpoint_and_wait(std::chrono::milliseconds timeout) {
+  const std::uint64_t target = central_->coordinator().rounds_committed() + 1;
+  central_->trigger_checkpoint();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (central_->coordinator().rounds_committed() < target &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+Status Cluster::submit_request(std::uint64_t request_id,
+                               ServiceCallback callback) {
+  return lb_.route(request_id, std::move(callback));
+}
+
+Result<std::vector<event::Event>> Cluster::request_snapshot(
+    std::uint64_t request_id, std::chrono::milliseconds timeout) {
+  auto promise =
+      std::make_shared<std::promise<std::vector<event::Event>>>();
+  auto future = promise->get_future();
+  auto status = submit_request(
+      request_id, [promise](std::uint64_t, std::vector<event::Event> chunks) {
+        promise->set_value(std::move(chunks));
+      });
+  if (!status.is_ok()) return status;
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    return err(StatusCode::kTimeout, "snapshot request timed out");
+  }
+  return future.get();
+}
+
+void Cluster::fail_mirror(std::size_t i) {
+  if (i >= mirrors_.size()) return;
+  mirrors_[i]->stop();
+  // Checkpoint membership shrinks; an unblocked commit is broadcast so the
+  // surviving sites are not left waiting on the dead one.
+  auto& coord = central_->coordinator();
+  auto commit = coord.set_expected_replies(coord.expected_replies() - 1);
+  if (commit.has_value()) {
+    central_->core().backup().trim_committed(commit->vts);
+    central_->main_unit().on_commit(*commit);
+    auto ctrl_down = registry_->by_name("ctrl.down");
+    if (ctrl_down) ctrl_down->submit(checkpoint::to_control_event(*commit));
+  }
+}
+
+Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
+  if (donor > mirrors_.size()) {
+    return err(StatusCode::kInvalidArgument, "no such donor site");
+  }
+  MirrorSiteConfig mc;
+  mc.site = next_site_id_++;
+  mc.burn_per_event = config_.burn_per_event;
+  mc.burn_per_request = config_.burn_per_request;
+  // Subscribe FIRST so no event falls between the donor snapshot and the
+  // live stream; the inbox buffers until start().
+  auto site = std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_);
+  mirror::MainUnitCore& donor_main =
+      donor == 0 ? central_->main_unit() : mirrors_[donor - 1]->main_unit();
+  const auto package = recovery::build_bootstrap_package(
+      donor_main, next_recovery_request_++);
+  auto status = site->seed_from(package);
+  if (!status.is_ok()) return status;
+  site->start();
+  auto& coord = central_->coordinator();
+  (void)coord.set_expected_replies(coord.expected_replies() + 1);
+  auto* raw = site.get();
+  lb_.add_target(LoadBalancer::Target{
+      "mirror" + std::to_string(mc.site),
+      [raw](std::uint64_t id, ServiceCallback cb) {
+        return raw->submit_request(id, std::move(cb));
+      },
+      [raw] { return raw->pending_requests(); }});
+  mirrors_.push_back(std::move(site));
+  return mirrors_.size() - 1;
+}
+
+std::vector<std::uint64_t> Cluster::state_fingerprints() const {
+  std::vector<std::uint64_t> out;
+  out.push_back(central_->main_unit().state().fingerprint());
+  for (const auto& m : mirrors_) {
+    out.push_back(m->main_unit().state().fingerprint());
+  }
+  return out;
+}
+
+}  // namespace admire::cluster

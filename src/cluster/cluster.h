@@ -1,0 +1,108 @@
+// Cluster: single-process threaded deployment of the mirrored OIS server —
+// one central site plus N mirror sites, wired through ECho event channels,
+// with a request load balancer over all sites (the central site is the
+// primary mirror, §3.1). This is the runtime used by integration tests and
+// examples; the multi-process variant bridges the same channels over TCP
+// (see examples/multiprocess_cluster.cpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/central_site.h"
+#include "cluster/load_balancer.h"
+#include "cluster/mirror_site.h"
+#include "cluster/request_service.h"
+#include "oplog/oplog.h"
+
+namespace admire::cluster {
+
+struct ClusterConfig {
+  std::size_t num_mirrors = 1;
+  rules::MirroringParams params;
+  std::optional<adapt::AdaptationPolicy> adaptation;
+  LbPolicy lb = LbPolicy::kRoundRobin;
+  /// When set, every state update the central EDE publishes is appended to
+  /// a durable operational log at this base path (the §1 "logging"
+  /// consumer). Segments rotate; see oplog/oplog.h.
+  std::string oplog_path;
+  /// Include the central site in the request pool (default: yes — it is
+  /// the primary mirror).
+  bool central_serves_requests = true;
+  Nanos burn_per_event = 0;
+  Nanos burn_per_request = 0;
+  std::size_t num_streams = 2;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  void start();
+  void stop();
+
+  /// Feed one source event into the central site.
+  Status ingest(event::Event ev);
+
+  /// Quiesce: every ingested event processed everywhere, coalescer flushed,
+  /// mirrored copies folded into every mirror's state.
+  void drain();
+
+  /// Run the checkpoint procedure and wait for the commit to land
+  /// everywhere (bounded wait).
+  void checkpoint_and_wait(std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(2000));
+
+  /// Route a client initial-state request through the load balancer.
+  Status submit_request(std::uint64_t request_id, ServiceCallback callback);
+
+  /// Synchronous convenience: route a request and wait for its snapshot.
+  Result<std::vector<event::Event>> request_snapshot(
+      std::uint64_t request_id,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Durable update log (nullptr unless configured via oplog_path).
+  oplog::LogWriter* update_log() { return oplog_.get(); }
+
+  ThreadedCentralSite& central() { return *central_; }
+  ThreadedMirrorSite& mirror(std::size_t i) { return *mirrors_.at(i); }
+  std::size_t num_mirrors() const { return mirrors_.size(); }
+  LoadBalancer& load_balancer() { return lb_; }
+  std::shared_ptr<echo::ChannelRegistry> registry() { return registry_; }
+  std::shared_ptr<Clock> clock() { return clock_; }
+
+  /// State fingerprints: [central, mirror1, ...]. Equal values = converged
+  /// replicas. Stopped (failed) mirrors are included as-is.
+  std::vector<std::uint64_t> state_fingerprints() const;
+
+  // --- Recovery (paper §6 future work) -----------------------------------
+  /// Simulate a node failure: stop mirror `i`'s threads and detach it from
+  /// the channels. Its slot remains (state frozen) for post-mortems.
+  void fail_mirror(std::size_t i);
+
+  /// Bring a replacement mirror online at runtime: a new site subscribes,
+  /// bootstraps from `donor` (0 = central, 1.. = mirror index+1) via
+  /// snapshot + rejoin filter, starts, and joins the request pool.
+  /// Returns the new mirror's index.
+  Result<std::size_t> join_new_mirror(std::size_t donor = 0);
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<Clock> clock_;
+  std::shared_ptr<echo::ChannelRegistry> registry_;
+  std::unique_ptr<ThreadedCentralSite> central_;
+  std::vector<std::unique_ptr<ThreadedMirrorSite>> mirrors_;
+  std::unique_ptr<RequestService> central_requests_;
+  std::unique_ptr<oplog::LogWriter> oplog_;
+  echo::Subscription oplog_sub_;
+  LoadBalancer lb_;
+  std::atomic<bool> started_{false};
+  SiteId next_site_id_ = 1;
+  std::uint64_t next_recovery_request_ = 1'000'000;
+};
+
+}  // namespace admire::cluster

@@ -1,0 +1,41 @@
+#include "cluster/load_balancer.h"
+
+namespace admire::cluster {
+
+std::size_t LoadBalancer::pick() {
+  if (targets_.empty()) return 0;
+  if (policy_ == LbPolicy::kLeastLoaded) {
+    std::size_t best = 0;
+    std::uint64_t best_pending = targets_[0].pending ? targets_[0].pending() : 0;
+    for (std::size_t i = 1; i < targets_.size(); ++i) {
+      const std::uint64_t p = targets_[i].pending ? targets_[i].pending() : 0;
+      if (p < best_pending) {
+        best_pending = p;
+        best = i;
+      }
+    }
+    return best;
+  }
+  return cursor_.fetch_add(1, std::memory_order_relaxed) % targets_.size();
+}
+
+Status LoadBalancer::route(std::uint64_t request_id,
+                           ServiceCallback callback) {
+  if (targets_.empty()) {
+    return err(StatusCode::kNotFound, "no request targets registered");
+  }
+  const std::size_t idx = pick();
+  {
+    std::lock_guard lock(mu_);
+    if (routed_.size() < targets_.size()) routed_.resize(targets_.size(), 0);
+    ++routed_[idx];
+  }
+  return targets_[idx].submit(request_id, std::move(callback));
+}
+
+std::vector<std::uint64_t> LoadBalancer::routed_counts() const {
+  std::lock_guard lock(mu_);
+  return routed_;
+}
+
+}  // namespace admire::cluster

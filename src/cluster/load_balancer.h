@@ -1,0 +1,51 @@
+// Request load balancing across the mirror pool (paper §1: "The resulting
+// parallelization of request processing for clients coupled with simple
+// load balancing strategies enables us to offer timely services").
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "cluster/request_service.h"
+#include "common/status.h"
+
+namespace admire::cluster {
+
+enum class LbPolicy : std::uint8_t {
+  kRoundRobin = 0,   ///< rotate over all registered targets
+  kLeastLoaded = 1,  ///< target with the fewest outstanding requests
+};
+
+class LoadBalancer {
+ public:
+  struct Target {
+    std::string name;
+    std::function<Status(std::uint64_t, ServiceCallback)> submit;
+    std::function<std::uint64_t()> pending;
+  };
+
+  explicit LoadBalancer(LbPolicy policy = LbPolicy::kRoundRobin)
+      : policy_(policy) {}
+
+  void add_target(Target target) { targets_.push_back(std::move(target)); }
+  std::size_t num_targets() const { return targets_.size(); }
+
+  /// Route one request; returns the chosen target index via out-param
+  /// semantics in the status message on failure.
+  Status route(std::uint64_t request_id, ServiceCallback callback);
+
+  /// Requests routed per target (distribution fairness checks).
+  std::vector<std::uint64_t> routed_counts() const;
+
+ private:
+  std::size_t pick();
+
+  LbPolicy policy_;
+  std::vector<Target> targets_;
+  std::atomic<std::uint64_t> cursor_{0};
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> routed_;
+};
+
+}  // namespace admire::cluster

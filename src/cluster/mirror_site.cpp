@@ -1,0 +1,164 @@
+#include "cluster/mirror_site.h"
+
+#include "common/logging.h"
+
+namespace admire::cluster {
+
+using checkpoint::ControlKind;
+using checkpoint::ControlMessage;
+
+ThreadedMirrorSite::ThreadedMirrorSite(
+    MirrorSiteConfig config, std::shared_ptr<echo::ChannelRegistry> registry,
+    std::shared_ptr<Clock> clock)
+    : config_(config),
+      registry_(std::move(registry)),
+      clock_(std::move(clock)),
+      aux_(config.site),
+      main_(config.site),
+      installed_spec_(rules::simple_mirroring()),
+      inbox_(config.inbox_capacity),
+      request_queue_(config.request_capacity),
+      request_latency_(kSecond) {
+  updates_channel_ = registry_->create_auto(
+      "mirror" + std::to_string(config.site) + ".updates",
+      echo::ChannelRole::kData);
+  auto data = registry_->by_name("central.data");
+  auto ctrl_down = registry_->by_name("ctrl.down");
+  ctrl_up_ = registry_->by_name("ctrl.up");
+  if (!data || !ctrl_down || !ctrl_up_) {
+    ADMIRE_LOG(kError, "mirror", config.site,
+               ": central channels missing; create the central site first");
+    return;
+  }
+  data_sub_ = data->subscribe([this](const event::Event& ev) {
+    received_.fetch_add(1, std::memory_order_relaxed);
+    (void)inbox_.push(ev);  // back-pressures the central send task when full
+  });
+  ctrl_down_sub_ = ctrl_down->subscribe([this](const event::Event& ev) {
+    auto msg = checkpoint::from_control_event(ev);
+    if (msg.is_ok()) on_control(msg.value());
+  });
+}
+
+ThreadedMirrorSite::~ThreadedMirrorSite() { stop(); }
+
+void ThreadedMirrorSite::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  event_thread_ = std::thread([this] { event_loop(); });
+  request_thread_ = std::thread([this] { request_loop(); });
+}
+
+void ThreadedMirrorSite::stop() {
+  if (!running_.exchange(false)) return;
+  data_sub_.reset();
+  ctrl_down_sub_.reset();
+  inbox_.close();
+  request_queue_.close();
+  if (event_thread_.joinable()) event_thread_.join();
+  if (request_thread_.joinable()) request_thread_.join();
+}
+
+Status ThreadedMirrorSite::seed_from(const recovery::RecoveryPackage& package) {
+  if (running_.load()) {
+    return err(StatusCode::kInvalidArgument, "seed before start()");
+  }
+  auto status = recovery::install_package(package, main_);
+  if (!status.is_ok()) return status;
+  rejoin_filter_ = std::make_unique<recovery::RejoinFilter>(package.as_of);
+  return Status::ok();
+}
+
+void ThreadedMirrorSite::event_loop() {
+  while (auto ev = inbox_.pop()) {
+    if (rejoin_filter_ && !rejoin_filter_->should_apply(*ev)) {
+      processed_.fetch_add(1, std::memory_order_relaxed);  // accounted, skipped
+      continue;
+    }
+    aux_.on_mirrored(std::move(*ev));
+    while (auto next = aux_.next_for_main()) {
+      if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
+      const auto outputs = main_.process(*next);
+      for (const auto& out : outputs) updates_channel_->submit(out);
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status ThreadedMirrorSite::submit_request(std::uint64_t request_id,
+                                          RequestCallback callback) {
+  pending_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto status = request_queue_.push(
+      PendingRequest{request_id, clock_->now(), std::move(callback)});
+  if (!status.is_ok()) {
+    pending_requests_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void ThreadedMirrorSite::request_loop() {
+  while (auto req = request_queue_.pop()) {
+    auto chunks = main_.build_snapshot(req->id);
+    if (config_.burn_per_request > 0) burn_for(config_.burn_per_request);
+    pending_requests_.fetch_sub(1, std::memory_order_relaxed);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    request_latency_.add(req->enqueued_at, clock_->now() - req->enqueued_at);
+    if (req->callback) req->callback(req->id, std::move(chunks));
+  }
+}
+
+void ThreadedMirrorSite::on_control(const ControlMessage& msg) {
+  // Adaptation directives may ride on CHKPT or COMMIT (paper §3.2.2).
+  if (!msg.piggyback.empty()) {
+    auto directive = adapt::decode_directive(
+        ByteSpan(msg.piggyback.data(), msg.piggyback.size()));
+    if (directive.is_ok()) {
+      if (auto spec = applier_.apply(directive.value())) {
+        {
+          std::lock_guard lock(spec_mu_);
+          installed_spec_ = *spec;
+        }
+        ADMIRE_LOG(kInfo, "mirror", config_.site, ": installed function '",
+                   spec->name, "'");
+      }
+    }
+  }
+
+  switch (msg.kind) {
+    case ControlKind::kChkpt: {
+      const auto relayed = aux_.relay_chkpt(msg);
+      ControlMessage reply = main_.on_chkpt(relayed);
+      auto forwarded = aux_.relay_reply(reply);
+      if (!forwarded.has_value()) break;
+      adapt::MonitorReport report;
+      report.site = config_.site;
+      report.samples = {
+          {adapt::MonitoredVariable::kReadyQueueLength,
+           static_cast<double>(inbox_.size() + aux_.ready().size())},
+          {adapt::MonitoredVariable::kBackupQueueLength,
+           static_cast<double>(aux_.backup().size())},
+          {adapt::MonitoredVariable::kPendingRequests,
+           static_cast<double>(pending_requests_.load())},
+      };
+      forwarded->piggyback = adapt::encode_report(report);
+      ctrl_up_->submit(checkpoint::to_control_event(*forwarded));
+      break;
+    }
+    case ControlKind::kCommit: {
+      const auto forwarded = aux_.on_commit(msg);
+      main_.on_commit(forwarded);
+      break;
+    }
+    case ControlKind::kChkptReply:
+      break;  // not addressed to mirrors
+  }
+}
+
+void ThreadedMirrorSite::drain() {
+  while (running_.load() &&
+         (inbox_.size() > 0 || processed_.load() < received_.load())) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace admire::cluster

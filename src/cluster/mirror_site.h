@@ -1,0 +1,125 @@
+// ThreadedMirrorSite: a secondary mirror site — auxiliary unit (receive
+// mirrored events, relay control traffic) + main unit (EDE) + the request
+// service that is "a mirror site's primary task" (§3.1): answering client
+// initial-state requests from the locally replicated operational state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "adapt/controller.h"
+#include "common/bounded_queue.h"
+#include "common/clock.h"
+#include "common/cpu_work.h"
+#include "echo/channel.h"
+#include "metrics/metrics.h"
+#include "mirror/main_unit_core.h"
+#include "mirror/mirror_aux_core.h"
+#include "recovery/recovery.h"
+
+namespace admire::cluster {
+
+struct MirrorSiteConfig {
+  SiteId site = 1;
+  std::size_t inbox_capacity = 8192;
+  std::size_t request_capacity = 8192;
+  Nanos burn_per_event = 0;    ///< artificial EDE cost (real-time emulation)
+  Nanos burn_per_request = 0;  ///< artificial snapshot-service cost
+};
+
+/// Completion callback for a serviced client request.
+using RequestCallback =
+    std::function<void(std::uint64_t request_id,
+                       std::vector<event::Event> snapshot_chunks)>;
+
+class ThreadedMirrorSite {
+ public:
+  /// Wires itself to the central site's channels in `registry`
+  /// ("central.data", "ctrl.down", "ctrl.up") and creates its own
+  /// "mirror<N>.updates" output channel.
+  ThreadedMirrorSite(MirrorSiteConfig config,
+                     std::shared_ptr<echo::ChannelRegistry> registry,
+                     std::shared_ptr<Clock> clock);
+  ~ThreadedMirrorSite();
+
+  ThreadedMirrorSite(const ThreadedMirrorSite&) = delete;
+  ThreadedMirrorSite& operator=(const ThreadedMirrorSite&) = delete;
+
+  void start();
+  void stop();
+
+  /// Enqueue a client initial-state request; the callback fires on the
+  /// request-service thread when the snapshot is ready.
+  Status submit_request(std::uint64_t request_id, RequestCallback callback);
+
+  /// Wait until all mirrored events received so far are folded into state.
+  void drain();
+
+  /// Recovery (call before start()): install a donor's package — restore
+  /// the snapshot, replay the suffix, and arm a RejoinFilter so live
+  /// events already covered by the restore point are skipped. The site
+  /// must have been constructed (subscribed) *before* the package was
+  /// built, so no event can fall in the gap.
+  Status seed_from(const recovery::RecoveryPackage& package);
+
+  std::uint64_t rejoin_skipped() const {
+    return rejoin_filter_ ? rejoin_filter_->skipped() : 0;
+  }
+
+  mirror::MirrorAuxCore& aux() { return aux_; }
+  mirror::MainUnitCore& main_unit() { return main_; }
+  metrics::LatencyRecorder& request_latency() { return request_latency_; }
+
+  std::uint64_t pending_requests() const { return pending_requests_.load(); }
+  std::uint64_t events_processed() const { return processed_.load(); }
+  std::uint64_t requests_served() const { return served_.load(); }
+  /// Copy of the currently installed function (updated by adaptation
+  /// directives arriving on the control channel).
+  rules::MirrorFunctionSpec installed_spec() const {
+    std::lock_guard lock(spec_mu_);
+    return installed_spec_;
+  }
+
+ private:
+  void event_loop();
+  void request_loop();
+  void on_control(const checkpoint::ControlMessage& msg);
+
+  MirrorSiteConfig config_;
+  std::shared_ptr<echo::ChannelRegistry> registry_;
+  std::shared_ptr<Clock> clock_;
+
+  mirror::MirrorAuxCore aux_;
+  mirror::MainUnitCore main_;
+  adapt::DirectiveApplier applier_;
+  mutable std::mutex spec_mu_;
+  rules::MirrorFunctionSpec installed_spec_;
+  std::unique_ptr<recovery::RejoinFilter> rejoin_filter_;
+
+  std::shared_ptr<echo::EventChannel> updates_channel_;
+  std::shared_ptr<echo::EventChannel> ctrl_up_;
+  echo::Subscription data_sub_;
+  echo::Subscription ctrl_down_sub_;
+
+  BoundedQueue<event::Event> inbox_;
+  struct PendingRequest {
+    std::uint64_t id;
+    Nanos enqueued_at;
+    RequestCallback callback;
+  };
+  BoundedQueue<PendingRequest> request_queue_;
+
+  std::atomic<bool> running_{false};
+  std::thread event_thread_;
+  std::thread request_thread_;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> pending_requests_{0};
+  std::atomic<std::uint64_t> served_{0};
+
+  metrics::LatencyRecorder request_latency_;
+};
+
+}  // namespace admire::cluster

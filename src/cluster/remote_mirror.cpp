@@ -1,0 +1,80 @@
+#include "cluster/remote_mirror.h"
+
+namespace admire::cluster {
+
+RemoteMirrorHost::RemoteMirrorHost(
+    Config config, std::shared_ptr<transport::MessageLink> link)
+    : registry_(std::make_shared<echo::ChannelRegistry>()),
+      clock_(std::make_shared<SteadyClock>()) {
+  // Local stand-ins for the central site's channels, matched BY NAME over
+  // the bridge. The mirror site subscribes to them exactly as it would
+  // in-process.
+  auto data = registry_->create_auto("central.data", echo::ChannelRole::kData);
+  auto ctrl_down =
+      registry_->create_auto("ctrl.down", echo::ChannelRole::kControl);
+  auto ctrl_up = registry_->create_auto("ctrl.up", echo::ChannelRole::kControl);
+  (void)data;
+  (void)ctrl_down;
+
+  MirrorSiteConfig mc;
+  mc.site = config.site;
+  mc.burn_per_event = config.burn_per_event;
+  site_ = std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_);
+
+  bridge_ = std::make_unique<echo::RemoteChannelBridge>(
+      std::move(link), registry_, echo::BridgeRouting::kByName);
+  // Replies (and anything else submitted on ctrl.up locally) flow back to
+  // the central process.
+  bridge_->export_channel(ctrl_up);
+}
+
+RemoteMirrorHost::~RemoteMirrorHost() { stop(); }
+
+void RemoteMirrorHost::start() {
+  site_->start();
+  bridge_->start();
+}
+
+void RemoteMirrorHost::stop() {
+  bridge_->stop();
+  site_->stop();
+}
+
+void RemoteMirrorHost::drain() { site_->drain(); }
+
+RemoteMirrorAttachment::RemoteMirrorAttachment(
+    Cluster& cluster, std::shared_ptr<transport::MessageLink> link)
+    : cluster_(cluster) {
+  auto registry = cluster.registry();
+  bridge_ = std::make_unique<echo::RemoteChannelBridge>(
+      std::move(link), registry, echo::BridgeRouting::kByName);
+  bridge_->export_channel(registry->by_name("central.data"));
+  bridge_->export_channel(registry->by_name("ctrl.down"));
+  bridge_->start();
+  auto& coord = cluster.central().coordinator();
+  (void)coord.set_expected_replies(coord.expected_replies() + 1);
+  attached_ = true;
+}
+
+RemoteMirrorAttachment::~RemoteMirrorAttachment() { detach(); }
+
+void RemoteMirrorAttachment::detach() {
+  if (!attached_) return;
+  attached_ = false;
+  bridge_->stop();
+  auto& coord = cluster_.central().coordinator();
+  auto commit = coord.set_expected_replies(coord.expected_replies() - 1);
+  if (commit.has_value()) {
+    cluster_.central().core().backup().trim_committed(commit->vts);
+    cluster_.central().main_unit().on_commit(*commit);
+    auto ctrl_down = cluster_.registry()->by_name("ctrl.down");
+    if (ctrl_down) ctrl_down->submit(checkpoint::to_control_event(*commit));
+  }
+}
+
+std::unique_ptr<RemoteMirrorAttachment> attach_remote_mirror(
+    Cluster& cluster, std::shared_ptr<transport::MessageLink> link) {
+  return std::make_unique<RemoteMirrorAttachment>(cluster, std::move(link));
+}
+
+}  // namespace admire::cluster

@@ -1,0 +1,90 @@
+// Remote mirror sites: run a full mirror site in another process (or
+// machine), attached to the central site over a single MessageLink with
+// name-routed channel bridging. This packages the deployment shape of the
+// paper's cluster — one OS image per site — as a reusable API:
+//
+//   central process:  Cluster server(config);
+//                     server.start();
+//                     auto handle = attach_remote_mirror(server, link);
+//
+//   mirror process:   RemoteMirrorHost host({.site = 7}, link);
+//                     host.start();
+//                     ... host.main_unit().state() replicates live ...
+//
+// The remote site participates in checkpointing (Fig. 3) exactly like an
+// in-process mirror; the coordinator's membership is adjusted on attach.
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "echo/bridge.h"
+
+namespace admire::cluster {
+
+/// The mirror-process side: a complete mirror site whose channels are
+/// bridged over `link` to the central process.
+class RemoteMirrorHost {
+ public:
+  struct Config {
+    SiteId site = 100;
+    Nanos burn_per_event = 0;
+  };
+
+  RemoteMirrorHost(Config config,
+                   std::shared_ptr<transport::MessageLink> link);
+  ~RemoteMirrorHost();
+
+  RemoteMirrorHost(const RemoteMirrorHost&) = delete;
+  RemoteMirrorHost& operator=(const RemoteMirrorHost&) = delete;
+
+  void start();
+  void stop();
+
+  /// Wait until all mirrored events received so far are folded into state.
+  void drain();
+
+  ThreadedMirrorSite& site() { return *site_; }
+  mirror::MainUnitCore& main_unit() { return site_->main_unit(); }
+  std::shared_ptr<echo::ChannelRegistry> registry() { return registry_; }
+
+  /// Export an additional locally-created channel to the central process
+  /// (e.g. an application results channel). Call before start().
+  void export_channel(const std::shared_ptr<echo::EventChannel>& channel) {
+    bridge_->export_channel(channel);
+  }
+
+ private:
+  std::shared_ptr<echo::ChannelRegistry> registry_;
+  std::shared_ptr<Clock> clock_;
+  std::unique_ptr<ThreadedMirrorSite> site_;
+  std::unique_ptr<echo::RemoteChannelBridge> bridge_;
+};
+
+/// Central-side handle for an attached remote mirror. Destroying it (or
+/// calling detach()) tears down the bridge and shrinks checkpoint
+/// membership.
+class RemoteMirrorAttachment {
+ public:
+  RemoteMirrorAttachment(Cluster& cluster,
+                         std::shared_ptr<transport::MessageLink> link);
+  ~RemoteMirrorAttachment();
+
+  RemoteMirrorAttachment(const RemoteMirrorAttachment&) = delete;
+  RemoteMirrorAttachment& operator=(const RemoteMirrorAttachment&) = delete;
+
+  void detach();
+
+  std::uint64_t events_forwarded() const { return bridge_->forwarded(); }
+
+ private:
+  Cluster& cluster_;
+  std::unique_ptr<echo::RemoteChannelBridge> bridge_;
+  bool attached_ = false;
+};
+
+/// Convenience: attach a remote mirror over `link` to a running cluster.
+std::unique_ptr<RemoteMirrorAttachment> attach_remote_mirror(
+    Cluster& cluster, std::shared_ptr<transport::MessageLink> link);
+
+}  // namespace admire::cluster

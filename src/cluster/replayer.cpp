@@ -1,0 +1,45 @@
+#include "cluster/replayer.h"
+
+namespace admire::cluster {
+
+Status TraceReplayer::start(workload::Trace trace) {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return err(StatusCode::kInvalidArgument, "replay already in progress");
+  }
+  cancel_.store(false);
+  replayed_.store(0);
+  if (worker_.joinable()) worker_.join();
+  worker_ = std::thread([this, t = std::move(trace)]() mutable {
+    run(std::move(t));
+  });
+  return Status::ok();
+}
+
+void TraceReplayer::run(workload::Trace trace) {
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& item : trace.items) {
+    if (cancel_.load(std::memory_order_acquire)) break;
+    if (config_.speedup > 0.0) {
+      const auto due =
+          start + std::chrono::nanoseconds(static_cast<Nanos>(
+                      static_cast<double>(item.at) / config_.speedup));
+      std::this_thread::sleep_until(due);
+    }
+    if (!cluster_->ingest(std::move(item.ev)).is_ok()) break;
+    replayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void TraceReplayer::wait() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void TraceReplayer::stop() {
+  cancel_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+  running_.store(false);
+}
+
+}  // namespace admire::cluster

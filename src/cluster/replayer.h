@@ -1,0 +1,53 @@
+// TraceReplayer: replays a timed workload trace into a threaded cluster at
+// real-time pace (optionally time-scaled) — the threaded counterpart of
+// the simulator's open-loop source, used for latency-oriented demos and
+// soak tests.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "workload/trace.h"
+
+namespace admire::cluster {
+
+class TraceReplayer {
+ public:
+  struct Config {
+    /// Virtual-to-real time scale: 2.0 plays the trace twice as fast,
+    /// 0 = as fast as ingestion allows (throughput mode).
+    double speedup = 1.0;
+  };
+
+  TraceReplayer(Config config, Cluster* cluster)
+      : config_(config), cluster_(cluster) {}
+
+  ~TraceReplayer() { stop(); }
+  TraceReplayer(const TraceReplayer&) = delete;
+  TraceReplayer& operator=(const TraceReplayer&) = delete;
+
+  /// Start replaying `trace` on a background thread. One replay at a time.
+  Status start(workload::Trace trace);
+
+  /// Block until the whole trace has been ingested (not merely started).
+  void wait();
+
+  /// Abort an in-flight replay.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  std::uint64_t replayed() const { return replayed_.load(); }
+
+ private:
+  void run(workload::Trace trace);
+
+  Config config_;
+  Cluster* cluster_;  // not owned
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> replayed_{0};
+};
+
+}  // namespace admire::cluster

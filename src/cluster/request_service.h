@@ -1,0 +1,86 @@
+// RequestService: a queue + worker thread servicing client initial-state
+// requests against some site's snapshot builder. Used to give the central
+// site (the primary mirror) the same asynchronous request path mirror
+// sites have built in.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/clock.h"
+#include "event/event.h"
+#include "metrics/metrics.h"
+
+namespace admire::cluster {
+
+using SnapshotServicer =
+    std::function<std::vector<event::Event>(std::uint64_t request_id)>;
+using ServiceCallback = std::function<void(
+    std::uint64_t request_id, std::vector<event::Event> snapshot_chunks)>;
+
+class RequestService {
+ public:
+  RequestService(SnapshotServicer servicer, std::shared_ptr<Clock> clock,
+                 std::size_t capacity = 8192)
+      : servicer_(std::move(servicer)),
+        clock_(std::move(clock)),
+        queue_(capacity),
+        latency_(kSecond) {}
+
+  ~RequestService() { stop(); }
+  RequestService(const RequestService&) = delete;
+  RequestService& operator=(const RequestService&) = delete;
+
+  void start() {
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true)) return;
+    worker_ = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    if (!running_.exchange(false)) return;
+    queue_.close();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  Status submit(std::uint64_t request_id, ServiceCallback callback) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    auto status =
+        queue_.push(Item{request_id, clock_->now(), std::move(callback)});
+    if (!status.is_ok()) pending_.fetch_sub(1, std::memory_order_relaxed);
+    return status;
+  }
+
+  std::uint64_t pending() const { return pending_.load(); }
+  std::uint64_t served() const { return served_.load(); }
+  metrics::LatencyRecorder& latency() { return latency_; }
+
+ private:
+  struct Item {
+    std::uint64_t id;
+    Nanos enqueued_at;
+    ServiceCallback callback;
+  };
+
+  void loop() {
+    while (auto item = queue_.pop()) {
+      auto chunks = servicer_(item->id);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      latency_.add(item->enqueued_at, clock_->now() - item->enqueued_at);
+      if (item->callback) item->callback(item->id, std::move(chunks));
+    }
+  }
+
+  SnapshotServicer servicer_;
+  std::shared_ptr<Clock> clock_;
+  BoundedQueue<Item> queue_;
+  std::atomic<bool> running_{false};
+  std::thread worker_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> served_{0};
+  metrics::LatencyRecorder latency_;
+};
+
+}  // namespace admire::cluster

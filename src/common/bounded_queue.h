@@ -1,0 +1,120 @@
+// Blocking bounded MPMC queue used between the tasks of an auxiliary unit
+// (receiving -> sending -> control) in threaded mode.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace admire {
+
+/// Mutex+condvar bounded queue. close() wakes all waiters; pops drain
+/// remaining items after close, then report kClosed.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push; fails with kClosed after close().
+  Status push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return err(StatusCode::kClosed, "queue closed");
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::ok();
+  }
+
+  /// Non-blocking push; kWouldBlock when full.
+  Status try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return err(StatusCode::kClosed, "queue closed");
+      if (items_.size() >= capacity_) {
+        return err(StatusCode::kWouldBlock, "queue full");
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::ok();
+  }
+
+  /// Blocking pop; empty optional means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Pop with a deadline; empty optional on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Idempotent; wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace admire

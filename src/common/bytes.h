@@ -1,0 +1,37 @@
+// Byte buffer vocabulary shared by serialization and transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace admire {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+
+inline Bytes to_bytes(std::string_view s) {
+  Bytes out(s.size());
+  if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+inline std::string_view as_string_view(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// FNV-1a 64-bit hash, used as a frame checksum and for content-addressed
+/// test fixtures. Not cryptographic.
+constexpr std::uint64_t fnv1a(ByteSpan data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace admire

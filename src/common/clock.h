@@ -1,0 +1,61 @@
+// Clock abstraction: the same middleware code runs against wall time
+// (threaded mode) or virtual time (discrete-event simulation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/types.h"
+
+namespace admire {
+
+/// Source of "now". Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since this clock's epoch; monotone non-decreasing.
+  virtual Nanos now() const = 0;
+};
+
+/// Monotonic wall clock backed by std::chrono::steady_clock; epoch is the
+/// moment of construction so values are small and comparable within a run.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Nanos now() const override {
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually advanced clock for tests and the simulator. advance() and set()
+/// never move time backwards.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+
+  Nanos now() const override { return now_.load(std::memory_order_acquire); }
+
+  /// Move time forward by `delta` (must be >= 0). Returns the new time.
+  Nanos advance(Nanos delta) {
+    return now_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+
+  /// Jump to an absolute time; ignored if it would move time backwards.
+  void set_at_least(Nanos t) {
+    Nanos cur = now_.load(std::memory_order_acquire);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<Nanos> now_;
+};
+
+}  // namespace admire

@@ -1,0 +1,49 @@
+#include "common/cpu_work.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace admire {
+
+std::uint64_t burn_iterations(std::uint64_t iterations) {
+  // Simple integer hash chain; data-dependent so it cannot be vectorized
+  // away, cheap enough to calibrate precisely.
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= i;
+  }
+  return x;
+}
+
+double calibrate_iterations_per_nano() {
+  static std::once_flag once;
+  static double rate = 1.0;
+  std::call_once(once, [] {
+    using clock = std::chrono::steady_clock;
+    // Warm up, then time a fixed batch.
+    volatile std::uint64_t sink = burn_iterations(200'000);
+    (void)sink;
+    constexpr std::uint64_t kBatch = 4'000'000;
+    const auto t0 = clock::now();
+    sink = burn_iterations(kBatch);
+    const auto t1 = clock::now();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    rate = ns > 0 ? static_cast<double>(kBatch) / static_cast<double>(ns) : 1.0;
+    if (rate <= 0.0) rate = 1.0;
+  });
+  return rate;
+}
+
+std::uint64_t burn_for(Nanos duration) {
+  if (duration <= 0) return 0;
+  const double rate = calibrate_iterations_per_nano();
+  const auto iters =
+      static_cast<std::uint64_t>(rate * static_cast<double>(duration));
+  return burn_iterations(iters);
+}
+
+}  // namespace admire

@@ -1,0 +1,24 @@
+// Calibrated CPU burner: lets threaded-mode sites consume a requested
+// amount of compute, emulating the paper's business-logic and request-
+// servicing costs without sleeping (sleep would free the core and hide
+// contention effects the experiments are about).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace admire {
+
+/// One unit of opaque integer work; returns a value the caller should fold
+/// into a sink so the optimizer cannot remove the loop.
+std::uint64_t burn_iterations(std::uint64_t iterations);
+
+/// Measures this host's iterations-per-nanosecond once (thread-safe,
+/// memoized) and returns it.
+double calibrate_iterations_per_nano();
+
+/// Burn approximately `duration` of CPU. Returns the opaque sink value.
+std::uint64_t burn_for(Nanos duration);
+
+}  // namespace admire

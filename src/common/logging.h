@@ -1,0 +1,40 @@
+// Minimal leveled logger. Off-by-default below kWarn so benches stay quiet;
+// examples turn on kInfo to narrate what the cluster is doing.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace admire {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Sink a fully formatted line (thread-safe; appends level tag + newline).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: LOG(kInfo, "site ", id, " committed ", ts).
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+#define ADMIRE_LOG(level, ...) ::admire::log(::admire::LogLevel::level, __VA_ARGS__)
+
+}  // namespace admire

@@ -1,0 +1,132 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace admire {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleStats::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[idx];
+}
+
+void LogHistogram::add(Nanos v) {
+  const auto uv = static_cast<std::uint64_t>(v < 0 ? 0 : v);
+  const std::size_t bucket =
+      uv < 2 ? 0 : static_cast<std::size_t>(63 - std::countl_zero(uv));
+  counts_[std::min(bucket, kBuckets - 1)]++;
+  total_++;
+}
+
+Nanos LogHistogram::quantile_upper_bound(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      return static_cast<Nanos>(i >= 63 ? INT64_MAX : (1ULL << (i + 1)));
+    }
+  }
+  return INT64_MAX;
+}
+
+void LogHistogram::reset() {
+  counts_.fill(0);
+  total_ = 0;
+}
+
+void TimeSeries::add(Nanos t, double value) {
+  if (t < 0) t = 0;
+  const auto bin = static_cast<std::size_t>(t / bin_width_);
+  if (bin >= accs_.size()) accs_.resize(bin + 1);
+  Acc& a = accs_[bin];
+  a.max = a.n == 0 ? value : std::max(a.max, value);
+  a.sum += value;
+  a.n++;
+}
+
+std::vector<TimeSeries::Bin> TimeSeries::bins() const {
+  std::vector<Bin> out;
+  out.reserve(accs_.size());
+  for (std::size_t i = 0; i < accs_.size(); ++i) {
+    const Acc& a = accs_[i];
+    out.push_back(Bin{static_cast<Nanos>(i) * bin_width_, a.n,
+                      a.n ? a.sum / static_cast<double>(a.n) : 0.0, a.max});
+  }
+  return out;
+}
+
+std::string format_series(const std::string& name,
+                          const std::vector<std::pair<double, double>>& xy,
+                          const std::string& x_label,
+                          const std::string& y_label) {
+  std::string out;
+  out += "# series: " + name + "\n";
+  char line[128];
+  std::snprintf(line, sizeof line, "# %16s %16s\n", x_label.c_str(),
+                y_label.c_str());
+  out += line;
+  for (const auto& [x, y] : xy) {
+    std::snprintf(line, sizeof line, "  %16.3f %16.3f\n", x, y);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace admire

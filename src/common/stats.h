@@ -1,0 +1,116 @@
+// Statistics primitives for latency and throughput measurement:
+// streaming moments, reservoir-free percentile samples, log-scaled
+// histograms and time-binned series.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace admire {
+
+/// Welford streaming mean/variance with min/max. O(1) per sample.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact-percentile recorder: stores every sample. Intended for bounded
+/// experiment sizes (figure benches record 1e3..1e6 samples).
+class SampleStats {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void reset() { samples_.clear(); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// q in [0,1]; nearest-rank percentile. Returns 0 when empty.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Power-of-two bucketed histogram over non-negative nanosecond values.
+/// Bucket i covers [2^i, 2^(i+1)); bucket 0 covers [0, 2).
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(Nanos v);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  /// Upper-bound estimate of the q-quantile (q in [0,1]).
+  Nanos quantile_upper_bound(double q) const;
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// A (time, value) series binned into fixed-width windows, used for
+/// "update delay over time" plots (paper Fig. 9).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Nanos bin_width) : bin_width_(bin_width) {}
+
+  void add(Nanos t, double value);
+
+  struct Bin {
+    Nanos start;     ///< inclusive start of the bin window
+    std::size_t n;   ///< samples in the bin
+    double mean;
+    double max;
+  };
+  /// Bins in time order; empty bins between populated ones are included
+  /// with n == 0 so plots show gaps honestly.
+  std::vector<Bin> bins() const;
+
+  Nanos bin_width() const { return bin_width_; }
+
+ private:
+  struct Acc {
+    std::size_t n = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  Nanos bin_width_;
+  std::vector<Acc> accs_;  // index = bin number from t=0
+};
+
+/// Render a series of (x, y) points as an aligned two-column table,
+/// used by the figure benches for their printed output.
+std::string format_series(const std::string& name,
+                          const std::vector<std::pair<double, double>>& xy,
+                          const std::string& x_label,
+                          const std::string& y_label);
+
+}  // namespace admire

@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace admire {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kClosed: return "CLOSED";
+    case StatusCode::kWouldBlock: return "WOULD_BLOCK";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kCorrupt: return "CORRUPT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kExhausted: return "EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace admire

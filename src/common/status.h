@@ -1,0 +1,102 @@
+// Lightweight Status / Result error-handling vocabulary.
+//
+// ADMIRE uses return values rather than exceptions on hot paths (queue ops,
+// codec, transport), per the project's performance posture; exceptions are
+// reserved for construction-time configuration errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace admire {
+
+enum class StatusCode {
+  kOk = 0,
+  kClosed,            // queue/channel/transport has been shut down
+  kWouldBlock,        // non-blocking op could not proceed
+  kTimeout,           // blocking op timed out
+  kInvalidArgument,   // caller error
+  kCorrupt,           // framing/checksum/decode failure
+  kNotFound,          // missing channel, flight, subscriber, ...
+  kExhausted,         // capacity / resource limit reached
+  kInternal,          // bug or unexpected system error
+  kUnavailable,       // peer unreachable / connection refused
+};
+
+/// Human-readable name for a status code (stable, for logs and tests).
+const char* status_code_name(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats "CODE: message" for logs.
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status err(StatusCode code, std::string message = {}) {
+  return Status(code, std::move(message));
+}
+
+/// Minimal expected<T, Status>: holds either a value or an error status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}              // NOLINT implicit
+  Result(Status status) : data_(std::move(status)) {        // NOLINT implicit
+    assert(!std::get<Status>(data_).is_ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const Status& status() const {
+    static const Status ok_status{};
+    if (is_ok()) return ok_status;
+    return std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace admire

@@ -1,0 +1,41 @@
+// Core scalar types shared across ADMIRE modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace admire {
+
+/// Virtual or wall time expressed in nanoseconds since an epoch chosen by
+/// the owning clock. All latency math in ADMIRE is done on this type so the
+/// same code runs under the discrete-event simulator and under real clocks.
+using Nanos = std::int64_t;
+
+/// One million nanoseconds, for readability at call sites.
+inline constexpr Nanos kMicro = 1'000;
+inline constexpr Nanos kMilli = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+/// Identifies one logical site (cluster node) in the mirrored server.
+/// Site 0 is by convention the central (primary) site.
+using SiteId = std::uint32_t;
+inline constexpr SiteId kCentralSite = 0;
+
+/// Identifies one incoming event stream (e.g. FAA positions, Delta status).
+using StreamId = std::uint16_t;
+
+/// Per-stream monotonically increasing sequence number; the paper assumes
+/// "the event order within a stream is captured through event identifiers
+/// unique to each stream" (§3.3).
+using SeqNo = std::uint64_t;
+
+/// Application-level key for an event: in the OIS workload this is the
+/// flight identifier the event pertains to.
+using FlightKey = std::uint32_t;
+
+/// Convert nanoseconds to floating seconds/milliseconds for reporting.
+constexpr double to_seconds(Nanos ns) { return static_cast<double>(ns) / 1e9; }
+constexpr double to_millis(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double to_micros(Nanos ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace admire

@@ -1,0 +1,88 @@
+#include "echo/bridge.h"
+
+#include "common/logging.h"
+#include "serialize/event_codec.h"
+#include "serialize/wire.h"
+
+namespace admire::echo {
+
+thread_local const EventChannel* RemoteChannelBridge::delivering_channel_ =
+    nullptr;
+
+RemoteChannelBridge::RemoteChannelBridge(
+    std::shared_ptr<transport::MessageLink> link,
+    std::shared_ptr<ChannelRegistry> registry, BridgeRouting routing)
+    : link_(std::move(link)),
+      registry_(std::move(registry)),
+      routing_(routing) {}
+
+RemoteChannelBridge::~RemoteChannelBridge() { stop(); }
+
+void RemoteChannelBridge::export_channel(
+    const std::shared_ptr<EventChannel>& channel) {
+  const ChannelId id = channel->id();
+  const std::string name = channel->name();
+  auto* raw_channel = channel.get();
+  exports_.push_back(
+      channel->subscribe([this, id, name, raw_channel](const event::Event& ev) {
+        if (delivering_channel_ == raw_channel) return;  // no echo loop
+        serialize::Writer w(ev.wire_size() + 16 + name.size());
+        w.u8(static_cast<std::uint8_t>(routing_));
+        if (routing_ == BridgeRouting::kById) {
+          w.u32(id);
+        } else {
+          w.bytes(to_bytes(name));
+        }
+        serialize::encode_event(ev, w);
+        if (link_->send(w.take()).is_ok()) {
+          forwarded_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }));
+}
+
+void RemoteChannelBridge::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  pump_thread_ = std::thread([this] { pump(); });
+}
+
+void RemoteChannelBridge::stop() {
+  running_.store(false);
+  link_->close();
+  if (pump_thread_.joinable()) pump_thread_.join();
+  exports_.clear();
+}
+
+void RemoteChannelBridge::pump() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto msg = link_->receive();
+    if (!msg) break;  // link closed
+    serialize::Reader r(ByteSpan(msg->data(), msg->size()));
+    const auto routing = static_cast<BridgeRouting>(r.u8());
+    std::shared_ptr<EventChannel> channel;
+    if (routing == BridgeRouting::kById) {
+      channel = registry_->by_id(r.u32());
+    } else {
+      const Bytes name = r.bytes();
+      channel = registry_->by_name(
+          std::string(as_string_view(ByteSpan(name.data(), name.size()))));
+    }
+    if (!r.ok()) continue;
+    auto decoded = serialize::decode_event(
+        ByteSpan(msg->data() + r.position(), msg->size() - r.position()));
+    if (!decoded.is_ok()) {
+      ADMIRE_LOG(kWarn, "bridge: dropping corrupt bridged event");
+      continue;
+    }
+    if (!channel) {
+      dropped_unknown_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    delivering_channel_ = channel.get();
+    channel->submit(decoded.value());
+    delivering_channel_ = nullptr;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace admire::echo

@@ -1,0 +1,68 @@
+// RemoteChannelBridge: extends event channels across a MessageLink so a
+// subscriber on another site (process or thread domain) receives submitted
+// events. Symmetric: each side exports the channels whose local submissions
+// should cross the link, and imports (delivers into) channels by id.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "echo/channel.h"
+#include "transport/link.h"
+
+namespace admire::echo {
+
+/// How bridged events address the peer's channel. kById is compact but
+/// requires both processes to agree on numeric ids; kByName routes on the
+/// channel name, which is what independently-started processes (remote
+/// mirrors) should use.
+enum class BridgeRouting : std::uint8_t { kById = 0, kByName = 1 };
+
+class RemoteChannelBridge {
+ public:
+  /// The bridge delivers incoming remote events into channels found in
+  /// `registry` (by id or name, per the sender's routing tag); unknown
+  /// destinations are counted and dropped.
+  RemoteChannelBridge(std::shared_ptr<transport::MessageLink> link,
+                      std::shared_ptr<ChannelRegistry> registry,
+                      BridgeRouting routing = BridgeRouting::kById);
+  ~RemoteChannelBridge();
+
+  RemoteChannelBridge(const RemoteChannelBridge&) = delete;
+  RemoteChannelBridge& operator=(const RemoteChannelBridge&) = delete;
+
+  /// Forward local submissions on `channel` to the peer. Events that
+  /// arrived *from* the peer are not re-exported (no reflection loops).
+  void export_channel(const std::shared_ptr<EventChannel>& channel);
+
+  /// Start the receive pump (call after exports are configured).
+  void start();
+
+  /// Stop the pump and close the link. Idempotent; also runs on destruction.
+  void stop();
+
+  std::uint64_t forwarded() const { return forwarded_.load(std::memory_order_relaxed); }
+  std::uint64_t delivered() const { return delivered_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped_unknown() const { return dropped_unknown_.load(std::memory_order_relaxed); }
+
+ private:
+  void pump();
+
+  std::shared_ptr<transport::MessageLink> link_;
+  std::shared_ptr<ChannelRegistry> registry_;
+  const BridgeRouting routing_;
+  std::vector<Subscription> exports_;
+  std::thread pump_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_unknown_{0};
+  // Channel currently being delivered to by the pump on this thread, so an
+  // exported-channel handler skips re-forwarding only for THAT channel —
+  // cascaded submissions on other channels (e.g. a checkpoint reply issued
+  // while handling a CHKPT) must still cross the link.
+  static thread_local const EventChannel* delivering_channel_;
+};
+
+}  // namespace admire::echo

@@ -1,0 +1,99 @@
+#include "echo/channel.h"
+
+namespace admire::echo {
+
+Subscription& Subscription::operator=(Subscription&& other) noexcept {
+  if (this != &other) {
+    reset();
+    channel_ = std::move(other.channel_);
+    token_ = other.token_;
+    other.token_ = 0;
+    other.channel_.reset();
+  }
+  return *this;
+}
+
+void Subscription::reset() {
+  if (token_ == 0) return;
+  if (auto ch = channel_.lock()) ch->unsubscribe(token_);
+  token_ = 0;
+  channel_.reset();
+}
+
+Subscription EventChannel::subscribe(EventHandler handler) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t token = next_token_++;
+  handlers_.emplace_back(token, std::move(handler));
+  return Subscription(weak_from_this(), token);
+}
+
+std::size_t EventChannel::submit(const event::Event& ev) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Copy handlers out so a handler may (un)subscribe without deadlock and
+  // slow handlers do not serialize unrelated subscribe calls.
+  std::vector<EventHandler> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot.reserve(handlers_.size());
+    for (const auto& [token, handler] : handlers_) snapshot.push_back(handler);
+  }
+  for (const auto& handler : snapshot) handler(ev);
+  return snapshot.size();
+}
+
+std::size_t EventChannel::subscriber_count() const {
+  std::lock_guard lock(mu_);
+  return handlers_.size();
+}
+
+void EventChannel::unsubscribe(std::uint64_t token) {
+  std::lock_guard lock(mu_);
+  std::erase_if(handlers_, [&](const auto& p) { return p.first == token; });
+}
+
+Result<std::shared_ptr<EventChannel>> ChannelRegistry::create(
+    ChannelId id, std::string name, ChannelRole role) {
+  std::lock_guard lock(mu_);
+  if (by_id_.contains(id)) {
+    return err(StatusCode::kInvalidArgument, "duplicate channel id");
+  }
+  if (by_name_.contains(name)) {
+    return err(StatusCode::kInvalidArgument, "duplicate channel name: " + name);
+  }
+  auto ch = EventChannel::create(id, name, role);
+  by_id_[id] = ch;
+  by_name_[std::move(name)] = ch;
+  next_id_ = std::max(next_id_, id + 1);
+  return ch;
+}
+
+std::shared_ptr<EventChannel> ChannelRegistry::create_auto(std::string name,
+                                                           ChannelRole role) {
+  std::unique_lock lock(mu_);
+  const ChannelId id = next_id_++;
+  lock.unlock();
+  auto res = create(id, std::move(name), role);
+  // Auto ids are process-unique by construction, so this cannot fail on id;
+  // a duplicate name is a programming error surfaced in debug builds.
+  return res.is_ok() ? std::move(res).value() : nullptr;
+}
+
+std::shared_ptr<EventChannel> ChannelRegistry::by_id(ChannelId id) const {
+  std::lock_guard lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<EventChannel> ChannelRegistry::by_name(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::size_t ChannelRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return by_id_.size();
+}
+
+}  // namespace admire::echo

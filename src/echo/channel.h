@@ -1,0 +1,129 @@
+// ECho-analogue event channels (paper §3.3): logical pub/sub channels used
+// for all communication — 'data' channels carry application events, and
+// bi-directional 'control' channels carry checkpoint/adaptation events.
+//
+// A channel dispatches submitted events synchronously to local subscribers
+// and asynchronously to remote subscribers attached through a
+// RemoteChannelBridge (see bridge.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+
+namespace admire::echo {
+
+using ChannelId = std::uint32_t;
+
+/// What a channel is for; informational, but asserted by the mirroring
+/// units so data and control planes cannot be cross-wired by mistake.
+enum class ChannelRole : std::uint8_t { kData = 0, kControl = 1 };
+
+using EventHandler = std::function<void(const event::Event&)>;
+
+class EventChannel;
+
+/// RAII subscription: unsubscribes on destruction. Movable, not copyable.
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(std::weak_ptr<EventChannel> channel, std::uint64_t token)
+      : channel_(std::move(channel)), token_(token) {}
+  Subscription(Subscription&& other) noexcept { *this = std::move(other); }
+  Subscription& operator=(Subscription&& other) noexcept;
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  ~Subscription() { reset(); }
+
+  /// Detach early (idempotent).
+  void reset();
+
+  bool active() const { return token_ != 0; }
+
+ private:
+  std::weak_ptr<EventChannel> channel_;
+  std::uint64_t token_ = 0;
+};
+
+/// One logical event channel. Thread-safe. Create via ChannelRegistry or
+/// EventChannel::create (channels must be owned by shared_ptr so
+/// subscriptions can outlive lexical scopes safely).
+class EventChannel : public std::enable_shared_from_this<EventChannel> {
+ public:
+  static std::shared_ptr<EventChannel> create(ChannelId id, std::string name,
+                                              ChannelRole role) {
+    return std::shared_ptr<EventChannel>(
+        new EventChannel(id, std::move(name), role));
+  }
+
+  ChannelId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ChannelRole role() const { return role_; }
+
+  /// Register a local handler; events submitted after this call are
+  /// delivered synchronously on the submitter's thread.
+  [[nodiscard]] Subscription subscribe(EventHandler handler);
+
+  /// Deliver to all current subscribers. Returns the number of local
+  /// handlers invoked.
+  std::size_t submit(const event::Event& ev);
+
+  /// Number of submit() calls so far (monitoring/tests).
+  std::uint64_t submitted_count() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t subscriber_count() const;
+
+ private:
+  friend class Subscription;
+
+  EventChannel(ChannelId id, std::string name, ChannelRole role)
+      : id_(id), name_(std::move(name)), role_(role) {}
+
+  void unsubscribe(std::uint64_t token);
+
+  const ChannelId id_;
+  const std::string name_;
+  const ChannelRole role_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_token_ = 1;
+  std::vector<std::pair<std::uint64_t, EventHandler>> handlers_;
+  std::atomic<std::uint64_t> submitted_{0};
+};
+
+/// Per-process directory of channels, keyed by name and id. Channel ids are
+/// agreed by construction order in tests/examples or set explicitly for
+/// cross-process wiring.
+class ChannelRegistry {
+ public:
+  /// Create a channel with an explicit id. kInvalidArgument if the id or
+  /// name already exists.
+  Result<std::shared_ptr<EventChannel>> create(ChannelId id, std::string name,
+                                               ChannelRole role);
+
+  /// Create with the next free id.
+  std::shared_ptr<EventChannel> create_auto(std::string name, ChannelRole role);
+
+  std::shared_ptr<EventChannel> by_id(ChannelId id) const;
+  std::shared_ptr<EventChannel> by_name(const std::string& name) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  ChannelId next_id_ = 1;
+  std::unordered_map<ChannelId, std::shared_ptr<EventChannel>> by_id_;
+  std::unordered_map<std::string, std::shared_ptr<EventChannel>> by_name_;
+};
+
+}  // namespace admire::echo

@@ -1,0 +1,157 @@
+#include "ede/engine.h"
+
+namespace admire::ede {
+
+namespace {
+
+event::Event status_broadcast(const event::Event& src,
+                              event::FlightStatus status) {
+  event::Derived d;
+  d.flight = src.key();
+  d.kind = event::Derived::Kind::kStatusBroadcast;
+  d.status = status;
+  event::Event out = event::make_derived(d);
+  out.header().ingress_time = src.header().ingress_time;
+  out.header().vts = src.header().vts;
+  out.header().coalesced = src.header().coalesced;
+  return out;
+}
+
+}  // namespace
+
+std::vector<event::Event> Ede::process(const event::Event& ev) {
+  std::vector<event::Event> outputs;
+  ++counters_.events_processed;
+  progress_.merge(ev.header().vts);
+
+  switch (ev.type()) {
+    case event::EventType::kFaaPosition: {
+      const auto* pos = ev.as<event::FaaPosition>();
+      if (pos == nullptr) break;
+      event::FlightStatus status{};
+      state_->update(pos->flight, [&](FlightRecord& rec) {
+        rec.position = *pos;
+        rec.has_position = true;
+        rec.app_body = ev.padding();
+        if (rec.status == event::FlightStatus::kScheduled ||
+            rec.status == event::FlightStatus::kDeparted) {
+          rec.status = event::FlightStatus::kEnRoute;
+        }
+        rec.updates_applied += ev.header().coalesced;
+        status = rec.status;
+      });
+      outputs.push_back(status_broadcast(ev, status));
+      break;
+    }
+    case event::EventType::kDeltaStatus: {
+      const auto* st = ev.as<event::DeltaStatus>();
+      if (st == nullptr) break;
+      bool gate_changed = false;
+      bool departure_incomplete = false;
+      state_->update(st->flight, [&](FlightRecord& rec) {
+        rec.status = st->status;
+        if (!ev.padding().empty()) rec.app_body = ev.padding();
+        if (st->gate != 0) {
+          gate_changed = rec.gate != 0 && rec.gate != st->gate;
+          rec.gate = st->gate;
+        }
+        if (st->passengers_ticketed != 0) {
+          rec.passengers_ticketed = st->passengers_ticketed;
+        }
+        // Analytical rule: a departure with ticketed passengers still
+        // unboarded needs operational attention.
+        departure_incomplete = st->status == event::FlightStatus::kDeparted &&
+                               rec.passengers_ticketed > 0 &&
+                               rec.passengers_boarded <
+                                   rec.passengers_ticketed;
+        rec.updates_applied += ev.header().coalesced;
+      });
+      if (event::is_on_ground_final(st->status)) {
+        ++counters_.arrivals_recorded;
+      }
+      outputs.push_back(status_broadcast(ev, st->status));
+      auto alert = [&](event::Derived::Kind kind) {
+        event::Derived d;
+        d.flight = st->flight;
+        d.kind = kind;
+        d.status = st->status;
+        event::Event out = event::make_derived(d);
+        out.header().ingress_time = ev.header().ingress_time;
+        out.header().vts = ev.header().vts;
+        outputs.push_back(std::move(out));
+      };
+      if (gate_changed) {
+        alert(event::Derived::Kind::kGateChanged);
+        ++counters_.gate_changes;
+      }
+      if (departure_incomplete) {
+        alert(event::Derived::Kind::kDepartureIncomplete);
+        ++counters_.incomplete_departures;
+      }
+      break;
+    }
+    case event::EventType::kPassengerBoarded: {
+      const auto* pb = ev.as<event::PassengerBoarded>();
+      if (pb == nullptr) break;
+      bool all_boarded = false;
+      state_->update(pb->flight, [&](FlightRecord& rec) {
+        ++rec.passengers_boarded;
+        rec.updates_applied += ev.header().coalesced;
+        all_boarded = rec.passengers_ticketed > 0 &&
+                      rec.passengers_boarded >= rec.passengers_ticketed;
+      });
+      if (all_boarded) {
+        // Business rule from §2: "determines from multiple events received
+        // from gate readers that all passengers of a flight have boarded".
+        event::Derived d;
+        d.flight = pb->flight;
+        d.kind = event::Derived::Kind::kAllBoarded;
+        d.status = event::FlightStatus::kAllBoarded;
+        event::Event derived = event::make_derived(d);
+        derived.header().ingress_time = ev.header().ingress_time;
+        derived.header().vts = ev.header().vts;
+        state_->update(pb->flight, [&](FlightRecord& rec) {
+          rec.status = event::FlightStatus::kAllBoarded;
+        });
+        outputs.push_back(std::move(derived));
+        ++counters_.all_boarded_derived;
+      }
+      break;
+    }
+    case event::EventType::kBaggageLoaded: {
+      const auto* bl = ev.as<event::BaggageLoaded>();
+      if (bl == nullptr) break;
+      state_->update(bl->flight, [&](FlightRecord& rec) {
+        ++rec.bags_loaded;
+        rec.updates_applied += ev.header().coalesced;
+      });
+      break;
+    }
+    case event::EventType::kDerived: {
+      const auto* d = ev.as<event::Derived>();
+      if (d == nullptr) break;
+      // Combined events produced by the rule engine (e.g. FLIGHT_ARRIVED)
+      // fold into state like the statuses they collapse.
+      state_->update(d->flight, [&](FlightRecord& rec) {
+        rec.status = d->status;
+        rec.updates_applied += ev.header().coalesced;
+      });
+      if (d->kind == event::Derived::Kind::kFlightArrived) {
+        ++counters_.arrivals_recorded;
+      }
+      outputs.push_back(status_broadcast(ev, d->status));
+      break;
+    }
+    case event::EventType::kSnapshot:
+    case event::EventType::kControl:
+      // Not business events; nothing to derive.
+      break;
+  }
+
+  counters_.updates_emitted += outputs.size();
+  return outputs;
+}
+
+event::VectorTimestamp Ede::progress() const { return progress_; }
+
+}  // namespace admire::ede

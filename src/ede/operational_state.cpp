@@ -1,0 +1,134 @@
+#include "ede/operational_state.h"
+
+#include "serialize/wire.h"
+
+namespace admire::ede {
+
+std::optional<FlightRecord> OperationalState::get(FlightKey flight) const {
+  std::lock_guard lock(mu_);
+  auto it = flights_.find(flight);
+  if (it == flights_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t OperationalState::flight_count() const {
+  std::lock_guard lock(mu_);
+  return flights_.size();
+}
+
+std::uint64_t OperationalState::version() const {
+  std::lock_guard lock(mu_);
+  return version_;
+}
+
+namespace {
+void encode_record(const FlightRecord& r, serialize::Writer& w) {
+  w.u32(r.flight);
+  w.u8(r.has_position ? 1 : 0);
+  if (r.has_position) {
+    w.f64(r.position.lat_deg);
+    w.f64(r.position.lon_deg);
+    w.f64(r.position.altitude_ft);
+    w.f64(r.position.ground_speed_kts);
+    w.f64(r.position.heading_deg);
+  }
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.u16(r.gate);
+  w.u32(r.passengers_boarded);
+  w.u32(r.passengers_ticketed);
+  w.u32(r.bags_loaded);
+  w.u64(r.updates_applied);
+  w.bytes(r.app_body);
+}
+
+bool decode_record(serialize::Reader& r, FlightRecord& rec) {
+  rec.flight = r.u32();
+  rec.position.flight = rec.flight;
+  rec.has_position = r.u8() != 0;
+  if (rec.has_position) {
+    rec.position.lat_deg = r.f64();
+    rec.position.lon_deg = r.f64();
+    rec.position.altitude_ft = r.f64();
+    rec.position.ground_speed_kts = r.f64();
+    rec.position.heading_deg = r.f64();
+  }
+  rec.status = static_cast<event::FlightStatus>(r.u8());
+  rec.gate = r.u16();
+  rec.passengers_boarded = r.u32();
+  rec.passengers_ticketed = r.u32();
+  rec.bags_loaded = r.u32();
+  rec.updates_applied = r.u64();
+  rec.app_body = r.bytes();
+  return r.ok();
+}
+}  // namespace
+
+std::uint64_t OperationalState::fingerprint() const {
+  std::lock_guard lock(mu_);
+  serialize::Writer w(flights_.size() * 64);
+  for (const auto& [key, rec] : flights_) {
+    // updates_applied is excluded: coalescing legitimately folds several
+    // raw events into one applied update at mirrors; semantic state fields
+    // must still converge.
+    w.u32(rec.flight);
+    w.u8(rec.has_position ? 1 : 0);
+    w.f64(rec.has_position ? rec.position.lat_deg : 0.0);
+    w.f64(rec.has_position ? rec.position.lon_deg : 0.0);
+    w.f64(rec.has_position ? rec.position.altitude_ft : 0.0);
+    w.u8(static_cast<std::uint8_t>(rec.status));
+    w.u16(rec.gate);
+    w.u32(rec.passengers_boarded);
+    w.u32(rec.passengers_ticketed);
+    w.u32(rec.bags_loaded);
+    w.u64(fnv1a(ByteSpan(rec.app_body.data(), rec.app_body.size())));
+  }
+  const Bytes& buf = w.buffer();
+  return fnv1a(ByteSpan(buf.data(), buf.size()));
+}
+
+Bytes OperationalState::serialize() const {
+  std::lock_guard lock(mu_);
+  serialize::Writer w(flights_.size() * 80 + 16);
+  w.varint(flights_.size());
+  for (const auto& [key, rec] : flights_) encode_record(rec, w);
+  return w.take();
+}
+
+Status OperationalState::deserialize(ByteSpan data) {
+  serialize::Reader r(data);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > 10'000'000) {
+    return err(StatusCode::kCorrupt, "bad state header");
+  }
+  std::map<FlightKey, FlightRecord> rebuilt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FlightRecord rec;
+    if (!decode_record(r, rec)) {
+      return err(StatusCode::kCorrupt, "bad flight record");
+    }
+    rebuilt[rec.flight] = rec;
+  }
+  if (r.remaining() != 0) {
+    return err(StatusCode::kCorrupt, "trailing bytes after state");
+  }
+  std::lock_guard lock(mu_);
+  flights_ = std::move(rebuilt);
+  ++version_;
+  return Status::ok();
+}
+
+std::vector<FlightRecord> OperationalState::all_flights() const {
+  std::lock_guard lock(mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(flights_.size());
+  for (const auto& [key, rec] : flights_) out.push_back(rec);
+  return out;
+}
+
+void OperationalState::clear() {
+  std::lock_guard lock(mu_);
+  flights_.clear();
+  ++version_;
+}
+
+}  // namespace admire::ede

@@ -1,0 +1,79 @@
+// OperationalState: the OIS's replicated application state — one record
+// per flight, updated by business logic from incoming events. "All mirrors
+// produce the same output events, and produce identical modifications to
+// their locally maintained application states" (§3.1); tests assert exactly
+// that via fingerprint().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "event/event.h"
+
+namespace admire::ede {
+
+struct FlightRecord {
+  FlightKey flight = 0;
+  event::FaaPosition position;       ///< last known position
+  bool has_position = false;
+  event::FlightStatus status = event::FlightStatus::kScheduled;
+  std::uint16_t gate = 0;
+  std::uint32_t passengers_boarded = 0;
+  std::uint32_t passengers_ticketed = 0;
+  std::uint32_t bags_loaded = 0;
+  std::uint64_t updates_applied = 0;  ///< events folded into this record
+  /// Opaque application body of the most recent update for this flight.
+  /// Part of the initial view a recovering thin client needs to interpret
+  /// future events, so snapshot size — and request-servicing cost — scales
+  /// with the event size the experiments sweep.
+  Bytes app_body;
+
+  bool operator==(const FlightRecord&) const = default;
+};
+
+class OperationalState {
+ public:
+  /// Fetch-or-create the record for `flight` and apply `fn` to it under
+  /// the state lock.
+  template <typename Fn>
+  void update(FlightKey flight, Fn&& fn) {
+    std::lock_guard lock(mu_);
+    auto& rec = flights_[flight];
+    rec.flight = flight;
+    fn(rec);
+    ++version_;
+  }
+
+  std::optional<FlightRecord> get(FlightKey flight) const;
+
+  std::size_t flight_count() const;
+  std::uint64_t version() const;
+
+  /// Deterministic content hash over all records (order-independent by
+  /// construction: map iteration is key-ordered). Equal states <=> equal
+  /// fingerprints for the record fields.
+  std::uint64_t fingerprint() const;
+
+  /// Serialize the full state (the payload a recovering client needs to
+  /// "understand future data events being streamed"). Deterministic.
+  Bytes serialize() const;
+
+  /// Rebuild from serialize() output; kCorrupt on malformed input.
+  Status deserialize(ByteSpan data);
+
+  std::vector<FlightRecord> all_flights() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<FlightKey, FlightRecord> flights_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace admire::ede

@@ -1,0 +1,73 @@
+#include "ede/snapshot.h"
+
+#include <algorithm>
+
+namespace admire::ede {
+
+std::vector<event::Event> SnapshotService::build(
+    std::uint64_t request_id) const {
+  const Bytes full = state_->serialize();
+  last_bytes_.store(full.size(), std::memory_order_relaxed);
+  built_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t chunk_count =
+      std::max<std::size_t>(1, (full.size() + max_chunk_bytes_ - 1) /
+                                   std::max<std::size_t>(1, max_chunk_bytes_));
+  std::vector<event::Event> out;
+  out.reserve(chunk_count);
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    const std::size_t begin = i * max_chunk_bytes_;
+    const std::size_t end = std::min(full.size(), begin + max_chunk_bytes_);
+    event::Snapshot chunk;
+    chunk.request_id = request_id;
+    chunk.chunk_index = static_cast<std::uint32_t>(i);
+    chunk.chunk_count = static_cast<std::uint32_t>(chunk_count);
+    if (begin < end) {
+      chunk.state.assign(full.begin() + static_cast<std::ptrdiff_t>(begin),
+                         full.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    out.push_back(event::make_snapshot(chunk));
+  }
+  return out;
+}
+
+Status SnapshotService::restore(const std::vector<event::Event>& chunks,
+                                OperationalState& out) {
+  if (chunks.empty()) {
+    return err(StatusCode::kInvalidArgument, "no snapshot chunks");
+  }
+  std::vector<const event::Snapshot*> parts;
+  parts.reserve(chunks.size());
+  std::uint64_t request_id = 0;
+  std::uint32_t expected = 0;
+  for (const auto& ev : chunks) {
+    const auto* snap = ev.as<event::Snapshot>();
+    if (snap == nullptr) {
+      return err(StatusCode::kInvalidArgument, "non-snapshot event");
+    }
+    if (parts.empty()) {
+      request_id = snap->request_id;
+      expected = snap->chunk_count;
+    } else if (snap->request_id != request_id) {
+      return err(StatusCode::kInvalidArgument, "mixed snapshot requests");
+    }
+    parts.push_back(snap);
+  }
+  if (parts.size() != expected) {
+    return err(StatusCode::kCorrupt, "incomplete snapshot");
+  }
+  std::sort(parts.begin(), parts.end(),
+            [](const auto* a, const auto* b) {
+              return a->chunk_index < b->chunk_index;
+            });
+  Bytes full;
+  for (std::uint32_t i = 0; i < parts.size(); ++i) {
+    if (parts[i]->chunk_index != i) {
+      return err(StatusCode::kCorrupt, "duplicate or missing chunk");
+    }
+    full.insert(full.end(), parts[i]->state.begin(), parts[i]->state.end());
+  }
+  return out.deserialize(ByteSpan(full.data(), full.size()));
+}
+
+}  // namespace admire::ede

@@ -1,0 +1,48 @@
+// SnapshotService: builds initial-state views for recovering thin clients
+// (paper §1/§2: "preparation of suitable initialization state for thin
+// clients, so that such clients can understand future data events").
+// Serving these requests is the mirror sites' primary task.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ede/operational_state.h"
+#include "event/event.h"
+
+namespace admire::ede {
+
+class SnapshotService {
+ public:
+  explicit SnapshotService(const OperationalState* state,
+                           std::size_t max_chunk_bytes = 16 * 1024)
+      : state_(state), max_chunk_bytes_(max_chunk_bytes) {}
+
+  /// Serialize current state into kSnapshot events (>= 1 chunk even for
+  /// empty state, so the client always gets a definite answer).
+  std::vector<event::Event> build(std::uint64_t request_id) const;
+
+  /// Reassemble chunks back into an OperationalState (client-side /
+  /// recovery path). Chunks may arrive in any order but must be complete
+  /// and belong to one request.
+  static Status restore(const std::vector<event::Event>& chunks,
+                        OperationalState& out);
+
+  std::uint64_t snapshots_built() const {
+    return built_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of the most recent full-state serialization (cost reporting).
+  std::size_t last_state_bytes() const {
+    return last_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const OperationalState* state_;  // not owned
+  const std::size_t max_chunk_bytes_;
+  mutable std::atomic<std::uint64_t> built_{0};
+  mutable std::atomic<std::size_t> last_bytes_{0};
+};
+
+}  // namespace admire::ede

@@ -1,0 +1,90 @@
+#include "event/event.h"
+
+#include <cstdio>
+
+namespace admire::event {
+
+std::size_t Event::wire_size() const {
+  return kHeaderWireSize + header_.vts.num_streams() * sizeof(SeqNo) +
+         payload_wire_size(payload_) + padding_.size();
+}
+
+std::string Event::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s s%u#%llu flight=%u (%zuB)",
+                event_type_name(header_.type),
+                static_cast<unsigned>(header_.stream),
+                static_cast<unsigned long long>(header_.seq),
+                static_cast<unsigned>(header_.key), wire_size());
+  return buf;
+}
+
+namespace {
+Bytes make_padding(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  return out;
+}
+}  // namespace
+
+Event make_faa_position(StreamId stream, SeqNo seq, const FaaPosition& pos,
+                        std::size_t padding) {
+  EventHeader h;
+  h.type = EventType::kFaaPosition;
+  h.stream = stream;
+  h.seq = seq;
+  h.key = pos.flight;
+  return Event(std::move(h), pos, make_padding(padding));
+}
+
+Event make_delta_status(StreamId stream, SeqNo seq, const DeltaStatus& st,
+                        std::size_t padding) {
+  EventHeader h;
+  h.type = EventType::kDeltaStatus;
+  h.stream = stream;
+  h.seq = seq;
+  h.key = st.flight;
+  return Event(std::move(h), st, make_padding(padding));
+}
+
+Event make_passenger_boarded(StreamId stream, SeqNo seq,
+                             const PassengerBoarded& pb) {
+  EventHeader h;
+  h.type = EventType::kPassengerBoarded;
+  h.stream = stream;
+  h.seq = seq;
+  h.key = pb.flight;
+  return Event(std::move(h), pb);
+}
+
+Event make_baggage_loaded(StreamId stream, SeqNo seq, const BaggageLoaded& bl) {
+  EventHeader h;
+  h.type = EventType::kBaggageLoaded;
+  h.stream = stream;
+  h.seq = seq;
+  h.key = bl.flight;
+  return Event(std::move(h), bl);
+}
+
+Event make_derived(const Derived& d) {
+  EventHeader h;
+  h.type = EventType::kDerived;
+  h.key = d.flight;
+  return Event(std::move(h), d);
+}
+
+Event make_snapshot(const Snapshot& s) {
+  EventHeader h;
+  h.type = EventType::kSnapshot;
+  return Event(std::move(h), s);
+}
+
+Event make_control(Bytes body) {
+  EventHeader h;
+  h.type = EventType::kControl;
+  return Event(std::move(h), Control{std::move(body)});
+}
+
+}  // namespace admire::event

@@ -1,0 +1,94 @@
+// The Event value type moved through ADMIRE: a header (stream identity,
+// per-stream sequence, vector timestamp, ingress time), a typed payload,
+// and optional opaque padding (the experiments sweep wire size 0..8 KB
+// while semantic content stays small).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "event/event_type.h"
+#include "event/payload.h"
+#include "event/vector_timestamp.h"
+
+namespace admire::event {
+
+struct EventHeader {
+  EventType type = EventType::kFaaPosition;
+  StreamId stream = 0;       ///< source stream index
+  SeqNo seq = 0;             ///< unique, increasing within the stream
+  FlightKey key = 0;         ///< application key (flight id); 0 = none
+  Nanos ingress_time = 0;    ///< stamped when the event enters the central site
+  std::uint32_t coalesced = 1;  ///< raw events this wire event represents
+  VectorTimestamp vts;       ///< per §3.3, stamped at the primary site
+
+  bool operator==(const EventHeader&) const = default;
+};
+
+class Event {
+ public:
+  Event() = default;
+  Event(EventHeader header, Payload payload, Bytes padding = {})
+      : header_(std::move(header)),
+        payload_(std::move(payload)),
+        padding_(std::move(padding)) {}
+
+  const EventHeader& header() const { return header_; }
+  EventHeader& header() { return header_; }
+
+  const Payload& payload() const { return payload_; }
+  Payload& payload() { return payload_; }
+
+  const Bytes& padding() const { return padding_; }
+  void set_padding(Bytes padding) { padding_ = std::move(padding); }
+
+  EventType type() const { return header_.type; }
+  FlightKey key() const { return header_.key; }
+  StreamId stream() const { return header_.stream; }
+  SeqNo seq() const { return header_.seq; }
+
+  /// Typed accessor; nullptr if the payload holds a different kind.
+  template <typename T>
+  const T* as() const {
+    return std::get_if<T>(&payload_);
+  }
+  template <typename T>
+  T* as() {
+    return std::get_if<T>(&payload_);
+  }
+
+  /// Serialized size estimate: header + semantic payload + padding.
+  std::size_t wire_size() const;
+
+  /// Short "FAA_POSITION s0#42 flight=17 (1024B)" description for logs.
+  std::string describe() const;
+
+  bool operator==(const Event&) const = default;
+
+ private:
+  EventHeader header_;
+  Payload payload_;
+  Bytes padding_;
+};
+
+/// Serialized header footprint (fixed part; VTS adds 8B per component).
+inline constexpr std::size_t kHeaderWireSize = 2 + 2 + 8 + 4 + 8 + 4 + 2;
+
+// --- Builders -------------------------------------------------------------
+// All builders set header.key from the payload's flight and leave
+// ingress_time/vts to be stamped by the receiving task.
+
+Event make_faa_position(StreamId stream, SeqNo seq, const FaaPosition& pos,
+                        std::size_t padding = 0);
+Event make_delta_status(StreamId stream, SeqNo seq, const DeltaStatus& st,
+                        std::size_t padding = 0);
+Event make_passenger_boarded(StreamId stream, SeqNo seq,
+                             const PassengerBoarded& pb);
+Event make_baggage_loaded(StreamId stream, SeqNo seq, const BaggageLoaded& bl);
+Event make_derived(const Derived& d);
+Event make_snapshot(const Snapshot& s);
+Event make_control(Bytes body);
+
+}  // namespace admire::event

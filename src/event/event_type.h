@@ -1,0 +1,37 @@
+// Event type vocabulary of the OIS application (paper §2 and §3.3: two
+// incoming data streams — FAA flight positions and Delta internal status —
+// plus EDE-derived events, snapshot replies and mirroring control events).
+#pragma once
+
+#include <cstdint>
+
+namespace admire::event {
+
+enum class EventType : std::uint16_t {
+  kFaaPosition = 1,       ///< FAA radar position update for one flight
+  kDeltaStatus = 2,       ///< Delta internal flight status transition
+  kPassengerBoarded = 3,  ///< gate-reader event: one passenger boarded
+  kBaggageLoaded = 4,     ///< ramp event: one bag loaded
+  kDerived = 5,           ///< EDE-derived complex event (e.g. flight arrived)
+  kSnapshot = 6,          ///< initial-state snapshot chunk sent to a client
+  kControl = 7,           ///< mirroring-framework control event (checkpoint,
+                          ///< adaptation directives)
+};
+
+/// Stable printable name, for logs, tests and bench output.
+constexpr const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kFaaPosition: return "FAA_POSITION";
+    case EventType::kDeltaStatus: return "DELTA_STATUS";
+    case EventType::kPassengerBoarded: return "PASSENGER_BOARDED";
+    case EventType::kBaggageLoaded: return "BAGGAGE_LOADED";
+    case EventType::kDerived: return "DERIVED";
+    case EventType::kSnapshot: return "SNAPSHOT";
+    case EventType::kControl: return "CONTROL";
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool is_data_event(EventType t) { return t != EventType::kControl; }
+
+}  // namespace admire::event

@@ -1,0 +1,50 @@
+// Flight domain vocabulary: status lifecycle used by the Delta stream and
+// by the EDE's business rules.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace admire::event {
+
+/// Lifecycle of one flight as seen by the OIS. The paper's complex-event
+/// examples collapse {kLanded, kAtRunway, kAtGate} into kArrived.
+enum class FlightStatus : std::uint8_t {
+  kScheduled = 0,
+  kBoarding = 1,
+  kAllBoarded = 2,   ///< EDE-derived: every ticketed passenger boarded
+  kDeparted = 3,
+  kEnRoute = 4,
+  kLanded = 5,
+  kAtRunway = 6,
+  kAtGate = 7,
+  kArrived = 8,      ///< complex event collapsing landed/at-runway/at-gate
+  kCancelled = 9,
+};
+
+constexpr const char* flight_status_name(FlightStatus s) {
+  switch (s) {
+    case FlightStatus::kScheduled: return "SCHEDULED";
+    case FlightStatus::kBoarding: return "BOARDING";
+    case FlightStatus::kAllBoarded: return "ALL_BOARDED";
+    case FlightStatus::kDeparted: return "DEPARTED";
+    case FlightStatus::kEnRoute: return "EN_ROUTE";
+    case FlightStatus::kLanded: return "LANDED";
+    case FlightStatus::kAtRunway: return "AT_RUNWAY";
+    case FlightStatus::kAtGate: return "AT_GATE";
+    case FlightStatus::kArrived: return "ARRIVED";
+    case FlightStatus::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+/// True if `s` is a terminal ground state after which position updates for
+/// the flight carry no information (the paper's discard-after rule).
+constexpr bool is_on_ground_final(FlightStatus s) {
+  return s == FlightStatus::kLanded || s == FlightStatus::kAtRunway ||
+         s == FlightStatus::kAtGate || s == FlightStatus::kArrived ||
+         s == FlightStatus::kCancelled;
+}
+
+}  // namespace admire::event

@@ -1,0 +1,47 @@
+#include "event/payload.h"
+
+namespace admire::event {
+
+namespace {
+struct FlightVisitor {
+  FlightKey operator()(const FaaPosition& p) const { return p.flight; }
+  FlightKey operator()(const DeltaStatus& p) const { return p.flight; }
+  FlightKey operator()(const PassengerBoarded& p) const { return p.flight; }
+  FlightKey operator()(const BaggageLoaded& p) const { return p.flight; }
+  FlightKey operator()(const Derived& p) const { return p.flight; }
+  FlightKey operator()(const Snapshot&) const { return 0; }
+  FlightKey operator()(const Control&) const { return 0; }
+};
+
+struct SizeVisitor {
+  std::size_t operator()(const FaaPosition&) const {
+    return sizeof(FlightKey) + 5 * sizeof(double);
+  }
+  std::size_t operator()(const DeltaStatus&) const {
+    return sizeof(FlightKey) + 1 + 2 + 4 + 4;
+  }
+  std::size_t operator()(const PassengerBoarded&) const {
+    return sizeof(FlightKey) + 4;
+  }
+  std::size_t operator()(const BaggageLoaded&) const {
+    return sizeof(FlightKey) + 4;
+  }
+  std::size_t operator()(const Derived&) const {
+    return sizeof(FlightKey) + 1 + 1;
+  }
+  std::size_t operator()(const Snapshot& s) const {
+    return 8 + 4 + 4 + s.state.size();
+  }
+  std::size_t operator()(const Control& c) const { return c.body.size(); }
+};
+}  // namespace
+
+FlightKey payload_flight(const Payload& p) {
+  return std::visit(FlightVisitor{}, p);
+}
+
+std::size_t payload_wire_size(const Payload& p) {
+  return std::visit(SizeVisitor{}, p);
+}
+
+}  // namespace admire::event

@@ -1,0 +1,112 @@
+// Typed payload kinds carried by data events. The mirroring layer treats
+// payloads as application data but the *rule engine* may look inside
+// (content-based filtering, per paper §1: "filtering events based on their
+// content").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "event/flight.h"
+
+namespace admire::event {
+
+/// FAA radar position report for one flight.
+struct FaaPosition {
+  FlightKey flight = 0;
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double altitude_ft = 0.0;
+  double ground_speed_kts = 0.0;
+  double heading_deg = 0.0;
+
+  bool operator==(const FaaPosition&) const = default;
+};
+
+/// Delta-internal flight status transition.
+struct DeltaStatus {
+  FlightKey flight = 0;
+  FlightStatus status = FlightStatus::kScheduled;
+  std::uint16_t gate = 0;
+  std::uint32_t passengers_boarded = 0;
+  std::uint32_t passengers_ticketed = 0;
+
+  bool operator==(const DeltaStatus&) const = default;
+};
+
+/// One gate-reader swipe.
+struct PassengerBoarded {
+  FlightKey flight = 0;
+  std::uint32_t passenger_id = 0;
+
+  bool operator==(const PassengerBoarded&) const = default;
+};
+
+/// One bag scanned onto the aircraft.
+struct BaggageLoaded {
+  FlightKey flight = 0;
+  std::uint32_t bag_id = 0;
+
+  bool operator==(const BaggageLoaded&) const = default;
+};
+
+/// EDE-derived complex event.
+struct Derived {
+  enum class Kind : std::uint8_t {
+    kFlightArrived = 0,    ///< collapses landed/at-runway/at-gate (paper §3.2.1)
+    kAllBoarded = 1,       ///< all ticketed passengers are on board (paper §2)
+    kStatusBroadcast = 2,  ///< regular state-update event pushed to clients
+    kDepartureIncomplete = 3,  ///< departed with ticketed passengers missing
+    kGateChanged = 4,          ///< flight reassigned to a different gate
+  };
+  FlightKey flight = 0;
+  Kind kind = Kind::kStatusBroadcast;
+  FlightStatus status = FlightStatus::kScheduled;
+
+  bool operator==(const Derived&) const = default;
+};
+
+constexpr const char* derived_kind_name(Derived::Kind k) {
+  switch (k) {
+    case Derived::Kind::kFlightArrived: return "FLIGHT_ARRIVED";
+    case Derived::Kind::kAllBoarded: return "ALL_BOARDED";
+    case Derived::Kind::kStatusBroadcast: return "STATUS_BROADCAST";
+    case Derived::Kind::kDepartureIncomplete: return "DEPARTURE_INCOMPLETE";
+    case Derived::Kind::kGateChanged: return "GATE_CHANGED";
+  }
+  return "UNKNOWN";
+}
+
+/// Initial-state snapshot chunk served to a recovering thin client.
+struct Snapshot {
+  std::uint64_t request_id = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 0;
+  Bytes state;  ///< opaque serialized slice of operational state
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Control payloads are produced/consumed by the checkpoint and adaptation
+/// modules; at this layer they are an opaque encoded body.
+struct Control {
+  Bytes body;
+
+  bool operator==(const Control&) const = default;
+};
+
+using Payload = std::variant<FaaPosition, DeltaStatus, PassengerBoarded,
+                             BaggageLoaded, Derived, Snapshot, Control>;
+
+/// Flight key a payload pertains to (0 for snapshot/control payloads,
+/// which are not per-flight).
+FlightKey payload_flight(const Payload& p);
+
+/// Approximate serialized size of the semantic fields of `p`, excluding
+/// header and padding. Used for cost accounting.
+std::size_t payload_wire_size(const Payload& p);
+
+}  // namespace admire::event

@@ -1,0 +1,85 @@
+#include "event/vector_timestamp.h"
+
+#include <cstdio>
+
+namespace admire::event {
+
+void VectorTimestamp::observe(StreamId stream, SeqNo seq) {
+  if (stream >= comps_.size()) comps_.resize(stream + 1, 0);
+  comps_[stream] = std::max(comps_[stream], seq);
+}
+
+void VectorTimestamp::merge(const VectorTimestamp& other) {
+  if (other.comps_.size() > comps_.size()) {
+    comps_.resize(other.comps_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.comps_.size(); ++i) {
+    comps_[i] = std::max(comps_[i], other.comps_[i]);
+  }
+}
+
+bool VectorTimestamp::dominates(const VectorTimestamp& other) const {
+  const std::size_t n = std::max(comps_.size(), other.comps_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const SeqNo mine = i < comps_.size() ? comps_[i] : 0;
+    const SeqNo theirs = i < other.comps_.size() ? other.comps_[i] : 0;
+    if (mine < theirs) return false;
+  }
+  return true;
+}
+
+bool VectorTimestamp::happens_before(const VectorTimestamp& other) const {
+  return other.dominates(*this) && !(*this == other);
+}
+
+VectorTimestamp VectorTimestamp::component_min(
+    const std::vector<VectorTimestamp>& vts) {
+  if (vts.empty()) return {};
+  VectorTimestamp out = vts.front();
+  for (std::size_t i = 1; i < vts.size(); ++i) {
+    const auto& v = vts[i];
+    const std::size_t n = std::max(out.comps_.size(), v.comps_.size());
+    out.comps_.resize(n, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+      const SeqNo a = c < out.comps_.size() ? out.comps_[c] : 0;
+      const SeqNo b = c < v.comps_.size() ? v.comps_[c] : 0;
+      out.comps_[c] = std::min(a, b);
+    }
+  }
+  return out;
+}
+
+bool VectorTimestamp::operator==(const VectorTimestamp& other) const {
+  const std::size_t n = std::max(comps_.size(), other.comps_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const SeqNo mine = i < comps_.size() ? comps_[i] : 0;
+    const SeqNo theirs = i < other.comps_.size() ? other.comps_[i] : 0;
+    if (mine != theirs) return false;
+  }
+  return true;
+}
+
+std::strong_ordering VectorTimestamp::operator<=>(
+    const VectorTimestamp& other) const {
+  const std::size_t n = std::max(comps_.size(), other.comps_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const SeqNo mine = i < comps_.size() ? comps_[i] : 0;
+    const SeqNo theirs = i < other.comps_.size() ? other.comps_[i] : 0;
+    if (auto c = mine <=> theirs; c != std::strong_ordering::equal) return c;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string VectorTimestamp::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%ss%zu:%llu", i ? " " : "", i,
+                  static_cast<unsigned long long>(comps_[i]));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace admire::event

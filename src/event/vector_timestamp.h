@@ -1,0 +1,57 @@
+// Vector timestamps per paper §3.3: one component per incoming stream,
+// each component being that stream's last-seen per-stream sequence number.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace admire::event {
+
+/// Dense vector timestamp indexed by StreamId. Missing components read 0.
+class VectorTimestamp {
+ public:
+  VectorTimestamp() = default;
+  explicit VectorTimestamp(std::size_t streams) : comps_(streams, 0) {}
+
+  /// Record that an event with sequence `seq` from `stream` was observed.
+  void observe(StreamId stream, SeqNo seq);
+
+  SeqNo component(StreamId stream) const {
+    return stream < comps_.size() ? comps_[stream] : 0;
+  }
+
+  std::size_t num_streams() const { return comps_.size(); }
+
+  /// Component-wise maximum; grows to cover both operands.
+  void merge(const VectorTimestamp& other);
+
+  /// a dominates b  <=>  every component of a >= matching component of b.
+  /// This is the "can this checkpoint cover that event" test.
+  bool dominates(const VectorTimestamp& other) const;
+
+  /// Strict happens-before: dominated by `other` and differs somewhere.
+  bool happens_before(const VectorTimestamp& other) const;
+
+  /// Component-wise minimum of `vts` entries — the protocol's "min from all
+  /// chkpt_reply" step (paper Fig. 3). Empty input yields the empty VTS.
+  static VectorTimestamp component_min(const std::vector<VectorTimestamp>& vts);
+
+  bool operator==(const VectorTimestamp& other) const;
+
+  /// Total order consistent with dominance where comparable; used only for
+  /// deterministic container ordering, not protocol decisions.
+  std::strong_ordering operator<=>(const VectorTimestamp& other) const;
+
+  /// "[s0:12 s1:4]" rendering for logs/tests.
+  std::string to_string() const;
+
+ private:
+  std::vector<SeqNo> comps_;
+};
+
+}  // namespace admire::event

@@ -1,0 +1,76 @@
+#include "harness/experiments.h"
+
+namespace admire::harness {
+
+workload::Trace make_trace(const RunSpec& spec) {
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = spec.faa_events;
+  scenario.num_flights = spec.num_flights;
+  scenario.event_padding = spec.event_padding;
+  scenario.include_delta_stream = spec.include_delta_stream;
+  scenario.event_horizon =
+      spec.event_horizon > 0 ? spec.event_horizon : 10 * kSecond;
+  scenario.seed = spec.seed;
+  workload::Trace trace = workload::make_ois_trace(scenario);
+  return rescale_trace(std::move(trace), spec.event_horizon);
+}
+
+workload::RequestTrace make_requests(const RunSpec& spec) {
+  if (spec.bursty) {
+    return workload::bursty_requests(spec.request_rate, spec.burst_rate,
+                                     spec.burst_period, spec.burst_duty,
+                                     spec.request_window, spec.seed ^ 0x77);
+  }
+  if (spec.request_rate > 0.0 && !spec.requests_while_events) {
+    return workload::constant_rate_requests(
+        spec.request_rate, spec.request_window, spec.seed ^ 0x77);
+  }
+  return {};
+}
+
+workload::Trace rescale_trace(workload::Trace trace, Nanos horizon) {
+  if (trace.items.empty()) return trace;
+  const Nanos span = trace.items.back().at;
+  for (auto& item : trace.items) {
+    item.at = (horizon <= 0 || span <= 0)
+                  ? 0
+                  : static_cast<Nanos>(
+                        static_cast<double>(item.at) /
+                        static_cast<double>(span) *
+                        static_cast<double>(horizon));
+  }
+  return trace;
+}
+
+sim::SimResult run_sim(const RunSpec& spec) {
+  sim::SimConfig config;
+  config.num_mirrors = spec.mirrors;
+  config.mirroring_enabled = spec.mirroring_enabled;
+  config.params = spec.ois_rules
+                      ? rules::ois_default_rules(spec.function)
+                      : [&] {
+                          rules::MirroringParams p;
+                          p.function = spec.function;
+                          return p;
+                        }();
+  config.adaptation = spec.adaptation;
+  config.costs = spec.costs;
+  config.lb = spec.lb;
+  config.num_streams = workload::kOisStreams;
+  config.closed_loop_source = spec.event_horizon == 0;
+  config.ni_offload = spec.ni_offload;
+  if (spec.request_rate > 0.0 && spec.requests_while_events && !spec.bursty) {
+    config.auto_request_rate = spec.request_rate;
+    config.request_seed = spec.seed ^ 0x5151;
+  }
+
+  sim::SimCluster cluster(std::move(config));
+  return cluster.run(make_trace(spec), make_requests(spec));
+}
+
+double percent_over(double a, double b) {
+  if (b == 0.0) return 0.0;
+  return (a - b) / b * 100.0;
+}
+
+}  // namespace admire::harness

@@ -1,0 +1,71 @@
+// Experiment harness: one declarative RunSpec per experimental point, a
+// runner that assembles workload + simulated cluster and returns the
+// SimResult, and trace utilities shared by the figure benches.
+#pragma once
+
+#include <optional>
+
+#include "sim/sim_cluster.h"
+#include "workload/requests.h"
+#include "workload/scenario.h"
+
+namespace admire::harness {
+
+/// One experimental point (one x-value of one curve in a figure).
+struct RunSpec {
+  // Workload.
+  std::uint64_t faa_events = 3000;
+  std::uint32_t num_flights = 50;
+  std::size_t event_padding = 1024;   ///< the event-size axis
+  bool include_delta_stream = true;
+  /// Arrival span of the event sequence. 0 = batch feeding (the §4.1/4.2
+  /// throughput-bound setup: events are presented as fast as the server
+  /// accepts them); > 0 = paced replay (the §4.3 latency setup).
+  Nanos event_horizon = 0;
+  std::uint64_t seed = 42;
+
+  // Server.
+  std::size_t mirrors = 1;
+  bool mirroring_enabled = true;
+  rules::MirrorFunctionSpec function = rules::simple_mirroring();
+  /// Install the OIS semantic rules of §3.2.1 (complex-seq + complex-tuple).
+  /// Off by default: the paper's figure experiments compare the pure
+  /// simple/selective functions; the content rules are §3.2.1 examples
+  /// exercised by the examples/ programs and the ablation bench.
+  bool ois_rules = false;
+  std::optional<adapt::AdaptationPolicy> adaptation;
+  sim::LbPolicy lb = sim::LbPolicy::kAllSites;
+  sim::CostModel costs;
+  /// §6 future-work extension: NI co-processor offload of the send side.
+  bool ni_offload = false;
+
+  // Client request load.
+  double request_rate = 0.0;           ///< req/s, 0 = none
+  /// true (default): the constant load runs for as long as the server is
+  /// still processing the event sequence (the §4.2 setup where httperf
+  /// runs for the whole experiment). false: requests arrive over the fixed
+  /// [0, request_window] span (used with paced events, §4.3).
+  bool requests_while_events = true;
+  Nanos request_window = 10 * kSecond;
+  bool bursty = false;                 ///< square-wave instead of constant
+  double burst_rate = 0.0;
+  Nanos burst_period = 5 * kSecond;
+  double burst_duty = 0.4;
+};
+
+/// Assemble workload + simulated cluster for `spec` and run it.
+sim::SimResult run_sim(const RunSpec& spec);
+
+/// Build just the event trace for `spec` (tests, custom drivers).
+workload::Trace make_trace(const RunSpec& spec);
+
+/// Build just the request trace for `spec`.
+workload::RequestTrace make_requests(const RunSpec& spec);
+
+/// Rescale a trace's arrival times to span [0, horizon] (0 = all at t=0).
+workload::Trace rescale_trace(workload::Trace trace, Nanos horizon);
+
+/// Relative change (a - b) / b, in percent.
+double percent_over(double a, double b);
+
+}  // namespace admire::harness

@@ -1,0 +1,64 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace admire::metrics {
+
+void LatencyRecorder::add(Nanos at, Nanos delay) {
+  std::lock_guard lock(mu_);
+  samples_.add(static_cast<double>(delay));
+  online_.add(static_cast<double>(delay));
+  series_.add(at, static_cast<double>(delay));
+}
+
+std::size_t LatencyRecorder::count() const {
+  std::lock_guard lock(mu_);
+  return samples_.count();
+}
+
+double LatencyRecorder::mean() const {
+  std::lock_guard lock(mu_);
+  return online_.mean();
+}
+
+double LatencyRecorder::percentile(double q) const {
+  std::lock_guard lock(mu_);
+  return samples_.percentile(q);
+}
+
+double LatencyRecorder::max() const {
+  std::lock_guard lock(mu_);
+  return online_.max();
+}
+
+std::vector<TimeSeries::Bin> LatencyRecorder::series_bins() const {
+  std::lock_guard lock(mu_);
+  return series_.bins();
+}
+
+double LatencyRecorder::perturbation() const {
+  std::lock_guard lock(mu_);
+  const double m = online_.mean();
+  if (m <= 0.0) return 0.0;
+  return online_.stddev() / m;
+}
+
+void print_figure(const std::string& figure_id, const std::string& title,
+                  const std::string& x_label, const std::string& y_label,
+                  const std::vector<Series>& series) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", figure_id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+  for (const auto& s : series) {
+    std::printf("%s", format_series(s.label, s.points, x_label, y_label).c_str());
+  }
+}
+
+bool print_check(const std::string& what, bool ok, const std::string& detail) {
+  std::printf("[%s] %s — %s\n", ok ? "PASS" : "FAIL", what.c_str(),
+              detail.c_str());
+  return ok;
+}
+
+}  // namespace admire::metrics

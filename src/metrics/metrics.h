@@ -1,0 +1,62 @@
+// Measurement vocabulary of the evaluation: update-delay recording, the
+// paper's predictability/perturbation metric, and figure-style printers
+// shared by the bench binaries.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace admire::metrics {
+
+/// Thread-safe latency recorder combining exact percentiles with a
+/// time-binned series (for delay-over-time plots like Fig. 9).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(Nanos series_bin = kSecond)
+      : series_(series_bin) {}
+
+  /// Record one sample: `delay` observed for an event that entered the
+  /// system at time `at`.
+  void add(Nanos at, Nanos delay);
+
+  std::size_t count() const;
+  double mean() const;          ///< ns
+  double percentile(double q) const;
+  double max() const;
+
+  std::vector<TimeSeries::Bin> series_bins() const;
+
+  /// The scalability metric of §1: "how does a server react to additional
+  /// loads ... with respect to deviations in the levels of service offered
+  /// to its regular clients". Quantified as the coefficient of variation
+  /// of the delay samples — low = predictable service.
+  double perturbation() const;
+
+ private:
+  mutable std::mutex mu_;
+  SampleStats samples_;
+  OnlineStats online_;
+  TimeSeries series_;
+};
+
+/// One curve of a figure: label + (x, y) points.
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Print a whole figure: title, axis labels, one block per curve, in the
+/// plain-text format EXPERIMENTS.md records.
+void print_figure(const std::string& figure_id, const std::string& title,
+                  const std::string& x_label, const std::string& y_label,
+                  const std::vector<Series>& series);
+
+/// Print a PASS/FAIL line for a paper-expected qualitative property.
+/// Returns `ok` so benches can accumulate an exit code.
+bool print_check(const std::string& what, bool ok, const std::string& detail);
+
+}  // namespace admire::metrics

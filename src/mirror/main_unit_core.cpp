@@ -1,0 +1,30 @@
+#include "mirror/main_unit_core.h"
+
+namespace admire::mirror {
+
+std::vector<event::Event> MainUnitCore::process(const event::Event& ev) {
+  std::lock_guard lock(mu_);
+  backup_.push(ev);
+  return ede_.process(ev);
+}
+
+checkpoint::ControlMessage MainUnitCore::on_chkpt(
+    const checkpoint::ControlMessage& chkpt) {
+  return participant_.make_reply(chkpt, progress());
+}
+
+std::size_t MainUnitCore::on_commit(const checkpoint::ControlMessage& commit) {
+  return participant_.apply_commit(commit, backup_);
+}
+
+event::VectorTimestamp MainUnitCore::progress() const {
+  std::lock_guard lock(mu_);
+  return ede_.progress();
+}
+
+void MainUnitCore::seed_progress(const event::VectorTimestamp& vts) {
+  std::lock_guard lock(mu_);
+  ede_.seed_progress(vts);
+}
+
+}  // namespace admire::mirror

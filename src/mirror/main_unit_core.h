@@ -1,0 +1,72 @@
+// MainUnitCore: the per-site "main unit" of Fig. 2 — the EDE business
+// logic plus its checkpoint-participant role (Fig. 3, Main Unit column).
+// Synchronous; driven by the threaded runtime or the simulator.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "checkpoint/messages.h"
+#include "checkpoint/participant.h"
+#include "common/types.h"
+#include "ede/engine.h"
+#include "ede/operational_state.h"
+#include "ede/snapshot.h"
+#include "event/event.h"
+#include "queueing/backup_queue.h"
+
+namespace admire::mirror {
+
+class MainUnitCore {
+ public:
+  explicit MainUnitCore(SiteId site)
+      : site_(site),
+        state_(std::make_unique<ede::OperationalState>()),
+        ede_(state_.get()),
+        snapshots_(state_.get()),
+        participant_(site) {}
+
+  SiteId site() const { return site_; }
+
+  /// Process one forwarded data event: fold into operational state, record
+  /// it in this unit's backup queue, and return derived client updates.
+  std::vector<event::Event> process(const event::Event& ev);
+
+  /// Fig. 3 Main Unit, CHKPT: "chkpt_rep = min{chkpt, last in backup}".
+  checkpoint::ControlMessage on_chkpt(const checkpoint::ControlMessage& chkpt);
+
+  /// Fig. 3 Main Unit, COMMIT: "if commit in backup queue, update backup
+  /// queue". Returns entries trimmed.
+  std::size_t on_commit(const checkpoint::ControlMessage& commit);
+
+  /// Build an initial-state snapshot for one client request.
+  std::vector<event::Event> build_snapshot(std::uint64_t request_id) {
+    return snapshots_.build(request_id);
+  }
+
+  ede::OperationalState& state() { return *state_; }
+  const ede::OperationalState& state() const { return *state_; }
+  const ede::EdeCounters& ede_counters() const { return ede_.counters(); }
+  queueing::BackupQueue& backup() { return backup_; }
+  checkpoint::Participant& participant() { return participant_; }
+  ede::SnapshotService& snapshot_service() { return snapshots_; }
+
+  /// VTS of the most recent event processed by business logic.
+  event::VectorTimestamp progress() const;
+
+  /// Recovery: mark events up to `vts` as already covered (a restored
+  /// snapshot folded them in).
+  void seed_progress(const event::VectorTimestamp& vts);
+
+ private:
+  const SiteId site_;
+  std::unique_ptr<ede::OperationalState> state_;
+  mutable std::mutex mu_;  // serializes EDE processing
+  ede::Ede ede_;
+  ede::SnapshotService snapshots_;
+  queueing::BackupQueue backup_;
+  checkpoint::Participant participant_;
+};
+
+}  // namespace admire::mirror

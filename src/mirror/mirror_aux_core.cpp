@@ -1,0 +1,40 @@
+#include "mirror/mirror_aux_core.h"
+
+namespace admire::mirror {
+
+void MirrorAuxCore::on_mirrored(event::Event ev) {
+  {
+    std::lock_guard lock(mu_);
+    ++received_;
+  }
+  backup_.push(ev);
+  ready_.push(std::move(ev));
+}
+
+std::optional<event::Event> MirrorAuxCore::next_for_main() {
+  return ready_.try_pop();
+}
+
+checkpoint::ControlMessage MirrorAuxCore::relay_chkpt(
+    const checkpoint::ControlMessage& m) {
+  return m;
+}
+
+std::optional<checkpoint::ControlMessage> MirrorAuxCore::relay_reply(
+    const checkpoint::ControlMessage& reply) {
+  // Guard: drop replies for views this aux already applied a commit for —
+  // they can no longer influence the (monotone) coordinator commit.
+  if (participant_.applied().dominates(reply.vts) &&
+      !(participant_.applied() == reply.vts) && !backup_.contains(reply.vts)) {
+    return std::nullopt;
+  }
+  return reply;
+}
+
+checkpoint::ControlMessage MirrorAuxCore::on_commit(
+    const checkpoint::ControlMessage& m) {
+  participant_.apply_commit(m, backup_);
+  return m;
+}
+
+}  // namespace admire::mirror

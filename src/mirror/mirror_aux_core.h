@@ -1,0 +1,67 @@
+// MirrorAuxCore: the auxiliary unit of a *mirror* site (Fig. 3, Mirror Aux
+// Unit column). It receives already rule-filtered events from the central
+// site, records them in its backup queue, hands them to the local main
+// unit, and relays checkpoint control traffic between the central site and
+// its main unit.
+#pragma once
+
+#include <mutex>
+
+#include "checkpoint/messages.h"
+#include "checkpoint/participant.h"
+#include "common/types.h"
+#include "event/event.h"
+#include "queueing/backup_queue.h"
+#include "queueing/ready_queue.h"
+
+namespace admire::mirror {
+
+class MirrorAuxCore {
+ public:
+  explicit MirrorAuxCore(SiteId site) : site_(site), participant_(site) {}
+
+  SiteId site() const { return site_; }
+
+  /// A mirrored data event arrived on the data channel: enqueue it for the
+  /// local main unit and retain a backup copy.
+  void on_mirrored(event::Event ev);
+
+  /// Next event to forward to the local main unit (the mirror aux's
+  /// sending step); nullopt when none pending.
+  std::optional<event::Event> next_for_main();
+
+  /// Fig. 3: "CHKPT: forward to main unit" — pure relay; returned message
+  /// is what the driver must deliver to the main unit (identity, kept as a
+  /// method so tests can assert relay counts).
+  checkpoint::ControlMessage relay_chkpt(const checkpoint::ControlMessage& m);
+
+  /// Fig. 3: "CHKPT_REP: if chkpt_rep in backup queue, forward to central
+  /// site". Forwarding a reply that references an already-trimmed event is
+  /// harmless (commits are monotone at the coordinator), so the guard only
+  /// filters replies for views this aux has provably already committed.
+  std::optional<checkpoint::ControlMessage> relay_reply(
+      const checkpoint::ControlMessage& reply);
+
+  /// Fig. 3: "COMMIT: if commit in backup queue, update backup queue;
+  /// forward to main unit". Returns the message to forward.
+  checkpoint::ControlMessage on_commit(const checkpoint::ControlMessage& m);
+
+  queueing::BackupQueue& backup() { return backup_; }
+  queueing::ReadyQueue& ready() { return ready_; }
+  checkpoint::Participant& participant() { return participant_; }
+
+  std::uint64_t mirrored_received() const {
+    std::lock_guard lock(mu_);
+    return received_;
+  }
+
+ private:
+  const SiteId site_;
+  mutable std::mutex mu_;
+  queueing::ReadyQueue ready_;
+  queueing::BackupQueue backup_;
+  checkpoint::Participant participant_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace admire::mirror

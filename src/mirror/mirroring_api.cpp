@@ -1,0 +1,206 @@
+#include "mirror/mirroring_api.h"
+
+namespace admire::mirror {
+
+MirroringApi::MirroringApi() : function_(rules::simple_mirroring()) {}
+
+MirroringApi& MirroringApi::init(bool coalesce, std::uint32_t number,
+                                 std::uint32_t l) {
+  function_ = rules::simple_mirroring();
+  function_.coalesce_enabled = coalesce;
+  function_.coalesce_max = number;
+  function_.overwrite_max = l;
+  function_.name = coalesce || l > 1 ? "custom" : "simple";
+  overwrite_rules_.clear();
+  filter_rules_.clear();
+  complex_seq_rules_.clear();
+  complex_tuple_rules_.clear();
+  thresholds_.clear();
+  adjustments_.clear();
+  engaged_spec_.reset();
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_params(bool coalesce, std::uint32_t number,
+                                       std::uint32_t checkpoint_every) {
+  function_.coalesce_enabled = coalesce;
+  function_.coalesce_max = number;
+  function_.checkpoint_every = checkpoint_every;
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_overwrite(event::EventType t,
+                                          std::uint32_t l) {
+  // Replace an existing rule for the same type.
+  for (auto& rule : overwrite_rules_) {
+    if (rule.type == t) {
+      rule.max_length = l;
+      reinstall();
+      return *this;
+    }
+  }
+  overwrite_rules_.push_back({t, l});
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_filter(event::EventType t,
+                                       rules::EventMatcher drop_if) {
+  rules::FilterRule rule;
+  rule.type = t;
+  rule.drop_if = std::move(drop_if);
+  filter_rules_.push_back(std::move(rule));
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_complex_seq(event::EventType t1,
+                                            rules::EventMatcher value,
+                                            event::EventType t2) {
+  rules::ComplexSeqRule rule;
+  rule.trigger_type = t1;
+  rule.trigger_value = std::move(value);
+  rule.suppressed_type = t2;
+  complex_seq_rules_.push_back(std::move(rule));
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_complex_tuple(rules::ComplexTupleRule rule) {
+  complex_tuple_rules_.push_back(std::move(rule));
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_adapt(adapt::ParamId p_id, int percent) {
+  for (auto& a : adjustments_) {
+    if (a.id == p_id) {
+      a.percent = percent;
+      return *this;
+    }
+  }
+  adjustments_.push_back({p_id, percent});
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_adapt_function(
+    rules::MirrorFunctionSpec engaged_spec) {
+  engaged_spec_ = std::move(engaged_spec);
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_monitor_values(adapt::MonitoredVariable index,
+                                               double primary,
+                                               double secondary) {
+  for (auto& t : thresholds_) {
+    if (t.variable == index) {
+      t.primary = primary;
+      t.secondary = secondary;
+      return *this;
+    }
+  }
+  thresholds_.push_back({index, primary, secondary});
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_mirror(CustomFunction func) {
+  std::lock_guard lock(hooks_mu_);
+  custom_mirror_ = std::move(func);
+  return *this;
+}
+
+MirroringApi& MirroringApi::set_fwd(CustomFunction func) {
+  std::lock_guard lock(hooks_mu_);
+  custom_fwd_ = std::move(func);
+  return *this;
+}
+
+MirroringApi& MirroringApi::use_function(rules::MirrorFunctionSpec spec) {
+  function_ = std::move(spec);
+  reinstall();
+  return *this;
+}
+
+MirroringApi& MirroringApi::load(const rules::MirroringParams& params) {
+  function_ = params.function;
+  overwrite_rules_ = params.overwrite_rules;
+  filter_rules_ = params.filter_rules;
+  complex_seq_rules_ = params.complex_seq_rules;
+  complex_tuple_rules_ = params.complex_tuple_rules;
+  reinstall();
+  return *this;
+}
+
+rules::MirroringParams MirroringApi::params() const {
+  rules::MirroringParams p;
+  p.function = function_;
+  p.overwrite_rules = overwrite_rules_;
+  p.filter_rules = filter_rules_;
+  p.complex_seq_rules = complex_seq_rules_;
+  p.complex_tuple_rules = complex_tuple_rules_;
+  return p;
+}
+
+adapt::AdaptationPolicy MirroringApi::adaptation_policy() const {
+  adapt::AdaptationPolicy policy;
+  policy.thresholds = thresholds_;
+  policy.normal_spec = function_;
+  if (engaged_spec_.has_value()) {
+    policy.mode = adapt::PolicyMode::kSwitchFunction;
+    policy.engaged_spec = *engaged_spec_;
+  } else {
+    policy.mode = adapt::PolicyMode::kAdjustParams;
+    policy.adjustments = adjustments_;
+  }
+  return policy;
+}
+
+void MirroringApi::bind(PipelineCore* core, EventSink mirror_sink,
+                        EventSink fwd_sink,
+                        std::function<void()> checkpoint_trigger) {
+  core_ = core;
+  mirror_sink_ = std::move(mirror_sink);
+  fwd_sink_ = std::move(fwd_sink);
+  checkpoint_trigger_ = std::move(checkpoint_trigger);
+  reinstall();
+}
+
+void MirroringApi::mirror(const event::Event& ev) const {
+  if (!mirror_sink_) return;
+  CustomFunction custom;
+  {
+    std::lock_guard lock(hooks_mu_);
+    custom = custom_mirror_;
+  }
+  if (custom) {
+    custom(ev, mirror_sink_);
+  } else {
+    mirror_sink_(ev);
+  }
+}
+
+void MirroringApi::fwd(const event::Event& ev) const {
+  if (!fwd_sink_) return;
+  CustomFunction custom;
+  {
+    std::lock_guard lock(hooks_mu_);
+    custom = custom_fwd_;
+  }
+  if (custom) {
+    custom(ev, fwd_sink_);
+  } else {
+    fwd_sink_(ev);
+  }
+}
+
+void MirroringApi::checkpoint() const {
+  if (checkpoint_trigger_) checkpoint_trigger_();
+}
+
+void MirroringApi::reinstall() const {
+  if (core_ != nullptr) core_->install_params(params());
+}
+
+}  // namespace admire::mirror

@@ -1,0 +1,137 @@
+// The paper's Table 1 mirroring API, verbatim surface:
+//
+//   init(int c, int number, int l)    initialize mirroring w/ parameters
+//   mirror()                          execute mirroring function
+//   fwd()                             execute forwarding function
+//   set_mirror(void* func)            set new mirroring function
+//   set_fwd(void* func)               set new forwarding function
+//   set_params(int c, int number, int f)
+//   set_overwrite(ev_type t, int l)
+//   set_complex_seq(t1, *value, t2)
+//   set_complex_tuple(*t, *values, n)
+//   set_adapt(int p_id, int p)
+//   set_monitor_values(index, p, s)
+//
+// MirroringApi is the type-safe C++ rendering: configuration calls build a
+// MirroringParams + AdaptationPolicy; bind() attaches the API to a running
+// central site's pipeline so mirror()/fwd()/checkpoint() act on it.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "adapt/controller.h"
+#include "event/event.h"
+#include "mirror/pipeline_core.h"
+#include "rules/params.h"
+
+namespace admire::mirror {
+
+/// Receives events the mirroring/forwarding functions emit.
+using EventSink = std::function<void(const event::Event&)>;
+
+/// A custom mirroring/forwarding function (set_mirror/set_fwd): receives
+/// the event plus the default sink so it can delegate, filter or transform.
+using CustomFunction =
+    std::function<void(const event::Event&, const EventSink& fallthrough)>;
+
+class MirroringApi {
+ public:
+  MirroringApi();
+
+  // --- Configuration (Table 1) ------------------------------------------
+  /// init(c, number, l): coalescing on/off, max coalesced, and default
+  /// overwrite sequence length. Re-initializes previous configuration.
+  MirroringApi& init(bool coalesce, std::uint32_t number, std::uint32_t l);
+
+  /// set_params(c, number, f): coalesce up to `number`; checkpoint at `f`.
+  MirroringApi& set_params(bool coalesce, std::uint32_t number,
+                           std::uint32_t checkpoint_every);
+
+  /// set_overwrite(t, l).
+  MirroringApi& set_overwrite(event::EventType t, std::uint32_t l);
+
+  /// Type/content filter (§1): drop matching events from the mirror
+  /// stream. Empty matcher = filter every event of the type.
+  MirroringApi& set_filter(event::EventType t,
+                           rules::EventMatcher drop_if = nullptr);
+
+  /// set_complex_seq(t1, value, t2).
+  MirroringApi& set_complex_seq(event::EventType t1, rules::EventMatcher value,
+                                event::EventType t2);
+
+  /// set_complex_tuple(t[], values[], n): the full rule object form.
+  MirroringApi& set_complex_tuple(rules::ComplexTupleRule rule);
+
+  /// set_adapt(p_id, p): when adaptation engages, modify parameter p_id by
+  /// p percent.
+  MirroringApi& set_adapt(adapt::ParamId p_id, int percent);
+
+  /// Adaptation in function-switch form (the paper's Fig. 9 usage).
+  MirroringApi& set_adapt_function(rules::MirrorFunctionSpec engaged_spec);
+
+  /// set_monitor_values(index, p, s).
+  MirroringApi& set_monitor_values(adapt::MonitoredVariable index,
+                                   double primary, double secondary);
+
+  /// set_mirror(func) / set_fwd(func).
+  MirroringApi& set_mirror(CustomFunction func);
+  MirroringApi& set_fwd(CustomFunction func);
+
+  /// Install a whole function preset (simple/selective/...).
+  MirroringApi& use_function(rules::MirrorFunctionSpec spec);
+
+  /// Seed the API's configuration from an existing parameter set (used by
+  /// hosting sites constructed with a ready-made MirroringParams).
+  MirroringApi& load(const rules::MirroringParams& params);
+
+  // --- Materialized configuration ---------------------------------------
+  rules::MirroringParams params() const;
+  adapt::AdaptationPolicy adaptation_policy() const;
+  bool adaptation_configured() const { return !thresholds_.empty(); }
+
+  // --- Runtime binding ----------------------------------------------------
+  /// Attach to a running pipeline. `mirror_sink` delivers to all mirror
+  /// sites' aux units; `fwd_sink` to the local main unit;
+  /// `checkpoint_trigger` opens a checkpoint round.
+  void bind(PipelineCore* core, EventSink mirror_sink, EventSink fwd_sink,
+            std::function<void()> checkpoint_trigger);
+
+  bool bound() const { return core_ != nullptr; }
+
+  /// mirror(): run the (custom or default) mirroring function on `ev`.
+  void mirror(const event::Event& ev) const;
+
+  /// fwd(): run the (custom or default) forwarding function on `ev`.
+  void fwd(const event::Event& ev) const;
+
+  /// checkpoint(): invoke the checkpointing procedure now.
+  void checkpoint() const;
+
+  /// Push configuration changes made after bind() into the live pipeline.
+  void reinstall() const;
+
+ private:
+  rules::MirrorFunctionSpec function_;
+  std::vector<rules::OverwriteRule> overwrite_rules_;
+  std::vector<rules::FilterRule> filter_rules_;
+  std::vector<rules::ComplexSeqRule> complex_seq_rules_;
+  std::vector<rules::ComplexTupleRule> complex_tuple_rules_;
+  std::vector<adapt::ThresholdSpec> thresholds_;
+  std::vector<adapt::ParamAdjustment> adjustments_;
+  std::optional<rules::MirrorFunctionSpec> engaged_spec_;
+
+  // Guards the hooks/sinks: set_mirror()/set_fwd() may be called at
+  // runtime while site tasks are invoking mirror()/fwd() concurrently.
+  mutable std::mutex hooks_mu_;
+  CustomFunction custom_mirror_;
+  CustomFunction custom_fwd_;
+
+  PipelineCore* core_ = nullptr;  // not owned
+  EventSink mirror_sink_;
+  EventSink fwd_sink_;
+  std::function<void()> checkpoint_trigger_;
+};
+
+}  // namespace admire::mirror

@@ -1,0 +1,137 @@
+#include "mirror/pipeline_core.h"
+
+namespace admire::mirror {
+
+PipelineCore::PipelineCore(rules::MirroringParams params,
+                           std::size_t num_streams)
+    : engine_(std::move(params)),
+      coalescer_(engine_.params().function.coalesce_enabled,
+                 engine_.params().function.coalesce_max),
+      vts_(num_streams) {
+  const std::uint32_t every = engine_.params().function.checkpoint_every;
+  checkpoint_every_.store(every == 0 ? 50 : every);
+}
+
+PipelineCore::ReceiveOutcome PipelineCore::on_incoming(event::Event ev,
+                                                       Nanos now) {
+  std::lock_guard lock(mu_);
+  ++counters_.received;
+
+  // Timestamping: ingress time + vector timestamp ("events themselves are
+  // uniquely timestamped when they enter the primary site", §3.3).
+  if (ev.header().ingress_time == 0) ev.header().ingress_time = now;
+  if (event::is_data_event(ev.type())) {
+    vts_.observe(ev.stream(), ev.seq());
+    ev.header().vts = vts_;
+  }
+
+  // Checkpointing runs "at a constant frequency of once per 50 processed
+  // events" (§3.2.1) — counted on processed (received) events so the
+  // frequency knob is meaningful regardless of how selective the mirror
+  // function is.
+  bool checkpoint_due = false;
+  if (++received_since_checkpoint_ >= checkpoint_every()) {
+    received_since_checkpoint_ = 0;
+    checkpoint_due = true;
+    ++counters_.checkpoints_due;
+  }
+
+  const rules::ReceiveDecision decision = engine_.on_receive(ev, table_);
+  ReceiveOutcome outcome{decision.action, false, false, checkpoint_due,
+                         std::nullopt};
+  if (event::is_data_event(ev.type())) outcome.forward = ev;
+  if (decision.action == rules::ReceiveAction::kAccept) {
+    ready_.push(std::move(ev));
+    outcome.enqueued = true;
+    ++counters_.enqueued;
+  }
+  if (decision.combined.has_value()) {
+    ready_.push(std::move(*decision.combined));
+    outcome.combined_enqueued = true;
+    ++counters_.enqueued;
+  }
+  return outcome;
+}
+
+void PipelineCore::account_send(const event::Event& ev, SendStep& step) {
+  (void)step;
+  backup_.push(ev);
+  ++counters_.sent;
+  counters_.bytes_sent += ev.wire_size();
+}
+
+std::optional<PipelineCore::SendStep> PipelineCore::try_send_step() {
+  auto ev = ready_.try_pop();
+  if (!ev) return std::nullopt;
+  std::lock_guard lock(mu_);
+  SendStep step;
+  step.offered_bytes = ev->wire_size();
+  step.to_send = coalescer_.offer(std::move(*ev));
+  for (const auto& out : step.to_send) account_send(out, step);
+  return step;
+}
+
+PipelineCore::SendStep PipelineCore::flush() {
+  SendStep step;
+  // Drain whatever is still on the ready queue, then the coalescer.
+  while (auto ev = ready_.try_pop()) {
+    std::lock_guard lock(mu_);
+    for (auto& out : coalescer_.offer(std::move(*ev))) {
+      account_send(out, step);
+      step.to_send.push_back(std::move(out));
+    }
+  }
+  std::lock_guard lock(mu_);
+  for (auto& out : coalescer_.flush_all()) {
+    account_send(out, step);
+    step.to_send.push_back(std::move(out));
+  }
+  return step;
+}
+
+void PipelineCore::install(const rules::MirrorFunctionSpec& spec) {
+  std::lock_guard lock(mu_);
+  rules::MirroringParams params = engine_.params();
+  params.function = spec;
+  engine_.install(std::move(params));
+  coalescer_.configure(spec.coalesce_enabled, spec.coalesce_max);
+  checkpoint_every_.store(spec.checkpoint_every == 0 ? 50
+                                                     : spec.checkpoint_every);
+}
+
+void PipelineCore::install_params(rules::MirroringParams params) {
+  std::lock_guard lock(mu_);
+  coalescer_.configure(params.function.coalesce_enabled,
+                       params.function.coalesce_max);
+  const std::uint32_t every = params.function.checkpoint_every;
+  checkpoint_every_.store(every == 0 ? 50 : every);
+  engine_.install(std::move(params));
+}
+
+rules::MirrorFunctionSpec PipelineCore::current_spec() const {
+  std::lock_guard lock(mu_);
+  return engine_.params().function;
+}
+
+rules::RuleCounters PipelineCore::rule_counters() const {
+  std::lock_guard lock(mu_);
+  return engine_.counters();
+}
+
+PipelineCounters PipelineCore::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+event::VectorTimestamp PipelineCore::stamp() const {
+  std::lock_guard lock(mu_);
+  return vts_;
+}
+
+std::uint32_t PipelineCore::checkpoint_every() const {
+  // Atomic because account_send reads it while mu_ is held and external
+  // monitors read it without the lock.
+  return checkpoint_every_.load(std::memory_order_relaxed);
+}
+
+}  // namespace admire::mirror

@@ -1,0 +1,119 @@
+// PipelineCore: the central auxiliary unit's synchronous decision logic —
+// timestamping and semantic-rule filtering on receive (receiving task),
+// coalescing and backup-queue bookkeeping on send (sending task), and
+// checkpoint-due accounting. It contains *no* threads and never blocks:
+// the threaded runtime (cluster/) and the discrete-event simulator (sim/)
+// both drive this same object, so experiments measured in virtual time
+// exercise exactly the logic that ships in the threaded middleware.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "event/event.h"
+#include "event/vector_timestamp.h"
+#include "queueing/backup_queue.h"
+#include "queueing/ready_queue.h"
+#include "queueing/status_table.h"
+#include "rules/coalescer.h"
+#include "rules/params.h"
+#include "rules/rule_engine.h"
+
+namespace admire::mirror {
+
+struct PipelineCounters {
+  std::uint64_t received = 0;       ///< raw events offered to the pipeline
+  std::uint64_t enqueued = 0;       ///< events placed on the ready queue
+  std::uint64_t sent = 0;           ///< wire events emitted by send steps
+  std::uint64_t bytes_sent = 0;     ///< wire bytes across all emitted events
+  std::uint64_t checkpoints_due = 0;
+};
+
+class PipelineCore {
+ public:
+  PipelineCore(rules::MirroringParams params, std::size_t num_streams);
+
+  // --- Receiving task (paper §3.2.1) -----------------------------------
+  /// "retrieves events from the incoming data streams, performs the
+  /// timestamping and event conversion when necessary, and places the
+  /// resulting events into the ready queue" — after the rule engine has
+  /// had its say.
+  struct ReceiveOutcome {
+    rules::ReceiveAction action;
+    bool enqueued = false;           ///< event reached the ready queue
+    bool combined_enqueued = false;  ///< a tuple-completion event did too
+    /// Fires once per checkpoint_every *processed* events (§3.2.1: "once
+    /// per 50 processed events"); the control task should open a round.
+    bool checkpoint_due = false;
+    /// The stamped event to fwd() to the local main unit. Set for every
+    /// data event regardless of the rule decision: semantic rules reduce
+    /// *mirroring* traffic, while "regular clients on the main site"
+    /// continue to receive the full update stream (§3.2.1).
+    std::optional<event::Event> forward;
+  };
+  ReceiveOutcome on_incoming(event::Event ev, Nanos now);
+
+  // --- Sending task ------------------------------------------------------
+  /// "Events are removed from the ready queue, sent onto all outgoing
+  /// channels, and temporarily stored in the backup queue". One step pops
+  /// one ready event; coalescing may hold it back (empty to_send) or
+  /// release several. checkpoint_due fires once per `checkpoint_every`
+  /// sent events.
+  struct SendStep {
+    std::vector<event::Event> to_send;
+    /// Wire size of the ready-queue event this step consumed (also set
+    /// when coalescing buffered it and to_send is empty) — cost-model
+    /// input for the extraction/combine work of §3.3.
+    std::size_t offered_bytes = 0;
+  };
+  /// nullopt when the ready queue is empty.
+  std::optional<SendStep> try_send_step();
+
+  /// Flush coalescing buffers (quiesce / end of stream). The returned
+  /// events have been backed up and counted like normal sends.
+  SendStep flush();
+
+  // --- Adaptation --------------------------------------------------------
+  /// Install a new mirroring function (set_mirror()/adaptation path).
+  /// Takes effect for subsequently received/sent events.
+  void install(const rules::MirrorFunctionSpec& spec);
+
+  /// Replace the full parameter set (init()-time configuration).
+  void install_params(rules::MirroringParams params);
+
+  rules::MirrorFunctionSpec current_spec() const;
+
+  // --- Introspection -----------------------------------------------------
+  queueing::ReadyQueue& ready() { return ready_; }
+  const queueing::ReadyQueue& ready() const { return ready_; }
+  queueing::BackupQueue& backup() { return backup_; }
+  const queueing::BackupQueue& backup() const { return backup_; }
+  queueing::StatusTable& status_table() { return table_; }
+
+  rules::RuleCounters rule_counters() const;
+  PipelineCounters counters() const;
+
+  /// Current merged vector timestamp (last stamped event).
+  event::VectorTimestamp stamp() const;
+
+  std::uint32_t checkpoint_every() const;
+
+ private:
+  void account_send(const event::Event& ev, SendStep& step);
+
+  mutable std::mutex mu_;  // guards engine_, coalescer_, vts_, counters_
+  rules::RuleEngine engine_;
+  rules::Coalescer coalescer_;
+  queueing::ReadyQueue ready_;
+  queueing::BackupQueue backup_;
+  queueing::StatusTable table_;
+  event::VectorTimestamp vts_;
+  PipelineCounters counters_;
+  std::uint32_t received_since_checkpoint_ = 0;
+  std::atomic<std::uint32_t> checkpoint_every_{50};
+};
+
+}  // namespace admire::mirror

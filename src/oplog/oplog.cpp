@@ -1,0 +1,120 @@
+#include "oplog/oplog.h"
+
+#include <cinttypes>
+
+#include "serialize/event_codec.h"
+
+namespace admire::oplog {
+
+namespace {
+std::string path_for(const std::string& base, std::uint32_t index) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, ".%05u", index);
+  return base + suffix;
+}
+}  // namespace
+
+LogWriter::LogWriter(std::string base_path, LogWriterConfig config)
+    : base_path_(std::move(base_path)), config_(config) {
+  status_ = open_segment(0);
+}
+
+LogWriter::~LogWriter() { close_segment(); }
+
+std::string LogWriter::segment_path(std::uint32_t index) const {
+  return path_for(base_path_, index);
+}
+
+Status LogWriter::open_segment(std::uint32_t index) {
+  close_segment();
+  segment_index_ = index;
+  segment_bytes_ = 0;
+  file_ = std::fopen(path_for(base_path_, index).c_str(), "wb");
+  if (file_ == nullptr) {
+    return err(StatusCode::kUnavailable,
+               "cannot open log segment " + path_for(base_path_, index));
+  }
+  return Status::ok();
+}
+
+void LogWriter::close_segment() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status LogWriter::append(const event::Event& ev) {
+  if (!status_.is_ok()) return status_;
+  const Bytes record = serialize::frame_event(ev);
+  if (segment_bytes_ + record.size() > config_.max_segment_bytes &&
+      segment_bytes_ > 0) {
+    status_ = open_segment(segment_index_ + 1);
+    if (!status_.is_ok()) return status_;
+  }
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    status_ = err(StatusCode::kUnavailable, "short write to operational log");
+    return status_;
+  }
+  segment_bytes_ += record.size();
+  ++records_;
+  if (config_.flush_every > 0 && ++since_flush_ >= config_.flush_every) {
+    since_flush_ = 0;
+    return flush();
+  }
+  return Status::ok();
+}
+
+Status LogWriter::flush() {
+  if (!status_.is_ok()) return status_;
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    status_ = err(StatusCode::kUnavailable, "flush failed");
+  }
+  return status_;
+}
+
+Result<ReadResult> read_log(const std::string& base_path) {
+  ReadResult out;
+  for (std::uint32_t index = 0;; ++index) {
+    std::FILE* file = std::fopen(path_for(base_path, index).c_str(), "rb");
+    if (file == nullptr) {
+      if (index == 0) {
+        return err(StatusCode::kNotFound, "no log segments at " + base_path);
+      }
+      break;
+    }
+    serialize::FrameParser parser;
+    std::byte buf[64 * 1024];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+      parser.feed(ByteSpan(buf, n));
+    }
+    std::fclose(file);
+    while (true) {
+      auto body = parser.next();
+      if (!body.is_ok()) {
+        if (body.status().code() == StatusCode::kCorrupt ||
+            parser.pending_bytes() > 0) {
+          out.truncated_tail = true;  // torn or corrupt tail record
+        }
+        break;
+      }
+      auto ev = serialize::decode_event(
+          ByteSpan(body.value().data(), body.value().size()));
+      if (!ev.is_ok()) {
+        out.truncated_tail = true;
+        break;
+      }
+      out.events.push_back(std::move(ev).value());
+    }
+  }
+  return out;
+}
+
+void remove_log(const std::string& base_path) {
+  for (std::uint32_t index = 0;; ++index) {
+    if (std::remove(path_for(base_path, index).c_str()) != 0) break;
+  }
+}
+
+}  // namespace admire::oplog

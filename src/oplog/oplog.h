@@ -1,0 +1,75 @@
+// Operational log: a durable, append-only record of the state-update
+// events the OIS publishes — the paper's §1 "large databases in which
+// operational state changes are recorded for logging purposes", reduced to
+// its essential substrate: checksummed append segments with rotation, and
+// a reader that salvages everything up to the first torn record.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "event/event.h"
+
+namespace admire::oplog {
+
+struct LogWriterConfig {
+  /// Rotate to a new segment once the active one exceeds this many bytes.
+  std::size_t max_segment_bytes = 8 * 1024 * 1024;
+  /// fflush the active segment every N appends (0 = only on rotate/close).
+  std::uint32_t flush_every = 64;
+};
+
+/// Appends events to `<base>.00000`, `<base>.00001`, ... Each record is a
+/// checksummed transport frame wrapping the standard event encoding
+/// (PROTOCOL.md §1/§2), so torn tails are detectable.
+class LogWriter {
+ public:
+  /// Creates/truncates the first segment eagerly so open errors surface at
+  /// construction time via ok()/status().
+  LogWriter(std::string base_path, LogWriterConfig config = {});
+  ~LogWriter();
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  bool ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  Status append(const event::Event& ev);
+  Status flush();
+
+  std::uint64_t records_written() const { return records_; }
+  std::uint32_t segments() const { return segment_index_ + 1; }
+  std::string segment_path(std::uint32_t index) const;
+
+ private:
+  Status open_segment(std::uint32_t index);
+  void close_segment();
+
+  const std::string base_path_;
+  const LogWriterConfig config_;
+  Status status_;
+  std::FILE* file_ = nullptr;
+  std::uint32_t segment_index_ = 0;
+  std::size_t segment_bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint32_t since_flush_ = 0;
+};
+
+struct ReadResult {
+  std::vector<event::Event> events;
+  /// True when a segment ended in a torn/corrupt record (events holds
+  /// everything salvaged before it).
+  bool truncated_tail = false;
+};
+
+/// Read every record from all segments of `base_path`, in order.
+Result<ReadResult> read_log(const std::string& base_path);
+
+/// Remove all segments of a log (test cleanup / retention).
+void remove_log(const std::string& base_path);
+
+}  // namespace admire::oplog

@@ -1,0 +1,62 @@
+#include "queueing/backup_queue.h"
+
+namespace admire::queueing {
+
+void BackupQueue::push(event::Event ev) {
+  std::lock_guard lock(mu_);
+  items_.push_back(std::move(ev));
+  high_water_ = std::max(high_water_, items_.size());
+}
+
+std::optional<event::VectorTimestamp> BackupQueue::last_vts() const {
+  std::lock_guard lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  return items_.back().header().vts;
+}
+
+std::optional<event::VectorTimestamp> BackupQueue::first_vts() const {
+  std::lock_guard lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  return items_.front().header().vts;
+}
+
+bool BackupQueue::contains(const event::VectorTimestamp& vts) const {
+  std::lock_guard lock(mu_);
+  for (const auto& ev : items_) {
+    if (ev.header().vts == vts) return true;
+  }
+  return false;
+}
+
+std::size_t BackupQueue::trim_committed(
+    const event::VectorTimestamp& committed) {
+  std::lock_guard lock(mu_);
+  std::size_t trimmed = 0;
+  while (!items_.empty() && committed.dominates(items_.front().header().vts)) {
+    items_.pop_front();
+    ++trimmed;
+  }
+  return trimmed;
+}
+
+std::size_t BackupQueue::size() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+std::size_t BackupQueue::high_water() const {
+  std::lock_guard lock(mu_);
+  return high_water_;
+}
+
+std::vector<event::Event> BackupQueue::entries_after(
+    const event::VectorTimestamp& from) const {
+  std::lock_guard lock(mu_);
+  std::vector<event::Event> out;
+  for (const auto& ev : items_) {
+    if (!from.dominates(ev.header().vts)) out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace admire::queueing

@@ -1,0 +1,55 @@
+// BackupQueue: events already sent but not yet covered by a committed
+// checkpoint (paper §3.1/§3.2.1). The checkpoint protocol trims it: "upon
+// [checkpointing], all successfully checkpointed events are removed from
+// the backup queue". Ordered by send order, which is consistent with the
+// vector-timestamp order stamped at the primary site.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "event/event.h"
+#include "event/vector_timestamp.h"
+
+namespace admire::queueing {
+
+class BackupQueue {
+ public:
+  void push(event::Event ev);
+
+  /// VTS of the most recent (last appended) entry — the coordinator's
+  /// suggested checkpoint value ("usually the most recent value found in
+  /// its backup queue", §3.2.1). nullopt when empty.
+  std::optional<event::VectorTimestamp> last_vts() const;
+
+  /// VTS of the oldest retained entry; nullopt when empty.
+  std::optional<event::VectorTimestamp> first_vts() const;
+
+  /// True if an entry with exactly this VTS is still in the queue — the
+  /// participant-side "if commit in backup queue" check (§3.2.1 / Fig. 3).
+  bool contains(const event::VectorTimestamp& vts) const;
+
+  /// Remove every entry whose VTS is dominated by `committed` (i.e. the
+  /// committed view covers it). Returns how many entries were trimmed.
+  /// Commits referring to already-trimmed events are naturally a no-op,
+  /// implementing "if a unit receives a commit identifying an event no
+  /// longer in its backup, this event is ignored".
+  std::size_t trim_committed(const event::VectorTimestamp& committed);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t high_water() const;
+
+  /// Replay support (recovery extension): copy of entries newer than
+  /// `from` (i.e. not dominated by it), in order.
+  std::vector<event::Event> entries_after(
+      const event::VectorTimestamp& from) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<event::Event> items_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace admire::queueing

@@ -1,0 +1,47 @@
+#include "queueing/ready_queue.h"
+
+namespace admire::queueing {
+
+void ReadyQueue::push(event::Event ev) {
+  std::lock_guard lock(mu_);
+  items_.push_back(std::move(ev));
+  ++pushed_;
+  high_water_ = std::max(high_water_, items_.size());
+}
+
+std::optional<event::Event> ReadyQueue::try_pop() {
+  std::lock_guard lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  event::Event out = std::move(items_.front());
+  items_.pop_front();
+  return out;
+}
+
+std::vector<event::Event> ReadyQueue::pop_batch(std::size_t max) {
+  std::lock_guard lock(mu_);
+  std::vector<event::Event> out;
+  const std::size_t n = std::min(max, items_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return out;
+}
+
+std::size_t ReadyQueue::size() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+std::size_t ReadyQueue::high_water() const {
+  std::lock_guard lock(mu_);
+  return high_water_;
+}
+
+std::uint64_t ReadyQueue::pushed_count() const {
+  std::lock_guard lock(mu_);
+  return pushed_;
+}
+
+}  // namespace admire::queueing

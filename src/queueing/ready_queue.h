@@ -1,0 +1,40 @@
+// ReadyQueue: FIFO of events accepted by the receiving task and awaiting
+// the sending task (paper §3.1). Thread-safe; its length is one of the
+// monitored variables driving adaptation (§3.2.2).
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "event/event.h"
+
+namespace admire::queueing {
+
+class ReadyQueue {
+ public:
+  void push(event::Event ev);
+
+  /// Pop the oldest event; nullopt when empty.
+  std::optional<event::Event> try_pop();
+
+  /// Pop up to `max` events at once (batch used by the coalescing sender).
+  std::vector<event::Event> pop_batch(std::size_t max);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// High-water mark since construction (reported by experiments).
+  std::size_t high_water() const;
+
+  /// Total events ever pushed.
+  std::uint64_t pushed_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<event::Event> items_;
+  std::size_t high_water_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace admire::queueing

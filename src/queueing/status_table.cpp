@@ -1,0 +1,78 @@
+#include "queueing/status_table.h"
+
+namespace admire::queueing {
+
+std::uint64_t StatusTable::bump_run_counter(event::EventType type,
+                                            FlightKey key) {
+  std::lock_guard lock(mu_);
+  return run_counters_[tkey(type, key)]++;
+}
+
+void StatusTable::reset_run_counter(event::EventType type, FlightKey key) {
+  std::lock_guard lock(mu_);
+  run_counters_.erase(tkey(type, key));
+}
+
+std::uint64_t StatusTable::run_counter(event::EventType type,
+                                       FlightKey key) const {
+  std::lock_guard lock(mu_);
+  auto it = run_counters_.find(tkey(type, key));
+  return it == run_counters_.end() ? 0 : it->second;
+}
+
+void StatusTable::set_flight_status(FlightKey key, event::FlightStatus status) {
+  std::lock_guard lock(mu_);
+  flight_status_[key] = status;
+}
+
+std::optional<event::FlightStatus> StatusTable::flight_status(
+    FlightKey key) const {
+  std::lock_guard lock(mu_);
+  auto it = flight_status_.find(key);
+  if (it == flight_status_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StatusTable::set_suppressed(event::EventType type, FlightKey key,
+                                 bool on) {
+  std::lock_guard lock(mu_);
+  if (on) {
+    suppressed_[tkey(type, key)] = true;
+  } else {
+    suppressed_.erase(tkey(type, key));
+  }
+}
+
+bool StatusTable::suppressed(event::EventType type, FlightKey key) const {
+  std::lock_guard lock(mu_);
+  return suppressed_.contains(tkey(type, key));
+}
+
+std::uint32_t StatusTable::tuple_mark(std::uint32_t rule_id, FlightKey key,
+                                      std::uint32_t bit) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t k = (static_cast<std::uint64_t>(rule_id) << 32) | key;
+  auto& mask = tuple_progress_[k];
+  mask |= (1u << bit);
+  return mask;
+}
+
+void StatusTable::tuple_reset(std::uint32_t rule_id, FlightKey key) {
+  std::lock_guard lock(mu_);
+  tuple_progress_.erase((static_cast<std::uint64_t>(rule_id) << 32) | key);
+}
+
+std::size_t StatusTable::tracked_flights() const {
+  std::lock_guard lock(mu_);
+  return flight_status_.size();
+}
+
+void StatusTable::clear() {
+  std::lock_guard lock(mu_);
+  run_counters_.clear();
+  flight_status_.clear();
+  suppressed_.clear();
+  tuple_progress_.clear();
+}
+
+}  // namespace admire::queueing

@@ -1,0 +1,62 @@
+// StatusTable: "a status table containing relevant status information for
+// application-level processes (e.g., flight status)" (§3.1). The rule
+// engine uses it "to keep track of number of overwritten flight updates for
+// a particular flight, value of a particular event that has an action
+// associated with it, etc." (§3.2.1).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "event/event_type.h"
+#include "event/flight.h"
+
+namespace admire::queueing {
+
+class StatusTable {
+ public:
+  // --- Overwrite-run tracking ------------------------------------------
+  // For the rule "send one event, then discard the next max_length-1 of
+  // that type for the same flight": a per-(type, key) position counter in
+  // the current run. Returns the value *before* incrementing.
+  std::uint64_t bump_run_counter(event::EventType type, FlightKey key);
+  void reset_run_counter(event::EventType type, FlightKey key);
+  std::uint64_t run_counter(event::EventType type, FlightKey key) const;
+
+  // --- Flight status ----------------------------------------------------
+  void set_flight_status(FlightKey key, event::FlightStatus status);
+  std::optional<event::FlightStatus> flight_status(FlightKey key) const;
+
+  // --- Complex-sequence suppression --------------------------------------
+  // "discard events of t2 after event of t1 has value": a per-(type, key)
+  // suppression latch set by the rule engine when the trigger fires.
+  void set_suppressed(event::EventType type, FlightKey key, bool on);
+  bool suppressed(event::EventType type, FlightKey key) const;
+
+  // --- Complex-tuple progress --------------------------------------------
+  // Bitmask of constituent events observed per (rule id, key).
+  std::uint32_t tuple_mark(std::uint32_t rule_id, FlightKey key,
+                           std::uint32_t bit);
+  void tuple_reset(std::uint32_t rule_id, FlightKey key);
+
+  /// Number of flights with a recorded status (sizing state snapshots).
+  std::size_t tracked_flights() const;
+
+  void clear();
+
+ private:
+  using TypeKey = std::uint64_t;
+  static TypeKey tkey(event::EventType type, FlightKey key) {
+    return (static_cast<std::uint64_t>(type) << 32) | key;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<TypeKey, std::uint64_t> run_counters_;
+  std::unordered_map<FlightKey, event::FlightStatus> flight_status_;
+  std::unordered_map<TypeKey, bool> suppressed_;
+  std::unordered_map<std::uint64_t, std::uint32_t> tuple_progress_;
+};
+
+}  // namespace admire::queueing

@@ -1,0 +1,65 @@
+#include "recovery/recovery.h"
+
+namespace admire::recovery {
+
+RecoveryPackage build_bootstrap_package(mirror::MainUnitCore& donor,
+                                        std::uint64_t request_id) {
+  RecoveryPackage package;
+  // Progress first: a concurrent event processed between the two reads
+  // would make `as_of` conservative (too old), which is safe — the joiner
+  // merely re-applies an event the snapshot may already contain, and
+  // per-flight records are last-writer-wins on replay from the donor's
+  // own ordered stream. The reverse order could silently *lose* events.
+  package.as_of = donor.progress();
+  package.snapshot_chunks = donor.build_snapshot(request_id);
+  return package;
+}
+
+Result<RecoveryPackage> build_rejoin_package(
+    mirror::MainUnitCore& donor, const event::VectorTimestamp& stale_as_of) {
+  // The donor can only supply the suffix if nothing the joiner needs was
+  // trimmed. The donor's backup holds everything after its last applied
+  // commit, so the joiner's point must be at or beyond that commit.
+  const auto applied = donor.participant().applied();
+  if (!stale_as_of.dominates(applied)) {
+    return err(StatusCode::kExhausted,
+               "donor backup no longer covers the joiner's gap; "
+               "fall back to bootstrap");
+  }
+  RecoveryPackage package;
+  package.as_of = stale_as_of;
+  package.replay = donor.backup().entries_after(stale_as_of);
+  return package;
+}
+
+Status install_package(const RecoveryPackage& package,
+                       mirror::MainUnitCore& target) {
+  if (!package.snapshot_chunks.empty()) {
+    auto status = ede::SnapshotService::restore(package.snapshot_chunks,
+                                                target.state());
+    if (!status.is_ok()) return status;
+  }
+  target.seed_progress(package.as_of);
+  for (const auto& ev : package.replay) {
+    (void)target.process(ev);
+  }
+  return Status::ok();
+}
+
+bool RejoinFilter::should_apply(const event::Event& ev) {
+  std::lock_guard lock(mu_);
+  const auto& vts = ev.header().vts;
+  if (vts.num_streams() == 0) return true;  // unstamped: cannot dedup
+  if (restore_point_.dominates(vts)) {
+    ++skipped_;
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t RejoinFilter::skipped() const {
+  std::lock_guard lock(mu_);
+  return skipped_;
+}
+
+}  // namespace admire::recovery

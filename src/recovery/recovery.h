@@ -1,0 +1,73 @@
+// Recovery support — the paper's stated future work: "extending the
+// mirroring infrastructure with recovery support, for both client
+// failures, and failures of a node within the cluster server" (§6).
+//
+// Two flows are provided, both built on the pieces the base design
+// already maintains for exactly this purpose:
+//  * Bootstrap: a brand-new (or wiped) mirror obtains a state snapshot
+//    from any live donor site, then joins the live data channel, with a
+//    RejoinFilter discarding events the snapshot already covers.
+//  * Stale rejoin: a mirror that was down briefly asks a donor for the
+//    backup-queue suffix after its last-applied vector timestamp — valid
+//    whenever the missed events have not yet been trimmed by a global
+//    checkpoint commit beyond that point.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "ede/snapshot.h"
+#include "event/vector_timestamp.h"
+#include "mirror/main_unit_core.h"
+
+namespace admire::recovery {
+
+/// Everything a joining mirror needs from a donor.
+struct RecoveryPackage {
+  std::vector<event::Event> snapshot_chunks;  ///< kSnapshot events
+  event::VectorTimestamp as_of;  ///< stream progress the snapshot covers
+  std::vector<event::Event> replay;  ///< events after `as_of`, in order
+};
+
+/// Build a bootstrap package from a live donor site: a snapshot of its
+/// operational state stamped with its current EDE progress. (No replay
+/// part — the joiner filters the live stream instead.)
+RecoveryPackage build_bootstrap_package(mirror::MainUnitCore& donor,
+                                        std::uint64_t request_id);
+
+/// Build a rejoin package for a mirror whose state is current up to
+/// `stale_as_of`: the donor's backup-queue suffix after that point.
+/// Fails with kExhausted when the donor's backup no longer reaches back
+/// far enough (a commit already trimmed events the joiner needs) — the
+/// caller must fall back to a full bootstrap.
+Result<RecoveryPackage> build_rejoin_package(mirror::MainUnitCore& donor,
+                                             const event::VectorTimestamp&
+                                                 stale_as_of);
+
+/// Install a package into a (fresh or stale) mirror main unit: restore the
+/// snapshot if present, then replay the suffix through the EDE.
+Status install_package(const RecoveryPackage& package,
+                       mirror::MainUnitCore& target);
+
+/// Live-stream deduplication for a joiner: events whose vector timestamp
+/// is already covered by the restore point must not be applied twice.
+/// Thread-safe.
+class RejoinFilter {
+ public:
+  explicit RejoinFilter(event::VectorTimestamp restore_point)
+      : restore_point_(std::move(restore_point)) {}
+
+  /// True if the event is NEW relative to the restore point and should be
+  /// applied. Events with no vector timestamp are always applied.
+  bool should_apply(const event::Event& ev);
+
+  std::uint64_t skipped() const;
+
+ private:
+  mutable std::mutex mu_;
+  event::VectorTimestamp restore_point_;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace admire::recovery

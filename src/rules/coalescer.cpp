@@ -1,0 +1,71 @@
+#include "rules/coalescer.h"
+
+#include <algorithm>
+
+namespace admire::rules {
+
+void Coalescer::configure(bool enabled, std::uint32_t max) {
+  enabled_ = enabled;
+  max_ = max < 1 ? 1 : max;
+}
+
+std::vector<event::Event> Coalescer::offer(event::Event ev) {
+  std::vector<event::Event> out;
+  if (!enabled_ || max_ <= 1) {
+    out.push_back(std::move(ev));
+    return out;
+  }
+
+  const FlightKey key = ev.key();
+  if (!coalescable(ev)) {
+    // Per-flight ordering: release any buffered positions for this flight
+    // before the status event overtakes them.
+    if (auto flushed = flush_flight(key)) out.push_back(std::move(*flushed));
+    out.push_back(std::move(ev));
+    return out;
+  }
+
+  auto it = buffers_.find(key);
+  if (it == buffers_.end()) {
+    buffers_.emplace(key, std::move(ev));
+    return out;  // begin buffering
+  }
+
+  // Replace with the newer payload; accumulate represented-raw-event count.
+  const std::uint32_t count = it->second.header().coalesced +
+                              ev.header().coalesced;
+  ev.header().coalesced = count;
+  // Keep stream/seq/vts of the *newest* constituent so checkpoints cover
+  // the whole absorbed run once this event is sent.
+  it->second = std::move(ev);
+  ++absorbed_;
+
+  if (count >= max_) {
+    out.push_back(std::move(it->second));
+    buffers_.erase(it);
+  }
+  return out;
+}
+
+std::vector<event::Event> Coalescer::flush_all() {
+  std::vector<event::Event> out;
+  out.reserve(buffers_.size());
+  for (auto& [key, ev] : buffers_) out.push_back(std::move(ev));
+  buffers_.clear();
+  // Deterministic order for tests: by flight key.
+  std::sort(out.begin(), out.end(),
+            [](const event::Event& a, const event::Event& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+std::optional<event::Event> Coalescer::flush_flight(FlightKey key) {
+  auto it = buffers_.find(key);
+  if (it == buffers_.end()) return std::nullopt;
+  event::Event out = std::move(it->second);
+  buffers_.erase(it);
+  return out;
+}
+
+}  // namespace admire::rules

@@ -1,0 +1,53 @@
+// Coalescer: sending-task event combining (§3.2.1: "Event coalescing is
+// performed by the sending task"). Coalescable events (FAA positions) are
+// buffered per flight; when `coalesce_max` have accumulated — or a
+// non-coalescable event for the same flight forces ordering — one wire
+// event carrying the *latest* payload is emitted with header.coalesced set
+// to the number of raw events it represents.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+
+namespace admire::rules {
+
+class Coalescer {
+ public:
+  Coalescer(bool enabled, std::uint32_t max)
+      : enabled_(enabled), max_(max < 1 ? 1 : max) {}
+
+  /// Reconfigure (adaptation path). Already-buffered events keep their
+  /// accumulated counts and flush under the new threshold.
+  void configure(bool enabled, std::uint32_t max);
+
+  /// Offer one event popped from the ready queue. Returns the wire events
+  /// to actually send now (possibly empty while buffering, possibly two:
+  /// a flushed buffer followed by the offered event).
+  std::vector<event::Event> offer(event::Event ev);
+
+  /// Flush everything buffered (quiesce / checkpoint boundary).
+  std::vector<event::Event> flush_all();
+
+  /// Flush one flight's buffer if present.
+  std::optional<event::Event> flush_flight(FlightKey key);
+
+  std::size_t buffered_flights() const { return buffers_.size(); }
+  std::uint64_t absorbed() const { return absorbed_; }
+
+ private:
+  static bool coalescable(const event::Event& ev) {
+    return ev.type() == event::EventType::kFaaPosition;
+  }
+
+  bool enabled_;
+  std::uint32_t max_;
+  // Latest event per flight + how many raw events it stands for.
+  std::unordered_map<FlightKey, event::Event> buffers_;
+  std::uint64_t absorbed_ = 0;
+};
+
+}  // namespace admire::rules

@@ -1,0 +1,113 @@
+#include "rules/params.h"
+
+namespace admire::rules {
+
+EventMatcher match_any() {
+  return [](const event::Event&) { return true; };
+}
+
+EventMatcher match_delta_status(event::FlightStatus status) {
+  return [status](const event::Event& ev) {
+    const auto* st = ev.as<event::DeltaStatus>();
+    return st != nullptr && st->status == status;
+  };
+}
+
+EventMatcher match_type(event::EventType type) {
+  return [type](const event::Event& ev) { return ev.type() == type; };
+}
+
+EventMatcher match_altitude_below(double feet) {
+  return [feet](const event::Event& ev) {
+    const auto* pos = ev.as<event::FaaPosition>();
+    return pos != nullptr && pos->altitude_ft < feet;
+  };
+}
+
+EventMatcher match_ground_speed_below(double knots) {
+  return [knots](const event::Event& ev) {
+    const auto* pos = ev.as<event::FaaPosition>();
+    return pos != nullptr && pos->ground_speed_kts < knots;
+  };
+}
+
+MirrorFunctionSpec simple_mirroring() {
+  MirrorFunctionSpec spec;
+  spec.name = "simple";
+  spec.coalesce_enabled = false;
+  spec.coalesce_max = 1;
+  spec.overwrite_max = 1;
+  spec.checkpoint_every = 50;
+  return spec;
+}
+
+MirrorFunctionSpec selective_mirroring(std::uint32_t overwrite_max,
+                                       std::uint32_t checkpoint_every) {
+  MirrorFunctionSpec spec;
+  spec.name = "selective";
+  spec.coalesce_enabled = false;
+  spec.coalesce_max = 1;
+  spec.overwrite_max = overwrite_max;
+  spec.checkpoint_every = checkpoint_every;
+  return spec;
+}
+
+MirrorFunctionSpec fig9_function_a() {
+  MirrorFunctionSpec spec;
+  spec.name = "fig9-A";
+  spec.coalesce_enabled = true;
+  spec.coalesce_max = 10;
+  spec.overwrite_max = 10;
+  spec.checkpoint_every = 50;
+  return spec;
+}
+
+MirrorFunctionSpec fig9_function_b() {
+  MirrorFunctionSpec spec;
+  spec.name = "fig9-B";
+  spec.coalesce_enabled = false;
+  spec.coalesce_max = 1;
+  spec.overwrite_max = 20;
+  spec.checkpoint_every = 100;
+  return spec;
+}
+
+std::uint32_t MirroringParams::overwrite_length_for(
+    event::EventType type) const {
+  for (const auto& rule : overwrite_rules) {
+    if (rule.type == type) return std::max<std::uint32_t>(rule.max_length, 1);
+  }
+  if (type == event::EventType::kFaaPosition) {
+    return std::max<std::uint32_t>(function.overwrite_max, 1);
+  }
+  return 1;
+}
+
+MirroringParams ois_default_rules(MirrorFunctionSpec function) {
+  MirroringParams params;
+  params.function = std::move(function);
+
+  ComplexSeqRule landed;
+  landed.trigger_type = event::EventType::kDeltaStatus;
+  landed.trigger_value = match_delta_status(event::FlightStatus::kLanded);
+  landed.suppressed_type = event::EventType::kFaaPosition;
+  params.complex_seq_rules.push_back(std::move(landed));
+
+  ComplexTupleRule arrived;
+  arrived.constituents = {
+      {event::EventType::kDeltaStatus,
+       match_delta_status(event::FlightStatus::kLanded)},
+      {event::EventType::kDeltaStatus,
+       match_delta_status(event::FlightStatus::kAtRunway)},
+      {event::EventType::kDeltaStatus,
+       match_delta_status(event::FlightStatus::kAtGate)},
+  };
+  arrived.emit_kind = event::Derived::Kind::kFlightArrived;
+  arrived.emit_status = event::FlightStatus::kArrived;
+  arrived.suppress_after = event::EventType::kFaaPosition;
+  params.complex_tuple_rules.push_back(std::move(arrived));
+
+  return params;
+}
+
+}  // namespace admire::rules

@@ -1,0 +1,123 @@
+// Mirroring parameters and semantic-rule descriptions (paper §3.2.1 and
+// Table 1). A MirroringParams value is the complete installable
+// configuration of an auxiliary unit's mirroring behaviour; adaptation
+// (§3.2.2) swaps between such configurations at runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+
+namespace admire::rules {
+
+/// Predicate over events used by complex-sequence / complex-tuple rules
+/// ("event *value" arguments in the paper's API).
+using EventMatcher = std::function<bool(const event::Event&)>;
+
+/// Matcher helpers for the OIS payloads.
+EventMatcher match_any();
+EventMatcher match_delta_status(event::FlightStatus status);
+EventMatcher match_type(event::EventType type);
+
+/// set_overwrite(ev_type t, int l): "allow overwriting of events of t with
+/// max length of sequence l" — keep the first event of every run of l.
+struct OverwriteRule {
+  event::EventType type = event::EventType::kFaaPosition;
+  std::uint32_t max_length = 1;  ///< 1 = no overwriting
+};
+
+/// §1: "filtering events based on their data types and/or their data
+/// contents" — unconditionally drop matching events from the mirror
+/// stream (the local main unit still processes them).
+struct FilterRule {
+  event::EventType type = event::EventType::kFaaPosition;
+  /// Optional content predicate; empty = filter the whole type.
+  EventMatcher drop_if;
+};
+
+/// Content helpers for filter rules.
+EventMatcher match_altitude_below(double feet);
+EventMatcher match_ground_speed_below(double knots);
+
+/// set_complex_seq(t1, value, t2): "discard events of t2 after event of t1
+/// has value" (per flight key).
+struct ComplexSeqRule {
+  event::EventType trigger_type = event::EventType::kDeltaStatus;
+  EventMatcher trigger_value;
+  event::EventType suppressed_type = event::EventType::kFaaPosition;
+};
+
+/// set_complex_tuple(t, values, n): "combine n events with respective types
+/// and values" into one derived complex event (e.g. landed + at-runway +
+/// at-gate => flight arrived). Constituents are absorbed.
+struct ComplexTupleRule {
+  struct Constituent {
+    event::EventType type;
+    EventMatcher value;
+  };
+  std::vector<Constituent> constituents;
+  /// Payload of the emitted combined event.
+  event::Derived::Kind emit_kind = event::Derived::Kind::kFlightArrived;
+  event::FlightStatus emit_status = event::FlightStatus::kArrived;
+  /// Once emitted, also suppress this type for the flight ("all position
+  /// events for that flight can be discarded from the queues").
+  std::optional<event::EventType> suppress_after =
+      event::EventType::kFaaPosition;
+};
+
+/// A named preset of the adjustable mirroring knobs — what the paper calls
+/// "a mirroring function". The adaptive controller alternates between two
+/// of these in Fig. 9.
+struct MirrorFunctionSpec {
+  std::string name = "simple";
+  /// (1) whether events are coalesced before mirroring, (2) how many at most.
+  bool coalesce_enabled = false;
+  std::uint32_t coalesce_max = 1;
+  /// (3)/(4) overwriting: 0 or 1 disables; L keeps 1 of every L per flight.
+  std::uint32_t overwrite_max = 1;
+  /// (5) checkpoint every N sent events.
+  std::uint32_t checkpoint_every = 50;
+
+  bool operator==(const MirrorFunctionSpec&) const = default;
+};
+
+/// The paper's default mirroring: every event mirrored independently to all
+/// mirror sites, checkpoint once per 50 processed events (§3.2.1).
+MirrorFunctionSpec simple_mirroring();
+
+/// Selective mirroring used throughout §4: keep 1 of every `overwrite_max`
+/// FAA position events per flight.
+MirrorFunctionSpec selective_mirroring(std::uint32_t overwrite_max = 8,
+                                       std::uint32_t checkpoint_every = 50);
+
+/// Fig. 9 function A: "coalesces up to 10 events ... overwriting up to 10
+/// flight position events. Checkpointing ... every 50 events."
+MirrorFunctionSpec fig9_function_a();
+
+/// Fig. 9 function B: "overwrites up to 20 flight position events and
+/// performs checkpointing every 100 events."
+MirrorFunctionSpec fig9_function_b();
+
+/// Complete installable configuration for an auxiliary unit.
+struct MirroringParams {
+  MirrorFunctionSpec function;
+  std::vector<OverwriteRule> overwrite_rules;   // in addition to function's
+  std::vector<FilterRule> filter_rules;
+  std::vector<ComplexSeqRule> complex_seq_rules;
+  std::vector<ComplexTupleRule> complex_tuple_rules;
+
+  /// Effective overwrite length for a type: explicit rule wins, otherwise
+  /// the active function's overwrite_max applies to FAA positions only.
+  std::uint32_t overwrite_length_for(event::EventType type) const;
+};
+
+/// The canonical OIS rule set from the paper's §3.2.1 examples:
+/// - discard FAA positions after a Delta "flight landed";
+/// - collapse landed/at-runway/at-gate into "flight arrived".
+MirroringParams ois_default_rules(MirrorFunctionSpec function);
+
+}  // namespace admire::rules

@@ -1,0 +1,103 @@
+#include "rules/rule_engine.h"
+
+namespace admire::rules {
+
+ReceiveDecision RuleEngine::on_receive(const event::Event& ev,
+                                       queueing::StatusTable& table) {
+  ReceiveDecision decision;
+  const auto type = ev.type();
+  const FlightKey key = ev.key();
+
+  // Control events bypass all semantic rules.
+  if (type == event::EventType::kControl) {
+    ++counters_.accepted;
+    return decision;
+  }
+
+  // Track flight status for snapshot building and content rules.
+  if (const auto* st = ev.as<event::DeltaStatus>()) {
+    table.set_flight_status(st->flight, st->status);
+  }
+
+  // 1. Type/content filters (§1): cheapest check, applied first.
+  for (const auto& rule : params_.filter_rules) {
+    if (rule.type != type) continue;
+    if (!rule.drop_if || rule.drop_if(ev)) {
+      ++counters_.discarded_filtered;
+      decision.action = ReceiveAction::kDiscardFiltered;
+      return decision;
+    }
+  }
+
+  // 2. Suppression latches from previously fired complex-sequence rules.
+  if (table.suppressed(type, key)) {
+    ++counters_.discarded_suppressed;
+    decision.action = ReceiveAction::kDiscardSuppressed;
+    return decision;
+  }
+
+  // 3. Complex-sequence triggers: a matching trigger arms suppression of
+  //    the designated type for this flight from now on.
+  for (const auto& rule : params_.complex_seq_rules) {
+    if (rule.trigger_type == type && rule.trigger_value &&
+        rule.trigger_value(ev)) {
+      table.set_suppressed(rule.suppressed_type, key, true);
+    }
+  }
+
+  // 4. Complex tuples: constituents are absorbed; completion emits the
+  //    combined derived event.
+  for (std::uint32_t rule_id = 0; rule_id < params_.complex_tuple_rules.size();
+       ++rule_id) {
+    const auto& rule = params_.complex_tuple_rules[rule_id];
+    for (std::uint32_t bit = 0; bit < rule.constituents.size(); ++bit) {
+      const auto& c = rule.constituents[bit];
+      if (c.type != type || !c.value || !c.value(ev)) continue;
+      const std::uint32_t mask = table.tuple_mark(rule_id, key, bit);
+      const std::uint32_t full =
+          (1u << static_cast<std::uint32_t>(rule.constituents.size())) - 1u;
+      ++counters_.absorbed_tuple;
+      decision.action = ReceiveAction::kAbsorbIntoTuple;
+      if (mask == full) {
+        table.tuple_reset(rule_id, key);
+        if (rule.suppress_after) {
+          table.set_suppressed(*rule.suppress_after, key, true);
+        }
+        event::Derived combined;
+        combined.flight = key;
+        combined.kind = rule.emit_kind;
+        combined.status = rule.emit_status;
+        event::Event out = event::make_derived(combined);
+        // The combined event inherits the completing constituent's
+        // position in the streams so checkpointing can cover it.
+        out.header().stream = ev.header().stream;
+        out.header().seq = ev.header().seq;
+        out.header().vts = ev.header().vts;
+        out.header().ingress_time = ev.header().ingress_time;
+        out.header().coalesced =
+            static_cast<std::uint32_t>(rule.constituents.size());
+        table.set_flight_status(key, rule.emit_status);
+        decision.combined = std::move(out);
+        ++counters_.emitted_combined;
+      }
+      return decision;
+    }
+  }
+
+  // 5. Overwrite runs: keep the first event of every run of L per
+  //    (type, flight); discard the next L-1.
+  const std::uint32_t run = params_.overwrite_length_for(type);
+  if (run > 1) {
+    const std::uint64_t pos = table.bump_run_counter(type, key);
+    if (pos % run != 0) {
+      ++counters_.discarded_overwritten;
+      decision.action = ReceiveAction::kDiscardOverwritten;
+      return decision;
+    }
+  }
+
+  ++counters_.accepted;
+  return decision;
+}
+
+}  // namespace admire::rules

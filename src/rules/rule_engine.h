@@ -1,0 +1,70 @@
+// RuleEngine: applies the receive-side semantic rules of §3.2.1 —
+// overwriting runs, complex-sequence suppression, complex-tuple collapse —
+// and reports a decision for each incoming event. "The receiving task is
+// responsible for discarding events in an overwriting sequence of events,
+// or for combining events based on event values."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "event/event.h"
+#include "queueing/status_table.h"
+#include "rules/params.h"
+
+namespace admire::rules {
+
+enum class ReceiveAction : std::uint8_t {
+  kAccept = 0,              ///< enqueue onto the ready queue
+  kDiscardOverwritten = 1,  ///< inside an overwrite run; newer event subsumes
+  kDiscardSuppressed = 2,   ///< complex-seq latch active for (type, flight)
+  kAbsorbIntoTuple = 3,     ///< consumed as a complex-tuple constituent
+  kDiscardFiltered = 4,     ///< matched a type/content filter rule
+};
+
+struct ReceiveDecision {
+  ReceiveAction action = ReceiveAction::kAccept;
+  /// Present when a complex tuple completed: the combined derived event to
+  /// enqueue in place of its constituents.
+  std::optional<event::Event> combined;
+};
+
+/// Aggregate counters for accounting and the no-loss invariant tests.
+struct RuleCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t discarded_overwritten = 0;
+  std::uint64_t discarded_suppressed = 0;
+  std::uint64_t discarded_filtered = 0;
+  std::uint64_t absorbed_tuple = 0;
+  std::uint64_t emitted_combined = 0;
+
+  std::uint64_t total_seen() const {
+    return accepted + discarded_overwritten + discarded_suppressed +
+           discarded_filtered + absorbed_tuple;
+  }
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(MirroringParams params) : params_(std::move(params)) {}
+
+  /// Swap the installed configuration (adaptation path). Run state in the
+  /// status table carries over: overwrite runs continue counting.
+  void install(MirroringParams params) { params_ = std::move(params); }
+
+  const MirroringParams& params() const { return params_; }
+
+  /// Decide what to do with one incoming data event. Mutates `table`
+  /// (run counters, suppression latches, tuple progress).
+  ReceiveDecision on_receive(const event::Event& ev,
+                             queueing::StatusTable& table);
+
+  const RuleCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = RuleCounters{}; }
+
+ private:
+  MirroringParams params_;
+  RuleCounters counters_;
+};
+
+}  // namespace admire::rules

@@ -1,0 +1,221 @@
+#include "serialize/event_codec.h"
+
+#include "serialize/wire.h"
+
+namespace admire::serialize {
+
+using event::Event;
+using event::EventHeader;
+using event::EventType;
+using event::Payload;
+
+namespace {
+
+constexpr std::uint16_t kCodecVersion = 1;
+
+void encode_header(const EventHeader& h, Writer& w) {
+  w.u16(kCodecVersion);
+  w.u16(static_cast<std::uint16_t>(h.type));
+  w.u16(h.stream);
+  w.u64(h.seq);
+  w.u32(h.key);
+  w.i64(h.ingress_time);
+  w.u32(h.coalesced);
+  w.varint(h.vts.num_streams());
+  for (std::size_t i = 0; i < h.vts.num_streams(); ++i) {
+    w.varint(h.vts.component(static_cast<StreamId>(i)));
+  }
+}
+
+bool decode_header(Reader& r, EventHeader& h) {
+  const std::uint16_t version = r.u16();
+  if (version != kCodecVersion) return false;
+  h.type = static_cast<EventType>(r.u16());
+  h.stream = r.u16();
+  h.seq = r.u64();
+  h.key = r.u32();
+  h.ingress_time = r.i64();
+  h.coalesced = r.u32();
+  const std::uint64_t n = r.varint();
+  if (n > 1024) return false;  // implausible stream count => corruption
+  h.vts = event::VectorTimestamp{};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h.vts.observe(static_cast<StreamId>(i), r.varint());
+  }
+  return r.ok();
+}
+
+struct PayloadEncoder {
+  Writer& w;
+  void operator()(const event::FaaPosition& p) const {
+    w.u32(p.flight);
+    w.f64(p.lat_deg);
+    w.f64(p.lon_deg);
+    w.f64(p.altitude_ft);
+    w.f64(p.ground_speed_kts);
+    w.f64(p.heading_deg);
+  }
+  void operator()(const event::DeltaStatus& p) const {
+    w.u32(p.flight);
+    w.u8(static_cast<std::uint8_t>(p.status));
+    w.u16(p.gate);
+    w.u32(p.passengers_boarded);
+    w.u32(p.passengers_ticketed);
+  }
+  void operator()(const event::PassengerBoarded& p) const {
+    w.u32(p.flight);
+    w.u32(p.passenger_id);
+  }
+  void operator()(const event::BaggageLoaded& p) const {
+    w.u32(p.flight);
+    w.u32(p.bag_id);
+  }
+  void operator()(const event::Derived& p) const {
+    w.u32(p.flight);
+    w.u8(static_cast<std::uint8_t>(p.kind));
+    w.u8(static_cast<std::uint8_t>(p.status));
+  }
+  void operator()(const event::Snapshot& p) const {
+    w.u64(p.request_id);
+    w.u32(p.chunk_index);
+    w.u32(p.chunk_count);
+    w.bytes(p.state);
+  }
+  void operator()(const event::Control& p) const { w.bytes(p.body); }
+};
+
+bool decode_payload(Reader& r, EventType type, Payload& out) {
+  switch (type) {
+    case EventType::kFaaPosition: {
+      event::FaaPosition p;
+      p.flight = r.u32();
+      p.lat_deg = r.f64();
+      p.lon_deg = r.f64();
+      p.altitude_ft = r.f64();
+      p.ground_speed_kts = r.f64();
+      p.heading_deg = r.f64();
+      out = p;
+      return r.ok();
+    }
+    case EventType::kDeltaStatus: {
+      event::DeltaStatus p;
+      p.flight = r.u32();
+      p.status = static_cast<event::FlightStatus>(r.u8());
+      p.gate = r.u16();
+      p.passengers_boarded = r.u32();
+      p.passengers_ticketed = r.u32();
+      out = p;
+      return r.ok();
+    }
+    case EventType::kPassengerBoarded: {
+      event::PassengerBoarded p;
+      p.flight = r.u32();
+      p.passenger_id = r.u32();
+      out = p;
+      return r.ok();
+    }
+    case EventType::kBaggageLoaded: {
+      event::BaggageLoaded p;
+      p.flight = r.u32();
+      p.bag_id = r.u32();
+      out = p;
+      return r.ok();
+    }
+    case EventType::kDerived: {
+      event::Derived p;
+      p.flight = r.u32();
+      p.kind = static_cast<event::Derived::Kind>(r.u8());
+      p.status = static_cast<event::FlightStatus>(r.u8());
+      out = p;
+      return r.ok();
+    }
+    case EventType::kSnapshot: {
+      event::Snapshot p;
+      p.request_id = r.u64();
+      p.chunk_index = r.u32();
+      p.chunk_count = r.u32();
+      p.state = r.bytes();
+      out = p;
+      return r.ok();
+    }
+    case EventType::kControl: {
+      event::Control p;
+      p.body = r.bytes();
+      out = p;
+      return r.ok();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void encode_event(const Event& ev, Writer& out) {
+  encode_header(ev.header(), out);
+  std::visit(PayloadEncoder{out}, ev.payload());
+  out.bytes(ev.padding());
+}
+
+Bytes encode_event(const Event& ev) {
+  Writer w(ev.wire_size() + 16);
+  encode_event(ev, w);
+  return w.take();
+}
+
+Result<Event> decode_event(ByteSpan data) {
+  Reader r(data);
+  EventHeader h;
+  if (!decode_header(r, h)) {
+    return err(StatusCode::kCorrupt, "bad event header");
+  }
+  Payload payload;
+  if (!decode_payload(r, h.type, payload)) {
+    return err(StatusCode::kCorrupt, "bad event payload");
+  }
+  Bytes padding = r.bytes();
+  if (!r.ok()) return err(StatusCode::kCorrupt, "bad event padding");
+  if (r.remaining() != 0) {
+    return err(StatusCode::kCorrupt, "trailing bytes after event");
+  }
+  return Event(std::move(h), std::move(payload), std::move(padding));
+}
+
+Bytes frame(ByteSpan body) {
+  Writer w(body.size() + 12);
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.u64(fnv1a(body));
+  w.raw(body);
+  return w.take();
+}
+
+Bytes frame_event(const Event& ev) { return frame(encode_event(ev)); }
+
+void FrameParser::feed(ByteSpan chunk) {
+  // Compact lazily: drop consumed prefix when it dominates the buffer.
+  if (consumed_ > 0 && consumed_ * 2 > pending_.size()) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+}
+
+Result<Bytes> FrameParser::next() {
+  const std::size_t avail = pending_.size() - consumed_;
+  constexpr std::size_t kPrefix = 4 + 8;
+  if (avail < kPrefix) return err(StatusCode::kWouldBlock, "need header");
+  Reader r(ByteSpan(pending_.data() + consumed_, avail));
+  const std::uint32_t len = r.u32();
+  const std::uint64_t checksum = r.u64();
+  if (len > kMaxFrame) return err(StatusCode::kCorrupt, "oversized frame");
+  if (avail < kPrefix + len) return err(StatusCode::kWouldBlock, "need body");
+  ByteSpan body(pending_.data() + consumed_ + kPrefix, len);
+  if (fnv1a(body) != checksum) {
+    return err(StatusCode::kCorrupt, "frame checksum mismatch");
+  }
+  Bytes out(body.begin(), body.end());
+  consumed_ += kPrefix + len;
+  return out;
+}
+
+}  // namespace admire::serialize

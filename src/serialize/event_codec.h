@@ -1,0 +1,51 @@
+// Event <-> bytes codec (PBIO-analogue for the ECho substrate): a stable
+// binary encoding of every payload kind plus the event header, wrapped in
+// a checksummed frame for transport.
+#pragma once
+
+#include "common/status.h"
+#include "event/event.h"
+#include "serialize/wire.h"
+
+namespace admire::serialize {
+
+/// Encode the full event (header + payload + padding) into `out`'s buffer.
+void encode_event(const event::Event& ev, Writer& out);
+
+/// Convenience: encode to a fresh buffer.
+Bytes encode_event(const event::Event& ev);
+
+/// Decode one event; kCorrupt on truncation, unknown tags or trailing junk
+/// inside the event region.
+Result<event::Event> decode_event(ByteSpan data);
+
+/// Frame = u32 length of body | u64 fnv1a(body) | body. Suitable for
+/// streaming over TCP; see FrameParser for incremental reads.
+Bytes frame(ByteSpan body);
+Bytes frame_event(const event::Event& ev);
+
+/// Incremental frame parser: feed arbitrary chunks, poll complete bodies.
+class FrameParser {
+ public:
+  /// Append newly received bytes.
+  void feed(ByteSpan chunk);
+
+  /// Extract the next complete, checksum-verified frame body.
+  /// kWouldBlock = need more data; kCorrupt = bad checksum or oversized
+  /// frame (the stream should be dropped).
+  Result<Bytes> next();
+
+  /// Frames larger than this are treated as corruption (protects against
+  /// desynchronized length prefixes). Generous vs. the 8 KB max event.
+  static constexpr std::size_t kMaxFrame = 4 * 1024 * 1024;
+
+  /// Bytes fed but not yet consumed by a completed frame — nonzero after a
+  /// final kWouldBlock means the stream ended mid-record (torn tail).
+  std::size_t pending_bytes() const { return pending_.size() - consumed_; }
+
+ private:
+  Bytes pending_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace admire::serialize

@@ -1,0 +1,139 @@
+// Endian-safe binary writer/reader over byte buffers. Little-endian wire
+// format with LEB128 varints for counts; doubles travel as IEEE-754 bits.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace admire::serialize {
+
+/// Appends primitives to an owned Bytes buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_le(bits);
+  }
+
+  /// Unsigned LEB128 varint (1..10 bytes).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  /// Length-prefixed byte blob.
+  void bytes(ByteSpan data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  /// Raw append without a length prefix.
+  void raw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Consumes primitives from a byte span; every read is bounds-checked and
+/// failure is sticky (subsequent reads keep failing).
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  double f64() {
+    const std::uint64_t bits = get_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (shift > 63 || !ensure(1)) {
+        ok_ = false;
+        return 0;
+      }
+      const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Bytes bytes() {
+    const std::uint64_t n = varint();
+    if (!ensure(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  bool ensure(std::uint64_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  T get_le() {
+    if (!ensure(sizeof(T))) return 0;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace admire::serialize

@@ -1,0 +1,33 @@
+#include "sim/cost_model.h"
+
+namespace admire::sim {
+
+namespace {
+Nanos scale_n(Nanos v, double f) {
+  return static_cast<Nanos>(static_cast<double>(v) * f);
+}
+}  // namespace
+
+CostModel CostModel::scaled(double factor) const {
+  CostModel out = *this;
+  out.recv_base = scale_n(recv_base, factor);
+  out.recv_per_byte = recv_per_byte * factor;
+  out.ede_base = scale_n(ede_base, factor);
+  out.ede_per_byte = ede_per_byte * factor;
+  out.mirror_fixed_base = scale_n(mirror_fixed_base, factor);
+  out.mirror_fixed_per_byte = mirror_fixed_per_byte * factor;
+  out.send_base = scale_n(send_base, factor);
+  out.send_per_byte = send_per_byte * factor;
+  out.rule_eval = scale_n(rule_eval, factor);
+  out.coalesce_buffer = scale_n(coalesce_buffer, factor);
+  out.coalesce_per_byte = coalesce_per_byte * factor;
+  out.mirror_recv_base = scale_n(mirror_recv_base, factor);
+  out.mirror_recv_per_byte = mirror_recv_per_byte * factor;
+  out.chkpt_coordinator = scale_n(chkpt_coordinator, factor);
+  out.chkpt_participant = scale_n(chkpt_participant, factor);
+  out.request_base = scale_n(request_base, factor);
+  out.request_per_byte = request_per_byte * factor;
+  return out;
+}
+
+}  // namespace admire::sim

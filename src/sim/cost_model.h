@@ -1,0 +1,99 @@
+// CostModel: virtual-time costs calibrated to the paper's hardware class
+// (300 MHz dual-P-III cluster nodes, fast SAN between them, 100 Mbps client
+// links). See DESIGN.md §6. The figure *shapes* — who wins, by what rough
+// factor, where crossovers fall — are robust to ±2x perturbations of these
+// constants (tests/sim/cost_sensitivity_test.cpp sweeps them).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace admire::sim {
+
+struct CostModel {
+  // --- Receiving task (timestamping, conversion, queueing) --------------
+  Nanos recv_base = 150 * kMicro;
+  double recv_per_byte = 100.0;  // ns per payload byte
+
+  // --- EDE business logic + client update distribution ------------------
+  Nanos ede_base = 250 * kMicro;
+  double ede_per_byte = 250.0;
+
+  // --- Mirroring machinery (charged only when mirroring is enabled) -----
+  /// Fixed per-wire-event overhead of the mirroring path: backup-queue
+  /// insert, control bookkeeping, event resubmission (the "first mirror
+  /// costs more" effect of Fig. 4 vs Fig. 5).
+  Nanos mirror_fixed_base = 18 * kMicro;
+  double mirror_fixed_per_byte = 35.0;
+  /// Per-destination send cost (serialize + channel submit), charged once
+  /// per mirror site per wire event.
+  Nanos send_base = 22 * kMicro;
+  double send_per_byte = 45.0;
+  /// Rule-engine evaluation per received event (selective mirroring's
+  /// "small amounts of additional event processing").
+  Nanos rule_eval = 4 * kMicro;
+  /// Coalescing per buffered (absorbed) event: "incoming data is first
+  /// extracted from the event stream, then filtered, and then converted
+  /// into the appropriate outgoing event format" (§3.3) — extraction and
+  /// combine-buffer copies touch the payload bytes.
+  Nanos coalesce_buffer = 10 * kMicro;
+  double coalesce_per_byte = 100.0;
+
+  // --- Mirror-site receive of a mirrored event ---------------------------
+  Nanos mirror_recv_base = 90 * kMicro;
+  double mirror_recv_per_byte = 60.0;
+
+  // --- Checkpoint protocol ----------------------------------------------
+  Nanos chkpt_coordinator = 1200 * kMicro; ///< per round at the central aux
+  Nanos chkpt_participant = 500 * kMicro;  ///< per CHKPT/COMMIT at each unit
+  Nanos control_latency = 120 * kMicro;    ///< one-way control message delay
+
+  // --- Client request servicing (initial-state snapshots) ---------------
+  Nanos request_base = 1 * kMilli;
+  double request_per_byte = 60.0;  ///< per snapshot byte built+shipped
+
+  // --- Cluster data links (central -> mirror) ---------------------------
+  double cluster_link_bps = 125.0e6;     ///< 1 Gbps-class SAN, bytes/sec
+  Nanos cluster_link_latency = 100 * kMicro;
+
+  // --- Node shape ---------------------------------------------------------
+  unsigned cpus_per_node = 2;  ///< dual-processor servers
+
+  // --- NI co-processor offload (paper §6 future work: IXP1200 boards) ---
+  /// Host-side handoff cost per wire event when the NI-resident unit does
+  /// the serialization and per-destination sends instead of the host CPU.
+  Nanos ni_handoff = 8 * kMicro;
+
+  // Derived helpers --------------------------------------------------------
+  Nanos recv_cost(std::size_t bytes) const {
+    return recv_base + static_cast<Nanos>(recv_per_byte * static_cast<double>(bytes));
+  }
+  Nanos ede_cost(std::size_t bytes) const {
+    return ede_base + static_cast<Nanos>(ede_per_byte * static_cast<double>(bytes));
+  }
+  Nanos mirror_fixed_cost(std::size_t bytes) const {
+    return mirror_fixed_base +
+           static_cast<Nanos>(mirror_fixed_per_byte * static_cast<double>(bytes));
+  }
+  Nanos send_cost(std::size_t bytes) const {
+    return send_base + static_cast<Nanos>(send_per_byte * static_cast<double>(bytes));
+  }
+  Nanos coalesce_cost(std::size_t bytes) const {
+    return coalesce_buffer +
+           static_cast<Nanos>(coalesce_per_byte * static_cast<double>(bytes));
+  }
+  Nanos mirror_recv_cost(std::size_t bytes) const {
+    return mirror_recv_base +
+           static_cast<Nanos>(mirror_recv_per_byte * static_cast<double>(bytes));
+  }
+  Nanos request_cost(std::size_t snapshot_bytes) const {
+    return request_base +
+           static_cast<Nanos>(request_per_byte * static_cast<double>(snapshot_bytes));
+  }
+
+  /// Uniformly scale all CPU cost constants (sensitivity analysis).
+  CostModel scaled(double factor) const;
+};
+
+}  // namespace admire::sim

@@ -1,0 +1,36 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace admire::sim {
+
+void SimEngine::schedule_at(Nanos t, Action fn) {
+  if (t < now_) t = now_;  // no time travel; fire "immediately"
+  calendar_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool SimEngine::step() {
+  if (calendar_.empty()) return false;
+  // priority_queue::top is const; the Action must be moved out, so copy the
+  // handle via const_cast-free extraction: take a copy of the shared fn.
+  Entry entry = calendar_.top();
+  calendar_.pop();
+  now_ = entry.at;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+Nanos SimEngine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+std::uint64_t SimEngine::run_bounded(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+}  // namespace admire::sim

@@ -1,0 +1,62 @@
+// Deterministic discrete-event simulation engine: an event calendar over
+// virtual time. Single-threaded by design — determinism is the point (the
+// host has one core; wall-clock multi-node timing would be noise, see
+// DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace admire::sim {
+
+class SimEngine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now, clamped).
+  void schedule_at(Nanos t, Action fn);
+
+  /// Schedule `fn` `delay` after the current virtual time.
+  void schedule_after(Nanos delay, Action fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  Nanos now() const { return now_; }
+
+  /// Execute one calendar entry; false when the calendar is empty.
+  bool step();
+
+  /// Run until the calendar is empty. Returns the final virtual time.
+  Nanos run();
+
+  /// Run until the calendar is empty or `limit` entries executed (guard
+  /// against accidental livelock in tests). Returns entries executed.
+  std::uint64_t run_bounded(std::uint64_t limit);
+
+  std::uint64_t executed() const { return executed_; }
+  std::size_t pending() const { return calendar_.size(); }
+
+ private:
+  struct Entry {
+    Nanos at;
+    std::uint64_t seq;  ///< FIFO tie-break for equal times => determinism
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> calendar_;
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace admire::sim

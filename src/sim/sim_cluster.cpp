@@ -1,0 +1,480 @@
+#include "sim/sim_cluster.h"
+
+#include "common/logging.h"
+
+namespace admire::sim {
+
+using checkpoint::ControlKind;
+using checkpoint::ControlMessage;
+
+/// Central site: primary mirror — aux unit pipeline + main unit (EDE) +
+/// checkpoint coordinator + (optional) adaptation controller.
+struct SimCluster::Central {
+  Central(const SimConfig& config)
+      : core(config.params, config.num_streams),
+        main(kCentralSite),
+        coordinator(kCentralSite,
+                    /*expected_replies=*/1 + config.num_mirrors),
+        cpu(config.costs.cpus_per_node) {
+    if (config.adaptation.has_value()) {
+      controller.emplace(*config.adaptation);
+    }
+  }
+
+  mirror::PipelineCore core;
+  mirror::MainUnitCore main;
+  checkpoint::Coordinator coordinator;
+  CpuResource cpu;
+  CpuResource nic{1};  ///< NI co-processor (used when config.ni_offload)
+  std::optional<adapt::AdaptationController> controller;
+  std::uint64_t pending_requests = 0;
+};
+
+/// Secondary mirror site: aux relay + main unit (EDE) + snapshot service.
+struct SimCluster::MirrorSite {
+  MirrorSite(SiteId id, const SimConfig& config)
+      : aux(id),
+        main(id),
+        cpu(config.costs.cpus_per_node),
+        data_link(config.costs.cluster_link_bps,
+                  config.costs.cluster_link_latency) {}
+
+  mirror::MirrorAuxCore aux;
+  mirror::MainUnitCore main;
+  CpuResource cpu;
+  SimLink data_link;
+  adapt::DirectiveApplier applier;
+  std::uint64_t pending_requests = 0;
+};
+
+SimCluster::SimCluster(SimConfig config)
+    : config_(std::move(config)),
+      central_(std::make_unique<Central>(config_)),
+      update_delays_(std::make_shared<metrics::LatencyRecorder>(kSecond)),
+      mirror_update_delays_(std::make_shared<metrics::LatencyRecorder>(kSecond)),
+      request_latency_(std::make_shared<metrics::LatencyRecorder>(kSecond)),
+      request_rng_(config_.request_seed),
+      fault_rng_(config_.fault_seed) {
+  for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
+    mirrors_.push_back(
+        std::make_unique<MirrorSite>(static_cast<SiteId>(i + 1), config_));
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+SimResult SimCluster::run(const workload::Trace& trace,
+                          const workload::RequestTrace& requests) {
+  arrivals_total_ = trace.size();
+  if (config_.closed_loop_source) {
+    source_queue_.reserve(trace.size());
+    for (const auto& item : trace.items) source_queue_.push_back(item.ev);
+    engine_.schedule_at(0, [this] { feed_next_closed_loop(); });
+  } else {
+    for (const auto& item : trace.items) {
+      engine_.schedule_at(item.at, [this, ev = item.ev]() mutable {
+        on_arrival(std::move(ev));
+      });
+    }
+  }
+  for (const Nanos at : requests.arrivals) {
+    engine_.schedule_at(at, [this, at] { on_request(at); });
+  }
+  if (config_.auto_request_rate > 0.0) schedule_next_auto_request();
+
+  engine_.run();
+
+  SimResult result;
+  result.total_time = completion_watermark_;
+  result.event_completion = event_completion_;
+  result.request_completion = request_completion_;
+  result.events_offered = arrivals_total_;
+  result.wire_events_mirrored = wire_events_mirrored_;
+  result.requests_served = requests_served_;
+  result.checkpoints_committed = central_->coordinator.rounds_committed();
+  result.checkpoints_started = central_->coordinator.rounds_started();
+  result.control_messages_dropped = control_messages_dropped_;
+  result.adaptation_transitions = adaptation_transitions_;
+  result.backup_sizes.push_back(central_->core.backup().size());
+  for (const auto& m : mirrors_) {
+    result.backup_sizes.push_back(m->aux.backup().size());
+  }
+  result.update_delays = update_delays_;
+  result.mirror_update_delays = mirror_update_delays_;
+  result.request_latency = request_latency_;
+  result.rule_counters = central_->core.rule_counters();
+  result.pipeline_counters = central_->core.counters();
+  result.state_fingerprints.push_back(central_->main.state().fingerprint());
+  for (const auto& m : mirrors_) {
+    result.state_fingerprints.push_back(m->main.state().fingerprint());
+  }
+  const Nanos horizon = std::max<Nanos>(completion_watermark_, 1);
+  result.cpu_utilization.push_back(central_->cpu.utilization(horizon));
+  for (const auto& m : mirrors_) {
+    result.cpu_utilization.push_back(m->cpu.utilization(horizon));
+  }
+  return result;
+}
+
+// --- Event path ------------------------------------------------------------
+
+void SimCluster::on_arrival(event::Event ev) {
+  const std::size_t bytes = ev.wire_size();
+  Nanos work = config_.costs.recv_cost(bytes);
+  if (config_.mirroring_enabled) work += config_.costs.rule_eval;
+  const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+  const Nanos ingress = engine_.now();
+  engine_.schedule_at(done, [this, ev = std::move(ev), ingress]() mutable {
+    ev.header().ingress_time = ingress;
+    do_recv(std::move(ev));
+    if (config_.closed_loop_source) feed_next_closed_loop();
+  });
+}
+
+void SimCluster::feed_next_closed_loop() {
+  if (source_cursor_ >= source_queue_.size()) return;
+  on_arrival(std::move(source_queue_[source_cursor_++]));
+}
+
+void SimCluster::do_recv(event::Event ev) {
+  ++arrivals_processed_;
+  if (!config_.mirroring_enabled) {
+    // Baseline server: straight to business logic.
+    forward_to_main(ev);
+    check_done_flush();
+    return;
+  }
+  const auto outcome = central_->core.on_incoming(std::move(ev), engine_.now());
+  // fwd(): the local main unit processes the full stream.
+  if (outcome.forward.has_value()) forward_to_main(*outcome.forward);
+  if (outcome.enqueued) schedule_send_step();
+  if (outcome.combined_enqueued) schedule_send_step();
+  if (outcome.checkpoint_due) start_checkpoint();
+  check_done_flush();
+}
+
+void SimCluster::schedule_send_step() {
+  ++sends_scheduled_;
+  auto step = central_->core.try_send_step();
+  if (!step.has_value()) {
+    ++sends_completed_;
+    check_done_flush();
+    return;
+  }
+  Nanos work = 0;
+  if (step->to_send.empty()) {
+    // Coalescing buffered the event: extraction + combine-buffer copy.
+    work = config_.costs.coalesce_cost(step->offered_bytes);
+  } else {
+    for (const auto& out : step->to_send) {
+      const std::size_t bytes = out.wire_size();
+      work += config_.costs.mirror_fixed_cost(bytes);
+      work += static_cast<Nanos>(mirrors_.size()) *
+              config_.costs.send_cost(bytes);
+    }
+  }
+  if (config_.ni_offload && !step->to_send.empty()) {
+    // NI-resident auxiliary unit (§6): the host only hands wire events to
+    // the co-processor; serialization + per-destination sends run there.
+    const Nanos handoff = static_cast<Nanos>(step->to_send.size()) *
+                          config_.costs.ni_handoff;
+    const Nanos host_done = central_->cpu.schedule_job(engine_.now(), handoff);
+    const Nanos nic_done = central_->nic.schedule_job(host_done, work);
+    engine_.schedule_at(nic_done,
+                        [this, s = std::move(*step)] { dispatch_send(s); });
+    return;
+  }
+  const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+  engine_.schedule_at(done, [this, s = std::move(*step)] { dispatch_send(s); });
+}
+
+void SimCluster::dispatch_send(const mirror::PipelineCore::SendStep& step) {
+  for (const auto& ev : step.to_send) deliver_to_mirrors(ev);
+  ++sends_completed_;
+  check_done_flush();
+}
+
+void SimCluster::forward_to_main(const event::Event& ev) {
+  const Nanos work = config_.costs.ede_cost(ev.wire_size());
+  const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+  ++outstanding_central_ede_;
+  engine_.schedule_at(done, [this, ev] {
+    --outstanding_central_ede_;
+    const auto outputs = central_->main.process(ev);
+    for (const auto& out : outputs) {
+      const Nanos delay = engine_.now() - out.header().ingress_time;
+      update_delays_->add(out.header().ingress_time, delay);
+    }
+    event_completion_ = std::max(event_completion_, engine_.now());
+    bump_completion(engine_.now());
+  });
+}
+
+void SimCluster::deliver_to_mirrors(const event::Event& ev) {
+  const std::size_t bytes = ev.wire_size();
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    const Nanos at = mirrors_[i]->data_link.delivery_time(engine_.now(), bytes);
+    ++wire_events_mirrored_;
+    ++outstanding_mirror_events_;
+    engine_.schedule_at(at, [this, i, ev] { mirror_recv(i, ev); });
+  }
+}
+
+void SimCluster::mirror_recv(std::size_t idx, event::Event ev) {
+  const std::size_t bytes = ev.wire_size();
+  const Nanos recv_done =
+      mirror_cpu_job(idx, config_.costs.mirror_recv_cost(bytes));
+  engine_.schedule_at(recv_done, [this, idx, ev = std::move(ev)]() mutable {
+    auto& s = *mirrors_[idx];
+    s.aux.on_mirrored(std::move(ev));
+    auto next = s.aux.next_for_main();
+    if (!next.has_value()) {
+      --outstanding_mirror_events_;
+      return;
+    }
+    const Nanos done = mirror_cpu_job(idx, config_.costs.ede_cost(next->wire_size()));
+    engine_.schedule_at(done, [this, idx, fwd = std::move(*next)] {
+      auto& site2 = *mirrors_[idx];
+      const auto outputs = site2.main.process(fwd);
+      for (const auto& out : outputs) {
+        mirror_update_delays_->add(out.header().ingress_time,
+                                   engine_.now() - out.header().ingress_time);
+      }
+      --outstanding_mirror_events_;
+      event_completion_ = std::max(event_completion_, engine_.now());
+      bump_completion(engine_.now());
+    });
+  });
+}
+
+void SimCluster::check_done_flush() {
+  if (flushed_ || !config_.mirroring_enabled) return;
+  if (arrivals_processed_ < arrivals_total_) return;
+  if (sends_completed_ < sends_scheduled_) return;
+  flushed_ = true;
+  auto step = central_->core.flush();
+  if (step.to_send.empty()) return;
+  Nanos work = 0;
+  for (const auto& out : step.to_send) {
+    const std::size_t bytes = out.wire_size();
+    work += config_.costs.mirror_fixed_cost(bytes);
+    work += static_cast<Nanos>(mirrors_.size()) * config_.costs.send_cost(bytes);
+  }
+  const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+  ++sends_scheduled_;
+  engine_.schedule_at(done, [this, s = std::move(step)] { dispatch_send(s); });
+}
+
+// --- Checkpoint protocol (Fig. 3) -------------------------------------------
+
+void SimCluster::start_checkpoint() {
+  Bytes piggyback = evaluate_adaptation();
+  const auto last = central_->core.backup().last_vts();
+  const ControlMessage chkpt = central_->coordinator.begin_round(
+      last.value_or(central_->core.stamp()), std::move(piggyback));
+  const Nanos done = central_->cpu.schedule_job(
+      engine_.now(), config_.costs.chkpt_coordinator);
+  engine_.schedule_at(done, [this, chkpt] {
+    central_self_reply(chkpt);
+    for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+      if (drop_control()) continue;  // CHKPT lost on the wire
+      engine_.schedule_after(config_.costs.control_latency,
+                             [this, i, chkpt] { mirror_on_chkpt(i, chkpt); });
+    }
+  });
+}
+
+void SimCluster::central_self_reply(const ControlMessage& chkpt) {
+  // The central site's own main unit participates without network hops.
+  const Nanos done = central_->cpu.schedule_job(
+      engine_.now(), config_.costs.chkpt_participant);
+  engine_.schedule_at(done, [this, chkpt] {
+    central_on_reply(central_->main.on_chkpt(chkpt));
+  });
+}
+
+void SimCluster::mirror_on_chkpt(std::size_t idx, ControlMessage chkpt) {
+  maybe_apply_directive(chkpt.piggyback, idx);
+  const Nanos done = mirror_cpu_job(idx, config_.costs.chkpt_participant);
+  engine_.schedule_at(done, [this, idx, chkpt = std::move(chkpt)] {
+    auto& s = *mirrors_[idx];
+    const auto relayed = s.aux.relay_chkpt(chkpt);
+    ControlMessage reply = s.main.on_chkpt(relayed);
+    auto forwarded = s.aux.relay_reply(reply);
+    if (!forwarded.has_value()) return;  // guard filtered a stale reply
+    // Piggyback the mirror's monitored variables on the reply.
+    adapt::MonitorReport report;
+    report.site = s.aux.site();
+    report.samples = {
+        {adapt::MonitoredVariable::kReadyQueueLength,
+         static_cast<double>(s.aux.ready().size())},
+        {adapt::MonitoredVariable::kBackupQueueLength,
+         static_cast<double>(s.aux.backup().size())},
+        {adapt::MonitoredVariable::kPendingRequests,
+         static_cast<double>(s.pending_requests)},
+    };
+    forwarded->piggyback = adapt::encode_report(report);
+    if (drop_control()) return;  // CHKPT_REP lost on the wire
+    engine_.schedule_after(
+        config_.costs.control_latency,
+        [this, r = std::move(*forwarded)] { central_on_reply(r); });
+  });
+}
+
+void SimCluster::central_on_reply(ControlMessage reply) {
+  if (!reply.piggyback.empty() && central_->controller.has_value()) {
+    auto report = adapt::decode_report(
+        ByteSpan(reply.piggyback.data(), reply.piggyback.size()));
+    if (report.is_ok()) central_->controller->ingest(report.value());
+  }
+  auto commit = central_->coordinator.on_reply(reply);
+  if (commit.has_value()) broadcast_commit(*commit);
+}
+
+void SimCluster::broadcast_commit(const ControlMessage& commit) {
+  // Central aux unit trims its own backup queue.
+  central_->core.backup().trim_committed(commit.vts);
+  // Central main unit.
+  const Nanos done = central_->cpu.schedule_job(
+      engine_.now(), config_.costs.chkpt_participant);
+  engine_.schedule_at(done, [this, commit] { central_->main.on_commit(commit); });
+  // Mirror sites.
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    if (drop_control()) continue;  // COMMIT lost on the wire
+    engine_.schedule_after(config_.costs.control_latency,
+                           [this, i, commit] { mirror_on_commit(i, commit); });
+  }
+}
+
+void SimCluster::mirror_on_commit(std::size_t idx, ControlMessage commit) {
+  maybe_apply_directive(commit.piggyback, idx);
+  const Nanos done = mirror_cpu_job(idx, config_.costs.chkpt_participant);
+  engine_.schedule_at(done, [this, idx, commit = std::move(commit)] {
+    auto& s = *mirrors_[idx];
+    const auto forwarded = s.aux.on_commit(commit);
+    s.main.on_commit(forwarded);
+  });
+}
+
+void SimCluster::maybe_apply_directive(const Bytes& piggyback,
+                                       std::size_t mirror_idx) {
+  if (piggyback.empty()) return;
+  auto directive =
+      adapt::decode_directive(ByteSpan(piggyback.data(), piggyback.size()));
+  if (!directive.is_ok()) return;  // it was a monitor report or garbage
+  auto& site = *mirrors_[mirror_idx];
+  (void)site.applier.apply(directive.value());
+  // Mirror sites track the installed function (checkpoint frequency and
+  // config visibility); the semantic rules themselves execute at the
+  // central site's pipeline, which installed the spec when the directive
+  // was issued.
+}
+
+Bytes SimCluster::evaluate_adaptation() {
+  if (!central_->controller.has_value()) return {};
+  auto& controller = *central_->controller;
+  controller.observe(kCentralSite, adapt::MonitoredVariable::kReadyQueueLength,
+                     static_cast<double>(central_->core.ready().size()));
+  controller.observe(kCentralSite,
+                     adapt::MonitoredVariable::kBackupQueueLength,
+                     static_cast<double>(central_->core.backup().size()));
+  controller.observe(kCentralSite, adapt::MonitoredVariable::kPendingRequests,
+                     static_cast<double>(central_->pending_requests));
+  auto directive = controller.evaluate();
+  if (!directive.has_value()) return {};
+  ++adaptation_transitions_;
+  // Apply to the central pipeline immediately; mirrors get it by piggyback.
+  central_->core.install(directive->spec);
+  ADMIRE_LOG(kInfo, "adaptation ", directive->engaged ? "ENGAGED" : "RELEASED",
+             " -> ", directive->spec.name, " at t=",
+             to_seconds(engine_.now()), "s");
+  return adapt::encode_directive(*directive);
+}
+
+Nanos SimCluster::mirror_cpu_job(std::size_t idx, Nanos work) {
+  Nanos start = engine_.now();
+  if (config_.outage_duration > 0 && idx == config_.outage_mirror) {
+    const Nanos end = config_.outage_from + config_.outage_duration;
+    if (start >= config_.outage_from && start < end) start = end;
+  }
+  return mirrors_[idx]->cpu.schedule_job(start, work);
+}
+
+bool SimCluster::drop_control() {
+  if (config_.control_loss_probability <= 0.0) return false;
+  const bool drop = fault_rng_.next_bool(config_.control_loss_probability);
+  if (drop) ++control_messages_dropped_;
+  return drop;
+}
+
+bool SimCluster::events_fully_done() const {
+  return arrivals_processed_ >= arrivals_total_ &&
+         sends_completed_ >= sends_scheduled_ && outstanding_central_ede_ == 0 &&
+         outstanding_mirror_events_ == 0 &&
+         (flushed_ || !config_.mirroring_enabled);
+}
+
+void SimCluster::schedule_next_auto_request() {
+  const Nanos gap = static_cast<Nanos>(
+      request_rng_.next_exponential(1e9 / config_.auto_request_rate));
+  engine_.schedule_after(gap, [this] {
+    // The constant load lasts while the server is still working through
+    // the event sequence; afterwards the generator stops (the experiment's
+    // total time then includes draining requests already admitted).
+    if (events_fully_done()) return;
+    on_request(engine_.now());
+    schedule_next_auto_request();
+  });
+}
+
+// --- Client requests ---------------------------------------------------------
+
+std::size_t SimCluster::pick_site() {
+  const std::size_t sites =
+      config_.lb == LbPolicy::kMirrorsOnly && !mirrors_.empty()
+          ? mirrors_.size()
+          : mirrors_.size() + 1;
+  if (config_.lb == LbPolicy::kLeastLoaded) {
+    std::size_t best = 0;
+    std::uint64_t best_pending = central_->pending_requests;
+    for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+      if (mirrors_[i]->pending_requests < best_pending) {
+        best_pending = mirrors_[i]->pending_requests;
+        best = i + 1;
+      }
+    }
+    return best;
+  }
+  const std::size_t slot = rr_cursor_++ % sites;
+  if (config_.lb == LbPolicy::kMirrorsOnly && !mirrors_.empty()) {
+    return slot + 1;
+  }
+  return slot;  // 0 = central, 1..m = mirrors
+}
+
+void SimCluster::on_request(Nanos at) {
+  const std::size_t site_idx = pick_site();
+  mirror::MainUnitCore& main =
+      site_idx == 0 ? central_->main : mirrors_[site_idx - 1]->main;
+  CpuResource& cpu = site_idx == 0 ? central_->cpu : mirrors_[site_idx - 1]->cpu;
+  std::uint64_t* pending = site_idx == 0
+                               ? &central_->pending_requests
+                               : &mirrors_[site_idx - 1]->pending_requests;
+
+  ++*pending;
+  const auto chunks = main.build_snapshot(next_request_id_++);
+  std::size_t snapshot_bytes = 0;
+  for (const auto& c : chunks) snapshot_bytes += c.wire_size();
+  const Nanos work = config_.costs.request_cost(snapshot_bytes);
+  const Nanos done = site_idx == 0 ? cpu.schedule_job(engine_.now(), work)
+                                   : mirror_cpu_job(site_idx - 1, work);
+  engine_.schedule_at(done, [this, at, pending] {
+    --*pending;
+    ++requests_served_;
+    request_latency_->add(at, engine_.now() - at);
+    request_completion_ = std::max(request_completion_, engine_.now());
+    bump_completion(engine_.now());
+  });
+}
+
+}  // namespace admire::sim

@@ -1,0 +1,187 @@
+// SimCluster: discrete-event simulation of the mirrored OIS server. It
+// drives the *same* synchronous cores (PipelineCore, MainUnitCore,
+// MirrorAuxCore, Coordinator/Participant, AdaptationController) as the
+// threaded runtime, charging virtual time from a CostModel — so the timing
+// figures exercise the middleware's real decision logic while remaining
+// deterministic on a 1-core host.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "checkpoint/coordinator.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "mirror/main_unit_core.h"
+#include "mirror/mirror_aux_core.h"
+#include "mirror/pipeline_core.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "workload/trace.h"
+
+namespace admire::sim {
+
+/// How client requests are spread over sites. The central site is the
+/// primary mirror (paper §3.1), so the default includes it in the pool.
+enum class LbPolicy : std::uint8_t {
+  kAllSites = 0,     ///< round robin over central + mirrors
+  kMirrorsOnly = 1,  ///< round robin over mirrors only
+  kLeastLoaded = 2,  ///< pick the site with fewest outstanding requests
+};
+
+struct SimConfig {
+  std::size_t num_mirrors = 1;
+  /// false = baseline "no mirroring" server: events go straight to the EDE
+  /// with no aux-unit machinery (Fig. 4's solid baseline).
+  bool mirroring_enabled = true;
+  rules::MirroringParams params;  ///< central pipeline configuration
+  std::optional<adapt::AdaptationPolicy> adaptation;
+  CostModel costs;
+  LbPolicy lb = LbPolicy::kAllSites;
+  std::size_t num_streams = 2;
+  /// Closed-loop source: present the next event as soon as the receiving
+  /// task accepts the previous one (the §4.1/4.2 "entire sequence of
+  /// events presented to the mirroring system" throughput setup). When
+  /// false, events arrive at their trace times (open loop, §4.3).
+  bool closed_loop_source = false;
+  /// Sustained request load: Poisson arrivals at this rate (req/s) lasting
+  /// as long as event processing is still in progress — the "constant
+  /// request load" of §4.2 where httperf runs for the whole experiment.
+  /// 0 = disabled (use the explicit RequestTrace instead).
+  double auto_request_rate = 0.0;
+  std::uint64_t request_seed = 0x5151;
+  /// Failure injection: drop each control message (CHKPT/CHKPT_REP/COMMIT
+  /// crossing the cluster network) with this probability. The paper argues
+  /// the protocol needs no timeouts because later rounds encapsulate lost
+  /// ones — tests exercise exactly that.
+  double control_loss_probability = 0.0;
+  std::uint64_t fault_seed = 0xFA17;
+  /// Future-work extension (§6): offload the sending side of the central
+  /// auxiliary unit to a network-interface co-processor — per-destination
+  /// serialization and submission run on the NI, the host CPU only pays a
+  /// small handoff per wire event.
+  bool ni_offload = false;
+  /// Reliability extension (§1: "increased reliability gained from the
+  /// availability of critical data on multiple cluster nodes ... not
+  /// explored in detail herein"): one mirror browns out — its CPUs make no
+  /// progress during [outage_from, outage_from + outage_duration); work
+  /// queues and resumes afterwards. The least-loaded balancer steers
+  /// requests around it via the growing pending counter.
+  std::size_t outage_mirror = 0;
+  Nanos outage_from = 0;
+  Nanos outage_duration = 0;  ///< 0 = no outage
+};
+
+struct SimResult {
+  Nanos total_time = 0;           ///< all events processed + requests served
+  Nanos event_completion = 0;     ///< last EDE completion across all sites
+  Nanos request_completion = 0;   ///< last client request served
+  std::uint64_t events_offered = 0;
+  std::uint64_t wire_events_mirrored = 0;  ///< per-mirror copies delivered
+  std::uint64_t requests_served = 0;
+  std::uint64_t checkpoints_committed = 0;
+  std::uint64_t checkpoints_started = 0;
+  std::uint64_t control_messages_dropped = 0;
+  std::uint64_t adaptation_transitions = 0;
+  /// Residual backup-queue sizes after the run: [central aux, mirrors...].
+  std::vector<std::size_t> backup_sizes;
+
+  std::shared_ptr<metrics::LatencyRecorder> update_delays;   ///< central EDE
+  /// Update delays observed at mirror-site EDEs — what clients attached to
+  /// mirror sites experience (used by the Fig. 8 reproduction).
+  std::shared_ptr<metrics::LatencyRecorder> mirror_update_delays;
+  std::shared_ptr<metrics::LatencyRecorder> request_latency;
+
+  rules::RuleCounters rule_counters;
+  mirror::PipelineCounters pipeline_counters;
+
+  std::vector<std::uint64_t> state_fingerprints;  ///< [central, mirrors...]
+  std::vector<double> cpu_utilization;            ///< per site over total_time
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimConfig config);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Run the full experiment: events arrive at the central site per the
+  /// trace's times; client requests arrive per the request trace.
+  SimResult run(const workload::Trace& trace,
+                const workload::RequestTrace& requests);
+
+ private:
+  struct Central;
+  struct MirrorSite;
+
+  void on_arrival(event::Event ev);
+  void feed_next_closed_loop();
+  void do_recv(event::Event ev);
+  void schedule_send_step();
+  void dispatch_send(const mirror::PipelineCore::SendStep& step);
+  void forward_to_main(const event::Event& ev);
+  void deliver_to_mirrors(const event::Event& ev);
+  void mirror_recv(std::size_t idx, event::Event ev);
+  void check_done_flush();
+
+  void start_checkpoint();
+  void central_self_reply(const checkpoint::ControlMessage& chkpt);
+  void mirror_on_chkpt(std::size_t idx, checkpoint::ControlMessage chkpt);
+  void central_on_reply(checkpoint::ControlMessage reply);
+  void broadcast_commit(const checkpoint::ControlMessage& commit);
+  void mirror_on_commit(std::size_t idx, checkpoint::ControlMessage commit);
+  void maybe_apply_directive(const Bytes& piggyback, std::size_t mirror_idx);
+  Bytes evaluate_adaptation();
+
+  void on_request(Nanos at);
+  void schedule_next_auto_request();
+  bool events_fully_done() const;
+  bool drop_control();  ///< failure injection coin flip
+  /// Schedule CPU work at mirror `idx`, deferring starts that fall inside
+  /// the configured brown-out window.
+  Nanos mirror_cpu_job(std::size_t idx, Nanos work);
+  std::size_t pick_site();  ///< 0 = central, 1..m = mirrors
+
+  void bump_completion(Nanos t) {
+    completion_watermark_ = std::max(completion_watermark_, t);
+  }
+
+  SimConfig config_;
+  SimEngine engine_;
+
+  std::unique_ptr<Central> central_;
+  std::vector<std::unique_ptr<MirrorSite>> mirrors_;
+
+  std::shared_ptr<metrics::LatencyRecorder> update_delays_;
+  std::shared_ptr<metrics::LatencyRecorder> mirror_update_delays_;
+  std::shared_ptr<metrics::LatencyRecorder> request_latency_;
+  Rng request_rng_{0x5151};
+  Rng fault_rng_{0xFA17};
+  std::uint64_t control_messages_dropped_ = 0;
+
+  // Run bookkeeping.
+  std::vector<event::Event> source_queue_;  // closed-loop mode
+  std::size_t source_cursor_ = 0;
+  std::uint64_t arrivals_total_ = 0;
+  std::uint64_t arrivals_processed_ = 0;
+  std::uint64_t sends_scheduled_ = 0;
+  std::uint64_t sends_completed_ = 0;
+  bool flushed_ = false;
+  std::uint64_t outstanding_central_ede_ = 0;
+  std::uint64_t outstanding_mirror_events_ = 0;
+  std::uint64_t wire_events_mirrored_ = 0;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::size_t rr_cursor_ = 0;
+  Nanos completion_watermark_ = 0;
+  Nanos event_completion_ = 0;
+  Nanos request_completion_ = 0;
+  std::uint64_t adaptation_transitions_ = 0;
+};
+
+}  // namespace admire::sim

@@ -1,0 +1,163 @@
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "transport/link.h"
+
+namespace admire::transport {
+namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+/// One direction of a shaped pipe: a bounded queue whose items become
+/// visible only after their computed delivery time (latency + serialization
+/// time at the configured bandwidth, FIFO per link).
+class ShapedPipe {
+ public:
+  ShapedPipe(std::size_t capacity, LinkShaping shaping)
+      : capacity_(capacity), shaping_(shaping) {}
+
+  Status send(Bytes message) {
+    std::unique_lock lock(mu_);
+    writable_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return err(StatusCode::kClosed, "link closed");
+    items_.push_back(Item{compute_delivery(message.size()), std::move(message)});
+    lock.unlock();
+    readable_.notify_one();
+    return Status::ok();
+  }
+
+  std::optional<Bytes> receive() {
+    std::unique_lock lock(mu_);
+    while (true) {
+      readable_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      const auto ready = items_.front().deliver_at;
+      const auto now = std::chrono::steady_clock::now();
+      if (ready <= now) break;
+      // Head-of-line shaping delay: wait until the head is deliverable.
+      readable_.wait_until(lock, ready);
+    }
+    Bytes out = std::move(items_.front().message);
+    items_.pop_front();
+    lock.unlock();
+    writable_.notify_one();
+    return out;
+  }
+
+  std::optional<Bytes> receive_for(std::chrono::milliseconds d) {
+    const auto deadline = std::chrono::steady_clock::now() + d;
+    std::unique_lock lock(mu_);
+    while (true) {
+      if (!readable_.wait_until(lock, deadline,
+                                [&] { return closed_ || !items_.empty(); })) {
+        return std::nullopt;  // timeout
+      }
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      const auto ready = items_.front().deliver_at;
+      if (ready <= std::chrono::steady_clock::now()) break;
+      if (ready >= deadline) {
+        readable_.wait_until(lock, deadline);
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+      } else {
+        readable_.wait_until(lock, ready);
+      }
+    }
+    Bytes out = std::move(items_.front().message);
+    items_.pop_front();
+    lock.unlock();
+    writable_.notify_one();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    readable_.notify_all();
+    writable_.notify_all();
+  }
+
+  bool is_closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  struct Item {
+    SteadyTime deliver_at;
+    Bytes message;
+  };
+
+  SteadyTime compute_delivery(std::size_t size) {
+    const auto now = std::chrono::steady_clock::now();
+    auto start = std::max(now, link_free_at_);
+    if (shaping_.bytes_per_second > 0.0) {
+      const auto tx = std::chrono::nanoseconds(static_cast<Nanos>(
+          static_cast<double>(size) / shaping_.bytes_per_second * 1e9));
+      link_free_at_ = start + tx;
+      start = link_free_at_;
+    }
+    return start + std::chrono::nanoseconds(shaping_.latency);
+  }
+
+  const std::size_t capacity_;
+  const LinkShaping shaping_;
+  mutable std::mutex mu_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<Item> items_;
+  SteadyTime link_free_at_{};
+  bool closed_ = false;
+};
+
+/// Endpoint pairing one outgoing and one incoming pipe.
+class InProcessEndpoint final : public MessageLink {
+ public:
+  InProcessEndpoint(std::shared_ptr<ShapedPipe> out,
+                    std::shared_ptr<ShapedPipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~InProcessEndpoint() override { close(); }
+
+  Status send(Bytes message) override { return out_->send(std::move(message)); }
+
+  std::optional<Bytes> receive() override { return in_->receive(); }
+
+  std::optional<Bytes> receive_for(std::chrono::milliseconds d) override {
+    return in_->receive_for(d);
+  }
+
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+  bool is_closed() const override {
+    return out_->is_closed() || in_->is_closed();
+  }
+
+  std::size_t pending() const override { return in_->pending(); }
+
+ private:
+  std::shared_ptr<ShapedPipe> out_;
+  std::shared_ptr<ShapedPipe> in_;
+};
+
+}  // namespace
+
+std::pair<std::shared_ptr<MessageLink>, std::shared_ptr<MessageLink>>
+make_inprocess_link_pair(std::size_t capacity, LinkShaping shaping) {
+  auto a_to_b = std::make_shared<ShapedPipe>(capacity, shaping);
+  auto b_to_a = std::make_shared<ShapedPipe>(capacity, shaping);
+  return {std::make_shared<InProcessEndpoint>(a_to_b, b_to_a),
+          std::make_shared<InProcessEndpoint>(b_to_a, a_to_b)};
+}
+
+}  // namespace admire::transport

@@ -1,0 +1,59 @@
+// Bidirectional frame-oriented message links. The mirroring middleware is
+// written against this abstraction so the same code runs over in-process
+// queues (threaded single-process cluster emulation) or TCP sockets
+// (multi-process cluster emulation on one box).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace admire::transport {
+
+/// One endpoint of a reliable, ordered, bidirectional message pipe.
+/// send() enqueues one message body; receive() blocks for the next one.
+/// Implementations must be safe for one concurrent sender and one
+/// concurrent receiver per endpoint (the aux-unit task structure needs
+/// exactly that).
+class MessageLink {
+ public:
+  virtual ~MessageLink() = default;
+
+  /// Enqueue one message. kClosed once either side has closed.
+  virtual Status send(Bytes message) = 0;
+
+  /// Blocking receive; nullopt means closed-and-drained.
+  virtual std::optional<Bytes> receive() = 0;
+
+  /// Receive with timeout; nullopt on timeout or closed-and-drained
+  /// (check is_closed() to distinguish when it matters).
+  virtual std::optional<Bytes> receive_for(std::chrono::milliseconds d) = 0;
+
+  /// Half-close: wakes blocked peers; further sends fail.
+  virtual void close() = 0;
+
+  virtual bool is_closed() const = 0;
+
+  /// Messages queued toward this endpoint but not yet received (best
+  /// effort; used by monitoring, not for protocol decisions).
+  virtual std::size_t pending() const = 0;
+};
+
+/// Optional traffic shaping for in-process links: emulate link latency and
+/// finite bandwidth so threaded-mode experiments see transfer costs.
+struct LinkShaping {
+  Nanos latency = 0;              ///< one-way propagation delay
+  double bytes_per_second = 0.0;  ///< 0 = unlimited
+};
+
+/// Create a connected pair of in-process endpoints. `capacity` bounds the
+/// number of in-flight messages per direction (back-pressure).
+std::pair<std::shared_ptr<MessageLink>, std::shared_ptr<MessageLink>>
+make_inprocess_link_pair(std::size_t capacity = 1024,
+                         LinkShaping shaping = {});
+
+}  // namespace admire::transport

@@ -1,0 +1,195 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "serialize/event_codec.h"
+
+namespace admire::transport {
+namespace {
+
+Status errno_status(StatusCode code, const char* what) {
+  return err(code, std::string(what) + ": " + std::strerror(errno));
+}
+
+/// MessageLink over a connected socket. One mutex serializes writers; the
+/// reader side is single-consumer (receive() performs the blocking reads
+/// and incremental frame parsing itself — no extra reader thread).
+class TcpLink final : public MessageLink {
+ public:
+  explicit TcpLink(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  ~TcpLink() override { close(); }
+
+  Status send(Bytes message) override {
+    const Bytes framed = serialize::frame(message);
+    std::lock_guard lock(send_mu_);
+    if (closed_.load(std::memory_order_acquire)) {
+      return err(StatusCode::kClosed, "tcp link closed");
+    }
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status(StatusCode::kUnavailable, "send");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+  }
+
+  std::optional<Bytes> receive() override { return receive_impl(-1); }
+
+  std::optional<Bytes> receive_for(std::chrono::milliseconds d) override {
+    return receive_impl(static_cast<int>(d.count()));
+  }
+
+  void close() override {
+    bool expected = false;
+    if (closed_.compare_exchange_strong(expected, true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+    }
+  }
+
+  bool is_closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  std::size_t pending() const override { return 0; }  // kernel-buffered
+
+ private:
+  std::optional<Bytes> receive_impl(int timeout_ms) {
+    std::lock_guard lock(recv_mu_);
+    while (true) {
+      // Drain any already-buffered complete frame first.
+      auto res = parser_.next();
+      if (res.is_ok()) return std::move(res).value();
+      if (res.status().code() == StatusCode::kCorrupt) {
+        close();
+        return std::nullopt;
+      }
+      if (closed_.load(std::memory_order_acquire)) return std::nullopt;
+
+      struct pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr == 0) return std::nullopt;  // timeout
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      std::byte buf[16 * 1024];
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n == 0) {
+        close();
+        // Peer closed: any partially buffered frame is unusable.
+        return std::nullopt;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        close();
+        return std::nullopt;
+      }
+      parser_.feed(ByteSpan(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  serialize::FrameParser parser_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<MessageLink>> tcp_connect(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return errno_status(StatusCode::kInternal, "socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return err(StatusCode::kInvalidArgument, "bad address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      return std::static_pointer_cast<MessageLink>(
+          std::make_shared<TcpLink>(fd));
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return errno_status(StatusCode::kUnavailable, "connect");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status(StatusCode::kInternal, "socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return errno_status(StatusCode::kUnavailable, "bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return errno_status(StatusCode::kUnavailable, "listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return errno_status(StatusCode::kInternal, "getsockname");
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+Result<std::shared_ptr<MessageLink>> TcpListener::accept() {
+  while (true) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      return std::static_pointer_cast<MessageLink>(
+          std::make_shared<TcpLink>(cfd));
+    }
+    if (errno == EINTR) continue;
+    return err(StatusCode::kClosed, "listener closed");
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace admire::transport

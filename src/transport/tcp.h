@@ -1,0 +1,47 @@
+// TCP realization of MessageLink: length-prefixed checksummed frames over a
+// loopback (or real) socket. Used for multi-process cluster emulation on
+// one box — each mirror site can run as its own OS process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "transport/link.h"
+
+namespace admire::transport {
+
+/// Connect to a listening peer. Blocking; retries for up to `timeout`
+/// (covers the race where the client starts before the server's listen()).
+Result<std::shared_ptr<MessageLink>> tcp_connect(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+/// Listening socket accepting MessageLink connections.
+class TcpListener {
+ public:
+  /// Bind and listen on 127.0.0.1:`port`; port 0 picks a free port
+  /// (see port() for the actual value).
+  static Result<std::unique_ptr<TcpListener>> bind(std::uint16_t port);
+
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocking accept of the next connection; kClosed after close().
+  Result<std::shared_ptr<MessageLink>> accept();
+
+  /// Unblocks pending accept() calls.
+  void close();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace admire::transport

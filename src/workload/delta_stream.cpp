@@ -1,0 +1,96 @@
+#include "workload/delta_stream.h"
+
+#include <algorithm>
+
+namespace admire::workload {
+
+namespace {
+
+event::DeltaStatus status_of(FlightKey flight, event::FlightStatus s,
+                             std::uint32_t ticketed, std::uint16_t gate) {
+  event::DeltaStatus st;
+  st.flight = flight;
+  st.status = s;
+  st.gate = gate;
+  st.passengers_ticketed = ticketed;
+  return st;
+}
+
+}  // namespace
+
+Trace generate_delta_stream(const DeltaStreamConfig& config) {
+  Rng rng(config.seed);
+  struct Pending {
+    Nanos at;
+    event::Event ev;  // seq filled after the global time sort
+  };
+  std::vector<Pending> pending;
+
+  for (std::uint32_t i = 0; i < config.num_flights; ++i) {
+    const auto flight = static_cast<FlightKey>(i + 1);
+    const auto gate = static_cast<std::uint16_t>(1 + rng.next_below(60));
+    const bool arrives = rng.next_double() < config.arriving_fraction;
+    const double h = static_cast<double>(config.horizon);
+
+    // Departure phase in the first third of the horizon.
+    Nanos t = static_cast<Nanos>(rng.next_double() * h * 0.15);
+    auto push_status = [&](event::FlightStatus s) {
+      pending.push_back(
+          {t, event::make_delta_status(
+                  config.stream, 0,
+                  status_of(flight, s, config.passengers_per_flight, gate),
+                  config.padding_bytes)});
+    };
+
+    push_status(event::FlightStatus::kScheduled);
+    t += static_cast<Nanos>(rng.next_double() * h * 0.05);
+    push_status(event::FlightStatus::kBoarding);
+
+    // Gate-reader swipes while boarding.
+    for (std::uint32_t p = 0; p < config.passengers_per_flight; ++p) {
+      t += static_cast<Nanos>(rng.next_double() * h * 0.02);
+      event::PassengerBoarded pb;
+      pb.flight = flight;
+      pb.passenger_id = flight * 1000 + p;
+      pending.push_back({t, event::make_passenger_boarded(config.stream, 0, pb)});
+    }
+    for (std::uint32_t b = 0; b < config.bags_per_flight; ++b) {
+      const Nanos bag_t =
+          t - static_cast<Nanos>(rng.next_double() * h * 0.03);
+      event::BaggageLoaded bl;
+      bl.flight = flight;
+      bl.bag_id = flight * 1000 + b;
+      pending.push_back({std::max<Nanos>(bag_t, 0),
+                         event::make_baggage_loaded(config.stream, 0, bl)});
+    }
+
+    t += static_cast<Nanos>(rng.next_double() * h * 0.05);
+    push_status(event::FlightStatus::kDeparted);
+
+    if (arrives) {
+      // Arrival phase in the last half: landed -> at runway -> at gate.
+      t = static_cast<Nanos>(h * (0.5 + rng.next_double() * 0.4));
+      push_status(event::FlightStatus::kLanded);
+      t += static_cast<Nanos>(rng.next_double() * h * 0.03);
+      push_status(event::FlightStatus::kAtRunway);
+      t += static_cast<Nanos>(rng.next_double() * h * 0.03);
+      push_status(event::FlightStatus::kAtGate);
+    }
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.at < b.at;
+                   });
+
+  Trace trace;
+  trace.items.reserve(pending.size());
+  SeqNo seq = 1;
+  for (auto& p : pending) {
+    p.ev.header().seq = seq++;
+    trace.items.push_back(TimedEvent{p.at, std::move(p.ev)});
+  }
+  return trace;
+}
+
+}  // namespace admire::workload

@@ -1,0 +1,29 @@
+// Synthetic Delta-internal stream: flight lifecycle status transitions,
+// gate-reader passenger boardings and baggage scans — "current flight
+// status (landed, taxiing), passenger and baggage information" (§3.3).
+// A configurable fraction of flights completes the landed → at-runway →
+// at-gate sequence within the trace, exercising the complex-tuple rule.
+#pragma once
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace admire::workload {
+
+struct DeltaStreamConfig {
+  StreamId stream = 1;
+  std::uint32_t num_flights = 50;
+  /// Passengers ticketed (and eventually boarded) per flight.
+  std::uint32_t passengers_per_flight = 8;
+  std::uint32_t bags_per_flight = 4;
+  /// Fraction of flights that complete arrival within the trace.
+  double arriving_fraction = 0.5;
+  /// Lifecycle events for flight i are spread across [0, horizon].
+  Nanos horizon = 10 * kSecond;
+  std::size_t padding_bytes = 256;
+  std::uint64_t seed = 0x2;
+};
+
+Trace generate_delta_stream(const DeltaStreamConfig& config);
+
+}  // namespace admire::workload

@@ -1,0 +1,58 @@
+#include "workload/faa_stream.h"
+
+#include <cmath>
+
+namespace admire::workload {
+
+FlightTrack::FlightTrack(FlightKey flight, Rng& rng) : flight_(flight) {
+  pos_.flight = flight;
+  pos_.lat_deg = 24.0 + rng.next_double() * 25.0;    // continental US-ish
+  pos_.lon_deg = -125.0 + rng.next_double() * 58.0;
+  pos_.altitude_ft = 28'000.0 + rng.next_double() * 10'000.0;
+  pos_.ground_speed_kts = 380.0 + rng.next_double() * 160.0;
+  pos_.heading_deg = rng.next_double() * 360.0;
+}
+
+event::FaaPosition FlightTrack::step(Nanos dt) {
+  const double hours = to_seconds(dt) / 3600.0;
+  const double dist_nm = pos_.ground_speed_kts * hours;
+  const double heading_rad = pos_.heading_deg * 3.14159265358979 / 180.0;
+  pos_.lat_deg += dist_nm / 60.0 * std::cos(heading_rad);
+  pos_.lon_deg += dist_nm / 60.0 * std::sin(heading_rad) /
+                  std::max(0.2, std::cos(pos_.lat_deg * 3.14159265 / 180.0));
+  // Gentle heading drift keeps tracks plausible without extra state.
+  pos_.heading_deg = std::fmod(pos_.heading_deg + dist_nm * 0.05, 360.0);
+  return pos_;
+}
+
+Trace generate_faa_stream(const FaaStreamConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.items.reserve(config.num_events);
+
+  std::vector<FlightTrack> tracks;
+  tracks.reserve(config.num_flights);
+  for (std::uint32_t i = 0; i < config.num_flights; ++i) {
+    tracks.emplace_back(static_cast<FlightKey>(i + 1), rng);
+  }
+
+  Nanos now = 0;
+  Nanos last_step_for_flight = 0;
+  SeqNo seq = 1;
+  for (std::uint64_t i = 0; i < config.num_events; ++i) {
+    now += static_cast<Nanos>(rng.next_exponential(
+        static_cast<double>(config.mean_interarrival)));
+    // Round-robin-with-jitter flight selection: every flight receives long
+    // runs of updates while arrival order interleaves realistically.
+    auto& track = tracks[rng.next_below(tracks.size())];
+    const Nanos dt = now - last_step_for_flight;
+    last_step_for_flight = now;
+    const event::FaaPosition pos = track.step(std::max<Nanos>(dt, kMilli));
+    trace.items.push_back(TimedEvent{
+        now, event::make_faa_position(config.stream, seq++, pos,
+                                      config.padding_bytes)});
+  }
+  return trace;
+}
+
+}  // namespace admire::workload

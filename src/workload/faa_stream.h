@@ -1,0 +1,43 @@
+// Synthetic FAA flight-position stream — the paper's experiments replay "a
+// demo replay of original FAA streams [containing] flight position entries
+// for different flights". This generator reproduces the structural
+// properties the semantic rules exploit: long per-flight runs of position
+// updates (overwritable), flights landing mid-trace, and a tail of
+// positions arriving after landing (discardable via complex-seq rules).
+#pragma once
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace admire::workload {
+
+struct FaaStreamConfig {
+  StreamId stream = 0;
+  std::uint32_t num_flights = 50;
+  std::uint64_t num_events = 5000;
+  /// Mean inter-arrival between consecutive stream events (exponential
+  /// jitter around it keeps per-flight runs irregular but reproducible).
+  Nanos mean_interarrival = 2 * kMilli;
+  /// Padding appended to each event (experiments sweep wire size).
+  std::size_t padding_bytes = 1024;
+  std::uint64_t seed = 0x1;
+};
+
+Trace generate_faa_stream(const FaaStreamConfig& config);
+
+/// Deterministic kinematic model for one flight; exposed for tests.
+class FlightTrack {
+ public:
+  FlightTrack(FlightKey flight, Rng& rng);
+
+  /// Advance by dt and return the new position report.
+  event::FaaPosition step(Nanos dt);
+
+  FlightKey flight() const { return flight_; }
+
+ private:
+  FlightKey flight_;
+  event::FaaPosition pos_;
+};
+
+}  // namespace admire::workload

@@ -1,0 +1,90 @@
+#include "workload/requests.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace admire::workload {
+
+RequestTrace constant_rate_requests(double per_second, Nanos duration,
+                                    std::uint64_t seed,
+                                    double jitter_fraction) {
+  RequestTrace out;
+  if (per_second <= 0.0 || duration <= 0) return out;
+  Rng rng(seed);
+  const double gap_ns = 1e9 / per_second;
+  double t = gap_ns * rng.next_double();  // random phase
+  while (t < static_cast<double>(duration)) {
+    out.arrivals.push_back(static_cast<Nanos>(t));
+    const double jitter = 1.0 + jitter_fraction * (rng.next_double() - 0.5);
+    t += gap_ns * jitter;
+  }
+  return out;
+}
+
+RequestTrace poisson_requests(double per_second, Nanos duration,
+                              std::uint64_t seed) {
+  RequestTrace out;
+  if (per_second <= 0.0 || duration <= 0) return out;
+  Rng rng(seed);
+  double t = 0.0;
+  const double mean_gap_ns = 1e9 / per_second;
+  while (true) {
+    t += rng.next_exponential(mean_gap_ns);
+    if (t >= static_cast<double>(duration)) break;
+    out.arrivals.push_back(static_cast<Nanos>(t));
+  }
+  return out;
+}
+
+RequestTrace bursty_requests(double base_per_second, double burst_per_second,
+                             Nanos period, double duty, Nanos duration,
+                             std::uint64_t seed) {
+  RequestTrace out;
+  if (duration <= 0 || period <= 0) return out;
+  Rng rng(seed);
+  double t = 0.0;
+  while (t < static_cast<double>(duration)) {
+    const double phase =
+        std::fmod(t, static_cast<double>(period)) / static_cast<double>(period);
+    const double rate = phase < duty ? burst_per_second : base_per_second;
+    if (rate <= 0.0) {
+      // Skip to the next phase boundary.
+      const double next_boundary =
+          (std::floor(t / static_cast<double>(period)) + (phase < duty ? duty : 1.0)) *
+          static_cast<double>(period);
+      t = next_boundary + 1.0;
+      continue;
+    }
+    t += rng.next_exponential(1e9 / rate);
+    if (t < static_cast<double>(duration)) {
+      out.arrivals.push_back(static_cast<Nanos>(t));
+    }
+  }
+  return out;
+}
+
+RequestTrace recovery_spike_requests(std::size_t count, Nanos at,
+                                     double background_per_second,
+                                     Nanos duration, std::uint64_t seed) {
+  RequestTrace out = poisson_requests(background_per_second, duration, seed);
+  Rng rng(seed ^ 0xABCD);
+  for (std::size_t i = 0; i < count; ++i) {
+    // The terminal's displays reconnect within a ~50 ms window.
+    out.arrivals.push_back(at + static_cast<Nanos>(rng.next_double() * 50.0 *
+                                                   static_cast<double>(kMilli)));
+  }
+  std::sort(out.arrivals.begin(), out.arrivals.end());
+  return out;
+}
+
+RequestTrace merge_requests(std::vector<RequestTrace> traces) {
+  RequestTrace out;
+  for (auto& t : traces) {
+    out.arrivals.insert(out.arrivals.end(), t.arrivals.begin(),
+                        t.arrivals.end());
+  }
+  std::sort(out.arrivals.begin(), out.arrivals.end());
+  return out;
+}
+
+}  // namespace admire::workload

@@ -1,0 +1,39 @@
+// Client-request load generators — the httperf substitute. The paper uses
+// httperf as a constant-rate or bursty source of initial-state requests
+// against mirror sites; these open-loop generators provide the same rate
+// semantics deterministically.
+#pragma once
+
+#include "common/rng.h"
+#include "workload/trace.h"
+
+namespace admire::workload {
+
+/// Constant-rate arrivals (httperf's default open-loop behaviour) with
+/// optional small jitter so arrivals do not phase-lock with event arrivals.
+RequestTrace constant_rate_requests(double per_second, Nanos duration,
+                                    std::uint64_t seed = 0x10,
+                                    double jitter_fraction = 0.1);
+
+/// Poisson process at the given mean rate.
+RequestTrace poisson_requests(double per_second, Nanos duration,
+                              std::uint64_t seed = 0x11);
+
+/// Bursty square-wave load (Fig. 9): `base_per_second` normally, spiking to
+/// `burst_per_second` for `duty` of each `period`.
+RequestTrace bursty_requests(double base_per_second, double burst_per_second,
+                             Nanos period, double duty, Nanos duration,
+                             std::uint64_t seed = 0x12);
+
+/// Power-failure recovery spike: `count` simultaneous initial-state
+/// requests at time `at` (an airport terminal coming back up), on top of a
+/// light background rate.
+RequestTrace recovery_spike_requests(std::size_t count, Nanos at,
+                                     double background_per_second,
+                                     Nanos duration,
+                                     std::uint64_t seed = 0x13);
+
+/// Merge request traces (sorted result).
+RequestTrace merge_requests(std::vector<RequestTrace> traces);
+
+}  // namespace admire::workload

@@ -1,0 +1,35 @@
+#include "workload/scenario.h"
+
+namespace admire::workload {
+
+Trace make_ois_trace(const ScenarioConfig& config) {
+  FaaStreamConfig faa;
+  faa.stream = 0;
+  faa.num_flights = config.num_flights;
+  faa.num_events = config.faa_events;
+  faa.mean_interarrival =
+      config.faa_events > 0
+          ? std::max<Nanos>(1, config.event_horizon /
+                                   static_cast<Nanos>(config.faa_events))
+          : kMilli;
+  faa.padding_bytes = config.event_padding;
+  faa.seed = config.seed;
+
+  std::vector<Trace> parts;
+  parts.push_back(generate_faa_stream(faa));
+
+  if (config.include_delta_stream) {
+    DeltaStreamConfig delta;
+    delta.stream = 1;
+    delta.num_flights = config.num_flights;
+    delta.passengers_per_flight = config.passengers_per_flight;
+    delta.horizon = config.event_horizon;
+    delta.padding_bytes = std::min<std::size_t>(config.event_padding, 256);
+    delta.seed = config.seed ^ 0x9E3779B9;
+    parts.push_back(generate_delta_stream(delta));
+  }
+
+  return merge_traces(std::move(parts));
+}
+
+}  // namespace admire::workload

@@ -1,0 +1,30 @@
+// Canonical experiment scenarios: pre-assembled OIS workloads matching the
+// paper's evaluation setup — the "flight positions" event sequence plus the
+// Delta lifecycle stream, with knobs for the axes the figures sweep
+// (event size, mirror count handled elsewhere, request rate).
+#pragma once
+
+#include "workload/delta_stream.h"
+#include "workload/faa_stream.h"
+#include "workload/requests.h"
+
+namespace admire::workload {
+
+struct ScenarioConfig {
+  std::uint64_t faa_events = 5000;
+  std::uint32_t num_flights = 50;
+  std::size_t event_padding = 1024;   ///< the figures' event-size axis
+  Nanos event_horizon = 10 * kSecond; ///< arrival span of the event sequence
+  bool include_delta_stream = true;
+  std::uint32_t passengers_per_flight = 8;
+  std::uint64_t seed = 42;
+};
+
+/// The merged two-stream OIS input trace (§3.3: "Two types of event
+/// streams exist in our application").
+Trace make_ois_trace(const ScenarioConfig& config);
+
+/// Number of distinct input streams in traces built by make_ois_trace.
+inline constexpr std::size_t kOisStreams = 2;
+
+}  // namespace admire::workload

@@ -1,0 +1,41 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+namespace admire::workload {
+
+std::uint64_t Trace::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& item : items) sum += item.ev.wire_size();
+  return sum;
+}
+
+std::size_t Trace::count_type(event::EventType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(items.begin(), items.end(),
+                    [&](const TimedEvent& e) { return e.ev.type() == t; }));
+}
+
+Trace merge_traces(std::vector<Trace> traces) {
+  Trace out;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.items.size();
+  out.items.reserve(total);
+  for (auto& t : traces) {
+    out.items.insert(out.items.end(),
+                     std::make_move_iterator(t.items.begin()),
+                     std::make_move_iterator(t.items.end()));
+  }
+  std::stable_sort(out.items.begin(), out.items.end(),
+                   [](const TimedEvent& a, const TimedEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+double RequestTrace::rate_over(Nanos horizon) const {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(arrivals.size()) / to_seconds(horizon);
+}
+
+}  // namespace admire::workload

@@ -1,0 +1,46 @@
+// Timed event traces: the unit of workload exchanged between generators,
+// the threaded replayer and the discrete-event simulator. Deterministic
+// given the generator seed.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "event/event.h"
+
+namespace admire::workload {
+
+struct TimedEvent {
+  Nanos at = 0;  ///< arrival time at the central site (virtual ns from t=0)
+  event::Event ev;
+};
+
+struct Trace {
+  std::vector<TimedEvent> items;
+
+  Nanos duration() const { return items.empty() ? 0 : items.back().at; }
+  std::size_t size() const { return items.size(); }
+  bool empty() const { return items.empty(); }
+
+  /// Total wire bytes across all events.
+  std::uint64_t total_bytes() const;
+
+  /// Count of events of one type.
+  std::size_t count_type(event::EventType t) const;
+};
+
+/// Stable merge of several traces by arrival time (ties broken by input
+/// order, preserving per-stream FIFO).
+Trace merge_traces(std::vector<Trace> traces);
+
+/// Client-request arrival times (initial-state requests hitting mirrors).
+struct RequestTrace {
+  std::vector<Nanos> arrivals;  ///< sorted, ns from t=0
+
+  std::size_t size() const { return arrivals.size(); }
+
+  /// Requests per second over the span [0, horizon].
+  double rate_over(Nanos horizon) const;
+};
+
+}  // namespace admire::workload

@@ -1,0 +1,103 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "serialize/event_codec.h"
+#include "serialize/wire.h"
+
+namespace admire::workload {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41444D54;  // "ADMT"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+Bytes encode_trace(const Trace& trace) {
+  serialize::Writer body(trace.size() * 64);
+  body.varint(trace.size());
+  Nanos prev = 0;
+  for (const auto& item : trace.items) {
+    // Delta-encoded arrival times: traces are time-sorted, so deltas are
+    // small non-negative varints.
+    body.varint(static_cast<std::uint64_t>(item.at - prev));
+    prev = item.at;
+    body.bytes(serialize::encode_event(item.ev));
+  }
+  const Bytes& inner = body.buffer();
+
+  serialize::Writer out(inner.size() + 24);
+  out.u32(kMagic);
+  out.u16(kVersion);
+  out.u64(fnv1a(ByteSpan(inner.data(), inner.size())));
+  out.raw(ByteSpan(inner.data(), inner.size()));
+  return out.take();
+}
+
+Result<Trace> decode_trace(ByteSpan data) {
+  serialize::Reader header(data);
+  if (header.u32() != kMagic) {
+    return err(StatusCode::kCorrupt, "bad trace magic");
+  }
+  if (header.u16() != kVersion) {
+    return err(StatusCode::kCorrupt, "unsupported trace version");
+  }
+  const std::uint64_t checksum = header.u64();
+  if (!header.ok()) return err(StatusCode::kCorrupt, "truncated trace header");
+  ByteSpan body(data.data() + header.position(),
+                data.size() - header.position());
+  if (fnv1a(body) != checksum) {
+    return err(StatusCode::kCorrupt, "trace checksum mismatch");
+  }
+
+  serialize::Reader r(body);
+  const std::uint64_t count = r.varint();
+  if (!r.ok() || count > 100'000'000) {
+    return err(StatusCode::kCorrupt, "implausible trace length");
+  }
+  Trace trace;
+  trace.items.reserve(count);
+  Nanos at = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    at += static_cast<Nanos>(r.varint());
+    const Bytes wire = r.bytes();
+    if (!r.ok()) return err(StatusCode::kCorrupt, "truncated trace item");
+    auto ev = serialize::decode_event(ByteSpan(wire.data(), wire.size()));
+    if (!ev.is_ok()) return ev.status();
+    trace.items.push_back(TimedEvent{at, std::move(ev).value()});
+  }
+  if (r.remaining() != 0) {
+    return err(StatusCode::kCorrupt, "trailing bytes after trace");
+  }
+  return trace;
+}
+
+Status save_trace(const Trace& trace, const std::string& path) {
+  const Bytes data = encode_trace(trace);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!file) return err(StatusCode::kUnavailable, "cannot open " + path);
+  if (std::fwrite(data.data(), 1, data.size(), file.get()) != data.size()) {
+    return err(StatusCode::kUnavailable, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+Result<Trace> load_trace(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) return err(StatusCode::kNotFound, "cannot open " + path);
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return err(StatusCode::kUnavailable, "seek failed");
+  }
+  const long size = std::ftell(file.get());
+  if (size < 0) return err(StatusCode::kUnavailable, "tell failed");
+  std::rewind(file.get());
+  Bytes data(static_cast<std::size_t>(size));
+  if (std::fread(data.data(), 1, data.size(), file.get()) != data.size()) {
+    return err(StatusCode::kUnavailable, "short read from " + path);
+  }
+  return decode_trace(ByteSpan(data.data(), data.size()));
+}
+
+}  // namespace admire::workload

@@ -1,0 +1,25 @@
+// Trace persistence: save/load timed event traces as binary files so
+// experiments replay bit-identical workloads across machines and runs —
+// the equivalent of the paper's "demo replay of original FAA streams".
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+namespace admire::workload {
+
+/// File format: magic+version header, varint item count, then per item a
+/// varint arrival time delta and a length-prefixed encoded event, followed
+/// by a trailing checksum over the whole body.
+Status save_trace(const Trace& trace, const std::string& path);
+
+/// Load a trace written by save_trace; kCorrupt on any mismatch.
+Result<Trace> load_trace(const std::string& path);
+
+/// In-memory variants (tests, embedding traces in other streams).
+Bytes encode_trace(const Trace& trace);
+Result<Trace> decode_trace(ByteSpan data);
+
+}  // namespace admire::workload

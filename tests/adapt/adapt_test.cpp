@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "adapt/controller.h"
+#include "adapt/directive.h"
+
+namespace admire::adapt {
+namespace {
+
+AdaptationPolicy switch_policy(double primary = 10, double secondary = 5) {
+  AdaptationPolicy p;
+  p.thresholds = {{MonitoredVariable::kPendingRequests, primary, secondary}};
+  p.mode = PolicyMode::kSwitchFunction;
+  p.normal_spec = rules::fig9_function_a();
+  p.engaged_spec = rules::fig9_function_b();
+  return p;
+}
+
+TEST(Directive, CodecRoundTrip) {
+  AdaptationDirective d;
+  d.epoch = 9;
+  d.engaged = true;
+  d.spec = rules::selective_mirroring(16, 200);
+  const Bytes body = encode_directive(d);
+  auto decoded = decode_directive(ByteSpan(body.data(), body.size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), d);
+}
+
+TEST(Directive, ReportCodecRoundTrip) {
+  MonitorReport r;
+  r.site = 3;
+  r.samples = {{MonitoredVariable::kReadyQueueLength, 42.5},
+               {MonitoredVariable::kPendingRequests, 7.0}};
+  const Bytes body = encode_report(r);
+  auto decoded = decode_report(ByteSpan(body.data(), body.size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), r);
+}
+
+TEST(Directive, WrongTagRejectedByEachDecoder) {
+  const Bytes d = encode_directive({});
+  const Bytes r = encode_report({});
+  EXPECT_FALSE(decode_report(ByteSpan(d.data(), d.size())).is_ok());
+  EXPECT_FALSE(decode_directive(ByteSpan(r.data(), r.size())).is_ok());
+  EXPECT_FALSE(decode_directive({}).is_ok());
+}
+
+TEST(Adjustments, PercentMath) {
+  rules::MirrorFunctionSpec spec = rules::selective_mirroring(10, 50);
+  const auto out = apply_adjustments(
+      spec, {{ParamId::kOverwriteMax, 100}, {ParamId::kCheckpointEvery, 50}});
+  EXPECT_EQ(out.overwrite_max, 20u);
+  EXPECT_EQ(out.checkpoint_every, 75u);
+}
+
+TEST(Adjustments, NeverBelowOne) {
+  rules::MirrorFunctionSpec spec = rules::selective_mirroring(2, 10);
+  const auto out = apply_adjustments(spec, {{ParamId::kOverwriteMax, -99},
+                                            {ParamId::kCheckpointEvery, -200}});
+  EXPECT_GE(out.overwrite_max, 1u);
+  EXPECT_GE(out.checkpoint_every, 1u);
+}
+
+TEST(Adjustments, CoalesceEnableFollowsValue) {
+  rules::MirrorFunctionSpec spec = rules::simple_mirroring();
+  spec.coalesce_max = 1;
+  const auto out = apply_adjustments(spec, {{ParamId::kCoalesceMax, 400}});
+  EXPECT_EQ(out.coalesce_max, 5u);
+  EXPECT_TRUE(out.coalesce_enabled);
+}
+
+TEST(Controller, EngagesAtPrimaryThreshold) {
+  AdaptationController c(switch_policy(10, 5));
+  c.observe(1, MonitoredVariable::kPendingRequests, 9.0);
+  EXPECT_FALSE(c.evaluate().has_value());
+  EXPECT_FALSE(c.engaged());
+  c.observe(1, MonitoredVariable::kPendingRequests, 10.0);
+  auto d = c.evaluate();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->engaged);
+  EXPECT_EQ(d->spec, rules::fig9_function_b());
+  EXPECT_EQ(d->epoch, 1u);
+  EXPECT_TRUE(c.engaged());
+}
+
+TEST(Controller, HysteresisReleaseBelowPrimaryMinusSecondary) {
+  AdaptationController c(switch_policy(10, 5));
+  c.observe(1, MonitoredVariable::kPendingRequests, 12.0);
+  ASSERT_TRUE(c.evaluate().has_value());
+  // Paper: "the re-installation of the original mechanism takes place when
+  // the monitored value falls below (primary - secondary)".
+  c.observe(1, MonitoredVariable::kPendingRequests, 7.0);  // in the band
+  EXPECT_FALSE(c.evaluate().has_value());
+  EXPECT_TRUE(c.engaged());
+  c.observe(1, MonitoredVariable::kPendingRequests, 4.9);  // below band
+  auto d = c.evaluate();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->engaged);
+  EXPECT_EQ(d->spec, rules::fig9_function_a());
+  EXPECT_EQ(d->epoch, 2u);
+}
+
+TEST(Controller, NoDirectiveWhileStateUnchanged) {
+  AdaptationController c(switch_policy());
+  c.observe(1, MonitoredVariable::kPendingRequests, 100.0);
+  EXPECT_TRUE(c.evaluate().has_value());
+  EXPECT_FALSE(c.evaluate().has_value());  // still engaged, no re-issue
+  EXPECT_EQ(c.transitions(), 1u);
+}
+
+TEST(Controller, MaxAcrossSitesDrivesDecision) {
+  AdaptationController c(switch_policy(10, 5));
+  c.observe(1, MonitoredVariable::kPendingRequests, 2.0);
+  c.observe(2, MonitoredVariable::kPendingRequests, 11.0);
+  c.observe(3, MonitoredVariable::kPendingRequests, 1.0);
+  EXPECT_TRUE(c.evaluate().has_value());
+  EXPECT_DOUBLE_EQ(c.max_value(MonitoredVariable::kPendingRequests), 11.0);
+  // Release requires EVERY site back under the band.
+  c.observe(2, MonitoredVariable::kPendingRequests, 4.0);
+  c.observe(1, MonitoredVariable::kPendingRequests, 6.0);
+  EXPECT_FALSE(c.evaluate().has_value());
+  c.observe(1, MonitoredVariable::kPendingRequests, 2.0);
+  EXPECT_TRUE(c.evaluate().has_value());
+}
+
+TEST(Controller, IngestReportsFromMirrors) {
+  AdaptationController c(switch_policy(10, 5));
+  MonitorReport report;
+  report.site = 4;
+  report.samples = {{MonitoredVariable::kPendingRequests, 50.0}};
+  c.ingest(report);
+  EXPECT_TRUE(c.evaluate().has_value());
+}
+
+TEST(Controller, AdjustParamsMode) {
+  AdaptationPolicy p;
+  p.thresholds = {{MonitoredVariable::kReadyQueueLength, 100, 50}};
+  p.mode = PolicyMode::kAdjustParams;
+  p.normal_spec = rules::selective_mirroring(10, 50);
+  p.adjustments = {{ParamId::kOverwriteMax, 100}};
+  AdaptationController c(p);
+  c.observe(0, MonitoredVariable::kReadyQueueLength, 200.0);
+  auto d = c.evaluate();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->spec.overwrite_max, 20u);
+  EXPECT_EQ(c.current_spec().overwrite_max, 20u);
+}
+
+TEST(Controller, MultipleThresholdsAnyEngages) {
+  AdaptationPolicy p = switch_policy(10, 5);
+  p.thresholds.push_back({MonitoredVariable::kReadyQueueLength, 100, 50});
+  AdaptationController c(p);
+  c.observe(1, MonitoredVariable::kReadyQueueLength, 150.0);
+  EXPECT_TRUE(c.evaluate().has_value());
+}
+
+TEST(Applier, AppliesInEpochOrderOnce) {
+  DirectiveApplier applier;
+  AdaptationDirective d1{1, true, rules::fig9_function_b()};
+  AdaptationDirective d2{2, false, rules::fig9_function_a()};
+  EXPECT_TRUE(applier.apply(d1).has_value());
+  EXPECT_FALSE(applier.apply(d1).has_value());  // duplicate
+  EXPECT_TRUE(applier.apply(d2).has_value());
+  EXPECT_FALSE(applier.apply(d1).has_value());  // stale
+  EXPECT_EQ(applier.last_epoch(), 2u);
+  EXPECT_EQ(applier.applied_count(), 2u);
+}
+
+}  // namespace
+}  // namespace admire::adapt

@@ -1,0 +1,76 @@
+// Coordinator membership changes (recovery extension): shrinking must not
+// leave rounds stalled on dead sites, growing must wait for the joiner.
+#include <gtest/gtest.h>
+
+#include "checkpoint/coordinator.h"
+
+namespace admire::checkpoint {
+namespace {
+
+event::VectorTimestamp vts(SeqNo s0) {
+  event::VectorTimestamp v;
+  v.observe(0, s0);
+  return v;
+}
+
+ControlMessage reply(std::uint64_t round, SiteId from, SeqNo upto) {
+  ControlMessage m;
+  m.kind = ControlKind::kChkptReply;
+  m.round = round;
+  m.from = from;
+  m.vts = vts(upto);
+  return m;
+}
+
+TEST(Membership, ShrinkUnblocksStalledRound) {
+  Coordinator coord(0, 3);
+  const auto chkpt = coord.begin_round(vts(10));
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 1, 10)).has_value());
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 2, 8)).has_value());
+  // Site 3 died; membership drops to 2 and the round commits immediately.
+  auto commit = coord.set_expected_replies(2);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->vts, vts(8));
+  EXPECT_EQ(coord.expected_replies(), 2u);
+}
+
+TEST(Membership, ShrinkWithNoCompletableRoundReturnsNothing) {
+  Coordinator coord(0, 3);
+  (void)coord.begin_round(vts(10));  // zero replies so far
+  EXPECT_FALSE(coord.set_expected_replies(2).has_value());
+  EXPECT_EQ(coord.open_rounds(), 1u);
+}
+
+TEST(Membership, ShrinkCommitsNewestCompletableRound) {
+  Coordinator coord(0, 3);
+  const auto r1 = coord.begin_round(vts(10));
+  const auto r2 = coord.begin_round(vts(20));
+  (void)coord.on_reply(reply(r1.round, 1, 9));
+  (void)coord.on_reply(reply(r1.round, 2, 9));
+  (void)coord.on_reply(reply(r2.round, 1, 19));
+  (void)coord.on_reply(reply(r2.round, 2, 18));
+  auto commit = coord.set_expected_replies(2);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->round, r2.round);  // newest wins; r1 encapsulated
+  EXPECT_EQ(commit->vts, vts(18));
+  EXPECT_EQ(coord.open_rounds(), 0u);
+}
+
+TEST(Membership, GrowRequiresJoinerReply) {
+  Coordinator coord(0, 1);
+  EXPECT_FALSE(coord.set_expected_replies(2).has_value());
+  const auto chkpt = coord.begin_round(vts(5));
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 1, 5)).has_value());
+  auto commit = coord.on_reply(reply(chkpt.round, 9, 4));
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->vts, vts(4));
+}
+
+TEST(Membership, ShrinkClampsToOne) {
+  Coordinator coord(0, 2);
+  (void)coord.set_expected_replies(0);
+  EXPECT_EQ(coord.expected_replies(), 1u);
+}
+
+}  // namespace
+}  // namespace admire::checkpoint

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "checkpoint/coordinator.h"
+#include "checkpoint/participant.h"
+#include "common/rng.h"
+
+namespace admire::checkpoint {
+namespace {
+
+event::VectorTimestamp vts(SeqNo s0, SeqNo s1 = 0) {
+  event::VectorTimestamp v;
+  v.observe(0, s0);
+  if (s1 > 0) v.observe(1, s1);
+  return v;
+}
+
+ControlMessage reply(std::uint64_t round, SiteId from,
+                     const event::VectorTimestamp& v) {
+  ControlMessage m;
+  m.kind = ControlKind::kChkptReply;
+  m.round = round;
+  m.from = from;
+  m.vts = v;
+  return m;
+}
+
+TEST(Messages, CodecRoundTrip) {
+  ControlMessage m;
+  m.kind = ControlKind::kCommit;
+  m.round = 17;
+  m.from = 3;
+  m.vts = vts(100, 50);
+  m.piggyback = to_bytes("directive");
+  const Bytes body = encode_control(m);
+  auto decoded = decode_control(ByteSpan(body.data(), body.size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), m);
+}
+
+TEST(Messages, ThroughControlEvent) {
+  ControlMessage m;
+  m.kind = ControlKind::kChkpt;
+  m.round = 1;
+  m.vts = vts(5);
+  const event::Event ev = to_control_event(m);
+  EXPECT_EQ(ev.type(), event::EventType::kControl);
+  auto decoded = from_control_event(ev);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), m);
+}
+
+TEST(Messages, NonControlEventRejected) {
+  auto res = from_control_event(event::make_faa_position(0, 1, {}));
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Messages, CorruptBodyRejected) {
+  Bytes junk = to_bytes("\x09garbage");
+  EXPECT_FALSE(decode_control(ByteSpan(junk.data(), junk.size())).is_ok());
+  EXPECT_FALSE(decode_control({}).is_ok());
+}
+
+TEST(Messages, KindNames) {
+  EXPECT_STREQ(control_kind_name(ControlKind::kChkpt), "CHKPT");
+  EXPECT_STREQ(control_kind_name(ControlKind::kChkptReply), "CHKPT_REP");
+  EXPECT_STREQ(control_kind_name(ControlKind::kCommit), "COMMIT");
+}
+
+TEST(Coordinator, SingleRoundCommitIsMinOfReplies) {
+  Coordinator coord(0, 3);
+  const auto chkpt = coord.begin_round(vts(10, 10));
+  EXPECT_EQ(chkpt.kind, ControlKind::kChkpt);
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 0, vts(10, 10))).has_value());
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 1, vts(8, 10))).has_value());
+  auto commit = coord.on_reply(reply(chkpt.round, 2, vts(10, 6)));
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->kind, ControlKind::kCommit);
+  EXPECT_EQ(commit->vts, vts(8, 6));
+  EXPECT_EQ(coord.rounds_committed(), 1u);
+  EXPECT_EQ(coord.open_rounds(), 0u);
+}
+
+TEST(Coordinator, DuplicateReplyFromSameSiteReplaces) {
+  Coordinator coord(0, 2);
+  const auto chkpt = coord.begin_round(vts(10));
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 1, vts(4))).has_value());
+  EXPECT_FALSE(coord.on_reply(reply(chkpt.round, 1, vts(6))).has_value());
+  auto commit = coord.on_reply(reply(chkpt.round, 2, vts(9)));
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->vts, vts(6));
+}
+
+TEST(Coordinator, LaterCommitEncapsulatesEarlierRound) {
+  // Paper: "if a checkpointing procedure has not completed a commit before
+  // the following one is initiated, the later commit will encapsulate the
+  // earlier one."
+  Coordinator coord(0, 2);
+  const auto r1 = coord.begin_round(vts(10));
+  const auto r2 = coord.begin_round(vts(20));
+  // Round 2 completes first.
+  EXPECT_FALSE(coord.on_reply(reply(r2.round, 1, vts(18))).has_value());
+  auto commit2 = coord.on_reply(reply(r2.round, 2, vts(19)));
+  ASSERT_TRUE(commit2.has_value());
+  EXPECT_EQ(commit2->vts, vts(18));
+  // Straggler replies for round 1 are ignored — it was encapsulated.
+  EXPECT_FALSE(coord.on_reply(reply(r1.round, 1, vts(9))).has_value());
+  EXPECT_FALSE(coord.on_reply(reply(r1.round, 2, vts(9))).has_value());
+  EXPECT_EQ(coord.rounds_committed(), 1u);
+  EXPECT_EQ(coord.committed(), vts(18));
+}
+
+TEST(Coordinator, CommitsAreMonotone) {
+  Coordinator coord(0, 1);
+  const auto r1 = coord.begin_round(vts(10));
+  auto c1 = coord.on_reply(reply(r1.round, 1, vts(10)));
+  ASSERT_TRUE(c1.has_value());
+  const auto r2 = coord.begin_round(vts(20));
+  // A lagging participant reports older progress than the last commit.
+  auto c2 = coord.on_reply(reply(r2.round, 1, vts(5)));
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_TRUE(c2->vts.dominates(c1->vts));  // merged, never regresses
+  EXPECT_EQ(c2->vts, vts(10));
+}
+
+TEST(Coordinator, UnknownRoundIgnored) {
+  Coordinator coord(0, 1);
+  EXPECT_FALSE(coord.on_reply(reply(999, 1, vts(5))).has_value());
+}
+
+TEST(Coordinator, PiggybackTravelsOnChkpt) {
+  Coordinator coord(0, 1);
+  const auto chkpt = coord.begin_round(vts(1), to_bytes("adapt-directive"));
+  EXPECT_EQ(chkpt.piggyback, to_bytes("adapt-directive"));
+}
+
+TEST(Participant, ReplyIsComponentMin) {
+  Participant p(2);
+  ControlMessage chkpt;
+  chkpt.kind = ControlKind::kChkpt;
+  chkpt.round = 4;
+  chkpt.vts = vts(10, 20);
+  const auto r = p.make_reply(chkpt, vts(15, 12));
+  EXPECT_EQ(r.kind, ControlKind::kChkptReply);
+  EXPECT_EQ(r.round, 4u);
+  EXPECT_EQ(r.from, 2u);
+  EXPECT_EQ(r.vts, vts(10, 12));
+}
+
+TEST(Participant, ApplyCommitTrimsAndIsMonotone) {
+  Participant p(1);
+  queueing::BackupQueue backup;
+  for (SeqNo i = 1; i <= 10; ++i) {
+    event::FaaPosition pos;
+    pos.flight = 1;
+    event::Event ev = event::make_faa_position(0, i, pos);
+    ev.header().vts = vts(i);
+    backup.push(std::move(ev));
+  }
+  ControlMessage commit;
+  commit.kind = ControlKind::kCommit;
+  commit.vts = vts(6);
+  EXPECT_EQ(p.apply_commit(commit, backup), 6u);
+  EXPECT_EQ(p.applied(), vts(6));
+  // Stale commit: "if a unit receives a commit identifying an event no
+  // longer in its backup, this event is ignored."
+  ControlMessage stale;
+  stale.kind = ControlKind::kCommit;
+  stale.vts = vts(3);
+  EXPECT_EQ(p.apply_commit(stale, backup), 0u);
+  EXPECT_EQ(p.commits_ignored(), 1u);
+  EXPECT_EQ(p.commits_applied(), 1u);
+  EXPECT_EQ(backup.size(), 4u);
+}
+
+TEST(ProtocolProperty, CommitNeverExceedsAnyParticipantProgress) {
+  // Randomized: for any reply pattern, the commit must be dominated by
+  // every participant's reported progress (safety: no one is asked to
+  // discard an event another site still needs).
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(6);
+    Coordinator coord(0, n);
+    const auto chkpt = coord.begin_round(vts(rng.next_below(100), rng.next_below(100)));
+    std::vector<event::VectorTimestamp> progress;
+    std::optional<ControlMessage> commit;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto local = vts(rng.next_below(100), rng.next_below(100));
+      progress.push_back(
+          event::VectorTimestamp::component_min({chkpt.vts, local}));
+      commit = coord.on_reply(
+          reply(chkpt.round, static_cast<SiteId>(i + 1), progress.back()));
+    }
+    ASSERT_TRUE(commit.has_value());
+    for (const auto& pr : progress) {
+      EXPECT_TRUE(pr.dominates(commit->vts))
+          << "commit " << commit->vts.to_string() << " exceeds participant "
+          << pr.to_string();
+    }
+  }
+}
+
+TEST(ProtocolProperty, OverlappingRoundsConvergeEventually) {
+  // Lost replies stall a round, but later rounds commit and encapsulate it
+  // (the paper's no-timeout argument).
+  Rng rng(5);
+  Coordinator coord(0, 2);
+  event::VectorTimestamp last_commit;
+  SeqNo progress = 0;
+  for (int round = 0; round < 50; ++round) {
+    progress += 10;
+    const auto chkpt = coord.begin_round(vts(progress));
+    // Site 1's reply is "lost" 30% of the time.
+    std::optional<ControlMessage> commit;
+    if (rng.next_double() > 0.3) {
+      commit = coord.on_reply(reply(chkpt.round, 1, vts(progress)));
+    }
+    auto c2 = coord.on_reply(reply(chkpt.round, 2, vts(progress)));
+    if (c2.has_value()) commit = c2;
+    if (commit.has_value()) last_commit = commit->vts;
+  }
+  // Despite losses, the committed view advanced substantially.
+  EXPECT_GE(last_commit.component(0), 100u);
+}
+
+}  // namespace
+}  // namespace admire::checkpoint

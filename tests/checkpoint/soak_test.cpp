@@ -1,0 +1,95 @@
+// Randomized protocol soak: thousands of rounds with random reply subsets,
+// reorderings, duplicate deliveries and membership changes. Safety
+// (commits monotone, never beyond any reporting participant's progress)
+// and liveness (the committed view keeps advancing) must survive all of it.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "checkpoint/coordinator.h"
+#include "checkpoint/participant.h"
+#include "common/rng.h"
+
+namespace admire::checkpoint {
+namespace {
+
+event::VectorTimestamp vts(SeqNo s) {
+  event::VectorTimestamp v;
+  v.observe(0, s);
+  return v;
+}
+
+TEST(ProtocolSoak, ChaosRunPreservesSafetyAndLiveness) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    std::size_t members = 2 + rng.next_below(4);
+    Coordinator coord(0, members);
+    // Per-site business-logic progress; sites advance at different speeds.
+    std::vector<SeqNo> progress(8, 0);
+    std::deque<ControlMessage> in_flight;  // delayed replies
+    event::VectorTimestamp last_commit;
+    SeqNo min_reported_at_commit = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+      const double coin = rng.next_double();
+      if (coin < 0.30) {
+        // Sites make progress.
+        for (std::size_t s = 0; s < members; ++s) {
+          progress[s] += rng.next_below(5);
+        }
+      } else if (coin < 0.55) {
+        // Coordinator opens a round; sites reply (some replies delayed,
+        // some lost, some duplicated).
+        const SeqNo suggested =
+            *std::max_element(progress.begin(), progress.begin() + members);
+        const auto chkpt = coord.begin_round(vts(suggested));
+        for (std::size_t s = 0; s < members; ++s) {
+          Participant p(static_cast<SiteId>(s + 1));
+          ControlMessage reply = p.make_reply(chkpt, vts(progress[s]));
+          if (rng.next_double() < 0.15) continue;      // lost
+          if (rng.next_double() < 0.3) {
+            in_flight.push_back(reply);                // delayed
+          } else {
+            auto commit = coord.on_reply(reply);
+            if (rng.next_double() < 0.1) (void)coord.on_reply(reply);  // dup
+            if (commit.has_value()) {
+              ASSERT_TRUE(commit->vts.dominates(last_commit));
+              last_commit = commit->vts;
+              min_reported_at_commit = std::max<SeqNo>(
+                  min_reported_at_commit, last_commit.component(0));
+            }
+          }
+        }
+      } else if (coin < 0.85 && !in_flight.empty()) {
+        // A delayed (possibly stale-round) reply arrives.
+        const std::size_t pick = rng.next_below(in_flight.size());
+        auto reply = in_flight[pick];
+        in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+        auto commit = coord.on_reply(reply);
+        if (commit.has_value()) {
+          ASSERT_TRUE(commit->vts.dominates(last_commit));
+          last_commit = commit->vts;
+        }
+      } else if (coin < 0.92) {
+        // Membership churn.
+        members = 1 + rng.next_below(6);
+        auto commit = coord.set_expected_replies(members);
+        if (commit.has_value()) {
+          ASSERT_TRUE(commit->vts.dominates(last_commit));
+          last_commit = commit->vts;
+        }
+      }
+      // Safety: the committed view never exceeds the fastest site's
+      // progress (replies are mins of suggested and local progress).
+      const SeqNo fastest =
+          *std::max_element(progress.begin(), progress.end());
+      ASSERT_LE(last_commit.component(0), fastest) << "seed " << seed;
+    }
+    // Liveness: despite losses and churn, the view advanced substantially.
+    EXPECT_GT(coord.rounds_committed(), 25u) << "seed " << seed;
+    EXPECT_GT(last_commit.component(0), 100u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace admire::checkpoint

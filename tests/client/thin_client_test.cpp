@@ -1,0 +1,154 @@
+#include "client/thin_client.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "workload/scenario.h"
+
+namespace admire::client {
+namespace {
+
+event::Event status_update(FlightKey flight, event::FlightStatus status,
+                           Nanos ingress = 0) {
+  event::Derived d;
+  d.flight = flight;
+  d.kind = event::Derived::Kind::kStatusBroadcast;
+  d.status = status;
+  event::Event ev = event::make_derived(d);
+  ev.header().ingress_time = ingress;
+  return ev;
+}
+
+SnapshotRequester requester_for(ede::OperationalState& state) {
+  return [&state](std::uint64_t id) -> Result<std::vector<event::Event>> {
+    ede::SnapshotService service(&state);
+    return service.build(id);
+  };
+}
+
+TEST(ThinClient, InitializeRestoresServerView) {
+  ede::OperationalState server;
+  server.update(1, [](ede::FlightRecord& r) {
+    r.status = event::FlightStatus::kBoarding;
+  });
+  server.update(2, [](ede::FlightRecord& r) {
+    r.status = event::FlightStatus::kEnRoute;
+  });
+  auto channel = echo::EventChannel::create(1, "updates", echo::ChannelRole::kData);
+
+  ThinClient display(42);
+  ASSERT_TRUE(display.initialize(channel, requester_for(server)).is_ok());
+  EXPECT_TRUE(display.initialized());
+  EXPECT_EQ(display.known_flights(), 2u);
+  EXPECT_EQ(display.flight_status(1), event::FlightStatus::kBoarding);
+  EXPECT_EQ(display.flight_status(2), event::FlightStatus::kEnRoute);
+  EXPECT_FALSE(display.flight_status(99).has_value());
+}
+
+TEST(ThinClient, AppliesLiveUpdatesAfterInit) {
+  ede::OperationalState server;
+  auto channel = echo::EventChannel::create(1, "updates", echo::ChannelRole::kData);
+  ThinClient display(1);
+  ASSERT_TRUE(display.initialize(channel, requester_for(server)).is_ok());
+
+  channel->submit(status_update(7, event::FlightStatus::kLanded, 100));
+  channel->submit(status_update(7, event::FlightStatus::kAtGate, 200));
+  EXPECT_EQ(display.flight_status(7), event::FlightStatus::kAtGate);
+  EXPECT_EQ(display.updates_applied(), 2u);
+  EXPECT_EQ(display.freshest_update(), 200);
+}
+
+TEST(ThinClient, UpdatesDuringInitAreBufferedNotLost) {
+  // A requester that publishes an update mid-initialization — the classic
+  // race a display must not lose.
+  ede::OperationalState server;
+  auto channel = echo::EventChannel::create(1, "updates", echo::ChannelRole::kData);
+  ThinClient display(1);
+  SnapshotRequester racy = [&](std::uint64_t id)
+      -> Result<std::vector<event::Event>> {
+    channel->submit(status_update(5, event::FlightStatus::kDeparted));
+    ede::SnapshotService service(&server);
+    return service.build(id);
+  };
+  ASSERT_TRUE(display.initialize(channel, racy).is_ok());
+  EXPECT_EQ(display.flight_status(5), event::FlightStatus::kDeparted);
+  EXPECT_EQ(display.updates_buffered_during_init(), 1u);
+}
+
+TEST(ThinClient, FailedRequestLeavesClientDetached) {
+  auto channel = echo::EventChannel::create(1, "updates", echo::ChannelRole::kData);
+  ThinClient display(1);
+  SnapshotRequester failing = [](std::uint64_t) -> Result<std::vector<event::Event>> {
+    return err(StatusCode::kUnavailable, "no mirror reachable");
+  };
+  EXPECT_FALSE(display.initialize(channel, failing).is_ok());
+  EXPECT_FALSE(display.initialized());
+  channel->submit(status_update(1, event::FlightStatus::kLanded));
+  EXPECT_EQ(display.updates_applied(), 0u);
+  EXPECT_EQ(channel->subscriber_count(), 0u);
+}
+
+TEST(ThinClient, DetachStopsUpdates) {
+  ede::OperationalState server;
+  auto channel = echo::EventChannel::create(1, "updates", echo::ChannelRole::kData);
+  ThinClient display(1);
+  ASSERT_TRUE(display.initialize(channel, requester_for(server)).is_ok());
+  display.detach();
+  channel->submit(status_update(3, event::FlightStatus::kLanded));
+  EXPECT_EQ(display.updates_applied(), 0u);
+  EXPECT_FALSE(display.initialized());
+}
+
+TEST(ThinClient, ReinitializeAfterPowerFailure) {
+  ede::OperationalState server;
+  server.update(1, [](ede::FlightRecord& r) {
+    r.status = event::FlightStatus::kBoarding;
+  });
+  auto channel = echo::EventChannel::create(1, "updates", echo::ChannelRole::kData);
+  ThinClient display(1);
+  ASSERT_TRUE(display.initialize(channel, requester_for(server)).is_ok());
+  display.detach();  // power failure
+  // Server state moves on while the display is dark.
+  server.update(1, [](ede::FlightRecord& r) {
+    r.status = event::FlightStatus::kArrived;
+  });
+  ASSERT_TRUE(display.initialize(channel, requester_for(server)).is_ok());
+  EXPECT_EQ(display.flight_status(1), event::FlightStatus::kArrived);
+  EXPECT_EQ(channel->subscriber_count(), 1u);  // no leaked subscription
+}
+
+TEST(ThinClient, EndToEndAgainstThreadedCluster) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 1;
+  cluster::Cluster server(config);
+  server.start();
+
+  ThinClient display(99);
+  auto updates = server.registry()->by_name("central.updates");
+  ASSERT_NE(updates, nullptr);
+  SnapshotRequester via_lb = [&](std::uint64_t id) {
+    return server.request_snapshot(id);
+  };
+  ASSERT_TRUE(display.initialize(updates, via_lb).is_ok());
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 150;
+  scenario.num_flights = 8;
+  const auto trace = workload::make_ois_trace(scenario);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  server.drain();
+
+  EXPECT_GT(display.updates_applied(), 0u);
+  // The display's view of every flight's status matches the server's.
+  for (const auto& rec : server.central().main_unit().state().all_flights()) {
+    const auto seen = display.flight_status(rec.flight);
+    ASSERT_TRUE(seen.has_value()) << "flight " << rec.flight;
+    EXPECT_EQ(*seen, rec.status) << "flight " << rec.flight;
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire::client

@@ -1,0 +1,204 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace admire::cluster {
+namespace {
+
+ClusterConfig small_config(std::size_t mirrors = 2) {
+  ClusterConfig config;
+  config.num_mirrors = mirrors;
+  config.params = rules::MirroringParams{.function = rules::simple_mirroring()};
+  return config;
+}
+
+workload::Trace small_trace(std::size_t events = 300,
+                            std::size_t padding = 128) {
+  workload::ScenarioConfig cfg;
+  cfg.faa_events = events;
+  cfg.num_flights = 10;
+  cfg.event_padding = padding;
+  return workload::make_ois_trace(cfg);
+}
+
+TEST(Cluster, EventsReachEverySiteAndStatesConverge) {
+  Cluster cluster(small_config(2));
+  cluster.start();
+  const auto trace = small_trace();
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  EXPECT_EQ(cluster.central().ingested(), trace.size());
+  EXPECT_EQ(cluster.central().processed_by_ede(), trace.size());
+  EXPECT_EQ(cluster.mirror(0).events_processed(),
+            cluster.mirror(1).events_processed());
+  const auto fps = cluster.state_fingerprints();
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0], fps[1]);  // simple mirroring: central == mirrors
+  EXPECT_EQ(fps[1], fps[2]);
+  cluster.stop();
+}
+
+TEST(Cluster, SelectiveMirroringReducesMirrorTrafficNotLocalProcessing) {
+  auto config = small_config(1);
+  config.params.function = rules::selective_mirroring(8);
+  Cluster cluster(config);
+  cluster.start();
+  const auto trace = small_trace();
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  // Central EDE sees the full stream.
+  EXPECT_EQ(cluster.central().processed_by_ede(), trace.size());
+  // The mirror received far fewer events.
+  EXPECT_LT(cluster.mirror(0).events_processed(), trace.size() / 2);
+  cluster.stop();
+}
+
+TEST(Cluster, CheckpointCommitsAndTrimsBackups) {
+  Cluster cluster(small_config(2));
+  cluster.start();
+  const auto trace = small_trace(200);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  cluster.checkpoint_and_wait();
+  EXPECT_GT(cluster.central().coordinator().rounds_committed(), 0u);
+  // Let the commit propagate to mirrors.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (cluster.mirror(0).aux().backup().size() > 0 ||
+          cluster.central().core().backup().size() > 0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cluster.central().core().backup().size(), 0u);
+  EXPECT_EQ(cluster.mirror(0).aux().backup().size(), 0u);
+  EXPECT_EQ(cluster.mirror(1).aux().backup().size(), 0u);
+  cluster.stop();
+}
+
+TEST(Cluster, SnapshotRequestsServedFromAnySite) {
+  Cluster cluster(small_config(2));
+  cluster.start();
+  for (const auto& item : small_trace(100).items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  const auto reference = cluster.central().main_unit().state().fingerprint();
+  // Round robin: three requests hit central, mirror1, mirror2 in turn.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    auto res = cluster.request_snapshot(id);
+    ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+    ede::OperationalState restored;
+    ASSERT_TRUE(ede::SnapshotService::restore(res.value(), restored).is_ok());
+    EXPECT_EQ(restored.fingerprint(), reference) << "request " << id;
+  }
+  const auto counts = cluster.load_balancer().routed_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  cluster.stop();
+}
+
+TEST(Cluster, MirrorsOnlyRequestPool) {
+  auto config = small_config(2);
+  config.central_serves_requests = false;
+  Cluster cluster(config);
+  cluster.start();
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(cluster.request_snapshot(id).is_ok());
+  }
+  const auto counts = cluster.load_balancer().routed_counts();
+  ASSERT_EQ(counts.size(), 2u);  // only the two mirrors
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  cluster.stop();
+}
+
+TEST(Cluster, AdaptationDirectiveReachesMirrors) {
+  auto config = small_config(1);
+  config.params.function = rules::fig9_function_a();
+  adapt::AdaptationPolicy policy;
+  // Primary 0 on ready-queue length => engages on the very first
+  // evaluation (every monitored value >= 0).
+  policy.thresholds = {{adapt::MonitoredVariable::kReadyQueueLength, 0.0, 1e9}};
+  policy.mode = adapt::PolicyMode::kSwitchFunction;
+  policy.normal_spec = rules::fig9_function_a();
+  policy.engaged_spec = rules::fig9_function_b();
+  config.adaptation = policy;
+  Cluster cluster(config);
+  cluster.start();
+  for (const auto& item : small_trace(120).items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  cluster.checkpoint_and_wait();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline &&
+         cluster.mirror(0).installed_spec().name != "fig9-B") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(cluster.central().adaptation_transitions(), 1u);
+  EXPECT_EQ(cluster.mirror(0).installed_spec().name, "fig9-B");
+  EXPECT_EQ(cluster.central().core().current_spec().name, "fig9-B");
+  cluster.stop();
+}
+
+TEST(Cluster, UpdateDelaysRecorded) {
+  Cluster cluster(small_config(1));
+  cluster.start();
+  for (const auto& item : small_trace(100).items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  EXPECT_GT(cluster.central().update_delays().count(), 0u);
+  EXPECT_GT(cluster.central().update_delays().mean(), 0.0);
+  cluster.stop();
+}
+
+TEST(Cluster, StopIsIdempotentAndRestartSafe) {
+  Cluster cluster(small_config(1));
+  cluster.start();
+  cluster.start();  // no-op
+  ASSERT_TRUE(cluster.ingest(small_trace(1).items[0].ev).is_ok());
+  cluster.drain();
+  cluster.stop();
+  cluster.stop();  // no-op
+}
+
+TEST(LoadBalancer, LeastLoadedPrefersIdleTarget) {
+  LoadBalancer lb(LbPolicy::kLeastLoaded);
+  std::uint64_t busy_pending = 5, idle_pending = 0;
+  int busy_hits = 0, idle_hits = 0;
+  lb.add_target({"busy",
+                 [&](std::uint64_t, ServiceCallback) {
+                   ++busy_hits;
+                   return Status::ok();
+                 },
+                 [&] { return busy_pending; }});
+  lb.add_target({"idle",
+                 [&](std::uint64_t, ServiceCallback) {
+                   ++idle_hits;
+                   return Status::ok();
+                 },
+                 [&] { return idle_pending; }});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(lb.route(i, nullptr).is_ok());
+  EXPECT_EQ(idle_hits, 5);
+  EXPECT_EQ(busy_hits, 0);
+}
+
+TEST(LoadBalancer, NoTargetsIsError) {
+  LoadBalancer lb;
+  EXPECT_EQ(lb.route(1, nullptr).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace admire::cluster

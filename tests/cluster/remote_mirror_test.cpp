@@ -1,0 +1,152 @@
+#include "cluster/remote_mirror.h"
+
+#include <gtest/gtest.h>
+
+#include "transport/tcp.h"
+#include "workload/scenario.h"
+
+namespace admire::cluster {
+namespace {
+
+workload::Trace small_trace(std::size_t events = 250) {
+  workload::ScenarioConfig cfg;
+  cfg.faa_events = events;
+  cfg.num_flights = 10;
+  cfg.event_padding = 64;
+  return workload::make_ois_trace(cfg);
+}
+
+void wait_until(const std::function<bool()>& cond, int ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!cond() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(RemoteMirror, ReplicatesOverInProcessLink) {
+  ClusterConfig config;
+  config.num_mirrors = 1;  // one local mirror + one remote
+  Cluster server(config);
+  server.start();
+
+  auto [central_end, mirror_end] = transport::make_inprocess_link_pair();
+  RemoteMirrorHost host({.site = 42}, mirror_end);
+  host.start();
+  auto attachment = attach_remote_mirror(server, central_end);
+
+  const auto trace = small_trace();
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  server.drain();
+  wait_until([&] {
+    return host.site().events_processed() ==
+           server.mirror(0).events_processed();
+  });
+  host.drain();
+
+  // Remote replica matches the local mirror exactly.
+  EXPECT_EQ(host.main_unit().state().fingerprint(),
+            server.mirror(0).main_unit().state().fingerprint());
+  EXPECT_GT(attachment->events_forwarded(), trace.size());
+
+  host.stop();
+  attachment->detach();
+  server.stop();
+}
+
+TEST(RemoteMirror, ParticipatesInCheckpointing) {
+  ClusterConfig config;
+  config.num_mirrors = 0;  // the ONLY mirror is remote
+  config.params.function = rules::simple_mirroring();
+  Cluster server(config);
+  server.start();
+
+  auto [central_end, mirror_end] = transport::make_inprocess_link_pair();
+  RemoteMirrorHost host({.site = 7}, mirror_end);
+  host.start();
+  auto attachment = attach_remote_mirror(server, central_end);
+
+  for (const auto& item : small_trace(120).items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  server.drain();
+  wait_until([&] { return host.site().events_processed() >= 120; });
+  host.drain();
+
+  const auto commits_before =
+      server.central().coordinator().rounds_committed();
+  server.checkpoint_and_wait();
+  EXPECT_GT(server.central().coordinator().rounds_committed(), commits_before);
+  // Commit propagated over the bridge: remote backups trimmed.
+  wait_until([&] { return host.site().aux().backup().size() == 0; });
+  EXPECT_EQ(host.site().aux().backup().size(), 0u);
+
+  host.stop();
+  server.stop();
+}
+
+TEST(RemoteMirror, WorksOverRealTcp) {
+  ClusterConfig config;
+  config.num_mirrors = 0;
+  Cluster server(config);
+  server.start();
+
+  auto listener = transport::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::shared_ptr<transport::MessageLink> central_end;
+  std::thread accepter([&] {
+    auto res = listener.value()->accept();
+    ASSERT_TRUE(res.is_ok());
+    central_end = std::move(res).value();
+  });
+  auto mirror_end = transport::tcp_connect("127.0.0.1", listener.value()->port());
+  accepter.join();
+  ASSERT_TRUE(mirror_end.is_ok());
+
+  RemoteMirrorHost host({.site = 9}, mirror_end.value());
+  host.start();
+  auto attachment = attach_remote_mirror(server, central_end);
+
+  const auto trace = small_trace(180);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  server.drain();
+  wait_until([&] { return host.site().events_processed() >= trace.size(); });
+  host.drain();
+  EXPECT_EQ(host.main_unit().state().fingerprint(),
+            server.central().main_unit().state().fingerprint());
+
+  host.stop();
+  server.stop();
+}
+
+TEST(RemoteMirror, DetachShrinksMembershipSoCheckpointsContinue) {
+  ClusterConfig config;
+  config.num_mirrors = 1;
+  Cluster server(config);
+  server.start();
+
+  auto [central_end, mirror_end] = transport::make_inprocess_link_pair();
+  RemoteMirrorHost host({.site = 5}, mirror_end);
+  host.start();
+  auto attachment = attach_remote_mirror(server, central_end);
+
+  // Remote dies; detach restores a 2-party membership (central + mirror0).
+  host.stop();
+  attachment->detach();
+
+  for (const auto& item : small_trace(120).items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  server.drain();
+  const auto before = server.central().coordinator().rounds_committed();
+  server.checkpoint_and_wait();
+  EXPECT_GT(server.central().coordinator().rounds_committed(), before);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire::cluster

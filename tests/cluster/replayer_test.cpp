@@ -1,0 +1,109 @@
+#include "cluster/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include "client/thin_client.h"
+#include "workload/scenario.h"
+
+namespace admire::cluster {
+namespace {
+
+workload::Trace paced_trace(std::size_t events, Nanos horizon) {
+  workload::ScenarioConfig cfg;
+  cfg.faa_events = events;
+  cfg.num_flights = 8;
+  cfg.event_padding = 64;
+  cfg.event_horizon = horizon;
+  return workload::make_ois_trace(cfg);
+}
+
+TEST(TraceReplayer, ThroughputModeIngestsEverything) {
+  ClusterConfig config;
+  config.num_mirrors = 1;
+  Cluster server(config);
+  server.start();
+  TraceReplayer replayer({.speedup = 0.0}, &server);
+  const auto trace = paced_trace(300, kSecond);
+  ASSERT_TRUE(replayer.start(trace).is_ok());
+  replayer.wait();
+  EXPECT_EQ(replayer.replayed(), trace.size());
+  server.drain();
+  EXPECT_EQ(server.central().processed_by_ede(), trace.size());
+  server.stop();
+}
+
+TEST(TraceReplayer, PacedModeRespectsTimeScale) {
+  ClusterConfig config;
+  config.num_mirrors = 0;
+  Cluster server(config);
+  server.start();
+  // 200ms trace at 4x speedup => ~50ms wall clock.
+  TraceReplayer replayer({.speedup = 4.0}, &server);
+  const auto trace = paced_trace(50, 200 * kMilli);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(replayer.start(trace).is_ok());
+  replayer.wait();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  server.stop();
+}
+
+TEST(TraceReplayer, DoubleStartRejected) {
+  ClusterConfig config;
+  config.num_mirrors = 0;
+  Cluster server(config);
+  server.start();
+  TraceReplayer replayer({.speedup = 0.05}, &server);  // deliberately slow
+  ASSERT_TRUE(replayer.start(paced_trace(100, kSecond)).is_ok());
+  EXPECT_FALSE(replayer.start(paced_trace(10, kSecond)).is_ok());
+  replayer.stop();
+  server.stop();
+}
+
+TEST(TraceReplayer, StopAborts) {
+  ClusterConfig config;
+  config.num_mirrors = 0;
+  Cluster server(config);
+  server.start();
+  TraceReplayer replayer({.speedup = 0.01}, &server);  // would take minutes
+  ASSERT_TRUE(replayer.start(paced_trace(500, 2 * kSecond)).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  replayer.stop();
+  EXPECT_LT(replayer.replayed(), 500u);
+  EXPECT_FALSE(replayer.running());
+  server.stop();
+}
+
+TEST(TraceReplayer, LiveThinClientTracksPacedReplay) {
+  ClusterConfig config;
+  config.num_mirrors = 1;
+  Cluster server(config);
+  server.start();
+
+  client::ThinClient display(5);
+  auto updates = server.registry()->by_name("central.updates");
+  ASSERT_TRUE(display
+                  .initialize(updates,
+                              [&](std::uint64_t id) {
+                                return server.request_snapshot(id);
+                              })
+                  .is_ok());
+
+  TraceReplayer replayer({.speedup = 20.0}, &server);
+  const auto trace = paced_trace(200, kSecond);
+  ASSERT_TRUE(replayer.start(trace).is_ok());
+  replayer.wait();
+  server.drain();
+
+  EXPECT_GT(display.updates_applied(), 0u);
+  for (const auto& rec : server.central().main_unit().state().all_flights()) {
+    const auto seen = display.flight_status(rec.flight);
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_EQ(*seen, rec.status);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire::cluster

@@ -1,0 +1,100 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace admire {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i).is_ok());
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushFullReportsWouldBlock) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1).is_ok());
+  EXPECT_TRUE(q.try_push(2).is_ok());
+  EXPECT_EQ(q.try_push(3).code(), StatusCode::kWouldBlock);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(2);
+  std::thread t([&] {
+    auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1).is_ok());
+  ASSERT_TRUE(q.push(2).is_ok());
+  q.close();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.push(3).code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1).is_ok());
+  std::thread t([&] { EXPECT_TRUE(q.push(2).is_ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.pop().value(), 1);
+  t.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, MpmcStress) {
+  constexpr int kProducers = 4, kPerProducer = 2000;
+  BoundedQueue<int> q(64);
+  std::atomic<long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i).is_ok());
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        if (auto v = q.pop_for(std::chrono::milliseconds(100))) {
+          sum.fetch_add(*v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace admire

@@ -1,0 +1,51 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_work.h"
+
+namespace admire {
+namespace {
+
+TEST(SteadyClock, Monotone) {
+  SteadyClock clock;
+  Nanos prev = clock.now();
+  for (int i = 0; i < 100; ++i) {
+    const Nanos now = clock.now();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ManualClock, AdvanceAndSet) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  EXPECT_EQ(clock.advance(50), 150);
+  EXPECT_EQ(clock.now(), 150);
+  clock.set_at_least(120);  // backwards: ignored
+  EXPECT_EQ(clock.now(), 150);
+  clock.set_at_least(200);
+  EXPECT_EQ(clock.now(), 200);
+}
+
+TEST(CpuWork, CalibrationPositive) {
+  EXPECT_GT(calibrate_iterations_per_nano(), 0.0);
+}
+
+TEST(CpuWork, BurnTakesRoughlyRequestedTime) {
+  SteadyClock clock;
+  (void)burn_for(kMilli);  // warm
+  const Nanos t0 = clock.now();
+  (void)burn_for(20 * kMilli);
+  const Nanos elapsed = clock.now() - t0;
+  EXPECT_GT(elapsed, 5 * kMilli);
+  EXPECT_LT(elapsed, 400 * kMilli);
+}
+
+TEST(CpuWork, ZeroAndNegativeAreNoops) {
+  EXPECT_EQ(burn_for(0), 0u);
+  EXPECT_EQ(burn_for(-100), 0u);
+}
+
+}  // namespace
+}  // namespace admire

@@ -1,0 +1,116 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace admire {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  Rng rng(7);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100.0;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.9), 90.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleStats, AddAfterQueryResorts) {
+  SampleStats s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(LogHistogram, BucketsAndQuantiles) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(1000);   // bucket ~2^9..2^10
+  for (int i = 0; i < 10; ++i) h.add(1000000); // much slower tail
+  EXPECT_EQ(h.total(), 110u);
+  EXPECT_LE(h.quantile_upper_bound(0.5), 2048);
+  EXPECT_GE(h.quantile_upper_bound(0.99), 1000000);
+}
+
+TEST(LogHistogram, NegativeClampsToZeroBucket) {
+  LogHistogram h;
+  h.add(-5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(TimeSeries, BinsAndGaps) {
+  TimeSeries ts(kSecond);
+  ts.add(0, 10.0);
+  ts.add(kSecond / 2, 20.0);
+  ts.add(3 * kSecond, 30.0);
+  auto bins = ts.bins();
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].n, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].mean, 15.0);
+  EXPECT_DOUBLE_EQ(bins[0].max, 20.0);
+  EXPECT_EQ(bins[1].n, 0u);  // gap preserved
+  EXPECT_EQ(bins[2].n, 0u);
+  EXPECT_EQ(bins[3].n, 1u);
+  EXPECT_DOUBLE_EQ(bins[3].mean, 30.0);
+}
+
+TEST(FormatSeries, ContainsHeaderAndPoints) {
+  const std::string out =
+      format_series("curve", {{1.0, 2.0}, {3.0, 4.5}}, "x", "y");
+  EXPECT_NE(out.find("# series: curve"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("4.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace admire

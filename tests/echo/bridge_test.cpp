@@ -1,0 +1,151 @@
+#include "echo/bridge.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/tcp.h"
+
+namespace admire::echo {
+namespace {
+
+event::Event test_event(SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = 7;
+  return event::make_faa_position(0, seq, pos, 32);
+}
+
+struct BridgedPair {
+  std::shared_ptr<ChannelRegistry> reg_a = std::make_shared<ChannelRegistry>();
+  std::shared_ptr<ChannelRegistry> reg_b = std::make_shared<ChannelRegistry>();
+  std::shared_ptr<EventChannel> ch_a;
+  std::shared_ptr<EventChannel> ch_b;
+  std::unique_ptr<RemoteChannelBridge> bridge_a;
+  std::unique_ptr<RemoteChannelBridge> bridge_b;
+
+  BridgedPair() {
+    // Same channel id on both sides: the bridge routes by id.
+    ch_a = reg_a->create(42, "shared", ChannelRole::kData).value();
+    ch_b = reg_b->create(42, "shared", ChannelRole::kData).value();
+    auto [link_a, link_b] = transport::make_inprocess_link_pair();
+    bridge_a = std::make_unique<RemoteChannelBridge>(link_a, reg_a);
+    bridge_b = std::make_unique<RemoteChannelBridge>(link_b, reg_b);
+    bridge_a->export_channel(ch_a);
+    bridge_b->export_channel(ch_b);
+    bridge_a->start();
+    bridge_b->start();
+  }
+};
+
+void wait_for(const std::function<bool()>& cond, int ms = 2000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!cond() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Bridge, ForwardsAcrossLink) {
+  BridgedPair pair;
+  std::atomic<int> received{0};
+  auto sub = pair.ch_b->subscribe([&](const event::Event& ev) {
+    EXPECT_EQ(ev.key(), 7u);
+    received.fetch_add(1);
+  });
+  pair.ch_a->submit(test_event(1));
+  pair.ch_a->submit(test_event(2));
+  wait_for([&] { return received.load() == 2; });
+  EXPECT_EQ(received.load(), 2);
+  EXPECT_EQ(pair.bridge_a->forwarded(), 2u);
+  wait_for([&] { return pair.bridge_b->delivered() == 2; });
+  EXPECT_EQ(pair.bridge_b->delivered(), 2u);
+}
+
+TEST(Bridge, NoReflectionLoop) {
+  BridgedPair pair;
+  std::atomic<int> b_received{0};
+  auto sub = pair.ch_b->subscribe(
+      [&](const event::Event&) { b_received.fetch_add(1); });
+  pair.ch_a->submit(test_event(1));
+  wait_for([&] { return b_received.load() == 1; });
+  // Give any would-be echo time to happen, then verify it did not.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(b_received.load(), 1);
+  EXPECT_EQ(pair.bridge_b->forwarded(), 0u);  // b never re-exported it
+  EXPECT_EQ(pair.ch_a->submitted_count(), 1u);
+}
+
+TEST(Bridge, BidirectionalTraffic) {
+  BridgedPair pair;
+  std::atomic<int> at_a{0}, at_b{0};
+  auto sub_a = pair.ch_a->subscribe([&](const event::Event&) { at_a++; });
+  auto sub_b = pair.ch_b->subscribe([&](const event::Event&) { at_b++; });
+  pair.ch_a->submit(test_event(1));
+  pair.ch_b->submit(test_event(2));
+  wait_for([&] { return at_a.load() >= 2 && at_b.load() >= 2; });
+  // Each side sees its local submit plus the remote one.
+  EXPECT_EQ(at_a.load(), 2);
+  EXPECT_EQ(at_b.load(), 2);
+}
+
+TEST(Bridge, UnknownChannelIdCountedAndDropped) {
+  auto reg_a = std::make_shared<ChannelRegistry>();
+  auto reg_b = std::make_shared<ChannelRegistry>();
+  auto ch_a = reg_a->create(1, "only-on-a", ChannelRole::kData).value();
+  auto [link_a, link_b] = transport::make_inprocess_link_pair();
+  RemoteChannelBridge bridge_a(link_a, reg_a);
+  RemoteChannelBridge bridge_b(link_b, reg_b);
+  bridge_a.export_channel(ch_a);
+  bridge_a.start();
+  bridge_b.start();
+  ch_a->submit(test_event(1));
+  wait_for([&] { return bridge_b.dropped_unknown() == 1; });
+  EXPECT_EQ(bridge_b.dropped_unknown(), 1u);
+  EXPECT_EQ(bridge_b.delivered(), 0u);
+}
+
+TEST(Bridge, StopIsIdempotentAndStopsForwarding) {
+  BridgedPair pair;
+  pair.bridge_a->stop();
+  pair.bridge_a->stop();
+  pair.ch_a->submit(test_event(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(pair.bridge_b->delivered(), 0u);
+}
+
+TEST(Bridge, WorksOverTcp) {
+  auto reg_a = std::make_shared<ChannelRegistry>();
+  auto reg_b = std::make_shared<ChannelRegistry>();
+  auto ch_a = reg_a->create(9, "tcp-shared", ChannelRole::kData).value();
+  auto ch_b = reg_b->create(9, "tcp-shared", ChannelRole::kData).value();
+
+  auto listener = transport::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::shared_ptr<transport::MessageLink> server_link;
+  std::thread accepter([&] {
+    auto res = listener.value()->accept();
+    ASSERT_TRUE(res.is_ok());
+    server_link = std::move(res).value();
+  });
+  auto client_link = transport::tcp_connect("127.0.0.1", listener.value()->port());
+  accepter.join();
+  ASSERT_TRUE(client_link.is_ok());
+
+  RemoteChannelBridge bridge_a(client_link.value(), reg_a);
+  RemoteChannelBridge bridge_b(server_link, reg_b);
+  bridge_a.export_channel(ch_a);
+  bridge_a.start();
+  bridge_b.start();
+
+  std::atomic<int> received{0};
+  auto sub = ch_b->subscribe([&](const event::Event& ev) {
+    EXPECT_EQ(ev.seq(), 5u);
+    received.fetch_add(1);
+  });
+  ch_a->submit(test_event(5));
+  wait_for([&] { return received.load() == 1; });
+  EXPECT_EQ(received.load(), 1);
+}
+
+}  // namespace
+}  // namespace admire::echo

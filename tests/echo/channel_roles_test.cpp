@@ -1,0 +1,54 @@
+// Smaller substrate gaps: channel roles, link shaping determinism, and the
+// event describe() surface used by logs.
+#include <gtest/gtest.h>
+
+#include "echo/channel.h"
+#include "transport/link.h"
+
+namespace admire {
+namespace {
+
+TEST(ChannelRoles, RolesAreVisibleToWiring) {
+  echo::ChannelRegistry reg;
+  auto data = reg.create(1, "data", echo::ChannelRole::kData).value();
+  auto ctrl = reg.create(2, "ctrl", echo::ChannelRole::kControl).value();
+  EXPECT_EQ(data->role(), echo::ChannelRole::kData);
+  EXPECT_EQ(ctrl->role(), echo::ChannelRole::kControl);
+  EXPECT_EQ(reg.by_name("ctrl")->role(), echo::ChannelRole::kControl);
+}
+
+TEST(LinkShaping, BandwidthSerializesConsecutiveMessages) {
+  // Two back-to-back messages at 1 MB/s: the second's delivery must wait
+  // for the first's transmit time (FIFO serialization on the link).
+  transport::LinkShaping shaping;
+  shaping.bytes_per_second = 1e6;
+  auto [a, b] = transport::make_inprocess_link_pair(64, shaping);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->send(Bytes(20'000)).is_ok());  // 20 ms
+  ASSERT_TRUE(a->send(Bytes(20'000)).is_ok());  // +20 ms
+  (void)b->receive();
+  (void)b->receive();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(35));
+}
+
+TEST(LinkShaping, UnshapedDeliversImmediately) {
+  auto [a, b] = transport::make_inprocess_link_pair();
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->send(Bytes(100'000)).is_ok());
+  (void)b->receive();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(100));
+}
+
+TEST(EventDescribe, CoversControlAndSnapshot) {
+  const auto ctrl = event::make_control(to_bytes("x"));
+  EXPECT_NE(ctrl.describe().find("CONTROL"), std::string::npos);
+  event::Snapshot snap;
+  snap.request_id = 1;
+  const auto ev = event::make_snapshot(snap);
+  EXPECT_NE(ev.describe().find("SNAPSHOT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace admire

@@ -1,0 +1,123 @@
+#include "echo/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::echo {
+namespace {
+
+event::Event test_event(FlightKey flight = 1) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(0, 1, pos);
+}
+
+TEST(EventChannel, DeliversToSubscribers) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  int calls = 0;
+  auto sub = ch->subscribe([&](const event::Event&) { ++calls; });
+  EXPECT_EQ(ch->submit(test_event()), 1u);
+  EXPECT_EQ(ch->submit(test_event()), 1u);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(ch->submitted_count(), 2u);
+}
+
+TEST(EventChannel, MultipleSubscribersAllReceive) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  int a = 0, b = 0;
+  auto s1 = ch->subscribe([&](const event::Event&) { ++a; });
+  auto s2 = ch->subscribe([&](const event::Event&) { ++b; });
+  EXPECT_EQ(ch->submit(test_event()), 2u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(EventChannel, UnsubscribeOnDestruction) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  int calls = 0;
+  {
+    auto sub = ch->subscribe([&](const event::Event&) { ++calls; });
+    ch->submit(test_event());
+  }
+  ch->submit(test_event());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ch->subscriber_count(), 0u);
+}
+
+TEST(EventChannel, SubscriptionResetIsIdempotent) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  auto sub = ch->subscribe([](const event::Event&) {});
+  EXPECT_TRUE(sub.active());
+  sub.reset();
+  EXPECT_FALSE(sub.active());
+  sub.reset();  // no-op
+  EXPECT_EQ(ch->subscriber_count(), 0u);
+}
+
+TEST(EventChannel, SubscriptionMoveTransfersOwnership) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  auto sub = ch->subscribe([](const event::Event&) {});
+  Subscription other = std::move(sub);
+  EXPECT_FALSE(sub.active());  // NOLINT moved-from check is the point
+  EXPECT_TRUE(other.active());
+  EXPECT_EQ(ch->subscriber_count(), 1u);
+  other.reset();
+  EXPECT_EQ(ch->subscriber_count(), 0u);
+}
+
+TEST(EventChannel, HandlerMaySubscribeWithoutDeadlock) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::vector<Subscription> extra;
+  auto sub = ch->subscribe([&](const event::Event&) {
+    extra.push_back(ch->subscribe([](const event::Event&) {}));
+  });
+  ch->submit(test_event());
+  EXPECT_EQ(ch->subscriber_count(), 2u);
+}
+
+TEST(EventChannel, SubscriptionOutlivesChannelSafely) {
+  Subscription sub;
+  {
+    auto ch = EventChannel::create(1, "ephemeral", ChannelRole::kData);
+    sub = ch->subscribe([](const event::Event&) {});
+  }
+  sub.reset();  // channel gone; must not crash
+}
+
+TEST(ChannelRegistry, CreateAndLookup) {
+  ChannelRegistry reg;
+  auto res = reg.create(10, "data", ChannelRole::kData);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(reg.by_id(10), res.value());
+  EXPECT_EQ(reg.by_name("data"), res.value());
+  EXPECT_EQ(reg.by_id(99), nullptr);
+  EXPECT_EQ(reg.by_name("nope"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ChannelRegistry, DuplicateIdAndNameRejected) {
+  ChannelRegistry reg;
+  ASSERT_TRUE(reg.create(1, "a", ChannelRole::kData).is_ok());
+  EXPECT_FALSE(reg.create(1, "b", ChannelRole::kData).is_ok());
+  EXPECT_FALSE(reg.create(2, "a", ChannelRole::kData).is_ok());
+}
+
+TEST(ChannelRegistry, AutoIdsAreUnique) {
+  ChannelRegistry reg;
+  auto a = reg.create_auto("a", ChannelRole::kData);
+  auto b = reg.create_auto("b", ChannelRole::kControl);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(b->role(), ChannelRole::kControl);
+}
+
+TEST(ChannelRegistry, AutoIdSkipsExplicitIds) {
+  ChannelRegistry reg;
+  ASSERT_TRUE(reg.create(5, "five", ChannelRole::kData).is_ok());
+  auto a = reg.create_auto("auto", ChannelRole::kData);
+  ASSERT_NE(a, nullptr);
+  EXPECT_GT(a->id(), 5u);
+}
+
+}  // namespace
+}  // namespace admire::echo

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "ede/engine.h"
+#include "ede/operational_state.h"
+#include "ede/snapshot.h"
+
+namespace admire::ede {
+namespace {
+
+using event::FlightStatus;
+
+event::Event faa(FlightKey flight, SeqNo seq, double lat = 33.6) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  pos.lat_deg = lat;
+  pos.lon_deg = -84.4;
+  pos.altitude_ft = 30000;
+  event::Event ev = event::make_faa_position(0, seq, pos, 64);
+  ev.header().vts.observe(0, seq);
+  ev.header().ingress_time = static_cast<Nanos>(seq) * kMilli;
+  return ev;
+}
+
+event::Event delta(FlightKey flight, SeqNo seq, FlightStatus status,
+                   std::uint32_t ticketed = 0) {
+  event::DeltaStatus st;
+  st.flight = flight;
+  st.status = status;
+  st.passengers_ticketed = ticketed;
+  st.gate = 12;
+  event::Event ev = event::make_delta_status(1, seq, st);
+  ev.header().vts.observe(1, seq);
+  return ev;
+}
+
+TEST(OperationalState, UpdateCreatesRecord) {
+  OperationalState state;
+  state.update(5, [](FlightRecord& r) { r.status = FlightStatus::kBoarding; });
+  ASSERT_TRUE(state.get(5).has_value());
+  EXPECT_EQ(state.get(5)->status, FlightStatus::kBoarding);
+  EXPECT_EQ(state.flight_count(), 1u);
+  EXPECT_GE(state.version(), 1u);
+}
+
+TEST(OperationalState, SerializeDeserializeRoundTrip) {
+  OperationalState a;
+  a.update(1, [](FlightRecord& r) {
+    r.status = FlightStatus::kEnRoute;
+    r.has_position = true;
+    r.position.lat_deg = 10.5;
+    r.passengers_boarded = 42;
+    r.app_body = to_bytes("opaque");
+  });
+  a.update(2, [](FlightRecord& r) { r.gate = 7; });
+  const Bytes wire = a.serialize();
+  OperationalState b;
+  ASSERT_TRUE(b.deserialize(ByteSpan(wire.data(), wire.size())).is_ok());
+  EXPECT_EQ(b.flight_count(), 2u);
+  EXPECT_EQ(b.get(1)->passengers_boarded, 42u);
+  EXPECT_DOUBLE_EQ(b.get(1)->position.lat_deg, 10.5);
+  EXPECT_EQ(b.get(1)->app_body, to_bytes("opaque"));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(OperationalState, DeserializeRejectsGarbage) {
+  OperationalState s;
+  Bytes junk = to_bytes("not a state blob at all");
+  EXPECT_FALSE(s.deserialize(ByteSpan(junk.data(), junk.size())).is_ok());
+}
+
+TEST(OperationalState, FingerprintSensitivity) {
+  OperationalState a, b;
+  a.update(1, [](FlightRecord& r) { r.status = FlightStatus::kLanded; });
+  b.update(1, [](FlightRecord& r) { r.status = FlightStatus::kAtGate; });
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b.update(1, [](FlightRecord& r) { r.status = FlightStatus::kLanded; });
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(OperationalState, FingerprintIgnoresUpdateCounts) {
+  // Coalescing folds several raw events into one applied update at mirrors;
+  // semantic equality must survive that.
+  OperationalState a, b;
+  a.update(1, [](FlightRecord& r) { r.updates_applied = 10; });
+  b.update(1, [](FlightRecord& r) { r.updates_applied = 1; });
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Ede, PositionUpdatesStateAndEmitsBroadcast) {
+  OperationalState state;
+  Ede ede(&state);
+  const auto out = ede.process(faa(1, 1));
+  ASSERT_EQ(out.size(), 1u);
+  const auto* d = out[0].as<event::Derived>();
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind, event::Derived::Kind::kStatusBroadcast);
+  EXPECT_EQ(out[0].header().ingress_time, kMilli);  // inherited for delay
+  EXPECT_TRUE(state.get(1)->has_position);
+  EXPECT_EQ(state.get(1)->status, FlightStatus::kEnRoute);
+  EXPECT_EQ(state.get(1)->app_body.size(), 64u);
+}
+
+TEST(Ede, StatusTransitionRecorded) {
+  OperationalState state;
+  Ede ede(&state);
+  ede.process(delta(2, 1, FlightStatus::kBoarding, 100));
+  EXPECT_EQ(state.get(2)->status, FlightStatus::kBoarding);
+  EXPECT_EQ(state.get(2)->passengers_ticketed, 100u);
+  EXPECT_EQ(state.get(2)->gate, 12u);
+}
+
+TEST(Ede, AllBoardedDerivedEvent) {
+  // §2: "determines from multiple events received from gate readers that
+  // all passengers of a flight have boarded".
+  OperationalState state;
+  Ede ede(&state);
+  ede.process(delta(3, 1, FlightStatus::kBoarding, 3));
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    event::PassengerBoarded pb{3, p};
+    const auto out = ede.process(event::make_passenger_boarded(1, 2 + p, pb));
+    EXPECT_TRUE(out.empty());
+  }
+  event::PassengerBoarded last{3, 2};
+  const auto out = ede.process(event::make_passenger_boarded(1, 5, last));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as<event::Derived>()->kind,
+            event::Derived::Kind::kAllBoarded);
+  EXPECT_EQ(state.get(3)->status, FlightStatus::kAllBoarded);
+  EXPECT_EQ(ede.counters().all_boarded_derived, 1u);
+}
+
+TEST(Ede, DerivedArrivedFoldsIntoState) {
+  OperationalState state;
+  Ede ede(&state);
+  event::Derived d;
+  d.flight = 4;
+  d.kind = event::Derived::Kind::kFlightArrived;
+  d.status = FlightStatus::kArrived;
+  const auto out = ede.process(event::make_derived(d));
+  EXPECT_EQ(state.get(4)->status, FlightStatus::kArrived);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(ede.counters().arrivals_recorded, 1u);
+}
+
+TEST(Ede, ProgressTracksVts) {
+  OperationalState state;
+  Ede ede(&state);
+  ede.process(faa(1, 5));
+  ede.process(delta(1, 3, FlightStatus::kDeparted));
+  const auto p = ede.progress();
+  EXPECT_EQ(p.component(0), 5u);
+  EXPECT_EQ(p.component(1), 3u);
+}
+
+TEST(Ede, IdenticalInputsYieldIdenticalState) {
+  OperationalState s1, s2;
+  Ede e1(&s1), e2(&s2);
+  for (SeqNo i = 1; i <= 50; ++i) {
+    e1.process(faa(1 + i % 3, i, static_cast<double>(i)));
+    e2.process(faa(1 + i % 3, i, static_cast<double>(i)));
+  }
+  EXPECT_EQ(s1.fingerprint(), s2.fingerprint());
+}
+
+TEST(Snapshot, BuildAndRestoreRoundTrip) {
+  OperationalState state;
+  Ede ede(&state);
+  for (SeqNo i = 1; i <= 30; ++i) ede.process(faa(1 + i % 7, i));
+  SnapshotService service(&state, /*max_chunk_bytes=*/256);
+  const auto chunks = service.build(99);
+  EXPECT_GT(chunks.size(), 1u);  // forced multi-chunk
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.as<event::Snapshot>()->request_id, 99u);
+  }
+  OperationalState restored;
+  ASSERT_TRUE(SnapshotService::restore(chunks, restored).is_ok());
+  EXPECT_EQ(restored.fingerprint(), state.fingerprint());
+  EXPECT_EQ(service.snapshots_built(), 1u);
+  EXPECT_GT(service.last_state_bytes(), 0u);
+}
+
+TEST(Snapshot, EmptyStateStillAnswers) {
+  OperationalState state;
+  SnapshotService service(&state);
+  const auto chunks = service.build(1);
+  ASSERT_EQ(chunks.size(), 1u);
+  OperationalState restored;
+  EXPECT_TRUE(SnapshotService::restore(chunks, restored).is_ok());
+  EXPECT_EQ(restored.flight_count(), 0u);
+}
+
+TEST(Snapshot, RestoreOutOfOrderChunks) {
+  OperationalState state;
+  for (FlightKey f = 1; f <= 40; ++f) {
+    state.update(f, [](FlightRecord& r) { r.gate = 1; });
+  }
+  SnapshotService service(&state, 128);
+  auto chunks = service.build(7);
+  ASSERT_GT(chunks.size(), 2u);
+  std::swap(chunks.front(), chunks.back());
+  OperationalState restored;
+  EXPECT_TRUE(SnapshotService::restore(chunks, restored).is_ok());
+  EXPECT_EQ(restored.fingerprint(), state.fingerprint());
+}
+
+TEST(Snapshot, IncompleteChunksRejected) {
+  OperationalState state;
+  for (FlightKey f = 1; f <= 40; ++f) {
+    state.update(f, [](FlightRecord& r) { r.gate = 1; });
+  }
+  SnapshotService service(&state, 128);
+  auto chunks = service.build(7);
+  ASSERT_GT(chunks.size(), 1u);
+  chunks.pop_back();
+  OperationalState restored;
+  EXPECT_FALSE(SnapshotService::restore(chunks, restored).is_ok());
+}
+
+TEST(Snapshot, MixedRequestsRejected) {
+  OperationalState state;
+  SnapshotService service(&state);
+  auto a = service.build(1);
+  auto b = service.build(2);
+  a.insert(a.end(), b.begin(), b.end());
+  OperationalState restored;
+  EXPECT_FALSE(SnapshotService::restore(a, restored).is_ok());
+}
+
+TEST(Snapshot, SnapshotBytesGrowWithEventPadding) {
+  // The request-servicing cost model depends on this property (Fig. 6).
+  OperationalState small_state, big_state;
+  Ede small_ede(&small_state), big_ede(&big_state);
+  for (SeqNo i = 1; i <= 20; ++i) {
+    event::FaaPosition pos;
+    pos.flight = 1 + i % 5;
+    small_ede.process(event::make_faa_position(0, i, pos, 64));
+    big_ede.process(event::make_faa_position(0, i, pos, 4096));
+  }
+  EXPECT_GT(big_state.serialize().size(),
+            small_state.serialize().size() + 5 * 3000);
+}
+
+}  // namespace
+}  // namespace admire::ede
+namespace admire::ede {
+namespace {
+
+TEST(EdeAnalytics, GateChangeDetected) {
+  OperationalState state;
+  Ede ede(&state);
+  event::DeltaStatus first;
+  first.flight = 11;
+  first.status = FlightStatus::kScheduled;
+  first.gate = 4;
+  ede.process(event::make_delta_status(1, 1, first));
+  event::DeltaStatus moved = first;
+  moved.status = FlightStatus::kBoarding;
+  moved.gate = 9;
+  const auto out = ede.process(event::make_delta_status(1, 2, moved));
+  ASSERT_EQ(out.size(), 2u);  // status broadcast + gate-change alert
+  EXPECT_EQ(out[1].as<event::Derived>()->kind,
+            event::Derived::Kind::kGateChanged);
+  EXPECT_EQ(state.get(11)->gate, 9u);
+  EXPECT_EQ(ede.counters().gate_changes, 1u);
+  // Same gate again: no alert.
+  moved.status = FlightStatus::kDeparted;
+  EXPECT_EQ(ede.process(event::make_delta_status(1, 3, moved)).size(), 1u);
+}
+
+TEST(EdeAnalytics, IncompleteDepartureAlert) {
+  OperationalState state;
+  Ede ede(&state);
+  event::DeltaStatus boarding;
+  boarding.flight = 12;
+  boarding.status = FlightStatus::kBoarding;
+  boarding.passengers_ticketed = 5;
+  ede.process(event::make_delta_status(1, 1, boarding));
+  event::PassengerBoarded pb{12, 1};
+  ede.process(event::make_passenger_boarded(1, 2, pb));  // 1 of 5 boarded
+  event::DeltaStatus departed = boarding;
+  departed.status = FlightStatus::kDeparted;
+  const auto out = ede.process(event::make_delta_status(1, 3, departed));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].as<event::Derived>()->kind,
+            event::Derived::Kind::kDepartureIncomplete);
+  EXPECT_EQ(ede.counters().incomplete_departures, 1u);
+}
+
+TEST(EdeAnalytics, CompleteDepartureRaisesNoAlert) {
+  OperationalState state;
+  Ede ede(&state);
+  event::DeltaStatus boarding;
+  boarding.flight = 13;
+  boarding.status = FlightStatus::kBoarding;
+  boarding.passengers_ticketed = 2;
+  ede.process(event::make_delta_status(1, 1, boarding));
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    event::PassengerBoarded pb{13, p};
+    ede.process(event::make_passenger_boarded(1, 2 + p, pb));
+  }
+  event::DeltaStatus departed = boarding;
+  departed.status = FlightStatus::kDeparted;
+  const auto out = ede.process(event::make_delta_status(1, 5, departed));
+  EXPECT_EQ(out.size(), 1u);  // just the status broadcast
+  EXPECT_EQ(ede.counters().incomplete_departures, 0u);
+}
+
+}  // namespace
+}  // namespace admire::ede

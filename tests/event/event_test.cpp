@@ -1,0 +1,114 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::event {
+namespace {
+
+TEST(Event, BuildersSetHeaderKeyFromPayload) {
+  FaaPosition pos;
+  pos.flight = 17;
+  const Event ev = make_faa_position(0, 42, pos, 128);
+  EXPECT_EQ(ev.type(), EventType::kFaaPosition);
+  EXPECT_EQ(ev.stream(), 0);
+  EXPECT_EQ(ev.seq(), 42u);
+  EXPECT_EQ(ev.key(), 17u);
+  EXPECT_EQ(ev.padding().size(), 128u);
+}
+
+TEST(Event, TypedAccessor) {
+  DeltaStatus st;
+  st.flight = 3;
+  st.status = FlightStatus::kLanded;
+  Event ev = make_delta_status(1, 7, st);
+  ASSERT_NE(ev.as<DeltaStatus>(), nullptr);
+  EXPECT_EQ(ev.as<DeltaStatus>()->status, FlightStatus::kLanded);
+  EXPECT_EQ(ev.as<FaaPosition>(), nullptr);
+}
+
+TEST(Event, WireSizeComponents) {
+  FaaPosition pos;
+  pos.flight = 1;
+  const Event small = make_faa_position(0, 1, pos, 0);
+  const Event padded = make_faa_position(0, 1, pos, 1000);
+  EXPECT_EQ(padded.wire_size(), small.wire_size() + 1000);
+  EXPECT_GE(small.wire_size(), kHeaderWireSize);
+}
+
+TEST(Event, WireSizeGrowsWithVts) {
+  FaaPosition pos;
+  pos.flight = 1;
+  Event ev = make_faa_position(0, 1, pos, 0);
+  const std::size_t before = ev.wire_size();
+  ev.header().vts.observe(3, 9);
+  EXPECT_EQ(ev.wire_size(), before + 4 * sizeof(SeqNo));
+}
+
+TEST(Event, DescribeMentionsTypeAndFlight) {
+  PassengerBoarded pb;
+  pb.flight = 9;
+  pb.passenger_id = 1234;
+  const Event ev = make_passenger_boarded(1, 5, pb);
+  const std::string d = ev.describe();
+  EXPECT_NE(d.find("PASSENGER_BOARDED"), std::string::npos);
+  EXPECT_NE(d.find("flight=9"), std::string::npos);
+}
+
+TEST(Event, ControlEventsAreNotDataEvents) {
+  EXPECT_FALSE(is_data_event(EventType::kControl));
+  EXPECT_TRUE(is_data_event(EventType::kFaaPosition));
+  EXPECT_TRUE(is_data_event(EventType::kSnapshot));
+}
+
+TEST(Payload, FlightExtraction) {
+  EXPECT_EQ(payload_flight(FaaPosition{.flight = 5}), 5u);
+  EXPECT_EQ(payload_flight(DeltaStatus{.flight = 6}), 6u);
+  EXPECT_EQ(payload_flight(PassengerBoarded{.flight = 7}), 7u);
+  EXPECT_EQ(payload_flight(BaggageLoaded{.flight = 8}), 8u);
+  EXPECT_EQ(payload_flight(Derived{.flight = 9}), 9u);
+  EXPECT_EQ(payload_flight(Snapshot{}), 0u);
+  EXPECT_EQ(payload_flight(Control{}), 0u);
+}
+
+TEST(Payload, WireSizeIncludesVariableParts) {
+  Snapshot s;
+  EXPECT_EQ(payload_wire_size(Payload{s}), 16u);
+  s.state.resize(100);
+  EXPECT_EQ(payload_wire_size(Payload{s}), 116u);
+  Control c;
+  c.body.resize(33);
+  EXPECT_EQ(payload_wire_size(Payload{c}), 33u);
+}
+
+TEST(FlightStatus, NamesAndFinality) {
+  EXPECT_STREQ(flight_status_name(FlightStatus::kArrived), "ARRIVED");
+  EXPECT_TRUE(is_on_ground_final(FlightStatus::kLanded));
+  EXPECT_TRUE(is_on_ground_final(FlightStatus::kAtGate));
+  EXPECT_FALSE(is_on_ground_final(FlightStatus::kEnRoute));
+  EXPECT_FALSE(is_on_ground_final(FlightStatus::kBoarding));
+}
+
+TEST(EventType, Names) {
+  EXPECT_STREQ(event_type_name(EventType::kFaaPosition), "FAA_POSITION");
+  EXPECT_STREQ(event_type_name(EventType::kControl), "CONTROL");
+}
+
+TEST(Event, PaddingIsDeterministic) {
+  FaaPosition pos;
+  const Event a = make_faa_position(0, 1, pos, 64);
+  const Event b = make_faa_position(0, 1, pos, 64);
+  EXPECT_EQ(a.padding(), b.padding());
+}
+
+TEST(Event, EqualityIsDeep) {
+  FaaPosition pos;
+  pos.flight = 2;
+  Event a = make_faa_position(0, 1, pos, 16);
+  Event b = make_faa_position(0, 1, pos, 16);
+  EXPECT_EQ(a, b);
+  b.header().seq = 2;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace admire::event

@@ -1,0 +1,115 @@
+#include "event/vector_timestamp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace admire::event {
+namespace {
+
+TEST(VectorTimestamp, ObserveGrowsAndKeepsMax) {
+  VectorTimestamp v;
+  v.observe(0, 5);
+  v.observe(2, 7);
+  EXPECT_EQ(v.component(0), 5u);
+  EXPECT_EQ(v.component(1), 0u);
+  EXPECT_EQ(v.component(2), 7u);
+  v.observe(0, 3);  // stale observation must not regress
+  EXPECT_EQ(v.component(0), 5u);
+  EXPECT_EQ(v.num_streams(), 3u);
+}
+
+TEST(VectorTimestamp, MissingComponentsReadZero) {
+  VectorTimestamp v;
+  EXPECT_EQ(v.component(9), 0u);
+}
+
+TEST(VectorTimestamp, MergeIsComponentMax) {
+  VectorTimestamp a, b;
+  a.observe(0, 10);
+  a.observe(1, 2);
+  b.observe(1, 5);
+  b.observe(2, 1);
+  a.merge(b);
+  EXPECT_EQ(a.component(0), 10u);
+  EXPECT_EQ(a.component(1), 5u);
+  EXPECT_EQ(a.component(2), 1u);
+}
+
+TEST(VectorTimestamp, DominatesReflexiveAndPartial) {
+  VectorTimestamp a, b;
+  a.observe(0, 3);
+  b.observe(1, 3);
+  EXPECT_TRUE(a.dominates(a));
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));  // incomparable
+  VectorTimestamp c = a;
+  c.merge(b);
+  EXPECT_TRUE(c.dominates(a));
+  EXPECT_TRUE(c.dominates(b));
+}
+
+TEST(VectorTimestamp, DominatesWithDifferentLengths) {
+  VectorTimestamp shorter, longer;
+  shorter.observe(0, 5);
+  longer.observe(0, 5);
+  longer.observe(3, 0);  // trailing zero component
+  EXPECT_TRUE(shorter.dominates(longer));
+  EXPECT_TRUE(longer.dominates(shorter));
+  EXPECT_EQ(shorter, longer);
+}
+
+TEST(VectorTimestamp, HappensBefore) {
+  VectorTimestamp a, b;
+  a.observe(0, 1);
+  b.observe(0, 2);
+  EXPECT_TRUE(a.happens_before(b));
+  EXPECT_FALSE(b.happens_before(a));
+  EXPECT_FALSE(a.happens_before(a));
+}
+
+TEST(VectorTimestamp, ComponentMin) {
+  VectorTimestamp a, b, c;
+  a.observe(0, 10);
+  a.observe(1, 5);
+  b.observe(0, 7);
+  b.observe(1, 9);
+  c.observe(0, 8);  // no component 1 => treated as 0
+  const auto m = VectorTimestamp::component_min({a, b, c});
+  EXPECT_EQ(m.component(0), 7u);
+  EXPECT_EQ(m.component(1), 0u);
+}
+
+TEST(VectorTimestamp, ComponentMinEmptyInput) {
+  const auto m = VectorTimestamp::component_min({});
+  EXPECT_EQ(m.num_streams(), 0u);
+}
+
+TEST(VectorTimestamp, ComponentMinIsDominatedByAll) {
+  Rng rng(3);
+  std::vector<VectorTimestamp> vts(5);
+  for (auto& v : vts) {
+    for (StreamId s = 0; s < 3; ++s) v.observe(s, rng.next_below(100));
+  }
+  const auto m = VectorTimestamp::component_min(vts);
+  for (const auto& v : vts) EXPECT_TRUE(v.dominates(m));
+}
+
+TEST(VectorTimestamp, TotalOrderConsistent) {
+  VectorTimestamp a, b;
+  a.observe(0, 1);
+  b.observe(0, 2);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+}
+
+TEST(VectorTimestamp, ToStringFormat) {
+  VectorTimestamp v;
+  v.observe(0, 12);
+  v.observe(1, 4);
+  EXPECT_EQ(v.to_string(), "[s0:12 s1:4]");
+}
+
+}  // namespace
+}  // namespace admire::event

@@ -1,0 +1,81 @@
+#include "harness/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace admire::harness {
+namespace {
+
+TEST(Harness, MakeTraceRespectsSpec) {
+  RunSpec spec;
+  spec.faa_events = 250;
+  spec.event_padding = 333;
+  spec.include_delta_stream = false;
+  const auto trace = make_trace(spec);
+  EXPECT_EQ(trace.size(), 250u);
+  for (const auto& item : trace.items) {
+    EXPECT_EQ(item.ev.padding().size(), 333u);
+  }
+}
+
+TEST(Harness, BatchModeZeroesArrivals) {
+  RunSpec spec;
+  spec.faa_events = 100;
+  spec.event_horizon = 0;
+  const auto trace = make_trace(spec);
+  for (const auto& item : trace.items) EXPECT_EQ(item.at, 0);
+}
+
+TEST(Harness, PacedModeSpansHorizon) {
+  RunSpec spec;
+  spec.faa_events = 500;
+  spec.event_horizon = 4 * kSecond;
+  const auto trace = make_trace(spec);
+  EXPECT_EQ(trace.duration(), 4 * kSecond);
+  EXPECT_GT(trace.items[trace.size() / 2].at, 0);
+}
+
+TEST(Harness, RescaleEmptyAndSingle) {
+  EXPECT_TRUE(rescale_trace({}, kSecond).empty());
+  workload::Trace one;
+  one.items.push_back({5 * kSecond, event::make_faa_position(0, 1, {})});
+  const auto scaled = rescale_trace(std::move(one), 2 * kSecond);
+  EXPECT_EQ(scaled.items[0].at, 2 * kSecond);
+}
+
+TEST(Harness, RequestsModes) {
+  RunSpec spec;
+  spec.request_rate = 100;
+  spec.requests_while_events = true;
+  EXPECT_EQ(make_requests(spec).size(), 0u);  // auto mode: sim generates
+
+  spec.requests_while_events = false;
+  spec.request_window = 2 * kSecond;
+  EXPECT_NEAR(static_cast<double>(make_requests(spec).size()), 200.0, 25.0);
+
+  spec.bursty = true;
+  spec.burst_rate = 1000;
+  spec.burst_period = kSecond;
+  spec.burst_duty = 0.5;
+  EXPECT_GT(make_requests(spec).size(), 500u);
+}
+
+TEST(Harness, PercentOver) {
+  EXPECT_DOUBLE_EQ(percent_over(120.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(percent_over(80.0, 100.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_over(5.0, 0.0), 0.0);  // guarded
+}
+
+TEST(Logging, LevelGateAndSink) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below threshold: discarded without touching the sink (no crash, fast).
+  log(LogLevel::kDebug, "dropped ", 42);
+  log(LogLevel::kError, "emitted ", 42, " and ", 3.5);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace admire::harness

@@ -1,0 +1,140 @@
+// Concurrency stress: the thread-safety contracts the threaded runtime
+// relies on, hammered from multiple threads.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "echo/channel.h"
+#include "mirror/pipeline_core.h"
+#include "workload/scenario.h"
+
+namespace admire {
+namespace {
+
+event::Event faa(FlightKey flight, StreamId stream, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(stream, seq, pos, 16);
+}
+
+TEST(Concurrency, ChannelSubmitAndSubscribeRace) {
+  auto channel = echo::EventChannel::create(1, "race", echo::ChannelRole::kData);
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    // Continuously add and remove subscriptions while submits run.
+    while (!stop.load()) {
+      auto sub = channel->subscribe(
+          [&](const event::Event&) { received.fetch_add(1); });
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> submitters;
+  constexpr int kPerThread = 3000;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      for (SeqNo i = 1; i <= kPerThread; ++i) {
+        channel->submit(faa(1, static_cast<StreamId>(t), i));
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(channel->submitted_count(), 3u * kPerThread);
+}
+
+TEST(Concurrency, PipelineCoreParallelIngestAndSend) {
+  mirror::PipelineCore core(
+      rules::MirroringParams{.function = rules::selective_mirroring(4)}, 4);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> sent{0};
+  std::thread sender([&] {
+    while (!done.load() || core.ready().size() > 0) {
+      if (auto step = core.try_send_step()) {
+        sent.fetch_add(step->to_send.size());
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  constexpr SeqNo kPerStream = 4000;
+  for (StreamId s = 0; s < 3; ++s) {
+    producers.emplace_back([&core, s] {
+      for (SeqNo i = 1; i <= kPerStream; ++i) {
+        core.on_incoming(faa(1 + i % 7, s, i), 0);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  done.store(true);
+  sender.join();
+
+  const auto counters = core.counters();
+  EXPECT_EQ(counters.received, 3u * kPerStream);
+  EXPECT_EQ(sent.load(), counters.sent);
+  EXPECT_EQ(core.rule_counters().total_seen(), 3u * kPerStream);
+  // Per-stream monotone vector timestamp despite interleaving.
+  const auto vts = core.stamp();
+  for (StreamId s = 0; s < 3; ++s) EXPECT_EQ(vts.component(s), kPerStream);
+}
+
+TEST(Concurrency, PipelineInstallWhileIngesting) {
+  mirror::PipelineCore core(
+      rules::MirroringParams{.function = rules::simple_mirroring()}, 2);
+  std::atomic<bool> stop{false};
+  std::thread installer([&] {
+    bool selective = false;
+    while (!stop.load()) {
+      core.install(selective ? rules::selective_mirroring(8)
+                             : rules::simple_mirroring());
+      selective = !selective;
+      std::this_thread::yield();
+    }
+  });
+  for (SeqNo i = 1; i <= 20000; ++i) {
+    core.on_incoming(faa(1, 0, i), 0);
+    if (i % 16 == 0) {
+      while (core.try_send_step().has_value()) {
+      }
+    }
+  }
+  stop.store(true);
+  installer.join();
+  EXPECT_EQ(core.counters().received, 20000u);
+  EXPECT_EQ(core.rule_counters().total_seen(), 20000u);
+}
+
+TEST(Concurrency, ClusterParallelIngestAndRequests) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  cluster::Cluster server(config);
+  server.start();
+
+  std::atomic<int> snapshots_ok{0};
+  std::thread requester([&] {
+    for (int i = 0; i < 40; ++i) {
+      if (server.request_snapshot(i + 1).is_ok()) snapshots_ok.fetch_add(1);
+    }
+  });
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 600;
+  scenario.num_flights = 12;
+  scenario.event_padding = 64;
+  const auto trace = workload::make_ois_trace(scenario);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  requester.join();
+  server.drain();
+  EXPECT_EQ(snapshots_ok.load(), 40);
+  EXPECT_EQ(server.central().processed_by_ede(), trace.size());
+  const auto fps = server.state_fingerprints();
+  EXPECT_EQ(fps[1], fps[2]);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire

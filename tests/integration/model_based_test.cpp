@@ -1,0 +1,129 @@
+// Model-based property tests: feed long random event sequences through the
+// real components and compare against small, obviously-correct reference
+// models written inline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "queueing/backup_queue.h"
+#include "rules/coalescer.h"
+#include "rules/rule_engine.h"
+
+namespace admire {
+namespace {
+
+event::Event faa(FlightKey flight, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  event::Event ev = event::make_faa_position(0, seq, pos);
+  ev.header().vts.observe(0, seq);
+  return ev;
+}
+
+TEST(ModelBased, OverwriteSemanticsMatchReferenceModel) {
+  // Reference model: per (type, flight) counter; keep when counter % L == 0.
+  for (const std::uint32_t L : {2u, 3u, 5u, 8u}) {
+    rules::RuleEngine engine(
+        rules::MirroringParams{.function = rules::selective_mirroring(L)});
+    queueing::StatusTable table;
+    std::map<FlightKey, std::uint64_t> model_counters;
+    Rng rng(L * 1234);
+    for (SeqNo i = 1; i <= 3000; ++i) {
+      const auto flight = static_cast<FlightKey>(1 + rng.next_below(12));
+      const bool model_keep = model_counters[flight]++ % L == 0;
+      const auto action = engine.on_receive(faa(flight, i), table).action;
+      ASSERT_EQ(action == rules::ReceiveAction::kAccept, model_keep)
+          << "L=" << L << " event " << i << " flight " << flight;
+    }
+  }
+}
+
+TEST(ModelBased, SuppressionMatchesReferenceModel) {
+  rules::MirroringParams params;
+  params.function = rules::simple_mirroring();
+  rules::ComplexSeqRule rule;
+  rule.trigger_type = event::EventType::kDeltaStatus;
+  rule.trigger_value = rules::match_delta_status(event::FlightStatus::kLanded);
+  rule.suppressed_type = event::EventType::kFaaPosition;
+  params.complex_seq_rules.push_back(std::move(rule));
+  rules::RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+
+  std::map<FlightKey, bool> model_landed;
+  Rng rng(99);
+  for (SeqNo i = 1; i <= 3000; ++i) {
+    const auto flight = static_cast<FlightKey>(1 + rng.next_below(10));
+    if (rng.next_bool(0.05)) {
+      event::DeltaStatus st;
+      st.flight = flight;
+      st.status = event::FlightStatus::kLanded;
+      engine.on_receive(event::make_delta_status(1, i, st), table);
+      model_landed[flight] = true;
+      continue;
+    }
+    const bool model_suppressed = model_landed[flight];
+    const auto action = engine.on_receive(faa(flight, i), table).action;
+    ASSERT_EQ(action == rules::ReceiveAction::kDiscardSuppressed,
+              model_suppressed)
+        << "event " << i << " flight " << flight;
+  }
+}
+
+TEST(ModelBased, BackupQueueMatchesReferenceUnderRandomOps) {
+  // Reference model: a vector of seqnos; trim removes the prefix <= commit.
+  queueing::BackupQueue backup;
+  std::vector<SeqNo> model;
+  Rng rng(7);
+  SeqNo next_seq = 1;
+  SeqNo committed = 0;
+  for (int op = 0; op < 5000; ++op) {
+    const double coin = rng.next_double();
+    if (coin < 0.7) {
+      backup.push(faa(1, next_seq));
+      model.push_back(next_seq);
+      ++next_seq;
+    } else if (coin < 0.9) {
+      // Commit a random point between the last commit and the newest seq.
+      committed += rng.next_below(4);
+      event::VectorTimestamp vts;
+      vts.observe(0, committed);
+      const std::size_t trimmed = backup.trim_committed(vts);
+      std::size_t model_trimmed = 0;
+      while (!model.empty() && model.front() <= committed) {
+        model.erase(model.begin());
+        ++model_trimmed;
+      }
+      ASSERT_EQ(trimmed, model_trimmed) << "op " << op;
+    } else {
+      ASSERT_EQ(backup.size(), model.size()) << "op " << op;
+      if (!model.empty()) {
+        ASSERT_EQ(backup.first_vts()->component(0), model.front());
+        ASSERT_EQ(backup.last_vts()->component(0), model.back());
+      }
+    }
+  }
+  ASSERT_EQ(backup.size(), model.size());
+}
+
+TEST(ModelBased, CoalescerConservesRawEventCounts) {
+  // Property: at any point, (emitted coalesced counts) + (buffered counts)
+  // == raw events offered.
+  rules::Coalescer coalescer(true, 7);
+  Rng rng(3);
+  std::uint64_t offered = 0, emitted_raw = 0;
+  for (SeqNo i = 1; i <= 4000; ++i) {
+    const auto flight = static_cast<FlightKey>(1 + rng.next_below(9));
+    ++offered;
+    for (const auto& out : coalescer.offer(faa(flight, i))) {
+      emitted_raw += out.header().coalesced;
+    }
+  }
+  for (const auto& out : coalescer.flush_all()) {
+    emitted_raw += out.header().coalesced;
+  }
+  EXPECT_EQ(emitted_raw, offered);
+}
+
+}  // namespace
+}  // namespace admire

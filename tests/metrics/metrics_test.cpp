@@ -1,0 +1,63 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::metrics {
+namespace {
+
+TEST(LatencyRecorder, BasicStats) {
+  LatencyRecorder rec(kSecond);
+  rec.add(0, 10 * kMilli);
+  rec.add(kSecond, 20 * kMilli);
+  rec.add(2 * kSecond, 30 * kMilli);
+  EXPECT_EQ(rec.count(), 3u);
+  EXPECT_DOUBLE_EQ(rec.mean(), 20.0 * kMilli);
+  EXPECT_DOUBLE_EQ(rec.max(), 30.0 * kMilli);
+  EXPECT_DOUBLE_EQ(rec.percentile(1.0), 30.0 * kMilli);
+}
+
+TEST(LatencyRecorder, SeriesBinsByArrivalTime) {
+  LatencyRecorder rec(kSecond);
+  rec.add(100, 5.0 * kMilli);
+  rec.add(200, 15.0 * kMilli);
+  rec.add(2 * kSecond + 1, 100.0 * kMilli);
+  const auto bins = rec.series_bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].n, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].mean, 10.0 * kMilli);
+  EXPECT_EQ(bins[1].n, 0u);
+  EXPECT_EQ(bins[2].n, 1u);
+}
+
+TEST(LatencyRecorder, PerturbationIsCoefficientOfVariation) {
+  LatencyRecorder steady(kSecond);
+  for (int i = 0; i < 100; ++i) steady.add(i, 10 * kMilli);
+  EXPECT_NEAR(steady.perturbation(), 0.0, 1e-9);
+
+  LatencyRecorder bursty(kSecond);
+  for (int i = 0; i < 100; ++i) {
+    bursty.add(i, i % 10 == 0 ? 100 * kMilli : kMilli);
+  }
+  EXPECT_GT(bursty.perturbation(), 1.0);
+}
+
+TEST(LatencyRecorder, EmptyIsSafe) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.perturbation(), 0.0);
+  EXPECT_TRUE(rec.series_bins().empty());
+}
+
+TEST(PrintCheck, ReturnsVerdict) {
+  EXPECT_TRUE(print_check("always-true", true, "detail"));
+  EXPECT_FALSE(print_check("always-false", false, "detail"));
+}
+
+TEST(PrintFigure, DoesNotCrash) {
+  print_figure("Fig. X", "demo", "x", "y",
+               {{"curve-a", {{1, 2}, {3, 4}}}, {"curve-b", {}}});
+}
+
+}  // namespace
+}  // namespace admire::metrics

@@ -1,0 +1,170 @@
+// Tests for the paper's Table 1 API surface.
+#include "mirror/mirroring_api.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::mirror {
+namespace {
+
+event::Event faa(FlightKey flight, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(0, seq, pos);
+}
+
+TEST(MirroringApi, InitSetsFunctionKnobs) {
+  MirroringApi api;
+  api.init(/*coalesce=*/true, /*number=*/5, /*l=*/8);
+  const auto p = api.params();
+  EXPECT_TRUE(p.function.coalesce_enabled);
+  EXPECT_EQ(p.function.coalesce_max, 5u);
+  EXPECT_EQ(p.function.overwrite_max, 8u);
+}
+
+TEST(MirroringApi, SetParamsUpdatesCheckpointFrequency) {
+  MirroringApi api;
+  api.set_params(false, 1, 200);
+  EXPECT_EQ(api.params().function.checkpoint_every, 200u);
+}
+
+TEST(MirroringApi, SetOverwriteReplacesExistingRuleForType) {
+  MirroringApi api;
+  api.set_overwrite(event::EventType::kFaaPosition, 4);
+  api.set_overwrite(event::EventType::kFaaPosition, 9);
+  const auto p = api.params();
+  ASSERT_EQ(p.overwrite_rules.size(), 1u);
+  EXPECT_EQ(p.overwrite_rules[0].max_length, 9u);
+  EXPECT_EQ(p.overwrite_length_for(event::EventType::kFaaPosition), 9u);
+}
+
+TEST(MirroringApi, SetComplexSeqAndTupleAccumulate) {
+  MirroringApi api;
+  api.set_complex_seq(event::EventType::kDeltaStatus,
+                      rules::match_delta_status(event::FlightStatus::kLanded),
+                      event::EventType::kFaaPosition);
+  rules::ComplexTupleRule tuple;
+  tuple.constituents = {{event::EventType::kDeltaStatus, rules::match_any()}};
+  api.set_complex_tuple(std::move(tuple));
+  const auto p = api.params();
+  EXPECT_EQ(p.complex_seq_rules.size(), 1u);
+  EXPECT_EQ(p.complex_tuple_rules.size(), 1u);
+}
+
+TEST(MirroringApi, InitResetsAccumulatedRules) {
+  MirroringApi api;
+  api.set_overwrite(event::EventType::kFaaPosition, 4);
+  api.init(false, 1, 1);
+  EXPECT_TRUE(api.params().overwrite_rules.empty());
+}
+
+TEST(MirroringApi, AdaptationPolicyFromSetAdaptAndMonitors) {
+  MirroringApi api;
+  api.set_monitor_values(adapt::MonitoredVariable::kPendingRequests, 10, 5);
+  api.set_adapt(adapt::ParamId::kOverwriteMax, 100);
+  ASSERT_TRUE(api.adaptation_configured());
+  const auto policy = api.adaptation_policy();
+  EXPECT_EQ(policy.mode, adapt::PolicyMode::kAdjustParams);
+  ASSERT_EQ(policy.thresholds.size(), 1u);
+  EXPECT_DOUBLE_EQ(policy.thresholds[0].primary, 10.0);
+  ASSERT_EQ(policy.adjustments.size(), 1u);
+  EXPECT_EQ(policy.adjustments[0].percent, 100);
+}
+
+TEST(MirroringApi, SetAdaptFunctionPrefersSwitchMode) {
+  MirroringApi api;
+  api.set_monitor_values(adapt::MonitoredVariable::kReadyQueueLength, 50, 25);
+  api.set_adapt_function(rules::fig9_function_b());
+  const auto policy = api.adaptation_policy();
+  EXPECT_EQ(policy.mode, adapt::PolicyMode::kSwitchFunction);
+  EXPECT_EQ(policy.engaged_spec, rules::fig9_function_b());
+}
+
+TEST(MirroringApi, SetMonitorValuesReplacesSameVariable) {
+  MirroringApi api;
+  api.set_monitor_values(adapt::MonitoredVariable::kPendingRequests, 10, 5);
+  api.set_monitor_values(adapt::MonitoredVariable::kPendingRequests, 20, 8);
+  const auto policy = api.adaptation_policy();
+  ASSERT_EQ(policy.thresholds.size(), 1u);
+  EXPECT_DOUBLE_EQ(policy.thresholds[0].primary, 20.0);
+}
+
+TEST(MirroringApi, MirrorAndFwdUseSinksWhenBound) {
+  MirroringApi api;
+  PipelineCore core(api.params(), 2);
+  std::vector<event::Event> mirrored, forwarded;
+  api.bind(
+      &core, [&](const event::Event& ev) { mirrored.push_back(ev); },
+      [&](const event::Event& ev) { forwarded.push_back(ev); }, [] {});
+  EXPECT_TRUE(api.bound());
+  api.mirror(faa(1, 1));
+  api.fwd(faa(1, 2));
+  ASSERT_EQ(mirrored.size(), 1u);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(mirrored[0].seq(), 1u);
+  EXPECT_EQ(forwarded[0].seq(), 2u);
+}
+
+TEST(MirroringApi, CustomMirrorFunctionCanFilterOrDelegate) {
+  // set_mirror(func): "set new mirroring function func".
+  MirroringApi api;
+  PipelineCore core(api.params(), 2);
+  std::vector<event::Event> mirrored;
+  api.bind(
+      &core, [&](const event::Event& ev) { mirrored.push_back(ev); },
+      [](const event::Event&) {}, [] {});
+  api.set_mirror([](const event::Event& ev, const EventSink& fallthrough) {
+    if (ev.key() % 2 == 0) fallthrough(ev);  // mirror only even flights
+  });
+  api.mirror(faa(1, 1));
+  api.mirror(faa(2, 2));
+  api.mirror(faa(3, 3));
+  ASSERT_EQ(mirrored.size(), 1u);
+  EXPECT_EQ(mirrored[0].key(), 2u);
+}
+
+TEST(MirroringApi, CustomFwdFunction) {
+  MirroringApi api;
+  PipelineCore core(api.params(), 2);
+  int fwd_calls = 0;
+  api.bind(
+      &core, [](const event::Event&) {},
+      [&](const event::Event&) { ++fwd_calls; }, [] {});
+  api.set_fwd([](const event::Event& ev, const EventSink& fallthrough) {
+    fallthrough(ev);
+    fallthrough(ev);  // custom: duplicate delivery
+  });
+  api.fwd(faa(1, 1));
+  EXPECT_EQ(fwd_calls, 2);
+}
+
+TEST(MirroringApi, CheckpointTriggerInvoked) {
+  MirroringApi api;
+  PipelineCore core(api.params(), 2);
+  int triggers = 0;
+  api.bind(&core, [](const event::Event&) {}, [](const event::Event&) {},
+           [&] { ++triggers; });
+  api.checkpoint();
+  api.checkpoint();
+  EXPECT_EQ(triggers, 2);
+}
+
+TEST(MirroringApi, ConfigChangesPropagateToBoundCore) {
+  MirroringApi api;
+  PipelineCore core(api.params(), 2);
+  api.bind(&core, [](const event::Event&) {}, [](const event::Event&) {},
+           [] {});
+  api.use_function(rules::selective_mirroring(8, 75));
+  EXPECT_EQ(core.current_spec().name, "selective");
+  EXPECT_EQ(core.checkpoint_every(), 75u);
+}
+
+TEST(MirroringApi, UnboundCallsAreSafeNoops) {
+  MirroringApi api;
+  api.mirror(faa(1, 1));
+  api.fwd(faa(1, 2));
+  api.checkpoint();  // must not crash
+  EXPECT_FALSE(api.bound());
+}
+
+}  // namespace
+}  // namespace admire::mirror

@@ -1,0 +1,182 @@
+#include "mirror/pipeline_core.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::mirror {
+namespace {
+
+event::Event faa(FlightKey flight, StreamId stream, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(stream, seq, pos, 32);
+}
+
+rules::MirroringParams params_of(rules::MirrorFunctionSpec spec) {
+  rules::MirroringParams p;
+  p.function = std::move(spec);
+  return p;
+}
+
+TEST(PipelineCore, StampsIngressTimeAndVts) {
+  PipelineCore core(params_of(rules::simple_mirroring()), 2);
+  const auto outcome = core.on_incoming(faa(1, 0, 5), 1000);
+  ASSERT_TRUE(outcome.forward.has_value());
+  EXPECT_EQ(outcome.forward->header().ingress_time, 1000);
+  EXPECT_EQ(outcome.forward->header().vts.component(0), 5u);
+  EXPECT_EQ(core.stamp().component(0), 5u);
+}
+
+TEST(PipelineCore, PreservesExistingIngressTime) {
+  PipelineCore core(params_of(rules::simple_mirroring()), 2);
+  event::Event ev = faa(1, 0, 1);
+  ev.header().ingress_time = 42;
+  const auto outcome = core.on_incoming(std::move(ev), 1000);
+  EXPECT_EQ(outcome.forward->header().ingress_time, 42);
+}
+
+TEST(PipelineCore, VtsMergesAcrossStreams) {
+  PipelineCore core(params_of(rules::simple_mirroring()), 2);
+  core.on_incoming(faa(1, 0, 3), 0);
+  const auto outcome = core.on_incoming(faa(1, 1, 7), 0);
+  EXPECT_EQ(outcome.forward->header().vts.component(0), 3u);
+  EXPECT_EQ(outcome.forward->header().vts.component(1), 7u);
+}
+
+TEST(PipelineCore, ForwardIsSetEvenWhenMirrorDiscards) {
+  // Selective mirroring reduces mirror traffic, but the local main unit
+  // still sees the full stream.
+  PipelineCore core(params_of(rules::selective_mirroring(4)), 2);
+  int forwarded = 0, enqueued = 0;
+  for (SeqNo i = 1; i <= 8; ++i) {
+    const auto outcome = core.on_incoming(faa(1, 0, i), 0);
+    forwarded += outcome.forward.has_value();
+    enqueued += outcome.enqueued;
+  }
+  EXPECT_EQ(forwarded, 8);
+  EXPECT_EQ(enqueued, 2);  // 1 of every 4
+  EXPECT_EQ(core.ready().size(), 2u);
+}
+
+TEST(PipelineCore, SendStepMovesReadyToBackup) {
+  PipelineCore core(params_of(rules::simple_mirroring()), 2);
+  core.on_incoming(faa(1, 0, 1), 0);
+  auto step = core.try_send_step();
+  ASSERT_TRUE(step.has_value());
+  ASSERT_EQ(step->to_send.size(), 1u);
+  EXPECT_GT(step->offered_bytes, 0u);
+  EXPECT_EQ(core.ready().size(), 0u);
+  EXPECT_EQ(core.backup().size(), 1u);
+  EXPECT_EQ(core.counters().sent, 1u);
+  EXPECT_GT(core.counters().bytes_sent, 0u);
+}
+
+TEST(PipelineCore, SendStepEmptyWhenNoReady) {
+  PipelineCore core(params_of(rules::simple_mirroring()), 2);
+  EXPECT_FALSE(core.try_send_step().has_value());
+}
+
+TEST(PipelineCore, CheckpointDueEveryNProcessedEvents) {
+  auto spec = rules::simple_mirroring();
+  spec.checkpoint_every = 10;
+  PipelineCore core(params_of(spec), 2);
+  int due = 0;
+  for (SeqNo i = 1; i <= 35; ++i) {
+    due += core.on_incoming(faa(1, 0, i), 0).checkpoint_due;
+  }
+  EXPECT_EQ(due, 3);
+  EXPECT_EQ(core.counters().checkpoints_due, 3u);
+}
+
+TEST(PipelineCore, CheckpointFrequencyAppliesToProcessedNotSent) {
+  // With selective mirroring most events are discarded, yet checkpointing
+  // still runs at the processed-event rate (§3.2.1's "once per 50
+  // processed events").
+  auto spec = rules::selective_mirroring(8);
+  spec.checkpoint_every = 10;
+  PipelineCore core(params_of(spec), 2);
+  int due = 0;
+  for (SeqNo i = 1; i <= 40; ++i) {
+    due += core.on_incoming(faa(1, 0, i), 0).checkpoint_due;
+  }
+  EXPECT_EQ(due, 4);
+}
+
+TEST(PipelineCore, CoalescingHoldsThenReleases) {
+  auto spec = rules::simple_mirroring();
+  spec.coalesce_enabled = true;
+  spec.coalesce_max = 3;
+  PipelineCore core(params_of(spec), 2);
+  for (SeqNo i = 1; i <= 3; ++i) core.on_incoming(faa(1, 0, i), 0);
+  auto s1 = core.try_send_step();
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_TRUE(s1->to_send.empty());  // buffered
+  auto s2 = core.try_send_step();
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_TRUE(s2->to_send.empty());
+  auto s3 = core.try_send_step();
+  ASSERT_TRUE(s3.has_value());
+  ASSERT_EQ(s3->to_send.size(), 1u);
+  EXPECT_EQ(s3->to_send[0].header().coalesced, 3u);
+}
+
+TEST(PipelineCore, FlushDrainsReadyAndCoalescer) {
+  auto spec = rules::simple_mirroring();
+  spec.coalesce_enabled = true;
+  spec.coalesce_max = 100;
+  PipelineCore core(params_of(spec), 2);
+  for (SeqNo i = 1; i <= 5; ++i) core.on_incoming(faa(i, 0, i), 0);
+  const auto step = core.flush();
+  EXPECT_EQ(step.to_send.size(), 5u);  // one buffered event per flight
+  EXPECT_EQ(core.ready().size(), 0u);
+  EXPECT_EQ(core.backup().size(), 5u);
+}
+
+TEST(PipelineCore, InstallSwitchesFunctionLive) {
+  PipelineCore core(params_of(rules::simple_mirroring()), 2);
+  core.install(rules::selective_mirroring(2, 25));
+  EXPECT_EQ(core.current_spec().name, "selective");
+  EXPECT_EQ(core.checkpoint_every(), 25u);
+  int enqueued = 0;
+  for (SeqNo i = 1; i <= 8; ++i) {
+    enqueued += core.on_incoming(faa(1, 0, i), 0).enqueued;
+  }
+  EXPECT_EQ(enqueued, 4);  // 1 of 2
+}
+
+TEST(PipelineCore, CombinedEventEnqueued) {
+  PipelineCore core(rules::ois_default_rules(rules::simple_mirroring()), 2);
+  auto mk = [](FlightKey f, SeqNo s, event::FlightStatus st) {
+    event::DeltaStatus d;
+    d.flight = f;
+    d.status = st;
+    return event::make_delta_status(1, s, d);
+  };
+  core.on_incoming(mk(1, 1, event::FlightStatus::kLanded), 0);
+  core.on_incoming(mk(1, 2, event::FlightStatus::kAtRunway), 0);
+  const auto outcome =
+      core.on_incoming(mk(1, 3, event::FlightStatus::kAtGate), 0);
+  EXPECT_TRUE(outcome.combined_enqueued);
+  EXPECT_FALSE(outcome.enqueued);  // the constituent itself was absorbed
+  EXPECT_TRUE(outcome.forward.has_value());  // main unit still gets the raw
+  EXPECT_EQ(core.ready().size(), 1u);
+  auto step = core.try_send_step();
+  ASSERT_TRUE(step.has_value());
+  ASSERT_EQ(step->to_send.size(), 1u);
+  EXPECT_EQ(step->to_send[0].type(), event::EventType::kDerived);
+}
+
+TEST(PipelineCore, RuleAndPipelineCountersConsistent) {
+  PipelineCore core(params_of(rules::selective_mirroring(4)), 2);
+  for (SeqNo i = 1; i <= 100; ++i) core.on_incoming(faa(1, 0, i), 0);
+  while (core.try_send_step().has_value()) {
+  }
+  const auto pc = core.counters();
+  const auto rc = core.rule_counters();
+  EXPECT_EQ(pc.received, 100u);
+  EXPECT_EQ(rc.total_seen(), 100u);
+  EXPECT_EQ(pc.enqueued, rc.accepted);
+  EXPECT_EQ(pc.sent, pc.enqueued);  // no coalescing
+}
+
+}  // namespace
+}  // namespace admire::mirror

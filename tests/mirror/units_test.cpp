@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "mirror/main_unit_core.h"
+#include "mirror/mirror_aux_core.h"
+
+namespace admire::mirror {
+namespace {
+
+event::Event faa(FlightKey flight, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  event::Event ev = event::make_faa_position(0, seq, pos, 16);
+  ev.header().vts.observe(0, seq);
+  ev.header().ingress_time = static_cast<Nanos>(seq);
+  return ev;
+}
+
+checkpoint::ControlMessage chkpt_msg(std::uint64_t round, SeqNo upto) {
+  checkpoint::ControlMessage m;
+  m.kind = checkpoint::ControlKind::kChkpt;
+  m.round = round;
+  m.vts.observe(0, upto);
+  return m;
+}
+
+checkpoint::ControlMessage commit_msg(SeqNo upto) {
+  checkpoint::ControlMessage m;
+  m.kind = checkpoint::ControlKind::kCommit;
+  m.vts.observe(0, upto);
+  return m;
+}
+
+TEST(MainUnitCore, ProcessUpdatesStateAndBackup) {
+  MainUnitCore main(0);
+  const auto out = main.process(faa(1, 1));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(main.backup().size(), 1u);
+  EXPECT_EQ(main.state().flight_count(), 1u);
+  EXPECT_EQ(main.progress().component(0), 1u);
+}
+
+TEST(MainUnitCore, ChkptReplyIsMinOfSuggestedAndProgress) {
+  MainUnitCore main(2);
+  for (SeqNo i = 1; i <= 5; ++i) main.process(faa(1, i));
+  // Suggested beyond local progress -> reply clamps to local.
+  auto reply = main.on_chkpt(chkpt_msg(1, 9));
+  EXPECT_EQ(reply.vts.component(0), 5u);
+  EXPECT_EQ(reply.from, 2u);
+  // Suggested behind local progress -> reply clamps to suggestion.
+  reply = main.on_chkpt(chkpt_msg(2, 3));
+  EXPECT_EQ(reply.vts.component(0), 3u);
+}
+
+TEST(MainUnitCore, CommitTrimsBackup) {
+  MainUnitCore main(0);
+  for (SeqNo i = 1; i <= 6; ++i) main.process(faa(1, i));
+  EXPECT_EQ(main.on_commit(commit_msg(4)), 4u);
+  EXPECT_EQ(main.backup().size(), 2u);
+  // Stale commit is ignored.
+  EXPECT_EQ(main.on_commit(commit_msg(2)), 0u);
+}
+
+TEST(MainUnitCore, SnapshotReflectsProcessedEvents) {
+  MainUnitCore main(1);
+  for (SeqNo i = 1; i <= 10; ++i) main.process(faa(1 + i % 3, i));
+  const auto chunks = main.build_snapshot(5);
+  ASSERT_FALSE(chunks.empty());
+  ede::OperationalState restored;
+  ASSERT_TRUE(ede::SnapshotService::restore(chunks, restored).is_ok());
+  EXPECT_EQ(restored.fingerprint(), main.state().fingerprint());
+}
+
+TEST(MirrorAuxCore, MirroredEventsFlowToMainQueue) {
+  MirrorAuxCore aux(1);
+  aux.on_mirrored(faa(1, 1));
+  aux.on_mirrored(faa(1, 2));
+  EXPECT_EQ(aux.mirrored_received(), 2u);
+  EXPECT_EQ(aux.backup().size(), 2u);
+  EXPECT_EQ(aux.ready().size(), 2u);
+  auto next = aux.next_for_main();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->seq(), 1u);
+  EXPECT_EQ(aux.ready().size(), 1u);
+}
+
+TEST(MirrorAuxCore, RelayChkptIsIdentity) {
+  MirrorAuxCore aux(1);
+  const auto m = chkpt_msg(3, 7);
+  EXPECT_EQ(aux.relay_chkpt(m), m);
+}
+
+TEST(MirrorAuxCore, RelayReplyForwardsFreshReplies) {
+  MirrorAuxCore aux(1);
+  aux.on_mirrored(faa(1, 1));
+  checkpoint::ControlMessage reply;
+  reply.kind = checkpoint::ControlKind::kChkptReply;
+  reply.vts.observe(0, 1);
+  EXPECT_TRUE(aux.relay_reply(reply).has_value());
+}
+
+TEST(MirrorAuxCore, RelayReplyDropsProvablyStale) {
+  MirrorAuxCore aux(1);
+  for (SeqNo i = 1; i <= 4; ++i) aux.on_mirrored(faa(1, i));
+  aux.on_commit(commit_msg(4));  // applied view now covers seq 4
+  EXPECT_EQ(aux.backup().size(), 0u);
+  checkpoint::ControlMessage stale;
+  stale.kind = checkpoint::ControlKind::kChkptReply;
+  stale.vts.observe(0, 2);  // older than applied, not in backup
+  EXPECT_FALSE(aux.relay_reply(stale).has_value());
+}
+
+TEST(MirrorAuxCore, CommitTrimsBackupAndForwards) {
+  MirrorAuxCore aux(1);
+  for (SeqNo i = 1; i <= 5; ++i) aux.on_mirrored(faa(1, i));
+  const auto forwarded = aux.on_commit(commit_msg(3));
+  EXPECT_EQ(forwarded.vts.component(0), 3u);  // forwarded to main unit
+  EXPECT_EQ(aux.backup().size(), 2u);
+}
+
+TEST(Integration, AuxPlusMainMirrorChainConverges) {
+  // Simulates one mirror site: everything mirrored is processed and state
+  // matches an identically-fed reference main unit.
+  MirrorAuxCore aux(1);
+  MainUnitCore mirror_main(1);
+  MainUnitCore reference(0);
+  for (SeqNo i = 1; i <= 40; ++i) {
+    auto ev = faa(1 + i % 4, i);
+    reference.process(ev);
+    aux.on_mirrored(std::move(ev));
+    while (auto next = aux.next_for_main()) mirror_main.process(*next);
+  }
+  EXPECT_EQ(mirror_main.state().fingerprint(),
+            reference.state().fingerprint());
+}
+
+}  // namespace
+}  // namespace admire::mirror

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "queueing/backup_queue.h"
+#include "queueing/ready_queue.h"
+#include "queueing/status_table.h"
+
+namespace admire::queueing {
+namespace {
+
+event::Event ev_with_vts(StreamId stream, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = 1;
+  event::Event ev = event::make_faa_position(stream, seq, pos);
+  ev.header().vts.observe(stream, seq);
+  return ev;
+}
+
+TEST(ReadyQueue, FifoAndCounts) {
+  ReadyQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(ev_with_vts(0, 1));
+  q.push(ev_with_vts(0, 2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pushed_count(), 2u);
+  EXPECT_EQ(q.try_pop()->seq(), 1u);
+  EXPECT_EQ(q.try_pop()->seq(), 2u);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(ReadyQueue, HighWaterMark) {
+  ReadyQueue q;
+  for (SeqNo i = 0; i < 10; ++i) q.push(ev_with_vts(0, i));
+  for (int i = 0; i < 5; ++i) (void)q.try_pop();
+  for (SeqNo i = 10; i < 12; ++i) q.push(ev_with_vts(0, i));
+  EXPECT_EQ(q.high_water(), 10u);
+}
+
+TEST(ReadyQueue, PopBatch) {
+  ReadyQueue q;
+  for (SeqNo i = 1; i <= 5; ++i) q.push(ev_with_vts(0, i));
+  auto batch = q.pop_batch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].seq(), 1u);
+  EXPECT_EQ(batch[2].seq(), 3u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_batch(10).size(), 2u);
+}
+
+TEST(BackupQueue, LastAndFirstVts) {
+  BackupQueue q;
+  EXPECT_FALSE(q.last_vts().has_value());
+  q.push(ev_with_vts(0, 1));
+  q.push(ev_with_vts(0, 2));
+  q.push(ev_with_vts(0, 3));
+  EXPECT_EQ(q.first_vts()->component(0), 1u);
+  EXPECT_EQ(q.last_vts()->component(0), 3u);
+}
+
+TEST(BackupQueue, TrimRemovesDominatedPrefix) {
+  BackupQueue q;
+  for (SeqNo i = 1; i <= 10; ++i) q.push(ev_with_vts(0, i));
+  event::VectorTimestamp commit;
+  commit.observe(0, 6);
+  EXPECT_EQ(q.trim_committed(commit), 6u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.first_vts()->component(0), 7u);
+}
+
+TEST(BackupQueue, StaleCommitIsIgnored) {
+  BackupQueue q;
+  for (SeqNo i = 5; i <= 8; ++i) q.push(ev_with_vts(0, i));
+  event::VectorTimestamp old_commit;
+  old_commit.observe(0, 2);  // refers to events no longer present
+  EXPECT_EQ(q.trim_committed(old_commit), 0u);
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(BackupQueue, ContainsExactVts) {
+  BackupQueue q;
+  q.push(ev_with_vts(0, 3));
+  event::VectorTimestamp present, absent;
+  present.observe(0, 3);
+  absent.observe(0, 4);
+  EXPECT_TRUE(q.contains(present));
+  EXPECT_FALSE(q.contains(absent));
+}
+
+TEST(BackupQueue, MultiStreamTrimRequiresDominance) {
+  BackupQueue q;
+  // Interleaved streams: commit must dominate on every component.
+  event::Event e1 = ev_with_vts(0, 1);
+  e1.header().vts.observe(1, 1);
+  event::Event e2 = ev_with_vts(1, 2);
+  e2.header().vts.observe(0, 1);
+  q.push(e1);
+  q.push(e2);
+  event::VectorTimestamp partial;
+  partial.observe(0, 1);  // nothing for stream 1
+  EXPECT_EQ(q.trim_committed(partial), 0u);
+  partial.observe(1, 2);
+  EXPECT_EQ(q.trim_committed(partial), 2u);
+}
+
+TEST(BackupQueue, EntriesAfterForReplay) {
+  BackupQueue q;
+  for (SeqNo i = 1; i <= 5; ++i) q.push(ev_with_vts(0, i));
+  event::VectorTimestamp from;
+  from.observe(0, 3);
+  const auto replay = q.entries_after(from);
+  ASSERT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay[0].seq(), 4u);
+  EXPECT_EQ(replay[1].seq(), 5u);
+}
+
+TEST(BackupQueue, HighWater) {
+  BackupQueue q;
+  for (SeqNo i = 1; i <= 7; ++i) q.push(ev_with_vts(0, i));
+  event::VectorTimestamp commit;
+  commit.observe(0, 7);
+  q.trim_committed(commit);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_water(), 7u);
+}
+
+TEST(StatusTable, RunCountersPerTypeAndKey) {
+  StatusTable t;
+  EXPECT_EQ(t.bump_run_counter(event::EventType::kFaaPosition, 1), 0u);
+  EXPECT_EQ(t.bump_run_counter(event::EventType::kFaaPosition, 1), 1u);
+  EXPECT_EQ(t.bump_run_counter(event::EventType::kFaaPosition, 2), 0u);
+  EXPECT_EQ(t.bump_run_counter(event::EventType::kDeltaStatus, 1), 0u);
+  EXPECT_EQ(t.run_counter(event::EventType::kFaaPosition, 1), 2u);
+  t.reset_run_counter(event::EventType::kFaaPosition, 1);
+  EXPECT_EQ(t.run_counter(event::EventType::kFaaPosition, 1), 0u);
+}
+
+TEST(StatusTable, FlightStatus) {
+  StatusTable t;
+  EXPECT_FALSE(t.flight_status(5).has_value());
+  t.set_flight_status(5, event::FlightStatus::kLanded);
+  EXPECT_EQ(*t.flight_status(5), event::FlightStatus::kLanded);
+  EXPECT_EQ(t.tracked_flights(), 1u);
+}
+
+TEST(StatusTable, SuppressionLatch) {
+  StatusTable t;
+  EXPECT_FALSE(t.suppressed(event::EventType::kFaaPosition, 1));
+  t.set_suppressed(event::EventType::kFaaPosition, 1, true);
+  EXPECT_TRUE(t.suppressed(event::EventType::kFaaPosition, 1));
+  EXPECT_FALSE(t.suppressed(event::EventType::kFaaPosition, 2));
+  EXPECT_FALSE(t.suppressed(event::EventType::kDeltaStatus, 1));
+  t.set_suppressed(event::EventType::kFaaPosition, 1, false);
+  EXPECT_FALSE(t.suppressed(event::EventType::kFaaPosition, 1));
+}
+
+TEST(StatusTable, TupleProgressBitmask) {
+  StatusTable t;
+  EXPECT_EQ(t.tuple_mark(0, 9, 0), 0b001u);
+  EXPECT_EQ(t.tuple_mark(0, 9, 2), 0b101u);
+  EXPECT_EQ(t.tuple_mark(0, 9, 1), 0b111u);
+  EXPECT_EQ(t.tuple_mark(1, 9, 0), 0b001u);  // independent rule id
+  t.tuple_reset(0, 9);
+  EXPECT_EQ(t.tuple_mark(0, 9, 0), 0b001u);  // restarted
+}
+
+TEST(StatusTable, ClearResetsEverything) {
+  StatusTable t;
+  t.bump_run_counter(event::EventType::kFaaPosition, 1);
+  t.set_flight_status(1, event::FlightStatus::kBoarding);
+  t.set_suppressed(event::EventType::kFaaPosition, 1, true);
+  t.tuple_mark(0, 1, 0);
+  t.clear();
+  EXPECT_EQ(t.run_counter(event::EventType::kFaaPosition, 1), 0u);
+  EXPECT_FALSE(t.flight_status(1).has_value());
+  EXPECT_FALSE(t.suppressed(event::EventType::kFaaPosition, 1));
+  EXPECT_EQ(t.tracked_flights(), 0u);
+}
+
+}  // namespace
+}  // namespace admire::queueing

@@ -1,0 +1,186 @@
+#include "recovery/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "workload/scenario.h"
+
+namespace admire::recovery {
+namespace {
+
+event::Event faa(FlightKey flight, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  pos.lat_deg = static_cast<double>(seq);
+  event::Event ev = event::make_faa_position(0, seq, pos, 32);
+  ev.header().vts.observe(0, seq);
+  return ev;
+}
+
+TEST(Recovery, BootstrapPackageCarriesStateAndProgress) {
+  mirror::MainUnitCore donor(0);
+  for (SeqNo i = 1; i <= 20; ++i) donor.process(faa(1 + i % 3, i));
+  const auto package = build_bootstrap_package(donor, 7);
+  EXPECT_FALSE(package.snapshot_chunks.empty());
+  EXPECT_EQ(package.as_of.component(0), 20u);
+  EXPECT_TRUE(package.replay.empty());
+}
+
+TEST(Recovery, InstallBootstrapReproducesDonorState) {
+  mirror::MainUnitCore donor(0);
+  for (SeqNo i = 1; i <= 30; ++i) donor.process(faa(1 + i % 5, i));
+  const auto package = build_bootstrap_package(donor, 1);
+  mirror::MainUnitCore joiner(9);
+  ASSERT_TRUE(install_package(package, joiner).is_ok());
+  EXPECT_EQ(joiner.state().fingerprint(), donor.state().fingerprint());
+  EXPECT_EQ(joiner.progress(), donor.progress());
+}
+
+TEST(Recovery, RejoinPackageReplaysOnlyTheGap) {
+  mirror::MainUnitCore donor(0);
+  mirror::MainUnitCore stale(2);
+  // Both process 1..10; the stale node then misses 11..25.
+  for (SeqNo i = 1; i <= 10; ++i) {
+    donor.process(faa(1, i));
+    stale.process(faa(1, i));
+  }
+  for (SeqNo i = 11; i <= 25; ++i) donor.process(faa(1, i));
+
+  auto package = build_rejoin_package(donor, stale.progress());
+  ASSERT_TRUE(package.is_ok()) << package.status().to_string();
+  EXPECT_EQ(package.value().replay.size(), 15u);
+  EXPECT_TRUE(package.value().snapshot_chunks.empty());
+  ASSERT_TRUE(install_package(package.value(), stale).is_ok());
+  EXPECT_EQ(stale.state().fingerprint(), donor.state().fingerprint());
+  EXPECT_EQ(stale.progress(), donor.progress());
+}
+
+TEST(Recovery, RejoinRefusedWhenGapWasTrimmed) {
+  mirror::MainUnitCore donor(0);
+  mirror::MainUnitCore stale(2);
+  for (SeqNo i = 1; i <= 5; ++i) {
+    donor.process(faa(1, i));
+    stale.process(faa(1, i));
+  }
+  for (SeqNo i = 6; i <= 20; ++i) donor.process(faa(1, i));
+  // A committed checkpoint trims the donor's backup past the gap start.
+  checkpoint::ControlMessage commit;
+  commit.kind = checkpoint::ControlKind::kCommit;
+  commit.vts.observe(0, 12);
+  donor.on_commit(commit);
+
+  auto package = build_rejoin_package(donor, stale.progress());
+  ASSERT_FALSE(package.is_ok());
+  EXPECT_EQ(package.status().code(), StatusCode::kExhausted);
+}
+
+TEST(Recovery, RejoinAllowedWhenStalePointAtOrBeyondCommit) {
+  mirror::MainUnitCore donor(0);
+  mirror::MainUnitCore stale(2);
+  for (SeqNo i = 1; i <= 12; ++i) {
+    donor.process(faa(1, i));
+    stale.process(faa(1, i));
+  }
+  for (SeqNo i = 13; i <= 20; ++i) donor.process(faa(1, i));
+  checkpoint::ControlMessage commit;
+  commit.kind = checkpoint::ControlKind::kCommit;
+  commit.vts.observe(0, 12);
+  donor.on_commit(commit);  // trims exactly up to the stale point
+
+  auto package = build_rejoin_package(donor, stale.progress());
+  ASSERT_TRUE(package.is_ok());
+  EXPECT_EQ(package.value().replay.size(), 8u);
+}
+
+TEST(RejoinFilter, SkipsCoveredAppliesNew) {
+  event::VectorTimestamp restore;
+  restore.observe(0, 10);
+  RejoinFilter filter(restore);
+  EXPECT_FALSE(filter.should_apply(faa(1, 5)));   // covered
+  EXPECT_FALSE(filter.should_apply(faa(1, 10)));  // boundary: covered
+  EXPECT_TRUE(filter.should_apply(faa(1, 11)));   // new
+  EXPECT_EQ(filter.skipped(), 2u);
+}
+
+TEST(RejoinFilter, UnstampedEventsAlwaysApply) {
+  event::VectorTimestamp restore;
+  restore.observe(0, 10);
+  RejoinFilter filter(restore);
+  event::FaaPosition pos;
+  pos.flight = 1;
+  event::Event raw = event::make_faa_position(0, 3, pos);  // empty vts
+  EXPECT_TRUE(filter.should_apply(raw));
+}
+
+TEST(RecoveryCluster, FailAndReplaceMirrorAtRuntime) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  cluster::Cluster server(config);
+  server.start();
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 200;
+  scenario.num_flights = 10;
+  scenario.event_padding = 64;
+  const auto trace = workload::make_ois_trace(scenario);
+  const std::size_t half = trace.size() / 2;
+
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+  }
+  server.drain();
+
+  // Mirror 2 dies; a replacement bootstraps from mirror 1 mid-run.
+  server.fail_mirror(1);
+  auto joined = server.join_new_mirror(/*donor=*/1);
+  ASSERT_TRUE(joined.is_ok()) << joined.status().to_string();
+  const std::size_t new_idx = joined.value();
+
+  for (std::size_t i = half; i < trace.size(); ++i) {
+    ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+  }
+  server.central().drain();
+  server.mirror(0).drain();
+  server.mirror(new_idx).drain();
+
+  // The replacement converged with the surviving mirror.
+  const auto fp_survivor = server.mirror(0).main_unit().state().fingerprint();
+  const auto fp_joiner =
+      server.mirror(new_idx).main_unit().state().fingerprint();
+  EXPECT_EQ(fp_joiner, fp_survivor);
+  // And it serves snapshot requests as a full pool member.
+  auto snapshot = server.request_snapshot(4242);
+  ASSERT_TRUE(snapshot.is_ok());
+  server.stop();
+}
+
+TEST(RecoveryCluster, JoinerSkipsDuplicateLiveEvents) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 1;
+  cluster::Cluster server(config);
+  server.start();
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 150;
+  scenario.num_flights = 5;
+  const auto trace = workload::make_ois_trace(scenario);
+  for (std::size_t i = 0; i < trace.size() / 2; ++i) {
+    ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+  }
+  server.drain();
+
+  auto joined = server.join_new_mirror(/*donor=*/0);
+  ASSERT_TRUE(joined.is_ok());
+  for (std::size_t i = trace.size() / 2; i < trace.size(); ++i) {
+    ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+  }
+  server.drain();
+  // Central state (donor) and joiner agree under simple mirroring.
+  EXPECT_EQ(server.mirror(joined.value()).main_unit().state().fingerprint(),
+            server.central().main_unit().state().fingerprint());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire::recovery

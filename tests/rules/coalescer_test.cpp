@@ -1,0 +1,134 @@
+#include "rules/coalescer.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::rules {
+namespace {
+
+event::Event faa(FlightKey flight, SeqNo seq, double lat = 0.0) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  pos.lat_deg = lat;
+  return event::make_faa_position(0, seq, pos);
+}
+
+event::Event delta(FlightKey flight, SeqNo seq) {
+  event::DeltaStatus st;
+  st.flight = flight;
+  st.status = event::FlightStatus::kBoarding;
+  return event::make_delta_status(1, seq, st);
+}
+
+TEST(Coalescer, DisabledPassesThrough) {
+  Coalescer c(false, 10);
+  auto out = c.offer(faa(1, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq(), 1u);
+  EXPECT_EQ(c.buffered_flights(), 0u);
+}
+
+TEST(Coalescer, MaxOnePassesThrough) {
+  Coalescer c(true, 1);
+  EXPECT_EQ(c.offer(faa(1, 1)).size(), 1u);
+}
+
+TEST(Coalescer, BuffersUntilMaxThenEmitsLatest) {
+  Coalescer c(true, 3);
+  EXPECT_TRUE(c.offer(faa(1, 1, 10.0)).empty());
+  EXPECT_TRUE(c.offer(faa(1, 2, 20.0)).empty());
+  auto out = c.offer(faa(1, 3, 30.0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq(), 3u);  // newest constituent's identity
+  EXPECT_EQ(out[0].header().coalesced, 3u);
+  EXPECT_DOUBLE_EQ(out[0].as<event::FaaPosition>()->lat_deg, 30.0);
+  EXPECT_EQ(c.buffered_flights(), 0u);
+}
+
+TEST(Coalescer, PerFlightBuffers) {
+  Coalescer c(true, 2);
+  EXPECT_TRUE(c.offer(faa(1, 1)).empty());
+  EXPECT_TRUE(c.offer(faa(2, 2)).empty());
+  EXPECT_EQ(c.buffered_flights(), 2u);
+  EXPECT_EQ(c.offer(faa(1, 3)).size(), 1u);
+  EXPECT_EQ(c.buffered_flights(), 1u);
+}
+
+TEST(Coalescer, StatusEventFlushesSameFlightFirst) {
+  Coalescer c(true, 10);
+  EXPECT_TRUE(c.offer(faa(1, 1)).empty());
+  auto out = c.offer(delta(1, 2));
+  // Ordering: buffered position released before the status event.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].type(), event::EventType::kFaaPosition);
+  EXPECT_EQ(out[1].type(), event::EventType::kDeltaStatus);
+}
+
+TEST(Coalescer, StatusEventForOtherFlightDoesNotFlush) {
+  Coalescer c(true, 10);
+  EXPECT_TRUE(c.offer(faa(1, 1)).empty());
+  auto out = c.offer(delta(2, 2));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(c.buffered_flights(), 1u);
+}
+
+TEST(Coalescer, FlushAllReturnsDeterministicOrder) {
+  Coalescer c(true, 10);
+  (void)c.offer(faa(3, 1));
+  (void)c.offer(faa(1, 2));
+  (void)c.offer(faa(2, 3));
+  auto out = c.flush_all();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].key(), 1u);
+  EXPECT_EQ(out[1].key(), 2u);
+  EXPECT_EQ(out[2].key(), 3u);
+  EXPECT_EQ(c.buffered_flights(), 0u);
+}
+
+TEST(Coalescer, FlushFlight) {
+  Coalescer c(true, 10);
+  (void)c.offer(faa(1, 1));
+  EXPECT_FALSE(c.flush_flight(2).has_value());
+  auto out = c.flush_flight(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->key(), 1u);
+}
+
+TEST(Coalescer, AbsorbedCountAccumulates) {
+  Coalescer c(true, 5);
+  for (SeqNo i = 1; i <= 4; ++i) (void)c.offer(faa(1, i));
+  EXPECT_EQ(c.absorbed(), 3u);  // first buffered, next three absorbed
+}
+
+TEST(Coalescer, CoalescedCountsCompose) {
+  Coalescer c(true, 4);
+  // Offer an already-coalesced event (represents 2 raw events).
+  event::Event pre = faa(1, 1);
+  pre.header().coalesced = 2;
+  EXPECT_TRUE(c.offer(std::move(pre)).empty());
+  EXPECT_TRUE(c.offer(faa(1, 2)).empty());  // total now 3
+  auto out = c.offer(faa(1, 3));            // total 4 == max
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].header().coalesced, 4u);
+}
+
+TEST(Coalescer, ReconfigureMidStream) {
+  Coalescer c(true, 100);
+  (void)c.offer(faa(1, 1));
+  (void)c.offer(faa(1, 2));
+  c.configure(true, 3);
+  auto out = c.offer(faa(1, 3));  // count 3 >= new max 3
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].header().coalesced, 3u);
+}
+
+TEST(Coalescer, DisableMidStreamStillFlushable) {
+  Coalescer c(true, 10);
+  (void)c.offer(faa(1, 1));
+  c.configure(false, 1);
+  // New events pass through; the old buffer is still retrievable.
+  EXPECT_EQ(c.offer(faa(2, 2)).size(), 1u);
+  EXPECT_EQ(c.flush_all().size(), 1u);
+}
+
+}  // namespace
+}  // namespace admire::rules

@@ -1,0 +1,108 @@
+// Type/content filter rules (§1: "filtering events based on their data
+// types and/or their data contents").
+#include <gtest/gtest.h>
+
+#include "mirror/mirroring_api.h"
+#include "rules/rule_engine.h"
+
+namespace admire::rules {
+namespace {
+
+event::Event position(FlightKey flight, SeqNo seq, double altitude,
+                      double speed = 400.0) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  pos.altitude_ft = altitude;
+  pos.ground_speed_kts = speed;
+  return event::make_faa_position(0, seq, pos);
+}
+
+event::Event bag(FlightKey flight, SeqNo seq) {
+  event::BaggageLoaded bl;
+  bl.flight = flight;
+  bl.bag_id = static_cast<std::uint32_t>(seq);
+  return event::make_baggage_loaded(1, seq, bl);
+}
+
+TEST(FilterRule, TypeFilterDropsWholeType) {
+  MirroringParams params;
+  params.function = simple_mirroring();
+  params.filter_rules.push_back({event::EventType::kBaggageLoaded, nullptr});
+  RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+  EXPECT_EQ(engine.on_receive(bag(1, 1), table).action,
+            ReceiveAction::kDiscardFiltered);
+  EXPECT_EQ(engine.on_receive(position(1, 2, 30000), table).action,
+            ReceiveAction::kAccept);
+  EXPECT_EQ(engine.counters().discarded_filtered, 1u);
+}
+
+TEST(FilterRule, ContentFilterUsesPredicate) {
+  MirroringParams params;
+  params.function = simple_mirroring();
+  // Mirrors don't need high-altitude cruise positions; only approaches.
+  params.filter_rules.push_back(
+      {event::EventType::kFaaPosition,
+       [](const event::Event& ev) {
+         return ev.as<event::FaaPosition>()->altitude_ft > 10'000.0;
+       }});
+  RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+  EXPECT_EQ(engine.on_receive(position(1, 1, 35'000), table).action,
+            ReceiveAction::kDiscardFiltered);
+  EXPECT_EQ(engine.on_receive(position(1, 2, 3'000), table).action,
+            ReceiveAction::kAccept);
+}
+
+TEST(FilterRule, FilterRunsBeforeOverwriteCounting) {
+  MirroringParams params;
+  params.function = selective_mirroring(2);
+  params.filter_rules.push_back({event::EventType::kFaaPosition, nullptr});
+  RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+  for (SeqNo i = 1; i <= 6; ++i) {
+    EXPECT_EQ(engine.on_receive(position(1, i, 30'000), table).action,
+              ReceiveAction::kDiscardFiltered);
+  }
+  // No overwrite-run state was consumed by filtered events.
+  EXPECT_EQ(table.run_counter(event::EventType::kFaaPosition, 1), 0u);
+}
+
+TEST(FilterRule, Matchers) {
+  const auto low_alt = match_altitude_below(10'000);
+  EXPECT_TRUE(low_alt(position(1, 1, 5'000)));
+  EXPECT_FALSE(low_alt(position(1, 1, 20'000)));
+  EXPECT_FALSE(low_alt(bag(1, 1)));  // wrong payload kind never matches
+  const auto slow = match_ground_speed_below(100);
+  EXPECT_TRUE(slow(position(1, 1, 0, 50)));
+  EXPECT_FALSE(slow(position(1, 1, 0, 450)));
+}
+
+TEST(FilterRule, ApiSetFilterAndCounting) {
+  mirror::MirroringApi api;
+  mirror::PipelineCore core(api.params(), 2);
+  api.bind(&core, [](const event::Event&) {}, [](const event::Event&) {},
+           [] {});
+  api.set_filter(event::EventType::kFaaPosition,
+                 match_ground_speed_below(100.0));
+  // Slow taxiing updates are filtered from mirroring; cruise updates pass.
+  auto slow_ev = position(1, 1, 100, 12.0);
+  auto fast_ev = position(1, 2, 30'000, 450.0);
+  const auto r1 = core.on_incoming(std::move(slow_ev), 0);
+  const auto r2 = core.on_incoming(std::move(fast_ev), 0);
+  EXPECT_EQ(r1.action, ReceiveAction::kDiscardFiltered);
+  EXPECT_TRUE(r1.forward.has_value());  // local main unit still gets it
+  EXPECT_EQ(r2.action, ReceiveAction::kAccept);
+  EXPECT_EQ(core.rule_counters().discarded_filtered, 1u);
+}
+
+TEST(FilterRule, InitClearsFilters) {
+  mirror::MirroringApi api;
+  api.set_filter(event::EventType::kBaggageLoaded);
+  EXPECT_EQ(api.params().filter_rules.size(), 1u);
+  api.init(false, 1, 1);
+  EXPECT_TRUE(api.params().filter_rules.empty());
+}
+
+}  // namespace
+}  // namespace admire::rules

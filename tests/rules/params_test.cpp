@@ -1,0 +1,79 @@
+#include "rules/params.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::rules {
+namespace {
+
+TEST(Params, SimplePreset) {
+  const auto spec = simple_mirroring();
+  EXPECT_EQ(spec.name, "simple");
+  EXPECT_FALSE(spec.coalesce_enabled);
+  EXPECT_EQ(spec.overwrite_max, 1u);
+  EXPECT_EQ(spec.checkpoint_every, 50u);
+}
+
+TEST(Params, SelectivePreset) {
+  const auto spec = selective_mirroring(8, 100);
+  EXPECT_EQ(spec.name, "selective");
+  EXPECT_EQ(spec.overwrite_max, 8u);
+  EXPECT_EQ(spec.checkpoint_every, 100u);
+}
+
+TEST(Params, Fig9Functions) {
+  const auto a = fig9_function_a();
+  EXPECT_TRUE(a.coalesce_enabled);
+  EXPECT_EQ(a.coalesce_max, 10u);
+  EXPECT_EQ(a.overwrite_max, 10u);
+  EXPECT_EQ(a.checkpoint_every, 50u);
+  const auto b = fig9_function_b();
+  EXPECT_FALSE(b.coalesce_enabled);
+  EXPECT_EQ(b.overwrite_max, 20u);
+  EXPECT_EQ(b.checkpoint_every, 100u);
+}
+
+TEST(Params, OverwriteLengthResolution) {
+  MirroringParams params;
+  params.function = selective_mirroring(8);
+  // FAA positions take the function default.
+  EXPECT_EQ(params.overwrite_length_for(event::EventType::kFaaPosition), 8u);
+  // Other types are never overwritten by default.
+  EXPECT_EQ(params.overwrite_length_for(event::EventType::kDeltaStatus), 1u);
+  // Explicit rules win.
+  params.overwrite_rules.push_back({event::EventType::kFaaPosition, 3});
+  EXPECT_EQ(params.overwrite_length_for(event::EventType::kFaaPosition), 3u);
+  // Zero-length rules are clamped to 1 (no overwriting).
+  params.overwrite_rules.push_back({event::EventType::kBaggageLoaded, 0});
+  EXPECT_EQ(params.overwrite_length_for(event::EventType::kBaggageLoaded), 1u);
+}
+
+TEST(Params, OisDefaultRulesShape) {
+  const auto params = ois_default_rules(selective_mirroring());
+  EXPECT_EQ(params.complex_seq_rules.size(), 1u);
+  EXPECT_EQ(params.complex_tuple_rules.size(), 1u);
+  EXPECT_EQ(params.complex_tuple_rules[0].constituents.size(), 3u);
+  EXPECT_EQ(params.complex_seq_rules[0].suppressed_type,
+            event::EventType::kFaaPosition);
+}
+
+TEST(Matchers, MatchDeltaStatus) {
+  const auto m = match_delta_status(event::FlightStatus::kLanded);
+  event::DeltaStatus landed;
+  landed.status = event::FlightStatus::kLanded;
+  event::DeltaStatus boarding;
+  boarding.status = event::FlightStatus::kBoarding;
+  EXPECT_TRUE(m(event::make_delta_status(0, 1, landed)));
+  EXPECT_FALSE(m(event::make_delta_status(0, 1, boarding)));
+  // Non-DeltaStatus payloads never match.
+  EXPECT_FALSE(m(event::make_faa_position(0, 1, {})));
+}
+
+TEST(Matchers, MatchTypeAndAny) {
+  EXPECT_TRUE(match_any()(event::make_faa_position(0, 1, {})));
+  const auto m = match_type(event::EventType::kFaaPosition);
+  EXPECT_TRUE(m(event::make_faa_position(0, 1, {})));
+  EXPECT_FALSE(m(event::make_delta_status(0, 1, {})));
+}
+
+}  // namespace
+}  // namespace admire::rules

@@ -1,0 +1,207 @@
+#include "rules/rule_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace admire::rules {
+namespace {
+
+using event::EventType;
+using event::FlightStatus;
+
+event::Event faa(FlightKey flight, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(0, seq, pos);
+}
+
+event::Event delta(FlightKey flight, SeqNo seq, FlightStatus status) {
+  event::DeltaStatus st;
+  st.flight = flight;
+  st.status = status;
+  return event::make_delta_status(1, seq, st);
+}
+
+TEST(RuleEngine, SimpleFunctionAcceptsEverything) {
+  RuleEngine engine(MirroringParams{.function = simple_mirroring()});
+  queueing::StatusTable table;
+  for (SeqNo i = 1; i <= 20; ++i) {
+    EXPECT_EQ(engine.on_receive(faa(1, i), table).action,
+              ReceiveAction::kAccept);
+  }
+  EXPECT_EQ(engine.counters().accepted, 20u);
+  EXPECT_EQ(engine.counters().total_seen(), 20u);
+}
+
+TEST(RuleEngine, OverwriteKeepsOneOfEveryRun) {
+  RuleEngine engine(MirroringParams{.function = selective_mirroring(4)});
+  queueing::StatusTable table;
+  int accepted = 0;
+  for (SeqNo i = 1; i <= 16; ++i) {
+    const auto d = engine.on_receive(faa(1, i), table);
+    if (d.action == ReceiveAction::kAccept) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);  // 1 of every 4
+  EXPECT_EQ(engine.counters().discarded_overwritten, 12u);
+}
+
+TEST(RuleEngine, OverwriteRunsArePerFlight) {
+  RuleEngine engine(MirroringParams{.function = selective_mirroring(4)});
+  queueing::StatusTable table;
+  // Interleave two flights: each flight's first event must be accepted.
+  EXPECT_EQ(engine.on_receive(faa(1, 1), table).action, ReceiveAction::kAccept);
+  EXPECT_EQ(engine.on_receive(faa(2, 2), table).action, ReceiveAction::kAccept);
+  EXPECT_EQ(engine.on_receive(faa(1, 3), table).action,
+            ReceiveAction::kDiscardOverwritten);
+  EXPECT_EQ(engine.on_receive(faa(2, 4), table).action,
+            ReceiveAction::kDiscardOverwritten);
+}
+
+TEST(RuleEngine, OverwriteDoesNotAffectStatusEvents) {
+  RuleEngine engine(MirroringParams{.function = selective_mirroring(4)});
+  queueing::StatusTable table;
+  for (SeqNo i = 1; i <= 8; ++i) {
+    EXPECT_EQ(
+        engine.on_receive(delta(1, i, FlightStatus::kBoarding), table).action,
+        ReceiveAction::kAccept);
+  }
+}
+
+TEST(RuleEngine, ExplicitOverwriteRuleBeatsFunctionDefault) {
+  MirroringParams params;
+  params.function = selective_mirroring(4);
+  params.overwrite_rules.push_back(
+      OverwriteRule{EventType::kFaaPosition, 2});
+  RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+  int accepted = 0;
+  for (SeqNo i = 1; i <= 8; ++i) {
+    accepted += engine.on_receive(faa(1, i), table).action ==
+                ReceiveAction::kAccept;
+  }
+  EXPECT_EQ(accepted, 4);  // 1 of every 2, not 1 of every 4
+}
+
+TEST(RuleEngine, ComplexSeqSuppressesAfterTrigger) {
+  // The paper's example: discard FAA positions after Delta "flight landed".
+  MirroringParams params;
+  params.function = simple_mirroring();
+  ComplexSeqRule rule;
+  rule.trigger_type = EventType::kDeltaStatus;
+  rule.trigger_value = match_delta_status(FlightStatus::kLanded);
+  rule.suppressed_type = EventType::kFaaPosition;
+  params.complex_seq_rules.push_back(std::move(rule));
+  RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+
+  EXPECT_EQ(engine.on_receive(faa(1, 1), table).action, ReceiveAction::kAccept);
+  EXPECT_EQ(engine.on_receive(delta(1, 2, FlightStatus::kLanded), table).action,
+            ReceiveAction::kAccept);  // the trigger itself is mirrored
+  EXPECT_EQ(engine.on_receive(faa(1, 3), table).action,
+            ReceiveAction::kDiscardSuppressed);
+  // A different flight is unaffected.
+  EXPECT_EQ(engine.on_receive(faa(2, 4), table).action, ReceiveAction::kAccept);
+  EXPECT_EQ(engine.counters().discarded_suppressed, 1u);
+}
+
+TEST(RuleEngine, ComplexSeqTriggerValueMustMatch) {
+  MirroringParams params;
+  params.function = simple_mirroring();
+  ComplexSeqRule rule;
+  rule.trigger_type = EventType::kDeltaStatus;
+  rule.trigger_value = match_delta_status(FlightStatus::kLanded);
+  rule.suppressed_type = EventType::kFaaPosition;
+  params.complex_seq_rules.push_back(std::move(rule));
+  RuleEngine engine(std::move(params));
+  queueing::StatusTable table;
+
+  engine.on_receive(delta(1, 1, FlightStatus::kDeparted), table);  // no match
+  EXPECT_EQ(engine.on_receive(faa(1, 2), table).action, ReceiveAction::kAccept);
+}
+
+TEST(RuleEngine, ComplexTupleCollapsesIntoDerivedEvent) {
+  // landed + at-runway + at-gate => FLIGHT_ARRIVED (paper §3.2.1).
+  RuleEngine engine(ois_default_rules(simple_mirroring()));
+  queueing::StatusTable table;
+
+  auto d1 = engine.on_receive(delta(3, 1, FlightStatus::kLanded), table);
+  EXPECT_EQ(d1.action, ReceiveAction::kAbsorbIntoTuple);
+  EXPECT_FALSE(d1.combined.has_value());
+  auto d2 = engine.on_receive(delta(3, 2, FlightStatus::kAtRunway), table);
+  EXPECT_EQ(d2.action, ReceiveAction::kAbsorbIntoTuple);
+  auto d3 = engine.on_receive(delta(3, 3, FlightStatus::kAtGate), table);
+  EXPECT_EQ(d3.action, ReceiveAction::kAbsorbIntoTuple);
+  ASSERT_TRUE(d3.combined.has_value());
+  const auto* derived = d3.combined->as<event::Derived>();
+  ASSERT_NE(derived, nullptr);
+  EXPECT_EQ(derived->kind, event::Derived::Kind::kFlightArrived);
+  EXPECT_EQ(derived->status, FlightStatus::kArrived);
+  EXPECT_EQ(d3.combined->key(), 3u);
+  EXPECT_EQ(d3.combined->header().coalesced, 3u);
+  EXPECT_EQ(engine.counters().emitted_combined, 1u);
+}
+
+TEST(RuleEngine, TupleCompletionSuppressesPositions) {
+  RuleEngine engine(ois_default_rules(simple_mirroring()));
+  queueing::StatusTable table;
+  engine.on_receive(delta(3, 1, FlightStatus::kLanded), table);
+  engine.on_receive(delta(3, 2, FlightStatus::kAtRunway), table);
+  engine.on_receive(delta(3, 3, FlightStatus::kAtGate), table);
+  // "The presence of such an event implies that all position events for
+  // that flight can be discarded from the queues."
+  EXPECT_EQ(engine.on_receive(faa(3, 4), table).action,
+            ReceiveAction::kDiscardSuppressed);
+}
+
+TEST(RuleEngine, TupleOrderDoesNotMatter) {
+  RuleEngine engine(ois_default_rules(simple_mirroring()));
+  queueing::StatusTable table;
+  engine.on_receive(delta(4, 1, FlightStatus::kAtGate), table);
+  engine.on_receive(delta(4, 2, FlightStatus::kLanded), table);
+  auto d = engine.on_receive(delta(4, 3, FlightStatus::kAtRunway), table);
+  EXPECT_TRUE(d.combined.has_value());
+}
+
+TEST(RuleEngine, ControlEventsBypassRules) {
+  RuleEngine engine(ois_default_rules(selective_mirroring(4)));
+  queueing::StatusTable table;
+  const auto d = engine.on_receive(event::make_control(to_bytes("ctl")), table);
+  EXPECT_EQ(d.action, ReceiveAction::kAccept);
+}
+
+TEST(RuleEngine, InstallSwapsConfiguration) {
+  RuleEngine engine(MirroringParams{.function = simple_mirroring()});
+  queueing::StatusTable table;
+  EXPECT_EQ(engine.on_receive(faa(1, 1), table).action, ReceiveAction::kAccept);
+  EXPECT_EQ(engine.on_receive(faa(1, 2), table).action, ReceiveAction::kAccept);
+
+  engine.install(MirroringParams{.function = selective_mirroring(2)});
+  // Run counter carried over: positions 2,3 for this flight continue a run.
+  int accepted = 0;
+  for (SeqNo i = 3; i <= 6; ++i) {
+    accepted += engine.on_receive(faa(1, i), table).action ==
+                ReceiveAction::kAccept;
+  }
+  EXPECT_EQ(accepted, 2);
+}
+
+TEST(RuleEngine, StatusTableRecordsFlightStatus) {
+  RuleEngine engine(MirroringParams{.function = simple_mirroring()});
+  queueing::StatusTable table;
+  engine.on_receive(delta(7, 1, FlightStatus::kBoarding), table);
+  EXPECT_EQ(*table.flight_status(7), FlightStatus::kBoarding);
+}
+
+TEST(RuleEngine, NoLossAccounting) {
+  RuleEngine engine(ois_default_rules(selective_mirroring(8)));
+  queueing::StatusTable table;
+  const SeqNo kTotal = 200;
+  for (SeqNo i = 1; i <= kTotal; ++i) {
+    engine.on_receive(faa(1 + (i % 5), i), table);
+  }
+  const auto& c = engine.counters();
+  // Every event is accounted for exactly once.
+  EXPECT_EQ(c.total_seen(), kTotal);
+}
+
+}  // namespace
+}  // namespace admire::rules

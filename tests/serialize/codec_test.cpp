@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serialize/event_codec.h"
+
+namespace admire::serialize {
+namespace {
+
+using event::Event;
+using event::EventType;
+using event::make_baggage_loaded;
+using event::make_control;
+using event::make_delta_status;
+using event::make_derived;
+using event::make_faa_position;
+using event::make_passenger_boarded;
+using event::make_snapshot;
+
+Event sample_event(EventType type, Rng& rng) {
+  const auto flight = static_cast<FlightKey>(1 + rng.next_below(100));
+  const auto seq = rng.next_u64() >> 20;
+  const std::size_t pad = rng.next_below(512);
+  switch (type) {
+    case EventType::kFaaPosition: {
+      event::FaaPosition p;
+      p.flight = flight;
+      p.lat_deg = rng.next_double() * 90;
+      p.lon_deg = -rng.next_double() * 120;
+      p.altitude_ft = rng.next_double() * 40000;
+      p.ground_speed_kts = rng.next_double() * 500;
+      p.heading_deg = rng.next_double() * 360;
+      return make_faa_position(0, seq, p, pad);
+    }
+    case EventType::kDeltaStatus: {
+      event::DeltaStatus p;
+      p.flight = flight;
+      p.status = static_cast<event::FlightStatus>(rng.next_below(10));
+      p.gate = static_cast<std::uint16_t>(rng.next_below(100));
+      p.passengers_boarded = static_cast<std::uint32_t>(rng.next_below(300));
+      p.passengers_ticketed = static_cast<std::uint32_t>(rng.next_below(300));
+      return make_delta_status(1, seq, p, pad);
+    }
+    case EventType::kPassengerBoarded: {
+      event::PassengerBoarded p{flight,
+                                static_cast<std::uint32_t>(rng.next_u64())};
+      return make_passenger_boarded(1, seq, p);
+    }
+    case EventType::kBaggageLoaded: {
+      event::BaggageLoaded p{flight, static_cast<std::uint32_t>(rng.next_u64())};
+      return make_baggage_loaded(1, seq, p);
+    }
+    case EventType::kDerived: {
+      event::Derived p;
+      p.flight = flight;
+      p.kind = static_cast<event::Derived::Kind>(rng.next_below(3));
+      p.status = static_cast<event::FlightStatus>(rng.next_below(10));
+      return make_derived(p);
+    }
+    case EventType::kSnapshot: {
+      event::Snapshot p;
+      p.request_id = rng.next_u64();
+      p.chunk_index = 0;
+      p.chunk_count = 1;
+      p.state.resize(rng.next_below(256));
+      for (auto& b : p.state) b = static_cast<std::byte>(rng.next_below(256));
+      return make_snapshot(p);
+    }
+    case EventType::kControl: {
+      Bytes body(rng.next_below(64));
+      for (auto& b : body) b = static_cast<std::byte>(rng.next_below(256));
+      return make_control(std::move(body));
+    }
+  }
+  return {};
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<EventType> {};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int i = 0; i < 50; ++i) {
+    Event original = sample_event(GetParam(), rng);
+    original.header().ingress_time = static_cast<Nanos>(rng.next_below(1u << 30));
+    original.header().coalesced = static_cast<std::uint32_t>(1 + rng.next_below(20));
+    original.header().vts.observe(0, rng.next_below(1000));
+    original.header().vts.observe(1, rng.next_below(1000));
+    const Bytes wire = encode_event(original);
+    auto decoded = decode_event(ByteSpan(wire.data(), wire.size()));
+    ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded.value(), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPayloads, CodecRoundTrip,
+    ::testing::Values(EventType::kFaaPosition, EventType::kDeltaStatus,
+                      EventType::kPassengerBoarded, EventType::kBaggageLoaded,
+                      EventType::kDerived, EventType::kSnapshot,
+                      EventType::kControl),
+    [](const auto& param_info) { return event::event_type_name(param_info.param); });
+
+TEST(Codec, TruncationAlwaysFailsCleanly) {
+  Rng rng(99);
+  const Event ev = sample_event(EventType::kFaaPosition, rng);
+  const Bytes wire = encode_event(ev);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    auto res = decode_event(ByteSpan(wire.data(), cut));
+    EXPECT_FALSE(res.is_ok()) << "decoded from " << cut << " bytes";
+  }
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  Rng rng(100);
+  Bytes wire = encode_event(sample_event(EventType::kDeltaStatus, rng));
+  wire.push_back(std::byte{0x42});
+  auto res = decode_event(ByteSpan(wire.data(), wire.size()));
+  EXPECT_FALSE(res.is_ok());
+}
+
+TEST(Codec, RandomBytesDoNotCrash) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<std::byte>(rng.next_below(256));
+    (void)decode_event(ByteSpan(junk.data(), junk.size()));  // must not crash
+  }
+}
+
+TEST(Frame, RoundTripThroughParser) {
+  const Bytes body = to_bytes("payload-123");
+  const Bytes framed = frame(ByteSpan(body.data(), body.size()));
+  FrameParser parser;
+  parser.feed(ByteSpan(framed.data(), framed.size()));
+  auto out = parser.next();
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), body);
+  EXPECT_EQ(parser.next().status().code(), StatusCode::kWouldBlock);
+}
+
+TEST(Frame, ByteAtATimeDelivery) {
+  const Bytes body = to_bytes("slow network");
+  const Bytes framed = frame(ByteSpan(body.data(), body.size()));
+  FrameParser parser;
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    parser.feed(ByteSpan(&framed[i], 1));
+    auto res = parser.next();
+    if (i + 1 < framed.size()) {
+      EXPECT_EQ(res.status().code(), StatusCode::kWouldBlock);
+    } else {
+      ASSERT_TRUE(res.is_ok());
+      EXPECT_EQ(res.value(), body);
+    }
+  }
+}
+
+TEST(Frame, MultipleFramesInOneChunk) {
+  Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    const Bytes body = to_bytes(std::string(i + 1, 'a' + i));
+    const Bytes framed = frame(ByteSpan(body.data(), body.size()));
+    stream.insert(stream.end(), framed.begin(), framed.end());
+  }
+  FrameParser parser;
+  parser.feed(ByteSpan(stream.data(), stream.size()));
+  for (int i = 0; i < 5; ++i) {
+    auto res = parser.next();
+    ASSERT_TRUE(res.is_ok());
+    EXPECT_EQ(res.value().size(), static_cast<std::size_t>(i + 1));
+  }
+  EXPECT_EQ(parser.next().status().code(), StatusCode::kWouldBlock);
+}
+
+TEST(Frame, ChecksumMismatchIsCorrupt) {
+  const Bytes body = to_bytes("content");
+  Bytes framed = frame(ByteSpan(body.data(), body.size()));
+  framed.back() = static_cast<std::byte>(
+      static_cast<unsigned>(framed.back()) ^ 0xFF);  // flip a body byte
+  FrameParser parser;
+  parser.feed(ByteSpan(framed.data(), framed.size()));
+  EXPECT_EQ(parser.next().status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Frame, OversizedLengthIsCorrupt) {
+  Writer w;
+  w.u32(100 * 1024 * 1024);  // 100 MB claimed
+  w.u64(0);
+  FrameParser parser;
+  parser.feed(ByteSpan(w.buffer().data(), w.buffer().size()));
+  EXPECT_EQ(parser.next().status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Frame, EventFrameRoundTrip) {
+  Rng rng(11);
+  const Event ev = sample_event(EventType::kSnapshot, rng);
+  const Bytes framed = frame_event(ev);
+  FrameParser parser;
+  parser.feed(ByteSpan(framed.data(), framed.size()));
+  auto body = parser.next();
+  ASSERT_TRUE(body.is_ok());
+  auto decoded = decode_event(ByteSpan(body.value().data(), body.value().size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), ev);
+}
+
+}  // namespace
+}  // namespace admire::serialize

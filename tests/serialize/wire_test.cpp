@@ -1,0 +1,109 @@
+#include "serialize/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace admire::serialize {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  Reader r(ByteSpan(w.buffer().data(), w.buffer().size()));
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, VarintBoundaries) {
+  for (std::uint64_t v : std::initializer_list<std::uint64_t>{
+           0, 1, 127, 128, 16383, 16384,
+           std::numeric_limits<std::uint64_t>::max()}) {
+    Writer w;
+    w.varint(v);
+    Reader r(ByteSpan(w.buffer().data(), w.buffer().size()));
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Wire, VarintRandomRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> (rng.next_below(64));
+    Writer w;
+    w.varint(v);
+    Reader r(ByteSpan(w.buffer().data(), w.buffer().size()));
+    ASSERT_EQ(r.varint(), v);
+  }
+}
+
+TEST(Wire, BytesLengthPrefixed) {
+  Writer w;
+  w.bytes(to_bytes("hello"));
+  w.bytes({});
+  Reader r(ByteSpan(w.buffer().data(), w.buffer().size()));
+  const Bytes a = r.bytes();
+  EXPECT_EQ(as_string_view(ByteSpan(a.data(), a.size())), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Wire, TruncatedReadIsStickyFailure) {
+  Writer w;
+  w.u32(1);
+  Reader r(ByteSpan(w.buffer().data(), 2));  // only half the u32
+  (void)r.u32();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // still failing, returns zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, TruncatedVarintFails) {
+  Bytes bad{std::byte{0x80}, std::byte{0x80}};  // continuation never ends
+  Reader r(ByteSpan(bad.data(), bad.size()));
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, OversizedBytesLengthFails) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes, provides none
+  Reader r(ByteSpan(w.buffer().data(), w.buffer().size()));
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, NegativeDoubleRoundTrip) {
+  Writer w;
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  Reader r(ByteSpan(w.buffer().data(), w.buffer().size()));
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_TRUE(std::isinf(r.f64()));
+}
+
+TEST(Bytes, Fnv1aStableAndSensitive) {
+  const Bytes a = to_bytes("abc");
+  const Bytes b = to_bytes("abd");
+  EXPECT_EQ(fnv1a(ByteSpan(a.data(), a.size())),
+            fnv1a(ByteSpan(a.data(), a.size())));
+  EXPECT_NE(fnv1a(ByteSpan(a.data(), a.size())),
+            fnv1a(ByteSpan(b.data(), b.size())));
+}
+
+}  // namespace
+}  // namespace admire::serialize

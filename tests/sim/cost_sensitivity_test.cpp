@@ -1,0 +1,82 @@
+// Sensitivity analysis promised by DESIGN.md §6: the qualitative figure
+// properties hold when every CPU cost constant is scaled by 0.5x..2x.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+
+namespace admire::sim {
+namespace {
+
+class CostSensitivity : public ::testing::TestWithParam<double> {};
+
+harness::RunSpec base_spec(double scale) {
+  harness::RunSpec spec;
+  spec.faa_events = 600;
+  spec.num_flights = 20;
+  spec.event_padding = 1024;
+  spec.costs = CostModel{}.scaled(scale);
+  return spec;
+}
+
+TEST_P(CostSensitivity, MirroringOverheadOrderingHolds) {
+  const double scale = GetParam();
+  auto none = base_spec(scale);
+  none.mirroring_enabled = false;
+  none.mirrors = 0;
+  auto simple = base_spec(scale);
+  auto selective = base_spec(scale);
+  selective.function = rules::selective_mirroring(8);
+
+  const auto rn = harness::run_sim(none);
+  const auto rs = harness::run_sim(simple);
+  const auto rl = harness::run_sim(selective);
+
+  // Fig. 4 ordering: none < selective < simple.
+  EXPECT_LT(rn.total_time, rl.total_time);
+  EXPECT_LT(rl.total_time, rs.total_time);
+  // Overhead in a sane band (paper: ~15-20%; we accept 5-40% across scales).
+  const double overhead = harness::percent_over(
+      static_cast<double>(rs.total_time), static_cast<double>(rn.total_time));
+  EXPECT_GT(overhead, 5.0);
+  EXPECT_LT(overhead, 40.0);
+}
+
+TEST_P(CostSensitivity, PerMirrorCostStaysModest) {
+  const double scale = GetParam();
+  auto m1 = base_spec(scale);
+  m1.mirrors = 1;
+  auto m4 = base_spec(scale);
+  m4.mirrors = 4;
+  const auto r1 = harness::run_sim(m1);
+  const auto r4 = harness::run_sim(m4);
+  // Fig. 5: < 10% per additional mirror (allow 15% headroom across scales).
+  const double per_mirror =
+      harness::percent_over(static_cast<double>(r4.total_time),
+                            static_cast<double>(r1.total_time)) /
+      3.0;
+  EXPECT_GT(per_mirror, 0.0);
+  EXPECT_LT(per_mirror, 15.0);
+}
+
+TEST_P(CostSensitivity, SelectiveWinsUnderLoad) {
+  const double scale = GetParam();
+  auto simple = base_spec(scale);
+  simple.request_rate = 200.0;
+  simple.lb = LbPolicy::kMirrorsOnly;
+  auto selective = simple;
+  selective.function = rules::selective_mirroring(8);
+  const auto rs = harness::run_sim(simple);
+  const auto rl = harness::run_sim(selective);
+  EXPECT_LT(rl.total_time, rs.total_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CostSensitivity,
+                         ::testing::Values(0.5, 1.0, 2.0),
+                         [](const auto& param_info) {
+                           return param_info.param == 0.5   ? "half"
+                                  : param_info.param == 1.0 ? "nominal"
+                                                            : "double";
+                         });
+
+}  // namespace
+}  // namespace admire::sim

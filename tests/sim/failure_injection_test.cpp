@@ -1,0 +1,154 @@
+// Failure injection: the paper's no-timeout argument for the checkpoint
+// protocol — "if a control event is lost, the subsequent checkpointing
+// calls will result in commits of more recent events ... checkpointing
+// will commit eventually" — exercised by dropping control messages on the
+// simulated cluster network.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+
+namespace admire::sim {
+namespace {
+
+SimConfig lossy_config(double loss, std::size_t mirrors = 2) {
+  SimConfig config;
+  config.num_mirrors = mirrors;
+  config.params.function = rules::simple_mirroring();
+  config.closed_loop_source = true;
+  config.control_loss_probability = loss;
+  return config;
+}
+
+workload::Trace trace_of(std::uint64_t events) {
+  harness::RunSpec spec;
+  spec.faa_events = events;
+  spec.num_flights = 10;
+  spec.event_padding = 128;
+  return harness::make_trace(spec);
+}
+
+TEST(FailureInjection, CheckpointsStillCommitUnderLoss) {
+  SimCluster cluster(lossy_config(0.3));
+  const auto r = cluster.run(trace_of(2000), {});
+  EXPECT_GT(r.control_messages_dropped, 0u);
+  // Some rounds stall, but encapsulation keeps the committed view moving.
+  EXPECT_GT(r.checkpoints_committed, r.checkpoints_started / 4);
+  EXPECT_LT(r.checkpoints_committed, r.checkpoints_started + 1);
+}
+
+TEST(FailureInjection, DataPathUnaffectedByControlLoss) {
+  SimCluster lossless(lossy_config(0.0));
+  SimCluster lossy(lossy_config(0.5));
+  const auto r0 = lossless.run(trace_of(1000), {});
+  const auto r1 = lossy.run(trace_of(1000), {});
+  // Every event still reaches every replica; state convergence is a
+  // data-plane property, independent of control losses.
+  EXPECT_EQ(r1.wire_events_mirrored, r0.wire_events_mirrored);
+  ASSERT_EQ(r1.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r1.state_fingerprints[0], r1.state_fingerprints[1]);
+  EXPECT_EQ(r1.state_fingerprints[1], r1.state_fingerprints[2]);
+}
+
+TEST(FailureInjection, BackupQueuesBoundedWhenSomeCommitsLand) {
+  // With moderate loss, enough commits land that the backup queues do not
+  // retain the whole run.
+  SimCluster cluster(lossy_config(0.2));
+  const auto r = cluster.run(trace_of(3000), {});
+  ASSERT_FALSE(r.backup_sizes.empty());
+  for (const std::size_t size : r.backup_sizes) {
+    EXPECT_LT(size, r.events_offered / 2)
+        << "backup retained most of the run despite commits";
+  }
+}
+
+TEST(FailureInjection, TotalLossNeverViolatesSafety) {
+  // Even when EVERY control message is lost, data still flows; only the
+  // consistency view stalls (backups are never trimmed).
+  SimCluster cluster(lossy_config(1.0, 1));
+  const auto r = cluster.run(trace_of(500), {});
+  EXPECT_EQ(r.checkpoints_committed, 0u);
+  ASSERT_EQ(r.state_fingerprints.size(), 2u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+  // Backup queues hold everything — the price of a dead control plane.
+  EXPECT_GT(r.backup_sizes[0], 0u);
+}
+
+TEST(FailureInjection, CommittedViewIsMonotoneUnderChaos) {
+  // Sweep seeds; the run must always complete with consistent accounting.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimConfig config = lossy_config(0.4);
+    config.fault_seed = seed;
+    SimCluster cluster(config);
+    const auto r = cluster.run(trace_of(800), {});
+    EXPECT_EQ(r.rule_counters.total_seen(), r.events_offered);
+    EXPECT_LE(r.checkpoints_committed, r.checkpoints_started);
+  }
+}
+
+}  // namespace
+}  // namespace admire::sim
+namespace admire::sim {
+namespace {
+
+TEST(Outage, BrownedOutMirrorDefersWorkButLosesNothing) {
+  SimConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  config.outage_mirror = 0;
+  config.outage_from = 0;  // down from the start...
+  config.outage_duration = 30 * kSecond;  // ...past the whole run
+  SimCluster cluster(config);
+  harness::RunSpec spec;
+  spec.faa_events = 300;
+  spec.num_flights = 8;
+  spec.event_padding = 64;
+  spec.event_horizon = kSecond;
+  const auto r = cluster.run(harness::make_trace(spec), {});
+  // All events were still delivered and (after the window) processed;
+  // replicas converge, but completion waited for the outage to end.
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[1], r.state_fingerprints[2]);
+  EXPECT_GE(r.event_completion, 30 * kSecond);
+}
+
+TEST(Outage, PoolDepthAndLoadBalancingMaskTheBrownOut) {
+  auto run_with = [](std::size_t mirrors, LbPolicy lb, bool outage) {
+    SimConfig config;
+    config.num_mirrors = mirrors;
+    config.params.function = rules::selective_mirroring(8);
+    config.lb = lb;
+    if (outage) {
+      config.outage_mirror = 0;
+      config.outage_from = kSecond;
+      config.outage_duration = 2 * kSecond;
+    }
+    SimCluster cluster(config);
+    harness::RunSpec spec;
+    spec.faa_events = 1000;
+    spec.event_horizon = 5 * kSecond;
+    spec.request_rate = 100;
+    spec.requests_while_events = false;
+    spec.request_window = 5 * kSecond;
+    return cluster.run(harness::make_trace(spec), harness::make_requests(spec));
+  };
+
+  // A lone mirror (the only request server) browning out stalls requests
+  // for up to the outage length...
+  const auto lone = run_with(1, LbPolicy::kMirrorsOnly, true);
+  const auto lone_base = run_with(1, LbPolicy::kMirrorsOnly, false);
+  EXPECT_GT(lone.request_latency->percentile(0.99),
+            10.0 * std::max(lone_base.request_latency->percentile(0.99), 1.0));
+  EXPECT_GT(lone.request_latency->max(), 1.5e9);  // >1.5 s stalls observed
+
+  // ...while a least-loaded balancer over a deeper pool steers around the
+  // dead site: tail within a small factor of the undisturbed baseline.
+  const auto pool = run_with(3, LbPolicy::kLeastLoaded, true);
+  const auto pool_base = run_with(3, LbPolicy::kLeastLoaded, false);
+  EXPECT_LT(pool.request_latency->percentile(0.99),
+            3.0 * std::max(pool_base.request_latency->percentile(0.99), 1.0) +
+                50e6);
+  EXPECT_EQ(pool.requests_served, lone.requests_served);
+}
+
+}  // namespace
+}  // namespace admire::sim

@@ -1,0 +1,178 @@
+#include "sim/sim_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+
+namespace admire::sim {
+namespace {
+
+harness::RunSpec small_spec() {
+  harness::RunSpec spec;
+  spec.faa_events = 400;
+  spec.num_flights = 10;
+  spec.event_padding = 256;
+  return spec;
+}
+
+TEST(SimCluster, ProcessesEverythingAndConverges) {
+  auto spec = small_spec();
+  spec.mirrors = 2;
+  const auto r = harness::run_sim(spec);
+  EXPECT_GT(r.total_time, 0);
+  EXPECT_EQ(r.events_offered, harness::make_trace(spec).size());
+  // Simple mirroring: every event mirrored to each of the 2 mirrors.
+  EXPECT_EQ(r.wire_events_mirrored, r.pipeline_counters.sent * 2);
+  // All replicas identical (simple mirroring => lossless).
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+  EXPECT_EQ(r.state_fingerprints[1], r.state_fingerprints[2]);
+  EXPECT_GT(r.checkpoints_committed, 0u);
+  EXPECT_GT(r.update_delays->count(), 0u);
+}
+
+TEST(SimCluster, DeterministicAcrossRuns) {
+  const auto a = harness::run_sim(small_spec());
+  const auto b = harness::run_sim(small_spec());
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.checkpoints_committed, b.checkpoints_committed);
+  EXPECT_EQ(a.state_fingerprints, b.state_fingerprints);
+  EXPECT_DOUBLE_EQ(a.update_delays->mean(), b.update_delays->mean());
+}
+
+TEST(SimCluster, MirroringCostsMoreThanBaseline) {
+  auto none = small_spec();
+  none.mirroring_enabled = false;
+  none.mirrors = 0;
+  auto simple = small_spec();
+  const auto rn = harness::run_sim(none);
+  const auto rs = harness::run_sim(simple);
+  EXPECT_GT(rs.total_time, rn.total_time);
+}
+
+TEST(SimCluster, SelectiveMirrorsFewerEvents) {
+  auto simple = small_spec();
+  auto selective = small_spec();
+  selective.function = rules::selective_mirroring(8);
+  const auto rs = harness::run_sim(simple);
+  const auto rl = harness::run_sim(selective);
+  // 400 FAA events collapse ~8x; the small Delta stream is untouched.
+  EXPECT_LT(rl.wire_events_mirrored, rs.wire_events_mirrored / 2);
+  EXPECT_LT(rl.total_time, rs.total_time);
+  // No event is lost from accounting even when discarded for mirroring.
+  EXPECT_EQ(rl.rule_counters.total_seen(), rl.events_offered);
+}
+
+TEST(SimCluster, MirrorsConvergeToEachOtherUnderSelective) {
+  auto spec = small_spec();
+  spec.mirrors = 3;
+  spec.function = rules::selective_mirroring(8);
+  const auto r = harness::run_sim(spec);
+  ASSERT_EQ(r.state_fingerprints.size(), 4u);
+  // All mirrors saw the same filtered stream.
+  EXPECT_EQ(r.state_fingerprints[1], r.state_fingerprints[2]);
+  EXPECT_EQ(r.state_fingerprints[2], r.state_fingerprints[3]);
+  // The central's state (full stream) may legitimately differ.
+}
+
+TEST(SimCluster, RequestsAreServedAndRecorded) {
+  auto spec = small_spec();
+  spec.request_rate = 200.0;
+  spec.requests_while_events = false;
+  spec.request_window = kSecond / 2;
+  const auto r = harness::run_sim(spec);
+  EXPECT_GT(r.requests_served, 0u);
+  EXPECT_EQ(r.requests_served, r.request_latency->count());
+  EXPECT_GT(r.request_completion, 0);
+}
+
+TEST(SimCluster, AutoRequestsStopWithEventCompletion) {
+  auto spec = small_spec();
+  spec.request_rate = 300.0;  // auto mode (requests_while_events default)
+  const auto r = harness::run_sim(spec);
+  EXPECT_GT(r.requests_served, 0u);
+  // The generator stops once events are done; total completion is bounded.
+  EXPECT_LT(r.total_time, 60 * kSecond);
+}
+
+TEST(SimCluster, LoadSlowsTotalCompletion) {
+  auto unloaded = small_spec();
+  auto loaded = small_spec();
+  loaded.request_rate = 400.0;
+  const auto ru = harness::run_sim(unloaded);
+  const auto rl = harness::run_sim(loaded);
+  EXPECT_GT(rl.total_time, ru.total_time);
+}
+
+TEST(SimCluster, MirrorsOnlyLbNeverHitsCentral) {
+  auto spec = small_spec();
+  spec.mirrors = 2;
+  spec.request_rate = 300.0;
+  spec.lb = LbPolicy::kMirrorsOnly;
+  const auto r = harness::run_sim(spec);
+  EXPECT_GT(r.requests_served, 0u);
+  // Central utilization reflects only event work; its update delays should
+  // be low because no request contended there. Compare against all-sites.
+  auto all = spec;
+  all.lb = LbPolicy::kAllSites;
+  const auto ra = harness::run_sim(all);
+  EXPECT_LE(r.update_delays->mean(), ra.update_delays->mean() * 1.5 + 1e6);
+}
+
+TEST(SimCluster, MoreMirrorsCostMoreWithoutLoad) {
+  auto spec1 = small_spec();
+  spec1.mirrors = 1;
+  auto spec4 = small_spec();
+  spec4.mirrors = 4;
+  EXPECT_LT(harness::run_sim(spec1).total_time,
+            harness::run_sim(spec4).total_time);
+}
+
+TEST(SimCluster, PacedArrivalsRespectHorizon) {
+  auto spec = small_spec();
+  spec.event_horizon = 2 * kSecond;  // paced replay
+  const auto r = harness::run_sim(spec);
+  EXPECT_GE(r.event_completion, 2 * kSecond);
+  // Under-loaded paced run: delays stay far below the horizon.
+  EXPECT_LT(r.update_delays->mean(), static_cast<double>(kSecond));
+}
+
+TEST(SimCluster, AdaptationEngagesUnderBurst) {
+  harness::RunSpec spec;
+  spec.faa_events = 4000;
+  spec.event_horizon = 6 * kSecond;
+  spec.event_padding = 1024;
+  spec.bursty = true;
+  spec.request_rate = 20;
+  spec.burst_rate = 700;
+  spec.burst_period = 3 * kSecond;
+  spec.burst_duty = 0.4;
+  spec.request_window = 6 * kSecond;
+  spec.requests_while_events = false;
+  spec.function = rules::fig9_function_a();
+  adapt::AdaptationPolicy policy;
+  policy.thresholds = {{adapt::MonitoredVariable::kPendingRequests, 3, 2}};
+  policy.mode = adapt::PolicyMode::kSwitchFunction;
+  policy.normal_spec = rules::fig9_function_a();
+  policy.engaged_spec = rules::fig9_function_b();
+  spec.adaptation = policy;
+  const auto r = harness::run_sim(spec);
+  EXPECT_GE(r.adaptation_transitions, 2u);  // engaged and released
+}
+
+TEST(SimCluster, CheckpointsTrimBackupQueues) {
+  const auto spec = small_spec();
+  sim::SimConfig config;
+  config.num_mirrors = 1;
+  config.params.function = rules::simple_mirroring();
+  config.closed_loop_source = true;
+  SimCluster cluster(config);
+  const auto r = cluster.run(harness::make_trace(spec), {});
+  EXPECT_GT(r.checkpoints_committed, 0u);
+  // After the run the pipeline's backup holds only post-last-commit events:
+  // far fewer than everything ever sent.
+  EXPECT_LT(r.pipeline_counters.sent, r.events_offered + 1);
+}
+
+}  // namespace
+}  // namespace admire::sim

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/resources.h"
+
+namespace admire::sim {
+namespace {
+
+TEST(SimEngine, ExecutesInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(300, [&] { order.push_back(3); });
+  engine.schedule_at(100, [&] { order.push_back(1); });
+  engine.schedule_at(200, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 300);
+  EXPECT_EQ(engine.executed(), 3u);
+}
+
+TEST(SimEngine, FifoTieBreakAtEqualTimes) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEngine, ActionsMayScheduleMore) {
+  SimEngine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.schedule_after(10, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(SimEngine, PastScheduleClampsToNow) {
+  SimEngine engine;
+  Nanos observed = -1;
+  engine.schedule_at(100, [&] {
+    engine.schedule_at(50, [&] { observed = engine.now(); });  // in the past
+  });
+  engine.run();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(SimEngine, RunBoundedStops) {
+  SimEngine engine;
+  std::function<void()> forever = [&] { engine.schedule_after(1, forever); };
+  engine.schedule_at(0, forever);
+  EXPECT_EQ(engine.run_bounded(100), 100u);
+  EXPECT_GT(engine.pending(), 0u);
+}
+
+TEST(CpuResource, SingleCpuSerializesJobs) {
+  CpuResource cpu(1);
+  EXPECT_EQ(cpu.schedule_job(0, 100), 100);
+  EXPECT_EQ(cpu.schedule_job(0, 100), 200);   // queued behind the first
+  EXPECT_EQ(cpu.schedule_job(500, 100), 600); // idle gap then run
+  EXPECT_EQ(cpu.jobs(), 3u);
+  EXPECT_EQ(cpu.busy_time(), 300);
+}
+
+TEST(CpuResource, TwoCpusRunInParallel) {
+  CpuResource cpu(2);
+  EXPECT_EQ(cpu.schedule_job(0, 100), 100);
+  EXPECT_EQ(cpu.schedule_job(0, 100), 100);  // second processor
+  EXPECT_EQ(cpu.schedule_job(0, 100), 200);  // queues on the earliest
+  EXPECT_EQ(cpu.busy_until(), 200);
+}
+
+TEST(CpuResource, UtilizationAccounting) {
+  CpuResource cpu(2);
+  cpu.schedule_job(0, 100);
+  cpu.schedule_job(0, 100);
+  EXPECT_DOUBLE_EQ(cpu.utilization(100), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.utilization(200), 0.5);
+}
+
+TEST(CpuResource, ZeroCpusClampedToOne) {
+  CpuResource cpu(0);
+  EXPECT_EQ(cpu.cpus(), 1u);
+}
+
+TEST(SimLink, BandwidthSerializesBackToBack) {
+  SimLink link(1e9, 0);  // 1 GB/s, no latency
+  EXPECT_EQ(link.delivery_time(0, 1000), 1000);    // 1 us transmit
+  EXPECT_EQ(link.delivery_time(0, 1000), 2000);    // queued behind first
+  EXPECT_EQ(link.delivery_time(10000, 1000), 11000);
+  EXPECT_EQ(link.bytes_carried(), 3000u);
+}
+
+TEST(SimLink, LatencyAddsAfterTransmit) {
+  SimLink link(1e9, 500);
+  EXPECT_EQ(link.delivery_time(0, 1000), 1500);
+}
+
+TEST(SimLink, UnlimitedBandwidth) {
+  SimLink link(0.0, 100);
+  EXPECT_EQ(link.delivery_time(0, 1'000'000), 100);
+  EXPECT_EQ(link.delivery_time(0, 1'000'000), 100);  // no serialization
+}
+
+TEST(CostModel, HelpersAreAffine) {
+  CostModel costs;
+  EXPECT_EQ(costs.recv_cost(0), costs.recv_base);
+  EXPECT_GT(costs.recv_cost(1000), costs.recv_cost(100));
+  EXPECT_EQ(costs.ede_cost(0), costs.ede_base);
+  EXPECT_EQ(costs.request_cost(0), costs.request_base);
+}
+
+TEST(CostModel, ScaledMultipliesEverything) {
+  CostModel base;
+  const CostModel doubled = base.scaled(2.0);
+  EXPECT_EQ(doubled.recv_base, 2 * base.recv_base);
+  EXPECT_DOUBLE_EQ(doubled.ede_per_byte, 2 * base.ede_per_byte);
+  EXPECT_EQ(doubled.chkpt_coordinator, 2 * base.chkpt_coordinator);
+  EXPECT_EQ(doubled.request_cost(100), 2 * base.request_cost(100));
+  // Link properties are not CPU costs and stay put.
+  EXPECT_DOUBLE_EQ(doubled.cluster_link_bps, base.cluster_link_bps);
+}
+
+}  // namespace
+}  // namespace admire::sim

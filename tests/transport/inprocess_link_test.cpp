@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/link.h"
+
+namespace admire::transport {
+namespace {
+
+TEST(InProcessLink, RoundTripBothDirections) {
+  auto [a, b] = make_inprocess_link_pair();
+  ASSERT_TRUE(a->send(to_bytes("ping")).is_ok());
+  auto got = b->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("ping"));
+  ASSERT_TRUE(b->send(to_bytes("pong")).is_ok());
+  got = a->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("pong"));
+}
+
+TEST(InProcessLink, FifoPerDirection) {
+  auto [a, b] = make_inprocess_link_pair();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->send(Bytes{static_cast<std::byte>(i)}).is_ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto got = b->receive();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(static_cast<int>((*got)[0]), i);
+  }
+}
+
+TEST(InProcessLink, CloseUnblocksReceiver) {
+  auto [a, b] = make_inprocess_link_pair();
+  std::thread t([&b = b] { EXPECT_FALSE(b->receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  a->close();
+  t.join();
+  EXPECT_TRUE(a->is_closed());
+  EXPECT_EQ(a->send(to_bytes("x")).code(), StatusCode::kClosed);
+}
+
+TEST(InProcessLink, ReceiveForTimesOut) {
+  auto [a, b] = make_inprocess_link_pair();
+  EXPECT_FALSE(b->receive_for(std::chrono::milliseconds(30)).has_value());
+  (void)a;
+}
+
+TEST(InProcessLink, PendingCount) {
+  auto [a, b] = make_inprocess_link_pair();
+  EXPECT_EQ(b->pending(), 0u);
+  ASSERT_TRUE(a->send(to_bytes("1")).is_ok());
+  ASSERT_TRUE(a->send(to_bytes("2")).is_ok());
+  EXPECT_EQ(b->pending(), 2u);
+  (void)b->receive();
+  EXPECT_EQ(b->pending(), 1u);
+}
+
+TEST(InProcessLink, BackpressureAtCapacity) {
+  auto [a, b] = make_inprocess_link_pair(/*capacity=*/2);
+  ASSERT_TRUE(a->send(to_bytes("1")).is_ok());
+  ASSERT_TRUE(a->send(to_bytes("2")).is_ok());
+  std::atomic<bool> third_sent{false};
+  std::thread t([&a = a, &third_sent] {
+    ASSERT_TRUE(a->send(to_bytes("3")).is_ok());
+    third_sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_sent.load());  // blocked on full queue
+  (void)b->receive();
+  t.join();
+  EXPECT_TRUE(third_sent.load());
+}
+
+TEST(InProcessLink, LatencyShapingDelaysDelivery) {
+  LinkShaping shaping;
+  shaping.latency = 50 * kMilli;
+  auto [a, b] = make_inprocess_link_pair(64, shaping);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->send(to_bytes("delayed")).is_ok());
+  auto got = b->receive();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(45));
+}
+
+TEST(InProcessLink, BandwidthShapingSerializes) {
+  LinkShaping shaping;
+  shaping.bytes_per_second = 1e6;  // 1 MB/s
+  auto [a, b] = make_inprocess_link_pair(64, shaping);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->send(Bytes(50'000)).is_ok());  // 50 ms of transmit time
+  auto got = b->receive();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 50'000u);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+}
+
+}  // namespace
+}  // namespace admire::transport

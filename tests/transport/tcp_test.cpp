@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/tcp.h"
+
+namespace admire::transport {
+namespace {
+
+struct TcpPair {
+  std::unique_ptr<TcpListener> listener;
+  std::shared_ptr<MessageLink> server;
+  std::shared_ptr<MessageLink> client;
+};
+
+TcpPair make_pair_or_die() {
+  auto listener_res = TcpListener::bind(0);
+  EXPECT_TRUE(listener_res.is_ok()) << listener_res.status().to_string();
+  TcpPair pair;
+  pair.listener = std::move(listener_res).value();
+  std::thread accepter([&] {
+    auto server = pair.listener->accept();
+    ASSERT_TRUE(server.is_ok());
+    pair.server = std::move(server).value();
+  });
+  auto client = tcp_connect("127.0.0.1", pair.listener->port());
+  accepter.join();
+  EXPECT_TRUE(client.is_ok()) << client.status().to_string();
+  pair.client = std::move(client).value();
+  return pair;
+}
+
+TEST(Tcp, BindEphemeralPortIsNonZero) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  EXPECT_GT(listener.value()->port(), 0);
+}
+
+TEST(Tcp, RoundTrip) {
+  auto pair = make_pair_or_die();
+  ASSERT_TRUE(pair.client->send(to_bytes("hello server")).is_ok());
+  auto got = pair.server->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("hello server"));
+  ASSERT_TRUE(pair.server->send(to_bytes("hello client")).is_ok());
+  got = pair.client->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("hello client"));
+}
+
+TEST(Tcp, ManyMessagesPreserveOrderAndFraming) {
+  auto pair = make_pair_or_die();
+  constexpr int kN = 500;
+  std::thread sender([&] {
+    for (int i = 0; i < kN; ++i) {
+      Bytes msg(1 + (i % 300));
+      msg[0] = static_cast<std::byte>(i % 256);
+      ASSERT_TRUE(pair.client->send(std::move(msg)).is_ok());
+    }
+  });
+  for (int i = 0; i < kN; ++i) {
+    auto got = pair.server->receive();
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(got->size(), static_cast<std::size_t>(1 + (i % 300)));
+    EXPECT_EQ(static_cast<int>((*got)[0]), i % 256);
+  }
+  sender.join();
+}
+
+TEST(Tcp, LargeMessage) {
+  auto pair = make_pair_or_die();
+  Bytes big(512 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i * 7);
+  }
+  std::thread sender([&] { ASSERT_TRUE(pair.client->send(big).is_ok()); });
+  auto got = pair.server->receive();
+  sender.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(Tcp, PeerCloseEndsReceive) {
+  auto pair = make_pair_or_die();
+  pair.client->close();
+  EXPECT_FALSE(pair.server->receive().has_value());
+}
+
+TEST(Tcp, ReceiveForTimesOut) {
+  auto pair = make_pair_or_die();
+  EXPECT_FALSE(
+      pair.server->receive_for(std::chrono::milliseconds(30)).has_value());
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Bind then immediately close to get a (very likely) dead port.
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const auto port = listener.value()->port();
+  listener.value()->close();
+  auto res = tcp_connect("127.0.0.1", port, std::chrono::milliseconds(100));
+  EXPECT_FALSE(res.is_ok());
+}
+
+TEST(Tcp, ListenerCloseUnblocksAccept) {
+  auto listener_res = TcpListener::bind(0);
+  ASSERT_TRUE(listener_res.is_ok());
+  auto& listener = *listener_res.value();
+  std::thread t([&] {
+    auto res = listener.accept();
+    EXPECT_FALSE(res.is_ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.close();
+  t.join();
+}
+
+}  // namespace
+}  // namespace admire::transport

@@ -1,0 +1,77 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/scenario.h"
+
+namespace admire::workload {
+namespace {
+
+Trace sample_trace() {
+  ScenarioConfig cfg;
+  cfg.faa_events = 300;
+  cfg.num_flights = 10;
+  cfg.event_padding = 100;
+  return make_ois_trace(cfg);
+}
+
+TEST(TraceIo, EncodeDecodeIdentity) {
+  const Trace original = sample_trace();
+  const Bytes wire = encode_trace(original);
+  auto decoded = decode_trace(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded.value().items[i].at, original.items[i].at);
+    ASSERT_EQ(decoded.value().items[i].ev, original.items[i].ev);
+  }
+}
+
+TEST(TraceIo, EmptyTrace) {
+  const Bytes wire = encode_trace(Trace{});
+  auto decoded = decode_trace(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(TraceIo, CorruptionDetected) {
+  Bytes wire = encode_trace(sample_trace());
+  wire[wire.size() / 2] = static_cast<std::byte>(
+      static_cast<unsigned>(wire[wire.size() / 2]) ^ 0xFF);
+  EXPECT_FALSE(decode_trace(ByteSpan(wire.data(), wire.size())).is_ok());
+}
+
+TEST(TraceIo, TruncationDetected) {
+  const Bytes wire = encode_trace(sample_trace());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{10},
+                          wire.size() / 2, wire.size() - 1}) {
+    EXPECT_FALSE(decode_trace(ByteSpan(wire.data(), cut)).is_ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(TraceIo, WrongMagicRejected) {
+  Bytes junk = to_bytes("not a trace file at all, sorry");
+  EXPECT_FALSE(decode_trace(ByteSpan(junk.data(), junk.size())).is_ok());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = "/tmp/admire_trace_test.bin";
+  ASSERT_TRUE(save_trace(original, path).is_ok());
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().size(), original.size());
+  EXPECT_EQ(loaded.value().total_bytes(), original.total_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsNotFound) {
+  auto res = load_trace("/tmp/definitely_missing_admire_trace.bin");
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace admire::workload

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "workload/delta_stream.h"
+#include "workload/faa_stream.h"
+#include "workload/requests.h"
+#include "workload/scenario.h"
+
+namespace admire::workload {
+namespace {
+
+TEST(FaaStream, DeterministicForSeed) {
+  FaaStreamConfig cfg;
+  cfg.num_events = 500;
+  const Trace a = generate_faa_stream(cfg);
+  const Trace b = generate_faa_stream(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i].at, b.items[i].at);
+    EXPECT_EQ(a.items[i].ev, b.items[i].ev);
+  }
+}
+
+TEST(FaaStream, SeqNumbersUniqueAndIncreasing) {
+  FaaStreamConfig cfg;
+  cfg.num_events = 1000;
+  const Trace t = generate_faa_stream(cfg);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_EQ(t.items[i].ev.seq(), t.items[i - 1].ev.seq() + 1);
+    EXPECT_GE(t.items[i].at, t.items[i - 1].at);
+  }
+}
+
+TEST(FaaStream, CoversAllFlights) {
+  FaaStreamConfig cfg;
+  cfg.num_flights = 10;
+  cfg.num_events = 2000;
+  const Trace t = generate_faa_stream(cfg);
+  std::set<FlightKey> flights;
+  for (const auto& item : t.items) flights.insert(item.ev.key());
+  EXPECT_EQ(flights.size(), 10u);
+}
+
+TEST(FaaStream, PaddingAppliedToEveryEvent) {
+  FaaStreamConfig cfg;
+  cfg.num_events = 50;
+  cfg.padding_bytes = 777;
+  const Trace t = generate_faa_stream(cfg);
+  for (const auto& item : t.items) {
+    EXPECT_EQ(item.ev.padding().size(), 777u);
+  }
+}
+
+TEST(FaaStream, PositionsStayPlausible) {
+  FaaStreamConfig cfg;
+  cfg.num_events = 2000;
+  const Trace t = generate_faa_stream(cfg);
+  for (const auto& item : t.items) {
+    const auto* pos = item.ev.as<event::FaaPosition>();
+    ASSERT_NE(pos, nullptr);
+    EXPECT_GT(pos->ground_speed_kts, 0.0);
+    EXPECT_GE(pos->heading_deg, 0.0);
+    EXPECT_LT(pos->heading_deg, 360.0);
+  }
+}
+
+TEST(DeltaStream, LifecycleOrderPerFlight) {
+  DeltaStreamConfig cfg;
+  cfg.num_flights = 20;
+  cfg.arriving_fraction = 1.0;
+  const Trace t = generate_delta_stream(cfg);
+  std::map<FlightKey, std::vector<event::FlightStatus>> statuses;
+  for (const auto& item : t.items) {
+    if (const auto* st = item.ev.as<event::DeltaStatus>()) {
+      statuses[st->flight].push_back(st->status);
+    }
+  }
+  ASSERT_EQ(statuses.size(), 20u);
+  for (const auto& [flight, seq] : statuses) {
+    ASSERT_EQ(seq.size(), 6u) << "flight " << flight;
+    EXPECT_EQ(seq[0], event::FlightStatus::kScheduled);
+    EXPECT_EQ(seq[1], event::FlightStatus::kBoarding);
+    EXPECT_EQ(seq[2], event::FlightStatus::kDeparted);
+    EXPECT_EQ(seq[3], event::FlightStatus::kLanded);
+    EXPECT_EQ(seq[4], event::FlightStatus::kAtRunway);
+    EXPECT_EQ(seq[5], event::FlightStatus::kAtGate);
+  }
+}
+
+TEST(DeltaStream, ArrivingFractionRespected) {
+  DeltaStreamConfig cfg;
+  cfg.num_flights = 100;
+  cfg.arriving_fraction = 0.0;
+  const Trace none = generate_delta_stream(cfg);
+  for (const auto& item : none.items) {
+    if (const auto* st = item.ev.as<event::DeltaStatus>()) {
+      EXPECT_NE(st->status, event::FlightStatus::kLanded);
+    }
+  }
+}
+
+TEST(DeltaStream, PassengerAndBaggageCounts) {
+  DeltaStreamConfig cfg;
+  cfg.num_flights = 5;
+  cfg.passengers_per_flight = 7;
+  cfg.bags_per_flight = 3;
+  const Trace t = generate_delta_stream(cfg);
+  EXPECT_EQ(t.count_type(event::EventType::kPassengerBoarded), 35u);
+  EXPECT_EQ(t.count_type(event::EventType::kBaggageLoaded), 15u);
+}
+
+TEST(DeltaStream, SeqAssignedAfterTimeSort) {
+  const Trace t = generate_delta_stream({});
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t.items[i].at, t.items[i - 1].at);
+    EXPECT_EQ(t.items[i].ev.seq(), t.items[i - 1].ev.seq() + 1);
+  }
+}
+
+TEST(MergeTraces, GlobalTimeOrderPreservesPerStreamFifo) {
+  FaaStreamConfig faa;
+  faa.num_events = 300;
+  DeltaStreamConfig delta;
+  const Trace merged =
+      merge_traces({generate_faa_stream(faa), generate_delta_stream(delta)});
+  SeqNo last_faa = 0, last_delta = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(merged.items[i].at, merged.items[i - 1].at);
+    }
+    const auto& ev = merged.items[i].ev;
+    if (ev.stream() == 0) {
+      EXPECT_GT(ev.seq(), last_faa);
+      last_faa = ev.seq();
+    } else {
+      EXPECT_GT(ev.seq(), last_delta);
+      last_delta = ev.seq();
+    }
+  }
+}
+
+TEST(Scenario, OisTraceContainsBothStreams) {
+  ScenarioConfig cfg;
+  cfg.faa_events = 500;
+  const Trace t = make_ois_trace(cfg);
+  EXPECT_EQ(t.count_type(event::EventType::kFaaPosition), 500u);
+  EXPECT_GT(t.count_type(event::EventType::kDeltaStatus), 0u);
+  EXPECT_GT(t.total_bytes(), 500u * cfg.event_padding);
+}
+
+TEST(Requests, ConstantRateCountApproximatesRate) {
+  const auto t = constant_rate_requests(100.0, 10 * kSecond);
+  EXPECT_NEAR(static_cast<double>(t.size()), 1000.0, 60.0);
+  EXPECT_NEAR(t.rate_over(10 * kSecond), 100.0, 6.0);
+  for (std::size_t i = 1; i < t.arrivals.size(); ++i) {
+    EXPECT_GE(t.arrivals[i], t.arrivals[i - 1]);
+  }
+}
+
+TEST(Requests, ZeroRateOrDurationIsEmpty) {
+  EXPECT_EQ(constant_rate_requests(0.0, kSecond).size(), 0u);
+  EXPECT_EQ(constant_rate_requests(10.0, 0).size(), 0u);
+  EXPECT_EQ(poisson_requests(0.0, kSecond).size(), 0u);
+}
+
+TEST(Requests, PoissonMeanRate) {
+  const auto t = poisson_requests(200.0, 20 * kSecond, 9);
+  EXPECT_NEAR(static_cast<double>(t.size()), 4000.0, 300.0);
+}
+
+TEST(Requests, BurstyConcentratesInDutyWindow) {
+  const auto t = bursty_requests(/*base=*/10, /*burst=*/500, /*period=*/kSecond,
+                                 /*duty=*/0.4, /*duration=*/10 * kSecond, 3);
+  std::size_t in_burst = 0;
+  for (const Nanos at : t.arrivals) {
+    const double phase =
+        static_cast<double>(at % kSecond) / static_cast<double>(kSecond);
+    in_burst += phase < 0.4;
+  }
+  // Expected split: 200/s-equivalent in 40% of time vs 10/s elsewhere.
+  EXPECT_GT(static_cast<double>(in_burst),
+            0.9 * static_cast<double>(t.size() - in_burst));
+}
+
+TEST(Requests, RecoverySpikeAddsSimultaneousBatch) {
+  const auto t =
+      recovery_spike_requests(500, 5 * kSecond, 1.0, 10 * kSecond, 4);
+  std::size_t near_spike = 0;
+  for (const Nanos at : t.arrivals) {
+    if (at >= 5 * kSecond && at <= 5 * kSecond + 100 * kMilli) ++near_spike;
+  }
+  EXPECT_GE(near_spike, 500u);
+  for (std::size_t i = 1; i < t.arrivals.size(); ++i) {
+    EXPECT_GE(t.arrivals[i], t.arrivals[i - 1]);  // sorted
+  }
+}
+
+TEST(Requests, MergeSorts) {
+  auto merged = merge_requests(
+      {poisson_requests(50, kSecond, 1), poisson_requests(50, kSecond, 2)});
+  for (std::size_t i = 1; i < merged.arrivals.size(); ++i) {
+    EXPECT_GE(merged.arrivals[i], merged.arrivals[i - 1]);
+  }
+  EXPECT_GT(merged.size(), 50u);
+}
+
+}  // namespace
+}  // namespace admire::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_request_load.dir/fig7_request_load.cpp.o"
+  "CMakeFiles/fig7_request_load.dir/fig7_request_load.cpp.o.d"
+  "fig7_request_load"
+  "fig7_request_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_request_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

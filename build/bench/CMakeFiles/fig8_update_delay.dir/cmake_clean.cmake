@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_update_delay.dir/fig8_update_delay.cpp.o"
+  "CMakeFiles/fig8_update_delay.dir/fig8_update_delay.cpp.o.d"
+  "fig8_update_delay"
+  "fig8_update_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_update_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

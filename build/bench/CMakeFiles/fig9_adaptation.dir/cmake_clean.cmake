@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_adaptation.dir/fig9_adaptation.cpp.o"
+  "CMakeFiles/fig9_adaptation.dir/fig9_adaptation.cpp.o.d"
+  "fig9_adaptation"
+  "fig9_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_ois.dir/airline_ois.cpp.o"
+  "CMakeFiles/airline_ois.dir/airline_ois.cpp.o.d"
+  "airline_ois"
+  "airline_ois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_ois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mirror_failover.cpp" "examples/CMakeFiles/mirror_failover.dir/mirror_failover.cpp.o" "gcc" "examples/CMakeFiles/mirror_failover.dir/mirror_failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/admire_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/admire_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/admire_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/admire_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/oplog/CMakeFiles/admire_oplog.dir/DependInfo.cmake"
+  "/root/repo/build/src/echo/CMakeFiles/admire_echo.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/admire_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/admire_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mirror/CMakeFiles/admire_mirror.dir/DependInfo.cmake"
+  "/root/repo/build/src/ede/CMakeFiles/admire_ede.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/admire_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/admire_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/admire_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/admire_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/admire_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/admire_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/admire_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirror_failover.dir/mirror_failover.cpp.o"
+  "CMakeFiles/mirror_failover.dir/mirror_failover.cpp.o.d"
+  "mirror_failover"
+  "mirror_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirror_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_cluster.dir/multiprocess_cluster.cpp.o"
+  "CMakeFiles/multiprocess_cluster.dir/multiprocess_cluster.cpp.o.d"
+  "multiprocess_cluster"
+  "multiprocess_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

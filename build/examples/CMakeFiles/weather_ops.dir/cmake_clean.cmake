@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_ops.dir/weather_ops.cpp.o"
+  "CMakeFiles/weather_ops.dir/weather_ops.cpp.o.d"
+  "weather_ops"
+  "weather_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

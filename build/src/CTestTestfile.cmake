@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("serialize")
+subdirs("transport")
+subdirs("echo")
+subdirs("queueing")
+subdirs("rules")
+subdirs("checkpoint")
+subdirs("adapt")
+subdirs("ede")
+subdirs("mirror")
+subdirs("recovery")
+subdirs("client")
+subdirs("oplog")
+subdirs("workload")
+subdirs("metrics")
+subdirs("sim")
+subdirs("cluster")
+subdirs("harness")

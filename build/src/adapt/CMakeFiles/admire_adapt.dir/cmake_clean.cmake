@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_adapt.dir/controller.cpp.o"
+  "CMakeFiles/admire_adapt.dir/controller.cpp.o.d"
+  "CMakeFiles/admire_adapt.dir/directive.cpp.o"
+  "CMakeFiles/admire_adapt.dir/directive.cpp.o.d"
+  "libadmire_adapt.a"
+  "libadmire_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/coordinator.cpp" "src/checkpoint/CMakeFiles/admire_checkpoint.dir/coordinator.cpp.o" "gcc" "src/checkpoint/CMakeFiles/admire_checkpoint.dir/coordinator.cpp.o.d"
+  "/root/repo/src/checkpoint/messages.cpp" "src/checkpoint/CMakeFiles/admire_checkpoint.dir/messages.cpp.o" "gcc" "src/checkpoint/CMakeFiles/admire_checkpoint.dir/messages.cpp.o.d"
+  "/root/repo/src/checkpoint/participant.cpp" "src/checkpoint/CMakeFiles/admire_checkpoint.dir/participant.cpp.o" "gcc" "src/checkpoint/CMakeFiles/admire_checkpoint.dir/participant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/admire_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/admire_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_checkpoint.dir/coordinator.cpp.o"
+  "CMakeFiles/admire_checkpoint.dir/coordinator.cpp.o.d"
+  "CMakeFiles/admire_checkpoint.dir/messages.cpp.o"
+  "CMakeFiles/admire_checkpoint.dir/messages.cpp.o.d"
+  "CMakeFiles/admire_checkpoint.dir/participant.cpp.o"
+  "CMakeFiles/admire_checkpoint.dir/participant.cpp.o.d"
+  "libadmire_checkpoint.a"
+  "libadmire_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_client.dir/thin_client.cpp.o"
+  "CMakeFiles/admire_client.dir/thin_client.cpp.o.d"
+  "libadmire_client.a"
+  "libadmire_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

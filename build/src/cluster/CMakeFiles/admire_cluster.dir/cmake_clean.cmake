@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_cluster.dir/central_site.cpp.o"
+  "CMakeFiles/admire_cluster.dir/central_site.cpp.o.d"
+  "CMakeFiles/admire_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/admire_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/admire_cluster.dir/load_balancer.cpp.o"
+  "CMakeFiles/admire_cluster.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/admire_cluster.dir/mirror_site.cpp.o"
+  "CMakeFiles/admire_cluster.dir/mirror_site.cpp.o.d"
+  "CMakeFiles/admire_cluster.dir/remote_mirror.cpp.o"
+  "CMakeFiles/admire_cluster.dir/remote_mirror.cpp.o.d"
+  "CMakeFiles/admire_cluster.dir/replayer.cpp.o"
+  "CMakeFiles/admire_cluster.dir/replayer.cpp.o.d"
+  "libadmire_cluster.a"
+  "libadmire_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

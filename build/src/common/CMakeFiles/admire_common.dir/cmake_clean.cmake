@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_common.dir/cpu_work.cpp.o"
+  "CMakeFiles/admire_common.dir/cpu_work.cpp.o.d"
+  "CMakeFiles/admire_common.dir/logging.cpp.o"
+  "CMakeFiles/admire_common.dir/logging.cpp.o.d"
+  "CMakeFiles/admire_common.dir/stats.cpp.o"
+  "CMakeFiles/admire_common.dir/stats.cpp.o.d"
+  "CMakeFiles/admire_common.dir/status.cpp.o"
+  "CMakeFiles/admire_common.dir/status.cpp.o.d"
+  "libadmire_common.a"
+  "libadmire_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

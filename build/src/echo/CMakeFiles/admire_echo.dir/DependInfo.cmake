@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/echo/bridge.cpp" "src/echo/CMakeFiles/admire_echo.dir/bridge.cpp.o" "gcc" "src/echo/CMakeFiles/admire_echo.dir/bridge.cpp.o.d"
+  "/root/repo/src/echo/channel.cpp" "src/echo/CMakeFiles/admire_echo.dir/channel.cpp.o" "gcc" "src/echo/CMakeFiles/admire_echo.dir/channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/admire_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/admire_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_echo.dir/bridge.cpp.o"
+  "CMakeFiles/admire_echo.dir/bridge.cpp.o.d"
+  "CMakeFiles/admire_echo.dir/channel.cpp.o"
+  "CMakeFiles/admire_echo.dir/channel.cpp.o.d"
+  "libadmire_echo.a"
+  "libadmire_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

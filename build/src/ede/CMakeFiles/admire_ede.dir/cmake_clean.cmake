@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_ede.dir/engine.cpp.o"
+  "CMakeFiles/admire_ede.dir/engine.cpp.o.d"
+  "CMakeFiles/admire_ede.dir/operational_state.cpp.o"
+  "CMakeFiles/admire_ede.dir/operational_state.cpp.o.d"
+  "CMakeFiles/admire_ede.dir/snapshot.cpp.o"
+  "CMakeFiles/admire_ede.dir/snapshot.cpp.o.d"
+  "libadmire_ede.a"
+  "libadmire_ede.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_ede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

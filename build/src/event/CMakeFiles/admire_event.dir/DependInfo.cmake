@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/event.cpp" "src/event/CMakeFiles/admire_event.dir/event.cpp.o" "gcc" "src/event/CMakeFiles/admire_event.dir/event.cpp.o.d"
+  "/root/repo/src/event/payload.cpp" "src/event/CMakeFiles/admire_event.dir/payload.cpp.o" "gcc" "src/event/CMakeFiles/admire_event.dir/payload.cpp.o.d"
+  "/root/repo/src/event/vector_timestamp.cpp" "src/event/CMakeFiles/admire_event.dir/vector_timestamp.cpp.o" "gcc" "src/event/CMakeFiles/admire_event.dir/vector_timestamp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_event.dir/event.cpp.o"
+  "CMakeFiles/admire_event.dir/event.cpp.o.d"
+  "CMakeFiles/admire_event.dir/payload.cpp.o"
+  "CMakeFiles/admire_event.dir/payload.cpp.o.d"
+  "CMakeFiles/admire_event.dir/vector_timestamp.cpp.o"
+  "CMakeFiles/admire_event.dir/vector_timestamp.cpp.o.d"
+  "libadmire_event.a"
+  "libadmire_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_harness.dir/experiments.cpp.o"
+  "CMakeFiles/admire_harness.dir/experiments.cpp.o.d"
+  "libadmire_harness.a"
+  "libadmire_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

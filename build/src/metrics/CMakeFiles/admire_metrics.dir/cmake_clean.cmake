@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/admire_metrics.dir/metrics.cpp.o.d"
+  "libadmire_metrics.a"
+  "libadmire_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_mirror.dir/main_unit_core.cpp.o"
+  "CMakeFiles/admire_mirror.dir/main_unit_core.cpp.o.d"
+  "CMakeFiles/admire_mirror.dir/mirror_aux_core.cpp.o"
+  "CMakeFiles/admire_mirror.dir/mirror_aux_core.cpp.o.d"
+  "CMakeFiles/admire_mirror.dir/mirroring_api.cpp.o"
+  "CMakeFiles/admire_mirror.dir/mirroring_api.cpp.o.d"
+  "CMakeFiles/admire_mirror.dir/pipeline_core.cpp.o"
+  "CMakeFiles/admire_mirror.dir/pipeline_core.cpp.o.d"
+  "libadmire_mirror.a"
+  "libadmire_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_oplog.dir/oplog.cpp.o"
+  "CMakeFiles/admire_oplog.dir/oplog.cpp.o.d"
+  "libadmire_oplog.a"
+  "libadmire_oplog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_oplog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

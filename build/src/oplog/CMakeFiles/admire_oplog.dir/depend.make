@@ -1,0 +1,2 @@
+# Empty dependencies file for admire_oplog.
+# This may be replaced when dependencies are built.

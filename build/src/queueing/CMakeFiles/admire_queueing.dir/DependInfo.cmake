@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/backup_queue.cpp" "src/queueing/CMakeFiles/admire_queueing.dir/backup_queue.cpp.o" "gcc" "src/queueing/CMakeFiles/admire_queueing.dir/backup_queue.cpp.o.d"
+  "/root/repo/src/queueing/ready_queue.cpp" "src/queueing/CMakeFiles/admire_queueing.dir/ready_queue.cpp.o" "gcc" "src/queueing/CMakeFiles/admire_queueing.dir/ready_queue.cpp.o.d"
+  "/root/repo/src/queueing/status_table.cpp" "src/queueing/CMakeFiles/admire_queueing.dir/status_table.cpp.o" "gcc" "src/queueing/CMakeFiles/admire_queueing.dir/status_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_queueing.dir/backup_queue.cpp.o"
+  "CMakeFiles/admire_queueing.dir/backup_queue.cpp.o.d"
+  "CMakeFiles/admire_queueing.dir/ready_queue.cpp.o"
+  "CMakeFiles/admire_queueing.dir/ready_queue.cpp.o.d"
+  "CMakeFiles/admire_queueing.dir/status_table.cpp.o"
+  "CMakeFiles/admire_queueing.dir/status_table.cpp.o.d"
+  "libadmire_queueing.a"
+  "libadmire_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_recovery.dir/recovery.cpp.o"
+  "CMakeFiles/admire_recovery.dir/recovery.cpp.o.d"
+  "libadmire_recovery.a"
+  "libadmire_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/coalescer.cpp" "src/rules/CMakeFiles/admire_rules.dir/coalescer.cpp.o" "gcc" "src/rules/CMakeFiles/admire_rules.dir/coalescer.cpp.o.d"
+  "/root/repo/src/rules/params.cpp" "src/rules/CMakeFiles/admire_rules.dir/params.cpp.o" "gcc" "src/rules/CMakeFiles/admire_rules.dir/params.cpp.o.d"
+  "/root/repo/src/rules/rule_engine.cpp" "src/rules/CMakeFiles/admire_rules.dir/rule_engine.cpp.o" "gcc" "src/rules/CMakeFiles/admire_rules.dir/rule_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/admire_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_rules.dir/coalescer.cpp.o"
+  "CMakeFiles/admire_rules.dir/coalescer.cpp.o.d"
+  "CMakeFiles/admire_rules.dir/params.cpp.o"
+  "CMakeFiles/admire_rules.dir/params.cpp.o.d"
+  "CMakeFiles/admire_rules.dir/rule_engine.cpp.o"
+  "CMakeFiles/admire_rules.dir/rule_engine.cpp.o.d"
+  "libadmire_rules.a"
+  "libadmire_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

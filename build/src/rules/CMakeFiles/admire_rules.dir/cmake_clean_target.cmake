@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadmire_rules.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_serialize.dir/event_codec.cpp.o"
+  "CMakeFiles/admire_serialize.dir/event_codec.cpp.o.d"
+  "libadmire_serialize.a"
+  "libadmire_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

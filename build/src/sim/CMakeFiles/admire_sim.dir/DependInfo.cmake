@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/admire_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/admire_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/admire_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/admire_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/sim_cluster.cpp" "src/sim/CMakeFiles/admire_sim.dir/sim_cluster.cpp.o" "gcc" "src/sim/CMakeFiles/admire_sim.dir/sim_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mirror/CMakeFiles/admire_mirror.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/admire_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/admire_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/admire_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/admire_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ede/CMakeFiles/admire_ede.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/admire_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/admire_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/admire_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

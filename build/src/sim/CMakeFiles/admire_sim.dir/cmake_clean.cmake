@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/admire_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/admire_sim.dir/engine.cpp.o"
+  "CMakeFiles/admire_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/admire_sim.dir/sim_cluster.cpp.o"
+  "CMakeFiles/admire_sim.dir/sim_cluster.cpp.o.d"
+  "libadmire_sim.a"
+  "libadmire_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

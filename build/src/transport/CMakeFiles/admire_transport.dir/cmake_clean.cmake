@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_transport.dir/inprocess_link.cpp.o"
+  "CMakeFiles/admire_transport.dir/inprocess_link.cpp.o.d"
+  "CMakeFiles/admire_transport.dir/tcp.cpp.o"
+  "CMakeFiles/admire_transport.dir/tcp.cpp.o.d"
+  "libadmire_transport.a"
+  "libadmire_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/delta_stream.cpp" "src/workload/CMakeFiles/admire_workload.dir/delta_stream.cpp.o" "gcc" "src/workload/CMakeFiles/admire_workload.dir/delta_stream.cpp.o.d"
+  "/root/repo/src/workload/faa_stream.cpp" "src/workload/CMakeFiles/admire_workload.dir/faa_stream.cpp.o" "gcc" "src/workload/CMakeFiles/admire_workload.dir/faa_stream.cpp.o.d"
+  "/root/repo/src/workload/requests.cpp" "src/workload/CMakeFiles/admire_workload.dir/requests.cpp.o" "gcc" "src/workload/CMakeFiles/admire_workload.dir/requests.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/admire_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/admire_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/admire_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/admire_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/admire_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/admire_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serialize/CMakeFiles/admire_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/admire_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/admire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

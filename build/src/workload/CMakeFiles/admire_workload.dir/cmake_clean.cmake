@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admire_workload.dir/delta_stream.cpp.o"
+  "CMakeFiles/admire_workload.dir/delta_stream.cpp.o.d"
+  "CMakeFiles/admire_workload.dir/faa_stream.cpp.o"
+  "CMakeFiles/admire_workload.dir/faa_stream.cpp.o.d"
+  "CMakeFiles/admire_workload.dir/requests.cpp.o"
+  "CMakeFiles/admire_workload.dir/requests.cpp.o.d"
+  "CMakeFiles/admire_workload.dir/scenario.cpp.o"
+  "CMakeFiles/admire_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/admire_workload.dir/trace.cpp.o"
+  "CMakeFiles/admire_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/admire_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/admire_workload.dir/trace_io.cpp.o.d"
+  "libadmire_workload.a"
+  "libadmire_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admire_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cluster.dir/client/thin_client_test.cpp.o"
+  "CMakeFiles/tests_cluster.dir/client/thin_client_test.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/cluster_test.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/cluster_test.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/remote_mirror_test.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/remote_mirror_test.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/cluster/replayer_test.cpp.o"
+  "CMakeFiles/tests_cluster.dir/cluster/replayer_test.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/oplog/oplog_test.cpp.o"
+  "CMakeFiles/tests_cluster.dir/oplog/oplog_test.cpp.o.d"
+  "CMakeFiles/tests_cluster.dir/recovery/recovery_test.cpp.o"
+  "CMakeFiles/tests_cluster.dir/recovery/recovery_test.cpp.o.d"
+  "tests_cluster"
+  "tests_cluster.pdb"
+  "tests_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

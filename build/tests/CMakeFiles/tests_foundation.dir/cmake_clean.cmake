@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_foundation.dir/common/bounded_queue_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/common/bounded_queue_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/common/clock_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/common/clock_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/common/rng_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/common/stats_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/common/status_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/common/status_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/event/event_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/event/event_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/event/vector_timestamp_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/event/vector_timestamp_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/serialize/codec_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/serialize/codec_test.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/serialize/wire_test.cpp.o"
+  "CMakeFiles/tests_foundation.dir/serialize/wire_test.cpp.o.d"
+  "tests_foundation"
+  "tests_foundation.pdb"
+  "tests_foundation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/harness/harness_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/harness/harness_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/concurrency_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/concurrency_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/cross_runtime_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/cross_runtime_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/invariants_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/invariants_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/model_based_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/model_based_test.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

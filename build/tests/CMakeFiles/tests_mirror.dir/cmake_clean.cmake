@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_mirror.dir/mirror/api_test.cpp.o"
+  "CMakeFiles/tests_mirror.dir/mirror/api_test.cpp.o.d"
+  "CMakeFiles/tests_mirror.dir/mirror/pipeline_core_test.cpp.o"
+  "CMakeFiles/tests_mirror.dir/mirror/pipeline_core_test.cpp.o.d"
+  "CMakeFiles/tests_mirror.dir/mirror/units_test.cpp.o"
+  "CMakeFiles/tests_mirror.dir/mirror/units_test.cpp.o.d"
+  "CMakeFiles/tests_mirror.dir/workload/trace_io_test.cpp.o"
+  "CMakeFiles/tests_mirror.dir/workload/trace_io_test.cpp.o.d"
+  "CMakeFiles/tests_mirror.dir/workload/workload_test.cpp.o"
+  "CMakeFiles/tests_mirror.dir/workload/workload_test.cpp.o.d"
+  "tests_mirror"
+  "tests_mirror.pdb"
+  "tests_mirror[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

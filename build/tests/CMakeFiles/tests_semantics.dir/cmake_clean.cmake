@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_semantics.dir/adapt/adapt_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/adapt/adapt_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/checkpoint/membership_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/checkpoint/membership_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/checkpoint/protocol_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/checkpoint/protocol_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/checkpoint/soak_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/checkpoint/soak_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/ede/ede_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/ede/ede_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/rules/coalescer_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/rules/coalescer_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/rules/filter_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/rules/filter_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/rules/params_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/rules/params_test.cpp.o.d"
+  "CMakeFiles/tests_semantics.dir/rules/rule_engine_test.cpp.o"
+  "CMakeFiles/tests_semantics.dir/rules/rule_engine_test.cpp.o.d"
+  "tests_semantics"
+  "tests_semantics.pdb"
+  "tests_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/metrics/metrics_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/metrics/metrics_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/cost_sensitivity_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/cost_sensitivity_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/failure_injection_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/failure_injection_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/sim_cluster_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/sim_cluster_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/sim_engine_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/sim_engine_test.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_substrate.dir/echo/bridge_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/echo/bridge_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/echo/channel_roles_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/echo/channel_roles_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/echo/channel_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/echo/channel_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/queueing/queues_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/queueing/queues_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/transport/inprocess_link_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/transport/inprocess_link_test.cpp.o.d"
+  "CMakeFiles/tests_substrate.dir/transport/tcp_test.cpp.o"
+  "CMakeFiles/tests_substrate.dir/transport/tcp_test.cpp.o.d"
+  "tests_substrate"
+  "tests_substrate.pdb"
+  "tests_substrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_foundation[1]_include.cmake")
+include("/root/repo/build/tests/tests_substrate[1]_include.cmake")
+include("/root/repo/build/tests/tests_semantics[1]_include.cmake")
+include("/root/repo/build/tests/tests_mirror[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_cluster[1]_include.cmake")

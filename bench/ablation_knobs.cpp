@@ -115,18 +115,33 @@ int main() {
         "Ablation E", "§3.2.1 content rules (complex-seq + complex-tuple)",
         "rules(0=off,1=on)", "mirrored_wire_events");
     auto& series = report.add_series("mirrored-wire-events");
+    // Traffic read from the metrics registry (transport.channel.*), the
+    // same counters the threaded cluster exports.
     std::vector<double> mirrored;
+    double suppressed = 0, absorbed = 0;
     for (const bool rules_on : {false, true}) {
       auto spec = loaded_spec();
       spec.ois_rules = rules_on;
       const auto r = harness::run_sim(spec);
-      mirrored.push_back(static_cast<double>(r.wire_events_mirrored));
+      const auto snap = r.obs->snapshot();
+      mirrored.push_back(metrics::snapshot_value(
+          snap, "transport.channel.central.data.msgs_total"));
+      if (rules_on) {
+        suppressed = metrics::snapshot_value(
+            snap, "rules.central.discarded_suppressed_total");
+        absorbed = metrics::snapshot_value(
+            snap, "rules.central.absorbed_tuple_total");
+      }
       series.points.emplace_back(rules_on ? 1.0 : 0.0, mirrored.back());
     }
     report.check("content rules reduce mirror traffic further",
                  mirrored[1] < mirrored[0],
                  bench::fmt("%.0f -> %.0f wire events", mirrored[0],
                             mirrored[1]));
+    report.check("registry attributes the savings to the content rules",
+                 suppressed + absorbed > 0.0,
+                 bench::fmt("suppressed=%.0f tuple-absorbed=%.0f", suppressed,
+                            absorbed));
     failures += report.finish();
   }
 

@@ -39,15 +39,16 @@ int main() {
   auto& chkpt_series = report.add_series("selective(L=8)+chkpt/2");
 
   std::vector<double> t_simple, t_selective, t_chkpt;
+  sim::SimResult high_load_selective;  // keeps its registry for the epilogue
   for (const double rate : rates) {
     const double ts = to_seconds(
         harness::run_sim(spec_for(rate, rules::simple_mirroring())).total_time);
-    const double tl = to_seconds(
-        harness::run_sim(spec_for(rate, rules::selective_mirroring(8, 50)))
-            .total_time);
+    auto rl = harness::run_sim(spec_for(rate, rules::selective_mirroring(8, 50)));
+    const double tl = to_seconds(rl.total_time);
     const double tc = to_seconds(
         harness::run_sim(spec_for(rate, rules::selective_mirroring(8, 100)))
             .total_time);
+    if (rate == rates.back()) high_load_selective = std::move(rl);
     t_simple.push_back(ts);
     t_selective.push_back(tl);
     t_chkpt.push_back(tc);
@@ -55,6 +56,19 @@ int main() {
     selective_series.points.emplace_back(rate, tl);
     chkpt_series.points.emplace_back(rate, tc);
   }
+
+  // Registry view of the high-load selective run: the same rule/checkpoint
+  // numbers the threaded runtime exports (OBSERVABILITY.md vocabulary).
+  const auto snap = high_load_selective.obs->snapshot();
+  metrics::print_snapshot_block(
+      "selective(L=8) at 400 req/s", snap,
+      {"rules.central.", "checkpoint.coordinator.", "cluster.lb.picks."});
+  report.check(
+      "registry rule counters agree with SimResult counters",
+      static_cast<std::uint64_t>(metrics::snapshot_value(
+          snap, "rules.central.discarded_overwritten_total")) ==
+          high_load_selective.rule_counters.discarded_overwritten,
+      "rules.central.discarded_overwritten_total == RuleCounters value");
 
   report.check("total time rises with request rate (simple)",
                t_simple.back() > 1.5 * t_simple.front(),

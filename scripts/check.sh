@@ -2,16 +2,36 @@
 # One-shot verification: configure, build, run the full test suite, then
 # every bench binary (paper-figure reproductions exit nonzero if a
 # paper-expected property fails to hold).
+#
+# Usage: scripts/check.sh [--no-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# Prefer Ninja for speed but fall back to CMake's default generator
+# (usually Unix Makefiles) so the script works on hosts without it.
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+cmake -B build "${generator[@]}"
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir build --output-on-failure
 
 status=0
-for b in build/bench/*; do
-  echo "==== $b"
-  "$b" || status=$?
-done
+if [[ "$run_bench" -eq 1 ]]; then
+  for b in build/bench/*; do
+    [[ -f "$b" && -x "$b" ]] || continue
+    echo "==== $b"
+    "$b" || status=$?
+  done
+fi
 exit "$status"

@@ -3,7 +3,7 @@
 namespace admire::checkpoint {
 
 ControlMessage Coordinator::begin_round(
-    const event::VectorTimestamp& suggested, Bytes piggyback) {
+    const event::VectorTimestamp& suggested, Bytes piggyback, Nanos now) {
   std::lock_guard lock(mu_);
   ControlMessage msg;
   msg.kind = ControlKind::kChkpt;
@@ -11,25 +11,34 @@ ControlMessage Coordinator::begin_round(
   msg.from = self_;
   msg.vts = suggested;
   msg.piggyback = std::move(piggyback);
-  open_[msg.round] = RoundState{};
+  RoundState state;
+  state.started_at = now;
+  open_[msg.round] = std::move(state);
   ++rounds_started_;
+  if (obs_started_ != nullptr) obs_started_->inc();
   return msg;
 }
 
 std::optional<ControlMessage> Coordinator::on_reply(
-    const ControlMessage& reply) {
+    const ControlMessage& reply, Nanos now) {
   std::lock_guard lock(mu_);
   auto it = open_.find(reply.round);
   if (it == open_.end()) return std::nullopt;  // abandoned or unknown round
   it->second.replies[reply.from] = reply.vts;
-  return complete_round_locked(reply.round);
+  return complete_round_locked(reply.round, now);
 }
 
 std::optional<ControlMessage> Coordinator::complete_round_locked(
-    std::uint64_t round) {
+    std::uint64_t round, Nanos now) {
   auto it = open_.find(round);
   if (it == open_.end()) return std::nullopt;
   if (it->second.replies.size() < expected_replies_) return std::nullopt;
+
+  if (obs_round_latency_ != nullptr && now > 0 && it->second.started_at > 0 &&
+      now >= it->second.started_at) {
+    obs_round_latency_->observe(
+        static_cast<double>(now - it->second.started_at));
+  }
 
   // All replies in: commit = component-wise min of every reply, merged with
   // the previous commit for monotonicity.
@@ -44,6 +53,7 @@ std::optional<ControlMessage> Coordinator::complete_round_locked(
   const std::uint64_t committed_round = it->first;
   open_.erase(open_.begin(), std::next(it));
   ++rounds_committed_;
+  if (obs_committed_ != nullptr) obs_committed_->inc();
 
   ControlMessage out;
   out.kind = ControlKind::kCommit;
@@ -61,7 +71,7 @@ std::optional<ControlMessage> Coordinator::set_expected_replies(
   // that encapsulates (discards) every older round.
   for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
     if (it->second.replies.size() >= expected_replies_) {
-      return complete_round_locked(it->first);
+      return complete_round_locked(it->first, /*now=*/0);
     }
   }
   return std::nullopt;
@@ -90,6 +100,22 @@ std::uint64_t Coordinator::rounds_committed() const {
 std::size_t Coordinator::open_rounds() const {
   std::lock_guard lock(mu_);
   return open_.size();
+}
+
+void Coordinator::instrument(obs::Registry& registry,
+                             const std::string& prefix) {
+  obs::Counter& started = registry.counter(prefix + ".rounds_started_total");
+  obs::Counter& committed =
+      registry.counter(prefix + ".rounds_committed_total");
+  obs::Histogram& latency = registry.histogram(
+      prefix + ".round_latency_ns", obs::Histogram::latency_bounds());
+  probes_.clear();
+  probes_.add(registry, prefix + ".open_rounds",
+              [this] { return static_cast<double>(open_rounds()); });
+  std::lock_guard lock(mu_);
+  obs_started_ = &started;
+  obs_committed_ = &committed;
+  obs_round_latency_ = &latency;
 }
 
 }  // namespace admire::checkpoint

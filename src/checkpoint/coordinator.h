@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "checkpoint/messages.h"
+#include "obs/registry.h"
 
 namespace admire::checkpoint {
 
@@ -41,14 +42,17 @@ class Coordinator {
   std::size_t expected_replies() const;
 
   /// Open a new round suggesting `suggested` (the most recent value in the
-  /// coordinator's backup queue). `piggyback` is attached verbatim.
+  /// coordinator's backup queue). `piggyback` is attached verbatim. `now`
+  /// (virtual or wall ns; 0 = unknown) stamps the round so the commit can
+  /// report round latency to the metrics registry.
   ControlMessage begin_round(const event::VectorTimestamp& suggested,
-                             Bytes piggyback = {});
+                             Bytes piggyback = {}, Nanos now = 0);
 
   /// Feed a CHKPT_REP. When the round completes, returns the COMMIT to
   /// broadcast; otherwise nullopt. Replies for abandoned (encapsulated)
-  /// rounds are ignored.
-  std::optional<ControlMessage> on_reply(const ControlMessage& reply);
+  /// rounds are ignored. `now` feeds the round-latency histogram.
+  std::optional<ControlMessage> on_reply(const ControlMessage& reply,
+                                         Nanos now = 0);
 
   /// Last committed consistent view (empty VTS before the first commit).
   event::VectorTimestamp committed() const;
@@ -57,8 +61,14 @@ class Coordinator {
   std::uint64_t rounds_committed() const;
   std::size_t open_rounds() const;
 
+  /// Register `<prefix>.rounds_started_total`, `.rounds_committed_total`,
+  /// `.open_rounds` (probe) and `<prefix>.round_latency_ns` (histogram of
+  /// begin_round -> commit, fed when callers pass timestamps).
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
  private:
-  std::optional<ControlMessage> complete_round_locked(std::uint64_t round);
+  std::optional<ControlMessage> complete_round_locked(std::uint64_t round,
+                                                      Nanos now);
 
   const SiteId self_;
   std::size_t expected_replies_;
@@ -72,8 +82,15 @@ class Coordinator {
   // from the same site replace the earlier value).
   struct RoundState {
     std::map<SiteId, event::VectorTimestamp> replies;
+    Nanos started_at = 0;  ///< 0 = caller did not provide a timestamp
   };
   std::map<std::uint64_t, RoundState> open_;
+
+  // Registry sinks (owned by the registry; null until instrumented).
+  obs::Counter* obs_started_ = nullptr;
+  obs::Counter* obs_committed_ = nullptr;
+  obs::Histogram* obs_round_latency_ = nullptr;
+  obs::ProbeGroup probes_;
 };
 
 }  // namespace admire::checkpoint

@@ -23,6 +23,18 @@ ThreadedCentralSite::ThreadedCentralSite(
   if (config_.adaptation.has_value()) {
     controller_.emplace(*config_.adaptation);
   }
+  if (config_.obs != nullptr) {
+    core_.instrument(*config_.obs, "central");
+    coordinator_.instrument(*config_.obs, "checkpoint.coordinator");
+    request_service_ns_ =
+        &config_.obs->histogram("cluster.central.request_service_ns",
+                                obs::Histogram::latency_bounds());
+    if (config_.trace_sample_every > 0) {
+      tracer_ = std::make_unique<obs::Tracer>(config_.trace_sample_every,
+                                              /*capacity=*/256, config_.obs);
+      core_.set_tracer(tracer_.get());
+    }
+  }
   data_channel_ = registry_->create_auto("central.data", echo::ChannelRole::kData);
   updates_channel_ =
       registry_->create_auto("central.updates", echo::ChannelRole::kData);
@@ -44,7 +56,17 @@ ThreadedCentralSite::ThreadedCentralSite(
       /*mirror_sink=*/[this](const event::Event& ev) { data_channel_->submit(ev); },
       /*fwd_sink=*/
       [this](const event::Event& ev) {
+        obs::Tracer* tracer = core_.tracer();
+        const bool traced = tracer != nullptr &&
+                            event::is_data_event(ev.type()) &&
+                            tracer->sampled(ev.seq());
+        const std::uint64_t tkey =
+            traced ? obs::Tracer::key_of(ev.stream(), ev.seq()) : 0;
+        if (traced) {
+          tracer->record(tkey, obs::Stage::kForward, clock_->now());
+        }
         const auto outputs = main_.process(ev);
+        if (traced) tracer->record(tkey, obs::Stage::kApply, clock_->now());
         ede_processed_.fetch_add(1, std::memory_order_relaxed);
         if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
         for (const auto& out : outputs) {
@@ -112,7 +134,7 @@ void ThreadedCentralSite::send_loop() {
       if (send_credits_ == 0 && !running_) return;
       if (send_credits_ > 0) --send_credits_;
     }
-    auto step = core_.try_send_step();
+    auto step = core_.try_send_step(clock_->now());
     if (step.has_value()) dispatch(*step);
     sends_done_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -143,8 +165,8 @@ void ThreadedCentralSite::control_loop() {
 void ThreadedCentralSite::start_round() {
   Bytes piggyback = evaluate_adaptation();
   const auto last = core_.backup().last_vts();
-  ControlMessage chkpt =
-      coordinator_.begin_round(last.value_or(core_.stamp()), std::move(piggyback));
+  ControlMessage chkpt = coordinator_.begin_round(
+      last.value_or(core_.stamp()), std::move(piggyback), clock_->now());
   // Own main unit replies locally, without the network.
   handle_reply(main_.on_chkpt(chkpt));
   ctrl_down_->submit(checkpoint::to_control_event(chkpt));
@@ -156,7 +178,7 @@ void ThreadedCentralSite::handle_reply(const ControlMessage& reply) {
         ByteSpan(reply.piggyback.data(), reply.piggyback.size()));
     if (report.is_ok()) controller_->ingest(report.value());
   }
-  auto commit = coordinator_.on_reply(reply);
+  auto commit = coordinator_.on_reply(reply, clock_->now());
   if (!commit.has_value()) return;
   core_.backup().trim_committed(commit->vts);
   main_.on_commit(*commit);
@@ -190,15 +212,19 @@ void ThreadedCentralSite::drain() {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   // Phase 2: flush coalescing buffers and dispatch the remainder inline.
-  auto step = core_.flush();
+  auto step = core_.flush(clock_->now());
   if (!step.to_send.empty()) dispatch(step);
 }
 
 std::vector<event::Event> ThreadedCentralSite::serve_request(
     std::uint64_t request_id, Nanos burn) {
   pending_requests_.fetch_add(1, std::memory_order_relaxed);
+  const Nanos start = clock_->now();
   auto chunks = main_.build_snapshot(request_id);
   if (burn > 0) burn_for(burn);
+  if (request_service_ns_ != nullptr) {
+    request_service_ns_->observe(static_cast<double>(clock_->now() - start));
+  }
   pending_requests_.fetch_sub(1, std::memory_order_relaxed);
   return chunks;
 }

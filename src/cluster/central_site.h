@@ -23,6 +23,8 @@
 #include "mirror/main_unit_core.h"
 #include "mirror/mirroring_api.h"
 #include "mirror/pipeline_core.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace admire::cluster {
 
@@ -34,6 +36,12 @@ struct CentralSiteConfig {
   /// Optional artificial CPU burn per processed event, emulating the
   /// paper-era business-logic cost in real time (examples use this).
   Nanos burn_per_event = 0;
+  /// Metrics registry to instrument into (null = no instrumentation).
+  /// Must outlive the site.
+  obs::Registry* obs = nullptr;
+  /// Trace one data event in N through the pipeline stages (0 = tracing
+  /// off). Only meaningful when `obs` is set.
+  std::uint32_t trace_sample_every = 0;
 };
 
 class ThreadedCentralSite {
@@ -65,6 +73,8 @@ class ThreadedCentralSite {
   mirror::MirroringApi& api() { return api_; }
   checkpoint::Coordinator& coordinator() { return coordinator_; }
   metrics::LatencyRecorder& update_delays() { return update_delays_; }
+  /// Event-path tracer (null unless trace_sample_every > 0).
+  obs::Tracer* tracer() { return tracer_.get(); }
 
   std::uint64_t ingested() const { return ingested_.load(); }
   std::uint64_t processed_by_ede() const { return ede_processed_.load(); }
@@ -98,6 +108,7 @@ class ThreadedCentralSite {
   checkpoint::Coordinator coordinator_;
   mirror::MirroringApi api_;
   std::optional<adapt::AdaptationController> controller_;
+  std::unique_ptr<obs::Tracer> tracer_;
 
   std::shared_ptr<echo::EventChannel> data_channel_;
   std::shared_ptr<echo::EventChannel> updates_channel_;
@@ -126,6 +137,7 @@ class ThreadedCentralSite {
   std::atomic<std::uint64_t> adaptation_transitions_{0};
 
   metrics::LatencyRecorder update_delays_;
+  obs::Histogram* request_service_ns_ = nullptr;  // null = not instrumented
 
  public:
   std::uint64_t adaptation_transitions() const {

@@ -9,11 +9,19 @@ Cluster::Cluster(ClusterConfig config)
       clock_(std::make_shared<SteadyClock>()),
       registry_(std::make_shared<echo::ChannelRegistry>()),
       lb_(config_.lb) {
+  if (!config_.obs) config_.obs = std::make_shared<obs::Registry>();
+  // Every echo channel (existing and future) reports msgs/bytes under
+  // transport.channel.<name>.*.
+  registry_->instrument_all(*config_.obs);
+  lb_.instrument(*config_.obs);
+
   CentralSiteConfig central_config;
   central_config.params = config_.params;
   central_config.adaptation = config_.adaptation;
   central_config.num_streams = config_.num_streams;
   central_config.burn_per_event = config_.burn_per_event;
+  central_config.obs = config_.obs.get();
+  central_config.trace_sample_every = config_.trace_sample_every;
   central_ = std::make_unique<ThreadedCentralSite>(
       central_config, registry_, clock_, config_.num_mirrors);
 
@@ -22,6 +30,7 @@ Cluster::Cluster(ClusterConfig config)
     mc.site = next_site_id_++;
     mc.burn_per_event = config_.burn_per_event;
     mc.burn_per_request = config_.burn_per_request;
+    mc.obs = config_.obs.get();
     mirrors_.push_back(
         std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_));
   }
@@ -68,10 +77,19 @@ void Cluster::start() {
   central_->start();
   for (auto& m : mirrors_) m->start();
   if (central_requests_) central_requests_->start();
+  if (!config_.obs_export_path.empty()) {
+    obs::ExporterOptions opts;
+    opts.path = config_.obs_export_path;
+    opts.interval = config_.obs_export_interval;
+    exporter_ =
+        std::make_unique<obs::SnapshotExporter>(*config_.obs, std::move(opts));
+    if (!exporter_->start().is_ok()) exporter_.reset();
+  }
 }
 
 void Cluster::stop() {
   if (!started_.exchange(false)) return;
+  if (exporter_) exporter_->stop();  // writes a final snapshot
   if (central_requests_) central_requests_->stop();
   for (auto& m : mirrors_) m->stop();
   central_->stop();
@@ -140,6 +158,7 @@ Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
   mc.site = next_site_id_++;
   mc.burn_per_event = config_.burn_per_event;
   mc.burn_per_request = config_.burn_per_request;
+  mc.obs = config_.obs.get();
   // Subscribe FIRST so no event falls between the donor snapshot and the
   // live stream; the inbox buffers until start().
   auto site = std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_);

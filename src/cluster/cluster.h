@@ -13,6 +13,8 @@
 #include "cluster/load_balancer.h"
 #include "cluster/mirror_site.h"
 #include "cluster/request_service.h"
+#include "obs/exporter.h"
+#include "obs/registry.h"
 #include "oplog/oplog.h"
 
 namespace admire::cluster {
@@ -32,6 +34,17 @@ struct ClusterConfig {
   Nanos burn_per_event = 0;
   Nanos burn_per_request = 0;
   std::size_t num_streams = 2;
+  /// Metrics registry the whole cluster instruments into. Null = the
+  /// cluster creates a private one (recommended: keeps metric names unique
+  /// when several clusters coexist in one process, e.g. under test).
+  std::shared_ptr<obs::Registry> obs;
+  /// When non-empty, a background exporter appends one JSON-lines metrics
+  /// snapshot to this file every obs_export_interval while running (and a
+  /// final one at stop()).
+  std::string obs_export_path;
+  std::chrono::milliseconds obs_export_interval{1000};
+  /// Trace one data event in N through the central pipeline (0 = off).
+  std::uint32_t trace_sample_every = 0;
 };
 
 class Cluster {
@@ -74,6 +87,9 @@ class Cluster {
   LoadBalancer& load_balancer() { return lb_; }
   std::shared_ptr<echo::ChannelRegistry> registry() { return registry_; }
   std::shared_ptr<Clock> clock() { return clock_; }
+  /// Cluster-wide metrics registry (always non-null after construction).
+  obs::Registry& obs() { return *config_.obs; }
+  std::shared_ptr<obs::Registry> obs_ptr() { return config_.obs; }
 
   /// State fingerprints: [central, mirror1, ...]. Equal values = converged
   /// replicas. Stopped (failed) mirrors are included as-is.
@@ -97,6 +113,7 @@ class Cluster {
   std::unique_ptr<ThreadedCentralSite> central_;
   std::vector<std::unique_ptr<ThreadedMirrorSite>> mirrors_;
   std::unique_ptr<RequestService> central_requests_;
+  std::unique_ptr<obs::SnapshotExporter> exporter_;
   std::unique_ptr<oplog::LogWriter> oplog_;
   echo::Subscription oplog_sub_;
   LoadBalancer lb_;

@@ -29,8 +29,20 @@ Status LoadBalancer::route(std::uint64_t request_id,
     std::lock_guard lock(mu_);
     if (routed_.size() < targets_.size()) routed_.resize(targets_.size(), 0);
     ++routed_[idx];
+    if (obs_ != nullptr) {
+      obs_->counter("cluster.lb.picks." + targets_[idx].name).inc();
+    }
   }
   return targets_[idx].submit(request_id, std::move(callback));
+}
+
+void LoadBalancer::instrument(obs::Registry& registry) {
+  std::lock_guard lock(mu_);
+  obs_ = &registry;
+  // Pre-create so the snapshot shows zero-pick targets too.
+  for (const auto& t : targets_) {
+    (void)registry.counter("cluster.lb.picks." + t.name);
+  }
 }
 
 std::vector<std::uint64_t> LoadBalancer::routed_counts() const {

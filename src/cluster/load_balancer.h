@@ -9,6 +9,7 @@
 
 #include "cluster/request_service.h"
 #include "common/status.h"
+#include "obs/registry.h"
 
 namespace admire::cluster {
 
@@ -38,6 +39,10 @@ class LoadBalancer {
   /// Requests routed per target (distribution fairness checks).
   std::vector<std::uint64_t> routed_counts() const;
 
+  /// Register one `cluster.lb.picks.<target name>` counter per target
+  /// (covers targets added later too — route() resolves counters lazily).
+  void instrument(obs::Registry& registry);
+
  private:
   std::size_t pick();
 
@@ -46,6 +51,7 @@ class LoadBalancer {
   std::atomic<std::uint64_t> cursor_{0};
   mutable std::mutex mu_;
   std::vector<std::uint64_t> routed_;
+  obs::Registry* obs_ = nullptr;  // guarded by mu_
 };
 
 }  // namespace admire::cluster

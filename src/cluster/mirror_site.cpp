@@ -19,9 +19,19 @@ ThreadedMirrorSite::ThreadedMirrorSite(
       inbox_(config.inbox_capacity),
       request_queue_(config.request_capacity),
       request_latency_(kSecond) {
-  updates_channel_ = registry_->create_auto(
-      "mirror" + std::to_string(config.site) + ".updates",
-      echo::ChannelRole::kData);
+  const std::string label = "mirror" + std::to_string(config.site);
+  if (config_.obs != nullptr) {
+    aux_.instrument(*config_.obs, label);
+    request_service_ns_ =
+        &config_.obs->histogram("cluster." + label + ".request_service_ns",
+                                obs::Histogram::latency_bounds());
+    probes_.add(*config_.obs, "cluster." + label + ".pending_requests",
+                [this] { return static_cast<double>(pending_requests_.load()); });
+    probes_.add(*config_.obs, "cluster." + label + ".requests_served_total",
+                [this] { return static_cast<double>(served_.load()); });
+  }
+  updates_channel_ =
+      registry_->create_auto(label + ".updates", echo::ChannelRole::kData);
   auto data = registry_->by_name("central.data");
   auto ctrl_down = registry_->by_name("ctrl.down");
   ctrl_up_ = registry_->by_name("ctrl.up");
@@ -75,8 +85,8 @@ void ThreadedMirrorSite::event_loop() {
       processed_.fetch_add(1, std::memory_order_relaxed);  // accounted, skipped
       continue;
     }
-    aux_.on_mirrored(std::move(*ev));
-    while (auto next = aux_.next_for_main()) {
+    aux_.on_mirrored(std::move(*ev), clock_->now());
+    while (auto next = aux_.next_for_main(clock_->now())) {
       if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
       const auto outputs = main_.process(*next);
       for (const auto& out : outputs) updates_channel_->submit(out);
@@ -102,7 +112,11 @@ void ThreadedMirrorSite::request_loop() {
     if (config_.burn_per_request > 0) burn_for(config_.burn_per_request);
     pending_requests_.fetch_sub(1, std::memory_order_relaxed);
     served_.fetch_add(1, std::memory_order_relaxed);
-    request_latency_.add(req->enqueued_at, clock_->now() - req->enqueued_at);
+    const Nanos service_ns = clock_->now() - req->enqueued_at;
+    request_latency_.add(req->enqueued_at, service_ns);
+    if (request_service_ns_ != nullptr) {
+      request_service_ns_->observe(static_cast<double>(service_ns));
+    }
     if (req->callback) req->callback(req->id, std::move(chunks));
   }
 }

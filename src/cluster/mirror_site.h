@@ -16,6 +16,7 @@
 #include "metrics/metrics.h"
 #include "mirror/main_unit_core.h"
 #include "mirror/mirror_aux_core.h"
+#include "obs/registry.h"
 #include "recovery/recovery.h"
 
 namespace admire::cluster {
@@ -26,6 +27,9 @@ struct MirrorSiteConfig {
   std::size_t request_capacity = 8192;
   Nanos burn_per_event = 0;    ///< artificial EDE cost (real-time emulation)
   Nanos burn_per_request = 0;  ///< artificial snapshot-service cost
+  /// Metrics registry to instrument into (null = no instrumentation).
+  /// Must outlive the site.
+  obs::Registry* obs = nullptr;
 };
 
 /// Completion callback for a serviced client request.
@@ -120,6 +124,8 @@ class ThreadedMirrorSite {
   std::atomic<std::uint64_t> served_{0};
 
   metrics::LatencyRecorder request_latency_;
+  obs::Histogram* request_service_ns_ = nullptr;  // null = not instrumented
+  obs::ProbeGroup probes_;
 };
 
 }  // namespace admire::cluster

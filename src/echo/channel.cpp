@@ -29,6 +29,10 @@ Subscription EventChannel::subscribe(EventHandler handler) {
 
 std::size_t EventChannel::submit(const event::Event& ev) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* msgs = obs_msgs_.load(std::memory_order_acquire)) {
+    msgs->inc();
+    obs_bytes_.load(std::memory_order_acquire)->inc(ev.wire_size());
+  }
   // Copy handlers out so a handler may (un)subscribe without deadlock and
   // slow handlers do not serialize unrelated subscribe calls.
   std::vector<EventHandler> snapshot;
@@ -46,6 +50,14 @@ std::size_t EventChannel::subscriber_count() const {
   return handlers_.size();
 }
 
+void EventChannel::instrument(obs::Registry& registry) {
+  const std::string prefix = "transport.channel." + name_;
+  obs_msgs_.store(&registry.counter(prefix + ".msgs_total"),
+                  std::memory_order_release);
+  obs_bytes_.store(&registry.counter(prefix + ".bytes_total"),
+                   std::memory_order_release);
+}
+
 void EventChannel::unsubscribe(std::uint64_t token) {
   std::lock_guard lock(mu_);
   std::erase_if(handlers_, [&](const auto& p) { return p.first == token; });
@@ -61,6 +73,7 @@ Result<std::shared_ptr<EventChannel>> ChannelRegistry::create(
     return err(StatusCode::kInvalidArgument, "duplicate channel name: " + name);
   }
   auto ch = EventChannel::create(id, name, role);
+  if (obs_ != nullptr) ch->instrument(*obs_);
   by_id_[id] = ch;
   by_name_[std::move(name)] = ch;
   next_id_ = std::max(next_id_, id + 1);
@@ -94,6 +107,12 @@ std::shared_ptr<EventChannel> ChannelRegistry::by_name(
 std::size_t ChannelRegistry::size() const {
   std::lock_guard lock(mu_);
   return by_id_.size();
+}
+
+void ChannelRegistry::instrument_all(obs::Registry& registry) {
+  std::lock_guard lock(mu_);
+  obs_ = &registry;
+  for (auto& [id, ch] : by_id_) ch->instrument(registry);
 }
 
 }  // namespace admire::echo

@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "event/event.h"
+#include "obs/registry.h"
 
 namespace admire::echo {
 
@@ -83,6 +84,11 @@ class EventChannel : public std::enable_shared_from_this<EventChannel> {
 
   std::size_t subscriber_count() const;
 
+  /// Register `transport.channel.<channel name>.msgs_total` and
+  /// `.bytes_total` (wire-encoded event size) with `registry`; submit()
+  /// then does two extra relaxed increments per event.
+  void instrument(obs::Registry& registry);
+
  private:
   friend class Subscription;
 
@@ -99,6 +105,8 @@ class EventChannel : public std::enable_shared_from_this<EventChannel> {
   std::uint64_t next_token_ = 1;
   std::vector<std::pair<std::uint64_t, EventHandler>> handlers_;
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<obs::Counter*> obs_msgs_{nullptr};
+  std::atomic<obs::Counter*> obs_bytes_{nullptr};
 };
 
 /// Per-process directory of channels, keyed by name and id. Channel ids are
@@ -119,9 +127,14 @@ class ChannelRegistry {
 
   std::size_t size() const;
 
+  /// Instrument every existing channel with `registry` and remember it so
+  /// channels created later are instrumented on creation too.
+  void instrument_all(obs::Registry& registry);
+
  private:
   mutable std::mutex mu_;
   ChannelId next_id_ = 1;
+  obs::Registry* obs_ = nullptr;
   std::unordered_map<ChannelId, std::shared_ptr<EventChannel>> by_id_;
   std::unordered_map<std::string, std::shared_ptr<EventChannel>> by_name_;
 };

@@ -61,4 +61,49 @@ bool print_check(const std::string& what, bool ok, const std::string& detail) {
   return ok;
 }
 
+double snapshot_value(const obs::Snapshot& snap, std::string_view name,
+                      double def) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return static_cast<double>(v);
+  }
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  if (const auto* h = snap.histogram(name)) {
+    return static_cast<double>(h->count);
+  }
+  return def;
+}
+
+namespace {
+
+bool matches_any(std::string_view name,
+                 const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (name.substr(0, p.size()) == p) return true;
+  }
+  return prefixes.empty();
+}
+
+}  // namespace
+
+void print_snapshot_block(const std::string& title, const obs::Snapshot& snap,
+                          const std::vector<std::string>& prefixes) {
+  std::printf("--- registry: %s ---\n", title.c_str());
+  for (const auto& [name, v] : snap.counters) {
+    if (matches_any(name, prefixes)) std::printf("  %s = %llu\n", name.c_str(),
+                                                 static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (matches_any(name, prefixes)) std::printf("  %s = %.0f\n", name.c_str(), v);
+  }
+  for (const auto& h : snap.histograms) {
+    if (matches_any(h.name, prefixes)) {
+      std::printf("  %s: count=%llu mean=%.0f\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
+    }
+  }
+}
+
 }  // namespace admire::metrics

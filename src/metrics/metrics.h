@@ -9,6 +9,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/registry.h"
 
 namespace admire::metrics {
 
@@ -58,5 +59,18 @@ void print_figure(const std::string& figure_id, const std::string& title,
 /// Print a PASS/FAIL line for a paper-expected qualitative property.
 /// Returns `ok` so benches can accumulate an exit code.
 bool print_check(const std::string& what, bool ok, const std::string& detail);
+
+/// Read one metric from a registry snapshot by name, regardless of kind:
+/// counters and gauges (incl. sampled probes) return their value,
+/// histograms their sample count; `def` when the name is absent.
+double snapshot_value(const obs::Snapshot& snap, std::string_view name,
+                      double def = 0.0);
+
+/// Print every instrument whose name starts with one of `prefixes`, in the
+/// plain-text block style the figure benches use (histograms print count
+/// and mean). Benches call this so EXPERIMENTS.md records the registry
+/// view alongside the figure series.
+void print_snapshot_block(const std::string& title, const obs::Snapshot& snap,
+                          const std::vector<std::string>& prefixes);
 
 }  // namespace admire::metrics

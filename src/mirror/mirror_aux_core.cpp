@@ -2,17 +2,27 @@
 
 namespace admire::mirror {
 
-void MirrorAuxCore::on_mirrored(event::Event ev) {
+void MirrorAuxCore::on_mirrored(event::Event ev, Nanos now) {
   {
     std::lock_guard lock(mu_);
     ++received_;
   }
   backup_.push(ev);
-  ready_.push(std::move(ev));
+  ready_.push(std::move(ev), now);
 }
 
-std::optional<event::Event> MirrorAuxCore::next_for_main() {
-  return ready_.try_pop();
+std::optional<event::Event> MirrorAuxCore::next_for_main(Nanos now) {
+  return ready_.try_pop(now);
+}
+
+void MirrorAuxCore::instrument(obs::Registry& registry,
+                               const std::string& site) {
+  ready_.instrument(registry, "queue." + site + ".ready");
+  backup_.instrument(registry, "queue." + site + ".backup");
+  probes_.add(registry, "mirror." + site + ".received_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(received_);
+  });
 }
 
 checkpoint::ControlMessage MirrorAuxCore::relay_chkpt(

@@ -11,6 +11,7 @@
 #include "checkpoint/participant.h"
 #include "common/types.h"
 #include "event/event.h"
+#include "obs/registry.h"
 #include "queueing/backup_queue.h"
 #include "queueing/ready_queue.h"
 
@@ -23,12 +24,17 @@ class MirrorAuxCore {
   SiteId site() const { return site_; }
 
   /// A mirrored data event arrived on the data channel: enqueue it for the
-  /// local main unit and retain a backup copy.
-  void on_mirrored(event::Event ev);
+  /// local main unit and retain a backup copy. `now` (0 = unknown) stamps
+  /// the ready-queue entry for the wait-time histogram.
+  void on_mirrored(event::Event ev, Nanos now = 0);
 
   /// Next event to forward to the local main unit (the mirror aux's
   /// sending step); nullopt when none pending.
-  std::optional<event::Event> next_for_main();
+  std::optional<event::Event> next_for_main(Nanos now = 0);
+
+  /// Register `queue.<site label>.{ready,backup}.*` plus
+  /// `mirror.<site label>.received_total` with `registry`.
+  void instrument(obs::Registry& registry, const std::string& site);
 
   /// Fig. 3: "CHKPT: forward to main unit" — pure relay; returned message
   /// is what the driver must deliver to the main unit (identity, kept as a
@@ -62,6 +68,7 @@ class MirrorAuxCore {
   queueing::BackupQueue backup_;
   checkpoint::Participant participant_;
   std::uint64_t received_ = 0;
+  obs::ProbeGroup probes_;
 };
 
 }  // namespace admire::mirror

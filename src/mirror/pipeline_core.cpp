@@ -14,6 +14,13 @@ PipelineCore::PipelineCore(rules::MirroringParams params,
 
 PipelineCore::ReceiveOutcome PipelineCore::on_incoming(event::Event ev,
                                                        Nanos now) {
+  obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+  const bool traced = tracer != nullptr && event::is_data_event(ev.type()) &&
+                      tracer->sampled(ev.seq());
+  const std::uint64_t tkey =
+      traced ? obs::Tracer::key_of(ev.stream(), ev.seq()) : 0;
+  if (traced) tracer->record(tkey, obs::Stage::kIngest, now);
+
   std::lock_guard lock(mu_);
   ++counters_.received;
 
@@ -37,16 +44,22 @@ PipelineCore::ReceiveOutcome PipelineCore::on_incoming(event::Event ev,
   }
 
   const rules::ReceiveDecision decision = engine_.on_receive(ev, table_);
+  if (traced) tracer->record(tkey, obs::Stage::kRules, now);
   ReceiveOutcome outcome{decision.action, false, false, checkpoint_due,
                          std::nullopt};
   if (event::is_data_event(ev.type())) outcome.forward = ev;
   if (decision.action == rules::ReceiveAction::kAccept) {
-    ready_.push(std::move(ev));
+    ready_.push(std::move(ev), now);
     outcome.enqueued = true;
     ++counters_.enqueued;
+    if (traced) tracer->record(tkey, obs::Stage::kReadyQueue, now);
+  } else if (traced) {
+    // Discarded/absorbed events never reach the ready queue: close the
+    // span now instead of letting it linger until eviction.
+    tracer->finish(tkey);
   }
   if (decision.combined.has_value()) {
-    ready_.push(std::move(*decision.combined));
+    ready_.push(std::move(*decision.combined), now);
     outcome.combined_enqueued = true;
     ++counters_.enqueued;
   }
@@ -60,21 +73,29 @@ void PipelineCore::account_send(const event::Event& ev, SendStep& step) {
   counters_.bytes_sent += ev.wire_size();
 }
 
-std::optional<PipelineCore::SendStep> PipelineCore::try_send_step() {
-  auto ev = ready_.try_pop();
+std::optional<PipelineCore::SendStep> PipelineCore::try_send_step(Nanos now) {
+  auto ev = ready_.try_pop(now);
   if (!ev) return std::nullopt;
   std::lock_guard lock(mu_);
   SendStep step;
   step.offered_bytes = ev->wire_size();
   step.to_send = coalescer_.offer(std::move(*ev));
   for (const auto& out : step.to_send) account_send(out, step);
+  if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
+    for (const auto& out : step.to_send) {
+      if (event::is_data_event(out.type()) && tracer->sampled(out.seq())) {
+        tracer->record(obs::Tracer::key_of(out.stream(), out.seq()),
+                       obs::Stage::kMirrorSend, now);
+      }
+    }
+  }
   return step;
 }
 
-PipelineCore::SendStep PipelineCore::flush() {
+PipelineCore::SendStep PipelineCore::flush(Nanos now) {
   SendStep step;
   // Drain whatever is still on the ready queue, then the coalescer.
-  while (auto ev = ready_.try_pop()) {
+  while (auto ev = ready_.try_pop(now)) {
     std::lock_guard lock(mu_);
     for (auto& out : coalescer_.offer(std::move(*ev))) {
       account_send(out, step);
@@ -126,6 +147,37 @@ PipelineCounters PipelineCore::counters() const {
 event::VectorTimestamp PipelineCore::stamp() const {
   std::lock_guard lock(mu_);
   return vts_;
+}
+
+void PipelineCore::instrument(obs::Registry& registry,
+                              const std::string& site) {
+  ready_.instrument(registry, "queue." + site + ".ready");
+  backup_.instrument(registry, "queue." + site + ".backup");
+  const std::string prefix = "pipeline." + site;
+  {
+    std::lock_guard lock(mu_);
+    engine_.instrument(registry, "rules." + site);
+  }
+  probes_.add(registry, prefix + ".received_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(counters_.received);
+  });
+  probes_.add(registry, prefix + ".enqueued_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(counters_.enqueued);
+  });
+  probes_.add(registry, prefix + ".sent_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(counters_.sent);
+  });
+  probes_.add(registry, prefix + ".bytes_sent_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(counters_.bytes_sent);
+  });
+  probes_.add(registry, prefix + ".checkpoints_due_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(counters_.checkpoints_due);
+  });
 }
 
 std::uint32_t PipelineCore::checkpoint_every() const {

@@ -15,6 +15,8 @@
 #include "common/types.h"
 #include "event/event.h"
 #include "event/vector_timestamp.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "queueing/backup_queue.h"
 #include "queueing/ready_queue.h"
 #include "queueing/status_table.h"
@@ -69,12 +71,13 @@ class PipelineCore {
     /// input for the extraction/combine work of §3.3.
     std::size_t offered_bytes = 0;
   };
-  /// nullopt when the ready queue is empty.
-  std::optional<SendStep> try_send_step();
+  /// nullopt when the ready queue is empty. `now` (0 = unknown) feeds the
+  /// ready-queue wait histogram and the event tracer.
+  std::optional<SendStep> try_send_step(Nanos now = 0);
 
   /// Flush coalescing buffers (quiesce / end of stream). The returned
   /// events have been backed up and counted like normal sends.
-  SendStep flush();
+  SendStep flush(Nanos now = 0);
 
   // --- Adaptation --------------------------------------------------------
   /// Install a new mirroring function (set_mirror()/adaptation path).
@@ -101,6 +104,24 @@ class PipelineCore {
 
   std::uint32_t checkpoint_every() const;
 
+  // --- Observability ------------------------------------------------------
+  /// Register this pipeline's metrics with `registry` under the given site
+  /// label: `queue.<site>.{ready,backup}.*`, `rules.<site>.*` and
+  /// `pipeline.<site>.{received,enqueued,sent,bytes_sent,checkpoints_due}`
+  /// probes. Call before traffic starts; the probes read counters under the
+  /// pipeline mutex so snapshots see consistent values.
+  void instrument(obs::Registry& registry, const std::string& site);
+
+  /// Attach an event-path tracer; sampled data events get kIngest/kRules/
+  /// kReadyQueue spans in on_incoming and kMirrorSend in try_send_step.
+  /// Pass nullptr to detach. The tracer must outlive traffic.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
  private:
   void account_send(const event::Event& ev, SendStep& step);
 
@@ -114,6 +135,8 @@ class PipelineCore {
   PipelineCounters counters_;
   std::uint32_t received_since_checkpoint_ = 0;
   std::atomic<std::uint32_t> checkpoint_every_{50};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  obs::ProbeGroup probes_;
 };
 
 }  // namespace admire::mirror

@@ -1,0 +1,115 @@
+#include "obs/exporter.h"
+
+#include <csignal>
+
+namespace admire::obs {
+
+namespace {
+
+// SIGUSR1 plumbing: the handler may only touch lock-free state, so it sets
+// a flag that the exporter thread polls each tick.
+std::atomic<bool> g_sigusr1_pending{false};
+std::atomic<SnapshotExporter*> g_sigusr1_owner{nullptr};
+
+void on_sigusr1(int) { g_sigusr1_pending.store(true); }
+
+}  // namespace
+
+SnapshotExporter::SnapshotExporter(Registry& registry, ExporterOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+SnapshotExporter::~SnapshotExporter() { stop(); }
+
+Status SnapshotExporter::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return Status::ok();
+  if (!options_.path.empty()) {
+    std::lock_guard lock(file_mu_);
+    file_ = std::fopen(options_.path.c_str(), "a");
+    if (file_ == nullptr) {
+      running_.store(false);
+      return err(StatusCode::kUnavailable,
+                 "cannot open metrics file: " + options_.path);
+    }
+  }
+  if (options_.handle_sigusr1) {
+    g_sigusr1_owner.store(this);
+    std::signal(SIGUSR1, &on_sigusr1);
+  }
+  {
+    std::lock_guard lock(wake_mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+  return Status::ok();
+}
+
+void SnapshotExporter::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (options_.handle_sigusr1 && g_sigusr1_owner.load() == this) {
+    std::signal(SIGUSR1, SIG_DFL);
+    g_sigusr1_owner.store(nullptr);
+  }
+  (void)export_now();  // final snapshot so short runs always leave one line
+  std::lock_guard lock(file_mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status SnapshotExporter::export_now() {
+  std::lock_guard lock(file_mu_);
+  return write_line_locked();
+}
+
+Status SnapshotExporter::write_line_locked() {
+  bool opened_here = false;
+  if (file_ == nullptr) {
+    if (options_.path.empty()) return Status::ok();  // nothing to write to
+    file_ = std::fopen(options_.path.c_str(), "a");
+    if (file_ == nullptr) {
+      return err(StatusCode::kUnavailable,
+                 "cannot open metrics file: " + options_.path);
+    }
+    opened_here = true;
+  }
+  const std::string line = registry_.snapshot().to_json_line();
+  std::fprintf(file_, "%s\n", line.c_str());
+  std::fflush(file_);
+  exports_.fetch_add(1, std::memory_order_relaxed);
+  if (opened_here) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return Status::ok();
+}
+
+void SnapshotExporter::dump_human(std::FILE* out) const {
+  const std::string dump = registry_.snapshot().to_human();
+  std::fputs(dump.c_str(), out);
+  std::fflush(out);
+}
+
+void SnapshotExporter::run() {
+  while (true) {
+    {
+      std::unique_lock lock(wake_mu_);
+      wake_cv_.wait_for(lock, options_.interval, [&] { return stopping_; });
+      if (stopping_) return;
+    }
+    if (g_sigusr1_pending.exchange(false) &&
+        g_sigusr1_owner.load() == this) {
+      dump_human();
+    }
+    (void)export_now();
+  }
+}
+
+}  // namespace admire::obs

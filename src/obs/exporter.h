@@ -1,0 +1,73 @@
+// Periodic metrics snapshot exporter: a background thread appends one
+// JSON-lines snapshot of a Registry to a file every interval, and dumps a
+// human-readable snapshot to stderr on SIGUSR1 or an explicit API call.
+// Signal handling is async-safe: the handler only sets a flag; the export
+// thread notices it on its next tick (<= one interval of latency).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace admire::obs {
+
+struct ExporterOptions {
+  /// JSON-lines output path; empty = no file (human dumps still work).
+  std::string path;
+  std::chrono::milliseconds interval{1000};
+  /// Install a SIGUSR1 handler while running (process-global; last
+  /// installed exporter wins, restored on stop()).
+  bool handle_sigusr1 = false;
+};
+
+class SnapshotExporter {
+ public:
+  SnapshotExporter(Registry& registry, ExporterOptions options);
+  ~SnapshotExporter();
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Open the output file and start the periodic thread. kUnavailable if
+  /// the file cannot be opened.
+  Status start();
+  /// Final snapshot, join, close. Idempotent.
+  void stop();
+
+  /// Append one snapshot line right now (also usable without start()).
+  Status export_now();
+
+  /// Write the human-readable dump to `out` (default stderr).
+  void dump_human(std::FILE* out = stderr) const;
+
+  std::uint64_t exports_written() const {
+    return exports_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  Status write_line_locked();
+
+  Registry& registry_;
+  const ExporterOptions options_;
+
+  std::mutex file_mu_;
+  std::FILE* file_ = nullptr;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> exports_{0};
+};
+
+}  // namespace admire::obs

@@ -1,0 +1,249 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace admire::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  // 1us .. 10s, roughly x10 per decade with a 1-2-5 split in the middle.
+  return {1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6,
+          1e7, 2.5e7, 5e7, 1e8, 5e8, 1e9, 1e10};
+}
+
+std::vector<double> Histogram::size_bounds() {
+  return {0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000};
+}
+
+std::uint64_t Snapshot::counter_or(std::string_view name,
+                                   std::uint64_t def) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return def;
+}
+
+double Snapshot::gauge_or(std::string_view name, double def) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return def;
+}
+
+const Snapshot::Hist* Snapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trim to %g for readability of exact values.
+  std::snprintf(buf, sizeof buf, "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json_line() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"ts_ns\":";
+  out += std::to_string(taken_at);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":";
+    append_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_json_escaped(out, h.name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out.push_back(',');
+      append_number(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out.push_back(',');
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_number(out, h.sum);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_human() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "--- metrics snapshot @ %.3fs ---\n",
+                to_seconds(taken_at));
+  out += buf;
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof buf, "  counter %-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof buf, "  gauge   %-44s %g\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof buf,
+                  "  histo   %-44s count=%llu mean=%g\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  h.count ? h.sum / static_cast<double>(h.count) : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Registry::register_probe(std::string name,
+                                       std::function<double()> fn) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_probe_id_++;
+  probes_[id] = Probe{std::move(name), std::move(fn)};
+  return id;
+}
+
+void Registry::unregister_probe(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  probes_.erase(id);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.taken_at = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  std::lock_guard lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size() + probes_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [id, probe] : probes_) {
+    snap.gauges.emplace_back(probe.name, probe.fn ? probe.fn() : 0.0);
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist out;
+    out.name = name;
+    out.bounds = h->bounds();
+    out.buckets = h->bucket_counts();
+    out.count = h->count();
+    out.sum = h->sum();
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;
+}
+
+std::size_t Registry::num_instruments() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         probes_.size();
+}
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // intentionally leaked, see header
+  return *g;
+}
+
+void ProbeGroup::add(Registry& reg, std::string name,
+                     std::function<double()> fn) {
+  reg_ = &reg;
+  ids_.push_back(reg.register_probe(std::move(name), std::move(fn)));
+}
+
+void ProbeGroup::clear() {
+  if (reg_ == nullptr) return;
+  for (const std::uint64_t id : ids_) reg_->unregister_probe(id);
+  ids_.clear();
+}
+
+}  // namespace admire::obs

@@ -1,0 +1,203 @@
+// Runtime metrics registry: named counters, gauges and fixed-bucket
+// histograms with cheap (relaxed-atomic) hot-path updates, plus pull-style
+// "probe" gauges sampled only when a snapshot is taken. The running system
+// registers its queue depths, rule savings, checkpoint cadence and
+// transport throughput here, so operability is a first-class subsystem
+// rather than bench-binary-only instrumentation (see OBSERVABILITY.md for
+// the full metric vocabulary).
+//
+// Ownership model: instruments returned by counter()/gauge()/histogram()
+// are owned by the registry and live as long as it does, so components may
+// cache the references and update them lock-free. Probes reference
+// component state and must be unregistered before that state dies — use
+// ProbeGroup for RAII unregistration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace admire::obs {
+
+/// Monotonically increasing event count. inc() is one relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (queue depth, high-water mark, configuration knob).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  void add(double d) {
+    // Single-writer add is the common case; CAS keeps concurrent adders safe.
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, pack(unpack(cur) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  /// Raise to `v` if below (high-water tracking).
+  void set_max(double v) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (unpack(cur) < v && !bits_.compare_exchange_weak(
+                                  cur, pack(v), std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static std::uint64_t pack(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    return bits;
+  }
+  static double unpack(std::uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram with inclusive upper bounds (a sample lands in
+/// the first bucket whose bound is >= the value; larger samples go to the
+/// implicit +inf overflow bucket). observe() is a linear scan over a small
+/// bound array plus three relaxed atomic adds — no locks on the hot path.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Sum kept in integer nanoscale ticks to stay atomic without a lock;
+    // callers observe values where 1.0 maps to one tick.
+    sum_ticks_.fetch_add(static_cast<std::int64_t>(v),
+                         std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_ticks_.load(std::memory_order_relaxed));
+  }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Per-bucket counts including the +inf overflow bucket (size = bounds+1).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Default bucket bounds for nanosecond latencies: 1us .. 10s, log scale.
+  static std::vector<double> latency_bounds();
+  /// Default bucket bounds for small cardinalities (queue trims, batches).
+  static std::vector<double> size_bounds();
+
+ private:
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_ticks_{0};
+};
+
+/// Point-in-time copy of everything in a registry, safe to format/export
+/// after the fact. Probes are sampled at snapshot time into `gauges`.
+struct Snapshot {
+  Nanos taken_at = 0;  ///< steady-clock ns at capture (0 in unit tests)
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size()+1 (last = +inf)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<Hist> histograms;
+
+  /// Lookup helpers (0 / nullptr when absent) for tests and bench readers.
+  std::uint64_t counter_or(std::string_view name, std::uint64_t def = 0) const;
+  double gauge_or(std::string_view name, double def = 0.0) const;
+  const Hist* histogram(std::string_view name) const;
+
+  /// One JSON object on one line (JSON-lines exporter format).
+  std::string to_json_line() const;
+  /// Multi-line human-readable dump (SIGUSR1 / debugging).
+  std::string to_human() const;
+};
+
+class Registry {
+ public:
+  /// Find-or-create by name. The returned reference is stable for the
+  /// registry's lifetime; creating is mutex-guarded, updating is lock-free.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be sorted ascending; ignored when the histogram already
+  /// exists (first registration wins).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Pull-style gauge: `fn` is invoked at snapshot time only, so hot paths
+  /// that already maintain a size/counter pay nothing extra. Returns an id
+  /// for unregister_probe(); prefer ProbeGroup over manual management.
+  std::uint64_t register_probe(std::string name, std::function<double()> fn);
+  void unregister_probe(std::uint64_t id);
+
+  Snapshot snapshot() const;
+
+  std::size_t num_instruments() const;
+
+  /// Process-wide default registry (used when a component is not handed an
+  /// explicit one). Never destroyed, so cached instrument references from
+  /// any thread stay valid at exit.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  struct Probe {
+    std::string name;
+    std::function<double()> fn;
+  };
+  std::uint64_t next_probe_id_ = 1;
+  std::map<std::uint64_t, Probe> probes_;
+};
+
+/// RAII batch of probes: add() registers against one registry, destruction
+/// unregisters everything — components embed one of these so their probes
+/// can never outlive the state they read.
+class ProbeGroup {
+ public:
+  ProbeGroup() = default;
+  ~ProbeGroup() { clear(); }
+  ProbeGroup(const ProbeGroup&) = delete;
+  ProbeGroup& operator=(const ProbeGroup&) = delete;
+
+  void add(Registry& reg, std::string name, std::function<double()> fn);
+  void clear();
+  bool empty() const { return ids_.empty(); }
+
+ private:
+  Registry* reg_ = nullptr;
+  std::vector<std::uint64_t> ids_;
+};
+
+}  // namespace admire::obs

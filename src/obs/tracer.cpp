@@ -1,0 +1,108 @@
+#include "obs/tracer.h"
+
+namespace admire::obs {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kIngest:
+      return "ingest";
+    case Stage::kRules:
+      return "rules";
+    case Stage::kReadyQueue:
+      return "ready_queue";
+    case Stage::kMirrorSend:
+      return "mirror_send";
+    case Stage::kForward:
+      return "forward";
+    case Stage::kApply:
+      return "apply";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::uint32_t sample_every, std::size_t capacity,
+               Registry* registry)
+    : sample_every_(sample_every == 0 ? 1 : sample_every),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  if (registry != nullptr) {
+    ingest_to_ready_ = &registry->histogram("trace.ingest_to_ready_ns",
+                                            Histogram::latency_bounds());
+    ready_to_send_ = &registry->histogram("trace.ready_to_send_ns",
+                                          Histogram::latency_bounds());
+    ingest_to_apply_ = &registry->histogram("trace.ingest_to_apply_ns",
+                                            Histogram::latency_bounds());
+  }
+}
+
+void Tracer::record(std::uint64_t key, Stage stage, Nanos at) {
+  std::lock_guard lock(mu_);
+  auto it = active_.find(key);
+  if (it == active_.end()) {
+    if (stage != Stage::kIngest) return;  // late stage for an evicted span
+    // Bound the active table: evict the arbitrary first span if a source
+    // never completes (e.g. events dropped mid-pipeline at shutdown).
+    if (active_.size() >= capacity_) complete_locked(active_.begin()->first);
+    it = active_.emplace(key, Span{key, {}}).first;
+    ++started_;
+  }
+  it->second.at[static_cast<std::size_t>(stage)] = at;
+  if (stage == Stage::kApply) complete_locked(key);
+}
+
+void Tracer::finish(std::uint64_t key) {
+  std::lock_guard lock(mu_);
+  complete_locked(key);
+}
+
+void Tracer::flush() {
+  std::lock_guard lock(mu_);
+  while (!active_.empty()) complete_locked(active_.begin()->first);
+}
+
+void Tracer::complete_locked(std::uint64_t key) {
+  auto it = active_.find(key);
+  if (it == active_.end()) return;
+  observe_latencies(it->second);
+  ring_.push_back(it->second);
+  if (ring_.size() > capacity_) ring_.pop_front();
+  active_.erase(it);
+  ++completed_count_;
+}
+
+void Tracer::observe_latencies(const Span& span) {
+  const auto at = [&](Stage s) {
+    return span.at[static_cast<std::size_t>(s)];
+  };
+  if (ingest_to_ready_ != nullptr && at(Stage::kIngest) > 0 &&
+      at(Stage::kReadyQueue) >= at(Stage::kIngest)) {
+    ingest_to_ready_->observe(
+        static_cast<double>(at(Stage::kReadyQueue) - at(Stage::kIngest)));
+  }
+  if (ready_to_send_ != nullptr && at(Stage::kReadyQueue) > 0 &&
+      at(Stage::kMirrorSend) >= at(Stage::kReadyQueue)) {
+    ready_to_send_->observe(
+        static_cast<double>(at(Stage::kMirrorSend) - at(Stage::kReadyQueue)));
+  }
+  if (ingest_to_apply_ != nullptr && at(Stage::kIngest) > 0 &&
+      at(Stage::kApply) >= at(Stage::kIngest)) {
+    ingest_to_apply_->observe(
+        static_cast<double>(at(Stage::kApply) - at(Stage::kIngest)));
+  }
+}
+
+std::uint64_t Tracer::spans_started() const {
+  std::lock_guard lock(mu_);
+  return started_;
+}
+
+std::uint64_t Tracer::spans_completed() const {
+  std::lock_guard lock(mu_);
+  return completed_count_;
+}
+
+std::vector<Tracer::Span> Tracer::completed() const {
+  std::lock_guard lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+}  // namespace admire::obs

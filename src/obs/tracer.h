@@ -1,0 +1,96 @@
+// Event-path tracer: per-event span timestamps across the pipeline stages
+// of §3.2.1 — ingest -> rule engine -> ready queue -> mirror()/fwd() ->
+// apply — sampled 1-in-N so tracing is affordable on the hot path. The
+// untraced (N-1)/N of events pay exactly one branch; sampled events pay a
+// short mutex-guarded map update (sampling keeps contention negligible).
+//
+// Completed spans land in a bounded ring readable by tests/exporters, and
+// stage-to-stage latencies feed registry histograms named
+// "trace.<from>_to_<to>_ns" so the periodic JSON snapshot carries the
+// pipeline's timing shape without any extra machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/registry.h"
+
+namespace admire::obs {
+
+/// Pipeline stages a traced event passes through, in order.
+enum class Stage : std::uint8_t {
+  kIngest = 0,      ///< entered the receiving task (timestamping)
+  kRules = 1,       ///< rule-engine decision made
+  kReadyQueue = 2,  ///< placed on the ready queue (accepted events only)
+  kMirrorSend = 3,  ///< emitted by the sending task toward mirrors
+  kForward = 4,     ///< fwd()'d to the local main unit
+  kApply = 5,       ///< folded into operational state by the EDE
+};
+inline constexpr std::size_t kNumStages = 6;
+
+const char* stage_name(Stage s);
+
+class Tracer {
+ public:
+  /// One completed (or evicted) span: stage timestamps in ns; 0 = stage not
+  /// reached (e.g. a rule-discarded event never touches the ready queue).
+  struct Span {
+    std::uint64_t key = 0;
+    std::array<Nanos, kNumStages> at{};
+  };
+
+  /// Trace one event in every `sample_every` (per stream, by sequence
+  /// number); retain up to `capacity` completed spans.
+  explicit Tracer(std::uint32_t sample_every = 64, std::size_t capacity = 256,
+                  Registry* registry = nullptr);
+
+  /// Stable key for an event position (stream, seq).
+  static std::uint64_t key_of(StreamId stream, SeqNo seq) {
+    return (static_cast<std::uint64_t>(stream) << 48) |
+           (seq & 0xFFFF'FFFF'FFFFull);
+  }
+
+  /// Hot-path gate: true for the 1-in-N events this tracer follows.
+  bool sampled(SeqNo seq) const { return seq % sample_every_ == 0; }
+
+  /// Record `stage` happening at time `at` for the event `key`. Callers
+  /// should gate on sampled() first; record() re-checks nothing and accepts
+  /// any key. kApply completes the span (moves it to the ring).
+  void record(std::uint64_t key, Stage stage, Nanos at);
+
+  /// Mark a span finished early (event discarded by rules / end of path).
+  void finish(std::uint64_t key);
+
+  /// Move every still-active span to the completed ring (quiesce).
+  void flush();
+
+  std::uint32_t sample_every() const { return sample_every_; }
+  std::uint64_t spans_started() const;
+  std::uint64_t spans_completed() const;
+  std::vector<Span> completed() const;
+
+ private:
+  void complete_locked(std::uint64_t key);
+  void observe_latencies(const Span& span);
+
+  const std::uint32_t sample_every_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Span> active_;
+  std::deque<Span> ring_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_count_ = 0;
+
+  // Optional registry sinks (null = ring only).
+  Histogram* ingest_to_ready_ = nullptr;
+  Histogram* ready_to_send_ = nullptr;
+  Histogram* ingest_to_apply_ = nullptr;
+};
+
+}  // namespace admire::obs

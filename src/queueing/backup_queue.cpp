@@ -36,6 +36,10 @@ std::size_t BackupQueue::trim_committed(
     items_.pop_front();
     ++trimmed;
   }
+  trimmed_total_ += trimmed;
+  if (trim_events_ != nullptr) {
+    trim_events_->observe(static_cast<double>(trimmed));
+  }
   return trimmed;
 }
 
@@ -47,6 +51,23 @@ std::size_t BackupQueue::size() const {
 std::size_t BackupQueue::high_water() const {
   std::lock_guard lock(mu_);
   return high_water_;
+}
+
+void BackupQueue::instrument(obs::Registry& registry,
+                             const std::string& prefix) {
+  probes_.clear();
+  probes_.add(registry, prefix + ".depth",
+              [this] { return static_cast<double>(size()); });
+  probes_.add(registry, prefix + ".high_water",
+              [this] { return static_cast<double>(high_water()); });
+  probes_.add(registry, prefix + ".trimmed_total", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(trimmed_total_);
+  });
+  obs::Histogram& h =
+      registry.histogram(prefix + ".trim_events", obs::Histogram::size_bounds());
+  std::lock_guard lock(mu_);
+  trim_events_ = &h;
 }
 
 std::vector<event::Event> BackupQueue::entries_after(

@@ -11,6 +11,7 @@
 
 #include "event/event.h"
 #include "event/vector_timestamp.h"
+#include "obs/registry.h"
 
 namespace admire::queueing {
 
@@ -46,10 +47,19 @@ class BackupQueue {
   std::vector<event::Event> entries_after(
       const event::VectorTimestamp& from) const;
 
+  /// Register `<prefix>.depth`, `.high_water` (probes), `.trimmed_total`
+  /// (probe) and `<prefix>.trim_events` (histogram of per-commit trim
+  /// sizes, the checkpoint protocol's reclaim cadence).
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
  private:
   mutable std::mutex mu_;
   std::deque<event::Event> items_;
   std::size_t high_water_ = 0;
+  std::uint64_t trimmed_total_ = 0;
+
+  obs::ProbeGroup probes_;
+  obs::Histogram* trim_events_ = nullptr;  // owned by the registry
 };
 
 }  // namespace admire::queueing

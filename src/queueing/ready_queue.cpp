@@ -2,28 +2,35 @@
 
 namespace admire::queueing {
 
-void ReadyQueue::push(event::Event ev) {
+void ReadyQueue::push(event::Event ev, Nanos now) {
   std::lock_guard lock(mu_);
-  items_.push_back(std::move(ev));
+  items_.push_back(Entry{std::move(ev), now});
   ++pushed_;
   high_water_ = std::max(high_water_, items_.size());
 }
 
-std::optional<event::Event> ReadyQueue::try_pop() {
+std::optional<event::Event> ReadyQueue::try_pop(Nanos now) {
   std::lock_guard lock(mu_);
   if (items_.empty()) return std::nullopt;
-  event::Event out = std::move(items_.front());
+  Entry out = std::move(items_.front());
   items_.pop_front();
-  return out;
+  if (wait_ns_ != nullptr && now > 0 && out.enqueued_at > 0) {
+    wait_ns_->observe(static_cast<double>(now - out.enqueued_at));
+  }
+  return std::move(out.ev);
 }
 
-std::vector<event::Event> ReadyQueue::pop_batch(std::size_t max) {
+std::vector<event::Event> ReadyQueue::pop_batch(std::size_t max, Nanos now) {
   std::lock_guard lock(mu_);
   std::vector<event::Event> out;
   const std::size_t n = std::min(max, items_.size());
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(std::move(items_.front()));
+    Entry& front = items_.front();
+    if (wait_ns_ != nullptr && now > 0 && front.enqueued_at > 0) {
+      wait_ns_->observe(static_cast<double>(now - front.enqueued_at));
+    }
+    out.push_back(std::move(front.ev));
     items_.pop_front();
   }
   return out;
@@ -42,6 +49,21 @@ std::size_t ReadyQueue::high_water() const {
 std::uint64_t ReadyQueue::pushed_count() const {
   std::lock_guard lock(mu_);
   return pushed_;
+}
+
+void ReadyQueue::instrument(obs::Registry& registry,
+                            const std::string& prefix) {
+  probes_.clear();
+  probes_.add(registry, prefix + ".depth",
+              [this] { return static_cast<double>(size()); });
+  probes_.add(registry, prefix + ".high_water",
+              [this] { return static_cast<double>(high_water()); });
+  probes_.add(registry, prefix + ".pushed_total",
+              [this] { return static_cast<double>(pushed_count()); });
+  obs::Histogram& h =
+      registry.histogram(prefix + ".wait_ns", obs::Histogram::latency_bounds());
+  std::lock_guard lock(mu_);
+  wait_ns_ = &h;
 }
 
 }  // namespace admire::queueing

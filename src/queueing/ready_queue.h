@@ -1,6 +1,7 @@
 // ReadyQueue: FIFO of events accepted by the receiving task and awaiting
 // the sending task (paper §3.1). Thread-safe; its length is one of the
-// monitored variables driving adaptation (§3.2.2).
+// monitored variables driving adaptation (§3.2.2) and, once instrumented,
+// one of the runtime observability metrics (OBSERVABILITY.md).
 #pragma once
 
 #include <deque>
@@ -8,18 +9,22 @@
 #include <optional>
 
 #include "event/event.h"
+#include "obs/registry.h"
 
 namespace admire::queueing {
 
 class ReadyQueue {
  public:
-  void push(event::Event ev);
+  /// `now` (when nonzero and the queue is instrumented) stamps the entry so
+  /// pop can report queue wait time; callers without a clock pass nothing.
+  void push(event::Event ev, Nanos now = 0);
 
-  /// Pop the oldest event; nullopt when empty.
-  std::optional<event::Event> try_pop();
+  /// Pop the oldest event; nullopt when empty. `now` feeds the wait-time
+  /// histogram when instrumented.
+  std::optional<event::Event> try_pop(Nanos now = 0);
 
   /// Pop up to `max` events at once (batch used by the coalescing sender).
-  std::vector<event::Event> pop_batch(std::size_t max);
+  std::vector<event::Event> pop_batch(std::size_t max, Nanos now = 0);
 
   std::size_t size() const;
   bool empty() const { return size() == 0; }
@@ -30,11 +35,24 @@ class ReadyQueue {
   /// Total events ever pushed.
   std::uint64_t pushed_count() const;
 
+  /// Register this queue's metrics under `<prefix>.depth`, `.high_water`,
+  /// `.pushed_total` (probes) and `<prefix>.wait_ns` (histogram, fed when
+  /// push/pop receive timestamps). Probes unregister when the queue dies.
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
  private:
+  struct Entry {
+    event::Event ev;
+    Nanos enqueued_at;
+  };
+
   mutable std::mutex mu_;
-  std::deque<event::Event> items_;
+  std::deque<Entry> items_;
   std::size_t high_water_ = 0;
   std::uint64_t pushed_ = 0;
+
+  obs::ProbeGroup probes_;
+  obs::Histogram* wait_ns_ = nullptr;  // owned by the registry
 };
 
 }  // namespace admire::queueing

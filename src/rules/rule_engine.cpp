@@ -4,6 +4,48 @@ namespace admire::rules {
 
 ReceiveDecision RuleEngine::on_receive(const event::Event& ev,
                                        queueing::StatusTable& table) {
+  ReceiveDecision decision = decide(ev, table);
+  if (obs_.seen != nullptr) {
+    obs_.seen->inc();
+    switch (decision.action) {
+      case ReceiveAction::kAccept:
+        obs_.accepted->inc();
+        break;
+      case ReceiveAction::kDiscardOverwritten:
+        obs_.discarded_overwritten->inc();
+        break;
+      case ReceiveAction::kDiscardSuppressed:
+        obs_.discarded_suppressed->inc();
+        break;
+      case ReceiveAction::kDiscardFiltered:
+        obs_.discarded_filtered->inc();
+        break;
+      case ReceiveAction::kAbsorbIntoTuple:
+        obs_.absorbed_tuple->inc();
+        break;
+    }
+    if (decision.combined.has_value()) obs_.emitted_combined->inc();
+  }
+  return decision;
+}
+
+void RuleEngine::instrument(obs::Registry& registry,
+                            const std::string& prefix) {
+  obs_.seen = &registry.counter(prefix + ".seen_total");
+  obs_.accepted = &registry.counter(prefix + ".accepted_total");
+  obs_.discarded_overwritten =
+      &registry.counter(prefix + ".discarded_overwritten_total");
+  obs_.discarded_suppressed =
+      &registry.counter(prefix + ".discarded_suppressed_total");
+  obs_.discarded_filtered =
+      &registry.counter(prefix + ".discarded_filtered_total");
+  obs_.absorbed_tuple = &registry.counter(prefix + ".absorbed_tuple_total");
+  obs_.emitted_combined =
+      &registry.counter(prefix + ".emitted_combined_total");
+}
+
+ReceiveDecision RuleEngine::decide(const event::Event& ev,
+                                   queueing::StatusTable& table) {
   ReceiveDecision decision;
   const auto type = ev.type();
   const FlightKey key = ev.key();

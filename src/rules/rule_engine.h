@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "event/event.h"
+#include "obs/registry.h"
 #include "queueing/status_table.h"
 #include "rules/params.h"
 
@@ -59,12 +60,36 @@ class RuleEngine {
   ReceiveDecision on_receive(const event::Event& ev,
                              queueing::StatusTable& table);
 
+ private:
+  ReceiveDecision decide(const event::Event& ev, queueing::StatusTable& table);
+
+ public:
+
   const RuleCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = RuleCounters{}; }
 
+  /// Register runtime counters under `<prefix>.seen_total`,
+  /// `.accepted_total`, `.discarded_overwritten_total`,
+  /// `.discarded_suppressed_total`, `.discarded_filtered_total`,
+  /// `.absorbed_tuple_total`, `.emitted_combined_total` — one relaxed
+  /// atomic increment per decision on the hot path.
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
  private:
+  /// Registry sinks, all owned by the registry; null until instrumented.
+  struct ObsCounters {
+    obs::Counter* seen = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* discarded_overwritten = nullptr;
+    obs::Counter* discarded_suppressed = nullptr;
+    obs::Counter* discarded_filtered = nullptr;
+    obs::Counter* absorbed_tuple = nullptr;
+    obs::Counter* emitted_combined = nullptr;
+  };
+
   MirroringParams params_;
   RuleCounters counters_;
+  ObsCounters obs_;
 };
 
 }  // namespace admire::rules

@@ -45,6 +45,7 @@ struct SimCluster::MirrorSite {
   SimLink data_link;
   adapt::DirectiveApplier applier;
   std::uint64_t pending_requests = 0;
+  obs::Histogram* request_ns = nullptr;  // null = not instrumented
 };
 
 SimCluster::SimCluster(SimConfig config)
@@ -58,6 +59,31 @@ SimCluster::SimCluster(SimConfig config)
   for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
     mirrors_.push_back(
         std::make_unique<MirrorSite>(static_cast<SiteId>(i + 1), config_));
+  }
+
+  // Instrument with the SAME metric names the threaded runtime uses, so
+  // one OBSERVABILITY.md vocabulary covers both execution modes.
+  if (!config_.obs) config_.obs = std::make_shared<obs::Registry>();
+  obs::Registry& obs = *config_.obs;
+  central_->core.instrument(obs, "central");
+  central_->coordinator.instrument(obs, "checkpoint.coordinator");
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    const std::string label = "mirror" + std::to_string(i + 1);
+    mirrors_[i]->aux.instrument(obs, label);
+    mirrors_[i]->request_ns = &obs.histogram(
+        "cluster." + label + ".request_service_ns",
+        obs::Histogram::latency_bounds());
+    (void)obs.counter("cluster.lb.picks." + label);
+  }
+  chan_msgs_ = &obs.counter("transport.channel.central.data.msgs_total");
+  chan_bytes_ = &obs.counter("transport.channel.central.data.bytes_total");
+  central_request_ns_ = &obs.histogram("cluster.central.request_service_ns",
+                                       obs::Histogram::latency_bounds());
+  (void)obs.counter("cluster.lb.picks.central");
+  if (config_.trace_sample_every > 0) {
+    tracer_ = std::make_unique<obs::Tracer>(config_.trace_sample_every,
+                                            /*capacity=*/256, &obs);
+    central_->core.set_tracer(tracer_.get());
   }
 }
 
@@ -113,6 +139,8 @@ SimResult SimCluster::run(const workload::Trace& trace,
   for (const auto& m : mirrors_) {
     result.cpu_utilization.push_back(m->cpu.utilization(horizon));
   }
+  if (tracer_) tracer_->flush();
+  result.obs = config_.obs;
   return result;
 }
 
@@ -155,7 +183,7 @@ void SimCluster::do_recv(event::Event ev) {
 
 void SimCluster::schedule_send_step() {
   ++sends_scheduled_;
-  auto step = central_->core.try_send_step();
+  auto step = central_->core.try_send_step(engine_.now());
   if (!step.has_value()) {
     ++sends_completed_;
     check_done_flush();
@@ -198,8 +226,14 @@ void SimCluster::forward_to_main(const event::Event& ev) {
   const Nanos work = config_.costs.ede_cost(ev.wire_size());
   const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
   ++outstanding_central_ede_;
-  engine_.schedule_at(done, [this, ev] {
+  const bool traced = tracer_ != nullptr && event::is_data_event(ev.type()) &&
+                      tracer_->sampled(ev.seq());
+  const std::uint64_t tkey =
+      traced ? obs::Tracer::key_of(ev.stream(), ev.seq()) : 0;
+  if (traced) tracer_->record(tkey, obs::Stage::kForward, engine_.now());
+  engine_.schedule_at(done, [this, ev, traced, tkey] {
     --outstanding_central_ede_;
+    if (traced) tracer_->record(tkey, obs::Stage::kApply, engine_.now());
     const auto outputs = central_->main.process(ev);
     for (const auto& out : outputs) {
       const Nanos delay = engine_.now() - out.header().ingress_time;
@@ -212,6 +246,10 @@ void SimCluster::forward_to_main(const event::Event& ev) {
 
 void SimCluster::deliver_to_mirrors(const event::Event& ev) {
   const std::size_t bytes = ev.wire_size();
+  if (chan_msgs_ != nullptr) {
+    chan_msgs_->inc();
+    chan_bytes_->inc(bytes);
+  }
   for (std::size_t i = 0; i < mirrors_.size(); ++i) {
     const Nanos at = mirrors_[i]->data_link.delivery_time(engine_.now(), bytes);
     ++wire_events_mirrored_;
@@ -226,8 +264,8 @@ void SimCluster::mirror_recv(std::size_t idx, event::Event ev) {
       mirror_cpu_job(idx, config_.costs.mirror_recv_cost(bytes));
   engine_.schedule_at(recv_done, [this, idx, ev = std::move(ev)]() mutable {
     auto& s = *mirrors_[idx];
-    s.aux.on_mirrored(std::move(ev));
-    auto next = s.aux.next_for_main();
+    s.aux.on_mirrored(std::move(ev), engine_.now());
+    auto next = s.aux.next_for_main(engine_.now());
     if (!next.has_value()) {
       --outstanding_mirror_events_;
       return;
@@ -252,7 +290,7 @@ void SimCluster::check_done_flush() {
   if (arrivals_processed_ < arrivals_total_) return;
   if (sends_completed_ < sends_scheduled_) return;
   flushed_ = true;
-  auto step = central_->core.flush();
+  auto step = central_->core.flush(engine_.now());
   if (step.to_send.empty()) return;
   Nanos work = 0;
   for (const auto& out : step.to_send) {
@@ -271,7 +309,8 @@ void SimCluster::start_checkpoint() {
   Bytes piggyback = evaluate_adaptation();
   const auto last = central_->core.backup().last_vts();
   const ControlMessage chkpt = central_->coordinator.begin_round(
-      last.value_or(central_->core.stamp()), std::move(piggyback));
+      last.value_or(central_->core.stamp()), std::move(piggyback),
+      engine_.now());
   const Nanos done = central_->cpu.schedule_job(
       engine_.now(), config_.costs.chkpt_coordinator);
   engine_.schedule_at(done, [this, chkpt] {
@@ -327,7 +366,7 @@ void SimCluster::central_on_reply(ControlMessage reply) {
         ByteSpan(reply.piggyback.data(), reply.piggyback.size()));
     if (report.is_ok()) central_->controller->ingest(report.value());
   }
-  auto commit = central_->coordinator.on_reply(reply);
+  auto commit = central_->coordinator.on_reply(reply, engine_.now());
   if (commit.has_value()) broadcast_commit(*commit);
 }
 
@@ -454,6 +493,13 @@ std::size_t SimCluster::pick_site() {
 
 void SimCluster::on_request(Nanos at) {
   const std::size_t site_idx = pick_site();
+  if (config_.obs) {
+    config_.obs
+        ->counter("cluster.lb.picks." +
+                  (site_idx == 0 ? std::string("central")
+                                 : "mirror" + std::to_string(site_idx)))
+        .inc();
+  }
   mirror::MainUnitCore& main =
       site_idx == 0 ? central_->main : mirrors_[site_idx - 1]->main;
   CpuResource& cpu = site_idx == 0 ? central_->cpu : mirrors_[site_idx - 1]->cpu;
@@ -468,10 +514,16 @@ void SimCluster::on_request(Nanos at) {
   const Nanos work = config_.costs.request_cost(snapshot_bytes);
   const Nanos done = site_idx == 0 ? cpu.schedule_job(engine_.now(), work)
                                    : mirror_cpu_job(site_idx - 1, work);
-  engine_.schedule_at(done, [this, at, pending] {
+  obs::Histogram* service_ns =
+      site_idx == 0 ? central_request_ns_ : mirrors_[site_idx - 1]->request_ns;
+  engine_.schedule_at(done, [this, at, pending, service_ns] {
     --*pending;
     ++requests_served_;
-    request_latency_->add(at, engine_.now() - at);
+    const Nanos latency = engine_.now() - at;
+    request_latency_->add(at, latency);
+    if (service_ns != nullptr) {
+      service_ns->observe(static_cast<double>(latency));
+    }
     request_completion_ = std::max(request_completion_, engine_.now());
     bump_completion(engine_.now());
   });

@@ -17,6 +17,8 @@
 #include "mirror/main_unit_core.h"
 #include "mirror/mirror_aux_core.h"
 #include "mirror/pipeline_core.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/resources.h"
@@ -73,6 +75,15 @@ struct SimConfig {
   std::size_t outage_mirror = 0;
   Nanos outage_from = 0;
   Nanos outage_duration = 0;  ///< 0 = no outage
+  /// Metrics registry the simulated cluster instruments into, using the
+  /// SAME metric names as the threaded runtime (queue.*, rules.*,
+  /// checkpoint.*, transport.channel.*, cluster.*) so figure code and
+  /// dashboards work against either. Null = the sim creates a private one
+  /// (returned in SimResult::obs).
+  std::shared_ptr<obs::Registry> obs;
+  /// Trace one data event in N through the central pipeline, timestamped
+  /// in *virtual* time (0 = off).
+  std::uint32_t trace_sample_every = 0;
 };
 
 struct SimResult {
@@ -100,6 +111,10 @@ struct SimResult {
 
   std::vector<std::uint64_t> state_fingerprints;  ///< [central, mirrors...]
   std::vector<double> cpu_utilization;            ///< per site over total_time
+
+  /// The registry the run instrumented into (never null) — snapshot() it
+  /// for the full metric set; bench binaries read figure inputs from here.
+  std::shared_ptr<obs::Registry> obs;
 };
 
 class SimCluster {
@@ -156,6 +171,10 @@ class SimCluster {
 
   std::unique_ptr<Central> central_;
   std::vector<std::unique_ptr<MirrorSite>> mirrors_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Counter* chan_msgs_ = nullptr;   ///< transport.channel.central.data.*
+  obs::Counter* chan_bytes_ = nullptr;
+  obs::Histogram* central_request_ns_ = nullptr;
 
   std::shared_ptr<metrics::LatencyRecorder> update_delays_;
   std::shared_ptr<metrics::LatencyRecorder> mirror_update_delays_;

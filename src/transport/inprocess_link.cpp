@@ -1,3 +1,4 @@
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -19,8 +20,15 @@ class ShapedPipe {
 
   Status send(Bytes message) {
     std::unique_lock lock(mu_);
+    if (!closed_ && items_.size() >= capacity_ && stalls_ != nullptr) {
+      stalls_->inc();  // sender is about to block on back-pressure
+    }
     writable_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return err(StatusCode::kClosed, "link closed");
+    if (msgs_ != nullptr) {
+      msgs_->inc();
+      bytes_->inc(message.size());
+    }
     items_.push_back(Item{compute_delivery(message.size()), std::move(message)});
     lock.unlock();
     readable_.notify_one();
@@ -89,6 +97,16 @@ class ShapedPipe {
     return items_.size();
   }
 
+  /// Attach send-side counters (owned by a registry). Counted under the
+  /// pipe mutex, so plain pointers are safe once set before traffic starts.
+  void set_send_instruments(obs::Counter* msgs, obs::Counter* bytes,
+                            obs::Counter* stalls) {
+    std::lock_guard lock(mu_);
+    msgs_ = msgs;
+    bytes_ = bytes;
+    stalls_ = stalls;
+  }
+
  private:
   struct Item {
     SteadyTime deliver_at;
@@ -115,6 +133,9 @@ class ShapedPipe {
   std::deque<Item> items_;
   SteadyTime link_free_at_{};
   bool closed_ = false;
+  obs::Counter* msgs_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+  obs::Counter* stalls_ = nullptr;
 };
 
 /// Endpoint pairing one outgoing and one incoming pipe.
@@ -128,10 +149,10 @@ class InProcessEndpoint final : public MessageLink {
 
   Status send(Bytes message) override { return out_->send(std::move(message)); }
 
-  std::optional<Bytes> receive() override { return in_->receive(); }
+  std::optional<Bytes> receive() override { return count_in(in_->receive()); }
 
   std::optional<Bytes> receive_for(std::chrono::milliseconds d) override {
-    return in_->receive_for(d);
+    return count_in(in_->receive_for(d));
   }
 
   void close() override {
@@ -145,9 +166,32 @@ class InProcessEndpoint final : public MessageLink {
 
   std::size_t pending() const override { return in_->pending(); }
 
+  void instrument(obs::Registry& registry, const std::string& name) override {
+    const std::string prefix = "transport.link." + name;
+    out_->set_send_instruments(&registry.counter(prefix + ".msgs_out_total"),
+                               &registry.counter(prefix + ".bytes_out_total"),
+                               &registry.counter(prefix + ".send_stalls_total"));
+    msgs_in_.store(&registry.counter(prefix + ".msgs_in_total"),
+                   std::memory_order_release);
+    bytes_in_.store(&registry.counter(prefix + ".bytes_in_total"),
+                    std::memory_order_release);
+  }
+
  private:
+  std::optional<Bytes> count_in(std::optional<Bytes> message) {
+    if (message.has_value()) {
+      if (auto* msgs = msgs_in_.load(std::memory_order_acquire)) {
+        msgs->inc();
+        bytes_in_.load(std::memory_order_acquire)->inc(message->size());
+      }
+    }
+    return message;
+  }
+
   std::shared_ptr<ShapedPipe> out_;
   std::shared_ptr<ShapedPipe> in_;
+  std::atomic<obs::Counter*> msgs_in_{nullptr};
+  std::atomic<obs::Counter*> bytes_in_{nullptr};
 };
 
 }  // namespace

@@ -7,10 +7,12 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/registry.h"
 
 namespace admire::transport {
 
@@ -41,6 +43,15 @@ class MessageLink {
   /// Messages queued toward this endpoint but not yet received (best
   /// effort; used by monitoring, not for protocol decisions).
   virtual std::size_t pending() const = 0;
+
+  /// Register this endpoint's traffic counters with a metrics registry
+  /// under `transport.link.<name>.{msgs,bytes}_{in,out}_total` (plus
+  /// `.send_stalls_total` where the implementation can observe
+  /// back-pressure). Default: not instrumented (no-op).
+  virtual void instrument(obs::Registry& registry, const std::string& name) {
+    (void)registry;
+    (void)name;
+  }
 };
 
 /// Optional traffic shaping for in-process links: emulate link latency and

@@ -50,6 +50,10 @@ class TcpLink final : public MessageLink {
       }
       off += static_cast<std::size_t>(n);
     }
+    if (auto* msgs = msgs_out_.load(std::memory_order_acquire)) {
+      msgs->inc();
+      bytes_out_.load(std::memory_order_acquire)->inc(framed.size());
+    }
     return Status::ok();
   }
 
@@ -73,13 +77,32 @@ class TcpLink final : public MessageLink {
 
   std::size_t pending() const override { return 0; }  // kernel-buffered
 
+  void instrument(obs::Registry& registry, const std::string& name) override {
+    const std::string prefix = "transport.link." + name;
+    msgs_out_.store(&registry.counter(prefix + ".msgs_out_total"),
+                    std::memory_order_release);
+    bytes_out_.store(&registry.counter(prefix + ".bytes_out_total"),
+                     std::memory_order_release);
+    msgs_in_.store(&registry.counter(prefix + ".msgs_in_total"),
+                   std::memory_order_release);
+    bytes_in_.store(&registry.counter(prefix + ".bytes_in_total"),
+                    std::memory_order_release);
+  }
+
  private:
   std::optional<Bytes> receive_impl(int timeout_ms) {
     std::lock_guard lock(recv_mu_);
     while (true) {
       // Drain any already-buffered complete frame first.
       auto res = parser_.next();
-      if (res.is_ok()) return std::move(res).value();
+      if (res.is_ok()) {
+        Bytes out = std::move(res).value();
+        if (auto* msgs = msgs_in_.load(std::memory_order_acquire)) {
+          msgs->inc();
+          bytes_in_.load(std::memory_order_acquire)->inc(out.size());
+        }
+        return out;
+      }
       if (res.status().code() == StatusCode::kCorrupt) {
         close();
         return std::nullopt;
@@ -114,6 +137,10 @@ class TcpLink final : public MessageLink {
   std::mutex send_mu_;
   std::mutex recv_mu_;
   serialize::FrameParser parser_;
+  std::atomic<obs::Counter*> msgs_out_{nullptr};
+  std::atomic<obs::Counter*> bytes_out_{nullptr};
+  std::atomic<obs::Counter*> msgs_in_{nullptr};
+  std::atomic<obs::Counter*> bytes_in_{nullptr};
 };
 
 }  // namespace

@@ -1,0 +1,86 @@
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace admire::obs {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) ++lines;
+  }
+  return lines;
+}
+
+TEST(Exporter, ExportNowAppendsOneJsonLinePerCall) {
+  const std::string path = temp_path("exporter_now.jsonl");
+  std::remove(path.c_str());
+  Registry registry;
+  registry.counter("a.total").inc(7);
+  SnapshotExporter exporter(registry, {.path = path});
+  ASSERT_TRUE(exporter.export_now().is_ok());
+  ASSERT_TRUE(exporter.export_now().is_ok());
+  EXPECT_EQ(count_lines(path), 2u);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"a.total\":7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, PeriodicThreadWritesAndStopFlushesFinalSnapshot) {
+  const std::string path = temp_path("exporter_periodic.jsonl");
+  std::remove(path.c_str());
+  Registry registry;
+  registry.counter("b.total").inc();
+  SnapshotExporter exporter(
+      registry, {.path = path, .interval = std::chrono::milliseconds(20)});
+  ASSERT_TRUE(exporter.start().is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  exporter.stop();
+  EXPECT_GE(exporter.exports_written(), 2u);  // ticks + final snapshot
+  EXPECT_GE(count_lines(path), 2u);
+  exporter.stop();  // idempotent
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, StartFailsCleanlyOnUnwritablePath) {
+  Registry registry;
+  SnapshotExporter exporter(registry,
+                            {.path = "/nonexistent-dir/nope/metrics.jsonl"});
+  EXPECT_FALSE(exporter.start().is_ok());
+  exporter.stop();  // safe even though start failed
+}
+
+TEST(Exporter, DumpHumanWritesReadableSnapshot) {
+  Registry registry;
+  registry.counter("c.total").inc(3);
+  registry.gauge("c.depth").set(2.0);
+  SnapshotExporter exporter(registry, {});
+  const std::string path = temp_path("exporter_human.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  exporter.dump_human(f);
+  std::fclose(f);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("c.total"), std::string::npos);
+  EXPECT_NE(contents.find("c.depth"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace admire::obs

@@ -1,0 +1,120 @@
+// End-to-end observability check: a threaded cluster run must export a
+// JSON-lines snapshot carrying the OBSERVABILITY.md headline metrics —
+// queue depths, per-rule suppression counts, checkpoint round latency and
+// transport byte counters — with nonzero values for the traffic it saw.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "sim/sim_cluster.h"
+#include "workload/scenario.h"
+
+namespace admire {
+namespace {
+
+TEST(ObsIntegration, ThreadedClusterExportsLiveMetrics) {
+  const std::string path = ::testing::TempDir() + "admire_obs_export.jsonl";
+  std::remove(path.c_str());
+
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::selective_mirroring(/*overwrite_max=*/8,
+                                                      /*checkpoint_every=*/50);
+  config.obs_export_path = path;
+  config.obs_export_interval = std::chrono::milliseconds(50);
+  config.trace_sample_every = 16;
+  cluster::Cluster cluster(config);
+  cluster.start();
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 600;
+  scenario.num_flights = 10;
+  scenario.event_padding = 256;
+  const auto trace = workload::make_ois_trace(scenario);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  cluster.checkpoint_and_wait();
+  cluster.stop();  // exporter writes its final snapshot before shutdown
+
+  // Registry values: queue flow, rule suppression, checkpoint latency and
+  // wire traffic all observed the run.
+  const auto snap = cluster.obs().snapshot();
+  EXPECT_GT(snap.gauge_or("queue.central.ready.pushed_total"), 0.0);
+  EXPECT_GT(snap.gauge_or("queue.central.ready.high_water"), 0.0);
+  EXPECT_GT(snap.gauge_or("queue.mirror1.backup.high_water"), 0.0);
+  EXPECT_GT(snap.counter_or("rules.central.seen_total"), 0u);
+  EXPECT_GT(snap.counter_or("rules.central.discarded_overwritten_total"), 0u);
+  const auto* round_latency =
+      snap.histogram("checkpoint.coordinator.round_latency_ns");
+  ASSERT_NE(round_latency, nullptr);
+  EXPECT_GT(round_latency->count, 0u);
+  EXPECT_GT(snap.counter_or("transport.channel.central.data.bytes_total"), 0u);
+  EXPECT_GT(snap.counter_or("transport.channel.central.updates.msgs_total"),
+            0u);
+  // Selective mirroring: fewer wire events than events seen.
+  EXPECT_LT(snap.counter_or("transport.channel.central.data.msgs_total"),
+            snap.counter_or("rules.central.seen_total"));
+  // The 1-in-16 tracer completed spans through to apply.
+  ASSERT_NE(cluster.central().tracer(), nullptr);
+  EXPECT_GT(cluster.central().tracer()->spans_completed(), 0u);
+  const auto* apply = snap.histogram("trace.ingest_to_apply_ns");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_GT(apply->count, 0u);
+
+  // Exported file: at least one JSON line naming each headline metric.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "export file missing: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+  ASSERT_FALSE(contents.empty());
+  std::string last_line;
+  std::istringstream lines(contents);
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty()) last_line = line;
+  }
+  ASSERT_FALSE(last_line.empty());
+  EXPECT_EQ(last_line.front(), '{');
+  EXPECT_EQ(last_line.back(), '}');
+  for (const char* metric :
+       {"queue.central.ready.depth", "queue.central.backup.depth",
+        "queue.mirror1.backup.depth", "rules.central.discarded_overwritten_total",
+        "checkpoint.coordinator.round_latency_ns",
+        "transport.channel.central.data.bytes_total"}) {
+    EXPECT_NE(last_line.find(metric), std::string::npos)
+        << "final snapshot missing " << metric;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsIntegration, SimAndThreadedShareTheMetricVocabulary) {
+  // The sim emits the same names (OBSERVABILITY.md: one vocabulary), so
+  // figure benches and production dashboards read identical keys.
+  sim::SimConfig config;
+  config.num_mirrors = 1;
+  config.params.function = rules::selective_mirroring(8);
+  sim::SimCluster sim_cluster(std::move(config));
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 400;
+  scenario.num_flights = 10;
+  const auto r = sim_cluster.run(workload::make_ois_trace(scenario), {});
+  ASSERT_NE(r.obs, nullptr);
+  const auto snap = r.obs->snapshot();
+  EXPECT_GT(snap.counter_or("rules.central.seen_total"), 0u);
+  EXPECT_GT(snap.counter_or("rules.central.discarded_overwritten_total"), 0u);
+  EXPECT_GT(snap.counter_or("transport.channel.central.data.bytes_total"), 0u);
+  EXPECT_GT(snap.gauge_or("queue.central.ready.pushed_total"), 0.0);
+  const auto* round_latency =
+      snap.histogram("checkpoint.coordinator.round_latency_ns");
+  ASSERT_NE(round_latency, nullptr);
+  EXPECT_GT(round_latency->count, 0u);
+}
+
+}  // namespace
+}  // namespace admire

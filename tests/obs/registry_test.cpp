@@ -1,0 +1,151 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace admire::obs {
+namespace {
+
+TEST(Registry, CounterFindOrCreateReturnsStableInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("x.total");
+  Counter& b = registry.counter("x.total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.num_instruments(), 1u);
+}
+
+TEST(Registry, GaugeSetAddAndHighWater) {
+  Registry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(3.0);
+  g.add(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  Gauge& hw = registry.gauge("hw");
+  hw.set_max(7.0);
+  hw.set_max(4.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(hw.value(), 7.0);
+  hw.set_max(9.0);
+  EXPECT_DOUBLE_EQ(hw.value(), 9.0);
+}
+
+TEST(Registry, ConcurrentCountersLoseNoIncrements) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Half the threads race find-or-create, all race the increments.
+      Counter& c = registry.counter("contended.total");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("contended.total").value(), kThreads * kPerThread);
+}
+
+TEST(Registry, ConcurrentRegistrationAndSnapshotsDoNotRace) {
+  Registry registry;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      const auto snap = registry.snapshot();
+      ASSERT_LE(snap.counters.size(), 64u);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, t] {
+      for (int i = 0; i < 16; ++i) {
+        registry.counter("w" + std::to_string(t) + ".c" + std::to_string(i))
+            .inc();
+        registry.histogram("w" + std::to_string(t) + ".h",
+                           Histogram::latency_bounds())
+            .observe(1000.0);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  snapshotter.join();
+  EXPECT_EQ(registry.snapshot().counters.size(), 64u);
+}
+
+TEST(Histogram, InclusiveUpperBoundsAndOverflowBucket) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(10.0);    // lands in bucket 0: bounds are inclusive
+  h.observe(10.001);  // bucket 1
+  h.observe(100.0);   // bucket 1
+  h.observe(1000.0);  // bucket 2
+  h.observe(5000.0);  // +inf overflow
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), (10.0 + 10.0 + 100.0 + 1000.0 + 5000.0) / 5.0);
+}
+
+TEST(Histogram, FirstRegistrationWinsOnBounds) {
+  Registry registry;
+  Histogram& a = registry.histogram("h", {1.0, 2.0});
+  Histogram& b = registry.histogram("h", {99.0});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.bounds().size(), 2u);
+}
+
+TEST(Registry, ProbesSampledAtSnapshotTimeOnly) {
+  Registry registry;
+  int calls = 0;
+  const auto id = registry.register_probe("probe.depth", [&calls] {
+    ++calls;
+    return 42.0;
+  });
+  EXPECT_EQ(calls, 0);  // registration alone never samples
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("probe.depth"), 42.0);
+  registry.unregister_probe(id);
+  EXPECT_EQ(registry.snapshot().gauges.size(), 0u);
+}
+
+TEST(Registry, ProbeGroupUnregistersOnDestruction) {
+  Registry registry;
+  {
+    ProbeGroup group;
+    group.add(registry, "a", [] { return 1.0; });
+    group.add(registry, "b", [] { return 2.0; });
+    EXPECT_EQ(registry.snapshot().gauges.size(), 2u);
+  }
+  EXPECT_EQ(registry.snapshot().gauges.size(), 0u);
+}
+
+TEST(Snapshot, LookupHelpersAndJsonLine) {
+  Registry registry;
+  registry.counter("c.total").inc(3);
+  registry.gauge("g.depth").set(1.5);
+  registry.histogram("h.ns", {100.0}).observe(50.0);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("c.total"), 3u);
+  EXPECT_EQ(snap.counter_or("missing", 9u), 9u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("g.depth"), 1.5);
+  ASSERT_NE(snap.histogram("h.ns"), nullptr);
+  EXPECT_EQ(snap.histogram("h.ns")->count, 1u);
+  EXPECT_EQ(snap.histogram("nope"), nullptr);
+
+  const std::string json = snap.to_json_line();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"c.total\":3"), std::string::npos);
+  EXPECT_NE(json.find("h.ns"), std::string::npos);
+  EXPECT_NE(snap.to_human().find("c.total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace admire::obs

@@ -1,0 +1,95 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+
+namespace admire::obs {
+namespace {
+
+TEST(Tracer, SamplesOneInN) {
+  Tracer tracer(/*sample_every=*/4);
+  int sampled = 0;
+  for (SeqNo seq = 0; seq < 100; ++seq) {
+    if (tracer.sampled(seq)) ++sampled;
+  }
+  EXPECT_EQ(sampled, 25);
+  EXPECT_TRUE(tracer.sampled(0));
+  EXPECT_FALSE(tracer.sampled(1));
+  EXPECT_TRUE(Tracer(1).sampled(7));  // sample_every=1 traces everything
+}
+
+TEST(Tracer, KeyOfSeparatesStreams) {
+  EXPECT_NE(Tracer::key_of(0, 5), Tracer::key_of(1, 5));
+  EXPECT_NE(Tracer::key_of(2, 5), Tracer::key_of(2, 6));
+  EXPECT_EQ(Tracer::key_of(3, 9), Tracer::key_of(3, 9));
+}
+
+TEST(Tracer, ApplyCompletesSpanWithOrderedStages) {
+  Tracer tracer(1, 16);
+  const auto key = Tracer::key_of(0, 1);
+  tracer.record(key, Stage::kIngest, 100);
+  tracer.record(key, Stage::kRules, 150);
+  tracer.record(key, Stage::kReadyQueue, 200);
+  tracer.record(key, Stage::kMirrorSend, 400);
+  EXPECT_EQ(tracer.spans_completed(), 0u);  // still active
+  tracer.record(key, Stage::kApply, 500);
+  EXPECT_EQ(tracer.spans_started(), 1u);
+  EXPECT_EQ(tracer.spans_completed(), 1u);
+  const auto spans = tracer.completed();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].at[static_cast<std::size_t>(Stage::kIngest)], 100);
+  EXPECT_EQ(spans[0].at[static_cast<std::size_t>(Stage::kApply)], 500);
+}
+
+TEST(Tracer, FinishClosesDiscardedEventSpanEarly) {
+  Tracer tracer(1, 16);
+  const auto key = Tracer::key_of(0, 2);
+  tracer.record(key, Stage::kIngest, 100);
+  tracer.record(key, Stage::kRules, 120);
+  tracer.finish(key);  // rule-discarded: never reaches the ready queue
+  const auto spans = tracer.completed();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].at[static_cast<std::size_t>(Stage::kReadyQueue)], 0);
+}
+
+TEST(Tracer, FlushQuiescesActiveSpansAndRingIsBounded) {
+  Tracer tracer(1, /*capacity=*/4);
+  for (SeqNo seq = 0; seq < 10; ++seq) {
+    tracer.record(Tracer::key_of(0, seq), Stage::kIngest, 100 + seq);
+  }
+  tracer.flush();
+  EXPECT_EQ(tracer.spans_started(), 10u);
+  EXPECT_LE(tracer.completed().size(), 4u);  // ring keeps the newest only
+  tracer.flush();                            // idempotent on empty
+  EXPECT_LE(tracer.completed().size(), 4u);
+}
+
+TEST(Tracer, FeedsStageLatencyHistograms) {
+  Registry registry;
+  Tracer tracer(1, 16, &registry);
+  const auto key = Tracer::key_of(1, 1);
+  tracer.record(key, Stage::kIngest, 1000);
+  tracer.record(key, Stage::kReadyQueue, 1400);
+  tracer.record(key, Stage::kMirrorSend, 1900);
+  tracer.record(key, Stage::kApply, 2500);
+  const auto snap = registry.snapshot();
+  const auto* ready = snap.histogram("trace.ingest_to_ready_ns");
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(ready->count, 1u);
+  EXPECT_DOUBLE_EQ(ready->sum, 400.0);
+  const auto* send = snap.histogram("trace.ready_to_send_ns");
+  ASSERT_NE(send, nullptr);
+  EXPECT_DOUBLE_EQ(send->sum, 500.0);
+  const auto* apply = snap.histogram("trace.ingest_to_apply_ns");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_DOUBLE_EQ(apply->sum, 1500.0);
+}
+
+TEST(Tracer, StageNamesAreStable) {
+  EXPECT_STREQ(stage_name(Stage::kIngest), "ingest");
+  EXPECT_STREQ(stage_name(Stage::kApply), "apply");
+}
+
+}  // namespace
+}  // namespace admire::obs

@@ -1,0 +1,294 @@
+// Zero-copy batched event path: end-to-end fan-out throughput, vectored
+// TCP transport efficiency, and ReadyQueue handoff under contention.
+//
+// Prints one line per measurement; with `--json FILE` also writes the
+// numbers as a JSON object (CI artifact: BENCH_eventpath.json).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "echo/bridge.h"
+#include "obs/registry.h"
+#include "queueing/ready_queue.h"
+#include "serialize/event_codec.h"
+#include "transport/link.h"
+#include "transport/tcp.h"
+
+namespace admire::bench {
+namespace {
+
+constexpr std::size_t kPadding = 1024;
+
+event::Event template_event() {
+  event::FaaPosition pos;
+  pos.flight = 7;
+  pos.lat_deg = 33.6;
+  return event::make_faa_position(0, 1, pos, kPadding);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Upper bucket edge at or above the q-quantile of a snapshot histogram.
+double histogram_quantile(const obs::Snapshot::Hist& hist, double q) {
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(hist.count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+    seen += hist.buckets[i];
+    if (seen > target) {
+      return i < hist.bounds.size() ? hist.bounds[i] : hist.bounds.back();
+    }
+  }
+  return hist.bounds.empty() ? 0.0 : hist.bounds.back();
+}
+
+/// Events/sec through the whole hot path: batched ReadyQueue handoff,
+/// one submit_batch per drain, encode-once fan-out to `mirrors` bridged
+/// channels over in-process links, aliasing decode on each mirror.
+double fanout_events_per_sec(std::size_t mirrors, std::size_t events) {
+  auto reg_central = std::make_shared<echo::ChannelRegistry>();
+  auto ch =
+      reg_central->create(1, "central.data", echo::ChannelRole::kData).value();
+
+  std::vector<std::unique_ptr<echo::RemoteChannelBridge>> bridges;
+  std::vector<std::shared_ptr<echo::ChannelRegistry>> mirror_regs;
+  std::atomic<std::uint64_t> delivered{0};
+  std::vector<echo::Subscription> subs;
+  for (std::size_t m = 0; m < mirrors; ++m) {
+    auto [a, b] = transport::make_inprocess_link_pair(1 << 16);
+    auto mreg = std::make_shared<echo::ChannelRegistry>();
+    auto mch =
+        mreg->create(1, "central.data", echo::ChannelRole::kData).value();
+    subs.push_back(mch->subscribe([&delivered](const event::Event&) {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    }));
+    auto central = std::make_unique<echo::RemoteChannelBridge>(
+        a, reg_central, echo::BridgeRouting::kByName);
+    central->export_channel(ch);
+    central->start();
+    auto mirror = std::make_unique<echo::RemoteChannelBridge>(
+        b, mreg, echo::BridgeRouting::kByName);
+    mirror->start();
+    bridges.push_back(std::move(central));
+    bridges.push_back(std::move(mirror));
+    mirror_regs.push_back(std::move(mreg));
+  }
+
+  queueing::ReadyQueue ready;
+  const event::Event tmpl = template_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&] {
+    constexpr std::size_t kChunk = 1024;
+    std::vector<event::Event> chunk;
+    chunk.reserve(kChunk);
+    for (std::size_t i = 0; i < events; ++i) {
+      event::Event ev = tmpl;  // shares payload/padding storage
+      ev.mutable_header().seq = i + 1;
+      chunk.push_back(std::move(ev));
+      if (chunk.size() == kChunk) {
+        ready.push_batch(std::move(chunk));
+        chunk.clear();
+        chunk.reserve(kChunk);
+      }
+    }
+    if (!chunk.empty()) ready.push_batch(std::move(chunk));
+  });
+  std::thread sender([&] {
+    std::uint64_t sent = 0;
+    while (sent < events) {
+      auto batch = ready.pop_batch(4096);
+      if (batch.empty()) {
+        std::this_thread::yield();
+        continue;
+      }
+      ch->submit_batch(
+          std::span<const event::Event>(batch.data(), batch.size()));
+      sent += batch.size();
+    }
+  });
+  producer.join();
+  sender.join();
+  while (delivered.load(std::memory_order_relaxed) < events * mirrors) {
+    std::this_thread::yield();
+  }
+  const double dt = seconds_since(t0);
+  for (auto& b : bridges) b->stop();
+  return static_cast<double>(events) / dt;
+}
+
+struct TcpBatchResult {
+  double bytes_per_write = 0;
+  double batch_p50 = 0;
+  double batch_p99 = 0;
+  double events_per_sec = 0;
+};
+
+/// Vectored-transport efficiency: encoded event frames pushed through a
+/// loopback TCP link in shared batches; how many wire bytes each writev
+/// carries, and the batch sizes the sender actually achieves.
+TcpBatchResult tcp_batch_efficiency(std::size_t events,
+                                    std::size_t batch_size) {
+  TcpBatchResult out;
+  auto listener_res = transport::TcpListener::bind(0);
+  if (!listener_res.is_ok()) return out;
+  auto listener = std::move(listener_res).value();
+  std::shared_ptr<transport::MessageLink> server;
+  std::thread accepter([&] {
+    auto res = listener->accept();
+    if (res.is_ok()) server = std::move(res).value();
+  });
+  auto client_res = transport::tcp_connect("127.0.0.1", listener->port());
+  accepter.join();
+  if (!client_res.is_ok() || !server) return out;
+  auto client = std::move(client_res).value();
+
+  obs::Registry registry;
+  client->instrument(registry, "bench");
+
+  std::atomic<std::uint64_t> received{0};
+  std::thread drainer([&] {
+    while (true) {
+      auto batch = server->receive_batch(512);
+      if (batch.empty()) break;
+      received.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+  });
+
+  // Encode once, send the same frame set repeatedly: transport cost only.
+  const event::Event tmpl = template_event();
+  std::vector<transport::SharedBytes> frames;
+  frames.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    event::Event ev = tmpl;
+    ev.mutable_header().seq = i + 1;
+    frames.push_back(serialize::encode_event_shared(ev));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  while (sent < events) {
+    const std::size_t n = std::min(batch_size, events - sent);
+    if (!client
+             ->send_batch_shared(
+                 std::span<const transport::SharedBytes>(frames.data(), n))
+             .is_ok()) {
+      break;
+    }
+    sent += n;
+  }
+  while (received.load(std::memory_order_relaxed) < sent) {
+    std::this_thread::yield();
+  }
+  const double dt = seconds_since(t0);
+  client->close();
+  drainer.join();
+
+  const auto snap = registry.snapshot();
+  const std::uint64_t bytes =
+      snap.counter_or("transport.link.bench.bytes_out_total");
+  const std::uint64_t writes =
+      snap.counter_or("transport.link.bench.writev_calls_total");
+  out.bytes_per_write =
+      writes == 0 ? 0 : static_cast<double>(bytes) / static_cast<double>(writes);
+  if (const auto* hist = snap.histogram("transport.link.bench.batch_size")) {
+    out.batch_p50 = histogram_quantile(*hist, 0.50);
+    out.batch_p99 = histogram_quantile(*hist, 0.99);
+  }
+  out.events_per_sec = static_cast<double>(sent) / dt;
+  return out;
+}
+
+/// Producer/consumer contention on the ReadyQueue: padded events are
+/// destroyed by the consumer, which must happen outside the queue lock or
+/// the producer stalls behind every batch teardown.
+double ready_queue_contended_ops_per_sec(std::size_t events) {
+  queueing::ReadyQueue ready;
+  const event::Event tmpl = template_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread producer([&] {
+    constexpr std::size_t kChunk = 256;
+    std::vector<event::Event> chunk;
+    chunk.reserve(kChunk);
+    for (std::size_t i = 0; i < events; ++i) {
+      chunk.push_back(tmpl);
+      if (chunk.size() == kChunk) {
+        ready.push_batch(std::move(chunk));
+        chunk.clear();
+        chunk.reserve(kChunk);
+      }
+    }
+    if (!chunk.empty()) ready.push_batch(std::move(chunk));
+  });
+  std::uint64_t popped = 0;
+  while (popped < events) {
+    auto batch = ready.pop_batch(512);
+    if (batch.empty()) {
+      std::this_thread::yield();
+      continue;
+    }
+    popped += batch.size();
+    // batch destroyed here — off the queue lock
+  }
+  producer.join();
+  return static_cast<double>(events) / seconds_since(t0);
+}
+
+}  // namespace
+}  // namespace admire::bench
+
+int main(int argc, char** argv) {
+  using namespace admire::bench;
+  const char* json_path = nullptr;
+  std::size_t events = 100000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events = std::stoul(argv[++i]);
+    }
+  }
+
+  std::printf("== micro_event_path: %zu events, %zu B padding ==\n", events,
+              kPadding);
+  const double eps2 = fanout_events_per_sec(2, events);
+  std::printf("fanout mirrors=2   %12.0f events/sec\n", eps2);
+  const double eps4 = fanout_events_per_sec(4, events);
+  std::printf("fanout mirrors=4   %12.0f events/sec\n", eps4);
+  const TcpBatchResult tcp = tcp_batch_efficiency(events, 256);
+  std::printf(
+      "tcp batch=256      %12.0f events/sec  %8.0f bytes/write  "
+      "batch p50=%.0f p99=%.0f\n",
+      tcp.events_per_sec, tcp.bytes_per_write, tcp.batch_p50, tcp.batch_p99);
+  const double rq = ready_queue_contended_ops_per_sec(events * 4);
+  std::printf("ready_queue 2-thread %10.0f events/sec\n", rq);
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"events\": %zu,\n"
+                 "  \"padding_bytes\": %zu,\n"
+                 "  \"fanout_events_per_sec\": {\"mirrors_2\": %.0f, "
+                 "\"mirrors_4\": %.0f},\n"
+                 "  \"tcp\": {\"events_per_sec\": %.0f, \"bytes_per_write\": "
+                 "%.0f, \"batch_size_p50\": %.0f, \"batch_size_p99\": %.0f},\n"
+                 "  \"ready_queue_contended_events_per_sec\": %.0f\n"
+                 "}\n",
+                 events, kPadding, eps2, eps4, tcp.events_per_sec,
+                 tcp.bytes_per_write, tcp.batch_p50, tcp.batch_p99, rq);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -29,7 +29,7 @@ event::Event make_event(std::size_t padding, FlightKey flight = 7,
   pos.lon_deg = -84.43;
   pos.altitude_ft = 31000;
   event::Event ev = event::make_faa_position(0, seq, pos, padding);
-  ev.header().vts.observe(0, seq);
+  ev.mutable_header().vts.observe(0, seq);
   return ev;
 }
 

@@ -1,5 +1,7 @@
 #include "cluster/central_site.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace admire::cluster {
@@ -76,7 +78,11 @@ ThreadedCentralSite::ThreadedCentralSite(
           updates_channel_->submit(out);
         }
       },
-      /*checkpoint_trigger=*/[this] { trigger_checkpoint(); });
+      /*checkpoint_trigger=*/[this] { trigger_checkpoint(); },
+      /*mirror_batch_sink=*/
+      [this](std::span<const event::Event> events) {
+        data_channel_->submit_batch(events);
+      });
 }
 
 ThreadedCentralSite::~ThreadedCentralSite() { stop(); }
@@ -100,7 +106,7 @@ void ThreadedCentralSite::stop() {
 }
 
 Status ThreadedCentralSite::ingest(event::Event ev) {
-  ev.header().ingress_time = clock_->now();
+  ev.mutable_header().ingress_time = clock_->now();
   ingested_.fetch_add(1, std::memory_order_relaxed);
   return inbox_.push(std::move(ev));
 }
@@ -128,20 +134,25 @@ void ThreadedCentralSite::recv_loop() {
 
 void ThreadedCentralSite::send_loop() {
   while (true) {
+    std::uint64_t credits = 0;
     {
       std::unique_lock lock(send_mu_);
       send_cv_.wait(lock, [&] { return send_credits_ > 0 || !running_; });
       if (send_credits_ == 0 && !running_) return;
-      if (send_credits_ > 0) --send_credits_;
+      // Convert every accumulated credit into one batched send step: the
+      // backlog that built up while this task was busy drains through a
+      // single pop_batch + vectored fan-out instead of per-event steps.
+      credits = std::exchange(send_credits_, 0);
     }
-    auto step = core_.try_send_step(clock_->now());
+    auto step = core_.try_send_batch(credits, clock_->now());
     if (step.has_value()) dispatch(*step);
-    sends_done_.fetch_add(1, std::memory_order_relaxed);
+    sends_done_.fetch_add(credits, std::memory_order_relaxed);
   }
 }
 
 void ThreadedCentralSite::dispatch(const mirror::PipelineCore::SendStep& step) {
-  for (const auto& ev : step.to_send) api_.mirror(ev);
+  api_.mirror_batch(std::span<const event::Event>(step.to_send.data(),
+                                                  step.to_send.size()));
 }
 
 void ThreadedCentralSite::trigger_checkpoint() {

@@ -23,21 +23,49 @@ void RemoteChannelBridge::export_channel(
   const ChannelId id = channel->id();
   const std::string name = channel->name();
   auto* raw_channel = channel.get();
-  exports_.push_back(
-      channel->subscribe([this, id, name, raw_channel](const event::Event& ev) {
+  exports_.push_back(channel->subscribe_batch(
+      [this, id, name, raw_channel](std::span<const event::Event> events) {
         if (delivering_channel_ == raw_channel) return;  // no echo loop
-        serialize::Writer w(ev.wire_size() + 16 + name.size());
-        w.u8(static_cast<std::uint8_t>(routing_));
-        if (routing_ == BridgeRouting::kById) {
-          w.u32(id);
-        } else {
-          w.bytes(to_bytes(name));
-        }
-        serialize::encode_event(ev, w);
-        if (link_->send(w.take()).is_ok()) {
-          forwarded_.fetch_add(1, std::memory_order_relaxed);
-        }
+        forward_batch(id, name, events);
       }));
+}
+
+namespace {
+// Link-message tags. kGroup announces `count` raw event frames following
+// it on the (ordered) link; the frames themselves carry no per-message
+// routing prefix, so they can be the events' cached encodings verbatim.
+constexpr std::uint8_t kTagRouteById = 0;
+constexpr std::uint8_t kTagRouteByName = 1;
+constexpr std::uint8_t kTagGroup = 2;
+}  // namespace
+
+void RemoteChannelBridge::forward_batch(ChannelId id, const std::string& name,
+                                        std::span<const event::Event> events) {
+  // Each event is serialized at most once no matter how many bridges export
+  // this channel (encode_event_shared), and the cached encoding itself is
+  // what crosses the link: per bridge the cost is one refcount bump per
+  // event (queue-backed links) or one iovec entry (wire-backed links).
+  std::vector<transport::SharedBytes> messages;
+  messages.reserve(events.size() + 1);
+  serialize::Writer h(16 + name.size());
+  h.u8(kTagGroup);
+  h.u8(static_cast<std::uint8_t>(routing_));
+  if (routing_ == BridgeRouting::kById) {
+    h.u32(id);
+  } else {
+    h.bytes(to_bytes(name));
+  }
+  h.u32(static_cast<std::uint32_t>(events.size()));
+  messages.push_back(std::make_shared<const Bytes>(h.take()));
+  for (const event::Event& ev : events) {
+    messages.push_back(serialize::encode_event_shared(ev));
+  }
+  // The group (header + frames) must stay contiguous on the link; serialize
+  // concurrent exports of different channels over this bridge.
+  std::lock_guard lock(send_mu_);
+  if (link_->send_batch_shared(messages).is_ok()) {
+    forwarded_.fetch_add(events.size(), std::memory_order_relaxed);
+  }
 }
 
 void RemoteChannelBridge::start() {
@@ -54,19 +82,80 @@ void RemoteChannelBridge::stop() {
 }
 
 void RemoteChannelBridge::pump() {
+  // Per wake-up, drain whatever the link has already buffered (bounded so
+  // one burst cannot starve the stop flag) and deliver runs of same-channel
+  // events through one submit_batch each.
+  constexpr std::size_t kDrainMax = 256;
   while (running_.load(std::memory_order_acquire)) {
-    auto msg = link_->receive();
-    if (!msg) break;  // link closed
-    serialize::Reader r(ByteSpan(msg->data(), msg->size()));
-    const auto routing = static_cast<BridgeRouting>(r.u8());
-    std::shared_ptr<EventChannel> channel;
+    std::vector<transport::SharedBytes> inbox =
+        link_->receive_batch_shared(kDrainMax);
+    if (inbox.empty()) break;  // link closed
+    deliver_all(inbox);
+  }
+}
+
+void RemoteChannelBridge::deliver_all(
+    std::vector<transport::SharedBytes>& inbox) {
+  std::shared_ptr<EventChannel> run_channel;
+  std::vector<event::Event> run;
+  const auto flush_run = [&] {
+    if (run_channel == nullptr || run.empty()) return;
+    delivering_channel_ = run_channel.get();
+    run_channel->submit_batch(
+        std::span<const event::Event>(run.data(), run.size()));
+    delivering_channel_ = nullptr;
+    delivered_.fetch_add(run.size(), std::memory_order_relaxed);
+    run.clear();
+  };
+  const auto route = [&](BridgeRouting routing,
+                         serialize::Reader& r) -> std::shared_ptr<EventChannel> {
     if (routing == BridgeRouting::kById) {
-      channel = registry_->by_id(r.u32());
-    } else {
-      const Bytes name = r.bytes();
-      channel = registry_->by_name(
-          std::string(as_string_view(ByteSpan(name.data(), name.size()))));
+      return registry_->by_id(r.u32());
     }
+    const Bytes name = r.bytes();
+    return registry_->by_name(
+        std::string(as_string_view(ByteSpan(name.data(), name.size()))));
+  };
+  const auto deliver = [&](const std::shared_ptr<EventChannel>& channel,
+                           event::Event&& ev) {
+    if (channel != run_channel) {
+      flush_run();
+      run_channel = channel;
+    }
+    run.push_back(std::move(ev));
+  };
+  for (transport::SharedBytes& msg : inbox) {
+    // Inside a group every message is a raw event frame for the announced
+    // channel — the decoded event aliases the shared frame buffer (the
+    // padding is never copied) and keeps it as its encoding cache.
+    if (group_remaining_ > 0) {
+      --group_remaining_;
+      if (!group_channel_) {
+        dropped_unknown_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      auto decoded = serialize::decode_event_shared(std::move(msg));
+      if (!decoded.is_ok()) {
+        ADMIRE_LOG(kWarn, "bridge: dropping corrupt bridged event");
+        continue;
+      }
+      deliver(group_channel_, std::move(decoded).value());
+      continue;
+    }
+    serialize::Reader r(ByteSpan(msg->data(), msg->size()));
+    const std::uint8_t tag = r.u8();
+    if (tag == kTagGroup) {
+      const auto routing = static_cast<BridgeRouting>(r.u8());
+      std::shared_ptr<EventChannel> channel = route(routing, r);
+      const std::uint32_t count = r.u32();
+      if (!r.ok()) continue;
+      group_remaining_ = count;
+      group_channel_ = std::move(channel);
+      continue;
+    }
+    // Singleton message: routing prefix + encoded event in one buffer.
+    const auto routing = static_cast<BridgeRouting>(tag);
+    std::shared_ptr<EventChannel> channel = route(routing, r);
     if (!r.ok()) continue;
     auto decoded = serialize::decode_event(
         ByteSpan(msg->data() + r.position(), msg->size() - r.position()));
@@ -78,11 +167,9 @@ void RemoteChannelBridge::pump() {
       dropped_unknown_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    delivering_channel_ = channel.get();
-    channel->submit(decoded.value());
-    delivering_channel_ = nullptr;
-    delivered_.fetch_add(1, std::memory_order_relaxed);
+    deliver(channel, std::move(decoded).value());
   }
+  flush_run();
 }
 
 }  // namespace admire::echo

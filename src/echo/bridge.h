@@ -5,10 +5,13 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "echo/channel.h"
+#include "serialize/wire.h"
 #include "transport/link.h"
 
 namespace admire::echo {
@@ -49,10 +52,28 @@ class RemoteChannelBridge {
  private:
   void pump();
 
+  /// Decode a drained batch of link messages and deliver runs of
+  /// consecutive same-channel events through one submit_batch each.
+  /// Keeps group state across calls (a forwarded group may span several
+  /// link-level receive batches).
+  void deliver_all(std::vector<transport::SharedBytes>& inbox);
+
+  /// Forward a batch of locally-submitted events as one group: a small
+  /// header message (routing + event count) followed by each event's
+  /// cached encoding sent as a raw shared buffer — so fanning one batch
+  /// out to M mirror links costs M refcount bumps per event, not M copies.
+  void forward_batch(ChannelId id, const std::string& name,
+                     std::span<const event::Event> events);
+
   std::shared_ptr<transport::MessageLink> link_;
   std::shared_ptr<ChannelRegistry> registry_;
   const BridgeRouting routing_;
+  std::mutex send_mu_;  ///< keeps each forwarded group contiguous on the link
   std::vector<Subscription> exports_;
+  // Pump-thread-only group parser state: frames remaining in the group
+  // being received and the channel they route to (null = unknown, drop).
+  std::size_t group_remaining_ = 0;
+  std::shared_ptr<EventChannel> group_channel_;
   std::thread pump_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> forwarded_{0};

@@ -27,27 +27,53 @@ Subscription EventChannel::subscribe(EventHandler handler) {
   return Subscription(weak_from_this(), token);
 }
 
+Subscription EventChannel::subscribe_batch(BatchEventHandler handler) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t token = next_token_++;
+  batch_handlers_.emplace_back(token, std::move(handler));
+  return Subscription(weak_from_this(), token);
+}
+
 std::size_t EventChannel::submit(const event::Event& ev) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return submit_batch(std::span<const event::Event>(&ev, 1));
+}
+
+std::size_t EventChannel::submit_batch(std::span<const event::Event> events) {
+  if (events.empty()) return 0;
+  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
   if (auto* msgs = obs_msgs_.load(std::memory_order_acquire)) {
-    msgs->inc();
-    obs_bytes_.load(std::memory_order_acquire)->inc(ev.wire_size());
+    // wire_size() walks the payload variant; compute it once per event and
+    // only when someone is counting.
+    std::size_t wire_bytes = 0;
+    for (const event::Event& ev : events) wire_bytes += ev.wire_size();
+    msgs->inc(events.size());
+    obs_bytes_.load(std::memory_order_acquire)->inc(wire_bytes);
   }
   // Copy handlers out so a handler may (un)subscribe without deadlock and
   // slow handlers do not serialize unrelated subscribe calls.
   std::vector<EventHandler> snapshot;
+  std::vector<BatchEventHandler> batch_snapshot;
   {
     std::lock_guard lock(mu_);
     snapshot.reserve(handlers_.size());
     for (const auto& [token, handler] : handlers_) snapshot.push_back(handler);
+    batch_snapshot.reserve(batch_handlers_.size());
+    for (const auto& [token, handler] : batch_handlers_) {
+      batch_snapshot.push_back(handler);
+    }
   }
-  for (const auto& handler : snapshot) handler(ev);
-  return snapshot.size();
+  // Per-event handlers see events in submission order; batch handlers get
+  // the whole span once so they can amortize per-delivery work.
+  for (const event::Event& ev : events) {
+    for (const auto& handler : snapshot) handler(ev);
+  }
+  for (const auto& handler : batch_snapshot) handler(events);
+  return snapshot.size() + batch_snapshot.size();
 }
 
 std::size_t EventChannel::subscriber_count() const {
   std::lock_guard lock(mu_);
-  return handlers_.size();
+  return handlers_.size() + batch_handlers_.size();
 }
 
 void EventChannel::instrument(obs::Registry& registry) {
@@ -61,6 +87,8 @@ void EventChannel::instrument(obs::Registry& registry) {
 void EventChannel::unsubscribe(std::uint64_t token) {
   std::lock_guard lock(mu_);
   std::erase_if(handlers_, [&](const auto& p) { return p.first == token; });
+  std::erase_if(batch_handlers_,
+                [&](const auto& p) { return p.first == token; });
 }
 
 Result<std::shared_ptr<EventChannel>> ChannelRegistry::create(

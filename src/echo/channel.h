@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,12 @@ using ChannelId = std::uint32_t;
 enum class ChannelRole : std::uint8_t { kData = 0, kControl = 1 };
 
 using EventHandler = std::function<void(const event::Event&)>;
+
+/// Handler that receives a whole submit_batch() span at once. Subscribers
+/// that amortize per-delivery costs (e.g. remote bridges issuing one
+/// vectored send per batch) register these; everyone else keeps the
+/// per-event form and sees batches unbundled.
+using BatchEventHandler = std::function<void(std::span<const event::Event>)>;
 
 class EventChannel;
 
@@ -73,11 +80,21 @@ class EventChannel : public std::enable_shared_from_this<EventChannel> {
   /// delivered synchronously on the submitter's thread.
   [[nodiscard]] Subscription subscribe(EventHandler handler);
 
+  /// Register a batch handler: submit_batch() hands it the whole span in
+  /// one call; submit() hands it a span of one.
+  [[nodiscard]] Subscription subscribe_batch(BatchEventHandler handler);
+
   /// Deliver to all current subscribers. Returns the number of local
   /// handlers invoked.
   std::size_t submit(const event::Event& ev);
 
-  /// Number of submit() calls so far (monitoring/tests).
+  /// Deliver several events as one operation: per-event handlers see each
+  /// event in order, batch handlers get the whole span once. Returns the
+  /// number of local handlers invoked (counting each batch handler once).
+  std::size_t submit_batch(std::span<const event::Event> events);
+
+  /// Number of events submitted so far — submit() adds one, submit_batch()
+  /// adds the batch size (monitoring/tests).
   std::uint64_t submitted_count() const {
     return submitted_.load(std::memory_order_relaxed);
   }
@@ -104,6 +121,7 @@ class EventChannel : public std::enable_shared_from_this<EventChannel> {
   mutable std::mutex mu_;
   std::uint64_t next_token_ = 1;
   std::vector<std::pair<std::uint64_t, EventHandler>> handlers_;
+  std::vector<std::pair<std::uint64_t, BatchEventHandler>> batch_handlers_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<obs::Counter*> obs_msgs_{nullptr};
   std::atomic<obs::Counter*> obs_bytes_{nullptr};

@@ -11,9 +11,9 @@ event::Event status_broadcast(const event::Event& src,
   d.kind = event::Derived::Kind::kStatusBroadcast;
   d.status = status;
   event::Event out = event::make_derived(d);
-  out.header().ingress_time = src.header().ingress_time;
-  out.header().vts = src.header().vts;
-  out.header().coalesced = src.header().coalesced;
+  out.mutable_header().ingress_time = src.header().ingress_time;
+  out.mutable_header().vts = src.header().vts;
+  out.mutable_header().coalesced = src.header().coalesced;
   return out;
 }
 
@@ -32,7 +32,7 @@ std::vector<event::Event> Ede::process(const event::Event& ev) {
       state_->update(pos->flight, [&](FlightRecord& rec) {
         rec.position = *pos;
         rec.has_position = true;
-        rec.app_body = ev.padding();
+        rec.app_body = Bytes(ev.padding().begin(), ev.padding().end());
         if (rec.status == event::FlightStatus::kScheduled ||
             rec.status == event::FlightStatus::kDeparted) {
           rec.status = event::FlightStatus::kEnRoute;
@@ -50,7 +50,9 @@ std::vector<event::Event> Ede::process(const event::Event& ev) {
       bool departure_incomplete = false;
       state_->update(st->flight, [&](FlightRecord& rec) {
         rec.status = st->status;
-        if (!ev.padding().empty()) rec.app_body = ev.padding();
+        if (!ev.padding().empty()) {
+          rec.app_body = Bytes(ev.padding().begin(), ev.padding().end());
+        }
         if (st->gate != 0) {
           gate_changed = rec.gate != 0 && rec.gate != st->gate;
           rec.gate = st->gate;
@@ -76,8 +78,8 @@ std::vector<event::Event> Ede::process(const event::Event& ev) {
         d.kind = kind;
         d.status = st->status;
         event::Event out = event::make_derived(d);
-        out.header().ingress_time = ev.header().ingress_time;
-        out.header().vts = ev.header().vts;
+        out.mutable_header().ingress_time = ev.header().ingress_time;
+        out.mutable_header().vts = ev.header().vts;
         outputs.push_back(std::move(out));
       };
       if (gate_changed) {
@@ -108,8 +110,8 @@ std::vector<event::Event> Ede::process(const event::Event& ev) {
         d.kind = event::Derived::Kind::kAllBoarded;
         d.status = event::FlightStatus::kAllBoarded;
         event::Event derived = event::make_derived(d);
-        derived.header().ingress_time = ev.header().ingress_time;
-        derived.header().vts = ev.header().vts;
+        derived.mutable_header().ingress_time = ev.header().ingress_time;
+        derived.mutable_header().vts = ev.header().vts;
         state_->update(pb->flight, [&](FlightRecord& rec) {
           rec.status = event::FlightStatus::kAllBoarded;
         });

@@ -4,9 +4,19 @@
 
 namespace admire::event {
 
+Payload& Event::mutable_payload() {
+  invalidate_encoded();
+  if (!payload_) {
+    payload_ = std::make_shared<Payload>();
+  } else if (payload_.use_count() > 1) {
+    payload_ = std::make_shared<Payload>(*payload_);  // detach from sharers
+  }
+  return *payload_;
+}
+
 std::size_t Event::wire_size() const {
   return kHeaderWireSize + header_.vts.num_streams() * sizeof(SeqNo) +
-         payload_wire_size(payload_) + padding_.size();
+         payload_wire_size(payload()) + padding().size();
 }
 
 std::string Event::describe() const {

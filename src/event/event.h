@@ -2,9 +2,19 @@
 // per-stream sequence, vector timestamp, ingress time), a typed payload,
 // and optional opaque padding (the experiments sweep wire size 0..8 KB
 // while semantic content stays small).
+//
+// Events are copied at every hop of the mirroring path (ready queue,
+// backup queue, per-mirror fan-out), so the payload and padding live in
+// shared immutable storage: copying an Event copies a small header plus
+// two refcounts instead of deep-copying up to 8 KB. Mutation goes through
+// the mutable_*() accessors, which detach (copy-on-write) when the storage
+// is shared and drop any cached wire encoding (see encoded_cache()).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/bytes.h"
@@ -32,17 +42,78 @@ class Event {
   Event() = default;
   Event(EventHeader header, Payload payload, Bytes padding = {})
       : header_(std::move(header)),
-        payload_(std::move(payload)),
-        padding_(std::move(padding)) {}
+        payload_(std::make_shared<Payload>(std::move(payload))) {
+    set_padding(std::move(padding));
+  }
+
+  Event(const Event& other)
+      : header_(other.header_),
+        payload_(other.payload_),
+        padding_owner_(other.padding_owner_),
+        padding_view_(other.padding_view_),
+        encoded_(other.encoded_.load(std::memory_order_acquire)) {}
+  Event(Event&& other) noexcept
+      : header_(std::move(other.header_)),
+        payload_(std::move(other.payload_)),
+        padding_owner_(std::move(other.padding_owner_)),
+        padding_view_(other.padding_view_),
+        encoded_(other.encoded_.load(std::memory_order_acquire)) {}
+  Event& operator=(const Event& other) {
+    header_ = other.header_;
+    payload_ = other.payload_;
+    padding_owner_ = other.padding_owner_;
+    padding_view_ = other.padding_view_;
+    encoded_.store(other.encoded_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    return *this;
+  }
+  Event& operator=(Event&& other) noexcept {
+    header_ = std::move(other.header_);
+    payload_ = std::move(other.payload_);
+    padding_owner_ = std::move(other.padding_owner_);
+    padding_view_ = other.padding_view_;
+    encoded_.store(other.encoded_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    return *this;
+  }
 
   const EventHeader& header() const { return header_; }
-  EventHeader& header() { return header_; }
+  /// Mutable header access; invalidates any cached wire encoding (the
+  /// header is part of the encoded bytes).
+  EventHeader& mutable_header() {
+    invalidate_encoded();
+    return header_;
+  }
 
-  const Payload& payload() const { return payload_; }
-  Payload& payload() { return payload_; }
+  const Payload& payload() const {
+    static const Payload kDefault{};
+    return payload_ ? *payload_ : kDefault;
+  }
+  /// Copy-on-write payload access: detaches from storage shared with other
+  /// copies and invalidates any cached wire encoding.
+  Payload& mutable_payload();
 
-  const Bytes& padding() const { return padding_; }
-  void set_padding(Bytes padding) { padding_ = std::move(padding); }
+  ByteSpan padding() const { return padding_view_; }
+  void set_padding(Bytes padding) {
+    invalidate_encoded();
+    if (padding.empty()) {
+      padding_owner_ = nullptr;
+      padding_view_ = {};
+      return;
+    }
+    auto owner = std::make_shared<const Bytes>(std::move(padding));
+    padding_view_ = ByteSpan(owner->data(), owner->size());
+    padding_owner_ = std::move(owner);
+  }
+  /// Zero-copy padding: `view` must point into storage kept alive by
+  /// `owner` (e.g. a received wire frame). The decoder uses this so a
+  /// mirror-side event references the transport buffer instead of copying
+  /// up to 8 KB out of it.
+  void set_padding_view(std::shared_ptr<const void> owner, ByteSpan view) {
+    invalidate_encoded();
+    padding_owner_ = std::move(owner);
+    padding_view_ = view;
+  }
 
   EventType type() const { return header_.type; }
   FlightKey key() const { return header_.key; }
@@ -52,11 +123,12 @@ class Event {
   /// Typed accessor; nullptr if the payload holds a different kind.
   template <typename T>
   const T* as() const {
-    return std::get_if<T>(&payload_);
+    return std::get_if<T>(&payload());
   }
+  /// Mutable typed accessor (copy-on-write, invalidates cached encoding).
   template <typename T>
-  T* as() {
-    return std::get_if<T>(&payload_);
+  T* mutable_as() {
+    return std::get_if<T>(&mutable_payload());
   }
 
   /// Serialized size estimate: header + semantic payload + padding.
@@ -65,12 +137,44 @@ class Event {
   /// Short "FAA_POSITION s0#42 flight=17 (1024B)" description for logs.
   std::string describe() const;
 
-  bool operator==(const Event&) const = default;
+  // --- Encoded-frame cache ------------------------------------------------
+  // The serialize layer attaches the event's wire encoding here so a
+  // fan-out to M subscribers serializes once, not M times (see
+  // serialize::encode_event_shared). The slot is shared by copies made
+  // after population and cleared by every mutable accessor. Atomic so
+  // concurrent fan-out threads may race on the lazy fill benignly (both
+  // encode the same immutable content; last store wins).
+
+  /// Cached wire encoding; nullptr until populated.
+  std::shared_ptr<const Bytes> encoded_cache() const {
+    return encoded_.load(std::memory_order_acquire);
+  }
+  /// Attach a wire encoding (logically const: caches a derived value).
+  void set_encoded_cache(std::shared_ptr<const Bytes> bytes) const {
+    encoded_.store(std::move(bytes), std::memory_order_release);
+  }
+
+  bool operator==(const Event& other) const {
+    const ByteSpan a = padding();
+    const ByteSpan b = other.padding();
+    return header_ == other.header_ && payload() == other.payload() &&
+           a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
 
  private:
+  void invalidate_encoded() {
+    encoded_.store(nullptr, std::memory_order_release);
+  }
+
   EventHeader header_;
-  Payload payload_;
-  Bytes padding_;
+  std::shared_ptr<Payload> payload_;  ///< immutable while shared (CoW)
+  /// Padding storage: immutable buffer (possibly a whole wire frame that
+  /// the view aliases into) + the view itself. Replace-only, never mutated
+  /// in place.
+  std::shared_ptr<const void> padding_owner_;
+  ByteSpan padding_view_;
+  mutable std::atomic<std::shared_ptr<const Bytes>> encoded_;
 };
 
 /// Serialized header footprint (fixed part; VTS adds 8B per component).

@@ -159,26 +159,51 @@ adapt::AdaptationPolicy MirroringApi::adaptation_policy() const {
 
 void MirroringApi::bind(PipelineCore* core, EventSink mirror_sink,
                         EventSink fwd_sink,
-                        std::function<void()> checkpoint_trigger) {
+                        std::function<void()> checkpoint_trigger,
+                        BatchEventSink mirror_batch_sink) {
   core_ = core;
   mirror_sink_ = std::move(mirror_sink);
+  mirror_batch_sink_ = std::move(mirror_batch_sink);
   fwd_sink_ = std::move(fwd_sink);
   checkpoint_trigger_ = std::move(checkpoint_trigger);
   reinstall();
 }
 
 void MirroringApi::mirror(const event::Event& ev) const {
-  if (!mirror_sink_) return;
+  if (!mirror_sink_ && !mirror_batch_sink_) return;
   CustomFunction custom;
   {
     std::lock_guard lock(hooks_mu_);
     custom = custom_mirror_;
   }
-  if (custom) {
+  if (custom && mirror_sink_) {
     custom(ev, mirror_sink_);
-  } else {
+  } else if (mirror_sink_) {
     mirror_sink_(ev);
+  } else {
+    mirror_batch_sink_(std::span<const event::Event>(&ev, 1));
   }
+}
+
+void MirroringApi::mirror_batch(std::span<const event::Event> events) const {
+  if (events.empty()) return;
+  CustomFunction custom;
+  {
+    std::lock_guard lock(hooks_mu_);
+    custom = custom_mirror_;
+  }
+  // A custom mirroring function has per-event semantics (it may filter or
+  // transform each event), so batches are unbundled for it.
+  if (custom && mirror_sink_) {
+    for (const event::Event& ev : events) custom(ev, mirror_sink_);
+    return;
+  }
+  if (mirror_batch_sink_) {
+    mirror_batch_sink_(events);
+    return;
+  }
+  if (!mirror_sink_) return;
+  for (const event::Event& ev : events) mirror_sink_(ev);
 }
 
 void MirroringApi::fwd(const event::Event& ev) const {

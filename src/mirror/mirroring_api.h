@@ -20,6 +20,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "adapt/controller.h"
 #include "event/event.h"
@@ -30,6 +31,12 @@ namespace admire::mirror {
 
 /// Receives events the mirroring/forwarding functions emit.
 using EventSink = std::function<void(const event::Event&)>;
+
+/// Batch-capable sink: receives a whole send step's worth of events in one
+/// call so the delivery path (channel fan-out, vectored transport) can
+/// amortize per-event costs. Optional — sites that don't provide one fall
+/// back to per-event EventSink delivery.
+using BatchEventSink = std::function<void(std::span<const event::Event>)>;
 
 /// A custom mirroring/forwarding function (set_mirror/set_fwd): receives
 /// the event plus the default sink so it can delegate, filter or transform.
@@ -94,14 +101,22 @@ class MirroringApi {
   // --- Runtime binding ----------------------------------------------------
   /// Attach to a running pipeline. `mirror_sink` delivers to all mirror
   /// sites' aux units; `fwd_sink` to the local main unit;
-  /// `checkpoint_trigger` opens a checkpoint round.
+  /// `checkpoint_trigger` opens a checkpoint round. `mirror_batch_sink`,
+  /// when provided, lets mirror_batch() deliver a whole send step in one
+  /// call (custom mirror functions still see events one at a time).
   void bind(PipelineCore* core, EventSink mirror_sink, EventSink fwd_sink,
-            std::function<void()> checkpoint_trigger);
+            std::function<void()> checkpoint_trigger,
+            BatchEventSink mirror_batch_sink = nullptr);
 
   bool bound() const { return core_ != nullptr; }
 
   /// mirror(): run the (custom or default) mirroring function on `ev`.
   void mirror(const event::Event& ev) const;
+
+  /// Batched mirror(): one call per send step. Uses the batch sink when
+  /// bound with one and no custom mirroring function is installed;
+  /// otherwise degrades to per-event mirror() semantics.
+  void mirror_batch(std::span<const event::Event> events) const;
 
   /// fwd(): run the (custom or default) forwarding function on `ev`.
   void fwd(const event::Event& ev) const;
@@ -130,6 +145,7 @@ class MirroringApi {
 
   PipelineCore* core_ = nullptr;  // not owned
   EventSink mirror_sink_;
+  BatchEventSink mirror_batch_sink_;
   EventSink fwd_sink_;
   std::function<void()> checkpoint_trigger_;
 };

@@ -26,10 +26,10 @@ PipelineCore::ReceiveOutcome PipelineCore::on_incoming(event::Event ev,
 
   // Timestamping: ingress time + vector timestamp ("events themselves are
   // uniquely timestamped when they enter the primary site", §3.3).
-  if (ev.header().ingress_time == 0) ev.header().ingress_time = now;
+  if (ev.header().ingress_time == 0) ev.mutable_header().ingress_time = now;
   if (event::is_data_event(ev.type())) {
     vts_.observe(ev.stream(), ev.seq());
-    ev.header().vts = vts_;
+    ev.mutable_header().vts = vts_;
   }
 
   // Checkpointing runs "at a constant frequency of once per 50 processed
@@ -74,13 +74,22 @@ void PipelineCore::account_send(const event::Event& ev, SendStep& step) {
 }
 
 std::optional<PipelineCore::SendStep> PipelineCore::try_send_step(Nanos now) {
-  auto ev = ready_.try_pop(now);
-  if (!ev) return std::nullopt;
+  return try_send_batch(1, now);
+}
+
+std::optional<PipelineCore::SendStep> PipelineCore::try_send_batch(
+    std::size_t max, Nanos now) {
+  std::vector<event::Event> popped = ready_.pop_batch(max, now);
+  if (popped.empty()) return std::nullopt;
   std::lock_guard lock(mu_);
   SendStep step;
-  step.offered_bytes = ev->wire_size();
-  step.to_send = coalescer_.offer(std::move(*ev));
-  for (const auto& out : step.to_send) account_send(out, step);
+  for (event::Event& ev : popped) {
+    step.offered_bytes += ev.wire_size();
+    for (event::Event& out : coalescer_.offer(std::move(ev))) {
+      account_send(out, step);
+      step.to_send.push_back(std::move(out));
+    }
+  }
   if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
     for (const auto& out : step.to_send) {
       if (event::is_data_event(out.type()) && tracer->sampled(out.seq())) {

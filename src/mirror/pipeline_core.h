@@ -66,14 +66,21 @@ class PipelineCore {
   /// sent events.
   struct SendStep {
     std::vector<event::Event> to_send;
-    /// Wire size of the ready-queue event this step consumed (also set
-    /// when coalescing buffered it and to_send is empty) — cost-model
-    /// input for the extraction/combine work of §3.3.
+    /// Total wire size of the ready-queue events this step consumed (also
+    /// set when coalescing buffered them and to_send is empty) —
+    /// cost-model input for the extraction/combine work of §3.3.
     std::size_t offered_bytes = 0;
   };
   /// nullopt when the ready queue is empty. `now` (0 = unknown) feeds the
   /// ready-queue wait histogram and the event tracer.
   std::optional<SendStep> try_send_step(Nanos now = 0);
+
+  /// Batched send step: drain up to `max` ready events in one swap-based
+  /// pop and run each through coalescing/backup accounting. The sending
+  /// task uses this to convert accumulated send credits into one vectored
+  /// fan-out instead of `max` lock round-trips. nullopt when the ready
+  /// queue is empty.
+  std::optional<SendStep> try_send_batch(std::size_t max, Nanos now = 0);
 
   /// Flush coalescing buffers (quiesce / end of stream). The returned
   /// events have been backed up and counted like normal sends.

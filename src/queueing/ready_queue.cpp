@@ -9,29 +9,60 @@ void ReadyQueue::push(event::Event ev, Nanos now) {
   high_water_ = std::max(high_water_, items_.size());
 }
 
-std::optional<event::Event> ReadyQueue::try_pop(Nanos now) {
+void ReadyQueue::push_batch(std::vector<event::Event> evs, Nanos now) {
+  if (evs.empty()) return;
   std::lock_guard lock(mu_);
-  if (items_.empty()) return std::nullopt;
-  Entry out = std::move(items_.front());
-  items_.pop_front();
-  if (wait_ns_ != nullptr && now > 0 && out.enqueued_at > 0) {
-    wait_ns_->observe(static_cast<double>(now - out.enqueued_at));
+  for (event::Event& ev : evs) {
+    items_.push_back(Entry{std::move(ev), now});
   }
-  return std::move(out.ev);
+  pushed_ += evs.size();
+  high_water_ = std::max(high_water_, items_.size());
+}
+
+std::optional<event::Event> ReadyQueue::try_pop(Nanos now) {
+  // Move the entry out under the lock but destroy/observe outside it, so
+  // payload destructors and histogram updates never extend the critical
+  // section the pushing (receiving) task contends on.
+  std::optional<Entry> out;
+  obs::Histogram* wait_hist = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    out.emplace(std::move(items_.front()));
+    items_.pop_front();
+    wait_hist = wait_ns_;
+  }
+  if (wait_hist != nullptr && now > 0 && out->enqueued_at > 0) {
+    wait_hist->observe(static_cast<double>(now - out->enqueued_at));
+  }
+  return std::move(out->ev);
 }
 
 std::vector<event::Event> ReadyQueue::pop_batch(std::size_t max, Nanos now) {
-  std::lock_guard lock(mu_);
-  std::vector<event::Event> out;
-  const std::size_t n = std::min(max, items_.size());
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Entry& front = items_.front();
-    if (wait_ns_ != nullptr && now > 0 && front.enqueued_at > 0) {
-      wait_ns_->observe(static_cast<double>(now - front.enqueued_at));
+  // Swap-based drain: detach the batch under the lock, then unwrap the
+  // entries (moves, wait-time observations, Entry destruction) unlocked.
+  std::deque<Entry> drained;
+  obs::Histogram* wait_hist = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (items_.empty() || max == 0) return {};
+    if (max >= items_.size()) {
+      items_.swap(drained);  // whole-queue fast path: O(1) under the lock
+    } else {
+      const auto end = items_.begin() + static_cast<std::ptrdiff_t>(max);
+      drained.insert(drained.end(), std::move_iterator(items_.begin()),
+                     std::move_iterator(end));
+      items_.erase(items_.begin(), end);
     }
-    out.push_back(std::move(front.ev));
-    items_.pop_front();
+    wait_hist = wait_ns_;
+  }
+  std::vector<event::Event> out;
+  out.reserve(drained.size());
+  for (Entry& entry : drained) {
+    if (wait_hist != nullptr && now > 0 && entry.enqueued_at > 0) {
+      wait_hist->observe(static_cast<double>(now - entry.enqueued_at));
+    }
+    out.push_back(std::move(entry.ev));
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "event/event.h"
 #include "obs/registry.h"
@@ -18,6 +19,11 @@ class ReadyQueue {
   /// `now` (when nonzero and the queue is instrumented) stamps the entry so
   /// pop can report queue wait time; callers without a clock pass nothing.
   void push(event::Event ev, Nanos now = 0);
+
+  /// Push a whole batch under one lock acquisition (pairs with pop_batch
+  /// on the consuming side; cuts per-event lock traffic on the ingest
+  /// path). All entries share the same enqueue timestamp.
+  void push_batch(std::vector<event::Event> evs, Nanos now = 0);
 
   /// Pop the oldest event; nullopt when empty. `now` feeds the wait-time
   /// histogram when instrumented.

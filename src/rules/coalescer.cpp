@@ -34,7 +34,7 @@ std::vector<event::Event> Coalescer::offer(event::Event ev) {
   // Replace with the newer payload; accumulate represented-raw-event count.
   const std::uint32_t count = it->second.header().coalesced +
                               ev.header().coalesced;
-  ev.header().coalesced = count;
+  ev.mutable_header().coalesced = count;
   // Keep stream/seq/vts of the *newest* constituent so checkpoints cover
   // the whole absorbed run once this event is sent.
   it->second = std::move(ev);

@@ -112,11 +112,11 @@ ReceiveDecision RuleEngine::decide(const event::Event& ev,
         event::Event out = event::make_derived(combined);
         // The combined event inherits the completing constituent's
         // position in the streams so checkpointing can cover it.
-        out.header().stream = ev.header().stream;
-        out.header().seq = ev.header().seq;
-        out.header().vts = ev.header().vts;
-        out.header().ingress_time = ev.header().ingress_time;
-        out.header().coalesced =
+        out.mutable_header().stream = ev.header().stream;
+        out.mutable_header().seq = ev.header().seq;
+        out.mutable_header().vts = ev.header().vts;
+        out.mutable_header().ingress_time = ev.header().ingress_time;
+        out.mutable_header().coalesced =
             static_cast<std::uint32_t>(rule.constituents.size());
         table.set_flight_status(key, rule.emit_status);
         decision.combined = std::move(out);

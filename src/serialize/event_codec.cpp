@@ -1,5 +1,6 @@
 #include "serialize/event_codec.h"
 
+#include "obs/registry.h"
 #include "serialize/wire.h"
 
 namespace admire::serialize {
@@ -151,6 +152,12 @@ bool decode_payload(Reader& r, EventType type, Payload& out) {
 }  // namespace
 
 void encode_event(const Event& ev, Writer& out) {
+  // Counts real serializations so tests can assert the encode-once fan-out
+  // property; the global registry's instruments are never destroyed, so
+  // caching the reference is safe from any thread.
+  static obs::Counter& encodes =
+      obs::Registry::global().counter("serialize.encode_events_total");
+  encodes.inc();
   encode_header(ev.header(), out);
   std::visit(PayloadEncoder{out}, ev.payload());
   out.bytes(ev.padding());
@@ -160,6 +167,13 @@ Bytes encode_event(const Event& ev) {
   Writer w(ev.wire_size() + 16);
   encode_event(ev, w);
   return w.take();
+}
+
+std::shared_ptr<const Bytes> encode_event_shared(const event::Event& ev) {
+  if (auto cached = ev.encoded_cache()) return cached;
+  auto shared = std::make_shared<const Bytes>(encode_event(ev));
+  ev.set_encoded_cache(shared);
+  return shared;
 }
 
 Result<Event> decode_event(ByteSpan data) {
@@ -180,8 +194,33 @@ Result<Event> decode_event(ByteSpan data) {
   return Event(std::move(h), std::move(payload), std::move(padding));
 }
 
+Result<Event> decode_event_shared(std::shared_ptr<const Bytes> frame) {
+  const ByteSpan data(frame->data(), frame->size());
+  Reader r(data);
+  EventHeader h;
+  if (!decode_header(r, h)) {
+    return err(StatusCode::kCorrupt, "bad event header");
+  }
+  Payload payload;
+  if (!decode_payload(r, h.type, payload)) {
+    return err(StatusCode::kCorrupt, "bad event payload");
+  }
+  const std::uint64_t padding_len = r.varint();
+  if (!r.ok() || padding_len != r.remaining()) {
+    return err(StatusCode::kCorrupt, "bad event padding");
+  }
+  Event out(std::move(h), std::move(payload));
+  if (padding_len > 0) {
+    out.set_padding_view(frame, data.subspan(r.position(), padding_len));
+  }
+  // The buffer IS this event's wire encoding: cache it so re-exporting
+  // the event (mirror chains, multi-bridge fan-out) re-encodes nothing.
+  out.set_encoded_cache(std::move(frame));
+  return out;
+}
+
 Bytes frame(ByteSpan body) {
-  Writer w(body.size() + 12);
+  Writer w(body.size() + kFrameHeaderSize);
   w.u32(static_cast<std::uint32_t>(body.size()));
   w.u64(fnv1a(body));
   w.raw(body);
@@ -190,31 +229,56 @@ Bytes frame(ByteSpan body) {
 
 Bytes frame_event(const Event& ev) { return frame(encode_event(ev)); }
 
+void frame_header(ByteSpan body, std::byte out[kFrameHeaderSize]) {
+  const auto len = static_cast<std::uint32_t>(body.size());
+  const std::uint64_t checksum = fnv1a(body);
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::byte>((len >> (8 * i)) & 0xFF);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[4 + i] = static_cast<std::byte>((checksum >> (8 * i)) & 0xFF);
+  }
+}
+
+void FrameParser::compact() {
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+  // A burst (one huge feed, since parsed) can leave capacity far above the
+  // live suffix; give it back rather than pinning it for the stream's life.
+  if (pending_.capacity() > 2 * kCompactThreshold &&
+      pending_.size() < pending_.capacity() / 4) {
+    pending_.shrink_to_fit();
+  }
+}
+
 void FrameParser::feed(ByteSpan chunk) {
   // Compact lazily: drop consumed prefix when it dominates the buffer.
-  if (consumed_ > 0 && consumed_ * 2 > pending_.size()) {
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(consumed_));
-    consumed_ = 0;
-  }
+  if (consumed_ > 0 && consumed_ * 2 > pending_.size()) compact();
   pending_.insert(pending_.end(), chunk.begin(), chunk.end());
 }
 
 Result<Bytes> FrameParser::next() {
   const std::size_t avail = pending_.size() - consumed_;
-  constexpr std::size_t kPrefix = 4 + 8;
-  if (avail < kPrefix) return err(StatusCode::kWouldBlock, "need header");
+  if (avail < kFrameHeaderSize) {
+    return err(StatusCode::kWouldBlock, "need header");
+  }
   Reader r(ByteSpan(pending_.data() + consumed_, avail));
   const std::uint32_t len = r.u32();
   const std::uint64_t checksum = r.u64();
   if (len > kMaxFrame) return err(StatusCode::kCorrupt, "oversized frame");
-  if (avail < kPrefix + len) return err(StatusCode::kWouldBlock, "need body");
-  ByteSpan body(pending_.data() + consumed_ + kPrefix, len);
+  if (avail < kFrameHeaderSize + len) {
+    return err(StatusCode::kWouldBlock, "need body");
+  }
+  ByteSpan body(pending_.data() + consumed_ + kFrameHeaderSize, len);
   if (fnv1a(body) != checksum) {
     return err(StatusCode::kCorrupt, "frame checksum mismatch");
   }
   Bytes out(body.begin(), body.end());
-  consumed_ += kPrefix + len;
+  consumed_ += kFrameHeaderSize + len;
+  // Eager compaction keeps retained memory proportional to the live
+  // suffix even when the caller feeds far faster than it drains.
+  if (consumed_ >= kCompactThreshold) compact();
   return out;
 }
 

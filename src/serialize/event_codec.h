@@ -3,6 +3,8 @@
 // a checksummed frame for transport.
 #pragma once
 
+#include <memory>
+
 #include "common/status.h"
 #include "event/event.h"
 #include "serialize/wire.h"
@@ -10,19 +12,43 @@
 namespace admire::serialize {
 
 /// Encode the full event (header + payload + padding) into `out`'s buffer.
+/// Every call counts one actual serialization against the global-registry
+/// counter `serialize.encode_events_total` (encode-once verification).
 void encode_event(const event::Event& ev, Writer& out);
 
 /// Convenience: encode to a fresh buffer.
 Bytes encode_event(const event::Event& ev);
 
+/// Encode-once fan-out: return the event's cached wire encoding,
+/// serializing and attaching it on first call (see Event::encoded_cache).
+/// A mirror aux unit fanning one event out to M mirror links therefore
+/// serializes once, not M times; mutation through any mutable_*() accessor
+/// invalidates the cache so stale bytes can never be sent.
+std::shared_ptr<const Bytes> encode_event_shared(const event::Event& ev);
+
 /// Decode one event; kCorrupt on truncation, unknown tags or trailing junk
 /// inside the event region.
 Result<event::Event> decode_event(ByteSpan data);
+
+/// Zero-copy decode of a whole received frame buffer: the decoded event's
+/// padding aliases into `frame` (no copy of the padding region), and
+/// `frame` is attached as the event's encoded-frame cache — so a mirror
+/// that re-exports the event serializes zero additional times. `frame`
+/// must hold exactly one encoded event.
+Result<event::Event> decode_event_shared(std::shared_ptr<const Bytes> frame);
 
 /// Frame = u32 length of body | u64 fnv1a(body) | body. Suitable for
 /// streaming over TCP; see FrameParser for incremental reads.
 Bytes frame(ByteSpan body);
 Bytes frame_event(const event::Event& ev);
+
+/// Fixed frame prefix size (u32 length + u64 checksum).
+inline constexpr std::size_t kFrameHeaderSize = 4 + 8;
+
+/// Write just the frame prefix for `body` into `out` — lets vectored
+/// transports (writev) frame a body without copying it into a contiguous
+/// buffer.
+void frame_header(ByteSpan body, std::byte out[kFrameHeaderSize]);
 
 /// Incremental frame parser: feed arbitrary chunks, poll complete bodies.
 class FrameParser {
@@ -39,11 +65,22 @@ class FrameParser {
   /// desynchronized length prefixes). Generous vs. the 8 KB max event.
   static constexpr std::size_t kMaxFrame = 4 * 1024 * 1024;
 
+  /// Consumed-prefix size beyond which next() compacts the buffer eagerly,
+  /// so a long-lived stream cannot retain already-parsed bytes: memory is
+  /// bounded by the live (unconsumed) suffix, not by total bytes ever fed.
+  static constexpr std::size_t kCompactThreshold = 64 * 1024;
+
   /// Bytes fed but not yet consumed by a completed frame — nonzero after a
   /// final kWouldBlock means the stream ended mid-record (torn tail).
   std::size_t pending_bytes() const { return pending_.size() - consumed_; }
 
+  /// Allocated capacity of the reassembly buffer (regression guard for the
+  /// compaction policy above).
+  std::size_t pending_capacity() const { return pending_.capacity(); }
+
  private:
+  void compact();
+
   Bytes pending_;
   std::size_t consumed_ = 0;
 };

@@ -4,7 +4,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -16,6 +18,13 @@ class Writer {
  public:
   Writer() = default;
   explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Pooled-buffer mode: write into a recycled buffer, clearing its
+  /// contents but keeping its capacity, so steady-state encoding performs
+  /// no allocation. Pair with BufferPool: acquire() -> Writer -> take() ->
+  /// release() once the bytes have been consumed.
+  explicit Writer(Bytes&& recycled) : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v) { put_le(v); }
@@ -59,6 +68,38 @@ class Writer {
   }
 
   Bytes buf_;
+};
+
+/// Thread-safe free-list of byte buffers for hot encode paths: acquire()
+/// pops a recycled buffer (or returns a fresh one), release() returns it
+/// with capacity intact. Bounded so a burst cannot pin memory forever.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_buffers = 8)
+      : max_buffers_(max_buffers) {}
+
+  Bytes acquire() {
+    std::lock_guard lock(mu_);
+    if (free_.empty()) return {};
+    Bytes out = std::move(free_.back());
+    free_.pop_back();
+    return out;
+  }
+
+  void release(Bytes buf) {
+    std::lock_guard lock(mu_);
+    if (free_.size() < max_buffers_) free_.push_back(std::move(buf));
+  }
+
+  std::size_t idle() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const std::size_t max_buffers_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_;
 };
 
 /// Consumes primitives from a byte span; every read is bounds-checked and

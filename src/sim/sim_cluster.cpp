@@ -153,7 +153,7 @@ void SimCluster::on_arrival(event::Event ev) {
   const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
   const Nanos ingress = engine_.now();
   engine_.schedule_at(done, [this, ev = std::move(ev), ingress]() mutable {
-    ev.header().ingress_time = ingress;
+    ev.mutable_header().ingress_time = ingress;
     do_recv(std::move(ev));
     if (config_.closed_loop_source) feed_next_closed_loop();
   });

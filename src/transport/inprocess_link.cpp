@@ -29,10 +29,72 @@ class ShapedPipe {
       msgs_->inc();
       bytes_->inc(message.size());
     }
-    items_.push_back(Item{compute_delivery(message.size()), std::move(message)});
+    const std::size_t size = message.size();
+    items_.push_back(Item{compute_delivery(size, std::chrono::steady_clock::now()),
+                          std::move(message), nullptr});
     lock.unlock();
     readable_.notify_one();
     return Status::ok();
+  }
+
+  /// Batched enqueue: takes the queue lock once for the whole batch
+  /// (re-waiting only when capacity back-pressure forces it), the
+  /// in-process equivalent of the TCP link's single writev. `make_item`
+  /// produces the i-th queued buffer — a copy for span batches, a move for
+  /// owned batches, a refcount bump for shared batches.
+  template <typename MakeItem>
+  Status enqueue_batch(std::size_t count, MakeItem&& make_item) {
+    if (count == 0) return Status::ok();
+    std::unique_lock lock(mu_);
+    if (batch_size_ != nullptr) {
+      batch_size_->observe(static_cast<double>(count));
+    }
+    std::size_t i = 0;
+    while (i < count) {
+      if (!closed_ && items_.size() >= capacity_) {
+        if (stalls_ != nullptr) stalls_->inc();
+        if (i > 0) readable_.notify_one();  // let the receiver drain
+        writable_.wait(lock,
+                       [&] { return closed_ || items_.size() < capacity_; });
+      }
+      if (closed_) return err(StatusCode::kClosed, "link closed");
+      std::size_t run_bytes = 0;
+      const std::size_t run_start = i;
+      const auto now = std::chrono::steady_clock::now();
+      while (i < count && items_.size() < capacity_) {
+        Item item = make_item(i);
+        const std::size_t size = item.size();
+        item.deliver_at = compute_delivery(size, now);
+        items_.push_back(std::move(item));
+        run_bytes += size;
+        ++i;
+      }
+      if (msgs_ != nullptr && i > run_start) {
+        msgs_->inc(i - run_start);
+        bytes_->inc(run_bytes);
+      }
+    }
+    lock.unlock();
+    readable_.notify_one();
+    return Status::ok();
+  }
+
+  Status send_batch(std::span<const ByteSpan> messages) {
+    return enqueue_batch(messages.size(), [&](std::size_t i) {
+      return Item{{}, Bytes(messages[i].begin(), messages[i].end()), nullptr};
+    });
+  }
+
+  Status send_batch_owned(std::vector<Bytes>&& messages) {
+    return enqueue_batch(messages.size(), [&](std::size_t i) {
+      return Item{{}, std::move(messages[i]), nullptr};
+    });
+  }
+
+  Status send_batch_shared(std::span<const SharedBytes> messages) {
+    return enqueue_batch(messages.size(), [&](std::size_t i) {
+      return Item{{}, Bytes{}, messages[i]};
+    });
   }
 
   std::optional<Bytes> receive() {
@@ -46,10 +108,61 @@ class ShapedPipe {
       // Head-of-line shaping delay: wait until the head is deliverable.
       readable_.wait_until(lock, ready);
     }
-    Bytes out = std::move(items_.front().message);
+    Bytes out = items_.front().take_owned();
     items_.pop_front();
     lock.unlock();
     writable_.notify_one();
+    return out;
+  }
+
+  /// Blocking batched receive: one lock hold, one clock read and one
+  /// writers' wake-up for the whole drained run. Shaping is honored — the
+  /// drain stops at the first item whose delivery time is still ahead.
+  std::vector<Bytes> receive_batch(std::size_t max) {
+    std::vector<Bytes> out;
+    if (max == 0) return out;
+    std::unique_lock lock(mu_);
+    while (true) {
+      readable_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return out;  // closed and drained
+      const auto ready = items_.front().deliver_at;
+      const auto now = std::chrono::steady_clock::now();
+      if (ready <= now) break;
+      readable_.wait_until(lock, ready);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (out.size() < max && !items_.empty() &&
+           items_.front().deliver_at <= now) {
+      out.push_back(items_.front().take_owned());
+      items_.pop_front();
+    }
+    lock.unlock();
+    writable_.notify_all();
+    return out;
+  }
+
+  /// receive_batch handing out refcounted buffers: shared sends come back
+  /// as the sender's buffers (zero copy), owned sends are wrapped.
+  std::vector<SharedBytes> receive_batch_shared(std::size_t max) {
+    std::vector<SharedBytes> out;
+    if (max == 0) return out;
+    std::unique_lock lock(mu_);
+    while (true) {
+      readable_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return out;  // closed and drained
+      const auto ready = items_.front().deliver_at;
+      const auto now = std::chrono::steady_clock::now();
+      if (ready <= now) break;
+      readable_.wait_until(lock, ready);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (out.size() < max && !items_.empty() &&
+           items_.front().deliver_at <= now) {
+      out.push_back(items_.front().take_shared());
+      items_.pop_front();
+    }
+    lock.unlock();
+    writable_.notify_all();
     return out;
   }
 
@@ -71,7 +184,7 @@ class ShapedPipe {
         readable_.wait_until(lock, ready);
       }
     }
-    Bytes out = std::move(items_.front().message);
+    Bytes out = items_.front().take_owned();
     items_.pop_front();
     lock.unlock();
     writable_.notify_one();
@@ -97,24 +210,38 @@ class ShapedPipe {
     return items_.size();
   }
 
-  /// Attach send-side counters (owned by a registry). Counted under the
+  /// Attach send-side instruments (owned by a registry). Counted under the
   /// pipe mutex, so plain pointers are safe once set before traffic starts.
   void set_send_instruments(obs::Counter* msgs, obs::Counter* bytes,
-                            obs::Counter* stalls) {
+                            obs::Counter* stalls,
+                            obs::Histogram* batch_size = nullptr) {
     std::lock_guard lock(mu_);
     msgs_ = msgs;
     bytes_ = bytes;
     stalls_ = stalls;
+    batch_size_ = batch_size;
   }
 
  private:
+  /// Exactly one of `owned` / `shared` carries the message: `shared` for
+  /// zero-copy fan-out sends, `owned` otherwise.
   struct Item {
     SteadyTime deliver_at;
-    Bytes message;
+    Bytes owned;
+    SharedBytes shared;
+
+    std::size_t size() const { return shared ? shared->size() : owned.size(); }
+    Bytes take_owned() {
+      return shared ? Bytes(shared->begin(), shared->end())
+                    : std::move(owned);
+    }
+    SharedBytes take_shared() {
+      return shared ? std::move(shared)
+                    : std::make_shared<const Bytes>(std::move(owned));
+    }
   };
 
-  SteadyTime compute_delivery(std::size_t size) {
-    const auto now = std::chrono::steady_clock::now();
+  SteadyTime compute_delivery(std::size_t size, SteadyTime now) {
     auto start = std::max(now, link_free_at_);
     if (shaping_.bytes_per_second > 0.0) {
       const auto tx = std::chrono::nanoseconds(static_cast<Nanos>(
@@ -136,6 +263,7 @@ class ShapedPipe {
   obs::Counter* msgs_ = nullptr;
   obs::Counter* bytes_ = nullptr;
   obs::Counter* stalls_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 };
 
 /// Endpoint pairing one outgoing and one incoming pipe.
@@ -149,7 +277,47 @@ class InProcessEndpoint final : public MessageLink {
 
   Status send(Bytes message) override { return out_->send(std::move(message)); }
 
+  Status send_batch(std::span<const ByteSpan> messages) override {
+    return out_->send_batch(messages);
+  }
+
+  Status send_batch_owned(std::vector<Bytes>&& messages) override {
+    return out_->send_batch_owned(std::move(messages));
+  }
+
+  Status send_batch_shared(std::span<const SharedBytes> messages) override {
+    return out_->send_batch_shared(messages);
+  }
+
+  bool prefers_owned_batches() const override { return true; }
+
   std::optional<Bytes> receive() override { return count_in(in_->receive()); }
+
+  std::vector<Bytes> receive_batch(std::size_t max) override {
+    std::vector<Bytes> out = in_->receive_batch(max);
+    if (!out.empty()) {
+      if (auto* msgs = msgs_in_.load(std::memory_order_acquire)) {
+        std::size_t total = 0;
+        for (const Bytes& m : out) total += m.size();
+        msgs->inc(out.size());
+        bytes_in_.load(std::memory_order_acquire)->inc(total);
+      }
+    }
+    return out;
+  }
+
+  std::vector<SharedBytes> receive_batch_shared(std::size_t max) override {
+    std::vector<SharedBytes> out = in_->receive_batch_shared(max);
+    if (!out.empty()) {
+      if (auto* msgs = msgs_in_.load(std::memory_order_acquire)) {
+        std::size_t total = 0;
+        for (const SharedBytes& m : out) total += m->size();
+        msgs->inc(out.size());
+        bytes_in_.load(std::memory_order_acquire)->inc(total);
+      }
+    }
+    return out;
+  }
 
   std::optional<Bytes> receive_for(std::chrono::milliseconds d) override {
     return count_in(in_->receive_for(d));
@@ -170,7 +338,9 @@ class InProcessEndpoint final : public MessageLink {
     const std::string prefix = "transport.link." + name;
     out_->set_send_instruments(&registry.counter(prefix + ".msgs_out_total"),
                                &registry.counter(prefix + ".bytes_out_total"),
-                               &registry.counter(prefix + ".send_stalls_total"));
+                               &registry.counter(prefix + ".send_stalls_total"),
+                               &registry.histogram(prefix + ".batch_size",
+                                                   obs::Histogram::size_bounds()));
     msgs_in_.store(&registry.counter(prefix + ".msgs_in_total"),
                    std::memory_order_release);
     bytes_in_.store(&registry.counter(prefix + ".bytes_in_total"),

@@ -7,7 +7,9 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -15,6 +17,11 @@
 #include "obs/registry.h"
 
 namespace admire::transport {
+
+/// Refcounted immutable message buffer. Queue-backed links move these
+/// through without copying, so one encoded frame can fan out to M links
+/// for M refcount bumps instead of M deep copies.
+using SharedBytes = std::shared_ptr<const Bytes>;
 
 /// One endpoint of a reliable, ordered, bidirectional message pipe.
 /// send() enqueues one message body; receive() blocks for the next one.
@@ -28,8 +35,80 @@ class MessageLink {
   /// Enqueue one message. kClosed once either side has closed.
   virtual Status send(Bytes message) = 0;
 
+  /// Enqueue several messages as one transport operation, preserving
+  /// order. Equivalent to N send() calls on the wire (the receiver sees N
+  /// ordinary messages) but lets implementations amortize per-message
+  /// costs: the TCP link frames all bodies into a single writev, the
+  /// in-process link takes its queue lock once. Fails atomically per
+  /// message: messages before the failure point were sent. The spans must
+  /// stay valid for the duration of the call; no copy is taken on paths
+  /// that can write them through directly.
+  virtual Status send_batch(std::span<const ByteSpan> messages) {
+    for (const ByteSpan& m : messages) {
+      Status st = send(Bytes(m.begin(), m.end()));
+      if (!st.is_ok()) return st;
+    }
+    return Status::ok();
+  }
+
+  /// send_batch variant that transfers buffer ownership to the link.
+  /// Queue-backed links (in-process) enqueue the buffers directly — zero
+  /// copies; wire-backed links write through spans over the owned buffers —
+  /// also zero extra copies. Prefer this when the caller would otherwise
+  /// throw the buffers away.
+  virtual Status send_batch_owned(std::vector<Bytes>&& messages) {
+    std::vector<ByteSpan> spans;
+    spans.reserve(messages.size());
+    for (const Bytes& m : messages) spans.emplace_back(m.data(), m.size());
+    return send_batch(std::span<const ByteSpan>(spans.data(), spans.size()));
+  }
+
+  /// True when send_batch_owned() can exploit buffer ownership (saving the
+  /// producer a staging copy); callers may use it to pick how they stage
+  /// outgoing batches.
+  virtual bool prefers_owned_batches() const { return false; }
+
+  /// send_batch variant over refcounted buffers. The in-process link
+  /// enqueues the shared_ptrs themselves (a fan-out to M mirrors of the
+  /// same buffers costs M refcount bumps, zero copies); wire-backed links
+  /// write through spans over the shared buffers. The buffers must not be
+  /// mutated after the call (receivers may alias them).
+  virtual Status send_batch_shared(std::span<const SharedBytes> messages) {
+    std::vector<ByteSpan> spans;
+    spans.reserve(messages.size());
+    for (const SharedBytes& m : messages) {
+      spans.emplace_back(m->data(), m->size());
+    }
+    return send_batch(std::span<const ByteSpan>(spans.data(), spans.size()));
+  }
+
   /// Blocking receive; nullopt means closed-and-drained.
   virtual std::optional<Bytes> receive() = 0;
+
+  /// Blocking batched receive: waits like receive() for the first message,
+  /// then drains up to `max` already-available messages in the same
+  /// operation (one lock/wake round-trip instead of one per message).
+  /// Empty means closed-and-drained. Default: a single receive().
+  virtual std::vector<Bytes> receive_batch(std::size_t max) {
+    std::vector<Bytes> out;
+    if (max == 0) return out;
+    if (auto m = receive()) out.push_back(std::move(*m));
+    return out;
+  }
+
+  /// receive_batch over refcounted buffers. When the sender used
+  /// send_batch_shared over a queue-backed link, the very same buffers come
+  /// out here — the receive side of the zero-copy fan-out. Other paths
+  /// wrap owned buffers without copying their contents.
+  virtual std::vector<SharedBytes> receive_batch_shared(std::size_t max) {
+    std::vector<Bytes> owned = receive_batch(max);
+    std::vector<SharedBytes> out;
+    out.reserve(owned.size());
+    for (Bytes& m : owned) {
+      out.push_back(std::make_shared<const Bytes>(std::move(m)));
+    }
+    return out;
+  }
 
   /// Receive with timeout; nullopt on timeout or closed-and-drained
   /// (check is_closed() to distinguish when it matters).
@@ -47,7 +126,9 @@ class MessageLink {
   /// Register this endpoint's traffic counters with a metrics registry
   /// under `transport.link.<name>.{msgs,bytes}_{in,out}_total` (plus
   /// `.send_stalls_total` where the implementation can observe
-  /// back-pressure). Default: not instrumented (no-op).
+  /// back-pressure, `.batch_size` — a histogram of messages per
+  /// send_batch — and `.writev_calls_total` where the implementation
+  /// issues vectored writes). Default: not instrumented (no-op).
   virtual void instrument(obs::Registry& registry, const std::string& name) {
     (void)registry;
     (void)name;

@@ -87,7 +87,7 @@ Trace generate_delta_stream(const DeltaStreamConfig& config) {
   trace.items.reserve(pending.size());
   SeqNo seq = 1;
   for (auto& p : pending) {
-    p.ev.header().seq = seq++;
+    p.ev.mutable_header().seq = seq++;
     trace.items.push_back(TimedEvent{p.at, std::move(p.ev)});
   }
   return trace;

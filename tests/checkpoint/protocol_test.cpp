@@ -153,7 +153,7 @@ TEST(Participant, ApplyCommitTrimsAndIsMonotone) {
     event::FaaPosition pos;
     pos.flight = 1;
     event::Event ev = event::make_faa_position(0, i, pos);
-    ev.header().vts = vts(i);
+    ev.mutable_header().vts = vts(i);
     backup.push(std::move(ev));
   }
   ControlMessage commit;

@@ -15,7 +15,7 @@ event::Event status_update(FlightKey flight, event::FlightStatus status,
   d.kind = event::Derived::Kind::kStatusBroadcast;
   d.status = status;
   event::Event ev = event::make_derived(d);
-  ev.header().ingress_time = ingress;
+  ev.mutable_header().ingress_time = ingress;
   return ev;
 }
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <thread>
 
+#include "obs/registry.h"
+#include "serialize/event_codec.h"
 #include "transport/tcp.h"
 
 namespace admire::echo {
@@ -111,6 +114,83 @@ TEST(Bridge, StopIsIdempotentAndStopsForwarding) {
   pair.ch_a->submit(test_event(1));
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_EQ(pair.bridge_b->delivered(), 0u);
+}
+
+TEST(Bridge, BatchSubmitForwardsEveryEventInOrder) {
+  BridgedPair pair;
+  std::vector<SeqNo> seen;
+  std::mutex seen_mu;
+  auto sub = pair.ch_b->subscribe([&](const event::Event& ev) {
+    std::lock_guard lock(seen_mu);
+    seen.push_back(ev.seq());
+  });
+  std::vector<event::Event> batch;
+  for (SeqNo s = 1; s <= 20; ++s) batch.push_back(test_event(s));
+  pair.ch_a->submit_batch(batch);
+  wait_for([&] {
+    std::lock_guard lock(seen_mu);
+    return seen.size() == 20;
+  });
+  std::lock_guard lock(seen_mu);
+  ASSERT_EQ(seen.size(), 20u);
+  for (SeqNo s = 1; s <= 20; ++s) EXPECT_EQ(seen[s - 1], s);
+  EXPECT_EQ(pair.bridge_a->forwarded(), 20u);
+}
+
+TEST(Bridge, GroupLargerThanPumpDrainSurvivesBatchBoundaries) {
+  // A single exported group can exceed the pump's per-iteration drain
+  // (kDrainMax); the receiving pump must carry group state across
+  // receive_batch calls and deliver every frame to the right channel.
+  BridgedPair pair;
+  std::atomic<std::size_t> received{0};
+  auto sub = pair.ch_b->subscribe(
+      [&](const event::Event&) { received.fetch_add(1); });
+  std::vector<event::Event> batch;
+  for (SeqNo s = 1; s <= 1000; ++s) batch.push_back(test_event(s));
+  pair.ch_a->submit_batch(batch);
+  wait_for([&] { return received.load() == 1000; }, 5000);
+  EXPECT_EQ(received.load(), 1000u);
+  EXPECT_EQ(pair.bridge_b->delivered(), 1000u);
+  EXPECT_EQ(pair.bridge_b->dropped_unknown(), 0u);
+}
+
+TEST(Bridge, FanOutEncodesEachEventExactlyOnce) {
+  // Acceptance criterion: with M mirrors attached, exporting N events costs
+  // exactly N serializations — the bridges share the cached frame.
+  constexpr int kMirrors = 3;
+  constexpr SeqNo kEvents = 50;
+  auto reg_src = std::make_shared<ChannelRegistry>();
+  auto ch_src = reg_src->create(42, "shared", ChannelRole::kData).value();
+  std::vector<std::shared_ptr<ChannelRegistry>> mirror_regs;
+  std::vector<std::shared_ptr<EventChannel>> mirror_chs;
+  std::vector<std::unique_ptr<RemoteChannelBridge>> bridges;
+  std::atomic<std::size_t> received{0};
+  std::vector<Subscription> subs;
+  for (int m = 0; m < kMirrors; ++m) {
+    auto reg = std::make_shared<ChannelRegistry>();
+    auto ch = reg->create(42, "shared", ChannelRole::kData).value();
+    subs.push_back(
+        ch->subscribe([&](const event::Event&) { received.fetch_add(1); }));
+    auto [src_end, mirror_end] = transport::make_inprocess_link_pair();
+    auto src_bridge = std::make_unique<RemoteChannelBridge>(src_end, reg_src);
+    auto mirror_bridge = std::make_unique<RemoteChannelBridge>(mirror_end, reg);
+    src_bridge->export_channel(ch_src);
+    src_bridge->start();
+    mirror_bridge->start();
+    bridges.push_back(std::move(src_bridge));
+    bridges.push_back(std::move(mirror_bridge));
+    mirror_regs.push_back(std::move(reg));
+    mirror_chs.push_back(std::move(ch));
+  }
+  auto& encodes = obs::Registry::global().counter("serialize.encode_events_total");
+  const std::uint64_t before = encodes.value();
+  std::vector<event::Event> batch;
+  for (SeqNo s = 1; s <= kEvents; ++s) batch.push_back(test_event(s));
+  ch_src->submit_batch(batch);
+  wait_for([&] { return received.load() == kMirrors * kEvents; }, 5000);
+  EXPECT_EQ(received.load(), kMirrors * kEvents);
+  // One encode per event, regardless of mirror count.
+  EXPECT_EQ(encodes.value() - before, kEvents);
 }
 
 TEST(Bridge, WorksOverTcp) {

@@ -83,6 +83,69 @@ TEST(EventChannel, SubscriptionOutlivesChannelSafely) {
   sub.reset();  // channel gone; must not crash
 }
 
+TEST(EventChannel, SubmitBatchDeliversEveryEventInOrder) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::vector<SeqNo> seen;
+  auto sub = ch->subscribe([&](const event::Event& ev) { seen.push_back(ev.seq()); });
+  std::vector<event::Event> batch;
+  for (SeqNo s = 1; s <= 5; ++s) {
+    event::FaaPosition pos;
+    pos.flight = 1;
+    batch.push_back(event::make_faa_position(0, s, pos));
+  }
+  EXPECT_EQ(ch->submit_batch(batch), 1u);  // one handler invoked
+  EXPECT_EQ(seen, (std::vector<SeqNo>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ch->submitted_count(), 5u);
+}
+
+TEST(EventChannel, BatchSubscriberSeesWholeSpanOnce) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::size_t calls = 0;
+  std::size_t total = 0;
+  auto sub = ch->subscribe_batch([&](std::span<const event::Event> evs) {
+    ++calls;
+    total += evs.size();
+  });
+  std::vector<event::Event> batch(3, test_event());
+  ch->submit_batch(batch);
+  ch->submit_batch(batch);
+  EXPECT_EQ(calls, 2u);  // one call per batch, not per event
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(EventChannel, SingleSubmitReachesBatchSubscriberAsSpanOfOne) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::size_t sizes_sum = 0;
+  auto sub = ch->subscribe_batch(
+      [&](std::span<const event::Event> evs) { sizes_sum += evs.size(); });
+  ch->submit(test_event());
+  EXPECT_EQ(sizes_sum, 1u);
+}
+
+TEST(EventChannel, BatchSubscriptionUnsubscribes) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  int calls = 0;
+  {
+    auto sub = ch->subscribe_batch([&](std::span<const event::Event>) { ++calls; });
+    EXPECT_EQ(ch->subscriber_count(), 1u);
+    std::vector<event::Event> batch(2, test_event());
+    ch->submit_batch(batch);
+  }
+  EXPECT_EQ(ch->subscriber_count(), 0u);
+  std::vector<event::Event> batch(2, test_event());
+  ch->submit_batch(batch);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventChannel, EmptyBatchIsANoop) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  int calls = 0;
+  auto sub = ch->subscribe([&](const event::Event&) { ++calls; });
+  EXPECT_EQ(ch->submit_batch({}), 0u);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(ch->submitted_count(), 0u);
+}
+
 TEST(ChannelRegistry, CreateAndLookup) {
   ChannelRegistry reg;
   auto res = reg.create(10, "data", ChannelRole::kData);

@@ -16,8 +16,8 @@ event::Event faa(FlightKey flight, SeqNo seq, double lat = 33.6) {
   pos.lon_deg = -84.4;
   pos.altitude_ft = 30000;
   event::Event ev = event::make_faa_position(0, seq, pos, 64);
-  ev.header().vts.observe(0, seq);
-  ev.header().ingress_time = static_cast<Nanos>(seq) * kMilli;
+  ev.mutable_header().vts.observe(0, seq);
+  ev.mutable_header().ingress_time = static_cast<Nanos>(seq) * kMilli;
   return ev;
 }
 
@@ -29,7 +29,7 @@ event::Event delta(FlightKey flight, SeqNo seq, FlightStatus status,
   st.passengers_ticketed = ticketed;
   st.gate = 12;
   event::Event ev = event::make_delta_status(1, seq, st);
-  ev.header().vts.observe(1, seq);
+  ev.mutable_header().vts.observe(1, seq);
   return ev;
 }
 

@@ -1,0 +1,111 @@
+// Shared-storage and copy-on-write semantics of Event: copies must share
+// payload/padding storage (the cheap-fan-out property), mutation must
+// detach and invalidate the encoded-frame cache, and padding views must
+// stay valid for as long as any copy is alive.
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace admire::event {
+namespace {
+
+Event big_event(SeqNo seq = 1, std::size_t padding = 1024) {
+  FaaPosition pos;
+  pos.flight = 17;
+  return make_faa_position(0, seq, pos, padding);
+}
+
+TEST(EventSharing, CopySharesPayloadAndPaddingStorage) {
+  const Event a = big_event();
+  const Event b = a;
+  // Same underlying buffers, no deep copy of up to 8 KB per hop.
+  EXPECT_EQ(a.padding().data(), b.padding().data());
+  EXPECT_EQ(&a.payload(), &b.payload());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventSharing, MutablePayloadDetachesFromSharers) {
+  Event a = big_event();
+  Event b = a;
+  auto* pos = b.mutable_as<FaaPosition>();
+  ASSERT_NE(pos, nullptr);
+  pos->flight = 99;
+  EXPECT_NE(&a.payload(), &b.payload());  // detached
+  EXPECT_EQ(a.as<FaaPosition>()->flight, 17u);
+  EXPECT_EQ(b.as<FaaPosition>()->flight, 99u);
+  EXPECT_EQ(a.padding().data(), b.padding().data());  // padding still shared
+}
+
+TEST(EventSharing, MutableHeaderDoesNotDetachSharedStorage) {
+  Event a = big_event();
+  Event b = a;
+  b.mutable_header().seq = 2;
+  EXPECT_EQ(a.seq(), 1u);
+  EXPECT_EQ(b.seq(), 2u);
+  // The header lives inline; payload/padding stay shared.
+  EXPECT_EQ(a.padding().data(), b.padding().data());
+  EXPECT_EQ(&a.payload(), &b.payload());
+}
+
+TEST(EventSharing, PaddingOutlivesOriginalCopy) {
+  ByteSpan view;
+  Event survivor;
+  {
+    Event original = big_event();
+    view = original.padding();
+    survivor = original;
+  }
+  ASSERT_EQ(survivor.padding().size(), 1024u);
+  EXPECT_EQ(survivor.padding().data(), view.data());
+  // Read through the view: the storage must still be alive.
+  EXPECT_TRUE(std::ranges::equal(view, survivor.padding()));
+}
+
+TEST(EventSharing, SetPaddingViewAliasesCallerBuffer) {
+  auto buffer = std::make_shared<const Bytes>(Bytes(256));
+  Event ev = big_event();
+  ev.set_padding_view(buffer, ByteSpan(buffer->data() + 16, 100));
+  EXPECT_EQ(ev.padding().size(), 100u);
+  EXPECT_EQ(ev.padding().data(), buffer->data() + 16);
+}
+
+TEST(EventSharing, EncodedCacheSharedByCopiesAndClearedByMutation) {
+  Event a = big_event();
+  auto frame = std::make_shared<const Bytes>(Bytes{std::byte{1}, std::byte{2}});
+  a.set_encoded_cache(frame);
+  const Event b = a;  // copy made after population shares the cache
+  EXPECT_EQ(b.encoded_cache(), frame);
+  a.mutable_header().seq = 5;
+  EXPECT_EQ(a.encoded_cache(), nullptr);  // mutation invalidates
+  EXPECT_EQ(b.encoded_cache(), frame);    // the copy keeps its own slot
+  Event c = b;
+  c.set_padding(Bytes(8));
+  EXPECT_EQ(c.encoded_cache(), nullptr);
+}
+
+TEST(EventSharing, ConcurrentCopiesAreSafe) {
+  // Copies taken from many threads must agree on the shared storage and
+  // never corrupt the refcounts (TSan-ready smoke; meaningful even without).
+  const Event source = big_event(1, 4096);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        Event copy = source;
+        if (copy.padding().data() != source.padding().data()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace admire::event

@@ -17,7 +17,7 @@ event::Event faa(FlightKey flight, SeqNo seq) {
   event::FaaPosition pos;
   pos.flight = flight;
   event::Event ev = event::make_faa_position(0, seq, pos);
-  ev.header().vts.observe(0, seq);
+  ev.mutable_header().vts.observe(0, seq);
   return ev;
 }
 

@@ -29,7 +29,7 @@ TEST(PipelineCore, StampsIngressTimeAndVts) {
 TEST(PipelineCore, PreservesExistingIngressTime) {
   PipelineCore core(params_of(rules::simple_mirroring()), 2);
   event::Event ev = faa(1, 0, 1);
-  ev.header().ingress_time = 42;
+  ev.mutable_header().ingress_time = 42;
   const auto outcome = core.on_incoming(std::move(ev), 1000);
   EXPECT_EQ(outcome.forward->header().ingress_time, 42);
 }

@@ -10,8 +10,8 @@ event::Event faa(FlightKey flight, SeqNo seq) {
   event::FaaPosition pos;
   pos.flight = flight;
   event::Event ev = event::make_faa_position(0, seq, pos, 16);
-  ev.header().vts.observe(0, seq);
-  ev.header().ingress_time = static_cast<Nanos>(seq);
+  ev.mutable_header().vts.observe(0, seq);
+  ev.mutable_header().ingress_time = static_cast<Nanos>(seq);
   return ev;
 }
 

@@ -16,7 +16,7 @@ event::Event update(FlightKey flight, SeqNo seq) {
   d.kind = event::Derived::Kind::kStatusBroadcast;
   d.status = event::FlightStatus::kEnRoute;
   event::Event ev = event::make_derived(d);
-  ev.header().seq = seq;
+  ev.mutable_header().seq = seq;
   return ev;
 }
 

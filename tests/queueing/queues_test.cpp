@@ -11,7 +11,7 @@ event::Event ev_with_vts(StreamId stream, SeqNo seq) {
   event::FaaPosition pos;
   pos.flight = 1;
   event::Event ev = event::make_faa_position(stream, seq, pos);
-  ev.header().vts.observe(stream, seq);
+  ev.mutable_header().vts.observe(stream, seq);
   return ev;
 }
 
@@ -44,6 +44,38 @@ TEST(ReadyQueue, PopBatch) {
   EXPECT_EQ(batch[2].seq(), 3u);
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.pop_batch(10).size(), 2u);
+}
+
+TEST(ReadyQueue, PushBatchKeepsFifoAndCounts) {
+  ReadyQueue q;
+  q.push(ev_with_vts(0, 1));
+  std::vector<event::Event> batch;
+  for (SeqNo i = 2; i <= 6; ++i) batch.push_back(ev_with_vts(0, i));
+  q.push_batch(std::move(batch));
+  EXPECT_EQ(q.size(), 6u);
+  EXPECT_EQ(q.pushed_count(), 6u);
+  EXPECT_EQ(q.high_water(), 6u);
+  for (SeqNo i = 1; i <= 6; ++i) EXPECT_EQ(q.try_pop()->seq(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ReadyQueue, PushBatchEmptyIsANoop) {
+  ReadyQueue q;
+  q.push_batch({});
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pushed_count(), 0u);
+}
+
+TEST(ReadyQueue, PushBatchThenPopBatchRoundTrips) {
+  ReadyQueue q;
+  std::vector<event::Event> batch;
+  for (SeqNo i = 1; i <= 100; ++i) batch.push_back(ev_with_vts(0, i));
+  q.push_batch(std::move(batch));
+  auto out = q.pop_batch(1000);  // more than size: whole-queue fast path
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.front().seq(), 1u);
+  EXPECT_EQ(out.back().seq(), 100u);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(BackupQueue, LastAndFirstVts) {
@@ -89,9 +121,9 @@ TEST(BackupQueue, MultiStreamTrimRequiresDominance) {
   BackupQueue q;
   // Interleaved streams: commit must dominate on every component.
   event::Event e1 = ev_with_vts(0, 1);
-  e1.header().vts.observe(1, 1);
+  e1.mutable_header().vts.observe(1, 1);
   event::Event e2 = ev_with_vts(1, 2);
-  e2.header().vts.observe(0, 1);
+  e2.mutable_header().vts.observe(0, 1);
   q.push(e1);
   q.push(e2);
   event::VectorTimestamp partial;

@@ -13,7 +13,7 @@ event::Event faa(FlightKey flight, SeqNo seq) {
   pos.flight = flight;
   pos.lat_deg = static_cast<double>(seq);
   event::Event ev = event::make_faa_position(0, seq, pos, 32);
-  ev.header().vts.observe(0, seq);
+  ev.mutable_header().vts.observe(0, seq);
   return ev;
 }
 

@@ -103,7 +103,7 @@ TEST(Coalescer, CoalescedCountsCompose) {
   Coalescer c(true, 4);
   // Offer an already-coalesced event (represents 2 raw events).
   event::Event pre = faa(1, 1);
-  pre.header().coalesced = 2;
+  pre.mutable_header().coalesced = 2;
   EXPECT_TRUE(c.offer(std::move(pre)).empty());
   EXPECT_TRUE(c.offer(faa(1, 2)).empty());  // total now 3
   auto out = c.offer(faa(1, 3));            // total 4 == max

@@ -80,10 +80,10 @@ TEST_P(CodecRoundTrip, EncodeDecodeIdentity) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
   for (int i = 0; i < 50; ++i) {
     Event original = sample_event(GetParam(), rng);
-    original.header().ingress_time = static_cast<Nanos>(rng.next_below(1u << 30));
-    original.header().coalesced = static_cast<std::uint32_t>(1 + rng.next_below(20));
-    original.header().vts.observe(0, rng.next_below(1000));
-    original.header().vts.observe(1, rng.next_below(1000));
+    original.mutable_header().ingress_time = static_cast<Nanos>(rng.next_below(1u << 30));
+    original.mutable_header().coalesced = static_cast<std::uint32_t>(1 + rng.next_below(20));
+    original.mutable_header().vts.observe(0, rng.next_below(1000));
+    original.mutable_header().vts.observe(1, rng.next_below(1000));
     const Bytes wire = encode_event(original);
     auto decoded = decode_event(ByteSpan(wire.data(), wire.size()));
     ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();

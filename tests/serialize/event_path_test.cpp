@@ -1,0 +1,177 @@
+// Encode-once / zero-copy properties of the event path: the encoded-frame
+// cache, the serialization counter behind it, the aliasing decoder, and the
+// FrameParser's bounded-memory guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/registry.h"
+#include "serialize/event_codec.h"
+
+namespace admire::serialize {
+namespace {
+
+using event::Event;
+
+Event sample(SeqNo seq = 1, std::size_t padding = 512) {
+  event::FaaPosition pos;
+  pos.flight = 4;
+  pos.lat_deg = 33.6;
+  return event::make_faa_position(0, seq, pos, padding);
+}
+
+std::uint64_t encode_count() {
+  return obs::Registry::global()
+      .counter("serialize.encode_events_total")
+      .value();
+}
+
+TEST(EncodeOnce, SharedEncodingIsCachedAndCountedOnce) {
+  const Event ev = sample();
+  const std::uint64_t before = encode_count();
+  const auto first = encode_event_shared(ev);
+  const auto second = encode_event_shared(ev);
+  const auto third = encode_event_shared(ev);
+  EXPECT_EQ(first.get(), second.get());  // same buffer, not re-serialized
+  EXPECT_EQ(first.get(), third.get());
+  EXPECT_EQ(encode_count() - before, 1u);
+  // The cached bytes are the real encoding.
+  auto decoded = decode_event(ByteSpan(first->data(), first->size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), ev);
+}
+
+TEST(EncodeOnce, CopiesMadeAfterEncodingShareTheCache) {
+  Event ev = sample();
+  const std::uint64_t before = encode_count();
+  (void)encode_event_shared(ev);
+  const Event copy_a = ev;
+  const Event copy_b = copy_a;
+  (void)encode_event_shared(copy_a);
+  (void)encode_event_shared(copy_b);
+  EXPECT_EQ(encode_count() - before, 1u);  // fan-out copies reuse the bytes
+}
+
+TEST(EncodeOnce, MutationInvalidatesAndReencodes) {
+  Event ev = sample();
+  const auto first = encode_event_shared(ev);
+  ev.mutable_header().seq = 99;
+  EXPECT_EQ(ev.encoded_cache(), nullptr);
+  const std::uint64_t before = encode_count();
+  const auto second = encode_event_shared(ev);
+  EXPECT_EQ(encode_count() - before, 1u);
+  EXPECT_NE(first.get(), second.get());
+  // Stale bytes must never be served: the re-encoding reflects the new seq.
+  auto decoded = decode_event(ByteSpan(second->data(), second->size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().seq(), 99u);
+}
+
+TEST(ZeroCopyDecode, PaddingAliasesTheFrameBuffer) {
+  const Event ev = sample(7, 1024);
+  auto frame = std::make_shared<const Bytes>(encode_event(ev));
+  auto decoded = decode_event_shared(frame);
+  ASSERT_TRUE(decoded.is_ok());
+  const Event& got = decoded.value();
+  EXPECT_EQ(got, ev);
+  // The padding view must point INTO the frame buffer — no copy was taken.
+  const std::byte* begin = frame->data();
+  const std::byte* end = frame->data() + frame->size();
+  ASSERT_EQ(got.padding().size(), 1024u);
+  EXPECT_GE(got.padding().data(), begin);
+  EXPECT_LE(got.padding().data() + got.padding().size(), end);
+}
+
+TEST(ZeroCopyDecode, FrameBecomesTheEncodedCache) {
+  const Event ev = sample(8, 256);
+  auto frame = std::make_shared<const Bytes>(encode_event(ev));
+  auto decoded = decode_event_shared(frame);
+  ASSERT_TRUE(decoded.is_ok());
+  // Re-exporting the decoded event (mirror chains) costs zero encodes.
+  EXPECT_EQ(decoded.value().encoded_cache().get(), frame.get());
+  const std::uint64_t before = encode_count();
+  const auto reencoded = encode_event_shared(decoded.value());
+  EXPECT_EQ(encode_count(), before);
+  EXPECT_EQ(reencoded.get(), frame.get());
+}
+
+TEST(ZeroCopyDecode, FrameOutlivesDecoderScope) {
+  Event got;
+  {
+    auto frame = std::make_shared<const Bytes>(encode_event(sample(9, 2048)));
+    auto decoded = decode_event_shared(frame);
+    ASSERT_TRUE(decoded.is_ok());
+    got = std::move(decoded).value();
+  }  // the local shared_ptr dies; the event keeps the buffer alive
+  EXPECT_EQ(got.padding().size(), 2048u);
+  EXPECT_EQ(got.seq(), 9u);
+  volatile std::byte sink{};
+  for (std::byte b : got.padding()) sink = b;  // must not be use-after-free
+  (void)sink;
+}
+
+TEST(ZeroCopyDecode, CorruptFrameRejected) {
+  auto truncated = std::make_shared<const Bytes>(Bytes(3));
+  EXPECT_FALSE(decode_event_shared(truncated).is_ok());
+  Bytes mangled = encode_event(sample());
+  mangled.resize(mangled.size() / 2);
+  EXPECT_FALSE(
+      decode_event_shared(std::make_shared<const Bytes>(std::move(mangled)))
+          .is_ok());
+}
+
+TEST(ZeroCopyDecode, MatchesCopyingDecoder) {
+  for (std::size_t padding : {std::size_t{0}, std::size_t{1},
+                              std::size_t{700}, std::size_t{8192}}) {
+    const Event ev = sample(3, padding);
+    const Bytes frame = encode_event(ev);
+    auto by_span = decode_event(ByteSpan(frame.data(), frame.size()));
+    auto by_share = decode_event_shared(std::make_shared<const Bytes>(frame));
+    ASSERT_TRUE(by_span.is_ok());
+    ASSERT_TRUE(by_share.is_ok());
+    EXPECT_EQ(by_span.value(), by_share.value());
+  }
+}
+
+TEST(FrameParserMemory, CapacityBoundedUnderSustainedTraffic) {
+  // Regression guard: a long-lived stream must not retain memory
+  // proportional to total bytes ever fed — only to the live suffix.
+  FrameParser parser;
+  const Bytes one_frame = frame(Bytes(1000));
+  std::size_t parsed = 0;
+  for (int i = 0; i < 2000; ++i) {  // ~2 MB fed over the stream's life
+    parser.feed(ByteSpan(one_frame.data(), one_frame.size()));
+    while (true) {
+      auto next = parser.next();
+      if (!next.is_ok()) {
+        EXPECT_EQ(next.status().code(), StatusCode::kWouldBlock);
+        break;
+      }
+      ++parsed;
+    }
+  }
+  EXPECT_EQ(parsed, 2000u);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  // Capacity stays near the compaction threshold, far below bytes fed.
+  EXPECT_LT(parser.pending_capacity(), 4 * FrameParser::kCompactThreshold);
+}
+
+TEST(FrameParserMemory, BurstThenDrainReleasesCapacity) {
+  FrameParser parser;
+  // One huge feed: 512 frames in a single chunk.
+  Bytes burst;
+  const Bytes one_frame = frame(Bytes(4096));
+  for (int i = 0; i < 512; ++i) {
+    burst.insert(burst.end(), one_frame.begin(), one_frame.end());
+  }
+  parser.feed(ByteSpan(burst.data(), burst.size()));
+  std::size_t parsed = 0;
+  while (parser.next().is_ok()) ++parsed;
+  EXPECT_EQ(parsed, 512u);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  // The burst's multi-MB buffer must have been given back.
+  EXPECT_LT(parser.pending_capacity(), burst.size() / 4);
+}
+
+}  // namespace
+}  // namespace admire::serialize

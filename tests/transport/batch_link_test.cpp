@@ -1,0 +1,278 @@
+// Framing equivalence and zero-copy semantics of the batched send/receive
+// paths, over both link implementations: a batch must be indistinguishable
+// on the wire from the same messages sent one by one.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/registry.h"
+#include "transport/link.h"
+#include "transport/tcp.h"
+
+namespace admire::transport {
+namespace {
+
+Bytes patterned(std::size_t size, int salt) {
+  Bytes out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::byte>(static_cast<int>(i) * 13 + salt);
+  }
+  return out;
+}
+
+std::vector<Bytes> varied_messages() {
+  std::vector<Bytes> out;
+  for (int i = 0; i < 17; ++i) {
+    out.push_back(patterned(1 + (i * 97) % 700, i));
+  }
+  return out;
+}
+
+struct LinkPair {
+  std::shared_ptr<MessageLink> sender;
+  std::shared_ptr<MessageLink> receiver;
+  std::unique_ptr<TcpListener> listener;  // keeps TCP pairs alive
+};
+
+LinkPair make_tcp_pair() {
+  auto listener_res = TcpListener::bind(0);
+  EXPECT_TRUE(listener_res.is_ok());
+  LinkPair pair;
+  pair.listener = std::move(listener_res).value();
+  std::thread accepter([&] {
+    auto server = pair.listener->accept();
+    ASSERT_TRUE(server.is_ok());
+    pair.receiver = std::move(server).value();
+  });
+  auto client = tcp_connect("127.0.0.1", pair.listener->port());
+  accepter.join();
+  EXPECT_TRUE(client.is_ok());
+  pair.sender = std::move(client).value();
+  return pair;
+}
+
+LinkPair make_inproc_pair(std::size_t capacity = 1024) {
+  auto [a, b] = make_inprocess_link_pair(capacity);
+  return LinkPair{a, b, nullptr};
+}
+
+void expect_receives_exactly(MessageLink& receiver,
+                             const std::vector<Bytes>& expected) {
+  for (const Bytes& want : expected) {
+    auto got = receiver.receive();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want);
+  }
+}
+
+class BatchLinkTest : public ::testing::TestWithParam<bool> {
+ protected:
+  LinkPair make_pair() { return GetParam() ? make_tcp_pair() : make_inproc_pair(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(BothLinks, BatchLinkTest, ::testing::Values(false, true),
+                         [](const auto& suite_info) {
+                           return suite_info.param ? "Tcp" : "InProcess";
+                         });
+
+TEST_P(BatchLinkTest, SendBatchMatchesSingleSends) {
+  auto pair = make_pair();
+  const std::vector<Bytes> messages = varied_messages();
+  std::vector<ByteSpan> spans;
+  for (const Bytes& m : messages) spans.emplace_back(m.data(), m.size());
+  std::thread sender([&] {
+    ASSERT_TRUE(pair.sender
+                    ->send_batch(std::span<const ByteSpan>(spans.data(),
+                                                           spans.size()))
+                    .is_ok());
+  });
+  expect_receives_exactly(*pair.receiver, messages);
+  sender.join();
+}
+
+TEST_P(BatchLinkTest, SendBatchOwnedMatchesSingleSends) {
+  auto pair = make_pair();
+  const std::vector<Bytes> messages = varied_messages();
+  std::thread sender([&] {
+    std::vector<Bytes> copy = messages;
+    ASSERT_TRUE(pair.sender->send_batch_owned(std::move(copy)).is_ok());
+  });
+  expect_receives_exactly(*pair.receiver, messages);
+  sender.join();
+}
+
+TEST_P(BatchLinkTest, SendBatchSharedMatchesSingleSends) {
+  auto pair = make_pair();
+  const std::vector<Bytes> messages = varied_messages();
+  std::thread sender([&] {
+    std::vector<SharedBytes> shared;
+    for (const Bytes& m : messages) {
+      shared.push_back(std::make_shared<const Bytes>(m));
+    }
+    ASSERT_TRUE(pair.sender
+                    ->send_batch_shared(std::span<const SharedBytes>(
+                        shared.data(), shared.size()))
+                    .is_ok());
+  });
+  expect_receives_exactly(*pair.receiver, messages);
+  sender.join();
+}
+
+TEST_P(BatchLinkTest, EmptyBatchIsANoop) {
+  auto pair = make_pair();
+  EXPECT_TRUE(pair.sender->send_batch({}).is_ok());
+  EXPECT_TRUE(pair.sender->send_batch_owned({}).is_ok());
+  EXPECT_TRUE(pair.sender->send_batch_shared({}).is_ok());
+  ASSERT_TRUE(pair.sender->send(to_bytes("after")).is_ok());
+  auto got = pair.receiver->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("after"));
+}
+
+TEST_P(BatchLinkTest, ReceiveBatchDrainsWhatIsAvailable) {
+  auto pair = make_pair();
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 10; ++i) messages.push_back(patterned(64, i));
+  std::vector<ByteSpan> spans;
+  for (const Bytes& m : messages) spans.emplace_back(m.data(), m.size());
+  ASSERT_TRUE(pair.sender
+                  ->send_batch(std::span<const ByteSpan>(spans.data(),
+                                                         spans.size()))
+                  .is_ok());
+  std::size_t seen = 0;
+  while (seen < messages.size()) {
+    auto batch = pair.receiver->receive_batch(4);
+    ASSERT_FALSE(batch.empty());
+    ASSERT_LE(batch.size(), 4u);
+    for (const Bytes& got : batch) {
+      EXPECT_EQ(got, messages[seen]);
+      ++seen;
+    }
+  }
+}
+
+TEST_P(BatchLinkTest, ReceiveBatchEmptyMeansClosedAndDrained) {
+  auto pair = make_pair();
+  ASSERT_TRUE(pair.sender->send(to_bytes("last")).is_ok());
+  pair.sender->close();
+  // The queued message must still come out before the closed signal.
+  std::vector<Bytes> drained;
+  while (true) {
+    auto batch = pair.receiver->receive_batch(16);
+    if (batch.empty()) break;
+    for (Bytes& b : batch) drained.push_back(std::move(b));
+  }
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0], to_bytes("last"));
+}
+
+TEST_P(BatchLinkTest, ReceiveBatchSharedRoundTrips) {
+  auto pair = make_pair();
+  const std::vector<Bytes> messages = varied_messages();
+  std::thread sender([&] {
+    std::vector<SharedBytes> shared;
+    for (const Bytes& m : messages) {
+      shared.push_back(std::make_shared<const Bytes>(m));
+    }
+    ASSERT_TRUE(pair.sender
+                    ->send_batch_shared(std::span<const SharedBytes>(
+                        shared.data(), shared.size()))
+                    .is_ok());
+  });
+  std::size_t seen = 0;
+  while (seen < messages.size()) {
+    auto batch = pair.receiver->receive_batch_shared(1024);
+    ASSERT_FALSE(batch.empty());
+    for (const SharedBytes& got : batch) {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, messages[seen]);
+      ++seen;
+    }
+  }
+  sender.join();
+}
+
+TEST(InProcessBatchLink, SharedSendIsZeroCopyThroughTheQueue) {
+  // The receiver must get the sender's buffer itself, not a copy: that is
+  // the mechanism that makes M-mirror fan-out cost M refcounts per event.
+  auto pair = make_inproc_pair();
+  auto message = std::make_shared<const Bytes>(patterned(2048, 3));
+  const std::byte* sent_data = message->data();
+  std::vector<SharedBytes> batch{message};
+  ASSERT_TRUE(pair.sender
+                  ->send_batch_shared(
+                      std::span<const SharedBytes>(batch.data(), batch.size()))
+                  .is_ok());
+  auto got = pair.receiver->receive_batch_shared(4);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->data(), sent_data);  // same buffer, no copy
+  EXPECT_EQ(got[0].get(), message.get());
+}
+
+TEST(InProcessBatchLink, BatchLargerThanCapacityCompletes) {
+  auto pair = make_inproc_pair(/*capacity=*/4);
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 64; ++i) messages.push_back(patterned(32, i));
+  std::vector<ByteSpan> spans;
+  for (const Bytes& m : messages) spans.emplace_back(m.data(), m.size());
+  std::thread sender([&] {
+    ASSERT_TRUE(pair.sender
+                    ->send_batch(std::span<const ByteSpan>(spans.data(),
+                                                           spans.size()))
+                    .is_ok());
+  });
+  expect_receives_exactly(*pair.receiver, messages);
+  sender.join();
+}
+
+TEST(InProcessBatchLink, BatchMetricsRecorded) {
+  auto pair = make_inproc_pair();
+  obs::Registry registry;
+  pair.sender->instrument(registry, "bt");
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 5; ++i) messages.push_back(patterned(100, i));
+  std::vector<ByteSpan> spans;
+  for (const Bytes& m : messages) spans.emplace_back(m.data(), m.size());
+  ASSERT_TRUE(pair.sender
+                  ->send_batch(std::span<const ByteSpan>(spans.data(),
+                                                         spans.size()))
+                  .is_ok());
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("transport.link.bt.msgs_out_total"), 5u);
+  EXPECT_EQ(snap.counter_or("transport.link.bt.bytes_out_total"), 500u);
+  const auto* hist = snap.histogram("transport.link.bt.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);  // one batch observation of size 5
+  EXPECT_DOUBLE_EQ(hist->sum, 5.0);
+}
+
+TEST(TcpBatchLink, WritevCallsCountedAndChunked) {
+  auto pair = make_tcp_pair();
+  obs::Registry registry;
+  pair.sender->instrument(registry, "wv");
+  // 200 messages exceeds the 128-messages-per-sendmsg chunk, so the batch
+  // must take at least two vectored writes — but far fewer than 200.
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 200; ++i) messages.push_back(patterned(48, i));
+  std::vector<ByteSpan> spans;
+  for (const Bytes& m : messages) spans.emplace_back(m.data(), m.size());
+  std::thread sender([&] {
+    ASSERT_TRUE(pair.sender
+                    ->send_batch(std::span<const ByteSpan>(spans.data(),
+                                                           spans.size()))
+                    .is_ok());
+  });
+  expect_receives_exactly(*pair.receiver, messages);
+  sender.join();
+  const auto snap = registry.snapshot();
+  const std::uint64_t calls = snap.counter_or("transport.link.wv.writev_calls_total");
+  EXPECT_GE(calls, 2u);
+  EXPECT_LE(calls, 16u);
+  const auto* hist = snap.histogram("transport.link.wv.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_DOUBLE_EQ(hist->sum, 200.0);
+}
+
+}  // namespace
+}  // namespace admire::transport

@@ -1,0 +1,264 @@
+// Failover characterization of the self-healing control plane, run on the
+// discrete-event simulator so every number is deterministic:
+//
+//   * detection latency (crash-stop -> dead declaration) vs heartbeat
+//     interval,
+//   * misdetection under delay-only faults (beats late, node healthy),
+//   * update-delay perturbation at the surviving mirrors during a failover,
+//   * rejoin time (dead declaration -> replacement back in the pool).
+//
+// With `--json FILE` also writes the numbers as a JSON object (CI
+// artifact: BENCH_failover.json).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fig_common.h"
+#include "sim/sim_cluster.h"
+
+namespace admire::bench {
+namespace {
+
+using sim::SimCluster;
+using sim::SimConfig;
+
+constexpr Nanos kCrashAt = 200 * kMilli;
+constexpr Nanos kRejoinAfter = 100 * kMilli;
+
+fd::DetectorConfig detector_with(Nanos interval) {
+  fd::DetectorConfig d;
+  d.heartbeat_interval = interval;
+  d.suspect_after_missed = 3;
+  d.confirm_window = 40 * kMilli;
+  d.alive_after_beats = 2;
+  return d;
+}
+
+SimConfig base_config() {
+  SimConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  return config;
+}
+
+harness::RunSpec failover_spec() {
+  harness::RunSpec spec;
+  spec.faa_events = 800;
+  spec.num_flights = 10;
+  spec.event_padding = 128;
+  spec.event_horizon = kSecond;
+  spec.request_rate = 100;
+  spec.requests_while_events = false;
+  spec.request_window = kSecond;
+  return spec;
+}
+
+sim::SimResult run_sim(SimConfig config) {
+  SimCluster cluster(std::move(config));
+  const auto spec = failover_spec();
+  return cluster.run(harness::make_trace(spec), harness::make_requests(spec));
+}
+
+Nanos dead_declaration_at(const sim::SimResult& r, SiteId site) {
+  for (const auto& t : r.fd_transitions) {
+    if (t.site == site && t.to == fd::Health::kDead) return t.at;
+  }
+  return 0;
+}
+
+struct FailoverNumbers {
+  double detection_ms = 0;  ///< crash -> dead declaration
+  double rejoin_ms = 0;     ///< dead declaration -> back alive
+  bool converged = false;   ///< replicas equal after the run
+  sim::SimResult result;
+};
+
+FailoverNumbers run_failover(Nanos interval) {
+  SimConfig config = base_config();
+  config.fd = detector_with(interval);
+  config.fault_schedule = faultinject::Schedule{
+      {.at = kCrashAt, .mirror = 0, .kind = faultinject::FaultKind::kCrashStop},
+  };
+  config.fd_auto_rejoin = true;
+  config.fd_rejoin_after = kRejoinAfter;
+  FailoverNumbers out;
+  out.result = run_sim(std::move(config));
+  const Nanos dead_at = dead_declaration_at(out.result, 1);
+  out.detection_ms = static_cast<double>(dead_at - kCrashAt) / kMilli;
+  out.rejoin_ms = out.result.rejoin_times.empty()
+                      ? 0.0
+                      : static_cast<double>(out.result.rejoin_times[0]) / kMilli;
+  const auto& fps = out.result.state_fingerprints;
+  out.converged = fps.size() == 3 && fps[0] == fps[1] && fps[0] == fps[2];
+  return out;
+}
+
+/// Delay-only fault: every heartbeat arrives `delay` late from t=100ms on;
+/// the node itself is healthy. Returns suspicion counters.
+struct MisdetectNumbers {
+  double suspects = 0;
+  double deads = 0;
+};
+
+MisdetectNumbers run_delay_only(Nanos delay) {
+  SimConfig config = base_config();
+  config.fd = detector_with(10 * kMilli);
+  config.fault_schedule = faultinject::Schedule{
+      {.at = 100 * kMilli,
+       .mirror = 0,
+       .kind = faultinject::FaultKind::kDelay,
+       .delay = delay},
+  };
+  const auto r = run_sim(std::move(config));
+  const auto snap = r.obs->snapshot();
+  return {static_cast<double>(snap.counter_or("fd.suspect_total")),
+          static_cast<double>(snap.counter_or("fd.dead_total"))};
+}
+
+double p99_ms(const std::shared_ptr<metrics::LatencyRecorder>& rec) {
+  return rec == nullptr ? 0.0 : rec->percentile(0.99) / 1e6;
+}
+
+}  // namespace
+}  // namespace admire::bench
+
+int main(int argc, char** argv) {
+  using namespace admire;
+  using namespace admire::bench;
+
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  FigureReport report("fig_failover",
+                      "Self-healing control plane: failover timeline",
+                      "heartbeat interval (ms)", "latency (ms)");
+
+  // --- Detection latency and rejoin time vs heartbeat interval -----------
+  auto& detect_series = report.add_series("detection latency (ms)");
+  auto& rejoin_series = report.add_series("rejoin time (ms)");
+  const std::vector<Nanos> intervals = {5 * kMilli, 10 * kMilli, 20 * kMilli};
+  std::vector<FailoverNumbers> failovers;
+  for (const Nanos interval : intervals) {
+    failovers.push_back(run_failover(interval));
+    const auto& f = failovers.back();
+    const double x = static_cast<double>(interval) / kMilli;
+    detect_series.points.push_back({x, f.detection_ms});
+    rejoin_series.points.push_back({x, f.rejoin_ms});
+
+    const auto d = detector_with(interval);
+    const double floor_ms =
+        static_cast<double>(d.confirm_window) / kMilli;
+    const double ceil_ms =
+        static_cast<double>(d.heartbeat_interval * (d.suspect_after_missed + 2) +
+                            d.confirm_window + 2 * d.heartbeat_interval) /
+        kMilli;
+    report.check(
+        fmt("detection within suspicion window @%.0fms beats", x),
+        f.detection_ms >= floor_ms && f.detection_ms <= ceil_ms,
+        fmt("%.1fms in [%.0f, %.0f]", f.detection_ms, floor_ms, ceil_ms));
+    report.check(fmt("rejoin completed @%.0fms beats", x),
+                 f.rejoin_ms >= static_cast<double>(kRejoinAfter) / kMilli,
+                 fmt("%.1fms (scripted floor %.0fms)", f.rejoin_ms,
+                     static_cast<double>(kRejoinAfter) / kMilli));
+    report.check(fmt("replicas converge after failover @%.0fms beats", x),
+                 f.converged, "central == survivor == replacement");
+  }
+
+  // --- Misdetection under delay-only faults -------------------------------
+  // Constant heartbeat delay D: one late gap of ~interval + D, then beats
+  // resume on cadence. The suspicion budget tolerates D up to
+  // interval * missed (suspect) and interval * missed + confirm (dead).
+  auto& suspect_series = report.add_series("delay-only: suspect transitions");
+  auto& dead_series = report.add_series("delay-only: dead declarations");
+  const std::vector<Nanos> delays = {0, 20 * kMilli, 40 * kMilli, 60 * kMilli,
+                                     80 * kMilli};
+  std::vector<MisdetectNumbers> misdetects;
+  for (const Nanos delay : delays) {
+    misdetects.push_back(run_delay_only(delay));
+    const double x = static_cast<double>(delay) / kMilli;
+    suspect_series.points.push_back({x, misdetects.back().suspects});
+    dead_series.points.push_back({x, misdetects.back().deads});
+  }
+  // One late gap of interval + D; dead needs silence past
+  // interval * missed + confirm = 70ms, so the no-misdetection budget is
+  // D < 60ms and D = 60ms sits exactly on the boundary.
+  report.check("no misdetection while delay fits the suspicion budget",
+               misdetects[0].deads == 0 && misdetects[1].deads == 0 &&
+                   misdetects[2].deads == 0,
+               "dead declarations at D <= 40ms");
+  report.check("small delays do not even raise suspicion",
+               misdetects[0].suspects == 0 && misdetects[1].suspects == 0,
+               "suspects at D <= 20ms (budget: 30ms)");
+  report.check("delay at or past the silence budget is indistinguishable "
+               "from death",
+               misdetects[3].deads >= 1 && misdetects[4].deads >= 1,
+               "timeout detectors must misdetect here — documented bound");
+
+  // --- Update-delay perturbation during failover --------------------------
+  // Same trace with and without the failover; compare what clients attached
+  // to the surviving mirrors observe.
+  const auto baseline = run_sim(base_config());
+  const auto& perturbed = failovers[1].result;  // 10ms beats run
+  const double base_p99 = p99_ms(baseline.mirror_update_delays);
+  const double fail_p99 = p99_ms(perturbed.mirror_update_delays);
+  auto& update_series = report.add_series("mirror update delay p99 (ms)");
+  update_series.points.push_back({0.0, base_p99});
+  update_series.points.push_back({1.0, fail_p99});
+  report.check("surviving mirrors keep serving updates through the failover",
+               perturbed.mirror_update_delays != nullptr &&
+                   perturbed.mirror_update_delays->count() > 0,
+               fmt("p99 %.2fms vs %.2fms baseline", fail_p99, base_p99));
+  report.check("every client request served during failover",
+               perturbed.requests_served == baseline.requests_served,
+               fmt("%.0f served vs %.0f baseline",
+                   static_cast<double>(perturbed.requests_served),
+                   static_cast<double>(baseline.requests_served)));
+
+  const int failed = report.finish();
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"detection_latency_ms\": {");
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      std::fprintf(f, "%s\"beat_%lldms\": %.3f", i == 0 ? "" : ", ",
+                   static_cast<long long>(intervals[i] / kMilli),
+                   failovers[i].detection_ms);
+    }
+    std::fprintf(f, "},\n  \"rejoin_time_ms\": {");
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      std::fprintf(f, "%s\"beat_%lldms\": %.3f", i == 0 ? "" : ", ",
+                   static_cast<long long>(intervals[i] / kMilli),
+                   failovers[i].rejoin_ms);
+    }
+    std::fprintf(f, "},\n  \"delay_only_misdetection\": {");
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      std::fprintf(f, "%s\"delay_%lldms\": {\"suspects\": %.0f, \"deads\": %.0f}",
+                   i == 0 ? "" : ", ",
+                   static_cast<long long>(delays[i] / kMilli),
+                   misdetects[i].suspects, misdetects[i].deads);
+    }
+    std::fprintf(f,
+                 "},\n"
+                 "  \"mirror_update_delay_p99_ms\": {\"baseline\": %.3f, "
+                 "\"failover\": %.3f},\n"
+                 "  \"requests_served\": {\"baseline\": %llu, \"failover\": "
+                 "%llu},\n"
+                 "  \"checks_failed\": %d\n"
+                 "}\n",
+                 base_p99, fail_p99,
+                 static_cast<unsigned long long>(baseline.requests_served),
+                 static_cast<unsigned long long>(perturbed.requests_served),
+                 failed);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return failed;
+}

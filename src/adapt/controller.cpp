@@ -23,7 +23,9 @@ std::optional<AdaptationDirective> AdaptationController::evaluate() {
   auto max_of = [&](MonitoredVariable v) {
     double m = 0.0;
     for (const auto& [key, value] : values_) {
-      if (key.second == v) m = std::max(m, value);
+      if (key.second == v && !excluded_.contains(key.first)) {
+        m = std::max(m, value);
+      }
     }
     return m;
   };
@@ -83,9 +85,25 @@ double AdaptationController::max_value(MonitoredVariable variable) const {
   std::lock_guard lock(mu_);
   double m = 0.0;
   for (const auto& [key, value] : values_) {
-    if (key.second == variable) m = std::max(m, value);
+    if (key.second == variable && !excluded_.contains(key.first)) {
+      m = std::max(m, value);
+    }
   }
   return m;
+}
+
+void AdaptationController::set_site_excluded(SiteId site, bool excluded) {
+  std::lock_guard lock(mu_);
+  if (excluded) {
+    excluded_.insert(site);
+  } else {
+    excluded_.erase(site);
+  }
+}
+
+bool AdaptationController::site_excluded(SiteId site) const {
+  std::lock_guard lock(mu_);
+  return excluded_.contains(site);
 }
 
 std::optional<rules::MirrorFunctionSpec> DirectiveApplier::apply(

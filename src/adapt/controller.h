@@ -13,6 +13,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 
 #include "adapt/directive.h"
 
@@ -54,8 +55,17 @@ class AdaptationController {
   bool engaged() const;
   std::uint64_t transitions() const;
 
-  /// Highest value currently known for a variable across all sites.
+  /// Highest value currently known for a variable across all sites
+  /// (excluded sites are not consulted).
   double max_value(MonitoredVariable variable) const;
+
+  /// Failure-detection hook: a suspect or dead mirror's stale monitor
+  /// values must not drive cluster-wide adaptation (its queues look long
+  /// precisely because it stopped making progress). Excluded sites keep
+  /// reporting, but evaluate()/max_value() ignore their values until
+  /// re-included.
+  void set_site_excluded(SiteId site, bool excluded);
+  bool site_excluded(SiteId site) const;
 
   const AdaptationPolicy& policy() const { return policy_; }
 
@@ -66,6 +76,7 @@ class AdaptationController {
   mutable std::mutex mu_;
   // (site, variable) -> latest value
   std::map<std::pair<SiteId, MonitoredVariable>, double> values_;
+  std::set<SiteId> excluded_;
   bool engaged_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t transitions_ = 0;

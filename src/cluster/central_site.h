@@ -72,6 +72,11 @@ class ThreadedCentralSite {
   mirror::MainUnitCore& main_unit() { return main_; }
   mirror::MirroringApi& api() { return api_; }
   checkpoint::Coordinator& coordinator() { return coordinator_; }
+  /// Adaptation decision maker (null when no policy is configured). The
+  /// failure-detection control plane uses this to exclude suspect sites.
+  adapt::AdaptationController* controller() {
+    return controller_ ? &*controller_ : nullptr;
+  }
   metrics::LatencyRecorder& update_delays() { return update_delays_; }
   /// Event-path tracer (null unless trace_sample_every > 0).
   obs::Tracer* tracer() { return tracer_.get(); }

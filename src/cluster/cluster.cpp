@@ -61,11 +61,17 @@ Cluster::Cluster(ClusterConfig config)
   for (std::size_t i = 0; i < mirrors_.size(); ++i) {
     auto* site = mirrors_[i].get();
     lb_.add_target(LoadBalancer::Target{
-        "mirror" + std::to_string(i + 1),
+        "mirror" + std::to_string(site->site()),
         [site](std::uint64_t id, ServiceCallback cb) {
           return site->submit_request(id, std::move(cb));
         },
         [site] { return site->pending_requests(); }});
+  }
+  failed_.assign(mirrors_.size(), false);
+
+  if (config_.control_plane) {
+    control_plane_ =
+        std::make_unique<ControlPlane>(*config_.control_plane, *this);
   }
 }
 
@@ -75,8 +81,12 @@ void Cluster::start() {
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) return;
   central_->start();
-  for (auto& m : mirrors_) m->start();
+  {
+    std::lock_guard lock(membership_mu_);
+    for (auto& m : mirrors_) m->start();
+  }
   if (central_requests_) central_requests_->start();
+  if (control_plane_) control_plane_->start();
   if (!config_.obs_export_path.empty()) {
     obs::ExporterOptions opts;
     opts.path = config_.obs_export_path;
@@ -89,10 +99,28 @@ void Cluster::start() {
 
 void Cluster::stop() {
   if (!started_.exchange(false)) return;
+  // The control plane goes first: its monitor thread drives fail/rejoin and
+  // must be quiescent before membership is torn down underneath it.
+  if (control_plane_) control_plane_->stop();
   if (exporter_) exporter_->stop();  // writes a final snapshot
   if (central_requests_) central_requests_->stop();
-  for (auto& m : mirrors_) m->stop();
+  std::vector<ThreadedMirrorSite*> mirrors;
+  {
+    std::lock_guard lock(membership_mu_);
+    for (auto& m : mirrors_) mirrors.push_back(m.get());
+  }
+  for (auto* m : mirrors) m->stop();
   central_->stop();
+}
+
+ThreadedMirrorSite& Cluster::mirror(std::size_t i) {
+  std::lock_guard lock(membership_mu_);
+  return *mirrors_.at(i);
+}
+
+std::size_t Cluster::num_mirrors() const {
+  std::lock_guard lock(membership_mu_);
+  return mirrors_.size();
 }
 
 Status Cluster::ingest(event::Event ev) {
@@ -101,7 +129,12 @@ Status Cluster::ingest(event::Event ev) {
 
 void Cluster::drain() {
   central_->drain();
-  for (auto& m : mirrors_) m->drain();
+  std::vector<ThreadedMirrorSite*> mirrors;
+  {
+    std::lock_guard lock(membership_mu_);
+    for (auto& m : mirrors_) mirrors.push_back(m.get());
+  }
+  for (auto* m : mirrors) m->drain();
 }
 
 void Cluster::checkpoint_and_wait(std::chrono::milliseconds timeout) {
@@ -136,10 +169,26 @@ Result<std::vector<event::Event>> Cluster::request_snapshot(
 }
 
 void Cluster::fail_mirror(std::size_t i) {
-  if (i >= mirrors_.size()) return;
-  mirrors_[i]->stop();
+  ThreadedMirrorSite* victim = nullptr;
+  {
+    std::lock_guard lock(membership_mu_);
+    if (i >= mirrors_.size()) return;
+    if (failed_.size() < mirrors_.size()) {
+      failed_.resize(mirrors_.size(), false);
+    }
+    if (failed_[i]) return;  // double-fail: membership already shrank
+    failed_[i] = true;
+    victim = mirrors_[i].get();
+    // Out of the request pool before its threads stop, so no route lands
+    // on a half-dead site.
+    lb_.set_health("mirror" + std::to_string(victim->site()),
+                   TargetHealth::kDown);
+  }
+  victim->stop();
   // Checkpoint membership shrinks; an unblocked commit is broadcast so the
-  // surviving sites are not left waiting on the dead one.
+  // surviving sites are not left waiting on the dead one. The coordinator
+  // serializes this against in-flight rounds internally; membership_mu_
+  // serializes it against concurrent fail/join membership changes.
   auto& coord = central_->coordinator();
   auto commit = coord.set_expected_replies(coord.expected_replies() - 1);
   if (commit.has_value()) {
@@ -150,7 +199,13 @@ void Cluster::fail_mirror(std::size_t i) {
   }
 }
 
+bool Cluster::mirror_failed(std::size_t i) const {
+  std::lock_guard lock(membership_mu_);
+  return i < failed_.size() && failed_[i];
+}
+
 Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
+  std::lock_guard lock(membership_mu_);
   if (donor > mirrors_.size()) {
     return err(StatusCode::kInvalidArgument, "no such donor site");
   }
@@ -179,10 +234,12 @@ Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
       },
       [raw] { return raw->pending_requests(); }});
   mirrors_.push_back(std::move(site));
+  failed_.push_back(false);
   return mirrors_.size() - 1;
 }
 
 std::vector<std::uint64_t> Cluster::state_fingerprints() const {
+  std::lock_guard lock(membership_mu_);
   std::vector<std::uint64_t> out;
   out.push_back(central_->main_unit().state().fingerprint());
   for (const auto& m : mirrors_) {

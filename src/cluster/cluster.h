@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/central_site.h"
+#include "cluster/control_plane.h"
 #include "cluster/load_balancer.h"
 #include "cluster/mirror_site.h"
 #include "cluster/request_service.h"
@@ -45,6 +46,9 @@ struct ClusterConfig {
   std::chrono::milliseconds obs_export_interval{1000};
   /// Trace one data event in N through the central pipeline (0 = off).
   std::uint32_t trace_sample_every = 0;
+  /// When set, the self-healing control plane runs: per-mirror heartbeat
+  /// links, failure detection, automatic fail/rejoin (see control_plane.h).
+  std::optional<ControlPlaneConfig> control_plane;
 };
 
 class Cluster {
@@ -82,9 +86,11 @@ class Cluster {
   oplog::LogWriter* update_log() { return oplog_.get(); }
 
   ThreadedCentralSite& central() { return *central_; }
-  ThreadedMirrorSite& mirror(std::size_t i) { return *mirrors_.at(i); }
-  std::size_t num_mirrors() const { return mirrors_.size(); }
+  ThreadedMirrorSite& mirror(std::size_t i);
+  std::size_t num_mirrors() const;
   LoadBalancer& load_balancer() { return lb_; }
+  /// Self-healing control plane (null unless configured).
+  ControlPlane* control_plane() { return control_plane_.get(); }
   std::shared_ptr<echo::ChannelRegistry> registry() { return registry_; }
   std::shared_ptr<Clock> clock() { return clock_; }
   /// Cluster-wide metrics registry (always non-null after construction).
@@ -98,7 +104,13 @@ class Cluster {
   // --- Recovery (paper §6 future work) -----------------------------------
   /// Simulate a node failure: stop mirror `i`'s threads and detach it from
   /// the channels. Its slot remains (state frozen) for post-mortems.
+  /// Idempotent and safe against concurrent callers and in-flight
+  /// checkpoint rounds: a double fail (e.g. the failure detector and a
+  /// test both reacting to the same death) shrinks membership exactly once.
   void fail_mirror(std::size_t i);
+
+  /// True once fail_mirror(i) has completed for that slot.
+  bool mirror_failed(std::size_t i) const;
 
   /// Bring a replacement mirror online at runtime: a new site subscribes,
   /// bootstraps from `donor` (0 = central, 1.. = mirror index+1) via
@@ -111,7 +123,13 @@ class Cluster {
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<echo::ChannelRegistry> registry_;
   std::unique_ptr<ThreadedCentralSite> central_;
+  /// Guards membership: mirrors_/failed_ mutation (fail/join) and lookup.
+  /// The unique_ptr targets are stable, so returned references outlive
+  /// vector growth.
+  mutable std::mutex membership_mu_;
   std::vector<std::unique_ptr<ThreadedMirrorSite>> mirrors_;
+  std::vector<bool> failed_;
+  std::unique_ptr<ControlPlane> control_plane_;
   std::unique_ptr<RequestService> central_requests_;
   std::unique_ptr<obs::SnapshotExporter> exporter_;
   std::unique_ptr<oplog::LogWriter> oplog_;

@@ -1,0 +1,276 @@
+#include "cluster/control_plane.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+
+namespace admire::cluster {
+
+namespace {
+std::string target_name(SiteId site) {
+  return "mirror" + std::to_string(site);
+}
+}  // namespace
+
+ControlPlane::ControlPlane(ControlPlaneConfig config, Cluster& cluster)
+    : config_(std::move(config)),
+      cluster_(cluster),
+      detector_(config_.detector),
+      clock_(cluster.clock()) {
+  detector_.instrument(cluster_.obs());
+  rejoin_ns_ = &cluster_.obs().histogram("fd.rejoin_time_ns",
+                                         obs::Histogram::latency_bounds());
+}
+
+ControlPlane::~ControlPlane() { stop(); }
+
+void ControlPlane::start() {
+  if (started_) return;
+  started_ = true;
+  epoch_ = clock_->now();
+  actions_ = config_.schedule.expanded();
+  schedule_cursor_ = 0;
+  for (std::size_t i = 0; i < cluster_.num_mirrors(); ++i) attach_mirror(i);
+  {
+    std::lock_guard lock(wake_mu_);
+    stop_ = false;
+  }
+  monitor_thread_ = std::thread([this] { monitor_loop(); });
+}
+
+void ControlPlane::stop() {
+  {
+    std::lock_guard lock(wake_mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  {
+    std::lock_guard lock(mu_);
+    for (auto& ctl : ctls_) ctl.link->close();
+  }
+  started_ = false;
+}
+
+SiteId ControlPlane::wire_mirror(std::size_t i) {
+  ThreadedMirrorSite& mirror = cluster_.mirror(i);
+  const SiteId site = mirror.site();
+  auto [mirror_end, central_end] = transport::make_inprocess_link_pair(256);
+  auto faulty = std::make_shared<faultinject::FaultyLink>(
+      std::move(central_end), config_.fault_seed + site, clock_);
+  faulty->instrument(cluster_.obs(), "hb." + target_name(site));
+  mirror.start_heartbeats(std::move(mirror_end),
+                          config_.detector.heartbeat_interval);
+  MirrorCtl ctl;
+  ctl.index = i;
+  ctl.site = site;
+  ctl.link = std::move(faulty);
+  std::lock_guard lock(mu_);
+  ctls_.push_back(std::move(ctl));
+  return site;
+}
+
+void ControlPlane::attach_mirror(std::size_t i) {
+  const SiteId site = wire_mirror(i);
+  detector_.track(site, clock_->now());
+}
+
+faultinject::FaultyLink& ControlPlane::fault(std::size_t i) {
+  std::lock_guard lock(mu_);
+  for (auto& ctl : ctls_) {
+    if (ctl.index == i) return *ctl.link;
+  }
+  throw std::out_of_range("no control-plane entry for mirror " +
+                          std::to_string(i));
+}
+
+Result<std::size_t> ControlPlane::rejoin_mirror(std::size_t i) {
+  SiteId site = 0;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& ctl : ctls_) {
+      if (ctl.index == i) site = ctl.site;
+    }
+  }
+  if (site == 0) {
+    return err(StatusCode::kNotFound, "mirror not under control plane");
+  }
+  if (detector_.health(site) != fd::Health::kDead) {
+    return err(StatusCode::kInvalidArgument,
+               "rejoin target is not a dead mirror");
+  }
+  return do_rejoin(site, clock_->now());
+}
+
+std::vector<ControlPlane::RejoinRecord> ControlPlane::rejoin_records() const {
+  std::lock_guard lock(mu_);
+  return rejoins_;
+}
+
+void ControlPlane::monitor_loop() {
+  while (true) {
+    {
+      std::unique_lock lock(wake_mu_);
+      wake_cv_.wait_for(lock, config_.poll_interval,
+                        [this] { return stop_; });
+      if (stop_) return;
+    }
+    const Nanos now = clock_->now();
+    std::vector<fd::Transition> transitions;
+    drain_links(now, transitions);
+    auto polled = detector_.poll(now);
+    transitions.insert(transitions.end(), polled.begin(), polled.end());
+    react(transitions, now);
+    apply_due_schedule(now);
+    run_pending_rejoins(now);
+  }
+}
+
+void ControlPlane::drain_links(Nanos now, std::vector<fd::Transition>& out) {
+  // Snapshot the link set: the vector only grows (monitor thread is the
+  // sole mutator while running) and links are shared_ptrs.
+  std::vector<std::shared_ptr<faultinject::FaultyLink>> links;
+  {
+    std::lock_guard lock(mu_);
+    links.reserve(ctls_.size());
+    for (const auto& ctl : ctls_) links.push_back(ctl.link);
+  }
+  for (const auto& link : links) {
+    while (auto m = link->receive_for(std::chrono::milliseconds(0))) {
+      auto hb = fd::decode_heartbeat(ByteSpan(m->data(), m->size()));
+      if (!hb.is_ok()) continue;  // foreign traffic; not a protocol error
+      auto ts = detector_.on_heartbeat(hb.value(), now);
+      out.insert(out.end(), ts.begin(), ts.end());
+    }
+  }
+}
+
+void ControlPlane::react(const std::vector<fd::Transition>& transitions,
+                         Nanos now) {
+  auto* controller = cluster_.central().controller();
+  for (const auto& t : transitions) {
+    switch (t.to) {
+      case fd::Health::kSuspect:
+        cluster_.load_balancer().set_health(target_name(t.site),
+                                            TargetHealth::kDegraded);
+        if (controller != nullptr) {
+          controller->set_site_excluded(t.site, true);
+        }
+        break;
+      case fd::Health::kDead: {
+        cluster_.load_balancer().set_health(target_name(t.site),
+                                            TargetHealth::kDown);
+        std::size_t index = 0;
+        {
+          std::lock_guard lock(mu_);
+          for (auto& ctl : ctls_) {
+            if (ctl.site != t.site) continue;
+            index = ctl.index;
+            ctl.failed = true;
+            ctl.dead_at = t.at;
+            if (config_.auto_rejoin) {
+              ctl.rejoin_pending = true;
+              ctl.rejoin_due = now + config_.rejoin_after;
+            }
+          }
+        }
+        ADMIRE_LOG(kWarn, "control-plane: mirror site ", t.site,
+                   " declared dead");
+        if (config_.auto_fail) cluster_.fail_mirror(index);
+        break;
+      }
+      case fd::Health::kAlive:
+        cluster_.load_balancer().set_health(target_name(t.site),
+                                            TargetHealth::kHealthy);
+        if (controller != nullptr) {
+          controller->set_site_excluded(t.site, false);
+        }
+        if (t.from == fd::Health::kRejoining) {
+          std::lock_guard lock(mu_);
+          for (auto& r : rejoins_) {
+            if (r.new_site == t.site && r.rejoined_at == 0) {
+              r.rejoined_at = t.at;
+              if (rejoin_ns_ != nullptr && r.dead_at != 0) {
+                rejoin_ns_->observe(static_cast<double>(t.at - r.dead_at));
+              }
+            }
+          }
+        }
+        break;
+      case fd::Health::kRejoining:
+        break;  // bootstrap in progress; nothing to adjust yet
+    }
+  }
+}
+
+void ControlPlane::apply_due_schedule(Nanos now) {
+  const Nanos rel = now - epoch_;
+  while (schedule_cursor_ < actions_.size() &&
+         actions_[schedule_cursor_].at <= rel) {
+    const auto f = actions_[schedule_cursor_++];
+    if (f.kind == faultinject::FaultKind::kRejoin) {
+      std::lock_guard lock(mu_);
+      for (auto& ctl : ctls_) {
+        if (ctl.index == f.mirror) {
+          ctl.rejoin_pending = true;
+          ctl.rejoin_due = now;
+        }
+      }
+      continue;
+    }
+    std::shared_ptr<faultinject::FaultyLink> link;
+    {
+      std::lock_guard lock(mu_);
+      for (auto& ctl : ctls_) {
+        if (ctl.index == f.mirror) link = ctl.link;
+      }
+    }
+    if (link) faultinject::Schedule::apply(f, *link);
+  }
+}
+
+void ControlPlane::run_pending_rejoins(Nanos now) {
+  std::vector<SiteId> due;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& ctl : ctls_) {
+      if (!ctl.rejoin_pending || now < ctl.rejoin_due) continue;
+      // Wait until the detector has actually declared the site dead — a
+      // scheduled rejoin may be scripted before detection completes.
+      if (detector_.health(ctl.site) != fd::Health::kDead) continue;
+      ctl.rejoin_pending = false;
+      due.push_back(ctl.site);
+    }
+  }
+  for (SiteId site : due) {
+    auto result = do_rejoin(site, now);
+    if (!result.is_ok()) {
+      ADMIRE_LOG(kError, "control-plane: rejoin for dead site ", site,
+                 " failed: ", result.status().message());
+    }
+  }
+}
+
+Result<std::size_t> ControlPlane::do_rejoin(SiteId dead_site, Nanos now) {
+  auto joined = cluster_.join_new_mirror(0);
+  if (!joined.is_ok()) return joined;
+  const std::size_t new_index = joined.value();
+  const SiteId new_site = wire_mirror(new_index);
+  Nanos dead_at = 0;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& ctl : ctls_) {
+      if (ctl.site == dead_site) dead_at = ctl.dead_at;
+    }
+    rejoins_.push_back(RejoinRecord{dead_site, new_site, dead_at, 0});
+  }
+  detector_.begin_rejoin(dead_site, new_site, now);
+  ADMIRE_LOG(kInfo, "control-plane: site ", new_site,
+             " bootstrapping to replace dead site ", dead_site);
+  return new_index;
+}
+
+}  // namespace admire::cluster

@@ -1,0 +1,134 @@
+// ControlPlane: the self-healing layer of the threaded cluster. Each
+// mirror gets a dedicated out-of-band heartbeat link (in-process
+// MessageLink pair, central end wrapped in a faultinject::FaultyLink so
+// tests and bench/fig_failover can kill or degrade a mirror's control
+// traffic deterministically). A monitor thread drains the links into the
+// fd::FailureDetector, polls its suspicion state machine, and reacts to
+// transitions:
+//
+//   suspect   -> LoadBalancer degraded + excluded from adaptation decisions
+//   dead      -> LoadBalancer down, Cluster::fail_mirror() (when auto_fail),
+//                optional timed auto-rejoin
+//   rejoining -> a replacement mirror bootstraps via join_new_mirror();
+//                its first hysteresis-satisfying beats complete the rejoin
+//   alive     -> LoadBalancer healthy, re-included in adaptation
+//
+// The same detector logic runs under the discrete-event simulator on
+// virtual time (sim/sim_cluster); this class is only the wall-clock
+// driver around it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "faultinject/faulty_link.h"
+#include "faultinject/schedule.h"
+#include "fd/detector.h"
+
+namespace admire::cluster {
+
+class Cluster;
+
+struct ControlPlaneConfig {
+  fd::DetectorConfig detector;
+  /// React to a dead declaration by calling Cluster::fail_mirror().
+  bool auto_fail = true;
+  /// After a dead declaration, automatically bootstrap a replacement
+  /// mirror `rejoin_after` later (0 = immediately on the next tick).
+  bool auto_rejoin = false;
+  Nanos rejoin_after = 0;
+  /// Monitor thread tick; also bounds fault-schedule resolution.
+  std::chrono::milliseconds poll_interval{5};
+  /// Seed for the per-mirror FaultyLink decorators (mirror i uses
+  /// fault_seed + i so links draw independent deterministic sequences).
+  std::uint64_t fault_seed = 0xFA17;
+  /// Fault script applied on the monitor thread, `at` relative to start().
+  faultinject::Schedule schedule;
+};
+
+class ControlPlane {
+ public:
+  /// One completed failover, dead declaration to rejoin completion.
+  struct RejoinRecord {
+    SiteId dead_site = 0;
+    SiteId new_site = 0;
+    Nanos dead_at = 0;
+    Nanos rejoined_at = 0;
+  };
+
+  ControlPlane(ControlPlaneConfig config, Cluster& cluster);
+  ~ControlPlane();
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Wire every existing mirror and start the monitor thread.
+  void start();
+  void stop();
+
+  /// Wire mirror `i` into the control plane: heartbeat link pair, central
+  /// FaultyLink, heartbeat thread on the mirror, detector tracking.
+  /// Called by start() for initial mirrors and by rejoin for new ones.
+  void attach_mirror(std::size_t i);
+
+  /// Central-side fault decorator over mirror `i`'s heartbeat link (the
+  /// handle scenarios use to kill/degrade a mirror's control traffic).
+  faultinject::FaultyLink& fault(std::size_t i);
+
+  /// Operator-initiated replacement of dead mirror `i` (same path the
+  /// auto/scheduled rejoin takes). Returns the new mirror's index.
+  Result<std::size_t> rejoin_mirror(std::size_t i);
+
+  fd::FailureDetector& detector() { return detector_; }
+  std::vector<RejoinRecord> rejoin_records() const;
+
+ private:
+  struct MirrorCtl {
+    std::size_t index = 0;  ///< Cluster mirror index
+    SiteId site = 0;
+    std::shared_ptr<faultinject::FaultyLink> link;  ///< central receive end
+    bool failed = false;       ///< fail_mirror() already ran for this site
+    Nanos dead_at = 0;
+    bool rejoin_pending = false;
+    Nanos rejoin_due = 0;
+  };
+
+  void monitor_loop();
+  void drain_links(Nanos now, std::vector<fd::Transition>& out);
+  void react(const std::vector<fd::Transition>& transitions, Nanos now);
+  void apply_due_schedule(Nanos now);
+  void run_pending_rejoins(Nanos now);
+  /// Wiring only (link pair + FaultyLink + heartbeat thread + ctl entry);
+  /// detector registration is the caller's choice (track vs begin_rejoin).
+  SiteId wire_mirror(std::size_t i);
+  Result<std::size_t> do_rejoin(SiteId dead_site, Nanos now);
+
+  ControlPlaneConfig config_;
+  Cluster& cluster_;
+  fd::FailureDetector detector_;
+  std::shared_ptr<Clock> clock_;
+  Nanos epoch_ = 0;  ///< clock reading at start(); schedule `at` is relative
+
+  mutable std::mutex mu_;
+  std::vector<MirrorCtl> ctls_;
+  std::vector<RejoinRecord> rejoins_;
+  obs::Histogram* rejoin_ns_ = nullptr;  ///< fd.rejoin_time_ns
+  /// schedule.expanded(), consumed front-to-back as virtual due times pass.
+  std::vector<faultinject::ScheduledFault> actions_;
+  std::size_t schedule_cursor_ = 0;
+
+  std::thread monitor_thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace admire::cluster

@@ -2,12 +2,58 @@
 
 namespace admire::cluster {
 
-std::size_t LoadBalancer::pick() {
-  if (targets_.empty()) return 0;
+void LoadBalancer::add_target(Target target) {
+  std::lock_guard lock(mu_);
+  if (obs_ != nullptr) {
+    (void)obs_->counter("cluster.lb.picks." + target.name);
+  }
+  targets_.push_back(std::move(target));
+  routed_.resize(targets_.size(), 0);
+}
+
+std::size_t LoadBalancer::num_targets() const {
+  std::lock_guard lock(mu_);
+  return targets_.size();
+}
+
+void LoadBalancer::set_health(const std::string& name, TargetHealth health) {
+  std::lock_guard lock(mu_);
+  for (auto& t : targets_) {
+    if (t.name == name) t.health = health;
+  }
+}
+
+TargetHealth LoadBalancer::health(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& t : targets_) {
+    if (t.name == name) return t.health;
+  }
+  return TargetHealth::kDown;
+}
+
+std::size_t LoadBalancer::pick_locked() {
+  // Routable set: healthy targets, or degraded ones when nothing is healthy.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].health == TargetHealth::kHealthy) candidates.push_back(i);
+  }
+  if (candidates.empty()) {
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      if (targets_[i].health == TargetHealth::kDegraded) {
+        candidates.push_back(i);
+      }
+    }
+  }
+  if (candidates.empty()) return targets_.size();
+  if (candidates.size() < targets_.size()) ++rerouted_;
+
   if (policy_ == LbPolicy::kLeastLoaded) {
-    std::size_t best = 0;
-    std::uint64_t best_pending = targets_[0].pending ? targets_[0].pending() : 0;
-    for (std::size_t i = 1; i < targets_.size(); ++i) {
+    std::size_t best = candidates[0];
+    std::uint64_t best_pending =
+        targets_[best].pending ? targets_[best].pending() : 0;
+    for (std::size_t c = 1; c < candidates.size(); ++c) {
+      const std::size_t i = candidates[c];
       const std::uint64_t p = targets_[i].pending ? targets_[i].pending() : 0;
       if (p < best_pending) {
         best_pending = p;
@@ -16,24 +62,33 @@ std::size_t LoadBalancer::pick() {
     }
     return best;
   }
-  return cursor_.fetch_add(1, std::memory_order_relaxed) % targets_.size();
+  const std::uint64_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
+  return candidates[c % candidates.size()];
 }
 
 Status LoadBalancer::route(std::uint64_t request_id,
                            ServiceCallback callback) {
-  if (targets_.empty()) {
-    return err(StatusCode::kNotFound, "no request targets registered");
-  }
-  const std::size_t idx = pick();
+  std::function<Status(std::uint64_t, ServiceCallback)> submit;
   {
     std::lock_guard lock(mu_);
+    if (targets_.empty()) {
+      return err(StatusCode::kNotFound, "no request targets registered");
+    }
+    const std::size_t idx = pick_locked();
+    if (idx >= targets_.size()) {
+      if (obs_ != nullptr) obs_->counter("cluster.lb.unroutable_total").inc();
+      return err(StatusCode::kUnavailable, "no routable request target");
+    }
     if (routed_.size() < targets_.size()) routed_.resize(targets_.size(), 0);
     ++routed_[idx];
     if (obs_ != nullptr) {
       obs_->counter("cluster.lb.picks." + targets_[idx].name).inc();
     }
+    submit = targets_[idx].submit;
   }
-  return targets_[idx].submit(request_id, std::move(callback));
+  // Submit outside the lock: the target may complete synchronously and its
+  // callback must be free to query the balancer.
+  return submit(request_id, std::move(callback));
 }
 
 void LoadBalancer::instrument(obs::Registry& registry) {
@@ -48,6 +103,11 @@ void LoadBalancer::instrument(obs::Registry& registry) {
 std::vector<std::uint64_t> LoadBalancer::routed_counts() const {
   std::lock_guard lock(mu_);
   return routed_;
+}
+
+std::uint64_t LoadBalancer::rerouted_count() const {
+  std::lock_guard lock(mu_);
+  return rerouted_;
 }
 
 }  // namespace admire::cluster

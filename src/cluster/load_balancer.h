@@ -1,10 +1,17 @@
 // Request load balancing across the mirror pool (paper §1: "The resulting
 // parallelization of request processing for clients coupled with simple
 // load balancing strategies enables us to offer timely services").
+//
+// Health-aware routing: the failure-detection control plane marks targets
+// degraded (suspect) or down (dead/failed). pick() only considers healthy
+// targets; when none are healthy it falls back to degraded ones; down
+// targets never receive requests. This is what bounds failed client
+// requests during a failover to the detection window.
 #pragma once
 
 #include <atomic>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cluster/request_service.h"
@@ -18,19 +25,31 @@ enum class LbPolicy : std::uint8_t {
   kLeastLoaded = 1,  ///< target with the fewest outstanding requests
 };
 
+enum class TargetHealth : std::uint8_t {
+  kHealthy = 0,   ///< full member of the rotation
+  kDegraded = 1,  ///< suspect: used only when no healthy target exists
+  kDown = 2,      ///< dead/failed: never routed to
+};
+
 class LoadBalancer {
  public:
   struct Target {
     std::string name;
     std::function<Status(std::uint64_t, ServiceCallback)> submit;
     std::function<std::uint64_t()> pending;
+    TargetHealth health = TargetHealth::kHealthy;
   };
 
   explicit LoadBalancer(LbPolicy policy = LbPolicy::kRoundRobin)
       : policy_(policy) {}
 
-  void add_target(Target target) { targets_.push_back(std::move(target)); }
-  std::size_t num_targets() const { return targets_.size(); }
+  void add_target(Target target);
+  std::size_t num_targets() const;
+
+  /// Control-plane hook: change a target's health class. Unknown names are
+  /// ignored (the target may already have been removed).
+  void set_health(const std::string& name, TargetHealth health);
+  TargetHealth health(const std::string& name) const;
 
   /// Route one request; returns the chosen target index via out-param
   /// semantics in the status message on failure.
@@ -39,18 +58,22 @@ class LoadBalancer {
   /// Requests routed per target (distribution fairness checks).
   std::vector<std::uint64_t> routed_counts() const;
 
+  /// Routes that skipped at least one non-healthy target.
+  std::uint64_t rerouted_count() const;
+
   /// Register one `cluster.lb.picks.<target name>` counter per target
   /// (covers targets added later too — route() resolves counters lazily).
   void instrument(obs::Registry& registry);
 
  private:
-  std::size_t pick();
+  std::size_t pick_locked();
 
   LbPolicy policy_;
-  std::vector<Target> targets_;
   std::atomic<std::uint64_t> cursor_{0};
   mutable std::mutex mu_;
+  std::vector<Target> targets_;  // guarded by mu_ (grows at runtime on rejoin)
   std::vector<std::uint64_t> routed_;
+  std::uint64_t rerouted_ = 0;
   obs::Registry* obs_ = nullptr;  // guarded by mu_
 };
 

@@ -60,6 +60,12 @@ void ThreadedMirrorSite::start() {
 }
 
 void ThreadedMirrorSite::stop() {
+  {
+    std::lock_guard lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (hb_thread_.joinable()) hb_thread_.join();
   if (!running_.exchange(false)) return;
   data_sub_.reset();
   ctrl_down_sub_.reset();
@@ -67,6 +73,35 @@ void ThreadedMirrorSite::stop() {
   request_queue_.close();
   if (event_thread_.joinable()) event_thread_.join();
   if (request_thread_.joinable()) request_thread_.join();
+}
+
+void ThreadedMirrorSite::start_heartbeats(
+    std::shared_ptr<transport::MessageLink> out, Nanos interval) {
+  if (hb_thread_.joinable() || !out || interval <= 0) return;
+  hb_link_ = std::move(out);
+  hb_interval_ = interval;
+  {
+    std::lock_guard lock(hb_mu_);
+    hb_stop_ = false;
+  }
+  hb_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void ThreadedMirrorSite::heartbeat_loop() {
+  std::unique_lock lock(hb_mu_);
+  while (!hb_stop_) {
+    fd::Heartbeat hb;
+    hb.site = config_.site;
+    hb.seq = hb_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    hb.queue_depth = inbox_.size() + aux_.ready().size();
+    hb.last_applied = last_applied_.load(std::memory_order_relaxed);
+    hb.sent_at = clock_->now();
+    lock.unlock();
+    (void)hb_link_->send(fd::encode_heartbeat(hb));  // best effort, see header
+    lock.lock();
+    hb_cv_.wait_for(lock, std::chrono::nanoseconds(hb_interval_),
+                    [this] { return hb_stop_; });
+  }
 }
 
 Status ThreadedMirrorSite::seed_from(const recovery::RecoveryPackage& package) {
@@ -89,6 +124,8 @@ void ThreadedMirrorSite::event_loop() {
     while (auto next = aux_.next_for_main(clock_->now())) {
       if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
       const auto outputs = main_.process(*next);
+      last_applied_.store(next->header().ingress_time,
+                          std::memory_order_relaxed);
       for (const auto& out : outputs) updates_channel_->submit(out);
       processed_.fetch_add(1, std::memory_order_relaxed);
     }

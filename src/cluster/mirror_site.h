@@ -4,6 +4,7 @@
 // initial-state requests from the locally replicated operational state.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -16,8 +17,10 @@
 #include "metrics/metrics.h"
 #include "mirror/main_unit_core.h"
 #include "mirror/mirror_aux_core.h"
+#include "fd/heartbeat.h"
 #include "obs/registry.h"
 #include "recovery/recovery.h"
+#include "transport/link.h"
 
 namespace admire::cluster {
 
@@ -53,6 +56,17 @@ class ThreadedMirrorSite {
   void start();
   void stop();
 
+  /// Control plane: start a heartbeat thread that sends an encoded
+  /// fd::Heartbeat (liveness + queue depth + last-applied progress) over
+  /// `out` every `interval` ns. Callable before or after start(); stops
+  /// with stop(). Send failures are ignored — a dead control link must
+  /// never take down the data path (that asymmetry is the whole point of
+  /// out-of-band heartbeats).
+  void start_heartbeats(std::shared_ptr<transport::MessageLink> out,
+                        Nanos interval);
+
+  std::uint64_t heartbeats_sent() const { return hb_seq_.load(); }
+
   /// Enqueue a client initial-state request; the callback fires on the
   /// request-service thread when the snapshot is ready.
   Status submit_request(std::uint64_t request_id, RequestCallback callback);
@@ -71,6 +85,7 @@ class ThreadedMirrorSite {
     return rejoin_filter_ ? rejoin_filter_->skipped() : 0;
   }
 
+  SiteId site() const { return config_.site; }
   mirror::MirrorAuxCore& aux() { return aux_; }
   mirror::MainUnitCore& main_unit() { return main_; }
   metrics::LatencyRecorder& request_latency() { return request_latency_; }
@@ -88,6 +103,7 @@ class ThreadedMirrorSite {
  private:
   void event_loop();
   void request_loop();
+  void heartbeat_loop();
   void on_control(const checkpoint::ControlMessage& msg);
 
   MirrorSiteConfig config_;
@@ -117,6 +133,15 @@ class ThreadedMirrorSite {
   std::atomic<bool> running_{false};
   std::thread event_thread_;
   std::thread request_thread_;
+
+  std::shared_ptr<transport::MessageLink> hb_link_;
+  Nanos hb_interval_ = 0;
+  std::thread hb_thread_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+  std::atomic<std::uint64_t> hb_seq_{0};
+  std::atomic<Nanos> last_applied_{0};
 
   std::atomic<std::uint64_t> received_{0};
   std::atomic<std::uint64_t> processed_{0};

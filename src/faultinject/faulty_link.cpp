@@ -1,0 +1,192 @@
+#include "faultinject/faulty_link.h"
+
+#include <algorithm>
+
+namespace admire::faultinject {
+
+FaultyLink::FaultyLink(std::shared_ptr<transport::MessageLink> inner,
+                       std::uint64_t seed, std::shared_ptr<Clock> clock)
+    : inner_(std::move(inner)),
+      clock_(clock ? std::move(clock) : std::make_shared<SteadyClock>()),
+      rng_(seed) {}
+
+void FaultyLink::set_faults(const FaultSpec& spec) {
+  std::lock_guard lock(mu_);
+  spec_ = spec;
+}
+
+FaultSpec FaultyLink::faults() const {
+  std::lock_guard lock(mu_);
+  return spec_;
+}
+
+void FaultyLink::crash() {
+  std::lock_guard lock(mu_);
+  crashed_ = true;
+  // In-flight messages die with the node.
+  dropped_ += pending_.size();
+  if (obs_dropped_ != nullptr && !pending_.empty()) {
+    obs_dropped_->inc(pending_.size());
+  }
+  pending_.clear();
+}
+
+bool FaultyLink::crashed() const {
+  std::lock_guard lock(mu_);
+  return crashed_;
+}
+
+void FaultyLink::heal() {
+  std::lock_guard lock(mu_);
+  crashed_ = false;
+  spec_ = FaultSpec{};
+}
+
+std::uint64_t FaultyLink::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+std::uint64_t FaultyLink::delayed() const {
+  std::lock_guard lock(mu_);
+  return delayed_;
+}
+std::uint64_t FaultyLink::duplicated() const {
+  std::lock_guard lock(mu_);
+  return duplicated_;
+}
+std::uint64_t FaultyLink::reordered() const {
+  std::lock_guard lock(mu_);
+  return reordered_;
+}
+
+void FaultyLink::instrument(obs::Registry& registry, const std::string& name) {
+  inner_->instrument(registry, name);
+  const std::string prefix = "faults.link." + name;
+  obs::Counter& dropped = registry.counter(prefix + ".dropped_total");
+  obs::Counter& delayed = registry.counter(prefix + ".delayed_total");
+  obs::Counter& duplicated = registry.counter(prefix + ".duplicated_total");
+  obs::Counter& reordered = registry.counter(prefix + ".reordered_total");
+  std::lock_guard lock(mu_);
+  obs_dropped_ = &dropped;
+  obs_delayed_ = &delayed;
+  obs_duplicated_ = &duplicated;
+  obs_reordered_ = &reordered;
+}
+
+bool FaultyLink::outbound_blocked_locked() {
+  // The coin is flipped even while partitioned/crashed so the deterministic
+  // fault sequence does not depend on when a partition was active.
+  const bool coin_drop = spec_.drop_send > 0.0 && rng_.next_bool(spec_.drop_send);
+  if (crashed_ || spec_.partition_out || coin_drop) {
+    ++dropped_;
+    if (obs_dropped_ != nullptr) obs_dropped_->inc();
+    return true;
+  }
+  return false;
+}
+
+Status FaultyLink::send(Bytes message) {
+  {
+    std::lock_guard lock(mu_);
+    if (outbound_blocked_locked()) return Status::ok();  // silent black-hole
+  }
+  return inner_->send(std::move(message));
+}
+
+Status FaultyLink::send_batch(std::span<const ByteSpan> messages) {
+  // Faults apply per message, so forward survivors one by one; fault paths
+  // are control-plane traffic, never the zero-copy hot path.
+  for (const ByteSpan& m : messages) {
+    Status st = send(Bytes(m.begin(), m.end()));
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+std::optional<Bytes> FaultyLink::pop_due_locked(Nanos now) {
+  if (pending_.empty() || pending_.front().ready_at > now) return std::nullopt;
+  Bytes out = std::move(pending_.front().message);
+  pending_.pop_front();
+  return out;
+}
+
+std::optional<Bytes> FaultyLink::receive_for(std::chrono::milliseconds d) {
+  const auto deadline = std::chrono::steady_clock::now() + d;
+  while (true) {
+    {
+      std::lock_guard lock(mu_);
+      if (auto out = pop_due_locked(clock_->now())) return out;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    auto slice = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    if (slice.count() < 0) return std::nullopt;
+    // Wake at least every millisecond so delayed messages become visible
+    // promptly and fault-knob changes take effect.
+    slice = std::min(slice, std::chrono::milliseconds(1));
+    auto raw = inner_->receive_for(slice);
+    if (!raw.has_value()) {
+      std::lock_guard lock(mu_);
+      if (inner_->is_closed() && pending_.empty()) return std::nullopt;
+      if (std::chrono::steady_clock::now() >= deadline &&
+          pop_due_locked(clock_->now()) == std::nullopt) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::lock_guard lock(mu_);
+    // Receive-side fault pipeline for the message just pulled off the wire.
+    const bool coin_drop =
+        spec_.drop_recv > 0.0 && rng_.next_bool(spec_.drop_recv);
+    const bool coin_dup =
+        spec_.duplicate > 0.0 && rng_.next_bool(spec_.duplicate);
+    const bool coin_reorder =
+        spec_.reorder > 0.0 && rng_.next_bool(spec_.reorder);
+    if (crashed_ || spec_.partition_in || coin_drop) {
+      ++dropped_;
+      if (obs_dropped_ != nullptr) obs_dropped_->inc();
+      continue;
+    }
+    const Nanos ready_at = clock_->now() + spec_.delay;
+    if (spec_.delay > 0) {
+      ++delayed_;
+      if (obs_delayed_ != nullptr) obs_delayed_->inc();
+    }
+    Pending item{ready_at, std::move(*raw)};
+    if (coin_dup) {
+      ++duplicated_;
+      if (obs_duplicated_ != nullptr) obs_duplicated_->inc();
+      pending_.push_back(Pending{ready_at, Bytes(item.message)});
+    }
+    if (coin_reorder && !pending_.empty()) {
+      ++reordered_;
+      if (obs_reordered_ != nullptr) obs_reordered_->inc();
+      // Deliver this message before the one in front of it: genuine
+      // out-of-order arrival from the receiver's point of view.
+      const Nanos earlier = pending_.back().ready_at;
+      item.ready_at = std::min(item.ready_at, earlier);
+      pending_.insert(pending_.end() - 1, std::move(item));
+    } else {
+      pending_.push_back(std::move(item));
+    }
+  }
+}
+
+std::optional<Bytes> FaultyLink::receive() {
+  while (true) {
+    if (auto out = receive_for(std::chrono::milliseconds(50))) return out;
+    std::lock_guard lock(mu_);
+    if (inner_->is_closed() && pending_.empty()) return std::nullopt;
+  }
+}
+
+void FaultyLink::close() { inner_->close(); }
+
+bool FaultyLink::is_closed() const { return inner_->is_closed(); }
+
+std::size_t FaultyLink::pending() const {
+  std::lock_guard lock(mu_);
+  return inner_->pending() + pending_.size();
+}
+
+}  // namespace admire::faultinject

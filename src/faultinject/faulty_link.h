@@ -1,0 +1,105 @@
+// Deterministic fault injection over transport::MessageLink: a decorator
+// that drops, delays, duplicates, reorders, one-way-partitions or
+// crash-stops traffic on one endpoint, driven by a seeded PRNG so every
+// test run sees the same fault sequence. Used by the control plane's
+// heartbeat paths (tests kill a mirror by crash-stopping its heartbeat
+// link), by transport tests, and by bench/fig_failover.
+//
+// Fault model:
+//  * send-side faults apply when this endpoint sends (drop_send,
+//    partition_out, crash);
+//  * receive-side faults apply as messages are pulled from the inner
+//    endpoint (drop_recv, delay, duplicate, reorder, partition_in, crash).
+//  * crash-stop = both directions black-holed from that instant on; the
+//    inner link stays open (a crashed node does not TCP-FIN politely).
+//  * heal() clears every fault (used by rejoin scenarios).
+//
+// Delay is modeled at the receiver: an arriving message becomes visible
+// `delay` after it was pulled off the inner link, timed on the injected
+// Clock. All knobs are settable at runtime from another thread.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "transport/link.h"
+
+namespace admire::faultinject {
+
+/// Probabilistic/deterministic fault knobs; all default to "no fault".
+struct FaultSpec {
+  double drop_send = 0.0;       ///< P(outgoing message silently discarded)
+  double drop_recv = 0.0;       ///< P(incoming message silently discarded)
+  double duplicate = 0.0;       ///< P(incoming message delivered twice)
+  double reorder = 0.0;         ///< P(incoming message held behind the next)
+  Nanos delay = 0;              ///< fixed added delivery latency (slow node)
+  bool partition_in = false;    ///< nothing gets in (one-way partition)
+  bool partition_out = false;   ///< nothing gets out (one-way partition)
+};
+
+class FaultyLink final : public transport::MessageLink {
+ public:
+  /// `clock` times delayed deliveries; null = private SteadyClock.
+  FaultyLink(std::shared_ptr<transport::MessageLink> inner,
+             std::uint64_t seed = 0xFA17,
+             std::shared_ptr<Clock> clock = nullptr);
+
+  // --- Fault controls (thread-safe, effective immediately) ---------------
+  void set_faults(const FaultSpec& spec);
+  FaultSpec faults() const;
+  /// Crash-stop: black-hole both directions until heal().
+  void crash();
+  bool crashed() const;
+  /// Clear every fault, including a crash.
+  void heal();
+
+  /// Messages discarded / delayed / duplicated / reordered so far.
+  std::uint64_t dropped() const;
+  std::uint64_t delayed() const;
+  std::uint64_t duplicated() const;
+  std::uint64_t reordered() const;
+
+  /// Register `faults.link.<name>.{dropped,delayed,duplicated,reordered}
+  /// _total` with `registry` (also forwards to the inner link's
+  /// instrument under the same name).
+  void instrument(obs::Registry& registry, const std::string& name) override;
+
+  // --- MessageLink ------------------------------------------------------
+  Status send(Bytes message) override;
+  Status send_batch(std::span<const ByteSpan> messages) override;
+  std::optional<Bytes> receive() override;
+  std::optional<Bytes> receive_for(std::chrono::milliseconds d) override;
+  void close() override;
+  bool is_closed() const override;
+  std::size_t pending() const override;
+
+ private:
+  bool outbound_blocked_locked();  ///< also burns the rng for determinism
+  std::optional<Bytes> pop_due_locked(Nanos now);
+
+  std::shared_ptr<transport::MessageLink> inner_;
+  std::shared_ptr<Clock> clock_;
+
+  mutable std::mutex mu_;
+  FaultSpec spec_;
+  bool crashed_ = false;
+  Rng rng_;
+  struct Pending {
+    Nanos ready_at;
+    Bytes message;
+  };
+  std::deque<Pending> pending_;  ///< delayed/reordered inbound messages
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_delayed_ = nullptr;
+  obs::Counter* obs_duplicated_ = nullptr;
+  obs::Counter* obs_reordered_ = nullptr;
+};
+
+}  // namespace admire::faultinject

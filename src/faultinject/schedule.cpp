@@ -1,0 +1,79 @@
+#include "faultinject/schedule.h"
+
+#include <algorithm>
+
+namespace admire::faultinject {
+
+void Schedule::normalize() {
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const ScheduledFault& a, const ScheduledFault& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::vector<ScheduledFault> Schedule::due(Nanos from, Nanos to) const {
+  std::vector<ScheduledFault> out;
+  for (const auto& f : actions_) {
+    if (f.at > from && f.at <= to) out.push_back(f);
+    if (f.at > to) break;
+  }
+  return out;
+}
+
+std::vector<ScheduledFault> Schedule::expanded() const {
+  std::vector<ScheduledFault> out;
+  for (const auto& f : actions_) {
+    out.push_back(f);
+    if (f.duration > 0 && f.kind != FaultKind::kRejoin) {
+      ScheduledFault heal;
+      heal.at = f.at + f.duration;
+      heal.mirror = f.mirror;
+      heal.kind = FaultKind::kHeal;
+      out.push_back(heal);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScheduledFault& a, const ScheduledFault& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+void Schedule::apply(const ScheduledFault& f, FaultyLink& link) {
+  switch (f.kind) {
+    case FaultKind::kCrashStop:
+      link.crash();
+      break;
+    case FaultKind::kPartitionIn: {
+      FaultSpec spec = link.faults();
+      spec.partition_in = true;
+      link.set_faults(spec);
+      break;
+    }
+    case FaultKind::kPartitionOut: {
+      FaultSpec spec = link.faults();
+      spec.partition_out = true;
+      link.set_faults(spec);
+      break;
+    }
+    case FaultKind::kDelay: {
+      FaultSpec spec = link.faults();
+      spec.delay = f.delay;
+      link.set_faults(spec);
+      break;
+    }
+    case FaultKind::kDrop: {
+      FaultSpec spec = link.faults();
+      spec.drop_recv = f.probability;
+      link.set_faults(spec);
+      break;
+    }
+    case FaultKind::kHeal:
+      link.heal();
+      break;
+    case FaultKind::kRejoin:
+      break;  // cluster-level action; the control plane handles it
+  }
+}
+
+}  // namespace admire::faultinject

@@ -1,0 +1,85 @@
+// Scenario schedules: a timed script of fault actions against named
+// mirrors ("at t=5s partition mirror 2 for 3s"), shared verbatim by the
+// threaded cluster's control plane (wall time, applied to FaultyLinks) and
+// the discrete-event simulator (virtual time, applied to per-mirror fault
+// state) — the same scenario text produces the same suspicion-state-machine
+// transitions in both runtimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "faultinject/faulty_link.h"
+
+namespace admire::faultinject {
+
+enum class FaultKind : std::uint8_t {
+  kCrashStop = 0,     ///< node dies: all its traffic black-holed from `at`
+  kPartitionIn = 1,   ///< one-way partition: nothing reaches the observer
+  kPartitionOut = 2,  ///< one-way partition: node's sends are lost
+  kDelay = 3,         ///< slow node / slow link: add `delay` per message
+  kDrop = 4,          ///< lossy link: drop with `probability`
+  kHeal = 5,          ///< clear all faults on the mirror
+  kRejoin = 6,        ///< drive recovery: bootstrap a replacement mirror
+};
+
+constexpr const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrashStop: return "crash-stop";
+    case FaultKind::kPartitionIn: return "partition-in";
+    case FaultKind::kPartitionOut: return "partition-out";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kRejoin: return "rejoin";
+  }
+  return "unknown";
+}
+
+struct ScheduledFault {
+  Nanos at = 0;             ///< when the action fires (run-relative)
+  std::size_t mirror = 0;   ///< mirror index (0-based) the action targets
+  FaultKind kind = FaultKind::kCrashStop;
+  Nanos duration = 0;       ///< >0: auto-heal this fault after `duration`
+  Nanos delay = 0;          ///< kDelay: added per-message latency
+  double probability = 0.0; ///< kDrop: per-message drop probability
+};
+
+/// An ordered fault script. Actions fire in `at` order; ties fire in
+/// script order.
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::initializer_list<ScheduledFault> faults)
+      : actions_(faults) {
+    normalize();
+  }
+
+  void add(ScheduledFault f) {
+    actions_.push_back(f);
+    normalize();
+  }
+
+  const std::vector<ScheduledFault>& actions() const { return actions_; }
+  bool empty() const { return actions_.empty(); }
+
+  /// Actions with `at` in (`from`, `to`] — the threaded driver polls this
+  /// each monitor tick with its previous and current clock reading.
+  std::vector<ScheduledFault> due(Nanos from, Nanos to) const;
+
+  /// Expand auto-heal durations into explicit kHeal actions (the simulator
+  /// schedules each returned action as one calendar entry).
+  std::vector<ScheduledFault> expanded() const;
+
+  /// Apply one action to a FaultyLink (kRejoin is cluster-level, not a
+  /// link fault: it is a no-op here and handled by the caller).
+  static void apply(const ScheduledFault& f, FaultyLink& link);
+
+ private:
+  void normalize();  ///< stable-sort by `at`
+
+  std::vector<ScheduledFault> actions_;
+};
+
+}  // namespace admire::faultinject

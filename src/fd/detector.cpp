@@ -1,0 +1,216 @@
+#include "fd/detector.h"
+
+#include <algorithm>
+
+namespace admire::fd {
+
+void FailureDetector::track(SiteId site, Nanos now) {
+  std::lock_guard lock(mu_);
+  SiteState s;
+  s.last_beat = now;
+  s.signals.last_beat = now;
+  sites_[site] = std::move(s);
+}
+
+void FailureDetector::untrack(SiteId site) {
+  std::lock_guard lock(mu_);
+  sites_.erase(site);
+}
+
+void FailureDetector::move_locked(SiteId site, SiteState& s, Health to,
+                                  Nanos at, std::vector<Transition>& out) {
+  if (s.health == to) return;
+  const Transition t{site, s.health, to, at};
+  s.health = to;
+  history_.push_back(t);
+  out.push_back(t);
+  switch (to) {
+    case Health::kSuspect:
+      s.suspected_at = at;
+      s.good_beats = 0;
+      if (obs_suspect_ != nullptr) obs_suspect_->inc();
+      break;
+    case Health::kDead:
+      if (obs_dead_ != nullptr) obs_dead_->inc();
+      if (obs_detection_ns_ != nullptr && at >= s.last_beat) {
+        obs_detection_ns_->observe(static_cast<double>(at - s.last_beat));
+      }
+      break;
+    case Health::kAlive:
+      if (t.from == Health::kRejoining) {
+        if (obs_rejoined_ != nullptr) obs_rejoined_->inc();
+      } else if (obs_recovered_ != nullptr) {
+        obs_recovered_->inc();
+      }
+      break;
+    case Health::kRejoining:
+      s.good_beats = 0;
+      break;
+  }
+}
+
+std::vector<Transition> FailureDetector::on_heartbeat(const Heartbeat& hb,
+                                                      Nanos now) {
+  std::vector<Transition> out;
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(hb.site);
+  if (it == sites_.end()) return out;
+  SiteState& s = it->second;
+  if (hb.seq <= s.last_seq && s.last_seq != 0) {
+    if (obs_stale_ != nullptr) obs_stale_->inc();
+    return out;  // duplicate or reordered: liveness already proven
+  }
+  if (obs_beats_ != nullptr) obs_beats_->inc();
+  s.last_seq = hb.seq;
+  switch (s.health) {
+    case Health::kAlive:
+      s.last_beat = now;
+      break;
+    case Health::kSuspect:
+    case Health::kRejoining:
+      s.last_beat = now;
+      if (++s.good_beats >= config_.alive_after_beats) {
+        move_locked(hb.site, s, Health::kAlive, now, out);
+      }
+      break;
+    case Health::kDead:
+      // Sticky: membership already shrank around this site. Count the beat
+      // as stale — re-integration requires an explicit mark_rejoining().
+      if (obs_stale_ != nullptr) obs_stale_->inc();
+      return out;
+  }
+  s.signals.queue_depth = hb.queue_depth;
+  s.signals.last_applied = hb.last_applied;
+  s.signals.last_beat = now;
+  return out;
+}
+
+std::vector<Transition> FailureDetector::poll(Nanos now) {
+  std::vector<Transition> out;
+  std::lock_guard lock(mu_);
+  const Nanos overdue =
+      config_.heartbeat_interval *
+      static_cast<Nanos>(std::max<std::uint32_t>(config_.suspect_after_missed, 1));
+  for (auto& [site, s] : sites_) {
+    switch (s.health) {
+      case Health::kAlive:
+        if (now - s.last_beat > overdue) {
+          move_locked(site, s, Health::kSuspect, now, out);
+        }
+        break;
+      case Health::kSuspect:
+        if (now - s.suspected_at >= config_.confirm_window) {
+          move_locked(site, s, Health::kDead, now, out);
+        }
+        break;
+      case Health::kDead:
+      case Health::kRejoining:
+        break;  // no time-driven exits
+    }
+  }
+  return out;
+}
+
+std::vector<Transition> FailureDetector::mark_rejoining(SiteId site,
+                                                        Nanos now) {
+  std::vector<Transition> out;
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.health != Health::kDead) return out;
+  move_locked(site, it->second, Health::kRejoining, now, out);
+  return out;
+}
+
+std::vector<Transition> FailureDetector::begin_rejoin(SiteId old_site,
+                                                      SiteId new_site,
+                                                      Nanos now) {
+  std::vector<Transition> out;
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(old_site);
+  if (it == sites_.end() || it->second.health != Health::kDead) return out;
+  if (new_site == old_site) {
+    it->second.last_beat = now;
+    move_locked(old_site, it->second, Health::kRejoining, now, out);
+    return out;
+  }
+  sites_.erase(it);
+  SiteState s;
+  s.health = Health::kDead;  // so move_locked records dead -> rejoining
+  s.last_beat = now;
+  s.signals.last_beat = now;
+  auto [nit, inserted] = sites_.emplace(new_site, std::move(s));
+  (void)inserted;
+  move_locked(new_site, nit->second, Health::kRejoining, now, out);
+  return out;
+}
+
+std::optional<Health> FailureDetector::health(SiteId site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second.health;
+}
+
+std::optional<SiteSignals> FailureDetector::signals(SiteId site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second.signals;
+}
+
+std::vector<Transition> FailureDetector::history() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+std::size_t FailureDetector::tracked() const {
+  std::lock_guard lock(mu_);
+  return sites_.size();
+}
+
+std::size_t FailureDetector::count_locked(Health h) const {
+  std::size_t n = 0;
+  for (const auto& [site, s] : sites_) {
+    if (s.health == h) ++n;
+  }
+  return n;
+}
+
+std::size_t FailureDetector::count(Health h) const {
+  std::lock_guard lock(mu_);
+  return count_locked(h);
+}
+
+void FailureDetector::instrument(obs::Registry& registry) {
+  obs::Counter& beats = registry.counter("fd.heartbeats_total");
+  obs::Counter& stale = registry.counter("fd.heartbeats_stale_total");
+  obs::Counter& suspect = registry.counter("fd.suspect_total");
+  obs::Counter& dead = registry.counter("fd.dead_total");
+  obs::Counter& recovered = registry.counter("fd.recovered_total");
+  obs::Counter& rejoined = registry.counter("fd.rejoin_completed_total");
+  obs::Histogram& detection = registry.histogram(
+      "fd.detection_latency_ns", obs::Histogram::latency_bounds());
+  probes_.clear();
+  probes_.add(registry, "fd.alive", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(count_locked(Health::kAlive));
+  });
+  probes_.add(registry, "fd.suspect", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(count_locked(Health::kSuspect));
+  });
+  probes_.add(registry, "fd.dead", [this] {
+    std::lock_guard lock(mu_);
+    return static_cast<double>(count_locked(Health::kDead));
+  });
+  std::lock_guard lock(mu_);
+  obs_beats_ = &beats;
+  obs_stale_ = &stale;
+  obs_suspect_ = &suspect;
+  obs_dead_ = &dead;
+  obs_recovered_ = &recovered;
+  obs_rejoined_ = &rejoined;
+  obs_detection_ns_ = &detection;
+}
+
+}  // namespace admire::fd

@@ -1,0 +1,163 @@
+// Per-mirror suspicion state machine of the self-healing control plane
+// (the membership/failure-detection layer MSCS-style cluster middleware
+// adds on top of replication):
+//
+//     alive --(suspect_after_missed beats overdue)--> suspect
+//     suspect --(alive_after_beats consecutive beats)--> alive   (hysteresis)
+//     suspect --(confirm_window elapsed)--> dead
+//     dead --(mark_rejoining)--> rejoining
+//     rejoining --(alive_after_beats consecutive beats)--> alive
+//
+// Dead is sticky under heartbeats: a zombie node that resumes beating does
+// NOT auto-resurrect — by then the cluster has shrunk checkpoint
+// membership around it, so re-integration must go through the recovery
+// bootstrap (mark_rejoining) like any new joiner.
+//
+// The machine is pure logic over an injected notion of "now": the threaded
+// runtime drives it from a monitor thread on wall time, the discrete-event
+// simulator from calendar entries on virtual time — identical transitions
+// either way, which is what makes failover testable deterministically.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "fd/heartbeat.h"
+#include "obs/registry.h"
+
+namespace admire::fd {
+
+enum class Health : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kRejoining = 3,
+};
+
+constexpr const char* health_name(Health h) {
+  switch (h) {
+    case Health::kAlive: return "alive";
+    case Health::kSuspect: return "suspect";
+    case Health::kDead: return "dead";
+    case Health::kRejoining: return "rejoining";
+  }
+  return "unknown";
+}
+
+struct DetectorConfig {
+  /// Expected heartbeat emission period.
+  Nanos heartbeat_interval = 20 * kMilli;
+  /// alive -> suspect once now - last_beat > interval * suspect_after_missed.
+  std::uint32_t suspect_after_missed = 3;
+  /// suspect -> dead after this long with still no (accepted) beat.
+  Nanos confirm_window = 120 * kMilli;
+  /// Hysteresis: consecutive beats needed to clear suspicion (suspect ->
+  /// alive) or to complete a rejoin (rejoining -> alive). A single late
+  /// beat from a flapping node must not flip it straight back to alive.
+  std::uint32_t alive_after_beats = 2;
+};
+
+/// One observed state change, in occurrence order.
+struct Transition {
+  SiteId site = 0;
+  Health from = Health::kAlive;
+  Health to = Health::kAlive;
+  Nanos at = 0;
+
+  bool operator==(const Transition&) const = default;
+};
+
+/// Load signals carried by the newest accepted heartbeat of a site.
+struct SiteSignals {
+  std::uint64_t queue_depth = 0;
+  Nanos last_applied = 0;
+  Nanos last_beat = 0;  ///< detector-clock time the beat was accepted
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(DetectorConfig config) : config_(config) {}
+
+  /// Start monitoring `site` (initially alive, grace-period as if a beat
+  /// had just arrived at `now`). Tracking an already-tracked site resets it.
+  void track(SiteId site, Nanos now);
+
+  /// Stop monitoring `site` (e.g. it was administratively removed).
+  void untrack(SiteId site);
+
+  /// Feed one heartbeat. Out-of-order or duplicate beats (seq <= newest
+  /// seen) are counted and ignored. Returns transitions it caused
+  /// (suspect/rejoining -> alive under the hysteresis rule).
+  std::vector<Transition> on_heartbeat(const Heartbeat& hb, Nanos now);
+
+  /// Evaluate time-driven transitions (missed-beat suspicion, confirm
+  /// window expiry) for every tracked site. Call at least once per
+  /// heartbeat interval.
+  std::vector<Transition> poll(Nanos now);
+
+  /// A dead site began recovery bootstrap; its next alive_after_beats
+  /// consecutive beats complete the rejoin. No-op unless dead.
+  std::vector<Transition> mark_rejoining(SiteId site, Nanos now);
+
+  /// Replacement-incarnation rejoin: `new_site` bootstraps to take over
+  /// dead `old_site`'s slot (the threaded runtime cannot resurrect a
+  /// stopped site, it joins a fresh one). The dead entry is retired and
+  /// `new_site` starts in kRejoining, with the dead -> rejoining
+  /// transition attributed to the new incarnation so history reads
+  /// dead -> rejoining -> alive per slot. old_site == new_site degrades
+  /// to mark_rejoining. No-op unless old_site is tracked and dead.
+  std::vector<Transition> begin_rejoin(SiteId old_site, SiteId new_site,
+                                       Nanos now);
+
+  /// nullopt when the site is not tracked.
+  std::optional<Health> health(SiteId site) const;
+  std::optional<SiteSignals> signals(SiteId site) const;
+
+  /// Every transition observed since construction, in order (tests, bench
+  /// and the sim/threaded equivalence check read this).
+  std::vector<Transition> history() const;
+
+  std::size_t tracked() const;
+  std::size_t count(Health h) const;
+  const DetectorConfig& config() const { return config_; }
+
+  /// Register fd.* metrics: heartbeats_total, heartbeats_stale_total,
+  /// suspect_total, dead_total, recovered_total, rejoin_completed_total,
+  /// detection_latency_ns (last accepted beat -> dead declaration) and
+  /// alive/suspect/dead probes.
+  void instrument(obs::Registry& registry);
+
+ private:
+  struct SiteState {
+    Health health = Health::kAlive;
+    std::uint64_t last_seq = 0;
+    Nanos last_beat = 0;       ///< detector time of newest accepted beat
+    Nanos suspected_at = 0;    ///< when the site entered suspect
+    std::uint32_t good_beats = 0;  ///< consecutive beats while suspect/rejoining
+    SiteSignals signals;
+  };
+
+  void move_locked(SiteId site, SiteState& s, Health to, Nanos at,
+                   std::vector<Transition>& out);
+  std::size_t count_locked(Health h) const;
+
+  const DetectorConfig config_;
+  mutable std::mutex mu_;
+  std::map<SiteId, SiteState> sites_;
+  std::vector<Transition> history_;
+
+  // Registry sinks (owned by the registry; null until instrumented).
+  obs::Counter* obs_beats_ = nullptr;
+  obs::Counter* obs_stale_ = nullptr;
+  obs::Counter* obs_suspect_ = nullptr;
+  obs::Counter* obs_dead_ = nullptr;
+  obs::Counter* obs_recovered_ = nullptr;
+  obs::Counter* obs_rejoined_ = nullptr;
+  obs::Histogram* obs_detection_ns_ = nullptr;
+  obs::ProbeGroup probes_;
+};
+
+}  // namespace admire::fd

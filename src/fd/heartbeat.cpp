@@ -1,0 +1,50 @@
+#include "fd/heartbeat.h"
+
+#include "serialize/wire.h"
+
+namespace admire::fd {
+
+// First byte distinguishes heartbeat bodies from checkpoint control bodies
+// (whose kind byte is 1..3), so a mis-routed message decodes to kCorrupt
+// instead of a bogus value.
+constexpr std::uint8_t kHeartbeatMagic = 0xB7;
+
+Bytes encode_heartbeat(const Heartbeat& hb) {
+  serialize::Writer w(48);
+  w.u8(kHeartbeatMagic);
+  w.u32(hb.site);
+  w.u64(hb.seq);
+  w.varint(hb.queue_depth);
+  w.i64(hb.last_applied);
+  w.i64(hb.sent_at);
+  return w.take();
+}
+
+Result<Heartbeat> decode_heartbeat(ByteSpan body) {
+  serialize::Reader r(body);
+  if (r.u8() != kHeartbeatMagic) {
+    return err(StatusCode::kCorrupt, "not a heartbeat body");
+  }
+  Heartbeat hb;
+  hb.site = r.u32();
+  hb.seq = r.u64();
+  hb.queue_depth = r.varint();
+  hb.last_applied = r.i64();
+  hb.sent_at = r.i64();
+  if (!r.ok()) return err(StatusCode::kCorrupt, "truncated heartbeat");
+  return hb;
+}
+
+event::Event to_heartbeat_event(const Heartbeat& hb) {
+  return event::make_control(encode_heartbeat(hb));
+}
+
+Result<Heartbeat> from_heartbeat_event(const event::Event& ev) {
+  const auto* ctrl = ev.as<event::Control>();
+  if (ctrl == nullptr) {
+    return err(StatusCode::kInvalidArgument, "not a control event");
+  }
+  return decode_heartbeat(ByteSpan(ctrl->body.data(), ctrl->body.size()));
+}
+
+}  // namespace admire::fd

@@ -1,0 +1,42 @@
+// HEARTBEAT control messages of the self-healing control plane: each
+// mirror site's auxiliary unit periodically reports liveness plus the two
+// load signals the central site's failure detector and adaptation logic
+// care about (queue depth, last-applied progress). Heartbeats are carried
+// out-of-band from the checkpoint protocol — losing one must never stall a
+// commit — over a dedicated control channel or a transport::MessageLink.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "event/event.h"
+
+namespace admire::fd {
+
+struct Heartbeat {
+  SiteId site = 0;             ///< sender (mirror) site
+  std::uint64_t seq = 0;       ///< per-sender monotone sequence number
+  std::uint64_t queue_depth = 0;  ///< inbox + ready-queue backlog at send time
+  Nanos last_applied = 0;      ///< ingress time of the newest event folded
+                               ///< into the sender's EDE (0 = none yet)
+  Nanos sent_at = 0;           ///< sender clock at emission
+
+  bool operator==(const Heartbeat&) const = default;
+};
+
+/// Encode into a control-message body.
+Bytes encode_heartbeat(const Heartbeat& hb);
+
+/// Decode from a body; kCorrupt on malformed input (including checkpoint
+/// control bodies, which use a different magic).
+Result<Heartbeat> decode_heartbeat(ByteSpan body);
+
+/// Wrap into a transportable kControl event (for echo channels).
+event::Event to_heartbeat_event(const Heartbeat& hb);
+
+/// Decode from a kControl event (kInvalidArgument otherwise).
+Result<Heartbeat> from_heartbeat_event(const event::Event& ev);
+
+}  // namespace admire::fd

@@ -163,9 +163,15 @@ void PipelineCore::instrument(obs::Registry& registry,
   ready_.instrument(registry, "queue." + site + ".ready");
   backup_.instrument(registry, "queue." + site + ".backup");
   const std::string prefix = "pipeline." + site;
+  // Resolve the registry sinks before taking mu_: counter() locks the
+  // registry, and Registry::snapshot() invokes the probes registered
+  // below while holding that same lock — resolving under mu_ would
+  // invert the two locks (pipeline → registry vs registry → pipeline).
+  const auto rule_sinks =
+      rules::RuleEngine::resolve_counters(registry, "rules." + site);
   {
     std::lock_guard lock(mu_);
-    engine_.instrument(registry, "rules." + site);
+    engine_.install_counters(rule_sinks);
   }
   probes_.add(registry, prefix + ".received_total", [this] {
     std::lock_guard lock(mu_);

@@ -31,17 +31,24 @@ ReceiveDecision RuleEngine::on_receive(const event::Event& ev,
 
 void RuleEngine::instrument(obs::Registry& registry,
                             const std::string& prefix) {
-  obs_.seen = &registry.counter(prefix + ".seen_total");
-  obs_.accepted = &registry.counter(prefix + ".accepted_total");
-  obs_.discarded_overwritten =
+  install_counters(resolve_counters(registry, prefix));
+}
+
+RuleEngine::ObsCounters RuleEngine::resolve_counters(
+    obs::Registry& registry, const std::string& prefix) {
+  ObsCounters sinks;
+  sinks.seen = &registry.counter(prefix + ".seen_total");
+  sinks.accepted = &registry.counter(prefix + ".accepted_total");
+  sinks.discarded_overwritten =
       &registry.counter(prefix + ".discarded_overwritten_total");
-  obs_.discarded_suppressed =
+  sinks.discarded_suppressed =
       &registry.counter(prefix + ".discarded_suppressed_total");
-  obs_.discarded_filtered =
+  sinks.discarded_filtered =
       &registry.counter(prefix + ".discarded_filtered_total");
-  obs_.absorbed_tuple = &registry.counter(prefix + ".absorbed_tuple_total");
-  obs_.emitted_combined =
+  sinks.absorbed_tuple = &registry.counter(prefix + ".absorbed_tuple_total");
+  sinks.emitted_combined =
       &registry.counter(prefix + ".emitted_combined_total");
+  return sinks;
 }
 
 ReceiveDecision RuleEngine::decide(const event::Event& ev,

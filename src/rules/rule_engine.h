@@ -68,14 +68,6 @@ class RuleEngine {
   const RuleCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = RuleCounters{}; }
 
-  /// Register runtime counters under `<prefix>.seen_total`,
-  /// `.accepted_total`, `.discarded_overwritten_total`,
-  /// `.discarded_suppressed_total`, `.discarded_filtered_total`,
-  /// `.absorbed_tuple_total`, `.emitted_combined_total` — one relaxed
-  /// atomic increment per decision on the hot path.
-  void instrument(obs::Registry& registry, const std::string& prefix);
-
- private:
   /// Registry sinks, all owned by the registry; null until instrumented.
   struct ObsCounters {
     obs::Counter* seen = nullptr;
@@ -86,6 +78,24 @@ class RuleEngine {
     obs::Counter* absorbed_tuple = nullptr;
     obs::Counter* emitted_combined = nullptr;
   };
+
+  /// Register runtime counters under `<prefix>.seen_total`,
+  /// `.accepted_total`, `.discarded_overwritten_total`,
+  /// `.discarded_suppressed_total`, `.discarded_filtered_total`,
+  /// `.absorbed_tuple_total`, `.emitted_combined_total` — one relaxed
+  /// atomic increment per decision on the hot path.
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
+  /// Two-phase variant for callers that guard the engine with their own
+  /// mutex: resolve_counters locks only the registry, install_counters
+  /// only stores pointers. Keeps registry and caller locks disjoint
+  /// (Registry::snapshot() invokes probes under the registry mutex, so
+  /// resolving under a caller lock would invert the order).
+  static ObsCounters resolve_counters(obs::Registry& registry,
+                                      const std::string& prefix);
+  void install_counters(const ObsCounters& sinks) { obs_ = sinks; }
+
+ private:
 
   MirroringParams params_;
   RuleCounters counters_;

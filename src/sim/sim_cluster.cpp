@@ -1,6 +1,7 @@
 #include "sim/sim_cluster.h"
 
 #include "common/logging.h"
+#include "recovery/recovery.h"
 
 namespace admire::sim {
 
@@ -46,6 +47,20 @@ struct SimCluster::MirrorSite {
   adapt::DirectiveApplier applier;
   std::uint64_t pending_requests = 0;
   obs::Histogram* request_ns = nullptr;  // null = not instrumented
+
+  // Failover state (SimConfig::fd). Fault knobs mirror the semantics of
+  // the threaded control plane's central-side FaultyLink.
+  bool crashed = false;        ///< crash-stop: no beats, no progress
+  bool hb_partition = false;   ///< heartbeats lost toward the detector
+  Nanos hb_delay = 0;          ///< added per-heartbeat latency
+  double hb_drop = 0.0;        ///< per-heartbeat loss probability
+  std::uint64_t hb_seq = 0;
+  bool dead = false;           ///< membership removed (fail_mirror ran)
+  Nanos dead_at = 0;
+  bool rejoin_requested = false;  ///< kRejoin scripted before death
+  fd::Health lb_health = fd::Health::kAlive;
+  Nanos last_applied = 0;      ///< ingress time of newest EDE-folded event
+  std::unique_ptr<recovery::RejoinFilter> rejoin_filter;
 };
 
 SimCluster::SimCluster(SimConfig config)
@@ -55,7 +70,8 @@ SimCluster::SimCluster(SimConfig config)
       mirror_update_delays_(std::make_shared<metrics::LatencyRecorder>(kSecond)),
       request_latency_(std::make_shared<metrics::LatencyRecorder>(kSecond)),
       request_rng_(config_.request_seed),
-      fault_rng_(config_.fault_seed) {
+      fault_rng_(config_.fault_seed),
+      hb_rng_(config_.fault_seed ^ 0x5EED) {
   for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
     mirrors_.push_back(
         std::make_unique<MirrorSite>(static_cast<SiteId>(i + 1), config_));
@@ -85,6 +101,10 @@ SimCluster::SimCluster(SimConfig config)
                                             /*capacity=*/256, &obs);
     central_->core.set_tracer(tracer_.get());
   }
+  if (config_.fd.has_value()) {
+    detector_.emplace(*config_.fd);
+    detector_->instrument(obs);
+  }
 }
 
 SimCluster::~SimCluster() = default;
@@ -107,6 +127,30 @@ SimResult SimCluster::run(const workload::Trace& trace,
     engine_.schedule_at(at, [this, at] { on_request(at); });
   }
   if (config_.auto_request_rate > 0.0) schedule_next_auto_request();
+
+  if (detector_.has_value()) {
+    const auto& d = *config_.fd;
+    // Keep heartbeat/poll chains alive long enough for every scripted
+    // fault to be detected, confirmed dead, revived and re-admitted.
+    Nanos last_action = 0;
+    for (const auto& a : config_.fault_schedule.expanded()) {
+      last_action = std::max(last_action, a.at);
+    }
+    fd_horizon_ =
+        last_action +
+        d.heartbeat_interval *
+            static_cast<Nanos>(d.suspect_after_missed + d.alive_after_beats +
+                               20) +
+        d.confirm_window + (config_.fd_auto_rejoin ? config_.fd_rejoin_after : 0);
+    for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+      detector_->track(mirrors_[i]->aux.site(), engine_.now());
+      schedule_heartbeat(i);
+    }
+    schedule_fd_poll();
+    for (const auto& a : config_.fault_schedule.expanded()) {
+      engine_.schedule_at(a.at, [this, a] { apply_sim_fault(a); });
+    }
+  }
 
   engine_.run();
 
@@ -141,6 +185,8 @@ SimResult SimCluster::run(const workload::Trace& trace,
   }
   if (tracer_) tracer_->flush();
   result.obs = config_.obs;
+  if (detector_.has_value()) result.fd_transitions = detector_->history();
+  result.rejoin_times = rejoin_times_;
   return result;
 }
 
@@ -251,6 +297,7 @@ void SimCluster::deliver_to_mirrors(const event::Event& ev) {
     chan_bytes_->inc(bytes);
   }
   for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    if (mirrors_[i]->dead) continue;  // membership already shrank around it
     const Nanos at = mirrors_[i]->data_link.delivery_time(engine_.now(), bytes);
     ++wire_events_mirrored_;
     ++outstanding_mirror_events_;
@@ -259,11 +306,25 @@ void SimCluster::deliver_to_mirrors(const event::Event& ev) {
 }
 
 void SimCluster::mirror_recv(std::size_t idx, event::Event ev) {
+  if (mirrors_[idx]->crashed || mirrors_[idx]->dead) {
+    // A crashed node black-holes arriving traffic.
+    --outstanding_mirror_events_;
+    return;
+  }
   const std::size_t bytes = ev.wire_size();
   const Nanos recv_done =
       mirror_cpu_job(idx, config_.costs.mirror_recv_cost(bytes));
   engine_.schedule_at(recv_done, [this, idx, ev = std::move(ev)]() mutable {
     auto& s = *mirrors_[idx];
+    if (s.crashed || s.dead) {
+      --outstanding_mirror_events_;
+      return;
+    }
+    if (s.rejoin_filter && !s.rejoin_filter->should_apply(ev)) {
+      // Live-stream duplicate of an event the revive package restored.
+      --outstanding_mirror_events_;
+      return;
+    }
     s.aux.on_mirrored(std::move(ev), engine_.now());
     auto next = s.aux.next_for_main(engine_.now());
     if (!next.has_value()) {
@@ -273,7 +334,12 @@ void SimCluster::mirror_recv(std::size_t idx, event::Event ev) {
     const Nanos done = mirror_cpu_job(idx, config_.costs.ede_cost(next->wire_size()));
     engine_.schedule_at(done, [this, idx, fwd = std::move(*next)] {
       auto& site2 = *mirrors_[idx];
+      if (site2.crashed || site2.dead) {
+        --outstanding_mirror_events_;
+        return;
+      }
       const auto outputs = site2.main.process(fwd);
+      site2.last_applied = fwd.header().ingress_time;
       for (const auto& out : outputs) {
         mirror_update_delays_->add(out.header().ingress_time,
                                    engine_.now() - out.header().ingress_time);
@@ -316,6 +382,7 @@ void SimCluster::start_checkpoint() {
   engine_.schedule_at(done, [this, chkpt] {
     central_self_reply(chkpt);
     for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+      if (mirrors_[i]->crashed || mirrors_[i]->dead) continue;
       if (drop_control()) continue;  // CHKPT lost on the wire
       engine_.schedule_after(config_.costs.control_latency,
                              [this, i, chkpt] { mirror_on_chkpt(i, chkpt); });
@@ -337,6 +404,7 @@ void SimCluster::mirror_on_chkpt(std::size_t idx, ControlMessage chkpt) {
   const Nanos done = mirror_cpu_job(idx, config_.costs.chkpt_participant);
   engine_.schedule_at(done, [this, idx, chkpt = std::move(chkpt)] {
     auto& s = *mirrors_[idx];
+    if (s.crashed || s.dead) return;
     const auto relayed = s.aux.relay_chkpt(chkpt);
     ControlMessage reply = s.main.on_chkpt(relayed);
     auto forwarded = s.aux.relay_reply(reply);
@@ -379,6 +447,7 @@ void SimCluster::broadcast_commit(const ControlMessage& commit) {
   engine_.schedule_at(done, [this, commit] { central_->main.on_commit(commit); });
   // Mirror sites.
   for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    if (mirrors_[i]->crashed || mirrors_[i]->dead) continue;
     if (drop_control()) continue;  // COMMIT lost on the wire
     engine_.schedule_after(config_.costs.control_latency,
                            [this, i, commit] { mirror_on_commit(i, commit); });
@@ -390,6 +459,7 @@ void SimCluster::mirror_on_commit(std::size_t idx, ControlMessage commit) {
   const Nanos done = mirror_cpu_job(idx, config_.costs.chkpt_participant);
   engine_.schedule_at(done, [this, idx, commit = std::move(commit)] {
     auto& s = *mirrors_[idx];
+    if (s.crashed || s.dead) return;
     const auto forwarded = s.aux.on_commit(commit);
     s.main.on_commit(forwarded);
   });
@@ -453,6 +523,169 @@ bool SimCluster::events_fully_done() const {
          (flushed_ || !config_.mirroring_enabled);
 }
 
+// --- Failure detection / fault injection (SimConfig::fd) ---------------------
+
+bool SimCluster::fd_active() const {
+  return engine_.now() < fd_horizon_ || !events_fully_done();
+}
+
+void SimCluster::schedule_heartbeat(std::size_t idx) {
+  if (!detector_.has_value()) return;
+  auto& s = *mirrors_[idx];
+  if (!s.crashed && !s.dead) {
+    fd::Heartbeat hb;
+    hb.site = s.aux.site();
+    hb.seq = ++s.hb_seq;
+    hb.queue_depth = s.aux.ready().size();
+    hb.last_applied = s.last_applied;
+    hb.sent_at = engine_.now();
+    const bool lost =
+        s.hb_partition || (s.hb_drop > 0.0 && hb_rng_.next_bool(s.hb_drop));
+    if (!lost) {
+      const Nanos deliver =
+          engine_.now() + config_.costs.control_latency + s.hb_delay;
+      engine_.schedule_at(deliver, [this, hb] {
+        react_fd(detector_->on_heartbeat(hb, engine_.now()));
+      });
+    }
+  }
+  // Keep the chain alive even while crashed/dead: a heal or revive resumes
+  // beating without further scheduling machinery.
+  if (!fd_active()) return;
+  engine_.schedule_after(config_.fd->heartbeat_interval,
+                         [this, idx] { schedule_heartbeat(idx); });
+}
+
+void SimCluster::schedule_fd_poll() {
+  react_fd(detector_->poll(engine_.now()));
+  if (!fd_active()) return;
+  engine_.schedule_after(config_.fd->heartbeat_interval,
+                         [this] { schedule_fd_poll(); });
+}
+
+void SimCluster::apply_sim_fault(const faultinject::ScheduledFault& f) {
+  using faultinject::FaultKind;
+  if (f.mirror >= mirrors_.size()) return;
+  auto& s = *mirrors_[f.mirror];
+  switch (f.kind) {
+    case FaultKind::kCrashStop:
+      s.crashed = true;
+      break;
+    case FaultKind::kPartitionIn:
+      s.hb_partition = true;
+      break;
+    case FaultKind::kPartitionOut:
+      // The modelled link (mirror heartbeats toward the detector) carries
+      // nothing in the other direction — no-op, matching the threaded
+      // control plane's central-side FaultyLink.
+      break;
+    case FaultKind::kDelay:
+      s.hb_delay = f.delay;
+      break;
+    case FaultKind::kDrop:
+      s.hb_drop = f.probability;
+      break;
+    case FaultKind::kHeal:
+      s.crashed = false;
+      s.hb_partition = false;
+      s.hb_delay = 0;
+      s.hb_drop = 0.0;
+      break;
+    case FaultKind::kRejoin:
+      if (s.dead) {
+        revive_mirror(f.mirror);
+      } else {
+        s.rejoin_requested = true;  // fires once the death is confirmed
+      }
+      break;
+  }
+}
+
+void SimCluster::react_fd(const std::vector<fd::Transition>& transitions) {
+  for (const auto& t : transitions) {
+    if (t.site == kCentralSite || t.site > mirrors_.size()) continue;
+    const std::size_t idx = t.site - 1;
+    auto& s = *mirrors_[idx];
+    s.lb_health = t.to;
+    switch (t.to) {
+      case fd::Health::kSuspect:
+        // Freeze the suspect's stale monitor values out of adaptation.
+        if (central_->controller.has_value()) {
+          central_->controller->set_site_excluded(t.site, true);
+        }
+        break;
+      case fd::Health::kDead: {
+        s.dead = true;
+        s.dead_at = t.at;
+        ADMIRE_LOG(kWarn, "sim fd: mirror ", t.site, " declared dead at t=",
+                   to_seconds(t.at), "s");
+        // fail_mirror: shrink checkpoint membership. An in-flight round
+        // waiting only on the dead site's reply commits right here.
+        auto commit = central_->coordinator.set_expected_replies(
+            central_->coordinator.expected_replies() - 1);
+        if (commit.has_value()) broadcast_commit(*commit);
+        if (config_.fd_auto_rejoin || s.rejoin_requested) {
+          s.rejoin_requested = false;
+          engine_.schedule_after(config_.fd_rejoin_after,
+                                 [this, idx] { revive_mirror(idx); });
+        }
+        break;
+      }
+      case fd::Health::kAlive:
+        if (central_->controller.has_value()) {
+          central_->controller->set_site_excluded(t.site, false);
+        }
+        if (t.from == fd::Health::kRejoining) {
+          const Nanos took = t.at - s.dead_at;
+          rejoin_times_.push_back(took);
+          config_.obs
+              ->histogram("fd.rejoin_time_ns", obs::Histogram::latency_bounds())
+              .observe(static_cast<double>(took));
+        }
+        break;
+      case fd::Health::kRejoining:
+        break;  // stays out of the request pool until fully alive
+    }
+  }
+}
+
+void SimCluster::revive_mirror(std::size_t idx) {
+  auto& s = *mirrors_[idx];
+  if (!s.dead) return;  // healed/revived already, or never confirmed dead
+  // Recovery bootstrap from the central donor: state snapshot plus the
+  // central backup-queue suffix past the snapshot's progress stamp.
+  auto package = recovery::build_bootstrap_package(central_->main,
+                                                   next_recovery_request_++);
+  package.replay = central_->core.backup().entries_after(package.as_of);
+  // Live-stream dedup point: the newest replayed entry. Events still in
+  // the central backup may also fan out live after this instant (their
+  // send step was already queued) — the filter discards those duplicates.
+  event::VectorTimestamp restore = package.as_of;
+  if (!package.replay.empty()) restore = package.replay.back().header().vts;
+  // Discard pre-crash leftovers the snapshot already covers.
+  while (s.aux.next_for_main(engine_.now()).has_value()) {
+  }
+  s.aux.backup().trim_committed(restore);
+  if (auto status = recovery::install_package(package, s.main);
+      !status.is_ok()) {
+    ADMIRE_LOG(kError, "sim fd: revive of mirror ", s.aux.site(),
+               " failed: ", status.message());
+    return;
+  }
+  s.rejoin_filter = std::make_unique<recovery::RejoinFilter>(restore);
+  s.crashed = false;
+  s.hb_partition = false;
+  s.hb_delay = 0;
+  s.hb_drop = 0.0;
+  s.dead = false;
+  s.lb_health = fd::Health::kRejoining;
+  // Membership grows back; growing the quorum can never unblock a round.
+  auto commit = central_->coordinator.set_expected_replies(
+      central_->coordinator.expected_replies() + 1);
+  if (commit.has_value()) broadcast_commit(*commit);
+  react_fd(detector_->begin_rejoin(s.aux.site(), s.aux.site(), engine_.now()));
+}
+
 void SimCluster::schedule_next_auto_request() {
   const Nanos gap = static_cast<Nanos>(
       request_rng_.next_exponential(1e9 / config_.auto_request_rate));
@@ -469,26 +702,42 @@ void SimCluster::schedule_next_auto_request() {
 // --- Client requests ---------------------------------------------------------
 
 std::size_t SimCluster::pick_site() {
-  const std::size_t sites =
-      config_.lb == LbPolicy::kMirrorsOnly && !mirrors_.empty()
-          ? mirrors_.size()
-          : mirrors_.size() + 1;
+  // Health-aware candidate list: alive mirrors serve; suspect mirrors are
+  // fallback-only; dead/rejoining mirrors never receive requests. Without
+  // the failure detector every mirror stays kAlive and this reduces
+  // exactly to the legacy policy arithmetic.
+  std::vector<std::size_t> healthy;   // site indices: 0 = central
+  std::vector<std::size_t> degraded;
+  if (config_.lb != LbPolicy::kMirrorsOnly || mirrors_.empty()) {
+    healthy.push_back(0);  // the central site is always in the pool
+  }
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    switch (mirrors_[i]->lb_health) {
+      case fd::Health::kAlive:
+        healthy.push_back(i + 1);
+        break;
+      case fd::Health::kSuspect:
+        degraded.push_back(i + 1);
+        break;
+      case fd::Health::kDead:
+      case fd::Health::kRejoining:
+        break;
+    }
+  }
+  const auto& pool = healthy.empty() ? degraded : healthy;
+  if (pool.empty()) return 0;  // every mirror down: central takes the load
   if (config_.lb == LbPolicy::kLeastLoaded) {
-    std::size_t best = 0;
-    std::uint64_t best_pending = central_->pending_requests;
-    for (std::size_t i = 0; i < mirrors_.size(); ++i) {
-      if (mirrors_[i]->pending_requests < best_pending) {
-        best_pending = mirrors_[i]->pending_requests;
-        best = i + 1;
-      }
+    std::size_t best = pool.front();
+    auto pending_of = [this](std::size_t site) {
+      return site == 0 ? central_->pending_requests
+                       : mirrors_[site - 1]->pending_requests;
+    };
+    for (const std::size_t site : pool) {
+      if (pending_of(site) < pending_of(best)) best = site;
     }
     return best;
   }
-  const std::size_t slot = rr_cursor_++ % sites;
-  if (config_.lb == LbPolicy::kMirrorsOnly && !mirrors_.empty()) {
-    return slot + 1;
-  }
-  return slot;  // 0 = central, 1..m = mirrors
+  return pool[rr_cursor_++ % pool.size()];  // 0 = central, 1..m = mirrors
 }
 
 void SimCluster::on_request(Nanos at) {

@@ -13,6 +13,8 @@
 #include "adapt/controller.h"
 #include "checkpoint/coordinator.h"
 #include "common/rng.h"
+#include "faultinject/schedule.h"
+#include "fd/detector.h"
 #include "metrics/metrics.h"
 #include "mirror/main_unit_core.h"
 #include "mirror/mirror_aux_core.h"
@@ -84,6 +86,20 @@ struct SimConfig {
   /// Trace one data event in N through the central pipeline, timestamped
   /// in *virtual* time (0 = off).
   std::uint32_t trace_sample_every = 0;
+  /// Self-healing control plane under virtual time: when set, mirrors emit
+  /// heartbeats on the calendar and the SAME fd::FailureDetector logic that
+  /// the threaded ControlPlane runs evaluates them — identical suspicion
+  /// state-machine transitions for identical scenarios.
+  std::optional<fd::DetectorConfig> fd;
+  /// Fault script, `at` in virtual time, applied to per-mirror fault state
+  /// with the same semantics as the threaded control plane's central-side
+  /// FaultyLink (kPartitionIn loses heartbeats toward the detector).
+  faultinject::Schedule fault_schedule;
+  /// Revive a dead mirror fd_rejoin_after after its dead declaration
+  /// (bootstrap snapshot + central backup-queue suffix + rejoin filter).
+  /// kRejoin schedule entries request the same for one mirror explicitly.
+  bool fd_auto_rejoin = false;
+  Nanos fd_rejoin_after = 0;
 };
 
 struct SimResult {
@@ -115,6 +131,12 @@ struct SimResult {
   /// The registry the run instrumented into (never null) — snapshot() it
   /// for the full metric set; bench binaries read figure inputs from here.
   std::shared_ptr<obs::Registry> obs;
+
+  /// Failure-detection record of the run (empty unless SimConfig::fd):
+  /// every suspicion state-machine transition in virtual-time order, and
+  /// per completed rejoin the dead-declaration -> back-alive interval.
+  std::vector<fd::Transition> fd_transitions;
+  std::vector<Nanos> rejoin_times;
 };
 
 class SimCluster {
@@ -156,6 +178,14 @@ class SimCluster {
   void on_request(Nanos at);
   void schedule_next_auto_request();
   bool events_fully_done() const;
+
+  // --- Failure detection / fault injection (SimConfig::fd) ---------------
+  bool fd_active() const;          ///< keep heartbeat/poll chains alive?
+  void schedule_heartbeat(std::size_t idx);
+  void schedule_fd_poll();
+  void apply_sim_fault(const faultinject::ScheduledFault& f);
+  void react_fd(const std::vector<fd::Transition>& transitions);
+  void revive_mirror(std::size_t idx);
   bool drop_control();  ///< failure injection coin flip
   /// Schedule CPU work at mirror `idx`, deferring starts that fall inside
   /// the configured brown-out window.
@@ -181,7 +211,12 @@ class SimCluster {
   std::shared_ptr<metrics::LatencyRecorder> request_latency_;
   Rng request_rng_{0x5151};
   Rng fault_rng_{0xFA17};
+  Rng hb_rng_{0xFA17 ^ 0x5EED};  ///< heartbeat drop coin, own stream
   std::uint64_t control_messages_dropped_ = 0;
+  std::optional<fd::FailureDetector> detector_;
+  Nanos fd_horizon_ = 0;  ///< keep fd chains alive at least this long
+  std::vector<Nanos> rejoin_times_;
+  std::uint64_t next_recovery_request_ = 2'000'000;
 
   // Run bookkeeping.
   std::vector<event::Event> source_queue_;  // closed-loop mode

@@ -154,6 +154,26 @@ TEST(Controller, MultipleThresholdsAnyEngages) {
   EXPECT_TRUE(c.evaluate().has_value());
 }
 
+TEST(Controller, ExcludedSitesDoNotDriveAdaptation) {
+  // Failure-detection hook: a suspect/dead mirror's queues look long
+  // precisely because it stopped making progress — its stale monitor
+  // values must not engage the cluster-wide regime.
+  AdaptationController c(switch_policy(10, 5));
+  c.observe(1, MonitoredVariable::kPendingRequests, 50.0);
+  c.observe(2, MonitoredVariable::kPendingRequests, 2.0);
+  c.set_site_excluded(1, true);
+  EXPECT_TRUE(c.site_excluded(1));
+  EXPECT_DOUBLE_EQ(c.max_value(MonitoredVariable::kPendingRequests), 2.0);
+  EXPECT_FALSE(c.evaluate().has_value());
+  EXPECT_FALSE(c.engaged());
+  // Re-inclusion (the site rejoined healthy) restores its vote.
+  c.set_site_excluded(1, false);
+  EXPECT_FALSE(c.site_excluded(1));
+  EXPECT_DOUBLE_EQ(c.max_value(MonitoredVariable::kPendingRequests), 50.0);
+  EXPECT_TRUE(c.evaluate().has_value());
+  EXPECT_TRUE(c.engaged());
+}
+
 TEST(Applier, AppliesInEpochOrderOnce) {
   DirectiveApplier applier;
   AdaptationDirective d1{1, true, rules::fig9_function_b()};

@@ -1,0 +1,338 @@
+// End-to-end self-healing: a mirror is killed through the control plane's
+// FaultyLink (crash-stop on its heartbeat path), the failure detector
+// declares it dead within the suspicion window, fail_mirror() shrinks
+// membership and the load balancer redirects, then a replacement mirror
+// bootstraps and rejoins with event-stream continuity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "workload/scenario.h"
+
+namespace admire::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+ControlPlaneConfig tight_control_plane() {
+  ControlPlaneConfig cp;
+  cp.detector.heartbeat_interval = 10 * kMilli;
+  cp.detector.suspect_after_missed = 3;
+  cp.detector.confirm_window = 40 * kMilli;
+  cp.detector.alive_after_beats = 2;
+  cp.poll_interval = std::chrono::milliseconds(2);
+  return cp;
+}
+
+ClusterConfig failover_config(std::size_t mirrors = 2) {
+  ClusterConfig config;
+  config.num_mirrors = mirrors;
+  config.params = rules::MirroringParams{.function = rules::simple_mirroring()};
+  config.control_plane = tight_control_plane();
+  return config;
+}
+
+workload::Trace small_trace(std::size_t events = 200) {
+  workload::ScenarioConfig cfg;
+  cfg.faa_events = events;
+  cfg.num_flights = 10;
+  cfg.event_padding = 128;
+  return workload::make_ois_trace(cfg);
+}
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(Failover, CrashStopIsDetectedFailedOverAndRejoined) {
+  auto config = failover_config(2);
+  config.control_plane->auto_rejoin = true;
+  config.control_plane->rejoin_after = 0;
+  Cluster cluster(config);
+  cluster.start();
+  auto* cp = cluster.control_plane();
+  ASSERT_NE(cp, nullptr);
+
+  // One trace, split around the failover: per-stream sequence numbers (and
+  // so vector timestamps) must keep advancing across it.
+  const auto trace = small_trace(450);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(cluster.ingest(trace.items[i].ev).is_ok());
+  }
+  cluster.drain();
+  ASSERT_TRUE(wait_until([&] { return cluster.mirror(0).heartbeats_sent() > 0; },
+                         2000ms));
+
+  // Kill mirror 0 from the control plane's perspective: crash-stop its
+  // heartbeat link. The site itself keeps running — the detector must
+  // infer the death from silence alone.
+  const Nanos crashed_at = cluster.clock()->now();
+  cp->fault(0).crash();
+
+  ASSERT_TRUE(wait_until([&] { return cluster.mirror_failed(0); }, 3000ms))
+      << "death was never declared";
+
+  // Detection latency: dead declaration within the suspicion window
+  // (interval * suspect_after_missed + confirm_window) plus slack for the
+  // last pre-crash beat and monitor-tick quantization.
+  Nanos dead_at = 0;
+  for (const auto& t : cp->detector().history()) {
+    if (t.site == 1 && t.to == fd::Health::kDead) dead_at = t.at;
+  }
+  ASSERT_GT(dead_at, 0);
+  const auto& d = config.control_plane->detector;
+  EXPECT_GE(dead_at - crashed_at, d.confirm_window);
+  EXPECT_LE(dead_at - crashed_at,
+            d.heartbeat_interval * (d.suspect_after_missed + 2) +
+                d.confirm_window + 500 * kMilli);
+
+  // After detection the dead target is out of the pool: a request burst
+  // must see zero failures and zero routes to mirror1.
+  EXPECT_EQ(cluster.load_balancer().health("mirror1"), TargetHealth::kDown);
+  const auto routed_before = cluster.load_balancer().routed_counts();
+  for (std::uint64_t id = 1000; id < 1040; ++id) {
+    auto res = cluster.request_snapshot(id);
+    EXPECT_TRUE(res.is_ok()) << res.status().to_string();
+  }
+  const auto routed_after = cluster.load_balancer().routed_counts();
+  EXPECT_EQ(routed_after[1], routed_before[1]);  // dead target untouched
+
+  // Automatic rejoin: a replacement site bootstraps and completes.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto records = cp->rejoin_records();
+        return !records.empty() && records.front().rejoined_at != 0;
+      },
+      3000ms))
+      << "rejoin never completed";
+  const auto record = cp->rejoin_records().front();
+  EXPECT_EQ(record.dead_site, 1u);
+  EXPECT_EQ(record.new_site, 3u);
+  EXPECT_GT(record.rejoined_at, record.dead_at);  // time-to-reintegration
+  const auto obs_snapshot = cluster.obs().snapshot();
+  const auto* rejoin_hist = obs_snapshot.histogram("fd.rejoin_time_ns");
+  ASSERT_NE(rejoin_hist, nullptr);
+  EXPECT_GE(rejoin_hist->count, 1u);
+
+  // Event-stream continuity: traffic ingested after the rejoin folds into
+  // the replacement identically to the central replica (sequence-numbered
+  // state fingerprints match; duplicates or gaps would diverge them).
+  for (std::size_t i = 300; i < trace.items.size(); ++i) {
+    ASSERT_TRUE(cluster.ingest(trace.items[i].ev).is_ok());
+  }
+  cluster.drain();
+  const auto fps = cluster.state_fingerprints();
+  ASSERT_EQ(fps.size(), 4u);  // central, dead mirror (frozen), survivor, new
+  EXPECT_EQ(fps[0], fps[2]);
+  EXPECT_EQ(fps[0], fps[3]);
+  EXPECT_EQ(cluster.load_balancer().health("mirror3"), TargetHealth::kHealthy);
+  cluster.stop();
+}
+
+TEST(Failover, ScheduledScenarioDrivesFailoverWithoutTestIntervention) {
+  // The same scenario text the simulator consumes, run on wall time: crash
+  // mirror 0 50 ms in, rejoin scripted 150 ms later.
+  auto config = failover_config(2);
+  config.control_plane->schedule =
+      faultinject::Schedule{{.at = 50 * kMilli,
+                             .mirror = 0,
+                             .kind = faultinject::FaultKind::kCrashStop},
+                            {.at = 200 * kMilli,
+                             .mirror = 0,
+                             .kind = faultinject::FaultKind::kRejoin}};
+  Cluster cluster(config);
+  cluster.start();
+  for (const auto& item : small_trace(100).items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  ASSERT_TRUE(wait_until([&] { return cluster.mirror_failed(0); }, 3000ms));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto records = cluster.control_plane()->rejoin_records();
+        return !records.empty() && records.front().rejoined_at != 0;
+      },
+      3000ms));
+  cluster.drain();
+  const auto fps = cluster.state_fingerprints();
+  ASSERT_EQ(fps.size(), 4u);
+  EXPECT_EQ(fps[0], fps[3]);
+  cluster.stop();
+}
+
+TEST(Failover, RejoinUnderInFlightTrafficKeepsContinuity) {
+  auto config = failover_config(2);
+  config.control_plane->auto_rejoin = true;
+  config.control_plane->rejoin_after = 20 * kMilli;
+  Cluster cluster(config);
+  cluster.start();
+
+  // Feed traffic continuously through crash, detection, and rejoin.
+  std::atomic<bool> keep_feeding{true};
+  std::atomic<std::uint64_t> fed{0};
+  const auto trace = small_trace(4000);
+  std::thread feeder([&] {
+    for (const auto& item : trace.items) {
+      if (!keep_feeding.load()) break;
+      if (cluster.ingest(item.ev).is_ok()) {
+        fed.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    keep_feeding = false;
+  });
+
+  ASSERT_TRUE(
+      wait_until([&] { return cluster.mirror(0).heartbeats_sent() > 2; },
+                 2000ms));
+  cluster.control_plane()->fault(0).crash();
+  ASSERT_TRUE(wait_until([&] { return cluster.mirror_failed(0); }, 3000ms));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto records = cluster.control_plane()->rejoin_records();
+        return !records.empty() && records.front().rejoined_at != 0;
+      },
+      3000ms));
+  keep_feeding = false;
+  feeder.join();
+  EXPECT_GT(fed.load(), 0u);
+  cluster.drain();
+
+  // The replacement saw the join mid-stream: its RejoinFilter deduplicates
+  // the snapshot/live-stream overlap, and nothing is missing — replicas
+  // converge bit-for-bit.
+  const auto fps = cluster.state_fingerprints();
+  ASSERT_EQ(fps.size(), 4u);
+  EXPECT_EQ(fps[0], fps[2]) << "survivor diverged";
+  EXPECT_EQ(fps[0], fps[3]) << "replacement missed or duplicated events";
+  cluster.stop();
+}
+
+TEST(Failover, DoubleFailMirrorShrinksMembershipExactlyOnce) {
+  ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params = rules::MirroringParams{.function = rules::simple_mirroring()};
+  Cluster cluster(config);
+  cluster.start();
+  for (const auto& item : small_trace(100).items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  auto& coord = cluster.central().coordinator();
+  ASSERT_EQ(coord.expected_replies(), 3u);  // central + 2 mirrors
+
+  // Concurrent double-fail (e.g. the failure detector and an operator
+  // script reacting to the same death) shrinks membership exactly once.
+  std::vector<std::thread> racers;
+  for (int i = 0; i < 4; ++i) {
+    racers.emplace_back([&] { cluster.fail_mirror(0); });
+  }
+  for (auto& t : racers) t.join();
+  EXPECT_TRUE(cluster.mirror_failed(0));
+  EXPECT_EQ(coord.expected_replies(), 2u);
+
+  // The surviving membership still commits checkpoints.
+  cluster.checkpoint_and_wait();
+  EXPECT_GT(coord.rounds_committed(), 0u);
+  cluster.fail_mirror(0);  // straight double-fail: still a no-op
+  EXPECT_EQ(coord.expected_replies(), 2u);
+  cluster.stop();
+}
+
+TEST(LoadBalancerHealth, SuspectAndDeadTargetsLeaveTheRotation) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  int a_hits = 0, b_hits = 0, c_hits = 0;
+  auto target = [](std::string name, int& hits) {
+    return LoadBalancer::Target{std::move(name),
+                                [&hits](std::uint64_t, ServiceCallback) {
+                                  ++hits;
+                                  return Status::ok();
+                                },
+                                [] { return std::uint64_t{0}; }};
+  };
+  lb.add_target(target("a", a_hits));
+  lb.add_target(target("b", b_hits));
+  lb.add_target(target("c", c_hits));
+
+  lb.set_health("b", TargetHealth::kDegraded);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(lb.route(i, nullptr).is_ok());
+  EXPECT_EQ(b_hits, 0);  // degraded: skipped while healthy targets exist
+  EXPECT_EQ(a_hits + c_hits, 10);
+  EXPECT_GT(lb.rerouted_count(), 0u);
+
+  // No healthy target left: degrade the rest — the degraded one serves.
+  lb.set_health("a", TargetHealth::kDown);
+  lb.set_health("c", TargetHealth::kDown);
+  for (int i = 10; i < 14; ++i) ASSERT_TRUE(lb.route(i, nullptr).is_ok());
+  EXPECT_EQ(b_hits, 4);
+
+  // All down: routing fails rather than hitting a dead site.
+  lb.set_health("b", TargetHealth::kDown);
+  EXPECT_FALSE(lb.route(99, nullptr).is_ok());
+  EXPECT_EQ(lb.health("b"), TargetHealth::kDown);
+  EXPECT_EQ(lb.health("no-such"), TargetHealth::kDown);  // unknown = down
+}
+
+TEST(LoadBalancerHealth, RequestBurstMidFailoverNeverFailsNorHitsDownTarget) {
+  LoadBalancer lb(LbPolicy::kRoundRobin);
+  std::atomic<int> m1_hits{0};
+  std::atomic<int> others{0};
+  lb.add_target({"central",
+                 [&](std::uint64_t, ServiceCallback) {
+                   ++others;
+                   return Status::ok();
+                 },
+                 [] { return std::uint64_t{0}; }});
+  lb.add_target({"mirror1",
+                 [&](std::uint64_t, ServiceCallback) {
+                   ++m1_hits;
+                   return Status::ok();
+                 },
+                 [] { return std::uint64_t{0}; }});
+  lb.add_target({"mirror2",
+                 [&](std::uint64_t, ServiceCallback) {
+                   ++others;
+                   return Status::ok();
+                 },
+                 [] { return std::uint64_t{0}; }});
+
+  // Burst from several clients while the control plane marks mirror1
+  // degraded, then down, mid-flight.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  std::atomic<bool> go{false};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        if (!lb.route(static_cast<std::uint64_t>(c) * 1000 + i, nullptr)
+                 .is_ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  go = true;
+  lb.set_health("mirror1", TargetHealth::kDegraded);
+  std::this_thread::sleep_for(1ms);
+  lb.set_health("mirror1", TargetHealth::kDown);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);  // zero failed client requests
+
+  // Once down, the target stays cold: further routes never touch it.
+  const int frozen = m1_hits.load();
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(lb.route(9000 + i, nullptr).is_ok());
+  EXPECT_EQ(m1_hits.load(), frozen);
+  EXPECT_GT(others.load(), 0);
+}
+
+}  // namespace
+}  // namespace admire::cluster

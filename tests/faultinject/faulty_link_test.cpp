@@ -1,0 +1,202 @@
+#include "faultinject/faulty_link.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "faultinject/schedule.h"
+#include "obs/registry.h"
+#include "transport/link.h"
+
+namespace admire::faultinject {
+namespace {
+
+Bytes msg(const std::string& s) { return to_bytes(s); }
+
+std::string text(const Bytes& b) {
+  return std::string(as_string_view(ByteSpan(b.data(), b.size())));
+}
+
+using LinkPair = std::pair<std::shared_ptr<transport::MessageLink>,
+                           std::shared_ptr<transport::MessageLink>>;
+
+TEST(FaultyLink, NoFaultsIsTransparent) {
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a);
+  ASSERT_TRUE(b->send(msg("hello")).is_ok());
+  auto got = faulty.receive_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(text(*got), "hello");
+  ASSERT_TRUE(faulty.send(msg("back")).is_ok());
+  auto back = b->receive_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(text(*back), "back");
+}
+
+TEST(FaultyLink, CrashStopBlackHolesBothDirections) {
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a);
+  faulty.crash();
+  EXPECT_TRUE(faulty.crashed());
+  // Outbound: swallowed silently (a crashed node does not error politely).
+  ASSERT_TRUE(faulty.send(msg("out")).is_ok());
+  EXPECT_FALSE(b->receive_for(std::chrono::milliseconds(50)).has_value());
+  // Inbound: pulled off the wire and discarded.
+  ASSERT_TRUE(b->send(msg("in")).is_ok());
+  EXPECT_FALSE(faulty.receive_for(std::chrono::milliseconds(50)).has_value());
+  EXPECT_EQ(faulty.dropped(), 2u);
+  // heal() restores the pipe.
+  faulty.heal();
+  ASSERT_TRUE(b->send(msg("again")).is_ok());
+  auto got = faulty.receive_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(text(*got), "again");
+}
+
+TEST(FaultyLink, OneWayPartitions) {
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a);
+  FaultSpec spec;
+  spec.partition_in = true;
+  faulty.set_faults(spec);
+  ASSERT_TRUE(b->send(msg("lost")).is_ok());
+  EXPECT_FALSE(faulty.receive_for(std::chrono::milliseconds(50)).has_value());
+  // The other direction still works.
+  ASSERT_TRUE(faulty.send(msg("through")).is_ok());
+  EXPECT_TRUE(b->receive_for(std::chrono::milliseconds(200)).has_value());
+
+  spec.partition_in = false;
+  spec.partition_out = true;
+  faulty.set_faults(spec);
+  ASSERT_TRUE(faulty.send(msg("swallowed")).is_ok());
+  EXPECT_FALSE(b->receive_for(std::chrono::milliseconds(50)).has_value());
+}
+
+TEST(FaultyLink, DeterministicDropSequence) {
+  auto run = [](std::uint64_t seed) {
+    auto [a, b] = transport::make_inprocess_link_pair(64);
+    FaultyLink faulty(a, seed);
+    FaultSpec spec;
+    spec.drop_recv = 0.5;
+    faulty.set_faults(spec);
+    std::vector<std::string> delivered;
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE(b->send(msg("m" + std::to_string(i))).is_ok());
+    }
+    while (auto got = faulty.receive_for(std::chrono::milliseconds(20))) {
+      delivered.push_back(text(*got));
+    }
+    return delivered;
+  };
+  const auto first = run(7);
+  const auto second = run(7);
+  EXPECT_EQ(first, second);           // same seed -> same survivors
+  EXPECT_FALSE(first.empty());
+  EXPECT_LT(first.size(), 32u);       // some messages actually dropped
+  EXPECT_NE(run(8), first);           // different seed -> different pattern
+}
+
+TEST(FaultyLink, DelayHoldsDeliveryOnInjectedClock) {
+  auto clock = std::make_shared<ManualClock>();
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a, 0xFA17, clock);
+  FaultSpec spec;
+  spec.delay = 10 * kMilli;
+  faulty.set_faults(spec);
+  ASSERT_TRUE(b->send(msg("slow")).is_ok());
+  // The manual clock never advances inside this call: not yet visible.
+  EXPECT_FALSE(faulty.receive_for(std::chrono::milliseconds(20)).has_value());
+  clock->advance(11 * kMilli);
+  auto got = faulty.receive_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(text(*got), "slow");
+  EXPECT_EQ(faulty.delayed(), 1u);
+}
+
+TEST(FaultyLink, DuplicateDeliversTwice) {
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a);
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  faulty.set_faults(spec);
+  ASSERT_TRUE(b->send(msg("twin")).is_ok());
+  auto first = faulty.receive_for(std::chrono::milliseconds(200));
+  auto second = faulty.receive_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(text(*first), "twin");
+  EXPECT_EQ(text(*second), "twin");
+  EXPECT_EQ(faulty.duplicated(), 1u);
+}
+
+TEST(FaultyLink, MetricsExported) {
+  obs::Registry registry;
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a);
+  faulty.instrument(registry, "hb.mirror1");
+  faulty.crash();
+  ASSERT_TRUE(b->send(msg("x")).is_ok());
+  EXPECT_FALSE(faulty.receive_for(std::chrono::milliseconds(50)).has_value());
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_or("faults.link.hb.mirror1.dropped_total"), 1u);
+}
+
+TEST(Schedule, ActionsSortedAndDueWindowed) {
+  Schedule schedule{
+      {.at = 30 * kMilli, .mirror = 1, .kind = FaultKind::kHeal},
+      {.at = 10 * kMilli, .mirror = 0, .kind = FaultKind::kCrashStop},
+      {.at = 20 * kMilli, .mirror = 1, .kind = FaultKind::kPartitionIn},
+  };
+  ASSERT_EQ(schedule.actions().size(), 3u);
+  EXPECT_EQ(schedule.actions()[0].kind, FaultKind::kCrashStop);
+  EXPECT_EQ(schedule.actions()[2].kind, FaultKind::kHeal);
+  // (from, to] semantics: a poll that lands exactly on `at` picks it up,
+  // the next poll does not repeat it.
+  auto due = schedule.due(0, 10 * kMilli);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].kind, FaultKind::kCrashStop);
+  EXPECT_TRUE(schedule.due(10 * kMilli, 15 * kMilli).empty());
+  EXPECT_EQ(schedule.due(10 * kMilli, kSecond).size(), 2u);
+}
+
+TEST(Schedule, ExpandedTurnsDurationsIntoHeals) {
+  Schedule schedule{
+      {.at = 5 * kMilli,
+       .mirror = 2,
+       .kind = FaultKind::kPartitionIn,
+       .duration = 3 * kMilli},
+  };
+  const auto expanded = schedule.expanded();
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0].kind, FaultKind::kPartitionIn);
+  EXPECT_EQ(expanded[1].kind, FaultKind::kHeal);
+  EXPECT_EQ(expanded[1].at, 8 * kMilli);
+  EXPECT_EQ(expanded[1].mirror, 2u);
+}
+
+TEST(Schedule, ApplyDrivesLinkFaults) {
+  auto [a, b] = transport::make_inprocess_link_pair(16);
+  FaultyLink faulty(a);
+  Schedule::apply({.at = 0, .mirror = 0, .kind = FaultKind::kCrashStop},
+                  faulty);
+  EXPECT_TRUE(faulty.crashed());
+  Schedule::apply({.at = 0, .mirror = 0, .kind = FaultKind::kHeal}, faulty);
+  EXPECT_FALSE(faulty.crashed());
+  Schedule::apply({.at = 0,
+                   .mirror = 0,
+                   .kind = FaultKind::kDelay,
+                   .delay = 7 * kMilli},
+                  faulty);
+  EXPECT_EQ(faulty.faults().delay, 7 * kMilli);
+  Schedule::apply(
+      {.at = 0, .mirror = 0, .kind = FaultKind::kDrop, .probability = 0.25},
+      faulty);
+  EXPECT_EQ(faulty.faults().drop_recv, 0.25);
+  // kRejoin is cluster-level: a no-op on the link.
+  Schedule::apply({.at = 0, .mirror = 0, .kind = FaultKind::kRejoin}, faulty);
+  EXPECT_FALSE(faulty.crashed());
+}
+
+}  // namespace
+}  // namespace admire::faultinject

@@ -1,0 +1,216 @@
+#include "fd/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/heartbeat.h"
+#include "obs/registry.h"
+
+namespace admire::fd {
+namespace {
+
+DetectorConfig tight_config() {
+  DetectorConfig config;
+  config.heartbeat_interval = 10 * kMilli;
+  config.suspect_after_missed = 3;
+  config.confirm_window = 50 * kMilli;
+  config.alive_after_beats = 2;
+  return config;
+}
+
+Heartbeat beat(SiteId site, std::uint64_t seq, Nanos sent_at = 0) {
+  Heartbeat hb;
+  hb.site = site;
+  hb.seq = seq;
+  hb.sent_at = sent_at;
+  return hb;
+}
+
+TEST(HeartbeatCodec, RoundTrips) {
+  Heartbeat hb;
+  hb.site = 7;
+  hb.seq = 42;
+  hb.queue_depth = 13;
+  hb.last_applied = 99 * kMilli;
+  hb.sent_at = 123 * kMilli;
+  const Bytes wire = encode_heartbeat(hb);
+  auto decoded = decode_heartbeat(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), hb);
+}
+
+TEST(HeartbeatCodec, RejectsGarbage) {
+  Bytes junk{std::byte{0x01}, std::byte{0x02}, std::byte{0x03}};
+  EXPECT_FALSE(decode_heartbeat(ByteSpan(junk.data(), junk.size())).is_ok());
+  EXPECT_FALSE(decode_heartbeat(ByteSpan()).is_ok());
+}
+
+TEST(HeartbeatCodec, EventRoundTrips) {
+  Heartbeat hb = beat(3, 5, 7 * kMilli);
+  hb.queue_depth = 2;
+  auto ev = to_heartbeat_event(hb);
+  auto decoded = from_heartbeat_event(ev);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), hb);
+}
+
+TEST(FailureDetector, StaysAliveWhileBeating) {
+  FailureDetector fd(tight_config());
+  fd.track(1, 0);
+  Nanos now = 0;
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+    now += 10 * kMilli;
+    EXPECT_TRUE(fd.on_heartbeat(beat(1, seq), now).empty());
+    EXPECT_TRUE(fd.poll(now).empty());
+  }
+  EXPECT_EQ(fd.health(1), Health::kAlive);
+  EXPECT_TRUE(fd.history().empty());
+}
+
+TEST(FailureDetector, SuspectsAfterMissedBeatsThenConfirmsDead) {
+  const auto config = tight_config();
+  FailureDetector fd(config);
+  fd.track(1, 0);
+  (void)fd.on_heartbeat(beat(1, 1), 10 * kMilli);
+
+  // Not yet overdue at 3 intervals sharp.
+  EXPECT_TRUE(fd.poll(10 * kMilli + 3 * config.heartbeat_interval).empty());
+
+  const Nanos suspect_at = 10 * kMilli + 3 * config.heartbeat_interval + 1;
+  auto transitions = fd.poll(suspect_at);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, Health::kSuspect);
+  EXPECT_EQ(fd.health(1), Health::kSuspect);
+
+  // Still inside the confirm window: no dead declaration.
+  EXPECT_TRUE(fd.poll(suspect_at + config.confirm_window - 1).empty());
+
+  transitions = fd.poll(suspect_at + config.confirm_window + 1);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, Health::kSuspect);
+  EXPECT_EQ(transitions[0].to, Health::kDead);
+  EXPECT_EQ(fd.health(1), Health::kDead);
+}
+
+TEST(FailureDetector, HysteresisClearsSuspicionOnlyAfterEnoughBeats) {
+  FailureDetector fd(tight_config());
+  fd.track(1, 0);
+  (void)fd.on_heartbeat(beat(1, 1), 10 * kMilli);
+  auto transitions = fd.poll(200 * kMilli);  // far overdue -> suspect (+dead?)
+  ASSERT_FALSE(transitions.empty());
+  // Drive it back from suspect with fresh beats: one beat must NOT clear.
+  fd.track(1, 0);  // reset to a clean slate
+  (void)fd.on_heartbeat(beat(1, 1), 10 * kMilli);
+  ASSERT_EQ(fd.poll(60 * kMilli).size(), 1u);  // -> suspect
+  EXPECT_TRUE(fd.on_heartbeat(beat(1, 2), 61 * kMilli).empty());
+  EXPECT_EQ(fd.health(1), Health::kSuspect);  // hysteresis holds
+  auto cleared = fd.on_heartbeat(beat(1, 3), 62 * kMilli);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0].to, Health::kAlive);
+}
+
+TEST(FailureDetector, DeadIsStickyUnderZombieBeats) {
+  FailureDetector fd(tight_config());
+  fd.track(1, 0);
+  (void)fd.on_heartbeat(beat(1, 5), 10 * kMilli);
+  (void)fd.poll(kSecond);       // long overdue -> suspect
+  (void)fd.poll(10 * kSecond);  // confirm window expired -> dead
+  ASSERT_EQ(fd.health(1), Health::kDead);
+  // The zombie resumes beating — membership already shrank, stay dead.
+  for (std::uint64_t seq = 6; seq < 16; ++seq) {
+    EXPECT_TRUE(fd.on_heartbeat(beat(1, seq), 11 * kSecond).empty());
+  }
+  EXPECT_EQ(fd.health(1), Health::kDead);
+}
+
+TEST(FailureDetector, StaleAndDuplicateBeatsIgnored) {
+  obs::Registry registry;
+  FailureDetector fd(tight_config());
+  fd.instrument(registry);
+  fd.track(1, 0);
+  (void)fd.on_heartbeat(beat(1, 5), 10 * kMilli);
+  (void)fd.on_heartbeat(beat(1, 5), 11 * kMilli);  // duplicate
+  (void)fd.on_heartbeat(beat(1, 3), 12 * kMilli);  // out of order
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_or("fd.heartbeats_total"), 1u);
+  EXPECT_EQ(snapshot.counter_or("fd.heartbeats_stale_total"), 2u);
+  auto signals = fd.signals(1);
+  ASSERT_TRUE(signals.has_value());
+  EXPECT_EQ(signals->last_beat, 10 * kMilli);  // stale beats don't refresh
+}
+
+TEST(FailureDetector, RejoinCompletesWithHysteresis) {
+  FailureDetector fd(tight_config());
+  fd.track(1, 0);
+  (void)fd.poll(kSecond);       // -> suspect
+  (void)fd.poll(10 * kSecond);  // -> dead
+  ASSERT_EQ(fd.health(1), Health::kDead);
+  auto transitions = fd.mark_rejoining(1, 11 * kSecond);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, Health::kRejoining);
+  EXPECT_TRUE(fd.on_heartbeat(beat(1, 100), 11 * kSecond + kMilli).empty());
+  auto alive = fd.on_heartbeat(beat(1, 101), 11 * kSecond + 2 * kMilli);
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0].from, Health::kRejoining);
+  EXPECT_EQ(alive[0].to, Health::kAlive);
+  // Full per-slot story: alive -> suspect -> dead -> rejoining -> alive.
+  const auto history = fd.history();
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history[0].to, Health::kSuspect);
+  EXPECT_EQ(history[1].to, Health::kDead);
+  EXPECT_EQ(history[2].to, Health::kRejoining);
+  EXPECT_EQ(history[3].to, Health::kAlive);
+}
+
+TEST(FailureDetector, BeginRejoinRetiresDeadSlotForReplacementSite) {
+  FailureDetector fd(tight_config());
+  fd.track(1, 0);
+  (void)fd.poll(kSecond);
+  (void)fd.poll(10 * kSecond);
+  ASSERT_EQ(fd.health(1), Health::kDead);
+  auto transitions = fd.begin_rejoin(/*old=*/1, /*new=*/4, 11 * kSecond);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].site, 4u);
+  EXPECT_EQ(transitions[0].from, Health::kDead);
+  EXPECT_EQ(transitions[0].to, Health::kRejoining);
+  EXPECT_FALSE(fd.health(1).has_value());  // retired
+  EXPECT_EQ(fd.health(4), Health::kRejoining);
+  (void)fd.on_heartbeat(beat(4, 1), 11 * kSecond + kMilli);
+  auto alive = fd.on_heartbeat(beat(4, 2), 11 * kSecond + 2 * kMilli);
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0].to, Health::kAlive);
+}
+
+TEST(FailureDetector, BeginRejoinNoOpUnlessDead) {
+  FailureDetector fd(tight_config());
+  fd.track(1, 0);
+  EXPECT_TRUE(fd.begin_rejoin(1, 9, kMilli).empty());   // alive, not dead
+  EXPECT_TRUE(fd.begin_rejoin(7, 9, kMilli).empty());   // untracked
+  EXPECT_EQ(fd.health(1), Health::kAlive);
+}
+
+TEST(FailureDetector, MetricsCountLifecycle) {
+  obs::Registry registry;
+  FailureDetector fd(tight_config());
+  fd.instrument(registry);
+  fd.track(1, 0);
+  fd.track(2, 0);
+  (void)fd.on_heartbeat(beat(1, 1), 10 * kMilli);
+  (void)fd.on_heartbeat(beat(2, 1), 10 * kMilli);
+  (void)fd.poll(kSecond);       // both -> suspect
+  (void)fd.poll(10 * kSecond);  // both -> dead
+  (void)fd.begin_rejoin(1, 1, 11 * kSecond);
+  (void)fd.on_heartbeat(beat(1, 2), 11 * kSecond + kMilli);
+  (void)fd.on_heartbeat(beat(1, 3), 11 * kSecond + 2 * kMilli);
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_or("fd.suspect_total"), 2u);
+  EXPECT_EQ(snapshot.counter_or("fd.dead_total"), 2u);
+  EXPECT_EQ(snapshot.counter_or("fd.rejoin_completed_total"), 1u);
+  EXPECT_EQ(snapshot.gauge_or("fd.dead"), 1.0);
+  EXPECT_EQ(snapshot.gauge_or("fd.alive"), 1.0);
+  const auto* detection = snapshot.histogram("fd.detection_latency_ns");
+  ASSERT_NE(detection, nullptr);
+  EXPECT_EQ(detection->count, 2u);
+}
+
+}  // namespace
+}  // namespace admire::fd

@@ -1,0 +1,254 @@
+// Failover under the discrete-event simulator: the SAME fd::FailureDetector
+// state machine the threaded control plane runs, driven on virtual time.
+// Scenarios are fault schedules; runs are bit-for-bit deterministic, and the
+// suspicion-state transition sequence matches the threaded runtime's for the
+// same scenario.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "harness/experiments.h"
+
+namespace admire::sim {
+namespace {
+
+fd::DetectorConfig sim_detector() {
+  fd::DetectorConfig d;
+  d.heartbeat_interval = 10 * kMilli;
+  d.suspect_after_missed = 3;
+  d.confirm_window = 40 * kMilli;
+  d.alive_after_beats = 2;
+  return d;
+}
+
+SimConfig failover_config() {
+  SimConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  config.fd = sim_detector();
+  config.fault_schedule = faultinject::Schedule{
+      {.at = 200 * kMilli,
+       .mirror = 0,
+       .kind = faultinject::FaultKind::kCrashStop},
+  };
+  config.fd_auto_rejoin = true;
+  config.fd_rejoin_after = 100 * kMilli;
+  return config;
+}
+
+workload::Trace spread_trace(std::uint64_t events = 600) {
+  harness::RunSpec spec;
+  spec.faa_events = events;
+  spec.num_flights = 10;
+  spec.event_padding = 128;
+  spec.event_horizon = kSecond;  // arrivals span crash, death, and rejoin
+  return harness::make_trace(spec);
+}
+
+std::vector<std::pair<fd::Health, fd::Health>> site_story(
+    const std::vector<fd::Transition>& transitions, SiteId site) {
+  std::vector<std::pair<fd::Health, fd::Health>> story;
+  for (const auto& t : transitions) {
+    if (t.site == site) story.emplace_back(t.from, t.to);
+  }
+  return story;
+}
+
+TEST(FailoverSim, CrashIsDetectedDeclaredDeadAndRevived) {
+  SimCluster cluster(failover_config());
+  harness::RunSpec spec;
+  spec.faa_events = 600;
+  spec.num_flights = 10;
+  spec.event_padding = 128;
+  spec.event_horizon = kSecond;
+  spec.request_rate = 200;
+  spec.requests_while_events = false;  // explicit Poisson request trace
+  spec.request_window = kSecond;       // spans crash, death, and rejoin
+  const auto r = cluster.run(harness::make_trace(spec),
+                             harness::make_requests(spec));
+
+  // The full per-slot story for the crashed mirror (sim site 1).
+  const std::vector<std::pair<fd::Health, fd::Health>> expected{
+      {fd::Health::kAlive, fd::Health::kSuspect},
+      {fd::Health::kSuspect, fd::Health::kDead},
+      {fd::Health::kDead, fd::Health::kRejoining},
+      {fd::Health::kRejoining, fd::Health::kAlive},
+  };
+  EXPECT_EQ(site_story(r.fd_transitions, 1), expected);
+  EXPECT_TRUE(site_story(r.fd_transitions, 2).empty());  // survivor steady
+
+  // Dead declaration falls inside the suspicion window after the crash.
+  Nanos dead_at = 0;
+  for (const auto& t : r.fd_transitions) {
+    if (t.site == 1 && t.to == fd::Health::kDead) dead_at = t.at;
+  }
+  const auto d = sim_detector();
+  EXPECT_GE(dead_at - 200 * kMilli, d.confirm_window);
+  EXPECT_LE(dead_at - 200 * kMilli,
+            d.heartbeat_interval * (d.suspect_after_missed + 2) +
+                d.confirm_window + 2 * d.heartbeat_interval);
+
+  // One completed rejoin, at least fd_rejoin_after past the declaration.
+  ASSERT_EQ(r.rejoin_times.size(), 1u);
+  EXPECT_GE(r.rejoin_times[0], 100 * kMilli);
+  EXPECT_GE(r.obs->snapshot().counter_or("fd.rejoin_completed_total"), 1u);
+
+  // Continuity: the revived mirror folded the bootstrap snapshot plus the
+  // live stream with no duplicates or gaps — replicas converge.
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[2]);
+
+  // Health-aware balancing: no request ever hit the dead site, so none
+  // failed — everything offered was served.
+  EXPECT_GT(r.requests_served, 0u);
+}
+
+TEST(FailoverSim, IdenticalScenariosReplayIdentically) {
+  auto run_once = [] {
+    SimCluster cluster(failover_config());
+    harness::RunSpec spec;
+    spec.faa_events = 400;
+    spec.event_horizon = kSecond;
+    spec.request_rate = 100;
+    spec.requests_while_events = false;
+    spec.request_window = kSecond;
+    return cluster.run(harness::make_trace(spec),
+                       harness::make_requests(spec));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.fd_transitions.size(), b.fd_transitions.size());
+  for (std::size_t i = 0; i < a.fd_transitions.size(); ++i) {
+    EXPECT_EQ(a.fd_transitions[i].site, b.fd_transitions[i].site);
+    EXPECT_EQ(a.fd_transitions[i].from, b.fd_transitions[i].from);
+    EXPECT_EQ(a.fd_transitions[i].to, b.fd_transitions[i].to);
+    EXPECT_EQ(a.fd_transitions[i].at, b.fd_transitions[i].at);
+  }
+  EXPECT_EQ(a.rejoin_times, b.rejoin_times);
+  EXPECT_EQ(a.state_fingerprints, b.state_fingerprints);
+  EXPECT_EQ(a.requests_served, b.requests_served);
+  EXPECT_EQ(a.total_time, b.total_time);
+}
+
+TEST(FailoverSim, DelayOnlyFaultsCauseNoMisdetection) {
+  // Heartbeat delay well inside the suspicion budget: the detector must not
+  // transition at all (misdetection rate zero under delay-only faults).
+  auto config = failover_config();
+  config.fault_schedule = faultinject::Schedule{
+      {.at = 100 * kMilli,
+       .mirror = 0,
+       .kind = faultinject::FaultKind::kDelay,
+       .delay = 5 * kMilli},
+  };
+  config.fd_auto_rejoin = false;
+  SimCluster cluster(config);
+  const auto r = cluster.run(spread_trace(400), {});
+  EXPECT_TRUE(r.fd_transitions.empty());
+  EXPECT_TRUE(r.rejoin_times.empty());
+  EXPECT_EQ(r.obs->snapshot().counter_or("fd.dead_total"), 0u);
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+}
+
+TEST(FailoverSim, ShortPartitionSuspectsThenRecovers) {
+  // A partition longer than the overdue threshold but healed before the
+  // confirm window expires: suspect -> alive, never dead (hysteresis).
+  auto config = failover_config();
+  config.fd->confirm_window = 60 * kMilli;
+  config.fault_schedule = faultinject::Schedule{
+      {.at = 200 * kMilli,
+       .mirror = 0,
+       .kind = faultinject::FaultKind::kPartitionIn,
+       .duration = 45 * kMilli},  // expanded() emits the heal
+  };
+  config.fd_auto_rejoin = false;
+  SimCluster cluster(config);
+  const auto r = cluster.run(spread_trace(400), {});
+  const std::vector<std::pair<fd::Health, fd::Health>> expected{
+      {fd::Health::kAlive, fd::Health::kSuspect},
+      {fd::Health::kSuspect, fd::Health::kAlive},
+  };
+  EXPECT_EQ(site_story(r.fd_transitions, 1), expected);
+  EXPECT_EQ(r.obs->snapshot().counter_or("fd.recovered_total"), 1u);
+  EXPECT_EQ(r.obs->snapshot().counter_or("fd.dead_total"), 0u);
+}
+
+TEST(FailoverSim, ThreadedAndSimAgreeOnTransitionSequence) {
+  // The acceptance bar for "the SAME logic runs in both runtimes": one
+  // scenario (crash-stop, auto-rejoin), two drivers, identical suspicion
+  // state-machine stories. Times differ (wall vs virtual), sites may differ
+  // (the threaded rejoin bootstraps a replacement site), the (from, to)
+  // sequence may not.
+  fd::DetectorConfig d;
+  d.heartbeat_interval = 10 * kMilli;
+  d.suspect_after_missed = 5;  // generous: no spurious suspects under CI load
+  d.confirm_window = 60 * kMilli;
+  d.alive_after_beats = 2;
+
+  // Simulated run.
+  SimConfig sim_config;
+  sim_config.num_mirrors = 2;
+  sim_config.params.function = rules::simple_mirroring();
+  sim_config.fd = d;
+  sim_config.fault_schedule = faultinject::Schedule{
+      {.at = 50 * kMilli,
+       .mirror = 0,
+       .kind = faultinject::FaultKind::kCrashStop},
+  };
+  sim_config.fd_auto_rejoin = true;
+  sim_config.fd_rejoin_after = 50 * kMilli;
+  SimCluster sim_cluster(sim_config);
+  const auto sim_result = sim_cluster.run(spread_trace(300), {});
+  const auto sim_story = site_story(sim_result.fd_transitions, 1);
+
+  // Threaded run of the same scenario.
+  cluster::ClusterConfig threaded;
+  threaded.num_mirrors = 2;
+  threaded.params =
+      rules::MirroringParams{.function = rules::simple_mirroring()};
+  threaded.control_plane = cluster::ControlPlaneConfig{};
+  threaded.control_plane->detector = d;
+  threaded.control_plane->auto_rejoin = true;
+  threaded.control_plane->rejoin_after = 50 * kMilli;
+  threaded.control_plane->poll_interval = std::chrono::milliseconds(2);
+  threaded.control_plane->schedule = faultinject::Schedule{
+      {.at = 50 * kMilli,
+       .mirror = 0,
+       .kind = faultinject::FaultKind::kCrashStop},
+  };
+  cluster::Cluster cluster(threaded);
+  cluster.start();
+  harness::RunSpec spec;
+  spec.faa_events = 300;
+  for (const auto& item : harness::make_trace(spec).items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto rejoined = [&] {
+    const auto records = cluster.control_plane()->rejoin_records();
+    return !records.empty() && records.front().rejoined_at != 0;
+  };
+  while (std::chrono::steady_clock::now() < deadline && !rejoined()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(rejoined());
+  // The threaded story spans the dead original (site 1) and its
+  // replacement (site 3); the healthy survivor (site 2) stays silent.
+  const auto history = cluster.control_plane()->detector().history();
+  std::vector<std::pair<fd::Health, fd::Health>> threaded_story;
+  for (const auto& t : history) {
+    if (t.site != 2) threaded_story.emplace_back(t.from, t.to);
+  }
+  cluster.stop();
+
+  EXPECT_EQ(threaded_story, sim_story);
+  ASSERT_EQ(sim_story.size(), 4u);
+  EXPECT_EQ(sim_story.back().second, fd::Health::kAlive);
+}
+
+}  // namespace
+}  // namespace admire::sim

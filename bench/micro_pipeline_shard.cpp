@@ -1,0 +1,163 @@
+// Sharded receive-path throughput: ingest events/sec as a function of
+// shard count and rx-thread count, against the 1-shard / 1-thread
+// baseline. Producer threads partition flights exactly the way the
+// ThreadedCentralSite rx pool does (shard_of_key over the thread count),
+// so per-flight order is preserved and the merged rule-decision counters
+// must come out byte-identical to the serial run — the bench exits
+// nonzero if they do not.
+//
+// Prints one line per configuration; with `--json FILE` also writes the
+// numbers as a JSON object (CI artifact: BENCH_pipeline.json).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mirror/sharded_pipeline_core.h"
+#include "rules/params.h"
+#include "workload/scenario.h"
+
+namespace admire::bench {
+namespace {
+
+constexpr std::size_t kPadding = 64;
+constexpr std::size_t kNumStreams = 2;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Deterministic OIS-style workload: FAA positions with periodic status
+/// deltas over many flights, identical for every configuration.
+std::vector<event::Event> make_workload(std::size_t count,
+                                        std::size_t flights) {
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = count;
+  scenario.num_flights = flights;
+  scenario.event_padding = kPadding;
+  const auto trace = workload::make_ois_trace(scenario);
+  std::vector<event::Event> out;
+  out.reserve(trace.items.size());
+  for (const auto& item : trace.items) out.push_back(item.ev);
+  return out;
+}
+
+struct RunResult {
+  double ingest_events_per_sec = 0.0;
+  rules::RuleCounters counters;
+};
+
+/// Ingest the workload through a core with `shards` shards using
+/// `threads` producer threads, each owning the flights the rx pool would
+/// route to its inbox — the same partitioning the threaded central site
+/// uses, so per-flight order is preserved. The timed section is ingest
+/// only (the §3.2.1 receiving task); the send-side drain runs afterwards
+/// so the merged rule counters can be checked against the baseline.
+RunResult run_config(const std::vector<event::Event>& evs, std::size_t shards,
+                     std::size_t threads) {
+  rules::MirroringParams params =
+      rules::ois_default_rules(rules::selective_mirroring(3));
+  mirror::ShardedPipelineCore core(params, kNumStreams, shards);
+
+  // Pre-split into per-thread inboxes (what BoundedQueue feeds the rx pool)
+  // so the timed section is ingest work only.
+  std::vector<std::vector<event::Event>> inboxes(threads);
+  for (const auto& ev : evs) {
+    inboxes[mirror::ShardedPipelineCore::shard_of_key(ev.key(), threads)]
+        .push_back(ev);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    producers.emplace_back([&core, &inboxes, t] {
+      for (const auto& ev : inboxes[t]) core.on_incoming(ev, 0);
+    });
+  }
+  for (auto& th : producers) th.join();
+  const double elapsed = seconds_since(t0);
+  while (core.try_send_batch(256, 0).has_value()) {
+  }
+  core.flush(0);
+
+  RunResult result;
+  result.ingest_events_per_sec = static_cast<double>(evs.size()) / elapsed;
+  result.counters = core.rule_counters();
+  return result;
+}
+
+}  // namespace
+}  // namespace admire::bench
+
+int main(int argc, char** argv) {
+  using namespace admire::bench;
+  const char* json_path = nullptr;
+  std::size_t events = 400000;
+  std::size_t flights = 512;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--flights") == 0 && i + 1 < argc) {
+      flights = std::stoul(argv[++i]);
+    }
+  }
+
+  const auto evs = make_workload(events, flights);
+  std::printf("== micro_pipeline_shard: %zu events, %zu flights, %zu B ==\n",
+              evs.size(), flights, kPadding);
+
+  const std::size_t configs[][2] = {{1, 1}, {2, 2}, {4, 4}, {8, 8}};
+  double rates[4] = {0, 0, 0, 0};
+  const RunResult baseline = run_config(evs, 1, 1);
+  rates[0] = baseline.ingest_events_per_sec;
+  bool counters_match = true;
+  std::printf("shards=1 rx_threads=1 %12.0f events/sec  (baseline)\n",
+              rates[0]);
+  for (std::size_t c = 1; c < 4; ++c) {
+    const RunResult r = run_config(evs, configs[c][0], configs[c][1]);
+    rates[c] = r.ingest_events_per_sec;
+    const bool match = r.counters == baseline.counters;
+    counters_match = counters_match && match;
+    std::printf("shards=%zu rx_threads=%zu %12.0f events/sec  %5.2fx  %s\n",
+                configs[c][0], configs[c][1], rates[c], rates[c] / rates[0],
+                match ? "counters ok" : "COUNTER MISMATCH");
+  }
+  const double speedup4 = rates[2] / rates[0];
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"events\": %zu,\n"
+                 "  \"flights\": %zu,\n"
+                 "  \"padding_bytes\": %zu,\n"
+                 "  \"ingest_events_per_sec\": {\"shards_1_rx_1\": %.0f, "
+                 "\"shards_2_rx_2\": %.0f, \"shards_4_rx_4\": %.0f, "
+                 "\"shards_8_rx_8\": %.0f},\n"
+                 "  \"speedup_4shards_4rx\": %.2f,\n"
+                 "  \"counters_match\": %s\n"
+                 "}\n",
+                 evs.size(), flights, kPadding, rates[0], rates[1], rates[2],
+                 rates[3], speedup4, counters_match ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (!counters_match) {
+    std::fprintf(stderr,
+                 "FAIL: sharded rule counters diverge from the 1-shard run\n");
+    return 1;
+  }
+  return 0;
+}

@@ -24,7 +24,7 @@ fi
 
 cmake -B build "${generator[@]}"
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure --timeout 600
 
 status=0
 if [[ "$run_bench" -eq 1 ]]; then

@@ -1,5 +1,6 @@
 #include "cluster/central_site.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -16,12 +17,18 @@ ThreadedCentralSite::ThreadedCentralSite(
       registry_(std::move(registry)),
       clock_(std::move(clock)),
       num_mirrors_(num_mirrors),
-      core_(config_.params, config_.num_streams),
+      core_(config_.params, config_.num_streams,
+            mirror::ShardedPipelineCore::resolve_shards(config_.rx_shards)),
       main_(kCentralSite),
       coordinator_(kCentralSite, /*expected_replies=*/1 + num_mirrors),
-      inbox_(config_.inbox_capacity),
       control_inbox_(1024),
       update_delays_(kSecond) {
+  const std::size_t rx = std::max<std::size_t>(1, config_.rx_threads);
+  inboxes_.reserve(rx);
+  for (std::size_t i = 0; i < rx; ++i) {
+    inboxes_.push_back(
+        std::make_unique<BoundedQueue<event::Event>>(config_.inbox_capacity));
+  }
   if (config_.adaptation.has_value()) {
     controller_.emplace(*config_.adaptation);
   }
@@ -90,17 +97,23 @@ ThreadedCentralSite::~ThreadedCentralSite() { stop(); }
 void ThreadedCentralSite::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  recv_thread_ = std::thread([this] { recv_loop(); });
+  recv_threads_.reserve(inboxes_.size());
+  for (std::size_t i = 0; i < inboxes_.size(); ++i) {
+    recv_threads_.emplace_back([this, i] { recv_loop(i); });
+  }
   send_thread_ = std::thread([this] { send_loop(); });
   control_thread_ = std::thread([this] { control_loop(); });
 }
 
 void ThreadedCentralSite::stop() {
   if (!running_.exchange(false)) return;
-  inbox_.close();
+  for (auto& inbox : inboxes_) inbox->close();
   control_inbox_.close();
   send_cv_.notify_all();
-  if (recv_thread_.joinable()) recv_thread_.join();
+  for (auto& t : recv_threads_) {
+    if (t.joinable()) t.join();
+  }
+  recv_threads_.clear();
   if (send_thread_.joinable()) send_thread_.join();
   if (control_thread_.joinable()) control_thread_.join();
 }
@@ -108,11 +121,16 @@ void ThreadedCentralSite::stop() {
 Status ThreadedCentralSite::ingest(event::Event ev) {
   ev.mutable_header().ingress_time = clock_->now();
   ingested_.fetch_add(1, std::memory_order_relaxed);
-  return inbox_.push(std::move(ev));
+  // Route by flight hash: one flight -> one rx thread, so the pipeline
+  // sees every flight's events in ingest order no matter how many
+  // receiving tasks run.
+  const std::size_t idx =
+      mirror::ShardedPipelineCore::shard_of_key(ev.key(), inboxes_.size());
+  return inboxes_[idx]->push(std::move(ev));
 }
 
-void ThreadedCentralSite::recv_loop() {
-  while (auto ev = inbox_.pop()) {
+void ThreadedCentralSite::recv_loop(std::size_t inbox_idx) {
+  while (auto ev = inboxes_[inbox_idx]->pop()) {
     const auto outcome = core_.on_incoming(std::move(*ev), clock_->now());
     // fwd(): the main unit's EDE sees the full stream (§3.2.1 semantics:
     // rules reduce mirror traffic, not the regular clients' updates).
@@ -150,7 +168,8 @@ void ThreadedCentralSite::send_loop() {
   }
 }
 
-void ThreadedCentralSite::dispatch(const mirror::PipelineCore::SendStep& step) {
+void ThreadedCentralSite::dispatch(
+    const mirror::ShardedPipelineCore::SendStep& step) {
   api_.mirror_batch(std::span<const event::Event>(step.to_send.data(),
                                                   step.to_send.size()));
 }
@@ -200,7 +219,7 @@ Bytes ThreadedCentralSite::evaluate_adaptation() {
   if (!controller_.has_value()) return {};
   controller_->observe(kCentralSite,
                        adapt::MonitoredVariable::kReadyQueueLength,
-                       static_cast<double>(core_.ready().size()));
+                       static_cast<double>(core_.ready_size()));
   controller_->observe(kCentralSite,
                        adapt::MonitoredVariable::kBackupQueueLength,
                        static_cast<double>(core_.backup().size()));
@@ -218,7 +237,13 @@ Bytes ThreadedCentralSite::evaluate_adaptation() {
 
 void ThreadedCentralSite::drain() {
   // Phase 1: wait for the receiving and sending tasks to catch up.
-  while (inbox_.size() > 0 || recv_done_.load() < ingested_.load() ||
+  const auto inboxes_empty = [this] {
+    for (const auto& inbox : inboxes_) {
+      if (inbox->size() > 0) return false;
+    }
+    return true;
+  };
+  while (!inboxes_empty() || recv_done_.load() < ingested_.load() ||
          sends_done_.load() < credits_granted_.load()) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }

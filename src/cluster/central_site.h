@@ -33,6 +33,15 @@ struct CentralSiteConfig {
   std::optional<adapt::AdaptationPolicy> adaptation;
   std::size_t num_streams = 2;
   std::size_t inbox_capacity = 8192;
+  /// Receive-side parallelism: the pipeline splits rule/coalescer/status
+  /// state into this many flight-keyed shards (0 = auto, hardware
+  /// concurrency capped at ShardedPipelineCore::kMaxAutoShards). Rule
+  /// decisions are invariant to the shard count.
+  std::size_t rx_shards = 0;
+  /// Receiving tasks draining the ingest inboxes. Events route to inbox
+  /// hash(flight) % rx_threads, so per-flight order is preserved for any
+  /// thread count; clamped to >= 1.
+  std::size_t rx_threads = 1;
   /// Optional artificial CPU burn per processed event, emulating the
   /// paper-era business-logic cost in real time (examples use this).
   Nanos burn_per_event = 0;
@@ -68,7 +77,7 @@ class ThreadedCentralSite {
   /// automatically every checkpoint_every sent events).
   void trigger_checkpoint();
 
-  mirror::PipelineCore& core() { return core_; }
+  mirror::ShardedPipelineCore& core() { return core_; }
   mirror::MainUnitCore& main_unit() { return main_; }
   mirror::MirroringApi& api() { return api_; }
   checkpoint::Coordinator& coordinator() { return coordinator_; }
@@ -90,10 +99,10 @@ class ThreadedCentralSite {
   std::uint64_t pending_requests() const { return pending_requests_.load(); }
 
  private:
-  void recv_loop();
+  void recv_loop(std::size_t inbox_idx);
   void send_loop();
   void control_loop();
-  void dispatch(const mirror::PipelineCore::SendStep& step);
+  void dispatch(const mirror::ShardedPipelineCore::SendStep& step);
   void handle_reply(const checkpoint::ControlMessage& reply);
   void start_round();
   Bytes evaluate_adaptation();
@@ -108,7 +117,7 @@ class ThreadedCentralSite {
   std::shared_ptr<Clock> clock_;
   const std::size_t num_mirrors_;
 
-  mirror::PipelineCore core_;
+  mirror::ShardedPipelineCore core_;
   mirror::MainUnitCore main_;
   checkpoint::Coordinator coordinator_;
   mirror::MirroringApi api_;
@@ -121,7 +130,10 @@ class ThreadedCentralSite {
   std::shared_ptr<echo::EventChannel> ctrl_up_;
   echo::Subscription ctrl_up_sub_;
 
-  BoundedQueue<event::Event> inbox_;
+  /// One inbox per receiving task; ingest() routes by flight hash so each
+  /// flight's events stay on one rx thread (per-flight order). Keyless
+  /// (control) events all land on inbox 0.
+  std::vector<std::unique_ptr<BoundedQueue<event::Event>>> inboxes_;
   BoundedQueue<ControlItem> control_inbox_;
 
   std::mutex send_mu_;
@@ -129,7 +141,7 @@ class ThreadedCentralSite {
   std::uint64_t send_credits_ = 0;  // enqueued-but-unsent events
 
   std::atomic<bool> running_{false};
-  std::thread recv_thread_;
+  std::vector<std::thread> recv_threads_;
   std::thread send_thread_;
   std::thread control_thread_;
 

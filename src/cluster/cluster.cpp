@@ -19,6 +19,8 @@ Cluster::Cluster(ClusterConfig config)
   central_config.params = config_.params;
   central_config.adaptation = config_.adaptation;
   central_config.num_streams = config_.num_streams;
+  central_config.rx_shards = config_.rx_shards;
+  central_config.rx_threads = config_.rx_threads;
   central_config.burn_per_event = config_.burn_per_event;
   central_config.obs = config_.obs.get();
   central_config.trace_sample_every = config_.trace_sample_every;

@@ -35,6 +35,11 @@ struct ClusterConfig {
   Nanos burn_per_event = 0;
   Nanos burn_per_request = 0;
   std::size_t num_streams = 2;
+  /// Receive-side parallelism at the central site: flight-keyed pipeline
+  /// shards (0 = auto, hardware-concurrency capped) and receiving tasks
+  /// (see CentralSiteConfig::rx_shards / rx_threads).
+  std::size_t rx_shards = 0;
+  std::size_t rx_threads = 1;
   /// Metrics registry the whole cluster instruments into. Null = the
   /// cluster creates a private one (recommended: keeps metric names unique
   /// when several clusters coexist in one process, e.g. under test).

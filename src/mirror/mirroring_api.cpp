@@ -157,7 +157,7 @@ adapt::AdaptationPolicy MirroringApi::adaptation_policy() const {
   return policy;
 }
 
-void MirroringApi::bind(PipelineCore* core, EventSink mirror_sink,
+void MirroringApi::bind(ShardedPipelineCore* core, EventSink mirror_sink,
                         EventSink fwd_sink,
                         std::function<void()> checkpoint_trigger,
                         BatchEventSink mirror_batch_sink) {

@@ -99,13 +99,14 @@ class MirroringApi {
   bool adaptation_configured() const { return !thresholds_.empty(); }
 
   // --- Runtime binding ----------------------------------------------------
-  /// Attach to a running pipeline. `mirror_sink` delivers to all mirror
-  /// sites' aux units; `fwd_sink` to the local main unit;
-  /// `checkpoint_trigger` opens a checkpoint round. `mirror_batch_sink`,
-  /// when provided, lets mirror_batch() deliver a whole send step in one
-  /// call (custom mirror functions still see events one at a time).
-  void bind(PipelineCore* core, EventSink mirror_sink, EventSink fwd_sink,
-            std::function<void()> checkpoint_trigger,
+  /// Attach to a running pipeline (sharded or the single-shard
+  /// PipelineCore). `mirror_sink` delivers to all mirror sites' aux units;
+  /// `fwd_sink` to the local main unit; `checkpoint_trigger` opens a
+  /// checkpoint round. `mirror_batch_sink`, when provided, lets
+  /// mirror_batch() deliver a whole send step in one call (custom mirror
+  /// functions still see events one at a time).
+  void bind(ShardedPipelineCore* core, EventSink mirror_sink,
+            EventSink fwd_sink, std::function<void()> checkpoint_trigger,
             BatchEventSink mirror_batch_sink = nullptr);
 
   bool bound() const { return core_ != nullptr; }
@@ -143,7 +144,7 @@ class MirroringApi {
   CustomFunction custom_mirror_;
   CustomFunction custom_fwd_;
 
-  PipelineCore* core_ = nullptr;  // not owned
+  ShardedPipelineCore* core_ = nullptr;  // not owned
   EventSink mirror_sink_;
   BatchEventSink mirror_batch_sink_;
   EventSink fwd_sink_;

@@ -4,201 +4,6 @@ namespace admire::mirror {
 
 PipelineCore::PipelineCore(rules::MirroringParams params,
                            std::size_t num_streams)
-    : engine_(std::move(params)),
-      coalescer_(engine_.params().function.coalesce_enabled,
-                 engine_.params().function.coalesce_max),
-      vts_(num_streams) {
-  const std::uint32_t every = engine_.params().function.checkpoint_every;
-  checkpoint_every_.store(every == 0 ? 50 : every);
-}
-
-PipelineCore::ReceiveOutcome PipelineCore::on_incoming(event::Event ev,
-                                                       Nanos now) {
-  obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
-  const bool traced = tracer != nullptr && event::is_data_event(ev.type()) &&
-                      tracer->sampled(ev.seq());
-  const std::uint64_t tkey =
-      traced ? obs::Tracer::key_of(ev.stream(), ev.seq()) : 0;
-  if (traced) tracer->record(tkey, obs::Stage::kIngest, now);
-
-  std::lock_guard lock(mu_);
-  ++counters_.received;
-
-  // Timestamping: ingress time + vector timestamp ("events themselves are
-  // uniquely timestamped when they enter the primary site", §3.3).
-  if (ev.header().ingress_time == 0) ev.mutable_header().ingress_time = now;
-  if (event::is_data_event(ev.type())) {
-    vts_.observe(ev.stream(), ev.seq());
-    ev.mutable_header().vts = vts_;
-  }
-
-  // Checkpointing runs "at a constant frequency of once per 50 processed
-  // events" (§3.2.1) — counted on processed (received) events so the
-  // frequency knob is meaningful regardless of how selective the mirror
-  // function is.
-  bool checkpoint_due = false;
-  if (++received_since_checkpoint_ >= checkpoint_every()) {
-    received_since_checkpoint_ = 0;
-    checkpoint_due = true;
-    ++counters_.checkpoints_due;
-  }
-
-  const rules::ReceiveDecision decision = engine_.on_receive(ev, table_);
-  if (traced) tracer->record(tkey, obs::Stage::kRules, now);
-  ReceiveOutcome outcome{decision.action, false, false, checkpoint_due,
-                         std::nullopt};
-  if (event::is_data_event(ev.type())) outcome.forward = ev;
-  if (decision.action == rules::ReceiveAction::kAccept) {
-    ready_.push(std::move(ev), now);
-    outcome.enqueued = true;
-    ++counters_.enqueued;
-    if (traced) tracer->record(tkey, obs::Stage::kReadyQueue, now);
-  } else if (traced) {
-    // Discarded/absorbed events never reach the ready queue: close the
-    // span now instead of letting it linger until eviction.
-    tracer->finish(tkey);
-  }
-  if (decision.combined.has_value()) {
-    ready_.push(std::move(*decision.combined), now);
-    outcome.combined_enqueued = true;
-    ++counters_.enqueued;
-  }
-  return outcome;
-}
-
-void PipelineCore::account_send(const event::Event& ev, SendStep& step) {
-  (void)step;
-  backup_.push(ev);
-  ++counters_.sent;
-  counters_.bytes_sent += ev.wire_size();
-}
-
-std::optional<PipelineCore::SendStep> PipelineCore::try_send_step(Nanos now) {
-  return try_send_batch(1, now);
-}
-
-std::optional<PipelineCore::SendStep> PipelineCore::try_send_batch(
-    std::size_t max, Nanos now) {
-  std::vector<event::Event> popped = ready_.pop_batch(max, now);
-  if (popped.empty()) return std::nullopt;
-  std::lock_guard lock(mu_);
-  SendStep step;
-  for (event::Event& ev : popped) {
-    step.offered_bytes += ev.wire_size();
-    for (event::Event& out : coalescer_.offer(std::move(ev))) {
-      account_send(out, step);
-      step.to_send.push_back(std::move(out));
-    }
-  }
-  if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
-    for (const auto& out : step.to_send) {
-      if (event::is_data_event(out.type()) && tracer->sampled(out.seq())) {
-        tracer->record(obs::Tracer::key_of(out.stream(), out.seq()),
-                       obs::Stage::kMirrorSend, now);
-      }
-    }
-  }
-  return step;
-}
-
-PipelineCore::SendStep PipelineCore::flush(Nanos now) {
-  SendStep step;
-  // Drain whatever is still on the ready queue, then the coalescer.
-  while (auto ev = ready_.try_pop(now)) {
-    std::lock_guard lock(mu_);
-    for (auto& out : coalescer_.offer(std::move(*ev))) {
-      account_send(out, step);
-      step.to_send.push_back(std::move(out));
-    }
-  }
-  std::lock_guard lock(mu_);
-  for (auto& out : coalescer_.flush_all()) {
-    account_send(out, step);
-    step.to_send.push_back(std::move(out));
-  }
-  return step;
-}
-
-void PipelineCore::install(const rules::MirrorFunctionSpec& spec) {
-  std::lock_guard lock(mu_);
-  rules::MirroringParams params = engine_.params();
-  params.function = spec;
-  engine_.install(std::move(params));
-  coalescer_.configure(spec.coalesce_enabled, spec.coalesce_max);
-  checkpoint_every_.store(spec.checkpoint_every == 0 ? 50
-                                                     : spec.checkpoint_every);
-}
-
-void PipelineCore::install_params(rules::MirroringParams params) {
-  std::lock_guard lock(mu_);
-  coalescer_.configure(params.function.coalesce_enabled,
-                       params.function.coalesce_max);
-  const std::uint32_t every = params.function.checkpoint_every;
-  checkpoint_every_.store(every == 0 ? 50 : every);
-  engine_.install(std::move(params));
-}
-
-rules::MirrorFunctionSpec PipelineCore::current_spec() const {
-  std::lock_guard lock(mu_);
-  return engine_.params().function;
-}
-
-rules::RuleCounters PipelineCore::rule_counters() const {
-  std::lock_guard lock(mu_);
-  return engine_.counters();
-}
-
-PipelineCounters PipelineCore::counters() const {
-  std::lock_guard lock(mu_);
-  return counters_;
-}
-
-event::VectorTimestamp PipelineCore::stamp() const {
-  std::lock_guard lock(mu_);
-  return vts_;
-}
-
-void PipelineCore::instrument(obs::Registry& registry,
-                              const std::string& site) {
-  ready_.instrument(registry, "queue." + site + ".ready");
-  backup_.instrument(registry, "queue." + site + ".backup");
-  const std::string prefix = "pipeline." + site;
-  // Resolve the registry sinks before taking mu_: counter() locks the
-  // registry, and Registry::snapshot() invokes the probes registered
-  // below while holding that same lock — resolving under mu_ would
-  // invert the two locks (pipeline → registry vs registry → pipeline).
-  const auto rule_sinks =
-      rules::RuleEngine::resolve_counters(registry, "rules." + site);
-  {
-    std::lock_guard lock(mu_);
-    engine_.install_counters(rule_sinks);
-  }
-  probes_.add(registry, prefix + ".received_total", [this] {
-    std::lock_guard lock(mu_);
-    return static_cast<double>(counters_.received);
-  });
-  probes_.add(registry, prefix + ".enqueued_total", [this] {
-    std::lock_guard lock(mu_);
-    return static_cast<double>(counters_.enqueued);
-  });
-  probes_.add(registry, prefix + ".sent_total", [this] {
-    std::lock_guard lock(mu_);
-    return static_cast<double>(counters_.sent);
-  });
-  probes_.add(registry, prefix + ".bytes_sent_total", [this] {
-    std::lock_guard lock(mu_);
-    return static_cast<double>(counters_.bytes_sent);
-  });
-  probes_.add(registry, prefix + ".checkpoints_due_total", [this] {
-    std::lock_guard lock(mu_);
-    return static_cast<double>(counters_.checkpoints_due);
-  });
-}
-
-std::uint32_t PipelineCore::checkpoint_every() const {
-  // Atomic because account_send reads it while mu_ is held and external
-  // monitors read it without the lock.
-  return checkpoint_every_.load(std::memory_order_relaxed);
-}
+    : ShardedPipelineCore(std::move(params), num_streams, /*num_shards=*/1) {}
 
 }  // namespace admire::mirror

@@ -5,145 +5,27 @@
 // the threaded runtime (cluster/) and the discrete-event simulator (sim/)
 // both drive this same object, so experiments measured in virtual time
 // exercise exactly the logic that ships in the threaded middleware.
+//
+// Since the receive side was sharded (see sharded_pipeline_core.h), this is
+// the single-shard specialization: one RuleEngine + StatusTable + Coalescer
+// + ready queue behind one lock, with the exact pre-sharding semantics and
+// metric names. Code that wants parallel ingest constructs a
+// ShardedPipelineCore directly; code written against the classic
+// single-core surface (ready()/status_table()) keeps using this type.
 #pragma once
 
-#include <atomic>
-#include <mutex>
-#include <optional>
-#include <vector>
-
-#include "common/types.h"
-#include "event/event.h"
-#include "event/vector_timestamp.h"
-#include "obs/registry.h"
-#include "obs/tracer.h"
-#include "queueing/backup_queue.h"
-#include "queueing/ready_queue.h"
-#include "queueing/status_table.h"
-#include "rules/coalescer.h"
-#include "rules/params.h"
-#include "rules/rule_engine.h"
+#include "mirror/sharded_pipeline_core.h"
 
 namespace admire::mirror {
 
-struct PipelineCounters {
-  std::uint64_t received = 0;       ///< raw events offered to the pipeline
-  std::uint64_t enqueued = 0;       ///< events placed on the ready queue
-  std::uint64_t sent = 0;           ///< wire events emitted by send steps
-  std::uint64_t bytes_sent = 0;     ///< wire bytes across all emitted events
-  std::uint64_t checkpoints_due = 0;
-};
-
-class PipelineCore {
+class PipelineCore : public ShardedPipelineCore {
  public:
   PipelineCore(rules::MirroringParams params, std::size_t num_streams);
 
-  // --- Receiving task (paper §3.2.1) -----------------------------------
-  /// "retrieves events from the incoming data streams, performs the
-  /// timestamping and event conversion when necessary, and places the
-  /// resulting events into the ready queue" — after the rule engine has
-  /// had its say.
-  struct ReceiveOutcome {
-    rules::ReceiveAction action;
-    bool enqueued = false;           ///< event reached the ready queue
-    bool combined_enqueued = false;  ///< a tuple-completion event did too
-    /// Fires once per checkpoint_every *processed* events (§3.2.1: "once
-    /// per 50 processed events"); the control task should open a round.
-    bool checkpoint_due = false;
-    /// The stamped event to fwd() to the local main unit. Set for every
-    /// data event regardless of the rule decision: semantic rules reduce
-    /// *mirroring* traffic, while "regular clients on the main site"
-    /// continue to receive the full update stream (§3.2.1).
-    std::optional<event::Event> forward;
-  };
-  ReceiveOutcome on_incoming(event::Event ev, Nanos now);
-
-  // --- Sending task ------------------------------------------------------
-  /// "Events are removed from the ready queue, sent onto all outgoing
-  /// channels, and temporarily stored in the backup queue". One step pops
-  /// one ready event; coalescing may hold it back (empty to_send) or
-  /// release several. checkpoint_due fires once per `checkpoint_every`
-  /// sent events.
-  struct SendStep {
-    std::vector<event::Event> to_send;
-    /// Total wire size of the ready-queue events this step consumed (also
-    /// set when coalescing buffered them and to_send is empty) —
-    /// cost-model input for the extraction/combine work of §3.3.
-    std::size_t offered_bytes = 0;
-  };
-  /// nullopt when the ready queue is empty. `now` (0 = unknown) feeds the
-  /// ready-queue wait histogram and the event tracer.
-  std::optional<SendStep> try_send_step(Nanos now = 0);
-
-  /// Batched send step: drain up to `max` ready events in one swap-based
-  /// pop and run each through coalescing/backup accounting. The sending
-  /// task uses this to convert accumulated send credits into one vectored
-  /// fan-out instead of `max` lock round-trips. nullopt when the ready
-  /// queue is empty.
-  std::optional<SendStep> try_send_batch(std::size_t max, Nanos now = 0);
-
-  /// Flush coalescing buffers (quiesce / end of stream). The returned
-  /// events have been backed up and counted like normal sends.
-  SendStep flush(Nanos now = 0);
-
-  // --- Adaptation --------------------------------------------------------
-  /// Install a new mirroring function (set_mirror()/adaptation path).
-  /// Takes effect for subsequently received/sent events.
-  void install(const rules::MirrorFunctionSpec& spec);
-
-  /// Replace the full parameter set (init()-time configuration).
-  void install_params(rules::MirroringParams params);
-
-  rules::MirrorFunctionSpec current_spec() const;
-
-  // --- Introspection -----------------------------------------------------
-  queueing::ReadyQueue& ready() { return ready_; }
-  const queueing::ReadyQueue& ready() const { return ready_; }
-  queueing::BackupQueue& backup() { return backup_; }
-  const queueing::BackupQueue& backup() const { return backup_; }
-  queueing::StatusTable& status_table() { return table_; }
-
-  rules::RuleCounters rule_counters() const;
-  PipelineCounters counters() const;
-
-  /// Current merged vector timestamp (last stamped event).
-  event::VectorTimestamp stamp() const;
-
-  std::uint32_t checkpoint_every() const;
-
-  // --- Observability ------------------------------------------------------
-  /// Register this pipeline's metrics with `registry` under the given site
-  /// label: `queue.<site>.{ready,backup}.*`, `rules.<site>.*` and
-  /// `pipeline.<site>.{received,enqueued,sent,bytes_sent,checkpoints_due}`
-  /// probes. Call before traffic starts; the probes read counters under the
-  /// pipeline mutex so snapshots see consistent values.
-  void instrument(obs::Registry& registry, const std::string& site);
-
-  /// Attach an event-path tracer; sampled data events get kIngest/kRules/
-  /// kReadyQueue spans in on_incoming and kMirrorSend in try_send_step.
-  /// Pass nullptr to detach. The tracer must outlive traffic.
-  void set_tracer(obs::Tracer* tracer) {
-    tracer_.store(tracer, std::memory_order_release);
-  }
-  obs::Tracer* tracer() const {
-    return tracer_.load(std::memory_order_acquire);
-  }
-
- private:
-  void account_send(const event::Event& ev, SendStep& step);
-
-  mutable std::mutex mu_;  // guards engine_, coalescer_, vts_, counters_
-  rules::RuleEngine engine_;
-  rules::Coalescer coalescer_;
-  queueing::ReadyQueue ready_;
-  queueing::BackupQueue backup_;
-  queueing::StatusTable table_;
-  event::VectorTimestamp vts_;
-  PipelineCounters counters_;
-  std::uint32_t received_since_checkpoint_ = 0;
-  std::atomic<std::uint32_t> checkpoint_every_{50};
-  std::atomic<obs::Tracer*> tracer_{nullptr};
-  obs::ProbeGroup probes_;
+  // --- Introspection (single-shard surface) ------------------------------
+  queueing::ReadyQueue& ready() { return shard_ready(0); }
+  const queueing::ReadyQueue& ready() const { return shard_ready(0); }
+  queueing::StatusTable& status_table() { return shard_table(0); }
 };
 
 }  // namespace admire::mirror

@@ -1,0 +1,266 @@
+// ShardedPipelineCore: the receiving task of §3.2.1 split into N
+// flight-keyed shards so ingest scales past one core. Every semantic rule
+// the paper describes — overwrite runs, complex-sequence latches,
+// complex-tuple progress — and the coalescer's combine buffers are keyed by
+// flight id, so the whole hot-path state partitions cleanly: events route
+// to shard hash(flight_id) % N, each shard owns its own RuleEngine +
+// StatusTable + Coalescer + ready-queue segment behind its own lock, and
+// cross-shard state is reduced to a handful of atomics (vector-timestamp
+// components, pipeline counters, checkpoint cadence) plus the shared
+// backup queue.
+//
+// Invariants the sharding preserves (tests/mirror/sharded_pipeline_test.cpp
+// proves them):
+//  - Rule decisions are byte-identical to the single-shard pipeline for the
+//    same per-flight event order: a flight's entire rule state lives in
+//    exactly one shard, so shard count cannot change any accept/discard/
+//    absorb outcome or the merged RuleCounters.
+//  - Per-flight FIFO order holds end to end: a flight maps to one ready
+//    segment, and the drain (which merges segments fairly, round-robin)
+//    serializes senders under one drain lock.
+//  - Checkpoint-due fires once per checkpoint_every processed events
+//    globally — counted on a monotonic atomic, not per shard.
+//  - Vector timestamps stay globally consistent: per-stream maxima live in
+//    a striped atomic array merged on read, so a stamp taken by any shard
+//    dominates every event already observed. Concurrent stamping can
+//    produce incomparable stamps for racing events, which is exactly the
+//    partial order the dominance-based backup trim is built for.
+//
+// PipelineCore (pipeline_core.h) is the N=1 specialization; both the
+// threaded runtime and the discrete-event simulator drive this same object.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "event/event.h"
+#include "event/vector_timestamp.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
+#include "queueing/backup_queue.h"
+#include "queueing/ready_queue.h"
+#include "queueing/status_table.h"
+#include "rules/coalescer.h"
+#include "rules/params.h"
+#include "rules/rule_engine.h"
+
+namespace admire::mirror {
+
+struct PipelineCounters {
+  std::uint64_t received = 0;       ///< raw events offered to the pipeline
+  std::uint64_t enqueued = 0;       ///< events placed on the ready queue
+  std::uint64_t sent = 0;           ///< wire events emitted by send steps
+  std::uint64_t bytes_sent = 0;     ///< wire bytes across all emitted events
+  std::uint64_t checkpoints_due = 0;
+};
+
+class ShardedPipelineCore {
+ public:
+  /// `num_shards` is clamped to >= 1; pass `resolve_shards(requested)` to
+  /// get the hardware-concurrency-capped default for requested == 0.
+  ShardedPipelineCore(rules::MirroringParams params, std::size_t num_streams,
+                      std::size_t num_shards);
+  ~ShardedPipelineCore();
+
+  ShardedPipelineCore(const ShardedPipelineCore&) = delete;
+  ShardedPipelineCore& operator=(const ShardedPipelineCore&) = delete;
+
+  // --- Receiving task (paper §3.2.1) -----------------------------------
+  /// "retrieves events from the incoming data streams, performs the
+  /// timestamping and event conversion when necessary, and places the
+  /// resulting events into the ready queue" — after the rule engine has
+  /// had its say. Safe to call from multiple threads concurrently as long
+  /// as each flight's events are offered in order by one caller at a time
+  /// (the rx pool routes inboxes by flight hash to guarantee this).
+  struct ReceiveOutcome {
+    rules::ReceiveAction action;
+    bool enqueued = false;           ///< event reached the ready queue
+    bool combined_enqueued = false;  ///< a tuple-completion event did too
+    /// Fires once per checkpoint_every *processed* events (§3.2.1: "once
+    /// per 50 processed events"); the control task should open a round.
+    bool checkpoint_due = false;
+    /// The stamped event to fwd() to the local main unit. Set for every
+    /// data event regardless of the rule decision: semantic rules reduce
+    /// *mirroring* traffic, while "regular clients on the main site"
+    /// continue to receive the full update stream (§3.2.1).
+    std::optional<event::Event> forward;
+  };
+  ReceiveOutcome on_incoming(event::Event ev, Nanos now);
+
+  // --- Sending task ------------------------------------------------------
+  /// "Events are removed from the ready queue, sent onto all outgoing
+  /// channels, and temporarily stored in the backup queue". One step pops
+  /// one ready event; coalescing may hold it back (empty to_send) or
+  /// release several.
+  struct SendStep {
+    std::vector<event::Event> to_send;
+    /// Total wire size of the ready-queue events this step consumed (also
+    /// set when coalescing buffered them and to_send is empty) —
+    /// cost-model input for the extraction/combine work of §3.3.
+    std::size_t offered_bytes = 0;
+  };
+  /// nullopt when every ready segment is empty. `now` (0 = unknown) feeds
+  /// the ready-queue wait histogram and the event tracer.
+  std::optional<SendStep> try_send_step(Nanos now = 0);
+
+  /// Batched send step: drain up to `max` ready events across the shard
+  /// segments and run each through coalescing/backup accounting. Segments
+  /// are merged fairly — round-robin passes, each shard yielding an equal
+  /// chunk — so one hot shard cannot starve the others, while per-flight
+  /// FIFO order is untouched (a flight lives in exactly one segment).
+  /// nullopt when every segment is empty.
+  std::optional<SendStep> try_send_batch(std::size_t max, Nanos now = 0);
+
+  /// Flush every segment and every shard coalescer (quiesce / end of
+  /// stream). The returned events have been backed up and counted like
+  /// normal sends.
+  SendStep flush(Nanos now = 0);
+
+  // --- Adaptation --------------------------------------------------------
+  /// Install a new mirroring function (set_mirror()/adaptation path) on
+  /// every shard. Takes effect for subsequently received/sent events.
+  void install(const rules::MirrorFunctionSpec& spec);
+
+  /// Replace the full parameter set (init()-time configuration).
+  void install_params(rules::MirroringParams params);
+
+  rules::MirrorFunctionSpec current_spec() const;
+
+  // --- Sharding ----------------------------------------------------------
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// The shard an event with this flight key routes to. Key 0 (control /
+  /// keyless events) always routes to shard 0.
+  static std::size_t shard_of_key(FlightKey key, std::size_t num_shards);
+
+  /// 0 -> hardware_concurrency capped at kMaxAutoShards; otherwise the
+  /// requested count clamped to >= 1.
+  static std::size_t resolve_shards(std::size_t requested);
+  static constexpr std::size_t kMaxAutoShards = 8;
+
+  /// Ready-queue depth summed over all segments (adaptation input).
+  std::size_t ready_size() const;
+  std::size_t shard_ready_size(std::size_t shard) const;
+  std::uint64_t shard_received(std::size_t shard) const;
+  /// max/mean of per-shard received counts (1.0 = perfectly balanced,
+  /// num_shards() = everything on one shard); 0 before any traffic.
+  double shard_imbalance() const;
+
+  // --- Introspection -----------------------------------------------------
+  queueing::BackupQueue& backup() { return backup_; }
+  const queueing::BackupQueue& backup() const { return backup_; }
+
+  /// Merged rule counters across all shards. Byte-identical to a
+  /// single-shard run of the same per-flight workload.
+  rules::RuleCounters rule_counters() const;
+  PipelineCounters counters() const;
+
+  /// Current merged vector timestamp (dominates every stamped event).
+  event::VectorTimestamp stamp() const;
+
+  std::uint32_t checkpoint_every() const {
+    return checkpoint_every_.load(std::memory_order_relaxed);
+  }
+
+  // --- Observability ------------------------------------------------------
+  /// Register this pipeline's metrics with `registry` under the given site
+  /// label. With one shard the names are exactly the classic single-core
+  /// set (`queue.<site>.ready.*` etc.); with N > 1 the aggregate names are
+  /// kept (summed/maxed over shards) and per-shard
+  /// `pipeline.<site>.shard<k>.*` plus `pipeline.<site>.shard_imbalance`
+  /// are added (see OBSERVABILITY.md). Call before traffic starts.
+  void instrument(obs::Registry& registry, const std::string& site);
+
+  /// Attach an event-path tracer; sampled data events get kIngest/kRules/
+  /// kReadyQueue spans in on_incoming and kMirrorSend in send steps.
+  /// Pass nullptr to detach. The tracer must outlive traffic.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  // N=1 back-compat accessors for PipelineCore.
+  queueing::ReadyQueue& shard_ready(std::size_t shard) {
+    return shards_[shard]->ready;
+  }
+  const queueing::ReadyQueue& shard_ready(std::size_t shard) const {
+    return shards_[shard]->ready;
+  }
+  queueing::StatusTable& shard_table(std::size_t shard) {
+    return shards_[shard]->table;
+  }
+
+ private:
+  /// One flight partition: rule + coalescer + status state behind its own
+  /// lock, plus its segment of the ready queue (internally locked, so the
+  /// drain can pop without taking the shard lock first).
+  struct Shard {
+    explicit Shard(const rules::MirroringParams& params)
+        : engine(params),
+          coalescer(params.function.coalesce_enabled,
+                    params.function.coalesce_max) {}
+
+    mutable std::mutex mu;  // guards engine, coalescer, table
+    rules::RuleEngine engine;
+    rules::Coalescer coalescer;
+    queueing::StatusTable table;
+    queueing::ReadyQueue ready;
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> enqueued{0};
+  };
+
+  void observe_stamp(StreamId stream, SeqNo seq);
+  void account_send(const event::Event& ev, SendStep& step);
+  /// Offer a popped segment batch to the shard's coalescer and account the
+  /// released events into `step`. Takes the shard lock.
+  void coalesce_into(Shard& shard, std::vector<event::Event> popped,
+                     SendStep& step);
+  void trace_send_step(const SendStep& step, Nanos now) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  queueing::BackupQueue backup_;
+
+  // Vector timestamp, striped: one atomic max-seq per stream known at
+  // construction; streams beyond that (rare) spill into a mutex-guarded
+  // overflow VTS. Components are cache-line padded — every ingest thread
+  // CASes its stream's max and reads the others, so packed atomics would
+  // ping-pong one line between all rx threads.
+  struct alignas(64) PaddedSeqNo {
+    std::atomic<SeqNo> value{0};
+  };
+  std::vector<PaddedSeqNo> vts_comps_;
+  mutable std::mutex vts_overflow_mu_;
+  event::VectorTimestamp vts_overflow_;
+  std::atomic<bool> vts_has_overflow_{false};
+
+  // Global pipeline accounting. `received_` doubles as the processed-event
+  // count for checkpoint cadence: due fires when it hits a multiple of
+  // checkpoint_every, which a monotonic counter makes exactly-once under
+  // concurrency with no reset race. It sits on its own cache line: it is
+  // the one counter every ingest thread hits, and sharing a line with the
+  // drain-side counters would couple the two tasks' cores. Enqueued counts
+  // live on the shards (summed on read) so accepts touch no global line.
+  alignas(64) std::atomic<std::uint64_t> received_{0};
+  alignas(64) std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> checkpoints_due_{0};
+  std::atomic<std::uint32_t> checkpoint_every_{50};
+
+  // Serializes senders: fair segment merging and the per-flight send order
+  // both depend on one drain at a time.
+  mutable std::mutex drain_mu_;
+  std::size_t drain_cursor_ = 0;
+
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  obs::ProbeGroup probes_;
+};
+
+}  // namespace admire::mirror

@@ -31,6 +31,8 @@ struct ReceiveDecision {
 };
 
 /// Aggregate counters for accounting and the no-loss invariant tests.
+/// Mergeable so the sharded pipeline can sum per-shard engines into one
+/// total; comparable so tests can assert shard-count invariance exactly.
 struct RuleCounters {
   std::uint64_t accepted = 0;
   std::uint64_t discarded_overwritten = 0;
@@ -43,6 +45,18 @@ struct RuleCounters {
     return accepted + discarded_overwritten + discarded_suppressed +
            discarded_filtered + absorbed_tuple;
   }
+
+  RuleCounters& operator+=(const RuleCounters& other) {
+    accepted += other.accepted;
+    discarded_overwritten += other.discarded_overwritten;
+    discarded_suppressed += other.discarded_suppressed;
+    discarded_filtered += other.discarded_filtered;
+    absorbed_tuple += other.absorbed_tuple;
+    emitted_combined += other.emitted_combined;
+    return *this;
+  }
+
+  friend bool operator==(const RuleCounters&, const RuleCounters&) = default;
 };
 
 class RuleEngine {
@@ -59,11 +73,6 @@ class RuleEngine {
   /// (run counters, suppression latches, tuple progress).
   ReceiveDecision on_receive(const event::Event& ev,
                              queueing::StatusTable& table);
-
- private:
-  ReceiveDecision decide(const event::Event& ev, queueing::StatusTable& table);
-
- public:
 
   const RuleCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = RuleCounters{}; }
@@ -96,6 +105,7 @@ class RuleEngine {
   void install_counters(const ObsCounters& sinks) { obs_ = sinks; }
 
  private:
+  ReceiveDecision decide(const event::Event& ev, queueing::StatusTable& table);
 
   MirroringParams params_;
   RuleCounters counters_;

@@ -12,7 +12,8 @@ using checkpoint::ControlMessage;
 /// checkpoint coordinator + (optional) adaptation controller.
 struct SimCluster::Central {
   Central(const SimConfig& config)
-      : core(config.params, config.num_streams),
+      : core(config.params, config.num_streams,
+             std::max<std::size_t>(1, config.rx_shards)),
         main(kCentralSite),
         coordinator(kCentralSite,
                     /*expected_replies=*/1 + config.num_mirrors),
@@ -22,7 +23,7 @@ struct SimCluster::Central {
     }
   }
 
-  mirror::PipelineCore core;
+  mirror::ShardedPipelineCore core;
   mirror::MainUnitCore main;
   checkpoint::Coordinator coordinator;
   CpuResource cpu;
@@ -72,6 +73,7 @@ SimCluster::SimCluster(SimConfig config)
       request_rng_(config_.request_seed),
       fault_rng_(config_.fault_seed),
       hb_rng_(config_.fault_seed ^ 0x5EED) {
+  shard_free_at_.assign(std::max<std::size_t>(1, config_.rx_shards), 0);
   for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
     mirrors_.push_back(
         std::make_unique<MirrorSite>(static_cast<SiteId>(i + 1), config_));
@@ -196,7 +198,20 @@ void SimCluster::on_arrival(event::Event ev) {
   const std::size_t bytes = ev.wire_size();
   Nanos work = config_.costs.recv_cost(bytes);
   if (config_.mirroring_enabled) work += config_.costs.rule_eval;
-  const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+  Nanos start = engine_.now();
+  if (config_.rx_shards > 1) {
+    // Shard-parallel ingest (threaded counterpart: the rx pool): receive
+    // work serializes per flight shard — preserving each flight's order in
+    // virtual time — while distinct shards overlap up to cpus_per_node.
+    const std::size_t k = mirror::ShardedPipelineCore::shard_of_key(
+        ev.key(), config_.rx_shards);
+    start = std::max(start, shard_free_at_[k]);
+  }
+  const Nanos done = central_->cpu.schedule_job(start, work);
+  if (config_.rx_shards > 1) {
+    shard_free_at_[mirror::ShardedPipelineCore::shard_of_key(
+        ev.key(), config_.rx_shards)] = done;
+  }
   const Nanos ingress = engine_.now();
   engine_.schedule_at(done, [this, ev = std::move(ev), ingress]() mutable {
     ev.mutable_header().ingress_time = ingress;
@@ -262,7 +277,8 @@ void SimCluster::schedule_send_step() {
   engine_.schedule_at(done, [this, s = std::move(*step)] { dispatch_send(s); });
 }
 
-void SimCluster::dispatch_send(const mirror::PipelineCore::SendStep& step) {
+void SimCluster::dispatch_send(
+    const mirror::ShardedPipelineCore::SendStep& step) {
   for (const auto& ev : step.to_send) deliver_to_mirrors(ev);
   ++sends_completed_;
   check_done_flush();
@@ -483,7 +499,7 @@ Bytes SimCluster::evaluate_adaptation() {
   if (!central_->controller.has_value()) return {};
   auto& controller = *central_->controller;
   controller.observe(kCentralSite, adapt::MonitoredVariable::kReadyQueueLength,
-                     static_cast<double>(central_->core.ready().size()));
+                     static_cast<double>(central_->core.ready_size()));
   controller.observe(kCentralSite,
                      adapt::MonitoredVariable::kBackupQueueLength,
                      static_cast<double>(central_->core.backup().size()));

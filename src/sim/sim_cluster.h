@@ -46,6 +46,13 @@ struct SimConfig {
   CostModel costs;
   LbPolicy lb = LbPolicy::kAllSites;
   std::size_t num_streams = 2;
+  /// Receive-side sharding of the central pipeline (threaded counterpart:
+  /// CentralSiteConfig::rx_shards). With 1 shard the virtual-time charging
+  /// is exactly the classic serial receiving task; with N > 1 the cost
+  /// model serializes each flight shard's receive work on its own chain
+  /// while distinct shards overlap up to the node's CPU capacity — the
+  /// same contract as the threaded rx pool.
+  std::size_t rx_shards = 1;
   /// Closed-loop source: present the next event as soon as the receiving
   /// task accepts the previous one (the §4.1/4.2 "entire sequence of
   /// events presented to the mirroring system" throughput setup). When
@@ -160,7 +167,7 @@ class SimCluster {
   void feed_next_closed_loop();
   void do_recv(event::Event ev);
   void schedule_send_step();
-  void dispatch_send(const mirror::PipelineCore::SendStep& step);
+  void dispatch_send(const mirror::ShardedPipelineCore::SendStep& step);
   void forward_to_main(const event::Event& ev);
   void deliver_to_mirrors(const event::Event& ev);
   void mirror_recv(std::size_t idx, event::Event ev);
@@ -219,6 +226,7 @@ class SimCluster {
   std::uint64_t next_recovery_request_ = 2'000'000;
 
   // Run bookkeeping.
+  std::vector<Nanos> shard_free_at_;  ///< per-shard ingest chains (rx_shards > 1)
   std::vector<event::Event> source_queue_;  // closed-loop mode
   std::size_t source_cursor_ = 0;
   std::uint64_t arrivals_total_ = 0;

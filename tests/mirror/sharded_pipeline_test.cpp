@@ -1,0 +1,253 @@
+// ShardedPipelineCore invariants: shard count must not change any rule
+// decision, per-flight order, checkpoint cadence or merged counter — only
+// the degree of ingest parallelism. These tests run everything
+// sequentially so failures implicate the sharding logic itself, not a
+// race; tests/stress/shard_concurrency_test.cpp hammers the same
+// invariants from many threads.
+#include "mirror/sharded_pipeline_core.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mirror/pipeline_core.h"
+#include "obs/registry.h"
+
+namespace admire::mirror {
+namespace {
+
+event::Event faa(FlightKey flight, StreamId stream, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(stream, seq, pos, 32);
+}
+
+event::Event delta(FlightKey flight, StreamId stream, SeqNo seq,
+                   event::FlightStatus status) {
+  event::DeltaStatus st;
+  st.flight = flight;
+  st.status = status;
+  return event::make_delta_status(stream, seq, st);
+}
+
+rules::MirroringParams params_of(rules::MirrorFunctionSpec spec) {
+  rules::MirroringParams p;
+  p.function = std::move(spec);
+  return p;
+}
+
+/// Deterministic mixed workload: many flights interleaved over two
+/// streams, FAA positions with periodic status deltas so the OIS default
+/// rules (overwrite runs, suppression latches, complex tuples) all fire.
+std::vector<event::Event> mixed_workload(std::size_t count,
+                                         std::size_t flights) {
+  std::vector<event::Event> out;
+  out.reserve(count);
+  SeqNo seq[2] = {0, 0};
+  const event::FlightStatus cycle[] = {event::FlightStatus::kLanded,
+                                       event::FlightStatus::kAtRunway,
+                                       event::FlightStatus::kAtGate};
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto flight = static_cast<FlightKey>(1 + i % flights);
+    const auto stream = static_cast<StreamId>(i % 2);
+    if (i % 7 == 6) {
+      out.push_back(delta(flight, stream, ++seq[stream], cycle[(i / 7) % 3]));
+    } else {
+      out.push_back(faa(flight, stream, ++seq[stream]));
+    }
+  }
+  return out;
+}
+
+/// Ingest the whole workload, then drain via small batches + flush.
+/// Returns the wire events in emission order.
+std::vector<event::Event> run_through(ShardedPipelineCore& core,
+                                      const std::vector<event::Event>& evs) {
+  for (const auto& ev : evs) core.on_incoming(ev, 0);
+  std::vector<event::Event> sent;
+  while (auto step = core.try_send_batch(8, 0)) {
+    for (auto& ev : step->to_send) sent.push_back(std::move(ev));
+  }
+  for (auto& ev : core.flush(0).to_send) sent.push_back(std::move(ev));
+  return sent;
+}
+
+std::map<FlightKey, std::vector<SeqNo>> per_flight_order(
+    const std::vector<event::Event>& evs) {
+  std::map<FlightKey, std::vector<SeqNo>> order;
+  for (const auto& ev : evs) order[ev.key()].push_back(ev.seq());
+  return order;
+}
+
+TEST(ShardedPipeline, SingleShardMatchesPipelineCoreExactly) {
+  const auto evs = mixed_workload(500, 12);
+  PipelineCore classic(rules::ois_default_rules(rules::selective_mirroring(3)),
+                       2);
+  ShardedPipelineCore sharded(
+      rules::ois_default_rules(rules::selective_mirroring(3)), 2, 1);
+  const auto classic_sent = run_through(classic, evs);
+  const auto sharded_sent = run_through(sharded, evs);
+  EXPECT_EQ(classic.rule_counters(), sharded.rule_counters());
+  EXPECT_EQ(classic.counters().received, sharded.counters().received);
+  EXPECT_EQ(classic.counters().enqueued, sharded.counters().enqueued);
+  EXPECT_EQ(classic.counters().sent, sharded.counters().sent);
+  ASSERT_EQ(classic_sent.size(), sharded_sent.size());
+  for (std::size_t i = 0; i < classic_sent.size(); ++i) {
+    EXPECT_EQ(classic_sent[i].key(), sharded_sent[i].key());
+    EXPECT_EQ(classic_sent[i].seq(), sharded_sent[i].seq());
+  }
+}
+
+TEST(ShardedPipeline, RuleCountersInvariantToShardCount) {
+  const auto evs = mixed_workload(1200, 17);
+  rules::RuleCounters baseline;
+  PipelineCounters baseline_pc;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedPipelineCore core(
+        rules::ois_default_rules(rules::selective_mirroring(3)), 2, shards);
+    run_through(core, evs);
+    if (shards == 1) {
+      baseline = core.rule_counters();
+      baseline_pc = core.counters();
+      EXPECT_EQ(baseline.total_seen(), evs.size());
+      continue;
+    }
+    EXPECT_EQ(core.rule_counters(), baseline) << shards << " shards";
+    EXPECT_EQ(core.counters().received, baseline_pc.received);
+    EXPECT_EQ(core.counters().enqueued, baseline_pc.enqueued);
+    EXPECT_EQ(core.counters().sent, baseline_pc.sent);
+  }
+}
+
+TEST(ShardedPipeline, PerFlightSendOrderInvariantToShardCount) {
+  const auto evs = mixed_workload(800, 9);
+  ShardedPipelineCore one(params_of(rules::selective_mirroring(2)), 2, 1);
+  ShardedPipelineCore four(params_of(rules::selective_mirroring(2)), 2, 4);
+  const auto order_one = per_flight_order(run_through(one, evs));
+  const auto order_four = per_flight_order(run_through(four, evs));
+  // The global interleaving may differ (fair drain vs single FIFO); each
+  // flight's subsequence may not.
+  EXPECT_EQ(order_one, order_four);
+}
+
+TEST(ShardedPipeline, RoutingIsStableAndCoversShards) {
+  std::set<std::size_t> hit;
+  for (FlightKey key = 1; key <= 256; ++key) {
+    const std::size_t shard = ShardedPipelineCore::shard_of_key(key, 4);
+    EXPECT_EQ(shard, ShardedPipelineCore::shard_of_key(key, 4));
+    EXPECT_LT(shard, 4u);
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), 4u);
+  // Keyless (control) events always land on shard 0.
+  EXPECT_EQ(ShardedPipelineCore::shard_of_key(0, 4), 0u);
+  EXPECT_EQ(ShardedPipelineCore::shard_of_key(123, 1), 0u);
+}
+
+TEST(ShardedPipeline, FairDrainTakesFromEverySegment) {
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 4);
+  // Load every shard with its own flights.
+  SeqNo seq = 0;
+  for (FlightKey key = 1; key <= 64; ++key) {
+    core.on_incoming(faa(key, 0, ++seq), 0);
+  }
+  auto step = core.try_send_batch(16, 0);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->to_send.size(), 16u);
+  std::set<std::size_t> shards_drained;
+  for (const auto& ev : step->to_send) {
+    shards_drained.insert(ShardedPipelineCore::shard_of_key(ev.key(), 4));
+  }
+  // One batch must interleave segments, not exhaust one shard first.
+  EXPECT_EQ(shards_drained.size(), 4u);
+}
+
+TEST(ShardedPipeline, CheckpointCadenceIsGlobalAcrossShards) {
+  auto spec = rules::simple_mirroring();
+  spec.checkpoint_every = 10;
+  ShardedPipelineCore core(params_of(spec), 2, 4);
+  int due = 0;
+  SeqNo seq = 0;
+  for (std::size_t i = 0; i < 35; ++i) {
+    // Spread over flights -> all shards; cadence counts globally.
+    due += core.on_incoming(faa(static_cast<FlightKey>(1 + i % 16), 0, ++seq), 0)
+               .checkpoint_due;
+  }
+  EXPECT_EQ(due, 3);
+  EXPECT_EQ(core.counters().checkpoints_due, 3u);
+}
+
+TEST(ShardedPipeline, StampMergesStreamsAcrossShards) {
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 4);
+  core.on_incoming(faa(1, 0, 3), 0);
+  core.on_incoming(faa(2, 1, 7), 0);  // different flight -> likely other shard
+  const auto vts = core.stamp();
+  EXPECT_EQ(vts.component(0), 3u);
+  EXPECT_EQ(vts.component(1), 7u);
+  // Streams beyond the construction-time stripe spill into the overflow.
+  core.on_incoming(faa(3, 5, 11), 0);
+  EXPECT_EQ(core.stamp().component(5), 11u);
+}
+
+TEST(ShardedPipeline, FlushDrainsEveryShardCoalescer) {
+  auto spec = rules::simple_mirroring();
+  spec.coalesce_enabled = true;
+  spec.coalesce_max = 100;
+  ShardedPipelineCore core(params_of(spec), 2, 4);
+  SeqNo seq = 0;
+  for (FlightKey key = 1; key <= 32; ++key) {
+    core.on_incoming(faa(key, 0, ++seq), 0);
+  }
+  // try_send_batch buffers everything into the shard coalescers...
+  while (core.try_send_batch(8, 0).has_value()) {
+  }
+  EXPECT_EQ(core.ready_size(), 0u);
+  // ...and flush releases one combined event per flight from all shards.
+  const auto step = core.flush(0);
+  EXPECT_EQ(step.to_send.size(), 32u);
+  EXPECT_EQ(core.backup().size(), 32u);
+}
+
+TEST(ShardedPipeline, InstallAppliesToEveryShard) {
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 4);
+  core.install(rules::selective_mirroring(2, 25));
+  EXPECT_EQ(core.current_spec().name, "selective");
+  EXPECT_EQ(core.checkpoint_every(), 25u);
+  int enqueued = 0;
+  SeqNo seq = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    // 8 flights x 4 events each: every shard must apply the 1-of-2 rule.
+    enqueued +=
+        core.on_incoming(faa(static_cast<FlightKey>(1 + i % 8), 0, ++seq), 0)
+            .enqueued;
+  }
+  EXPECT_EQ(enqueued, 16);
+}
+
+TEST(ShardedPipeline, InstrumentKeepsAggregateNamesAndAddsShardMetrics) {
+  obs::Registry registry;
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 4);
+  core.instrument(registry, "central");
+  SeqNo seq = 0;
+  for (FlightKey key = 1; key <= 40; ++key) {
+    core.on_incoming(faa(key, 0, ++seq), 0);
+  }
+  const auto snap = registry.snapshot();
+  // Aggregates keep the classic single-core names.
+  EXPECT_EQ(snap.gauge_or("pipeline.central.received_total"), 40.0);
+  EXPECT_EQ(snap.gauge_or("queue.central.ready.pushed_total"), 40.0);
+  EXPECT_EQ(snap.gauge_or("queue.central.ready.depth"), 40.0);
+  EXPECT_EQ(snap.counter_or("rules.central.seen_total"), 40u);
+  // Per-shard breakdowns sum to the aggregate.
+  double shard_sum = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    shard_sum += snap.gauge_or("pipeline.central.shard" + std::to_string(k) +
+                               ".received_total");
+  }
+  EXPECT_EQ(shard_sum, 40.0);
+  EXPECT_GE(snap.gauge_or("pipeline.central.shard_imbalance"), 1.0);
+}
+
+}  // namespace
+}  // namespace admire::mirror

@@ -1,0 +1,220 @@
+// Concurrency stress for the sharded receive path: multiple threads call
+// on_incoming while a drainer runs try_send_batch, exactly the contract
+// the ThreadedCentralSite rx pool relies on. Suite names contain
+// "Concurrency" so the ADMIRE_TSAN CI job picks them up; the CMake target
+// labels them `slow`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mirror/sharded_pipeline_core.h"
+#include "workload/scenario.h"
+
+namespace admire {
+namespace {
+
+event::Event faa(FlightKey flight, StreamId stream, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(stream, seq, pos, 16);
+}
+
+rules::MirroringParams params_of(rules::MirrorFunctionSpec spec) {
+  rules::MirroringParams p;
+  p.function = std::move(spec);
+  return p;
+}
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kFlights = 64;
+constexpr SeqNo kPerThread = 8000;
+
+/// Partition flights over producer threads the same way the rx pool routes
+/// inboxes: one flight -> one thread, so each flight's events are offered
+/// in order even though threads interleave freely.
+bool owns(std::size_t thread_idx, FlightKey key) {
+  return mirror::ShardedPipelineCore::shard_of_key(key, kThreads) ==
+         thread_idx;
+}
+
+TEST(ShardConcurrency, ParallelIngestPreservesPerFlightOrder) {
+  mirror::ShardedPipelineCore core(params_of(rules::simple_mirroring()),
+                                   kThreads, 4);
+  std::atomic<bool> done{false};
+  std::mutex sent_mu;
+  std::map<FlightKey, std::vector<SeqNo>> sent_order;
+  std::thread drainer([&] {
+    const auto collect = [&](std::vector<event::Event> evs) {
+      std::lock_guard lock(sent_mu);
+      for (const auto& ev : evs) sent_order[ev.key()].push_back(ev.seq());
+    };
+    while (!done.load() || core.ready_size() > 0) {
+      if (auto step = core.try_send_batch(64, 0)) {
+        collect(std::move(step->to_send));
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    collect(core.flush(0).to_send);
+  });
+
+  std::vector<std::map<FlightKey, std::vector<SeqNo>>> pushed(kThreads);
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&core, &pushed, t] {
+      SeqNo seq = 0;
+      for (SeqNo i = 1; i <= kPerThread; ++i) {
+        const auto key = static_cast<FlightKey>(1 + i % kFlights);
+        if (!owns(t, key)) continue;
+        const auto stream = static_cast<StreamId>(t);
+        core.on_incoming(faa(key, stream, ++seq), 0);
+        pushed[t][key].push_back(seq);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  done.store(true);
+  drainer.join();
+
+  // Every flight's wire order must equal its ingest order.
+  std::map<FlightKey, std::vector<SeqNo>> pushed_order;
+  std::uint64_t total = 0;
+  for (const auto& per_thread : pushed) {
+    for (const auto& [key, seqs] : per_thread) {
+      auto& dst = pushed_order[key];
+      dst.insert(dst.end(), seqs.begin(), seqs.end());
+      total += seqs.size();
+    }
+  }
+  EXPECT_EQ(sent_order, pushed_order);
+  EXPECT_EQ(core.counters().received, total);
+  EXPECT_EQ(core.counters().sent, total);  // simple mirroring: all accepted
+  EXPECT_EQ(core.backup().size(), total);
+}
+
+TEST(ShardConcurrency, MergedCountersConserveTotalSeen) {
+  mirror::ShardedPipelineCore core(params_of(rules::selective_mirroring(4)),
+                                   kThreads, 4);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> wire_sent{0};
+  std::thread drainer([&] {
+    while (!done.load() || core.ready_size() > 0) {
+      if (auto step = core.try_send_batch(32, 0)) {
+        wire_sent.fetch_add(step->to_send.size());
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> offered{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      SeqNo seq = 0;
+      for (SeqNo i = 1; i <= kPerThread; ++i) {
+        const auto key = static_cast<FlightKey>(1 + i % kFlights);
+        if (!owns(t, key)) continue;
+        core.on_incoming(faa(key, static_cast<StreamId>(t), ++seq), 0);
+        offered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  done.store(true);
+  drainer.join();
+
+  // Conservation: every offered event is accounted for exactly once in the
+  // merged per-shard rule counters, and everything accepted was sent.
+  const auto rc = core.rule_counters();
+  const auto pc = core.counters();
+  EXPECT_EQ(rc.total_seen(), offered.load());
+  EXPECT_EQ(pc.received, offered.load());
+  EXPECT_EQ(pc.enqueued, rc.accepted);
+  EXPECT_EQ(pc.sent, pc.enqueued);  // no coalescing configured
+  EXPECT_EQ(wire_sent.load(), pc.sent);
+  // Per-stream monotone vector timestamp despite cross-shard interleaving.
+  const auto vts = core.stamp();
+  std::uint64_t stamped = 0;
+  for (StreamId s = 0; s < kThreads; ++s) stamped += vts.component(s);
+  EXPECT_EQ(stamped, offered.load());
+}
+
+TEST(ShardConcurrency, InstallWhileShardedIngestAndDrain) {
+  mirror::ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 4);
+  std::atomic<bool> stop{false};
+  std::thread installer([&] {
+    bool selective = false;
+    while (!stop.load()) {
+      core.install(selective ? rules::selective_mirroring(8)
+                             : rules::simple_mirroring());
+      selective = !selective;
+      std::this_thread::yield();
+    }
+  });
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      if (!core.try_send_batch(16, 0).has_value()) std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    producers.emplace_back([&core, t] {
+      SeqNo seq = 0;
+      for (SeqNo i = 1; i <= 10000; ++i) {
+        const auto key = static_cast<FlightKey>(1 + i % 32);
+        if (!owns(t, key) && !owns(t + 2, key)) continue;
+        core.on_incoming(faa(key, static_cast<StreamId>(t), ++seq), 0);
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  stop.store(true);
+  installer.join();
+  drainer.join();
+  EXPECT_EQ(core.counters().received, core.rule_counters().total_seen());
+}
+
+TEST(ShardConcurrencyCluster, RxPoolEndToEnd) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.rx_shards = 4;
+  config.rx_threads = 4;
+  cluster::Cluster server(config);
+  server.start();
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 4000;
+  scenario.num_flights = 32;
+  scenario.event_padding = 64;
+  const auto trace = workload::make_ois_trace(scenario);
+  // Two feeder threads, flights partitioned between them so each flight's
+  // events hit ingest() in trace order.
+  std::vector<std::thread> feeders;
+  for (std::size_t t = 0; t < 2; ++t) {
+    feeders.emplace_back([&, t] {
+      for (const auto& item : trace.items) {
+        if (mirror::ShardedPipelineCore::shard_of_key(item.ev.key(), 2) != t) {
+          continue;
+        }
+        ASSERT_TRUE(server.ingest(item.ev).is_ok());
+      }
+    });
+  }
+  for (auto& th : feeders) th.join();
+  server.drain();
+  server.checkpoint_and_wait();
+
+  EXPECT_EQ(server.central().processed_by_ede(), trace.size());
+  EXPECT_EQ(server.central().core().counters().received, trace.size());
+  // Both mirrors fold the same mirrored stream -> identical state.
+  const auto fps = server.state_fingerprints();
+  EXPECT_EQ(fps[1], fps[2]);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire

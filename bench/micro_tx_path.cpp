@@ -1,0 +1,244 @@
+// Per-destination transmit-stage throughput: how fast the healthy
+// destinations of a mirror fan-out complete when one destination stalls,
+// staged (TxStage: one bounded outbox + worker per destination) versus the
+// serial baseline (the old sending task: one loop writing every
+// destination inline). Sweeps destination count x stall severity over the
+// same deterministic OIS workload.
+//
+// Correctness gate: for every configuration each destination must receive
+// exactly the serial baseline's event count AND the same per-destination
+// order hash (per-flight FIFO survives the hand-off) — the bench exits
+// nonzero if either diverges.
+//
+// Prints one line per configuration; with `--json FILE` also writes the
+// numbers as a JSON object (CI artifact: BENCH_txpath.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/tx_stage.h"
+#include "workload/scenario.h"
+
+namespace admire::bench {
+namespace {
+
+constexpr std::size_t kPadding = 64;
+constexpr std::size_t kBatchEvents = 32;
+constexpr auto kStallPerBatch = std::chrono::microseconds(100);
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::vector<event::Event> make_workload(std::size_t count,
+                                        std::size_t flights) {
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = count;
+  scenario.num_flights = flights;
+  scenario.event_padding = kPadding;
+  const auto trace = workload::make_ois_trace(scenario);
+  std::vector<event::Event> out;
+  out.reserve(trace.items.size());
+  for (const auto& item : trace.items) out.push_back(item.ev);
+  return out;
+}
+
+/// Per-destination receipt record: count, an order-sensitive hash over
+/// (flight, seq) — equal hashes mean identical delivery order — and the
+/// time the destination saw its last event.
+struct DestState {
+  std::uint64_t count = 0;
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  Clock::time_point done_at{};
+
+  void absorb(std::span<const event::Event> evs) {
+    for (const auto& ev : evs) {
+      const std::uint64_t x =
+          (static_cast<std::uint64_t>(ev.key()) << 32) ^ ev.seq();
+      hash = (hash ^ x) * 1099511628211ull;
+    }
+    count += evs.size();
+    done_at = Clock::now();
+  }
+};
+
+struct RunResult {
+  /// Events/sec until the LAST healthy (non-stalled) destination finished.
+  double healthy_events_per_sec = 0.0;
+  std::vector<DestState> dests;
+};
+
+/// Serial baseline: the pre-TxStage sending task, one loop delivering each
+/// batch to every destination inline. A stalled destination delays every
+/// destination after it in the loop.
+RunResult run_serial(const std::vector<event::Event>& evs,
+                     std::size_t num_dests, bool stall_one) {
+  RunResult r;
+  r.dests.resize(num_dests);
+  const auto t0 = Clock::now();
+  for (std::size_t off = 0; off < evs.size(); off += kBatchEvents) {
+    const std::size_t n = std::min(kBatchEvents, evs.size() - off);
+    const std::span<const event::Event> batch(evs.data() + off, n);
+    for (std::size_t d = 0; d < num_dests; ++d) {
+      if (stall_one && d == 0) std::this_thread::sleep_for(kStallPerBatch);
+      r.dests[d].absorb(batch);
+    }
+  }
+  Clock::time_point healthy_done = t0;
+  for (std::size_t d = 0; d < num_dests; ++d) {
+    if (stall_one && d == 0) continue;
+    healthy_done = std::max(healthy_done, r.dests[d].done_at);
+  }
+  r.healthy_events_per_sec =
+      static_cast<double>(evs.size()) / seconds_between(t0, healthy_done);
+  return r;
+}
+
+/// Staged: one TxStage outbox + worker per destination (unbounded, so the
+/// count/hash gate sees the lossless path). The stalled destination lags on
+/// its own chain; healthy ones complete at full speed.
+RunResult run_staged(const std::vector<event::Event>& evs,
+                     std::size_t num_dests, bool stall_one) {
+  RunResult r;
+  r.dests.resize(num_dests);
+  cluster::TxStage stage(cluster::TxStageConfig{});
+  for (std::size_t d = 0; d < num_dests; ++d) {
+    const bool stalled = stall_one && d == 0;
+    stage.add_destination("dest" + std::to_string(d),
+                          [&r, d, stalled](std::span<const event::Event> b) {
+                            if (stalled) {
+                              std::this_thread::sleep_for(kStallPerBatch);
+                            }
+                            r.dests[d].absorb(b);
+                          });
+  }
+  stage.start();
+  const auto t0 = Clock::now();
+  for (std::size_t off = 0; off < evs.size(); off += kBatchEvents) {
+    const std::size_t n = std::min(kBatchEvents, evs.size() - off);
+    stage.publish(std::span<const event::Event>(evs.data() + off, n));
+  }
+  stage.stop();  // flush: every outbox drains before the workers join
+  Clock::time_point healthy_done = t0;
+  for (std::size_t d = 0; d < num_dests; ++d) {
+    if (stall_one && d == 0) continue;
+    healthy_done = std::max(healthy_done, r.dests[d].done_at);
+  }
+  r.healthy_events_per_sec =
+      static_cast<double>(evs.size()) / seconds_between(t0, healthy_done);
+  return r;
+}
+
+bool matches(const RunResult& staged, const RunResult& serial) {
+  for (std::size_t d = 0; d < staged.dests.size(); ++d) {
+    if (staged.dests[d].count != serial.dests[d].count) return false;
+    if (staged.dests[d].hash != serial.dests[d].hash) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace admire::bench
+
+int main(int argc, char** argv) {
+  using namespace admire::bench;
+  const char* json_path = nullptr;
+  std::size_t events = 100000;
+  std::size_t flights = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--flights") == 0 && i + 1 < argc) {
+      flights = std::stoul(argv[++i]);
+    }
+  }
+
+  const auto evs = make_workload(events, flights);
+  std::printf(
+      "== micro_tx_path: %zu events, %zu flights, %zu B, batch %zu, "
+      "stall %lld us/batch ==\n",
+      evs.size(), flights, kPadding, kBatchEvents,
+      static_cast<long long>(kStallPerBatch.count()));
+
+  const std::size_t dest_counts[] = {2, 4, 8};
+  bool gate_ok = true;
+  // [dest index][0]=no-stall, [1]=one stalled; each serial vs staged.
+  double serial_rate[3][2] = {};
+  double staged_rate[3][2] = {};
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t dests = dest_counts[c];
+    for (int stall = 0; stall <= 1; ++stall) {
+      const RunResult serial = run_serial(evs, dests, stall != 0);
+      const RunResult staged = run_staged(evs, dests, stall != 0);
+      serial_rate[c][stall] = serial.healthy_events_per_sec;
+      staged_rate[c][stall] = staged.healthy_events_per_sec;
+      const bool ok = matches(staged, serial);
+      gate_ok = gate_ok && ok;
+      std::printf(
+          "dests=%zu stall=%s  serial %12.0f ev/s  staged %12.0f ev/s  "
+          "%5.2fx  %s\n",
+          dests, stall ? "yes" : "no ", serial.healthy_events_per_sec,
+          staged.healthy_events_per_sec,
+          staged.healthy_events_per_sec / serial.healthy_events_per_sec,
+          ok ? "counters+order ok" : "MISMATCH");
+    }
+    // The headline number: how much healthy throughput survives one
+    // stalled destination, staged vs serial.
+    std::printf(
+        "dests=%zu  healthy retention under stall: staged %5.1f%%  "
+        "serial %5.1f%%\n",
+        dests, 100.0 * staged_rate[c][1] / staged_rate[c][0],
+        100.0 * serial_rate[c][1] / serial_rate[c][0]);
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"events\": %zu,\n"
+                 "  \"flights\": %zu,\n"
+                 "  \"batch_events\": %zu,\n"
+                 "  \"stall_us_per_batch\": %lld,\n",
+                 evs.size(), flights, kBatchEvents,
+                 static_cast<long long>(kStallPerBatch.count()));
+    std::fprintf(f, "  \"healthy_events_per_sec\": {\n");
+    for (std::size_t c = 0; c < 3; ++c) {
+      std::fprintf(f,
+                   "    \"dests_%zu\": {\"serial\": %.0f, "
+                   "\"serial_stall\": %.0f, \"staged\": %.0f, "
+                   "\"staged_stall\": %.0f}%s\n",
+                   dest_counts[c], serial_rate[c][0], serial_rate[c][1],
+                   staged_rate[c][0], staged_rate[c][1], c + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f,
+                 "  },\n"
+                 "  \"staged_stall_retention_dests_4\": %.3f,\n"
+                 "  \"serial_stall_retention_dests_4\": %.3f,\n"
+                 "  \"counters_match\": %s\n"
+                 "}\n",
+                 staged_rate[1][1] / staged_rate[1][0],
+                 serial_rate[1][1] / serial_rate[1][0],
+                 gate_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: staged delivery diverged from the serial baseline "
+                 "(count or per-destination order)\n");
+    return 1;
+  }
+  return 0;
+}

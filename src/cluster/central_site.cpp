@@ -22,6 +22,7 @@ ThreadedCentralSite::ThreadedCentralSite(
       main_(kCentralSite),
       coordinator_(kCentralSite, /*expected_replies=*/1 + num_mirrors),
       control_inbox_(1024),
+      tx_(TxStageConfig{config_.tx_queue_cap, config_.tx_policy, config_.obs}),
       update_delays_(kSecond) {
   const std::size_t rx = std::max<std::size_t>(1, config_.rx_threads);
   inboxes_.reserve(rx);
@@ -43,6 +44,22 @@ ThreadedCentralSite::ThreadedCentralSite(
                                               /*capacity=*/256, config_.obs);
       core_.set_tracer(tracer_.get());
     }
+    send_probes_.add(*config_.obs, "cluster.central.send.credits_granted_total",
+                     [this] {
+                       return static_cast<double>(credits_granted_.load());
+                     });
+    send_probes_.add(*config_.obs, "cluster.central.send.credits_consumed_total",
+                     [this] {
+                       return static_cast<double>(credits_consumed_.load());
+                     });
+    send_probes_.add(*config_.obs, "cluster.central.send.batches_total",
+                     [this] {
+                       return static_cast<double>(send_batches_.load());
+                     });
+    send_probes_.add(*config_.obs, "cluster.central.send.pending_credits",
+                     [this] {
+                       return static_cast<double>(pending_send_credits());
+                     });
   }
   data_channel_ = registry_->create_auto("central.data", echo::ChannelRole::kData);
   updates_channel_ =
@@ -59,10 +76,21 @@ ThreadedCentralSite::ThreadedCentralSite(
         ControlItem{ControlItem::Kind::kReply, std::move(msg).value()});
   });
 
+  // The "local" destination covers the channel's anonymous subscribers
+  // (in-process taps, tests); mirror/bridge destinations are registered by
+  // name in start() / add_tx_destination().
+  tx_.add_destination(kLocalTxDestination,
+                      [this](std::span<const event::Event> events) {
+                        data_channel_->submit_batch_unnamed(events);
+                      });
+
   api_.load(config_.params);
   api_.bind(
       &core_,
-      /*mirror_sink=*/[this](const event::Event& ev) { data_channel_->submit(ev); },
+      /*mirror_sink=*/
+      [this](const event::Event& ev) {
+        publish_mirror(std::span<const event::Event>(&ev, 1));
+      },
       /*fwd_sink=*/
       [this](const event::Event& ev) {
         obs::Tracer* tracer = core_.tracer();
@@ -87,9 +115,7 @@ ThreadedCentralSite::ThreadedCentralSite(
       },
       /*checkpoint_trigger=*/[this] { trigger_checkpoint(); },
       /*mirror_batch_sink=*/
-      [this](std::span<const event::Event> events) {
-        data_channel_->submit_batch(events);
-      });
+      [this](std::span<const event::Event> events) { publish_mirror(events); });
 }
 
 ThreadedCentralSite::~ThreadedCentralSite() { stop(); }
@@ -97,6 +123,14 @@ ThreadedCentralSite::~ThreadedCentralSite() { stop(); }
 void ThreadedCentralSite::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard lock(send_mu_);
+    send_stop_ = false;
+  }
+  // Pick up every named central.data destination subscribed so far (mirror
+  // sites, remote bridges) and start their tx workers before any traffic.
+  refresh_tx_destinations();
+  tx_.start();
   recv_threads_.reserve(inboxes_.size());
   for (std::size_t i = 0; i < inboxes_.size(); ++i) {
     recv_threads_.emplace_back([this, i] { recv_loop(i); });
@@ -107,14 +141,26 @@ void ThreadedCentralSite::start() {
 
 void ThreadedCentralSite::stop() {
   if (!running_.exchange(false)) return;
+  // Shutdown ordering is the bugfix here: the send task used to watch
+  // running_ and could exit while recv threads were still draining closed
+  // inboxes and granting credits — those enqueued events were silently
+  // never mirrored. Order now: (1) close + join the receiving tasks, so
+  // every credit that will ever be granted has been; (2) signal the send
+  // task, which exits only at zero credits; (3) flush the per-destination
+  // outboxes; (4) retire the control task.
   for (auto& inbox : inboxes_) inbox->close();
-  control_inbox_.close();
-  send_cv_.notify_all();
   for (auto& t : recv_threads_) {
     if (t.joinable()) t.join();
   }
   recv_threads_.clear();
+  {
+    std::lock_guard lock(send_mu_);
+    send_stop_ = true;
+  }
+  send_cv_.notify_all();
   if (send_thread_.joinable()) send_thread_.join();
+  tx_.stop();
+  control_inbox_.close();
   if (control_thread_.joinable()) control_thread_.join();
 }
 
@@ -136,7 +182,6 @@ void ThreadedCentralSite::recv_loop(std::size_t inbox_idx) {
     // rules reduce mirror traffic, not the regular clients' updates).
     if (outcome.forward.has_value()) api_.fwd(*outcome.forward);
     if (outcome.checkpoint_due) trigger_checkpoint();
-    recv_done_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t credits = (outcome.enqueued ? 1u : 0u) +
                                   (outcome.combined_enqueued ? 1u : 0u);
     if (credits > 0) {
@@ -147,6 +192,10 @@ void ThreadedCentralSite::recv_loop(std::size_t inbox_idx) {
       }
       send_cv_.notify_one();
     }
+    // Counted after the credit grant: drain()'s quiesce predicate reads
+    // recv_done_ first, so the grant must already be visible when the last
+    // event is accounted as received.
+    recv_done_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -155,16 +204,27 @@ void ThreadedCentralSite::send_loop() {
     std::uint64_t credits = 0;
     {
       std::unique_lock lock(send_mu_);
-      send_cv_.wait(lock, [&] { return send_credits_ > 0 || !running_; });
-      if (send_credits_ == 0 && !running_) return;
+      // send_stop_ (set only after the recv threads joined) is the exit
+      // signal, not running_: a credit granted during shutdown must still
+      // be turned into a send before this task may leave.
+      send_cv_.wait(lock, [&] { return send_credits_ > 0 || send_stop_; });
+      if (send_credits_ == 0 && send_stop_) return;
       // Convert every accumulated credit into one batched send step: the
       // backlog that built up while this task was busy drains through a
       // single pop_batch + vectored fan-out instead of per-event steps.
       credits = std::exchange(send_credits_, 0);
     }
     auto step = core_.try_send_batch(credits, clock_->now());
-    if (step.has_value()) dispatch(*step);
-    sends_done_.fetch_add(credits, std::memory_order_relaxed);
+    if (step.has_value()) {
+      if (!step->to_send.empty()) {
+        send_batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      dispatch(*step);
+    }
+    // Honest accounting: this counts consumed credits, not wire sends —
+    // coalescing may buffer everything a step consumed (empty to_send),
+    // and core_.counters().sent tracks the events actually emitted.
+    credits_consumed_.fetch_add(credits, std::memory_order_relaxed);
   }
 }
 
@@ -172,6 +232,37 @@ void ThreadedCentralSite::dispatch(
     const mirror::ShardedPipelineCore::SendStep& step) {
   api_.mirror_batch(std::span<const event::Event>(step.to_send.data(),
                                                   step.to_send.size()));
+}
+
+void ThreadedCentralSite::publish_mirror(std::span<const event::Event> events) {
+  if (events.empty()) return;
+  // One logical submission fanned out to N destinations: account it once
+  // so the aggregate transport.channel.central.data.* metrics and
+  // submitted_count stay byte-identical to the serial single-submit path.
+  data_channel_->note_batch(events);
+  tx_.publish(events);
+}
+
+void ThreadedCentralSite::refresh_tx_destinations() {
+  for (const auto& name : data_channel_->destinations()) {
+    add_tx_destination(name);
+  }
+}
+
+void ThreadedCentralSite::add_tx_destination(const std::string& name) {
+  tx_.add_destination(name,
+                      [this, name](std::span<const event::Event> events) {
+                        data_channel_->submit_batch_to(name, events);
+                      });
+}
+
+void ThreadedCentralSite::drop_tx_destination(const std::string& name) {
+  tx_.remove_destination(name);
+}
+
+std::uint64_t ThreadedCentralSite::pending_send_credits() const {
+  std::lock_guard lock(send_mu_);
+  return send_credits_;
 }
 
 void ThreadedCentralSite::trigger_checkpoint() {
@@ -236,7 +327,10 @@ Bytes ThreadedCentralSite::evaluate_adaptation() {
 }
 
 void ThreadedCentralSite::drain() {
-  // Phase 1: wait for the receiving and sending tasks to catch up.
+  // Phase 1: wait for the receiving and sending tasks to catch up. The
+  // predicate reads the honest credit counters: every granted credit has
+  // been consumed by the send task (credits_granted == credits_consumed +
+  // pending, with pending 0 here).
   const auto inboxes_empty = [this] {
     for (const auto& inbox : inboxes_) {
       if (inbox->size() > 0) return false;
@@ -244,12 +338,15 @@ void ThreadedCentralSite::drain() {
     return true;
   };
   while (!inboxes_empty() || recv_done_.load() < ingested_.load() ||
-         sends_done_.load() < credits_granted_.load()) {
+         credits_consumed_.load() < credits_granted_.load()) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   // Phase 2: flush coalescing buffers and dispatch the remainder inline.
   auto step = core_.flush(clock_->now());
   if (!step.to_send.empty()) dispatch(step);
+  // Phase 3: wait for every destination's tx worker to empty its outbox —
+  // only then has every mirrored event actually reached its channel.
+  tx_.quiesce();
 }
 
 std::vector<event::Event> ThreadedCentralSite::serve_request(

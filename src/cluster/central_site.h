@@ -15,6 +15,7 @@
 
 #include "adapt/controller.h"
 #include "checkpoint/coordinator.h"
+#include "cluster/tx_stage.h"
 #include "common/bounded_queue.h"
 #include "common/clock.h"
 #include "common/cpu_work.h"
@@ -51,6 +52,10 @@ struct CentralSiteConfig {
   /// Trace one data event in N through the pipeline stages (0 = tracing
   /// off). Only meaningful when `obs` is set.
   std::uint32_t trace_sample_every = 0;
+  /// Per-destination transmit outbox capacity in events (0 = unbounded)
+  /// and the policy applied when a destination hits it. See TxStage.
+  std::size_t tx_queue_cap = 0;
+  TxPolicy tx_policy = TxPolicy::kBlock;
 };
 
 class ThreadedCentralSite {
@@ -93,6 +98,29 @@ class ThreadedCentralSite {
   std::uint64_t ingested() const { return ingested_.load(); }
   std::uint64_t processed_by_ede() const { return ede_processed_.load(); }
 
+  // --- Send-task accounting ----------------------------------------------
+  /// Credits granted by the receiving tasks (one per event that reached the
+  /// ready queue) and credits the send loop has consumed. These are credit
+  /// counters, not send counters — coalescing may buffer a consumed credit
+  /// without emitting a wire event; core().counters().sent is the honest
+  /// wire-event count. Invariant: credits_granted() == credits_consumed() +
+  /// pending_send_credits() at quiescence.
+  std::uint64_t credits_granted() const { return credits_granted_.load(); }
+  std::uint64_t credits_consumed() const { return credits_consumed_.load(); }
+  std::uint64_t pending_send_credits() const;
+  /// Send steps that emitted at least one wire event.
+  std::uint64_t send_batches() const { return send_batches_.load(); }
+
+  // --- Per-destination transmit stage -------------------------------------
+  TxStage& tx() { return tx_; }
+  /// Register/remove a named central.data destination with the transmit
+  /// stage at runtime (mirror join/failure). start() auto-registers every
+  /// destination the channel knows plus the "local" (anonymous-subscriber)
+  /// path.
+  void add_tx_destination(const std::string& name);
+  void drop_tx_destination(const std::string& name);
+  static constexpr const char* kLocalTxDestination = "local";
+
   /// Request servicing at the central site (it is the primary mirror).
   std::vector<event::Event> serve_request(std::uint64_t request_id,
                                           Nanos burn = 0);
@@ -103,6 +131,10 @@ class ThreadedCentralSite {
   void send_loop();
   void control_loop();
   void dispatch(const mirror::ShardedPipelineCore::SendStep& step);
+  /// One logical mirror submission: account it once on the channel, then
+  /// fan it out into the per-destination outboxes.
+  void publish_mirror(std::span<const event::Event> events);
+  void refresh_tx_destinations();
   void handle_reply(const checkpoint::ControlMessage& reply);
   void start_round();
   Bytes evaluate_adaptation();
@@ -136,9 +168,15 @@ class ThreadedCentralSite {
   std::vector<std::unique_ptr<BoundedQueue<event::Event>>> inboxes_;
   BoundedQueue<ControlItem> control_inbox_;
 
-  std::mutex send_mu_;
+  mutable std::mutex send_mu_;
   std::condition_variable send_cv_;
   std::uint64_t send_credits_ = 0;  // enqueued-but-unsent events
+  /// Set by stop() only after the recv threads have joined, so the send
+  /// loop cannot exit while credits are still being granted (the shutdown
+  /// drop this PR fixes). running_ alone is not a safe exit signal.
+  bool send_stop_ = false;
+
+  TxStage tx_;
 
   std::atomic<bool> running_{false};
   std::vector<std::thread> recv_threads_;
@@ -148,13 +186,19 @@ class ThreadedCentralSite {
   std::atomic<std::uint64_t> ingested_{0};
   std::atomic<std::uint64_t> recv_done_{0};
   std::atomic<std::uint64_t> credits_granted_{0};
-  std::atomic<std::uint64_t> sends_done_{0};
+  /// Credits the send loop consumed (drain quiesce predicate). Formerly
+  /// misnamed sends_done_: it never counted wire sends — coalescing can
+  /// consume a credit without emitting — so it was renamed rather than
+  /// left lying.
+  std::atomic<std::uint64_t> credits_consumed_{0};
+  std::atomic<std::uint64_t> send_batches_{0};
   std::atomic<std::uint64_t> ede_processed_{0};
   std::atomic<std::uint64_t> pending_requests_{0};
   std::atomic<std::uint64_t> adaptation_transitions_{0};
 
   metrics::LatencyRecorder update_delays_;
   obs::Histogram* request_service_ns_ = nullptr;  // null = not instrumented
+  obs::ProbeGroup send_probes_;
 
  public:
   std::uint64_t adaptation_transitions() const {

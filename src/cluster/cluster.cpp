@@ -24,6 +24,8 @@ Cluster::Cluster(ClusterConfig config)
   central_config.burn_per_event = config_.burn_per_event;
   central_config.obs = config_.obs.get();
   central_config.trace_sample_every = config_.trace_sample_every;
+  central_config.tx_queue_cap = config_.tx_queue_cap;
+  central_config.tx_policy = config_.tx_policy;
   central_ = std::make_unique<ThreadedCentralSite>(
       central_config, registry_, clock_, config_.num_mirrors);
 
@@ -106,13 +108,17 @@ void Cluster::stop() {
   if (control_plane_) control_plane_->stop();
   if (exporter_) exporter_->stop();  // writes a final snapshot
   if (central_requests_) central_requests_->stop();
+  // Central stops first: its shutdown flushes the per-destination outboxes
+  // into the still-live mirror inboxes, and each mirror's event loop then
+  // folds the remainder when its own (closed) inbox drains — so a plain
+  // stop() loses nothing that reached the send path.
+  central_->stop();
   std::vector<ThreadedMirrorSite*> mirrors;
   {
     std::lock_guard lock(membership_mu_);
     for (auto& m : mirrors_) mirrors.push_back(m.get());
   }
   for (auto* m : mirrors) m->stop();
-  central_->stop();
 }
 
 ThreadedMirrorSite& Cluster::mirror(std::size_t i) {
@@ -187,6 +193,11 @@ void Cluster::fail_mirror(std::size_t i) {
                    TargetHealth::kDown);
   }
   victim->stop();
+  // Discard the dead destination's transmit outbox (everything queued for
+  // it is shed and counted in tx.<dest>.dropped_total) and retire its tx
+  // worker. After the stop() above: the closed inbox has unblocked any
+  // worker mid-push, so the remove cannot deadlock on a full dead mirror.
+  central_->drop_tx_destination("mirror" + std::to_string(victim->site()));
   // Checkpoint membership shrinks; an unblocked commit is broadcast so the
   // surviving sites are not left waiting on the dead one. The coordinator
   // serializes this against in-flight rounds internally; membership_mu_
@@ -217,8 +228,15 @@ Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
   mc.burn_per_request = config_.burn_per_request;
   mc.obs = config_.obs.get();
   // Subscribe FIRST so no event falls between the donor snapshot and the
-  // live stream; the inbox buffers until start().
+  // live stream; the inbox buffers until start(). The tx destination must
+  // exist before the snapshot is built: every event published before the
+  // outbox existed was fwd()'d to the donor's main unit before its send
+  // step, so it is inside the snapshot; everything after flows through the
+  // new outbox (duplicates are RejoinFilter'd). A re-used destination name
+  // resumes the same tx.<dest>.* counters — sequence continuity across the
+  // fail/rejoin cycle stays visible.
   auto site = std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_);
+  central_->add_tx_destination("mirror" + std::to_string(mc.site));
   mirror::MainUnitCore& donor_main =
       donor == 0 ? central_->main_unit() : mirrors_[donor - 1]->main_unit();
   const auto package = recovery::build_bootstrap_package(

@@ -40,6 +40,11 @@ struct ClusterConfig {
   /// (see CentralSiteConfig::rx_shards / rx_threads).
   std::size_t rx_shards = 0;
   std::size_t rx_threads = 1;
+  /// Send-side isolation: per-destination transmit outbox capacity in
+  /// events (0 = unbounded) and the backpressure policy when a destination
+  /// hits it (see TxStage / CentralSiteConfig).
+  std::size_t tx_queue_cap = 0;
+  TxPolicy tx_policy = TxPolicy::kBlock;
   /// Metrics registry the whole cluster instruments into. Null = the
   /// cluster creates a private one (recommended: keeps metric names unique
   /// when several clusters coexist in one process, e.g. under test).

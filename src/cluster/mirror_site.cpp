@@ -40,10 +40,16 @@ ThreadedMirrorSite::ThreadedMirrorSite(
                ": central channels missing; create the central site first");
     return;
   }
-  data_sub_ = data->subscribe([this](const event::Event& ev) {
-    received_.fetch_add(1, std::memory_order_relaxed);
-    (void)inbox_.push(ev);  // back-pressures the central send task when full
-  });
+  // Subscribe as a named destination: the central transmit stage drains one
+  // outbox per mirror, so a full inbox here back-pressures (or sheds, per
+  // policy) only this mirror's tx worker — never the other destinations.
+  data_sub_ = data->subscribe_batch_as(
+      label, [this](std::span<const event::Event> events) {
+        for (const event::Event& ev : events) {
+          received_.fetch_add(1, std::memory_order_relaxed);
+          (void)inbox_.push(ev);
+        }
+      });
   ctrl_down_sub_ = ctrl_down->subscribe([this](const event::Event& ev) {
     auto msg = checkpoint::from_control_event(ev);
     if (msg.is_ok()) on_control(msg.value());

@@ -92,6 +92,9 @@ class ThreadedMirrorSite {
 
   std::uint64_t pending_requests() const { return pending_requests_.load(); }
   std::uint64_t events_processed() const { return processed_.load(); }
+  /// Mirrored events delivered to this site's inbox (counted at the channel
+  /// subscription, before the event loop folds them into aux state).
+  std::uint64_t events_received() const { return received_.load(); }
   std::uint64_t requests_served() const { return served_.load(); }
   /// Copy of the currently installed function (updated by adaptation
   /// directives arriving on the control channel).

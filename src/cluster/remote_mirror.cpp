@@ -1,5 +1,8 @@
 #include "cluster/remote_mirror.h"
 
+#include <atomic>
+#include <string>
+
 namespace admire::cluster {
 
 RemoteMirrorHost::RemoteMirrorHost(
@@ -45,12 +48,19 @@ void RemoteMirrorHost::drain() { site_->drain(); }
 RemoteMirrorAttachment::RemoteMirrorAttachment(
     Cluster& cluster, std::shared_ptr<transport::MessageLink> link)
     : cluster_(cluster) {
+  // Process-unique destination name: each remote bridge gets its own tx
+  // outbox/worker at the central site, so one slow WAN link cannot stall
+  // the in-process mirrors or other remotes.
+  static std::atomic<std::uint64_t> next_remote{0};
+  tx_destination_ =
+      "remote" + std::to_string(next_remote.fetch_add(1) + 1);
   auto registry = cluster.registry();
   bridge_ = std::make_unique<echo::RemoteChannelBridge>(
       std::move(link), registry, echo::BridgeRouting::kByName);
-  bridge_->export_channel(registry->by_name("central.data"));
+  bridge_->export_channel(registry->by_name("central.data"), tx_destination_);
   bridge_->export_channel(registry->by_name("ctrl.down"));
   bridge_->start();
+  cluster.central().add_tx_destination(tx_destination_);
   auto& coord = cluster.central().coordinator();
   (void)coord.set_expected_replies(coord.expected_replies() + 1);
   attached_ = true;
@@ -61,7 +71,10 @@ RemoteMirrorAttachment::~RemoteMirrorAttachment() { detach(); }
 void RemoteMirrorAttachment::detach() {
   if (!attached_) return;
   attached_ = false;
+  // Stop the bridge first (closes the link, unblocking a tx worker mid
+  // write), then retire this destination's outbox.
   bridge_->stop();
+  cluster_.central().drop_tx_destination(tx_destination_);
   auto& coord = cluster_.central().coordinator();
   auto commit = coord.set_expected_replies(coord.expected_replies() - 1);
   if (commit.has_value()) {

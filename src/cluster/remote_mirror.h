@@ -77,9 +77,14 @@ class RemoteMirrorAttachment {
 
   std::uint64_t events_forwarded() const { return bridge_->forwarded(); }
 
+  /// The named central.data destination this attachment's bridge drains
+  /// (its own tx worker/outbox at the central site).
+  const std::string& tx_destination() const { return tx_destination_; }
+
  private:
   Cluster& cluster_;
   std::unique_ptr<echo::RemoteChannelBridge> bridge_;
+  std::string tx_destination_;
   bool attached_ = false;
 };
 

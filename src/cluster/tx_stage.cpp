@@ -1,0 +1,266 @@
+#include "cluster/tx_stage.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace admire::cluster {
+
+TxStage::TxStage(TxStageConfig config) : config_(config) {}
+
+TxStage::~TxStage() { stop(); }
+
+void TxStage::add_destination(const std::string& name, BatchSink sink) {
+  std::lock_guard lock(mu_);
+  for (const auto& box : outboxes_) {
+    if (box->name == name) return;
+  }
+  auto box = std::make_shared<Outbox>();
+  box->name = name;
+  box->sink = std::move(sink);
+  if (config_.obs != nullptr) {
+    const std::string prefix = "tx." + name + ".";
+    box->obs_enqueued = &config_.obs->counter(prefix + "enqueued_total");
+    box->obs_sent = &config_.obs->counter(prefix + "sent_total");
+    box->obs_dropped = &config_.obs->counter(prefix + "dropped_total");
+    box->obs_stalls = &config_.obs->counter(prefix + "stalls_total");
+    Outbox* raw = box.get();
+    box->probes.add(*config_.obs, prefix + "depth", [raw] {
+      std::lock_guard box_lock(raw->mu);
+      return static_cast<double>(raw->queued_events);
+    });
+  }
+  if (running_) spawn_worker_locked(*box);
+  outboxes_.push_back(std::move(box));
+}
+
+void TxStage::remove_destination(const std::string& name) {
+  std::shared_ptr<Outbox> victim;
+  {
+    std::lock_guard lock(mu_);
+    auto it = std::find_if(outboxes_.begin(), outboxes_.end(),
+                           [&](const auto& box) { return box->name == name; });
+    if (it == outboxes_.end()) return;
+    victim = *it;
+    outboxes_.erase(it);
+  }
+  {
+    std::lock_guard box_lock(victim->mu);
+    victim->open = false;
+    std::uint64_t shed = 0;
+    for (const auto& batch : victim->batches) shed += batch.size();
+    victim->batches.clear();
+    victim->queued_events = 0;
+    if (shed > 0) {
+      victim->dropped.fetch_add(shed, std::memory_order_relaxed);
+      if (victim->obs_dropped != nullptr) victim->obs_dropped->inc(shed);
+    }
+    victim->cv.notify_all();
+    victim->drained_cv.notify_all();
+  }
+  if (victim->worker.joinable()) victim->worker.join();
+  // Unregister the depth probe before the outbox dies.
+  victim->probes.clear();
+}
+
+void TxStage::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  running_ = true;
+  for (auto& box : outboxes_) spawn_worker_locked(*box);
+}
+
+void TxStage::stop() {
+  std::vector<std::shared_ptr<Outbox>> boxes;
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    boxes = outboxes_;
+  }
+  for (auto& box : boxes) {
+    {
+      std::lock_guard box_lock(box->mu);
+      box->open = false;  // queued batches still drain (flush semantics)
+      box->cv.notify_all();
+      box->drained_cv.notify_all();
+    }
+    if (box->worker.joinable()) box->worker.join();
+  }
+}
+
+void TxStage::publish(std::span<const event::Event> events) {
+  if (events.empty()) return;
+  std::vector<std::shared_ptr<Outbox>> boxes;
+  {
+    std::lock_guard lock(mu_);
+    boxes = outboxes_;
+  }
+  for (auto& box : boxes) enqueue_into(*box, events);
+}
+
+void TxStage::enqueue_into(Outbox& box, std::span<const event::Event> events) {
+  const std::size_t n = events.size();
+  std::unique_lock lock(box.mu);
+  if (!box.open) return;
+  if (config_.queue_cap > 0 && box.queued_events + n > config_.queue_cap) {
+    if (config_.policy == TxPolicy::kDropOldest) {
+      std::uint64_t shed = 0;
+      while (!box.batches.empty() &&
+             box.queued_events + n > config_.queue_cap) {
+        const std::size_t victim = box.batches.front().size();
+        box.batches.pop_front();
+        box.queued_events -= victim;
+        shed += victim;
+      }
+      if (shed > 0) {
+        box.dropped.fetch_add(shed, std::memory_order_relaxed);
+        if (box.obs_dropped != nullptr) box.obs_dropped->inc(shed);
+      }
+    } else {
+      // kBlock: wait for the worker to make room. An oversized batch is
+      // accepted once the outbox is empty so the publisher cannot deadlock
+      // against a cap smaller than one SendStep.
+      bool stalled = false;
+      box.drained_cv.wait(lock, [&] {
+        if (!box.open || box.queued_events + n <= config_.queue_cap ||
+            box.batches.empty()) {
+          return true;
+        }
+        stalled = true;
+        return false;
+      });
+      if (stalled) {
+        box.stalls.fetch_add(1, std::memory_order_relaxed);
+        if (box.obs_stalls != nullptr) box.obs_stalls->inc();
+      }
+      if (!box.open) return;
+    }
+  }
+  box.batches.emplace_back(events.begin(), events.end());
+  box.queued_events += n;
+  box.enqueued.fetch_add(n, std::memory_order_relaxed);
+  if (box.obs_enqueued != nullptr) box.obs_enqueued->inc(n);
+  box.cv.notify_one();
+}
+
+void TxStage::worker_loop(Outbox& box) {
+  for (;;) {
+    std::vector<event::Event> batch;
+    {
+      std::unique_lock lock(box.mu);
+      box.cv.wait(lock, [&] { return !box.batches.empty() || !box.open; });
+      if (box.batches.empty()) return;  // closed and fully drained
+      batch = std::move(box.batches.front());
+      box.batches.pop_front();
+      box.queued_events -= batch.size();
+      box.draining = true;
+    }
+    box.sink(std::span<const event::Event>(batch.data(), batch.size()));
+    {
+      std::lock_guard lock(box.mu);
+      box.draining = false;
+      box.sent.fetch_add(batch.size(), std::memory_order_relaxed);
+      if (box.obs_sent != nullptr) box.obs_sent->inc(batch.size());
+      box.drained_cv.notify_all();
+    }
+  }
+}
+
+void TxStage::spawn_worker_locked(Outbox& box) {
+  if (box.worker.joinable()) return;
+  {
+    // A destination re-added after remove_destination() starts closed.
+    std::lock_guard box_lock(box.mu);
+    box.open = true;
+  }
+  box.worker = std::thread([this, &box] { worker_loop(box); });
+}
+
+void TxStage::quiesce() {
+  std::vector<std::shared_ptr<Outbox>> boxes;
+  {
+    std::lock_guard lock(mu_);
+    boxes = outboxes_;
+  }
+  for (auto& box : boxes) {
+    std::unique_lock lock(box->mu);
+    box->drained_cv.wait(lock, [&] {
+      return (box->batches.empty() && !box->draining) || !box->open;
+    });
+  }
+}
+
+std::shared_ptr<TxStage::Outbox> TxStage::find(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& box : outboxes_) {
+    if (box->name == name) return box;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TxStage::destination_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(outboxes_.size());
+  for (const auto& box : outboxes_) names.push_back(box->name);
+  return names;
+}
+
+bool TxStage::has_destination(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::uint64_t TxStage::total_enqueued() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& box : outboxes_) {
+    total += box->enqueued.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TxStage::total_sent() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& box : outboxes_) {
+    total += box->sent.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TxStage::total_dropped() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& box : outboxes_) {
+    total += box->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TxStage::total_stalls() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& box : outboxes_) {
+    total += box->stalls.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TxStage::sent_to(const std::string& name) const {
+  auto box = find(name);
+  return box == nullptr ? 0 : box->sent.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TxStage::dropped_from(const std::string& name) const {
+  auto box = find(name);
+  return box == nullptr ? 0 : box->dropped.load(std::memory_order_relaxed);
+}
+
+std::size_t TxStage::depth_of(const std::string& name) const {
+  auto box = find(name);
+  if (box == nullptr) return 0;
+  std::lock_guard lock(box->mu);
+  return box->queued_events;
+}
+
+}  // namespace admire::cluster

@@ -1,0 +1,145 @@
+// TxStage: the per-destination transmit half of the §3.2.1 sending task.
+// The drain under the pipeline's drain lock keeps coalescing / backup
+// accounting / per-flight FIFO serialized exactly as before, but instead of
+// writing to every outgoing channel inline it publishes each SendStep's
+// events into one bounded outbox per destination (each mirror channel plus
+// the local fwd path), and a dedicated tx worker drains each outbox into its
+// sink. A dead-slow destination therefore fills only its own outbox — the
+// backpressure policy decides whether the publisher blocks on it or the
+// oldest queued batches are shed — while healthy destinations keep draining
+// at full speed (TerraServer-style slow-component isolation; per-replica
+// sender queues as in Middleware-based Database Replication).
+//
+// Ordering: publish() appends to every open outbox under the publisher's
+// serialization (the drain lock), and each outbox is drained FIFO by one
+// worker, so per-destination delivery order equals publish order — per-flight
+// FIFO survives end to end. kDropOldest may shed whole batches from an
+// outbox's front, which drops events but never reorders the survivors.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "event/event.h"
+#include "obs/registry.h"
+
+namespace admire::cluster {
+
+/// What publish() does when a destination's outbox is at tx_queue_cap.
+enum class TxPolicy : std::uint8_t {
+  kBlock = 0,      ///< publisher waits for the worker (lossless backpressure)
+  kDropOldest = 1  ///< shed the oldest queued batches (bounded staleness)
+};
+
+struct TxStageConfig {
+  /// Per-destination outbox capacity in events; 0 = unbounded. A batch
+  /// larger than the cap is still accepted when the outbox is empty, so an
+  /// oversized SendStep cannot deadlock a kBlock publisher.
+  std::size_t queue_cap = 0;
+  TxPolicy policy = TxPolicy::kBlock;
+  /// When set, each destination registers tx.<dest>.{enqueued,sent,dropped,
+  /// stalls}_total counters and a tx.<dest>.depth probe.
+  obs::Registry* obs = nullptr;
+};
+
+class TxStage {
+ public:
+  using BatchSink = std::function<void(std::span<const event::Event>)>;
+
+  explicit TxStage(TxStageConfig config);
+  ~TxStage();
+
+  TxStage(const TxStage&) = delete;
+  TxStage& operator=(const TxStage&) = delete;
+
+  /// Add a destination. Its worker starts immediately if the stage is
+  /// running, otherwise on start(). Re-adding a previously removed name
+  /// resumes the same obs counters, so sequence continuity across a
+  /// fail/rejoin cycle is visible in the metrics. No-op if live.
+  void add_destination(const std::string& name, BatchSink sink);
+
+  /// Remove a destination: mark it closed (unblocking any publisher waiting
+  /// on its cap), discard everything still queued (counted as dropped), and
+  /// join its worker. The sink must already be unblocked — callers stop the
+  /// mirror (closing its inbox) *before* dropping its destination. No-op if
+  /// unknown.
+  void remove_destination(const std::string& name);
+
+  /// Spawn a worker per registered destination. Idempotent.
+  void start();
+
+  /// Drain every outbox to empty, then join all workers. Queued batches are
+  /// delivered, not dropped — stop() is a flush, matching the BoundedQueue
+  /// close-then-drain convention. Idempotent.
+  void stop();
+
+  /// Copy `events` into every open outbox (event copies are refcount bumps)
+  /// applying the backpressure policy per destination. Called by the one
+  /// serialized drain; not safe for concurrent publishers.
+  void publish(std::span<const event::Event> events);
+
+  /// Block until every outbox is empty and no sink call is in flight — the
+  /// tx analogue of the recv-side quiesce in drain().
+  void quiesce();
+
+  std::vector<std::string> destination_names() const;
+  bool has_destination(const std::string& name) const;
+
+  /// Aggregate counters across live destinations (removed destinations'
+  /// history lives only in the obs registry).
+  std::uint64_t total_enqueued() const;
+  std::uint64_t total_sent() const;
+  std::uint64_t total_dropped() const;
+  std::uint64_t total_stalls() const;
+
+  std::uint64_t sent_to(const std::string& name) const;
+  std::uint64_t dropped_from(const std::string& name) const;
+  std::size_t depth_of(const std::string& name) const;
+
+ private:
+  struct Outbox {
+    std::string name;
+    BatchSink sink;
+
+    std::mutex mu;
+    std::condition_variable cv;          // worker waits: batch available/close
+    std::condition_variable drained_cv;  // publisher/quiesce waits: space/empty
+    std::deque<std::vector<event::Event>> batches;
+    std::size_t queued_events = 0;  // Σ batch sizes, for the cap check
+    bool open = true;               // false: no new batches accepted
+    bool draining = false;          // worker is inside sink()
+    std::thread worker;
+
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> stalls{0};
+
+    obs::Counter* obs_enqueued = nullptr;
+    obs::Counter* obs_sent = nullptr;
+    obs::Counter* obs_dropped = nullptr;
+    obs::Counter* obs_stalls = nullptr;
+    obs::ProbeGroup probes;
+  };
+
+  void worker_loop(Outbox& box);
+  void spawn_worker_locked(Outbox& box);
+  void enqueue_into(Outbox& box, std::span<const event::Event> events);
+  std::shared_ptr<Outbox> find(const std::string& name) const;
+
+  const TxStageConfig config_;
+  mutable std::mutex mu_;  // guards outboxes_ membership + running_
+  bool running_ = false;
+  std::vector<std::shared_ptr<Outbox>> outboxes_;
+};
+
+}  // namespace admire::cluster

@@ -19,15 +19,20 @@ RemoteChannelBridge::RemoteChannelBridge(
 RemoteChannelBridge::~RemoteChannelBridge() { stop(); }
 
 void RemoteChannelBridge::export_channel(
-    const std::shared_ptr<EventChannel>& channel) {
+    const std::shared_ptr<EventChannel>& channel,
+    const std::string& destination) {
   const ChannelId id = channel->id();
   const std::string name = channel->name();
   auto* raw_channel = channel.get();
-  exports_.push_back(channel->subscribe_batch(
-      [this, id, name, raw_channel](std::span<const event::Event> events) {
-        if (delivering_channel_ == raw_channel) return;  // no echo loop
-        forward_batch(id, name, events);
-      }));
+  auto forward = [this, id, name,
+                  raw_channel](std::span<const event::Event> events) {
+    if (delivering_channel_ == raw_channel) return;  // no echo loop
+    forward_batch(id, name, events);
+  };
+  exports_.push_back(destination.empty()
+                         ? channel->subscribe_batch(std::move(forward))
+                         : channel->subscribe_batch_as(destination,
+                                                       std::move(forward)));
 }
 
 namespace {

@@ -37,7 +37,12 @@ class RemoteChannelBridge {
 
   /// Forward local submissions on `channel` to the peer. Events that
   /// arrived *from* the peer are not re-exported (no reflection loops).
-  void export_channel(const std::shared_ptr<EventChannel>& channel);
+  /// A non-empty `destination` registers the export as that named channel
+  /// destination (subscribe_batch_as) so a per-destination transmit stage
+  /// can drain this bridge independently of other subscribers; empty keeps
+  /// the classic anonymous subscription fed by every submit_batch().
+  void export_channel(const std::shared_ptr<EventChannel>& channel,
+                      const std::string& destination = "");
 
   /// Start the receive pump (call after exports are configured).
   void start();

@@ -34,21 +34,25 @@ Subscription EventChannel::subscribe_batch(BatchEventHandler handler) {
   return Subscription(weak_from_this(), token);
 }
 
+Subscription EventChannel::subscribe_batch_as(std::string destination,
+                                              BatchEventHandler handler) {
+  std::lock_guard lock(mu_);
+  for (const auto& named : named_handlers_) {
+    if (named.destination == destination) return Subscription();
+  }
+  const std::uint64_t token = next_token_++;
+  named_handlers_.push_back(
+      NamedHandler{token, std::move(destination), std::move(handler)});
+  return Subscription(weak_from_this(), token);
+}
+
 std::size_t EventChannel::submit(const event::Event& ev) {
   return submit_batch(std::span<const event::Event>(&ev, 1));
 }
 
 std::size_t EventChannel::submit_batch(std::span<const event::Event> events) {
   if (events.empty()) return 0;
-  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
-  if (auto* msgs = obs_msgs_.load(std::memory_order_acquire)) {
-    // wire_size() walks the payload variant; compute it once per event and
-    // only when someone is counting.
-    std::size_t wire_bytes = 0;
-    for (const event::Event& ev : events) wire_bytes += ev.wire_size();
-    msgs->inc(events.size());
-    obs_bytes_.load(std::memory_order_acquire)->inc(wire_bytes);
-  }
+  note_batch(events);
   // Copy handlers out so a handler may (un)subscribe without deadlock and
   // slow handlers do not serialize unrelated subscribe calls.
   std::vector<EventHandler> snapshot;
@@ -57,9 +61,12 @@ std::size_t EventChannel::submit_batch(std::span<const event::Event> events) {
     std::lock_guard lock(mu_);
     snapshot.reserve(handlers_.size());
     for (const auto& [token, handler] : handlers_) snapshot.push_back(handler);
-    batch_snapshot.reserve(batch_handlers_.size());
+    batch_snapshot.reserve(batch_handlers_.size() + named_handlers_.size());
     for (const auto& [token, handler] : batch_handlers_) {
       batch_snapshot.push_back(handler);
+    }
+    for (const auto& named : named_handlers_) {
+      batch_snapshot.push_back(named.handler);
     }
   }
   // Per-event handlers see events in submission order; batch handlers get
@@ -71,9 +78,69 @@ std::size_t EventChannel::submit_batch(std::span<const event::Event> events) {
   return snapshot.size() + batch_snapshot.size();
 }
 
+std::size_t EventChannel::submit_batch_to(const std::string& destination,
+                                          std::span<const event::Event> events) {
+  if (events.empty()) return 0;
+  BatchEventHandler handler;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& named : named_handlers_) {
+      if (named.destination == destination) {
+        handler = named.handler;
+        break;
+      }
+    }
+  }
+  if (!handler) return 0;
+  handler(events);
+  return 1;
+}
+
+std::size_t EventChannel::submit_batch_unnamed(
+    std::span<const event::Event> events) {
+  if (events.empty()) return 0;
+  std::vector<EventHandler> snapshot;
+  std::vector<BatchEventHandler> batch_snapshot;
+  {
+    std::lock_guard lock(mu_);
+    snapshot.reserve(handlers_.size());
+    for (const auto& [token, handler] : handlers_) snapshot.push_back(handler);
+    batch_snapshot.reserve(batch_handlers_.size());
+    for (const auto& [token, handler] : batch_handlers_) {
+      batch_snapshot.push_back(handler);
+    }
+  }
+  for (const event::Event& ev : events) {
+    for (const auto& handler : snapshot) handler(ev);
+  }
+  for (const auto& handler : batch_snapshot) handler(events);
+  return snapshot.size() + batch_snapshot.size();
+}
+
+void EventChannel::note_batch(std::span<const event::Event> events) {
+  if (events.empty()) return;
+  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
+  if (auto* msgs = obs_msgs_.load(std::memory_order_acquire)) {
+    // wire_size() walks the payload variant; compute it once per event and
+    // only when someone is counting.
+    std::size_t wire_bytes = 0;
+    for (const event::Event& ev : events) wire_bytes += ev.wire_size();
+    msgs->inc(events.size());
+    obs_bytes_.load(std::memory_order_acquire)->inc(wire_bytes);
+  }
+}
+
+std::vector<std::string> EventChannel::destinations() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(named_handlers_.size());
+  for (const auto& named : named_handlers_) names.push_back(named.destination);
+  return names;
+}
+
 std::size_t EventChannel::subscriber_count() const {
   std::lock_guard lock(mu_);
-  return handlers_.size() + batch_handlers_.size();
+  return handlers_.size() + batch_handlers_.size() + named_handlers_.size();
 }
 
 void EventChannel::instrument(obs::Registry& registry) {
@@ -89,6 +156,8 @@ void EventChannel::unsubscribe(std::uint64_t token) {
   std::erase_if(handlers_, [&](const auto& p) { return p.first == token; });
   std::erase_if(batch_handlers_,
                 [&](const auto& p) { return p.first == token; });
+  std::erase_if(named_handlers_,
+                [&](const auto& n) { return n.token == token; });
 }
 
 Result<std::shared_ptr<EventChannel>> ChannelRegistry::create(

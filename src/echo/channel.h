@@ -84,14 +84,46 @@ class EventChannel : public std::enable_shared_from_this<EventChannel> {
   /// one call; submit() hands it a span of one.
   [[nodiscard]] Subscription subscribe_batch(BatchEventHandler handler);
 
+  /// Register a batch handler addressable as the named destination
+  /// `destination` — the unit of per-destination transmit isolation (a
+  /// mirror site or remote bridge that a tx worker drains independently).
+  /// submit_batch() still reaches it like any other subscriber;
+  /// submit_batch_to(destination) reaches it alone. Names are unique per
+  /// channel: a second live subscription under the same name returns an
+  /// inactive Subscription and registers nothing.
+  [[nodiscard]] Subscription subscribe_batch_as(std::string destination,
+                                                BatchEventHandler handler);
+
   /// Deliver to all current subscribers. Returns the number of local
   /// handlers invoked.
   std::size_t submit(const event::Event& ev);
 
   /// Deliver several events as one operation: per-event handlers see each
-  /// event in order, batch handlers get the whole span once. Returns the
-  /// number of local handlers invoked (counting each batch handler once).
+  /// event in order, batch handlers (named and anonymous) get the whole
+  /// span once. Returns the number of local handlers invoked (counting
+  /// each batch handler once).
   std::size_t submit_batch(std::span<const event::Event> events);
+
+  /// Deliver to one named destination only. Does NOT bump submitted_count
+  /// or the transport.channel.* metrics: callers fanning one logical
+  /// submission out across destinations account it once via note_batch().
+  /// Returns the number of handlers invoked (0 if the name is not live).
+  std::size_t submit_batch_to(const std::string& destination,
+                              std::span<const event::Event> events);
+
+  /// Deliver to anonymous subscribers only (per-event + unnamed batch
+  /// handlers) — the transmit stage's "local" destination. Same accounting
+  /// rule as submit_batch_to: pair with note_batch().
+  std::size_t submit_batch_unnamed(std::span<const event::Event> events);
+
+  /// Account a batch as submitted (submitted_count + transport.channel.*
+  /// msgs/bytes) without delivering anything. A per-destination transmit
+  /// stage calls this once per publish so the aggregate channel metrics
+  /// stay byte-identical to the single-submit path.
+  void note_batch(std::span<const event::Event> events);
+
+  /// Names of the live named destinations, in subscription order.
+  std::vector<std::string> destinations() const;
 
   /// Number of events submitted so far — submit() adds one, submit_batch()
   /// adds the batch size (monitoring/tests).
@@ -122,6 +154,12 @@ class EventChannel : public std::enable_shared_from_this<EventChannel> {
   std::uint64_t next_token_ = 1;
   std::vector<std::pair<std::uint64_t, EventHandler>> handlers_;
   std::vector<std::pair<std::uint64_t, BatchEventHandler>> batch_handlers_;
+  struct NamedHandler {
+    std::uint64_t token = 0;
+    std::string destination;
+    BatchEventHandler handler;
+  };
+  std::vector<NamedHandler> named_handlers_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<obs::Counter*> obs_msgs_{nullptr};
   std::atomic<obs::Counter*> obs_bytes_{nullptr};

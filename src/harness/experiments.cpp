@@ -59,6 +59,7 @@ sim::SimResult run_sim(const RunSpec& spec) {
   config.num_streams = workload::kOisStreams;
   config.closed_loop_source = spec.event_horizon == 0;
   config.ni_offload = spec.ni_offload;
+  config.tx_parallel = spec.tx_parallel;
   if (spec.request_rate > 0.0 && spec.requests_while_events && !spec.bursty) {
     config.auto_request_rate = spec.request_rate;
     config.request_seed = spec.seed ^ 0x5151;

@@ -38,6 +38,10 @@ struct RunSpec {
   sim::CostModel costs;
   /// §6 future-work extension: NI co-processor offload of the send side.
   bool ni_offload = false;
+  /// Model the per-destination transmit stage: each mirror's send chain
+  /// accrues virtual time independently instead of serializing on one
+  /// sending task. ni_offload takes precedence when both are set.
+  bool tx_parallel = false;
 
   // Client request load.
   double request_rate = 0.0;           ///< req/s, 0 = none

@@ -104,7 +104,11 @@ class MirroringApi {
   /// `fwd_sink` to the local main unit; `checkpoint_trigger` opens a
   /// checkpoint round. `mirror_batch_sink`, when provided, lets
   /// mirror_batch() deliver a whole send step in one call (custom mirror
-  /// functions still see events one at a time).
+  /// functions still see events one at a time). Hosting sites running a
+  /// per-destination transmit stage bind both sinks to a publish that fans
+  /// the batch into one outbox per destination — delivery to a destination
+  /// then completes asynchronously on that destination's tx worker, in
+  /// publish order.
   void bind(ShardedPipelineCore* core, EventSink mirror_sink,
             EventSink fwd_sink, std::function<void()> checkpoint_trigger,
             BatchEventSink mirror_batch_sink = nullptr);

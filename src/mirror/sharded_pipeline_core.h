@@ -118,7 +118,10 @@ class ShardedPipelineCore {
 
   /// Flush every segment and every shard coalescer (quiesce / end of
   /// stream). The returned events have been backed up and counted like
-  /// normal sends.
+  /// normal sends. A caller that hands send steps to a per-destination
+  /// transmit stage must publish this remainder too, then quiesce the
+  /// stage's outboxes — counting here says "consumed by the send task",
+  /// not "delivered to every destination".
   SendStep flush(Nanos now = 0);
 
   // --- Adaptation --------------------------------------------------------

@@ -74,6 +74,7 @@ SimCluster::SimCluster(SimConfig config)
       fault_rng_(config_.fault_seed),
       hb_rng_(config_.fault_seed ^ 0x5EED) {
   shard_free_at_.assign(std::max<std::size_t>(1, config_.rx_shards), 0);
+  tx_free_at_.assign(config_.num_mirrors, 0);
   for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
     mirrors_.push_back(
         std::make_unique<MirrorSite>(static_cast<SiteId>(i + 1), config_));
@@ -250,6 +251,10 @@ void SimCluster::schedule_send_step() {
     check_done_flush();
     return;
   }
+  if (config_.tx_parallel && !config_.ni_offload) {
+    schedule_tx_chains(std::move(*step));
+    return;
+  }
   Nanos work = 0;
   if (step->to_send.empty()) {
     // Coalescing buffered the event: extraction + combine-buffer copy.
@@ -282,6 +287,64 @@ void SimCluster::dispatch_send(
   for (const auto& ev : step.to_send) deliver_to_mirrors(ev);
   ++sends_completed_;
   check_done_flush();
+}
+
+void SimCluster::schedule_tx_chains(
+    mirror::ShardedPipelineCore::SendStep step) {
+  // Host half of the sending task: the drain's extraction / coalescing /
+  // backup accounting stays serialized on the central CPU chain — exactly
+  // the part the threaded runtime keeps under the drain lock.
+  Nanos host_work = 0;
+  if (step.to_send.empty()) {
+    host_work = config_.costs.coalesce_cost(step.offered_bytes);
+  } else {
+    for (const auto& out : step.to_send) {
+      host_work += config_.costs.mirror_fixed_cost(out.wire_size());
+    }
+  }
+  const Nanos host_done = central_->cpu.schedule_job(engine_.now(), host_work);
+  auto events = std::make_shared<std::vector<event::Event>>(
+      std::move(step.to_send));
+  // The step is "consumed" when the host half finishes (channel accounting
+  // once per wire event); per-destination delivery completes later on each
+  // destination's own chain.
+  engine_.schedule_at(host_done, [this, events] {
+    if (chan_msgs_ != nullptr) {
+      for (const auto& ev : *events) {
+        chan_msgs_->inc();
+        chan_bytes_->inc(ev.wire_size());
+      }
+    }
+    ++sends_completed_;
+    check_done_flush();
+  });
+  if (events->empty()) return;
+  Nanos dest_work = 0;
+  for (const auto& ev : *events) {
+    dest_work += config_.costs.send_cost(ev.wire_size());
+  }
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+    if (mirrors_[i]->dead) continue;
+    // One virtual-time chain per destination, the same pattern as the
+    // rx-shard chains: a destination's sends serialize among themselves
+    // (publish order == delivery order, per-flight FIFO preserved) while
+    // distinct destinations overlap each other and the host CPUs — the
+    // threaded runtime's tx workers pipeline the transmit half against the
+    // drain, so their cost is latency on the destination chain, not extra
+    // load on the host processors.
+    const Nanos start = std::max(host_done, tx_free_at_[i]);
+    const Nanos tx_done = start + dest_work;
+    tx_free_at_[i] = tx_done;
+    wire_events_mirrored_ += events->size();
+    outstanding_mirror_events_ += events->size();
+    engine_.schedule_at(tx_done, [this, i, events] {
+      for (const auto& ev : *events) {
+        const Nanos at =
+            mirrors_[i]->data_link.delivery_time(engine_.now(), ev.wire_size());
+        engine_.schedule_at(at, [this, i, ev] { mirror_recv(i, ev); });
+      }
+    });
+  }
 }
 
 void SimCluster::forward_to_main(const event::Event& ev) {
@@ -374,6 +437,11 @@ void SimCluster::check_done_flush() {
   flushed_ = true;
   auto step = central_->core.flush(engine_.now());
   if (step.to_send.empty()) return;
+  ++sends_scheduled_;
+  if (config_.tx_parallel && !config_.ni_offload) {
+    schedule_tx_chains(std::move(step));
+    return;
+  }
   Nanos work = 0;
   for (const auto& out : step.to_send) {
     const std::size_t bytes = out.wire_size();
@@ -381,7 +449,6 @@ void SimCluster::check_done_flush() {
     work += static_cast<Nanos>(mirrors_.size()) * config_.costs.send_cost(bytes);
   }
   const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
-  ++sends_scheduled_;
   engine_.schedule_at(done, [this, s = std::move(step)] { dispatch_send(s); });
 }
 

@@ -75,6 +75,14 @@ struct SimConfig {
   /// serialization and submission run on the NI, the host CPU only pays a
   /// small handoff per wire event.
   bool ni_offload = false;
+  /// Per-destination transmit stage (threaded counterpart: TxStage): the
+  /// host pays the drain/backup half of each send step, then every
+  /// destination's send_cost runs on its own virtual-time chain — chains
+  /// overlap up to cpus_per_node, and a slow destination's backlog no
+  /// longer serializes the others. Default false keeps the classic serial
+  /// sending-task charging (figures unchanged). ni_offload takes
+  /// precedence when both are set.
+  bool tx_parallel = false;
   /// Reliability extension (§1: "increased reliability gained from the
   /// availability of critical data on multiple cluster nodes ... not
   /// explored in detail herein"): one mirror browns out — its CPUs make no
@@ -168,6 +176,9 @@ class SimCluster {
   void do_recv(event::Event ev);
   void schedule_send_step();
   void dispatch_send(const mirror::ShardedPipelineCore::SendStep& step);
+  /// tx_parallel charging: host half on the central CPU chain, then one
+  /// virtual-time chain per destination (tx_free_at_).
+  void schedule_tx_chains(mirror::ShardedPipelineCore::SendStep step);
   void forward_to_main(const event::Event& ev);
   void deliver_to_mirrors(const event::Event& ev);
   void mirror_recv(std::size_t idx, event::Event ev);
@@ -227,6 +238,7 @@ class SimCluster {
 
   // Run bookkeeping.
   std::vector<Nanos> shard_free_at_;  ///< per-shard ingest chains (rx_shards > 1)
+  std::vector<Nanos> tx_free_at_;     ///< per-destination tx chains (tx_parallel)
   std::vector<event::Event> source_queue_;  // closed-loop mode
   std::size_t source_cursor_ = 0;
   std::uint64_t arrivals_total_ = 0;

@@ -1,0 +1,244 @@
+// Send-path regression + behavior tests for the per-destination transmit
+// stage (TxStage) and the two accounting bugs it shipped with:
+//  - shutdown drop: stop() used to let the send loop exit while receiving
+//    tasks were still granting credits, silently losing the tail of the
+//    mirror stream;
+//  - credit/send conflation: the old sends_done_ counter counted consumed
+//    credits as "sends", overstating wire traffic under coalescing.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/tx_stage.h"
+#include "workload/scenario.h"
+
+namespace admire::cluster {
+namespace {
+
+ClusterConfig small_config(std::size_t mirrors = 2) {
+  ClusterConfig config;
+  config.num_mirrors = mirrors;
+  config.params = rules::MirroringParams{.function = rules::simple_mirroring()};
+  return config;
+}
+
+workload::Trace small_trace(std::size_t events = 300,
+                            std::size_t padding = 128) {
+  workload::ScenarioConfig cfg;
+  cfg.faa_events = events;
+  cfg.num_flights = 10;
+  cfg.event_padding = padding;
+  return workload::make_ois_trace(cfg);
+}
+
+event::Event flight_event(FlightKey flight, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(0, seq, pos);
+}
+
+// Regression for the shutdown drop: an ingest-heavy run stopped WITHOUT
+// drain() must still mirror every event the rule engine enqueued. Before
+// the fix the send loop could observe !running_ and exit while the recv
+// threads were still granting credits, so the tail of the ready queue was
+// never published; stop() now joins the receivers first, lets the send
+// loop consume every outstanding credit, and flushes the tx outboxes into
+// the still-subscribed mirror inboxes (Cluster::stop is central-first).
+TEST(ClusterTxPath, StopWithoutDrainDeliversEveryEnqueuedEvent) {
+  Cluster cluster(small_config(2));
+  cluster.start();
+  const auto trace = small_trace(4000, 64);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.stop();  // no drain() — the whole point
+  auto& central = cluster.central();
+  const auto enqueued = central.core().counters().enqueued;
+  EXPECT_EQ(enqueued, trace.size());  // simple mirroring enqueues everything
+  // Every credit granted was consumed before the send loop exited...
+  EXPECT_EQ(central.credits_granted(), enqueued);
+  EXPECT_EQ(central.credits_consumed(), central.credits_granted());
+  // ...and every published event reached every mirror's subscription.
+  EXPECT_EQ(cluster.mirror(0).events_received(), enqueued);
+  EXPECT_EQ(cluster.mirror(1).events_received(), enqueued);
+}
+
+// Regression for the accounting drift: the counters are credit counters,
+// not send counters. Under coalescing (Fig. 9 function A combines up to 10
+// events) the send loop consumes a credit per ready event while emitting
+// far fewer wire events — the invariant is granted == consumed + pending,
+// and the honest wire count lives in core().counters().sent.
+TEST(ClusterTxPath, DrainCreditAccountingIsConsistentUnderCoalescing) {
+  auto config = small_config(1);
+  config.params.function = rules::fig9_function_a();
+  Cluster cluster(config);
+  cluster.start();
+  const auto trace = small_trace(600, 64);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(cluster.ingest(item.ev).is_ok());
+  }
+  cluster.drain();
+  auto& central = cluster.central();
+  EXPECT_EQ(central.pending_send_credits(), 0u);
+  EXPECT_EQ(central.credits_granted(),
+            central.credits_consumed() + central.pending_send_credits());
+  // The old sends_done_ lie: consumed credits overstate wire sends when
+  // coalescing combines events.
+  EXPECT_LT(central.core().counters().sent, central.credits_consumed());
+  EXPECT_GT(central.send_batches(), 0u);
+  cluster.stop();
+}
+
+// Central start() registers one outbox per mirror channel destination plus
+// the local fwd path; fail_mirror retires the dead destination (discarding
+// its queue) and join_new_mirror registers the replacement before the donor
+// snapshot is cut, so no event can fall in the gap.
+TEST(ClusterTxPath, FailMirrorDiscardsOutboxAndRejoinRecreates) {
+  Cluster cluster(small_config(2));
+  cluster.start();
+  auto& tx = cluster.central().tx();
+  EXPECT_TRUE(tx.has_destination("mirror1"));
+  EXPECT_TRUE(tx.has_destination("mirror2"));
+  EXPECT_TRUE(
+      tx.has_destination(ThreadedCentralSite::kLocalTxDestination));
+
+  const auto trace = small_trace(400);
+  const std::size_t half = trace.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(cluster.ingest(trace.items[i].ev).is_ok());
+  }
+  cluster.drain();
+
+  cluster.fail_mirror(0);
+  EXPECT_FALSE(tx.has_destination("mirror1"));
+  EXPECT_TRUE(tx.has_destination("mirror2"));
+
+  auto joined = cluster.join_new_mirror();
+  ASSERT_TRUE(joined.is_ok()) << joined.status().to_string();
+  const std::size_t new_idx = joined.value();
+  EXPECT_TRUE(tx.has_destination("mirror3"));  // site ids 1,2 -> next is 3
+
+  for (std::size_t i = half; i < trace.size(); ++i) {
+    ASSERT_TRUE(cluster.ingest(trace.items[i].ev).is_ok());
+  }
+  cluster.central().drain();
+  cluster.mirror(1).drain();
+  cluster.mirror(new_idx).drain();
+  // Simple mirroring through the recreated outbox: central, the survivor
+  // and the joiner all converge.
+  const auto fp_central = cluster.central().main_unit().state().fingerprint();
+  EXPECT_EQ(cluster.mirror(1).main_unit().state().fingerprint(), fp_central);
+  EXPECT_EQ(cluster.mirror(new_idx).main_unit().state().fingerprint(),
+            fp_central);
+  cluster.stop();
+}
+
+// --- TxStage unit behavior (suite named for the TSan CI regex) -----------
+
+// kDropOldest bounds a stalled destination's staleness: with the worker
+// wedged mid-sink, the outbox keeps only the newest cap's worth of events
+// (drops are counted, never silently lost) and the survivors keep publish
+// order — shedding never reorders.
+TEST(TxStageConcurrency, DropOldestBoundsBacklogAndPreservesOrder) {
+  TxStage stage(TxStageConfig{.queue_cap = 8, .policy = TxPolicy::kDropOldest});
+  std::mutex gate;  // held while publishing => "slow" is wedged mid-sink
+  std::vector<SeqNo> slow_seqs;
+  stage.add_destination("slow", [&](std::span<const event::Event> evs) {
+    std::lock_guard hold(gate);
+    for (const auto& ev : evs) slow_seqs.push_back(ev.seq());
+  });
+  constexpr std::size_t kBatches = 100;
+  {
+    std::unique_lock wedge(gate);
+    stage.start();
+    for (SeqNo s = 1; s <= kBatches; ++s) {
+      const auto ev = flight_event(7, s);
+      stage.publish(std::span<const event::Event>(&ev, 1));
+    }
+    // The publisher never blocked on the wedged worker: all batches were
+    // either queued (at most the cap) or shed immediately.
+    EXPECT_LE(stage.depth_of("slow"), 8u);
+  }
+  stage.stop();
+  // Conservation: every published event was sent or counted as dropped,
+  // and the backlog bound held (cap 8 queued + at most 1 batch in flight).
+  EXPECT_GT(stage.dropped_from("slow"), 0u);
+  EXPECT_EQ(stage.sent_to("slow") + stage.dropped_from("slow"), kBatches);
+  EXPECT_LE(slow_seqs.size(), 9u);
+  // Survivors are a subsequence of the publish order.
+  for (std::size_t i = 1; i < slow_seqs.size(); ++i) {
+    EXPECT_LT(slow_seqs[i - 1], slow_seqs[i]);
+  }
+}
+
+// kBlock backpressures the publisher instead of dropping: every event is
+// delivered, and the stall counter records that the publisher waited.
+TEST(TxStageConcurrency, BlockPolicyIsLosslessAndCountsStalls) {
+  TxStage stage(TxStageConfig{.queue_cap = 4, .policy = TxPolicy::kBlock});
+  std::atomic<std::uint64_t> delivered{0};
+  stage.add_destination("slow", [&](std::span<const event::Event> evs) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    delivered.fetch_add(evs.size());
+  });
+  stage.start();
+  constexpr std::size_t kBatches = 64;
+  std::vector<event::Event> batch{flight_event(1, 1), flight_event(1, 2)};
+  for (std::size_t i = 0; i < kBatches; ++i) stage.publish(batch);
+  stage.stop();
+  EXPECT_EQ(delivered.load(), kBatches * batch.size());
+  EXPECT_EQ(stage.sent_to("slow"), kBatches * batch.size());
+  EXPECT_EQ(stage.dropped_from("slow"), 0u);
+  EXPECT_GT(stage.total_stalls(), 0u);
+}
+
+// A batch larger than the cap must still be accepted once the outbox is
+// empty — otherwise a big coalesced SendStep would deadlock the publisher.
+TEST(TxStageConcurrency, OversizedBatchDoesNotDeadlockBlockPolicy) {
+  TxStage stage(TxStageConfig{.queue_cap = 2, .policy = TxPolicy::kBlock});
+  std::atomic<std::uint64_t> delivered{0};
+  stage.add_destination("d", [&](std::span<const event::Event> evs) {
+    delivered.fetch_add(evs.size());
+  });
+  stage.start();
+  std::vector<event::Event> big;
+  for (SeqNo s = 1; s <= 10; ++s) big.push_back(flight_event(1, s));
+  stage.publish(big);
+  stage.publish(big);
+  stage.stop();
+  EXPECT_EQ(delivered.load(), 20u);
+}
+
+// remove_destination discards (counted as dropped); re-adding the same name
+// resumes publishing; stop() flushes what is queued instead of dropping it.
+TEST(TxStageConcurrency, RemoveDiscardsAndReAddResumes) {
+  TxStage stage(TxStageConfig{});
+  std::atomic<std::uint64_t> delivered{0};
+  auto sink = [&](std::span<const event::Event> evs) {
+    delivered.fetch_add(evs.size());
+  };
+  stage.add_destination("m", sink);
+  // Not started: publishes queue up in the outbox.
+  std::vector<event::Event> batch{flight_event(1, 1)};
+  stage.publish(batch);
+  stage.publish(batch);
+  stage.remove_destination("m");
+  EXPECT_EQ(delivered.load(), 0u);
+  EXPECT_FALSE(stage.has_destination("m"));
+
+  stage.add_destination("m", sink);
+  stage.start();
+  stage.publish(batch);
+  stage.quiesce();
+  EXPECT_EQ(delivered.load(), 1u);
+  EXPECT_EQ(stage.sent_to("m"), 1u);
+  stage.stop();
+}
+
+}  // namespace
+}  // namespace admire::cluster

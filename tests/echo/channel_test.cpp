@@ -146,6 +146,77 @@ TEST(EventChannel, EmptyBatchIsANoop) {
   EXPECT_EQ(ch->submitted_count(), 0u);
 }
 
+TEST(EventChannel, NamedDestinationReceivesBroadcastAndTargetedBatches) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::size_t mirror1 = 0, mirror2 = 0;
+  auto s1 = ch->subscribe_batch_as(
+      "mirror1", [&](std::span<const event::Event> evs) { mirror1 += evs.size(); });
+  auto s2 = ch->subscribe_batch_as(
+      "mirror2", [&](std::span<const event::Event> evs) { mirror2 += evs.size(); });
+  std::vector<event::Event> batch(3, test_event());
+  ch->submit_batch(batch);  // broadcast reaches both names
+  EXPECT_EQ(mirror1, 3u);
+  EXPECT_EQ(mirror2, 3u);
+  EXPECT_EQ(ch->submit_batch_to("mirror2", batch), 1u);  // targeted: one only
+  EXPECT_EQ(mirror1, 3u);
+  EXPECT_EQ(mirror2, 6u);
+  EXPECT_EQ(ch->submit_batch_to("unknown", batch), 0u);
+  // Targeted delivery does NOT count: the caller accounts the logical
+  // submission once via note_batch and then fans out per destination.
+  EXPECT_EQ(ch->submitted_count(), 3u);
+}
+
+TEST(EventChannel, DuplicateDestinationNameYieldsInactiveSubscription) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  auto s1 = ch->subscribe_batch_as("mirror1",
+                                   [](std::span<const event::Event>) {});
+  auto dup = ch->subscribe_batch_as("mirror1",
+                                    [](std::span<const event::Event>) {});
+  EXPECT_TRUE(s1.active());
+  EXPECT_FALSE(dup.active());
+  EXPECT_EQ(ch->destinations(), (std::vector<std::string>{"mirror1"}));
+}
+
+TEST(EventChannel, DestinationsEnumerateAndUnsubscribeRemoves) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  auto s1 = ch->subscribe_batch_as("a", [](std::span<const event::Event>) {});
+  {
+    auto s2 = ch->subscribe_batch_as("b", [](std::span<const event::Event>) {});
+    EXPECT_EQ(ch->destinations(), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(ch->subscriber_count(), 2u);
+  }
+  EXPECT_EQ(ch->destinations(), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(ch->subscriber_count(), 1u);
+}
+
+TEST(EventChannel, NoteBatchCountsWithoutDelivering) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::size_t seen = 0;
+  auto sub = ch->subscribe_batch_as(
+      "m", [&](std::span<const event::Event> evs) { seen += evs.size(); });
+  std::vector<event::Event> batch(4, test_event());
+  ch->note_batch(batch);
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(ch->submitted_count(), 4u);
+}
+
+TEST(EventChannel, SubmitBatchUnnamedSkipsNamedDestinations) {
+  auto ch = EventChannel::create(1, "test", ChannelRole::kData);
+  std::size_t named = 0, anon_batch = 0;
+  int per_event = 0;
+  auto s1 = ch->subscribe_batch_as(
+      "m", [&](std::span<const event::Event> evs) { named += evs.size(); });
+  auto s2 = ch->subscribe_batch(
+      [&](std::span<const event::Event> evs) { anon_batch += evs.size(); });
+  auto s3 = ch->subscribe([&](const event::Event&) { ++per_event; });
+  std::vector<event::Event> batch(2, test_event());
+  ch->submit_batch_unnamed(batch);
+  EXPECT_EQ(named, 0u);
+  EXPECT_EQ(anon_batch, 2u);
+  EXPECT_EQ(per_event, 2);
+  EXPECT_EQ(ch->submitted_count(), 0u);  // unnamed delivery never counts
+}
+
 TEST(ChannelRegistry, CreateAndLookup) {
   ChannelRegistry reg;
   auto res = reg.create(10, "data", ChannelRole::kData);

@@ -1,0 +1,339 @@
+// Serving-plane characterization under a flash crowd — the paper's
+// motivating client scenario (an airport terminal farm rebooting at once
+// and re-fetching initial state), run twice:
+//
+//   * on the discrete-event simulator: a baseline trickle vs a square-wave
+//     flash crowd against the same event trace, reporting request latency
+//     p50/p99, shed rate, snapshot-cache hit ratio, and the perturbation
+//     of the central update delay while the crowd is being absorbed;
+//   * on the threaded runtime: a real epoll client population
+//     (workload::run_serve_driver) hammering the TCP front end of a live
+//     cluster::Cluster through the load balancer.
+//
+// With `--json FILE` also writes the numbers as a JSON object (CI
+// artifact: BENCH_serving.json).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fig_common.h"
+#include "sim/sim_cluster.h"
+#include "workload/serve_driver.h"
+
+namespace admire::bench {
+namespace {
+
+using sim::SimCluster;
+using sim::SimConfig;
+
+constexpr std::uint32_t kFlights = 64;
+
+serve::ServeConfig serve_config() {
+  serve::ServeConfig s;
+  s.max_in_flight = 64;
+  s.retry_after_ms = 20;
+  return s;
+}
+
+SimConfig base_config() {
+  SimConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  config.serving = serve_config();
+  config.serve_flight_space = kFlights;
+  config.serve_max_retries = 8;
+  return config;
+}
+
+/// Event side shared by every DES scenario: a paced trace so the update
+/// stream is live while the crowd hits (the §4.3 latency setup).
+harness::RunSpec paced_events_spec() {
+  harness::RunSpec spec;
+  spec.faa_events = 600;
+  spec.num_flights = kFlights;
+  spec.event_padding = 256;
+  spec.event_horizon = kSecond;
+  spec.requests_while_events = false;
+  spec.request_window = kSecond;
+  return spec;
+}
+
+struct ServeNumbers {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;     ///< RETRY_AFTER answers (per attempt)
+  std::uint64_t dropped = 0;  ///< clients that exhausted retries
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_ratio = 0;
+  double update_p99_ms = 0;  ///< central EDE update delay
+};
+
+ServeNumbers run_scenario(SimConfig config, const harness::RunSpec& spec) {
+  const auto trace = harness::make_trace(spec);
+  const auto requests = harness::make_requests(spec);
+  ServeNumbers out;
+  out.offered = requests.size();
+  SimCluster cluster(std::move(config));
+  const auto r = cluster.run(trace, requests);
+  out.served = r.requests_served;
+  out.shed = r.requests_shed;
+  out.dropped = r.requests_dropped;
+  out.hit_ratio = r.serve_cache_hit_ratio;
+  if (r.request_latency != nullptr && r.request_latency->count() > 0) {
+    out.p50_ms = r.request_latency->percentile(0.50) / 1e6;
+    out.p99_ms = r.request_latency->percentile(0.99) / 1e6;
+  }
+  if (r.update_delays != nullptr && r.update_delays->count() > 0) {
+    out.update_p99_ms = r.update_delays->percentile(0.99) / 1e6;
+  }
+  return out;
+}
+
+/// Baseline: a trickle of display reconnects, far below capacity.
+ServeNumbers run_baseline() {
+  auto spec = paced_events_spec();
+  spec.request_rate = 400;
+  return run_scenario(base_config(), spec);
+}
+
+/// Flash crowd: square-wave reconnect storm while updates still flow.
+ServeNumbers run_flash_crowd() {
+  auto spec = paced_events_spec();
+  spec.bursty = true;
+  spec.burst_rate = 30'000;
+  spec.burst_period = 400 * kMilli;
+  spec.burst_duty = 0.5;
+  return run_scenario(base_config(), spec);
+}
+
+/// Quiet crowd: the same storm against a table that stops churning early
+/// (batch-fed events) — isolates what the snapshot cache can absorb when
+/// invalidations are not racing every lookup.
+ServeNumbers run_quiet_crowd() {
+  auto spec = paced_events_spec();
+  spec.event_horizon = 0;  // batch feed: events done long before the crowd
+  spec.bursty = true;
+  spec.burst_rate = 30'000;
+  spec.burst_period = 400 * kMilli;
+  spec.burst_duty = 0.5;
+  return run_scenario(base_config(), spec);
+}
+
+struct ThreadedNumbers {
+  workload::ServeDriverReport report;
+  double hit_ratio = 0;
+  double accepted_connections = 0;
+  double front_protocol_errors = 0;
+};
+
+/// Threaded runtime: live cluster, TCP front door, epoll client crowd.
+ThreadedNumbers run_threaded_crowd() {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  config.serve = serve_config();
+  config.serve.max_in_flight = 256;
+  config.serve.retry_after_ms = 5;
+  config.serve_front_end = true;
+  cluster::Cluster cluster(config);
+  cluster.start();
+
+  auto spec = paced_events_spec();
+  spec.faa_events = 300;
+  for (const auto& item : harness::make_trace(spec).items) {
+    if (!cluster.ingest(item.ev).is_ok()) break;
+  }
+  cluster.drain();
+
+  workload::ServeDriverConfig driver;
+  driver.port = cluster.serve_port();
+  driver.threads = 4;
+  driver.connections = 400;
+  driver.requests_per_connection = 5;
+  driver.flight_space = kFlights;
+
+  ThreadedNumbers out;
+  out.report = workload::run_serve_driver(driver);
+
+  const auto snap = cluster.obs().snapshot();
+  double hits = 0;
+  double misses = 0;
+  for (const char* site : {"central", "mirror1", "mirror2"}) {
+    hits += static_cast<double>(
+        snap.counter_or(std::string("serve.") + site + ".cache.hits_total"));
+    misses += static_cast<double>(
+        snap.counter_or(std::string("serve.") + site + ".cache.misses_total"));
+  }
+  out.hit_ratio = hits + misses == 0 ? 0 : hits / (hits + misses);
+  out.accepted_connections = static_cast<double>(
+      snap.counter_or("serve.front.connections_accepted_total"));
+  out.front_protocol_errors = static_cast<double>(
+      snap.counter_or("serve.front.protocol_errors_total"));
+  cluster.stop();
+  return out;
+}
+
+}  // namespace
+}  // namespace admire::bench
+
+int main(int argc, char** argv) {
+  using namespace admire;
+  using namespace admire::bench;
+
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  FigureReport report("fig_serving",
+                      "Serving plane under a flash crowd (DES + threaded)",
+                      "scenario", "value");
+
+  // --- DES: baseline trickle vs flash crowd ------------------------------
+  const ServeNumbers baseline = run_baseline();
+  const ServeNumbers crowd = run_flash_crowd();
+  const ServeNumbers quiet = run_quiet_crowd();
+
+  auto& p50_series = report.add_series("request latency p50 (ms)");
+  auto& p99_series = report.add_series("request latency p99 (ms)");
+  auto& shed_series = report.add_series("shed rate");
+  auto& hit_series = report.add_series("cache hit ratio");
+  const std::vector<std::pair<const char*, const ServeNumbers*>> scenarios = {
+      {"baseline", &baseline}, {"flash crowd", &crowd}, {"quiet crowd", &quiet}};
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& n = *scenarios[i].second;
+    const double x = static_cast<double>(i);
+    const double answered = static_cast<double>(n.served + n.shed);
+    p50_series.points.push_back({x, n.p50_ms});
+    p99_series.points.push_back({x, n.p99_ms});
+    shed_series.points.push_back(
+        {x, answered == 0 ? 0 : static_cast<double>(n.shed) / answered});
+    hit_series.points.push_back({x, n.hit_ratio});
+  }
+
+  report.check("baseline crowd is absorbed without shedding",
+               baseline.shed == 0 && baseline.dropped == 0 &&
+                   baseline.served == baseline.offered,
+               fmt("%.0f/%.0f served, 0 shed",
+                   static_cast<double>(baseline.served),
+                   static_cast<double>(baseline.offered)));
+  report.check("flash crowd engages the admission gate",
+               crowd.shed > 0,
+               fmt("%.0f RETRY_AFTER answers",
+                   static_cast<double>(crowd.shed)));
+  report.check("every flash-crowd client is answered or gives up cleanly",
+               crowd.served + crowd.dropped == crowd.offered,
+               fmt("%.0f served + %.0f dropped = %.0f offered",
+                   static_cast<double>(crowd.served),
+                   static_cast<double>(crowd.dropped),
+                   static_cast<double>(crowd.offered)));
+  report.check("snapshot cache absorbs crowd redundancy (hit ratio > 0)",
+               crowd.hit_ratio > 0.0,
+               fmt("hit ratio %.3f under churn", crowd.hit_ratio));
+  report.check("quiet table pushes the hit ratio high",
+               quiet.hit_ratio > 0.5,
+               fmt("hit ratio %.3f without event churn", quiet.hit_ratio));
+
+  // Update-delay perturbation: the crowd competes with the update stream
+  // for the same site CPUs; admission keeps the damage bounded instead of
+  // letting the serving queue starve the EDE.
+  auto& update_series = report.add_series("central update delay p99 (ms)");
+  update_series.points.push_back({0.0, baseline.update_p99_ms});
+  update_series.points.push_back({1.0, crowd.update_p99_ms});
+  const double perturb =
+      baseline.update_p99_ms == 0
+          ? 0
+          : crowd.update_p99_ms / baseline.update_p99_ms;
+  report.check(
+      "central update-delay perturbation stays bounded under the crowd",
+      baseline.update_p99_ms > 0 && perturb < 25.0,
+      fmt("p99 %.2fms vs %.2fms baseline (x%.1f, bound x25)",
+          crowd.update_p99_ms, baseline.update_p99_ms, perturb));
+
+  // --- Threaded runtime: epoll crowd against the TCP front door ----------
+  const ThreadedNumbers threaded = run_threaded_crowd();
+  const auto& d = threaded.report;
+  const double t_p50 = d.latency_ns.percentile(0.50) / 1e6;
+  const double t_p99 = d.latency_ns.percentile(0.99) / 1e6;
+  auto& t_series = report.add_series("threaded TCP latency (ms)");
+  t_series.points.push_back({0.0, t_p50});
+  t_series.points.push_back({1.0, t_p99});
+
+  report.check("threaded crowd: every connection served over TCP",
+               d.connect_failures == 0 && d.io_errors == 0 &&
+                   d.protocol_errors == 0 &&
+                   d.requests_ok == d.requests_attempted() &&
+                   d.requests_ok > 0,
+               fmt("%.0f requests OK over %.0f connections",
+                   static_cast<double>(d.requests_ok),
+                   static_cast<double>(d.connections_opened)));
+  report.check("threaded crowd: responses carry real state",
+               d.payload_bytes > 0 && d.max_version > 0,
+               fmt("%.1f KB of records, newest version %.0f",
+                   static_cast<double>(d.payload_bytes) / 1024.0,
+                   static_cast<double>(d.max_version)));
+  report.check("threaded crowd: snapshot cache engaged",
+               threaded.hit_ratio > 0.0,
+               fmt("hit ratio %.3f across sites", threaded.hit_ratio));
+  report.check("front end accepted the whole crowd cleanly",
+               threaded.accepted_connections >=
+                       static_cast<double>(d.connections_opened) &&
+                   threaded.front_protocol_errors == 0,
+               fmt("%.0f connections accepted, %.0f protocol errors",
+                   threaded.accepted_connections,
+                   threaded.front_protocol_errors));
+
+  const int failed = report.finish();
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    auto emit_scenario = [f](const char* name, const ServeNumbers& n,
+                             const char* trail) {
+      const double answered = static_cast<double>(n.served + n.shed);
+      std::fprintf(
+          f,
+          "  \"%s\": {\"offered\": %llu, \"served\": %llu, \"shed\": %llu, "
+          "\"dropped\": %llu, \"shed_rate\": %.4f, \"latency_p50_ms\": %.3f, "
+          "\"latency_p99_ms\": %.3f, \"cache_hit_ratio\": %.4f, "
+          "\"update_delay_p99_ms\": %.3f}%s\n",
+          name, static_cast<unsigned long long>(n.offered),
+          static_cast<unsigned long long>(n.served),
+          static_cast<unsigned long long>(n.shed),
+          static_cast<unsigned long long>(n.dropped),
+          answered == 0 ? 0 : static_cast<double>(n.shed) / answered,
+          n.p50_ms, n.p99_ms, n.hit_ratio, n.update_p99_ms, trail);
+    };
+    std::fprintf(f, "{\n");
+    emit_scenario("des_baseline", baseline, ",");
+    emit_scenario("des_flash_crowd", crowd, ",");
+    emit_scenario("des_quiet_crowd", quiet, ",");
+    std::fprintf(
+        f,
+        "  \"des_update_delay_perturbation\": %.3f,\n"
+        "  \"threaded\": {\"connections\": %llu, \"requests_ok\": %llu, "
+        "\"responses_shed\": %llu, \"requests_given_up\": %llu, "
+        "\"shed_rate\": %.4f, \"latency_p50_ms\": %.3f, "
+        "\"latency_p99_ms\": %.3f, \"cache_hit_ratio\": %.4f, "
+        "\"payload_bytes\": %llu, \"max_version\": %llu},\n"
+        "  \"checks_failed\": %d\n"
+        "}\n",
+        perturb, static_cast<unsigned long long>(d.connections_opened),
+        static_cast<unsigned long long>(d.requests_ok),
+        static_cast<unsigned long long>(d.responses_shed),
+        static_cast<unsigned long long>(d.requests_given_up), d.shed_rate(),
+        t_p50, t_p99, threaded.hit_ratio,
+        static_cast<unsigned long long>(d.payload_bytes),
+        static_cast<unsigned long long>(d.max_version), failed);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return failed;
+}

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# Docs-consistency gate: the documentation names real things.
+#
+#   1. Every metric name documented in OBSERVABILITY.md must be
+#      registered somewhere in src/ (names are assembled from prefix +
+#      suffix at registration sites, so each literal piece between
+#      <placeholders> is checked independently).
+#   2. Every metric-name family registered in src/ must appear in
+#      OBSERVABILITY.md (as a literal or through a <placeholder> form).
+#   3. Every BENCH_*.json artifact named in the docs must be produced by
+#      CI, and every artifact CI produces must be documented.
+#   4. The PROTOCOL.md §8 constants table must match the values in
+#      src/serve/protocol.h and src/serve/query.h.
+#
+# Usage: scripts/check_docs.sh   (exits nonzero on any dangling reference)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import glob, re, sys
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+obs = read("OBSERVABILITY.md")
+src = ""
+for path in sorted(glob.glob("src/**/*.h", recursive=True) +
+                   glob.glob("src/**/*.cpp", recursive=True)):
+    src += read(path)
+
+# --- 1. documented metric names exist in src -----------------------------
+doc_names = set()
+for m in re.finditer(r"`([a-z][a-z0-9_.<>]*)`", obs):
+    name = m.group(1)
+    if "." in name and not name.endswith((".h", ".cpp", ".md", ".sh",
+                                          ".json", ".jsonl")):
+        doc_names.add(name)
+for name in sorted(doc_names):
+    # Placeholders (<site>, <chan>, <dest>, <name>, <k>, <target>, ...)
+    # stand for runtime labels; each literal piece around them must
+    # appear in a registration site. Registration assembles names with
+    # string concatenation, so a piece may appear as "prefix" + ... +
+    # ".suffix" — check dotted sub-segments individually as a fallback.
+    pieces = [p.strip(".") for p in re.split(r"<[^>]+>", name) if p.strip(".")]
+    for piece in pieces:
+        if piece in src:
+            continue
+        segments = [s for s in piece.split(".") if s]
+        if all(seg in src for seg in segments):
+            continue
+        fail(f"OBSERVABILITY.md names `{name}` but `{piece}` "
+             "is not registered anywhere in src/")
+
+# --- 2. registered metric families are documented ------------------------
+# Full literal names ("fd.dead_total") register in one string; assembled
+# names contribute their suffix pieces, which step 1 already ties back.
+for m in re.finditer(r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"', src):
+    name = m.group(1)
+    if name in obs:
+        continue
+    # A documented <placeholder> form covers it when the family prefix
+    # and the final suffix both appear in the doc (the middle segments
+    # are runtime labels the doc writes as <site>/<chan>/<dest>/...).
+    segments = name.split(".")
+    if segments[0] in obs and segments[-1] in obs:
+        continue
+    fail(f"src/ registers metric `{name}` but OBSERVABILITY.md "
+         "does not document it")
+
+# --- 3. bench artifacts: docs vs CI -------------------------------------
+doc_text = "".join(read(p) for p in sorted(glob.glob("*.md")))
+ci = read(".github/workflows/ci.yml")
+bench_src = "".join(read(p) for p in sorted(glob.glob("bench/*")))
+doc_artifacts = set(re.findall(r"BENCH_[A-Za-z0-9_]+\.json", doc_text))
+ci_artifacts = set(re.findall(r"BENCH_[A-Za-z0-9_]+\.json", ci))
+for art in sorted(doc_artifacts - ci_artifacts):
+    fail(f"docs name artifact {art} but CI never produces it")
+for art in sorted(ci_artifacts - doc_artifacts):
+    fail(f"CI produces artifact {art} but no doc mentions it")
+# Every artifact needs a bench that can emit JSON at all.
+if doc_artifacts and "--json" not in bench_src:
+    fail("docs name BENCH_*.json artifacts but no bench takes --json")
+
+# --- 4. PROTOCOL.md §8 constants match the serve headers ----------------
+proto_doc = read("PROTOCOL.md")
+headers = read("src/serve/protocol.h") + read("src/serve/query.h")
+
+
+def header_value(pattern, what):
+    m = re.search(pattern, headers)
+    if not m:
+        fail(f"cannot find {what} in serve headers (check_docs.sh "
+             "pattern needs updating)")
+        return None
+    return m.group(1)
+
+
+def doc_value(row_key):
+    m = re.search(r"\|\s*" + re.escape(row_key) + r"\s*\|\s*(\d+)\s*\|",
+                  proto_doc)
+    if not m:
+        fail(f"PROTOCOL.md §8 constants table has no row for {row_key}")
+        return None
+    return m.group(1)
+
+
+expected = {
+    "`SERVE_PROTOCOL_VERSION`":
+        header_value(r"kServeProtocolVersion\s*=\s*(\d+)",
+                     "kServeProtocolVersion"),
+    "`FRAME_REQUEST`":
+        header_value(r"kFrameRequest\s*=\s*(\d+)", "kFrameRequest"),
+    "`FRAME_RESPONSE`":
+        header_value(r"kFrameResponse\s*=\s*(\d+)", "kFrameResponse"),
+    "`NUM_QUERY_SHAPES`":
+        header_value(r"kNumQueryShapes\s*=\s*(\d+)", "kNumQueryShapes"),
+    "`NUM_AIRPORTS`":
+        header_value(r"kNumAirports\s*=\s*(\d+)", "kNumAirports"),
+    "`NUM_AIRLINES`":
+        header_value(r"kNumAirlines\s*=\s*(\d+)", "kNumAirlines"),
+    "`NUM_REGIONS`":
+        header_value(r"kNumRegions\s*=\s*(\d+)", "kNumRegions"),
+    "shape `FLIGHT`": header_value(r"kFlight\s*=\s*(\d+)", "kFlight"),
+    "shape `AIRPORT`": header_value(r"kAirport\s*=\s*(\d+)", "kAirport"),
+    "shape `AIRLINE`": header_value(r"kAirline\s*=\s*(\d+)", "kAirline"),
+    "shape `REGION`": header_value(r"kRegion\s*=\s*(\d+)", "kRegion"),
+    "shape `FULL_STATE`":
+        header_value(r"kFullState\s*=\s*(\d+)", "kFullState"),
+    "code `OK`": header_value(r"kOk\s*=\s*(\d+)", "kOk"),
+    "code `RETRY_AFTER`":
+        header_value(r"kRetryAfter\s*=\s*(\d+)", "kRetryAfter"),
+    "code `BAD_REQUEST`":
+        header_value(r"kBadRequest\s*=\s*(\d+)", "kBadRequest"),
+    "code `SHUTTING_DOWN`":
+        header_value(r"kShuttingDown\s*=\s*(\d+)", "kShuttingDown"),
+}
+m = re.search(r"kMaxFrameBytes\s*=\s*(\d+)u\s*\*\s*(\d+)\s*\*\s*(\d+)",
+              headers)
+if m:
+    a, b, c = (int(x) for x in m.groups())
+    expected["`MAX_FRAME_BYTES`"] = str(a * b * c)
+else:
+    fail("cannot parse kMaxFrameBytes from src/serve/protocol.h")
+for row_key, want in expected.items():
+    if want is None:
+        continue
+    got = doc_value(row_key)
+    if got is not None and got != want:
+        fail(f"PROTOCOL.md §8 says {row_key} = {got}, headers say {want}")
+
+if failures:
+    for msg in failures:
+        print(f"check_docs: {msg}", file=sys.stderr)
+    print(f"check_docs: {len(failures)} inconsistencies", file=sys.stderr)
+    sys.exit(1)
+print("check_docs: docs and source agree")
+EOF

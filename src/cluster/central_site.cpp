@@ -20,6 +20,7 @@ ThreadedCentralSite::ThreadedCentralSite(
       core_(config_.params, config_.num_streams,
             mirror::ShardedPipelineCore::resolve_shards(config_.rx_shards)),
       main_(kCentralSite),
+      serving_(&main_.state(), config_.serve, clock_),
       coordinator_(kCentralSite, /*expected_replies=*/1 + num_mirrors),
       control_inbox_(1024),
       tx_(TxStageConfig{config_.tx_queue_cap, config_.tx_policy, config_.obs}),
@@ -35,6 +36,7 @@ ThreadedCentralSite::ThreadedCentralSite(
   }
   if (config_.obs != nullptr) {
     core_.instrument(*config_.obs, "central");
+    serving_.instrument(*config_.obs, "central");
     coordinator_.instrument(*config_.obs, "checkpoint.coordinator");
     request_service_ns_ =
         &config_.obs->histogram("cluster.central.request_service_ns",
@@ -103,6 +105,7 @@ ThreadedCentralSite::ThreadedCentralSite(
           tracer->record(tkey, obs::Stage::kForward, clock_->now());
         }
         const auto outputs = main_.process(ev);
+        serving_.on_state_update(ev.header().key);  // cache freshness
         if (traced) tracer->record(tkey, obs::Stage::kApply, clock_->now());
         ede_processed_.fetch_add(1, std::memory_order_relaxed);
         if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
@@ -140,6 +143,7 @@ void ThreadedCentralSite::start() {
 }
 
 void ThreadedCentralSite::stop() {
+  serving_.begin_shutdown();
   if (!running_.exchange(false)) return;
   // Shutdown ordering is the bugfix here: the send task used to watch
   // running_ and could exit while recv threads were still draining closed

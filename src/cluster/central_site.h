@@ -26,6 +26,7 @@
 #include "mirror/pipeline_core.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "serve/request_handler.h"
 
 namespace admire::cluster {
 
@@ -56,6 +57,9 @@ struct CentralSiteConfig {
   /// and the policy applied when a destination hits it. See TxStage.
   std::size_t tx_queue_cap = 0;
   TxPolicy tx_policy = TxPolicy::kBlock;
+  /// Serving-plane knobs (admission gate + snapshot cache); see SERVING.md.
+  /// The central site serves requests too — it is the primary mirror.
+  serve::ServeConfig serve;
 };
 
 class ThreadedCentralSite {
@@ -126,6 +130,10 @@ class ThreadedCentralSite {
                                           Nanos burn = 0);
   std::uint64_t pending_requests() const { return pending_requests_.load(); }
 
+  /// Serving plane over the central EDE state; cache invalidation rides the
+  /// forward sink, so answers are never staler than the central table.
+  serve::RequestHandler& serving() { return serving_; }
+
  private:
   void recv_loop(std::size_t inbox_idx);
   void send_loop();
@@ -151,6 +159,7 @@ class ThreadedCentralSite {
 
   mirror::ShardedPipelineCore core_;
   mirror::MainUnitCore main_;
+  serve::RequestHandler serving_;
   checkpoint::Coordinator coordinator_;
   mirror::MirroringApi api_;
   std::optional<adapt::AdaptationController> controller_;

@@ -26,6 +26,7 @@ Cluster::Cluster(ClusterConfig config)
   central_config.trace_sample_every = config_.trace_sample_every;
   central_config.tx_queue_cap = config_.tx_queue_cap;
   central_config.tx_policy = config_.tx_policy;
+  central_config.serve = config_.serve;
   central_ = std::make_unique<ThreadedCentralSite>(
       central_config, registry_, clock_, config_.num_mirrors);
 
@@ -34,6 +35,7 @@ Cluster::Cluster(ClusterConfig config)
     mc.site = next_site_id_++;
     mc.burn_per_event = config_.burn_per_event;
     mc.burn_per_request = config_.burn_per_request;
+    mc.serve = config_.serve;
     mc.obs = config_.obs.get();
     mirrors_.push_back(
         std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_));
@@ -60,7 +62,10 @@ Cluster::Cluster(ClusterConfig config)
         [this](std::uint64_t id, ServiceCallback cb) {
           return central_requests_->submit(id, std::move(cb));
         },
-        [this] { return central_requests_->pending(); }});
+        [this] { return central_requests_->pending(); },
+        [this](const serve::Request& req) {
+          return central_->serving().handle(req).response;
+        }});
   }
   for (std::size_t i = 0; i < mirrors_.size(); ++i) {
     auto* site = mirrors_[i].get();
@@ -69,7 +74,10 @@ Cluster::Cluster(ClusterConfig config)
         [site](std::uint64_t id, ServiceCallback cb) {
           return site->submit_request(id, std::move(cb));
         },
-        [site] { return site->pending_requests(); }});
+        [site] { return site->pending_requests(); },
+        [site](const serve::Request& req) {
+          return site->serving().handle(req).response;
+        }});
   }
   failed_.assign(mirrors_.size(), false);
 
@@ -91,6 +99,14 @@ void Cluster::start() {
   }
   if (central_requests_) central_requests_->start();
   if (control_plane_) control_plane_->start();
+  if (config_.serve_front_end && !front_end_) {
+    serve::FrontEndConfig fc;
+    fc.port = config_.serve_port;
+    auto fe = serve::FrontEnd::start(
+        fc, [this](const serve::Request& req) { return serve(req); },
+        config_.obs.get(), "front");
+    if (fe) front_end_ = std::move(fe).value();
+  }
   if (!config_.obs_export_path.empty()) {
     obs::ExporterOptions opts;
     opts.path = config_.obs_export_path;
@@ -103,7 +119,9 @@ void Cluster::start() {
 
 void Cluster::stop() {
   if (!started_.exchange(false)) return;
-  // The control plane goes first: its monitor thread drives fail/rejoin and
+  // The front door goes first so no client request races site teardown.
+  if (front_end_) front_end_->stop();
+  // The control plane next: its monitor thread drives fail/rejoin and
   // must be quiescent before membership is torn down underneath it.
   if (control_plane_) control_plane_->stop();
   if (exporter_) exporter_->stop();  // writes a final snapshot
@@ -158,6 +176,18 @@ void Cluster::checkpoint_and_wait(std::chrono::milliseconds timeout) {
 Status Cluster::submit_request(std::uint64_t request_id,
                                ServiceCallback callback) {
   return lb_.route(request_id, std::move(callback));
+}
+
+serve::Response Cluster::serve(const serve::Request& req) {
+  auto routed = lb_.serve(req);
+  if (routed) return std::move(routed).value();
+  // No routable site (failover window, shutdown race): tell the client to
+  // back off and retry, the same contract as an admission shed.
+  serve::Response resp;
+  resp.id = req.id;
+  resp.code = serve::ResponseCode::kRetryAfter;
+  resp.retry_after_ms = config_.serve.retry_after_ms;
+  return resp;
 }
 
 Result<std::vector<event::Event>> Cluster::request_snapshot(
@@ -226,6 +256,7 @@ Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
   mc.site = next_site_id_++;
   mc.burn_per_event = config_.burn_per_event;
   mc.burn_per_request = config_.burn_per_request;
+  mc.serve = config_.serve;
   mc.obs = config_.obs.get();
   // Subscribe FIRST so no event falls between the donor snapshot and the
   // live stream; the inbox buffers until start(). The tx destination must
@@ -252,7 +283,10 @@ Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
       [raw](std::uint64_t id, ServiceCallback cb) {
         return raw->submit_request(id, std::move(cb));
       },
-      [raw] { return raw->pending_requests(); }});
+      [raw] { return raw->pending_requests(); },
+      [raw](const serve::Request& req) {
+        return raw->serving().handle(req).response;
+      }});
   mirrors_.push_back(std::move(site));
   failed_.push_back(false);
   return mirrors_.size() - 1;

@@ -17,6 +17,7 @@
 #include "obs/exporter.h"
 #include "obs/registry.h"
 #include "oplog/oplog.h"
+#include "serve/front_end.h"
 
 namespace admire::cluster {
 
@@ -59,6 +60,15 @@ struct ClusterConfig {
   /// When set, the self-healing control plane runs: per-mirror heartbeat
   /// links, failure detection, automatic fail/rejoin (see control_plane.h).
   std::optional<ControlPlaneConfig> control_plane;
+  /// Serving-plane knobs applied to every site (admission gate + snapshot
+  /// cache); see SERVING.md.
+  serve::ServeConfig serve;
+  /// Start a TCP front door for the serving plane at start(): an epoll
+  /// front end on 127.0.0.1:serve_port (0 = pick a free port, see
+  /// serve_port()) routing framed requests across the sites via the load
+  /// balancer.
+  bool serve_front_end = false;
+  std::uint16_t serve_port = 0;
 };
 
 class Cluster {
@@ -91,6 +101,18 @@ class Cluster {
   Result<std::vector<event::Event>> request_snapshot(
       std::uint64_t request_id,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Serving plane: answer one initial-state request on whichever site the
+  /// load balancer picks (health-aware). Unroutable clusters answer
+  /// RETRY_AFTER so clients back off and retry, exactly as if shed.
+  serve::Response serve(const serve::Request& req);
+
+  /// TCP front door (null unless serve_front_end was configured).
+  serve::FrontEnd* front_end() { return front_end_.get(); }
+  /// Listening port of the front door; 0 when it is not running.
+  std::uint16_t serve_port() const {
+    return front_end_ ? front_end_->port() : 0;
+  }
 
   /// Durable update log (nullptr unless configured via oplog_path).
   oplog::LogWriter* update_log() { return oplog_.get(); }
@@ -141,6 +163,7 @@ class Cluster {
   std::vector<bool> failed_;
   std::unique_ptr<ControlPlane> control_plane_;
   std::unique_ptr<RequestService> central_requests_;
+  std::unique_ptr<serve::FrontEnd> front_end_;
   std::unique_ptr<obs::SnapshotExporter> exporter_;
   std::unique_ptr<oplog::LogWriter> oplog_;
   echo::Subscription oplog_sub_;

@@ -91,6 +91,33 @@ Status LoadBalancer::route(std::uint64_t request_id,
   return submit(request_id, std::move(callback));
 }
 
+Result<serve::Response> LoadBalancer::serve(const serve::Request& req) {
+  std::function<serve::Response(const serve::Request&)> handler;
+  {
+    std::lock_guard lock(mu_);
+    if (targets_.empty()) {
+      return err(StatusCode::kNotFound, "no request targets registered");
+    }
+    const std::size_t idx = pick_locked();
+    if (idx >= targets_.size()) {
+      if (obs_ != nullptr) obs_->counter("cluster.lb.unroutable_total").inc();
+      return err(StatusCode::kUnavailable, "no routable request target");
+    }
+    if (!targets_[idx].serve) {
+      return err(StatusCode::kUnavailable,
+                 "target '" + targets_[idx].name + "' has no serving plane");
+    }
+    if (routed_.size() < targets_.size()) routed_.resize(targets_.size(), 0);
+    ++routed_[idx];
+    if (obs_ != nullptr) {
+      obs_->counter("cluster.lb.picks." + targets_[idx].name).inc();
+    }
+    handler = targets_[idx].serve;
+  }
+  // Handle outside the lock — the handler may do a full table scan.
+  return handler(req);
+}
+
 void LoadBalancer::instrument(obs::Registry& registry) {
   std::lock_guard lock(mu_);
   obs_ = &registry;

@@ -17,6 +17,7 @@
 #include "cluster/request_service.h"
 #include "common/status.h"
 #include "obs/registry.h"
+#include "serve/protocol.h"
 
 namespace admire::cluster {
 
@@ -37,6 +38,10 @@ class LoadBalancer {
     std::string name;
     std::function<Status(std::uint64_t, ServiceCallback)> submit;
     std::function<std::uint64_t()> pending;
+    /// Serving-plane entry point (a site's RequestHandler). Optional:
+    /// targets without one are answered kUnavailable when serve() picks
+    /// them (legacy snapshot-only targets).
+    std::function<serve::Response(const serve::Request&)> serve;
     TargetHealth health = TargetHealth::kHealthy;
   };
 
@@ -54,6 +59,11 @@ class LoadBalancer {
   /// Route one request; returns the chosen target index via out-param
   /// semantics in the status message on failure.
   Status route(std::uint64_t request_id, ServiceCallback callback);
+
+  /// Route one serving-plane request with the same policy and health
+  /// fallback as route(). kUnavailable when no routable target exists or
+  /// the picked target has no serve entry point.
+  Result<serve::Response> serve(const serve::Request& req);
 
   /// Requests routed per target (distribution fairness checks).
   std::vector<std::uint64_t> routed_counts() const;

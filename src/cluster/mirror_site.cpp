@@ -15,6 +15,7 @@ ThreadedMirrorSite::ThreadedMirrorSite(
       clock_(std::move(clock)),
       aux_(config.site),
       main_(config.site),
+      serving_(&main_.state(), config.serve, clock_),
       installed_spec_(rules::simple_mirroring()),
       inbox_(config.inbox_capacity),
       request_queue_(config.request_capacity),
@@ -22,6 +23,7 @@ ThreadedMirrorSite::ThreadedMirrorSite(
   const std::string label = "mirror" + std::to_string(config.site);
   if (config_.obs != nullptr) {
     aux_.instrument(*config_.obs, label);
+    serving_.instrument(*config_.obs, label);
     request_service_ns_ =
         &config_.obs->histogram("cluster." + label + ".request_service_ns",
                                 obs::Histogram::latency_bounds());
@@ -66,6 +68,7 @@ void ThreadedMirrorSite::start() {
 }
 
 void ThreadedMirrorSite::stop() {
+  serving_.begin_shutdown();
   {
     std::lock_guard lock(hb_mu_);
     hb_stop_ = true;
@@ -116,6 +119,7 @@ Status ThreadedMirrorSite::seed_from(const recovery::RecoveryPackage& package) {
   }
   auto status = recovery::install_package(package, main_);
   if (!status.is_ok()) return status;
+  serving_.on_state_replaced();  // the whole table changed under the cache
   rejoin_filter_ = std::make_unique<recovery::RejoinFilter>(package.as_of);
   return Status::ok();
 }
@@ -130,6 +134,10 @@ void ThreadedMirrorSite::event_loop() {
     while (auto next = aux_.next_for_main(clock_->now())) {
       if (config_.burn_per_event > 0) burn_for(config_.burn_per_event);
       const auto outputs = main_.process(*next);
+      // The fold above may have changed this flight's row; drop every
+      // cached serving answer that could include it BEFORE the event is
+      // accounted as processed, so a post-drain() query is always fresh.
+      serving_.on_state_update(next->header().key);
       last_applied_.store(next->header().ingress_time,
                           std::memory_order_relaxed);
       for (const auto& out : outputs) updates_channel_->submit(out);

@@ -20,6 +20,7 @@
 #include "fd/heartbeat.h"
 #include "obs/registry.h"
 #include "recovery/recovery.h"
+#include "serve/request_handler.h"
 #include "transport/link.h"
 
 namespace admire::cluster {
@@ -30,6 +31,8 @@ struct MirrorSiteConfig {
   std::size_t request_capacity = 8192;
   Nanos burn_per_event = 0;    ///< artificial EDE cost (real-time emulation)
   Nanos burn_per_request = 0;  ///< artificial snapshot-service cost
+  /// Serving-plane knobs (admission gate + snapshot cache); see SERVING.md.
+  serve::ServeConfig serve;
   /// Metrics registry to instrument into (null = no instrumentation).
   /// Must outlive the site.
   obs::Registry* obs = nullptr;
@@ -88,6 +91,10 @@ class ThreadedMirrorSite {
   SiteId site() const { return config_.site; }
   mirror::MirrorAuxCore& aux() { return aux_; }
   mirror::MainUnitCore& main_unit() { return main_; }
+  /// Serving plane over this site's replicated state. Its snapshot cache is
+  /// invalidated by the event loop after every fold, so answers are never
+  /// staler than the local status table.
+  serve::RequestHandler& serving() { return serving_; }
   metrics::LatencyRecorder& request_latency() { return request_latency_; }
 
   std::uint64_t pending_requests() const { return pending_requests_.load(); }
@@ -115,6 +122,7 @@ class ThreadedMirrorSite {
 
   mirror::MirrorAuxCore aux_;
   mirror::MainUnitCore main_;
+  serve::RequestHandler serving_;
   adapt::DirectiveApplier applier_;
   mutable std::mutex spec_mu_;
   rules::MirrorFunctionSpec installed_spec_;

@@ -46,6 +46,9 @@ class SampleStats {
   void reset() { samples_.clear(); sorted_ = false; }
 
   std::size_t count() const { return samples_.size(); }
+  /// Raw sample access (merging per-thread recorders without losing the
+  /// exact percentiles).
+  double sample(std::size_t i) const { return samples_.at(i); }
   double mean() const;
   /// q in [0,1]; nearest-rank percentile. Returns 0 when empty.
   double percentile(double q) const;

@@ -21,27 +21,26 @@ std::uint64_t OperationalState::version() const {
   return version_;
 }
 
-namespace {
-void encode_record(const FlightRecord& r, serialize::Writer& w) {
-  w.u32(r.flight);
-  w.u8(r.has_position ? 1 : 0);
-  if (r.has_position) {
-    w.f64(r.position.lat_deg);
-    w.f64(r.position.lon_deg);
-    w.f64(r.position.altitude_ft);
-    w.f64(r.position.ground_speed_kts);
-    w.f64(r.position.heading_deg);
+void encode_flight_record(const FlightRecord& rec, serialize::Writer& w) {
+  w.u32(rec.flight);
+  w.u8(rec.has_position ? 1 : 0);
+  if (rec.has_position) {
+    w.f64(rec.position.lat_deg);
+    w.f64(rec.position.lon_deg);
+    w.f64(rec.position.altitude_ft);
+    w.f64(rec.position.ground_speed_kts);
+    w.f64(rec.position.heading_deg);
   }
-  w.u8(static_cast<std::uint8_t>(r.status));
-  w.u16(r.gate);
-  w.u32(r.passengers_boarded);
-  w.u32(r.passengers_ticketed);
-  w.u32(r.bags_loaded);
-  w.u64(r.updates_applied);
-  w.bytes(r.app_body);
+  w.u8(static_cast<std::uint8_t>(rec.status));
+  w.u16(rec.gate);
+  w.u32(rec.passengers_boarded);
+  w.u32(rec.passengers_ticketed);
+  w.u32(rec.bags_loaded);
+  w.u64(rec.updates_applied);
+  w.bytes(rec.app_body);
 }
 
-bool decode_record(serialize::Reader& r, FlightRecord& rec) {
+bool decode_flight_record(serialize::Reader& r, FlightRecord& rec) {
   rec.flight = r.u32();
   rec.position.flight = rec.flight;
   rec.has_position = r.u8() != 0;
@@ -60,6 +59,15 @@ bool decode_record(serialize::Reader& r, FlightRecord& rec) {
   rec.updates_applied = r.u64();
   rec.app_body = r.bytes();
   return r.ok();
+}
+
+namespace {
+void encode_record(const FlightRecord& r, serialize::Writer& w) {
+  encode_flight_record(r, w);
+}
+
+bool decode_record(serialize::Reader& r, FlightRecord& rec) {
+  return decode_flight_record(r, rec);
 }
 }  // namespace
 
@@ -115,6 +123,16 @@ Status OperationalState::deserialize(ByteSpan data) {
   flights_ = std::move(rebuilt);
   ++version_;
   return Status::ok();
+}
+
+OperationalState::VersionedFlights OperationalState::all_flights_versioned()
+    const {
+  std::lock_guard lock(mu_);
+  VersionedFlights out;
+  out.version = version_;
+  out.records.reserve(flights_.size());
+  for (const auto& [key, rec] : flights_) out.records.push_back(rec);
+  return out;
 }
 
 std::vector<FlightRecord> OperationalState::all_flights() const {

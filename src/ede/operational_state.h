@@ -15,6 +15,11 @@
 #include "common/status.h"
 #include "event/event.h"
 
+namespace admire::serialize {
+class Writer;
+class Reader;
+}  // namespace admire::serialize
+
 namespace admire::ede {
 
 struct FlightRecord {
@@ -35,6 +40,12 @@ struct FlightRecord {
 
   bool operator==(const FlightRecord&) const = default;
 };
+
+/// Wire codec for one flight record (the §6 per-flight layout in
+/// PROTOCOL.md). Shared by the full-state snapshot serializer and the
+/// serving plane's query responses, so the two cannot drift.
+void encode_flight_record(const FlightRecord& rec, serialize::Writer& w);
+bool decode_flight_record(serialize::Reader& r, FlightRecord& rec);
 
 class OperationalState {
  public:
@@ -67,6 +78,15 @@ class OperationalState {
   Status deserialize(ByteSpan data);
 
   std::vector<FlightRecord> all_flights() const;
+
+  /// Atomic capture of every record plus the version they reflect — the
+  /// serving plane stamps query responses with this version so a client
+  /// can tell exactly which status-table state it was answered from.
+  struct VersionedFlights {
+    std::vector<FlightRecord> records;
+    std::uint64_t version = 0;
+  };
+  VersionedFlights all_flights_versioned() const;
 
   void clear();
 

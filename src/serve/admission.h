@@ -1,0 +1,89 @@
+// Admission control for the serving plane: a bounded in-flight budget with
+// shed-and-retry-after semantics. The paper's flash-crowd story (an
+// airport terminal farm rebooting at once) only works if a mirror degrades
+// by *bounded queueing*, not collapse — excess requests are answered
+// immediately with RETRY_AFTER and a hint, so clients back off instead of
+// piling onto a queue whose latency has already blown past their timeout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/registry.h"
+
+namespace admire::serve {
+
+class AdmissionGate {
+ public:
+  AdmissionGate(std::size_t max_in_flight, std::uint32_t retry_after_ms)
+      : max_in_flight_(max_in_flight == 0 ? SIZE_MAX : max_in_flight),
+        retry_after_ms_(retry_after_ms) {}
+
+  /// Try to admit one request. On success the caller owes a release().
+  bool try_acquire() {
+    std::size_t cur = in_flight_.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur >= max_in_flight_) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        if (shed_counter_ != nullptr) shed_counter_->inc();
+        return false;
+      }
+      if (in_flight_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (accepted_counter_ != nullptr) accepted_counter_->inc();
+        return true;
+      }
+    }
+  }
+
+  void release() { in_flight_.fetch_sub(1, std::memory_order_release); }
+
+  /// RAII admission ticket; falsy when the request was shed.
+  class Ticket {
+   public:
+    explicit Ticket(AdmissionGate& gate)
+        : gate_(&gate), admitted_(gate.try_acquire()) {}
+    ~Ticket() {
+      if (admitted_) gate_->release();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    explicit operator bool() const { return admitted_; }
+
+   private:
+    AdmissionGate* gate_;
+    bool admitted_;
+  };
+
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return max_in_flight_; }
+  std::uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+  /// Register serve.<label>.{accepted_total, shed_total, in_flight}.
+  void instrument(obs::Registry& registry, const std::string& label) {
+    accepted_counter_ = &registry.counter("serve." + label + ".accepted_total");
+    shed_counter_ = &registry.counter("serve." + label + ".shed_total");
+    probes_.add(registry, "serve." + label + ".in_flight",
+                [this] { return static_cast<double>(in_flight()); });
+  }
+
+ private:
+  const std::size_t max_in_flight_;
+  const std::uint32_t retry_after_ms_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::ProbeGroup probes_;
+};
+
+}  // namespace admire::serve

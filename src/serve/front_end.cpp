@@ -1,0 +1,316 @@
+#include "serve/front_end.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace admire::serve {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<FrontEnd>> FrontEnd::start(const FrontEndConfig& config,
+                                                  Router router,
+                                                  obs::Registry* registry,
+                                                  const std::string& label) {
+  if (!router) {
+    return Status(StatusCode::kInvalidArgument, "front end needs a router");
+  }
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config.port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd);
+    return Status(StatusCode::kInternal,
+                  std::string("bind: ") + std::strerror(err));
+  }
+  if (::listen(listen_fd, config.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    return Status(StatusCode::kInternal,
+                  std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd);
+    return Status(StatusCode::kInternal,
+                  std::string("getsockname: ") + std::strerror(err));
+  }
+  if (!set_nonblocking(listen_fd)) {
+    ::close(listen_fd);
+    return Status(StatusCode::kInternal, "cannot set listener nonblocking");
+  }
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    ::close(listen_fd);
+    return Status(StatusCode::kInternal,
+                  std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    ::close(epoll_fd);
+    ::close(listen_fd);
+    return Status(StatusCode::kInternal,
+                  std::string("eventfd: ") + std::strerror(errno));
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev);
+
+  auto fe = std::unique_ptr<FrontEnd>(
+      new FrontEnd(listen_fd, epoll_fd, wake_fd, ntohs(addr.sin_port),
+                   std::move(router)));
+  if (registry != nullptr) fe->instrument(*registry, label);
+  fe->loop_ = std::thread([raw = fe.get()] { raw->run(); });
+  return fe;
+}
+
+FrontEnd::FrontEnd(int listen_fd, int epoll_fd, int wake_fd,
+                   std::uint16_t port, Router router)
+    : listen_fd_(listen_fd),
+      epoll_fd_(epoll_fd),
+      wake_fd_(wake_fd),
+      port_(port),
+      router_(std::move(router)) {}
+
+FrontEnd::~FrontEnd() {
+  stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  ::close(listen_fd_);
+}
+
+void FrontEnd::stop() {
+  if (stopping_.exchange(true)) {
+    if (loop_.joinable()) loop_.join();
+    return;
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (loop_.joinable()) loop_.join();
+}
+
+void FrontEnd::instrument(obs::Registry& registry, const std::string& label) {
+  accepted_counter_ =
+      &registry.counter("serve." + label + ".connections_accepted_total");
+  protocol_errors_counter_ =
+      &registry.counter("serve." + label + ".protocol_errors_total");
+  bytes_in_counter_ = &registry.counter("serve." + label + ".bytes_in_total");
+  bytes_out_counter_ = &registry.counter("serve." + label + ".bytes_out_total");
+  probes_.add(registry, "serve." + label + ".connections", [this] {
+    return static_cast<double>(connections());
+  });
+}
+
+void FrontEnd::run() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        conn_readable(fd, it->second);
+        it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        conn_writable(fd, it->second);
+      }
+    }
+  }
+  // Drain: close every connection on the loop thread, where conns_ lives.
+  // Connections still parked in the listen backlog were never accepted, so
+  // closing our fds would leave those clients blocked until the destructor
+  // closes the listening socket — accept and close them here instead.
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) break;
+    ::close(fd);
+  }
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  connections_gauge_.store(0, std::memory_order_relaxed);
+}
+
+void FrontEnd::accept_ready() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      if (errno == EMFILE || errno == ENFILE) return;  // fd pressure: retry
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
+    connections_gauge_.fetch_add(1, std::memory_order_relaxed);
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+    if (accepted_counter_ != nullptr) accepted_counter_->inc();
+  }
+}
+
+void FrontEnd::conn_readable(int fd, Conn& conn) {
+  std::byte chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      close_conn(fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    if (bytes_in_counter_ != nullptr) {
+      bytes_in_counter_->inc(static_cast<std::uint64_t>(n));
+    }
+    conn.reader.feed(ByteSpan(chunk, static_cast<std::size_t>(n)));
+    while (auto body = conn.reader.next()) {
+      auto req = decode_request(*body);
+      Response resp;
+      if (req) {
+        resp = router_(req.value());
+        resp.id = req.value().id;
+      } else {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (protocol_errors_counter_ != nullptr) protocol_errors_counter_->inc();
+        resp.code = ResponseCode::kBadRequest;
+      }
+      if (!send_frame(fd, conn, frame_response(resp))) return;
+    }
+    if (conn.reader.poisoned()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (protocol_errors_counter_ != nullptr) protocol_errors_counter_->inc();
+      close_conn(fd);
+      return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) break;  // drained
+  }
+}
+
+void FrontEnd::conn_writable(int fd, Conn& conn) {
+  if (!flush(fd, conn)) return;
+  update_events(fd, conn);
+}
+
+bool FrontEnd::send_frame(int fd, Conn& conn, const Bytes& frame) {
+  if (conn.out_off > 0 && conn.out_off * 2 >= conn.out.size()) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  if (!flush(fd, conn)) return false;
+  update_events(fd, conn);
+  return true;
+}
+
+bool FrontEnd::flush(int fd, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return false;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+    if (bytes_out_counter_ != nullptr) {
+      bytes_out_counter_->inc(static_cast<std::uint64_t>(n));
+    }
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  return true;
+}
+
+void FrontEnd::update_events(int fd, Conn& conn) {
+  const bool want = conn.out_off < conn.out.size();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void FrontEnd::close_conn(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  if (conns_.erase(fd) > 0) {
+    connections_gauge_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace admire::serve

@@ -1,0 +1,108 @@
+// Async TCP front end for a mirror's serving plane: one epoll loop thread
+// multiplexing every client connection. The paper's client population —
+// tens of thousands of terminal displays reconnecting after a power event —
+// rules out thread-per-connection; the front end keeps per-connection state
+// to a FrameReader plus a pending-write buffer and lets the kernel batch
+// readiness.
+//
+// The front end owns only transport concerns. Every decoded request is
+// handed to the injected router (typically RequestHandler::handle via
+// cluster::LoadBalancer), which runs inline on the loop thread — handlers
+// are designed to be non-blocking (cache hit or a bounded table scan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "obs/registry.h"
+#include "serve/protocol.h"
+
+namespace admire::serve {
+
+struct FrontEndConfig {
+  /// 127.0.0.1 listen port; 0 picks a free port (see FrontEnd::port()).
+  std::uint16_t port = 0;
+  /// listen(2) backlog — sized for flash-crowd accept bursts.
+  int backlog = 1024;
+};
+
+class FrontEnd {
+ public:
+  /// Routes one decoded request to an answer. Runs on the loop thread.
+  using Router = std::function<Response(const Request&)>;
+
+  /// Bind, listen, and start the loop thread. `label` names the
+  /// serve.<label>.* metric set (registry may be null).
+  static Result<std::unique_ptr<FrontEnd>> start(
+      const FrontEndConfig& config, Router router,
+      obs::Registry* registry = nullptr, const std::string& label = "front");
+
+  ~FrontEnd();
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  /// Stop accepting, close every connection, join the loop thread.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  std::size_t connections() const {
+    return connections_gauge_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accepted_connections() const {
+    return accepted_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-connection transport state.
+  struct Conn {
+    FrameReader reader;
+    Bytes out;                 ///< unsent response bytes
+    std::size_t out_off = 0;   ///< sent prefix of `out`
+    bool want_write = false;   ///< EPOLLOUT currently armed
+  };
+
+  FrontEnd(int listen_fd, int epoll_fd, int wake_fd, std::uint16_t port,
+           Router router);
+  void instrument(obs::Registry& registry, const std::string& label);
+  void run();
+  void accept_ready();
+  void conn_readable(int fd, Conn& conn);
+  void conn_writable(int fd, Conn& conn);
+  /// Queue `frame` on `conn`, flushing as much as the socket takes.
+  /// Returns false when the connection died mid-write.
+  bool send_frame(int fd, Conn& conn, const Bytes& frame);
+  bool flush(int fd, Conn& conn);
+  void update_events(int fd, Conn& conn);
+  void close_conn(int fd);
+
+  const int listen_fd_;
+  const int epoll_fd_;
+  const int wake_fd_;  ///< eventfd poking the loop out of epoll_wait
+  const std::uint16_t port_;
+  const Router router_;
+  std::thread loop_;
+  std::atomic<bool> stopping_{false};
+  std::unordered_map<int, Conn> conns_;  // loop thread only
+
+  std::atomic<std::size_t> connections_gauge_{0};
+  std::atomic<std::uint64_t> accepted_total_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* protocol_errors_counter_ = nullptr;
+  obs::Counter* bytes_in_counter_ = nullptr;
+  obs::Counter* bytes_out_counter_ = nullptr;
+  obs::ProbeGroup probes_;
+};
+
+}  // namespace admire::serve

@@ -1,0 +1,155 @@
+#include "serve/protocol.h"
+
+#include "serialize/wire.h"
+
+namespace admire::serve {
+
+Bytes encode_record_set(const std::vector<ede::FlightRecord>& records) {
+  serialize::Writer w(records.size() * 80 + 8);
+  w.varint(records.size());
+  for (const auto& rec : records) ede::encode_flight_record(rec, w);
+  return w.take();
+}
+
+Result<std::vector<ede::FlightRecord>> decode_record_set(ByteSpan payload) {
+  serialize::Reader r(payload);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > 10'000'000) {
+    return err(StatusCode::kCorrupt, "bad record-set header");
+  }
+  std::vector<ede::FlightRecord> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ede::FlightRecord rec;
+    if (!ede::decode_flight_record(r, rec)) {
+      return err(StatusCode::kCorrupt, "bad flight record");
+    }
+    out.push_back(std::move(rec));
+  }
+  if (r.remaining() != 0) {
+    return err(StatusCode::kCorrupt, "trailing bytes after record set");
+  }
+  return out;
+}
+
+namespace {
+
+/// Writes the length prefix once the body size is known.
+Bytes finish_frame(serialize::Writer&& body) {
+  Bytes inner = body.take();
+  serialize::Writer framed(inner.size() + 4);
+  framed.u32(static_cast<std::uint32_t>(inner.size()));
+  framed.raw(ByteSpan(inner.data(), inner.size()));
+  return framed.take();
+}
+
+}  // namespace
+
+Bytes frame_request(const Request& req) {
+  serialize::Writer w(32);
+  w.u8(kServeProtocolVersion);
+  w.u8(kFrameRequest);
+  w.u64(req.id);
+  w.u8(static_cast<std::uint8_t>(req.shape));
+  w.u32(req.key);
+  return finish_frame(std::move(w));
+}
+
+Bytes frame_response(const Response& resp) {
+  const ByteSpan state =
+      resp.state ? ByteSpan(resp.state->data(), resp.state->size())
+                 : ByteSpan{};
+  serialize::Writer w(state.size() + 40);
+  w.u8(kServeProtocolVersion);
+  w.u8(kFrameResponse);
+  w.u64(resp.id);
+  w.u8(static_cast<std::uint8_t>(resp.code));
+  w.u32(resp.retry_after_ms);
+  w.u64(resp.version);
+  w.bytes(state);
+  return finish_frame(std::move(w));
+}
+
+Result<Request> decode_request(ByteSpan body) {
+  serialize::Reader r(body);
+  const std::uint8_t version = r.u8();
+  const std::uint8_t kind = r.u8();
+  if (!r.ok() || version != kServeProtocolVersion) {
+    return err(StatusCode::kCorrupt, "serve protocol version mismatch");
+  }
+  if (kind != kFrameRequest) {
+    return err(StatusCode::kCorrupt, "not a request frame");
+  }
+  Request req;
+  req.id = r.u64();
+  const std::uint8_t shape = r.u8();
+  req.key = r.u32();
+  if (!r.ok() || r.remaining() != 0 || shape >= kNumQueryShapes) {
+    return err(StatusCode::kCorrupt, "malformed request body");
+  }
+  req.shape = static_cast<QueryShape>(shape);
+  return req;
+}
+
+Result<Response> decode_response(ByteSpan body) {
+  serialize::Reader r(body);
+  const std::uint8_t version = r.u8();
+  const std::uint8_t kind = r.u8();
+  if (!r.ok() || version != kServeProtocolVersion) {
+    return err(StatusCode::kCorrupt, "serve protocol version mismatch");
+  }
+  if (kind != kFrameResponse) {
+    return err(StatusCode::kCorrupt, "not a response frame");
+  }
+  Response resp;
+  resp.id = r.u64();
+  const std::uint8_t code = r.u8();
+  resp.retry_after_ms = r.u32();
+  resp.version = r.u64();
+  Bytes state = r.bytes();
+  if (!r.ok() || r.remaining() != 0 ||
+      code > static_cast<std::uint8_t>(ResponseCode::kShuttingDown)) {
+    return err(StatusCode::kCorrupt, "malformed response body");
+  }
+  resp.code = static_cast<ResponseCode>(code);
+  resp.state = std::make_shared<const Bytes>(std::move(state));
+  return resp;
+}
+
+void FrameReader::feed(ByteSpan data) {
+  if (poisoned_) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Bytes> FrameReader::next() {
+  if (poisoned_) return std::nullopt;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {  // little-endian length prefix
+    len |= static_cast<std::uint32_t>(buf_[consumed_ + i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes || len < 2) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  const std::uint8_t version =
+      static_cast<std::uint8_t>(buf_[consumed_ + 4]);
+  if (version != kServeProtocolVersion) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  Bytes body(buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
+             buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4 + len));
+  consumed_ += 4 + len;
+  return body;
+}
+
+}  // namespace admire::serve

@@ -1,0 +1,113 @@
+// Wire protocol of the request-serving plane (PROTOCOL.md §8). Clients —
+// rebooting terminal displays — open a TCP connection to a mirror's front
+// end and exchange framed request/response messages. The framing is
+// deliberately simpler than the inter-site transport frame (§2): client
+// links are untrusted but cheap to re-establish, so a malformed frame just
+// drops the connection; there is no checksum, the kernel's TCP one is
+// enough for the loopback/LAN paths this serves.
+//
+// Every constant here is mirrored by the PROTOCOL.md §8 constants table;
+// scripts/check_docs.sh fails CI when the two drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "ede/operational_state.h"
+#include "serve/query.h"
+
+namespace admire::serve {
+
+/// Protocol version byte carried in every frame. Bump on incompatible
+/// layout changes; servers answer mismatches with RESP_BAD_REQUEST.
+inline constexpr std::uint8_t kServeProtocolVersion = 1;
+
+/// Frame kinds.
+inline constexpr std::uint8_t kFrameRequest = 1;
+inline constexpr std::uint8_t kFrameResponse = 2;
+
+/// Hard cap on one frame's length field — a response carrying a full
+/// status table of 10k flights with 1 KB app bodies still fits.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+/// Response status codes.
+enum class ResponseCode : std::uint8_t {
+  kOk = 0,           ///< payload carries the requested records
+  kRetryAfter = 1,   ///< shed by admission control; honor retry_after_ms
+  kBadRequest = 2,   ///< malformed body, unknown shape, version mismatch
+  kShuttingDown = 3, ///< server is stopping; reconnect elsewhere
+};
+
+constexpr const char* response_code_name(ResponseCode c) {
+  switch (c) {
+    case ResponseCode::kOk: return "OK";
+    case ResponseCode::kRetryAfter: return "RETRY_AFTER";
+    case ResponseCode::kBadRequest: return "BAD_REQUEST";
+    case ResponseCode::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+/// One initial-state request.
+struct Request {
+  std::uint64_t id = 0;  ///< echoed verbatim in the response
+  QueryShape shape = QueryShape::kFullState;
+  std::uint32_t key = 0;  ///< flight/airport/airline/region id; 0 for full
+
+  bool operator==(const Request&) const = default;
+};
+
+/// One response. `state` is the encoded record list (varint count, then
+/// per-flight records in the PROTOCOL.md §6 layout); it is kept encoded so
+/// the snapshot cache can hand the same buffer to every hit without
+/// re-serializing.
+struct Response {
+  std::uint64_t id = 0;
+  ResponseCode code = ResponseCode::kOk;
+  std::uint32_t retry_after_ms = 0;  ///< only meaningful for kRetryAfter
+  std::uint64_t version = 0;  ///< status-table version the payload reflects
+  std::shared_ptr<const Bytes> state;  ///< null/empty = no records
+
+  bool ok() const { return code == ResponseCode::kOk; }
+};
+
+/// Encode `records` (already filtered to a query's result set) into the
+/// response payload layout.
+Bytes encode_record_set(const std::vector<ede::FlightRecord>& records);
+
+/// Decode a response payload; kCorrupt on malformed input.
+Result<std::vector<ede::FlightRecord>> decode_record_set(ByteSpan payload);
+
+/// Frame a request/response for the wire (length-prefixed, version byte).
+Bytes frame_request(const Request& req);
+Bytes frame_response(const Response& resp);
+
+/// Decode one frame *body* (the bytes after the u32 length prefix).
+Result<Request> decode_request(ByteSpan body);
+Result<Response> decode_response(ByteSpan body);
+
+/// Incremental frame assembler for the epoll paths: feed arbitrary chunks,
+/// pop complete frame bodies. A length over kMaxFrameBytes or a version
+/// mismatch poisons the stream (the connection should be dropped).
+class FrameReader {
+ public:
+  /// Append received bytes.
+  void feed(ByteSpan data);
+
+  /// Next complete frame body (starting at the version byte), or nullopt
+  /// when more bytes are needed. Returns nullopt permanently once poisoned.
+  std::optional<Bytes> next();
+
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  Bytes buf_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace admire::serve

@@ -1,0 +1,25 @@
+#include "serve/query.h"
+
+namespace admire::serve {
+
+QueryKey pick_query(const QueryMix& mix, double shape_draw,
+                    FlightKey flight_draw) {
+  const double total =
+      mix.flight + mix.airport + mix.airline + mix.region + mix.full_state;
+  double x = shape_draw * (total > 0.0 ? total : 1.0);
+  if ((x -= mix.flight) < 0.0) {
+    return {QueryShape::kFlight, flight_draw};
+  }
+  if ((x -= mix.airport) < 0.0) {
+    return {QueryShape::kAirport, airport_of(flight_draw)};
+  }
+  if ((x -= mix.airline) < 0.0) {
+    return {QueryShape::kAirline, airline_of(flight_draw)};
+  }
+  if ((x -= mix.region) < 0.0) {
+    return {QueryShape::kRegion, region_of(flight_draw)};
+  }
+  return {QueryShape::kFullState, 0};
+}
+
+}  // namespace admire::serve

@@ -1,0 +1,99 @@
+// Query vocabulary of the request-serving plane. Initial-state requests
+// select by flight, airport, airline or region (the display groups an
+// airport terminal farm reboots by) or ask for the full state. The OIS
+// workload identifies flights by a bare FlightKey, so the grouping
+// attributes are *derived* deterministically from the key — every site and
+// every client computes the same airport/airline/region for a flight
+// without configuration (documented in SERVING.md §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace admire::serve {
+
+/// What an initial-state request selects on. Wire values are part of the
+/// serving protocol (PROTOCOL.md §8) — append only, never renumber.
+enum class QueryShape : std::uint8_t {
+  kFlight = 0,    ///< one flight by key
+  kAirport = 1,   ///< all flights at one airport
+  kAirline = 2,   ///< all flights of one airline
+  kRegion = 3,    ///< all flights in one region
+  kFullState = 4, ///< the entire status table (key ignored)
+};
+
+inline constexpr std::uint8_t kNumQueryShapes = 5;
+
+constexpr const char* query_shape_name(QueryShape s) {
+  switch (s) {
+    case QueryShape::kFlight: return "FLIGHT";
+    case QueryShape::kAirport: return "AIRPORT";
+    case QueryShape::kAirline: return "AIRLINE";
+    case QueryShape::kRegion: return "REGION";
+    case QueryShape::kFullState: return "FULL_STATE";
+  }
+  return "UNKNOWN";
+}
+
+// Grouping-attribute cardinalities. Fixed protocol constants (PROTOCOL.md
+// §8): clients derive query keys with the same arithmetic as servers.
+inline constexpr std::uint32_t kNumAirports = 16;
+inline constexpr std::uint32_t kNumAirlines = 8;
+inline constexpr std::uint32_t kNumRegions = 4;
+
+constexpr std::uint32_t airport_of(FlightKey flight) {
+  return flight % kNumAirports;
+}
+constexpr std::uint32_t airline_of(FlightKey flight) {
+  return (flight / kNumAirports) % kNumAirlines;
+}
+constexpr std::uint32_t region_of(FlightKey flight) {
+  return airport_of(flight) % kNumRegions;
+}
+
+/// Does `flight` fall into the result set of (shape, key)?
+constexpr bool query_matches(QueryShape shape, std::uint32_t key,
+                             FlightKey flight) {
+  switch (shape) {
+    case QueryShape::kFlight: return flight == key;
+    case QueryShape::kAirport: return airport_of(flight) == key;
+    case QueryShape::kAirline: return airline_of(flight) == key;
+    case QueryShape::kRegion: return region_of(flight) == key;
+    case QueryShape::kFullState: return true;
+  }
+  return false;
+}
+
+/// Cache key: one snapshot-cache entry per distinct (shape, key).
+struct QueryKey {
+  QueryShape shape = QueryShape::kFullState;
+  std::uint32_t key = 0;
+
+  bool operator==(const QueryKey&) const = default;
+};
+
+struct QueryKeyHash {
+  std::size_t operator()(const QueryKey& k) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.shape) << 32) | k.key);
+  }
+};
+
+/// Mix of query shapes a client population issues (fractions; the driver
+/// and the DES model normalize over the sum, so they need not add to 1).
+struct QueryMix {
+  double flight = 0.50;
+  double airport = 0.20;
+  double airline = 0.15;
+  double region = 0.10;
+  double full_state = 0.05;
+};
+
+/// Deterministically map a uniform draw in [0,1) plus a flight-key draw to
+/// a concrete query, shared by the threaded driver and the DES model.
+QueryKey pick_query(const QueryMix& mix, double shape_draw,
+                    FlightKey flight_draw);
+
+}  // namespace admire::serve

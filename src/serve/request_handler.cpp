@@ -1,0 +1,95 @@
+#include "serve/request_handler.h"
+
+namespace admire::serve {
+
+RequestHandler::RequestHandler(const ede::OperationalState* state,
+                               ServeConfig config,
+                               std::shared_ptr<Clock> clock)
+    : state_(state),
+      config_(config),
+      clock_(std::move(clock)),
+      gate_(config.max_in_flight, config.retry_after_ms),
+      cache_(config.cache_max_entries) {}
+
+HandleOutcome RequestHandler::handle(const Request& req) {
+  AdmissionGate::Ticket ticket(gate_);
+  if (!ticket) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (requests_counter_ != nullptr) requests_counter_->inc();
+    HandleOutcome out;
+    out.response.id = req.id;
+    out.shed = true;
+    out.response.code = ResponseCode::kRetryAfter;
+    out.response.retry_after_ms = gate_.retry_after_ms();
+    return out;
+  }
+  return handle_admitted(req);
+}
+
+HandleOutcome RequestHandler::handle_admitted(const Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (requests_counter_ != nullptr) requests_counter_->inc();
+  const Nanos start = clock_ ? clock_->now() : 0;
+
+  HandleOutcome out;
+  out.response.id = req.id;
+
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    out.response.code = ResponseCode::kShuttingDown;
+    return out;
+  }
+
+  const QueryKey key{req.shape, req.key};
+  if (config_.cache_enabled) {
+    if (auto cached = cache_.lookup(key)) {
+      out.cache_hit = true;
+      out.response.code = ResponseCode::kOk;
+      out.response.version = cached->version;
+      out.response.state = cached->payload;
+      out.payload_bytes = cached->payload ? cached->payload->size() : 0;
+      if (clock_ && request_ns_ != nullptr) {
+        request_ns_->observe(static_cast<double>(clock_->now() - start));
+      }
+      return out;
+    }
+  }
+
+  // Build: capture the invalidation generation BEFORE reading the table,
+  // so an update racing this build discards the insert (freshness
+  // contract, see snapshot_cache.h).
+  const SnapshotCache::BuildToken token = cache_.begin_build(key);
+  auto versioned = state_->all_flights_versioned();
+  std::vector<ede::FlightRecord> matching;
+  for (auto& rec : versioned.records) {
+    if (query_matches(req.shape, req.key, rec.flight)) {
+      matching.push_back(std::move(rec));
+    }
+  }
+  auto payload = std::make_shared<const Bytes>(encode_record_set(matching));
+
+  out.response.code = ResponseCode::kOk;
+  out.response.version = versioned.version;
+  out.response.state = payload;
+  out.payload_bytes = payload->size();
+
+  if (config_.cache_enabled) {
+    cache_.insert(token,
+                  CachedSnapshot{payload, versioned.version,
+                                 static_cast<std::uint32_t>(matching.size())});
+  }
+  if (clock_ && request_ns_ != nullptr) {
+    request_ns_->observe(static_cast<double>(clock_->now() - start));
+  }
+  return out;
+}
+
+void RequestHandler::instrument(obs::Registry& registry,
+                                const std::string& label) {
+  gate_.instrument(registry, label);
+  cache_.instrument(registry, label);
+  requests_counter_ = &registry.counter("serve." + label + ".requests_total");
+  request_ns_ = &registry.histogram("serve." + label + ".request_ns",
+                                    obs::Histogram::latency_bounds());
+}
+
+}  // namespace admire::serve

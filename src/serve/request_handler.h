@@ -1,0 +1,96 @@
+// RequestHandler: the transport-independent core of a mirror's serving
+// plane — admission control, snapshot cache, and query evaluation against
+// the site's replicated operational state. The epoll TCP front end, the
+// in-process cluster router, and the discrete-event simulator all drive
+// this same class, so every execution mode exercises identical
+// serve-side decision logic (the fd/faultinject precedent).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "ede/operational_state.h"
+#include "obs/registry.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/snapshot_cache.h"
+
+namespace admire::serve {
+
+/// Serving-plane knobs. Every field is documented in SERVING.md §4; the
+/// DES exposes the same struct via SimConfig::serving.
+struct ServeConfig {
+  /// Admission budget: requests being serviced concurrently (per site).
+  /// Excess requests are answered RETRY_AFTER immediately. 0 = unbounded.
+  std::size_t max_in_flight = 1024;
+  /// Hint returned with RETRY_AFTER responses.
+  std::uint32_t retry_after_ms = 50;
+  /// Snapshot cache on/off and its entry budget.
+  bool cache_enabled = true;
+  std::size_t cache_max_entries = 4096;
+};
+
+/// What handling one request did — the DES reads this to charge virtual
+/// time (cache hits cost less than builds), benches read it for ratios.
+struct HandleOutcome {
+  Response response;
+  bool shed = false;       ///< stopped at the admission gate
+  bool cache_hit = false;  ///< served from the snapshot cache
+  std::size_t payload_bytes = 0;
+};
+
+class RequestHandler {
+ public:
+  /// `state` must outlive the handler. `clock` may be null (no latency
+  /// histogram); `registry` may be null (no instrumentation).
+  RequestHandler(const ede::OperationalState* state, ServeConfig config,
+                 std::shared_ptr<Clock> clock = nullptr);
+
+  /// Answer one decoded request (admission gate + cache + build).
+  HandleOutcome handle(const Request& req);
+
+  /// Answer one request whose admission ticket the CALLER already holds
+  /// (acquired via admission().try_acquire(), released by the caller when
+  /// the request completes). The simulator uses this to hold the ticket
+  /// for the request's *virtual* duration — a synchronous caller cannot
+  /// express concurrency through the RAII ticket inside handle().
+  HandleOutcome handle_admitted(const Request& req);
+
+  /// Update-path hook: the site applied an event for `flight` to its
+  /// status table. Key 0 (control/snapshot events) is a no-op — those
+  /// never mutate per-flight state.
+  void on_state_update(FlightKey flight) {
+    if (flight != 0) cache_.invalidate_flight(flight);
+  }
+
+  /// Recovery hook: the whole table was replaced (snapshot restore).
+  void on_state_replaced() { cache_.invalidate_all(); }
+
+  /// Flip to shutting-down: every request is answered kShuttingDown.
+  void begin_shutdown() { shutting_down_.store(true, std::memory_order_release); }
+
+  AdmissionGate& admission() { return gate_; }
+  SnapshotCache& cache() { return cache_; }
+  const ServeConfig& config() const { return config_; }
+  std::uint64_t requests_total() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Register the serve.<label>.* metric set (admission, cache, request
+  /// latency histogram, request counter).
+  void instrument(obs::Registry& registry, const std::string& label);
+
+ private:
+  const ede::OperationalState* state_;  // not owned
+  const ServeConfig config_;
+  std::shared_ptr<Clock> clock_;
+  AdmissionGate gate_;
+  SnapshotCache cache_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Histogram* request_ns_ = nullptr;
+};
+
+}  // namespace admire::serve

@@ -1,0 +1,97 @@
+#include "serve/snapshot_cache.h"
+
+#include <array>
+
+namespace admire::serve {
+
+namespace {
+/// Query keys whose result sets include `flight`.
+std::array<QueryKey, 5> covering_keys(FlightKey flight) {
+  return {QueryKey{QueryShape::kFlight, flight},
+          QueryKey{QueryShape::kAirport, airport_of(flight)},
+          QueryKey{QueryShape::kAirline, airline_of(flight)},
+          QueryKey{QueryShape::kRegion, region_of(flight)},
+          QueryKey{QueryShape::kFullState, 0}};
+}
+}  // namespace
+
+std::optional<CachedSnapshot> SnapshotCache::lookup(const QueryKey& key) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_counter_ != nullptr) misses_counter_->inc();
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (hits_counter_ != nullptr) hits_counter_->inc();
+  return it->second;
+}
+
+SnapshotCache::BuildToken SnapshotCache::begin_build(const QueryKey& key) {
+  std::lock_guard lock(mu_);
+  auto it = generations_.find(key);
+  const std::uint64_t gen = it == generations_.end() ? 0 : it->second;
+  return BuildToken{key, gen + full_generation_};
+}
+
+void SnapshotCache::insert(const BuildToken& token, CachedSnapshot snapshot) {
+  std::lock_guard lock(mu_);
+  auto it = generations_.find(token.key);
+  const std::uint64_t gen =
+      (it == generations_.end() ? 0 : it->second) + full_generation_;
+  if (gen != token.generation) return;  // an update landed mid-build
+  if (entries_.size() >= max_entries_ &&
+      entries_.find(token.key) == entries_.end()) {
+    entries_.erase(entries_.begin());  // capacity pressure: drop one entry
+  }
+  entries_[token.key] = std::move(snapshot);
+}
+
+void SnapshotCache::bump_generation_locked(const QueryKey& key) {
+  ++generations_[key];
+  if (entries_.erase(key) > 0) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (invalidations_counter_ != nullptr) invalidations_counter_->inc();
+  }
+}
+
+void SnapshotCache::invalidate_flight(FlightKey flight) {
+  std::lock_guard lock(mu_);
+  for (const QueryKey& key : covering_keys(flight)) {
+    bump_generation_locked(key);
+  }
+}
+
+void SnapshotCache::invalidate_all() {
+  std::lock_guard lock(mu_);
+  ++full_generation_;
+  const std::size_t dropped = entries_.size();
+  entries_.clear();
+  // generations_ is deliberately NOT cleared: a token minted before this
+  // call must never compare equal to a generation minted after it.
+  if (dropped > 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    if (invalidations_counter_ != nullptr) {
+      invalidations_counter_->inc(dropped);
+    }
+  }
+}
+
+std::size_t SnapshotCache::entries() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void SnapshotCache::instrument(obs::Registry& registry,
+                               const std::string& label) {
+  hits_counter_ = &registry.counter("serve." + label + ".cache.hits_total");
+  misses_counter_ =
+      &registry.counter("serve." + label + ".cache.misses_total");
+  invalidations_counter_ =
+      &registry.counter("serve." + label + ".cache.invalidations_total");
+  probes_.add(registry, "serve." + label + ".cache.entries",
+              [this] { return static_cast<double>(entries()); });
+}
+
+}  // namespace admire::serve

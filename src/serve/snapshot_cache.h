@@ -1,0 +1,106 @@
+// Derived-state snapshot cache keyed by query shape. A flash crowd is
+// massively redundant — thousands of displays at the same airport all ask
+// the same (AIRPORT, k) query — so the mirror serializes each distinct
+// result set once and hands every subsequent hit the same refcounted
+// buffer.
+//
+// Freshness contract: a cached answer is never staler than the mirror's
+// own status table *as of the last update the mirror applied*. The update
+// path calls invalidate_flight(f) after folding an event for flight f into
+// the table; that bumps a per-query-key generation. Lookups validate the
+// entry's generation and builders capture the generation BEFORE reading
+// the state, so an insert racing an update is discarded rather than
+// resurrecting pre-update bytes (tests/serve/cache_invalidation_test.cpp
+// asserts the interleaving).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "obs/registry.h"
+#include "serve/query.h"
+
+namespace admire::serve {
+
+/// One cached, already-encoded response payload.
+struct CachedSnapshot {
+  std::shared_ptr<const Bytes> payload;  ///< encoded record set
+  std::uint64_t version = 0;   ///< status-table version it reflects
+  std::uint32_t records = 0;   ///< record count (reporting)
+};
+
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  /// Opaque token tying an insert to the invalidation state observed
+  /// before the builder read the status table.
+  struct BuildToken {
+    QueryKey key;
+    std::uint64_t generation = 0;
+  };
+
+  /// Cached payload for `key`, or nullopt on miss/invalidated entry.
+  std::optional<CachedSnapshot> lookup(const QueryKey& key);
+
+  /// Call BEFORE reading the operational state to build `key`'s result.
+  BuildToken begin_build(const QueryKey& key);
+
+  /// Publish a built payload. Silently discarded when an invalidation for
+  /// `token.key` landed after begin_build() — the builder raced an update
+  /// and its bytes may predate the table.
+  void insert(const BuildToken& token, CachedSnapshot snapshot);
+
+  /// Update-path hook: drop every query whose result set includes
+  /// `flight` (its exact key, its airport/airline/region groups, and the
+  /// full-state entry).
+  void invalidate_flight(FlightKey flight);
+
+  /// Drop everything (recovery restore, rejoin seed).
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  std::size_t entries() const;
+  double hit_ratio() const {
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    return h + m == 0.0 ? 0.0 : h / (h + m);
+  }
+
+  /// Register serve.<label>.cache.{hits,misses,invalidations}_total and
+  /// the serve.<label>.cache.entries probe.
+  void instrument(obs::Registry& registry, const std::string& label);
+
+ private:
+  void bump_generation_locked(const QueryKey& key);
+
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<QueryKey, CachedSnapshot, QueryKeyHash> entries_;
+  /// Invalidation generations. Bumped under mu_; entries are only valid
+  /// while their insert-time generation matches.
+  std::unordered_map<QueryKey, std::uint64_t, QueryKeyHash> generations_;
+  std::uint64_t full_generation_ = 0;  ///< invalidate_all() epoch
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* invalidations_counter_ = nullptr;
+  obs::ProbeGroup probes_;
+};
+
+}  // namespace admire::serve

@@ -27,6 +27,8 @@ CostModel CostModel::scaled(double factor) const {
   out.chkpt_participant = scale_n(chkpt_participant, factor);
   out.request_base = scale_n(request_base, factor);
   out.request_per_byte = request_per_byte * factor;
+  out.serve_hit_base = scale_n(serve_hit_base, factor);
+  out.serve_hit_per_byte = serve_hit_per_byte * factor;
   return out;
 }
 

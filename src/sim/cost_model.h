@@ -53,6 +53,14 @@ struct CostModel {
   Nanos request_base = 1 * kMilli;
   double request_per_byte = 60.0;  ///< per snapshot byte built+shipped
 
+  // --- Serving plane (typed queries, SimConfig::serving) ------------------
+  /// Snapshot-cache hit: the site hands the client an already-encoded
+  /// refcounted buffer — no table scan, no serialization; only the
+  /// ship-out cost per payload byte remains. This gap vs request_cost is
+  /// what makes the cache matter under a flash crowd.
+  Nanos serve_hit_base = 80 * kMicro;
+  double serve_hit_per_byte = 12.0;
+
   // --- Cluster data links (central -> mirror) ---------------------------
   double cluster_link_bps = 125.0e6;     ///< 1 Gbps-class SAN, bytes/sec
   Nanos cluster_link_latency = 100 * kMicro;
@@ -90,6 +98,10 @@ struct CostModel {
   Nanos request_cost(std::size_t snapshot_bytes) const {
     return request_base +
            static_cast<Nanos>(request_per_byte * static_cast<double>(snapshot_bytes));
+  }
+  Nanos serve_hit_cost(std::size_t payload_bytes) const {
+    return serve_hit_base +
+           static_cast<Nanos>(serve_hit_per_byte * static_cast<double>(payload_bytes));
   }
 
   /// Uniformly scale all CPU cost constants (sensitivity analysis).

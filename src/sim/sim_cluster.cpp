@@ -30,6 +30,8 @@ struct SimCluster::Central {
   CpuResource nic{1};  ///< NI co-processor (used when config.ni_offload)
   std::optional<adapt::AdaptationController> controller;
   std::uint64_t pending_requests = 0;
+  /// Serving plane over the central state (SimConfig::serving).
+  std::unique_ptr<serve::RequestHandler> serving;
 };
 
 /// Secondary mirror site: aux relay + main unit (EDE) + snapshot service.
@@ -62,6 +64,8 @@ struct SimCluster::MirrorSite {
   fd::Health lb_health = fd::Health::kAlive;
   Nanos last_applied = 0;      ///< ingress time of newest EDE-folded event
   std::unique_ptr<recovery::RejoinFilter> rejoin_filter;
+  /// Serving plane over this site's replicated state (SimConfig::serving).
+  std::unique_ptr<serve::RequestHandler> serving;
 };
 
 SimCluster::SimCluster(SimConfig config)
@@ -93,6 +97,19 @@ SimCluster::SimCluster(SimConfig config)
         "cluster." + label + ".request_service_ns",
         obs::Histogram::latency_bounds());
     (void)obs.counter("cluster.lb.picks." + label);
+  }
+  if (config_.serving.has_value()) {
+    // The REAL serving-plane core at every site, instrumented under the
+    // same serve.<site>.* names the threaded runtime registers. No clock:
+    // request latency lives in virtual time, recorded by the calendar.
+    central_->serving = std::make_unique<serve::RequestHandler>(
+        &central_->main.state(), *config_.serving);
+    central_->serving->instrument(obs, "central");
+    for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+      mirrors_[i]->serving = std::make_unique<serve::RequestHandler>(
+          &mirrors_[i]->main.state(), *config_.serving);
+      mirrors_[i]->serving->instrument(obs, "mirror" + std::to_string(i + 1));
+    }
   }
   chan_msgs_ = &obs.counter("transport.channel.central.data.msgs_total");
   chan_bytes_ = &obs.counter("transport.channel.central.data.bytes_total");
@@ -187,6 +204,21 @@ SimResult SimCluster::run(const workload::Trace& trace,
     result.cpu_utilization.push_back(m->cpu.utilization(horizon));
   }
   if (tracer_) tracer_->flush();
+  if (config_.serving.has_value()) {
+    auto fold = [&result](serve::RequestHandler& h) {
+      result.requests_shed += h.admission().shed();
+      result.serve_cache_hits += h.cache().hits();
+      result.serve_cache_misses += h.cache().misses();
+    };
+    fold(*central_->serving);
+    for (const auto& m : mirrors_) fold(*m->serving);
+    result.requests_dropped = requests_dropped_;
+    const double total = static_cast<double>(result.serve_cache_hits +
+                                             result.serve_cache_misses);
+    result.serve_cache_hit_ratio =
+        total == 0.0 ? 0.0
+                     : static_cast<double>(result.serve_cache_hits) / total;
+  }
   result.obs = config_.obs;
   if (detector_.has_value()) result.fd_transitions = detector_->history();
   result.rejoin_times = rejoin_times_;
@@ -360,6 +392,7 @@ void SimCluster::forward_to_main(const event::Event& ev) {
     --outstanding_central_ede_;
     if (traced) tracer_->record(tkey, obs::Stage::kApply, engine_.now());
     const auto outputs = central_->main.process(ev);
+    if (central_->serving) central_->serving->on_state_update(ev.key());
     for (const auto& out : outputs) {
       const Nanos delay = engine_.now() - out.header().ingress_time;
       update_delays_->add(out.header().ingress_time, delay);
@@ -418,6 +451,7 @@ void SimCluster::mirror_recv(std::size_t idx, event::Event ev) {
         return;
       }
       const auto outputs = site2.main.process(fwd);
+      if (site2.serving) site2.serving->on_state_update(fwd.key());
       site2.last_applied = fwd.header().ingress_time;
       for (const auto& out : outputs) {
         mirror_update_delays_->add(out.header().ingress_time,
@@ -755,6 +789,7 @@ void SimCluster::revive_mirror(std::size_t idx) {
                " failed: ", status.message());
     return;
   }
+  if (s.serving) s.serving->on_state_replaced();  // whole table swapped
   s.rejoin_filter = std::make_unique<recovery::RejoinFilter>(restore);
   s.crashed = false;
   s.hb_partition = false;
@@ -824,6 +859,10 @@ std::size_t SimCluster::pick_site() {
 }
 
 void SimCluster::on_request(Nanos at) {
+  if (config_.serving.has_value()) {
+    on_serve_request(at, /*attempt=*/0);
+    return;
+  }
   const std::size_t site_idx = pick_site();
   if (config_.obs) {
     config_.obs
@@ -856,6 +895,70 @@ void SimCluster::on_request(Nanos at) {
     if (service_ns != nullptr) {
       service_ns->observe(static_cast<double>(latency));
     }
+    request_completion_ = std::max(request_completion_, engine_.now());
+    bump_completion(engine_.now());
+  });
+}
+
+void SimCluster::on_serve_request(Nanos at, std::size_t attempt) {
+  const std::size_t site_idx = pick_site();
+  if (config_.obs) {
+    config_.obs
+        ->counter("cluster.lb.picks." +
+                  (site_idx == 0 ? std::string("central")
+                                 : "mirror" + std::to_string(site_idx)))
+        .inc();
+  }
+  serve::RequestHandler& serving = site_idx == 0
+                                       ? *central_->serving
+                                       : *mirrors_[site_idx - 1]->serving;
+  std::uint64_t* pending = site_idx == 0
+                               ? &central_->pending_requests
+                               : &mirrors_[site_idx - 1]->pending_requests;
+
+  // Admission in virtual time: the ticket is held for the request's whole
+  // virtual service interval, so a synchronous calendar still saturates
+  // the gate exactly like concurrent threads would.
+  if (!serving.admission().try_acquire()) {
+    if (attempt + 1 >= config_.serve_max_retries) {
+      ++requests_dropped_;
+      bump_completion(engine_.now());
+      return;
+    }
+    const Nanos backoff =
+        static_cast<Nanos>(serving.admission().retry_after_ms()) * kMilli;
+    engine_.schedule_after(
+        backoff, [this, at, attempt] { on_serve_request(at, attempt + 1); });
+    return;
+  }
+
+  serve::Request req;
+  req.id = next_request_id_++;
+  const serve::QueryKey q = serve::pick_query(
+      config_.serve_mix, request_rng_.next_double(),
+      static_cast<FlightKey>(
+          1 + request_rng_.next_below(
+                  std::max<std::uint32_t>(1, config_.serve_flight_space))));
+  req.shape = q.shape;
+  req.key = q.key;
+  const serve::HandleOutcome outcome = serving.handle_admitted(req);
+
+  ++*pending;
+  const Nanos work = outcome.cache_hit
+                         ? config_.costs.serve_hit_cost(outcome.payload_bytes)
+                         : config_.costs.request_cost(outcome.payload_bytes);
+  const Nanos done = site_idx == 0
+                         ? central_->cpu.schedule_job(engine_.now(), work)
+                         : mirror_cpu_job(site_idx - 1, work);
+  obs::Histogram* service_ns =
+      site_idx == 0 ? central_request_ns_ : mirrors_[site_idx - 1]->request_ns;
+  engine_.schedule_at(done, [this, at, pending, service_ns, sp = &serving] {
+    sp->admission().release();
+    --*pending;
+    ++requests_served_;
+    const Nanos latency = engine_.now() - at;  // includes retry backoffs
+    request_latency_->add(at, latency);
+    if (service_ns != nullptr) service_ns->observe(static_cast<double>(latency));
     request_completion_ = std::max(request_completion_, engine_.now());
     bump_completion(engine_.now());
   });

@@ -21,6 +21,7 @@
 #include "mirror/pipeline_core.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "serve/request_handler.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/resources.h"
@@ -115,6 +116,18 @@ struct SimConfig {
   /// kRejoin schedule entries request the same for one mirror explicitly.
   bool fd_auto_rejoin = false;
   Nanos fd_rejoin_after = 0;
+  /// Serving-plane model: when set, client requests become typed queries
+  /// answered by the REAL serve::RequestHandler at each site (admission
+  /// gate + snapshot cache + query evaluation) — the same class the
+  /// threaded front end runs. Cache hits charge serve_hit_cost(payload),
+  /// misses charge request_cost(payload); sheds are retried after
+  /// retry_after_ms of virtual time, up to serve_max_retries attempts.
+  /// Unset = the legacy full-snapshot request path.
+  std::optional<serve::ServeConfig> serving;
+  /// Query-shape mix and the flight id space queries draw from.
+  serve::QueryMix serve_mix;
+  std::uint32_t serve_flight_space = 256;
+  std::size_t serve_max_retries = 8;
 };
 
 struct SimResult {
@@ -152,6 +165,13 @@ struct SimResult {
   /// per completed rejoin the dead-declaration -> back-alive interval.
   std::vector<fd::Transition> fd_transitions;
   std::vector<Nanos> rejoin_times;
+
+  // --- Serving plane (zero unless SimConfig::serving) ---------------------
+  std::uint64_t requests_shed = 0;     ///< RETRY_AFTER answers (per attempt)
+  std::uint64_t requests_dropped = 0;  ///< clients that exhausted retries
+  std::uint64_t serve_cache_hits = 0;
+  std::uint64_t serve_cache_misses = 0;
+  double serve_cache_hit_ratio = 0.0;
 };
 
 class SimCluster {
@@ -194,6 +214,10 @@ class SimCluster {
   Bytes evaluate_adaptation();
 
   void on_request(Nanos at);
+  /// Serving-plane request (SimConfig::serving). `at` is the client's
+  /// FIRST arrival — retries keep it, so recorded latency includes
+  /// backoff time, which is what a shed client actually experiences.
+  void on_serve_request(Nanos at, std::size_t attempt);
   void schedule_next_auto_request();
   bool events_fully_done() const;
 
@@ -250,6 +274,7 @@ class SimCluster {
   std::uint64_t outstanding_mirror_events_ = 0;
   std::uint64_t wire_events_mirrored_ = 0;
   std::uint64_t requests_served_ = 0;
+  std::uint64_t requests_dropped_ = 0;  ///< serve retries exhausted
   std::uint64_t next_request_id_ = 1;
   std::size_t rr_cursor_ = 0;
   Nanos completion_watermark_ = 0;

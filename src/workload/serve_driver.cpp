@@ -1,0 +1,372 @@
+#include "workload/serve_driver.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/protocol.h"
+
+namespace admire::workload {
+
+namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One simulated client connection's state machine.
+struct ClientConn {
+  enum class State { kConnecting, kWaiting, kBackoff, kDone };
+
+  int fd = -1;
+  State state = State::kConnecting;
+  serve::FrameReader reader;
+  Bytes out;
+  std::size_t out_off = 0;
+  std::size_t remaining = 0;    ///< requests left on this connection
+  std::size_t attempt = 0;      ///< retries of the current request
+  serve::Request current;       ///< request in flight / being retried
+  SteadyTime req_start{};       ///< first attempt of the current request
+  SteadyTime retry_at{};        ///< kBackoff: earliest resend time
+};
+
+/// One worker thread: its epoll loop, its slice of the connections, its
+/// private counters (merged after join — no shared atomics on the hot
+/// path).
+class DriverWorker {
+ public:
+  DriverWorker(const ServeDriverConfig& config, std::size_t conns,
+               std::uint64_t seed)
+      : config_(config), num_conns_(conns), rng_(seed) {}
+
+  void run() {
+    if (num_conns_ == 0) return;
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      report_.io_errors += num_conns_;
+      return;
+    }
+    conns_.resize(num_conns_);
+    const SteadyTime deadline =
+        std::chrono::steady_clock::now() + config_.deadline;
+    for (auto& c : conns_) start_connect(c);
+    loop(deadline);
+    for (auto& c : conns_) {
+      if (c.state != ClientConn::State::kDone) {
+        ++report_.io_errors;  // still outstanding at the deadline
+        finish(c);
+      }
+    }
+    ::close(epoll_fd_);
+  }
+
+  ServeDriverReport& report() { return report_; }
+
+ private:
+  void loop(SteadyTime deadline) {
+    constexpr int kMaxEvents = 256;
+    epoll_event events[kMaxEvents];
+    while (live_ > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return;
+      int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count());
+      for (const auto& c : conns_) {
+        if (c.state != ClientConn::State::kBackoff) continue;
+        const int until = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(c.retry_at -
+                                                                  now)
+                .count());
+        timeout_ms = std::clamp(until, 0, timeout_ms);
+      }
+      const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents,
+                                 std::max(timeout_ms, 0));
+      if (n < 0 && errno != EINTR) return;
+      for (int i = 0; i < n; ++i) {
+        auto& c = *static_cast<ClientConn*>(events[i].data.ptr);
+        if (c.state == ClientConn::State::kDone) continue;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          ++report_.io_errors;
+          finish(c);
+          continue;
+        }
+        if (c.state == ClientConn::State::kConnecting &&
+            (events[i].events & EPOLLOUT) != 0) {
+          on_connected(c);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) readable(c);
+        if (c.state != ClientConn::State::kDone &&
+            (events[i].events & EPOLLOUT) != 0) {
+          flush(c);
+        }
+      }
+      const auto after = std::chrono::steady_clock::now();
+      for (auto& c : conns_) {
+        if (c.state == ClientConn::State::kBackoff && c.retry_at <= after) {
+          c.state = ClientConn::State::kWaiting;
+          send_current(c);  // resend the same request after the hint
+        }
+      }
+    }
+  }
+
+  void start_connect(ClientConn& c) {
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (c.fd < 0 || !set_nonblocking(c.fd)) {
+      ++report_.connect_failures;
+      finish(c);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      ++report_.connect_failures;
+      finish(c);
+      return;
+    }
+    c.remaining = config_.requests_per_connection;
+    ++live_;
+    const int rc =
+        ::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    epoll_event ev{};
+    ev.data.ptr = &c;
+    if (rc == 0) {
+      ev.events = EPOLLIN;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c.fd, &ev);
+      on_connected(c);
+      return;
+    }
+    if (errno != EINPROGRESS) {
+      --live_;
+      ++report_.connect_failures;
+      finish(c);
+      return;
+    }
+    ev.events = EPOLLOUT;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c.fd, &ev);
+  }
+
+  void on_connected(ClientConn& c) {
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      --live_;
+      ++report_.connect_failures;
+      finish(c);
+      return;
+    }
+    ++report_.connections_opened;
+    c.state = ClientConn::State::kWaiting;
+    update_events(c);
+    next_request(c);
+  }
+
+  void next_request(ClientConn& c) {
+    if (c.remaining == 0) {
+      --live_;
+      finish(c);
+      return;
+    }
+    --c.remaining;
+    c.attempt = 0;
+    const serve::QueryKey q = serve::pick_query(
+        config_.mix, rng_.next_double(),
+        static_cast<FlightKey>(
+            1 + rng_.next_below(std::max<std::uint32_t>(1,
+                                                        config_.flight_space))));
+    c.current.id = next_id_++;
+    c.current.shape = q.shape;
+    c.current.key = q.key;
+    c.req_start = std::chrono::steady_clock::now();
+    send_current(c);
+  }
+
+  void send_current(ClientConn& c) {
+    const Bytes frame = serve::frame_request(c.current);
+    c.out.insert(c.out.end(), frame.begin(), frame.end());
+    flush(c);
+  }
+
+  void flush(ClientConn& c) {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        --live_;
+        ++report_.io_errors;
+        finish(c);
+        return;
+      }
+      c.out_off += static_cast<std::size_t>(n);
+    }
+    if (c.out_off >= c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+    }
+    update_events(c);
+  }
+
+  void readable(ClientConn& c) {
+    std::byte chunk[64 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        --live_;
+        ++report_.io_errors;  // server closed with a request outstanding
+        finish(c);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        --live_;
+        ++report_.io_errors;
+        finish(c);
+        return;
+      }
+      c.reader.feed(ByteSpan(chunk, static_cast<std::size_t>(n)));
+      while (auto body = c.reader.next()) {
+        auto resp = serve::decode_response(*body);
+        if (!resp) {
+          ++report_.protocol_errors;
+          --live_;
+          finish(c);
+          return;
+        }
+        on_response(c, resp.value());
+        if (c.state == ClientConn::State::kDone) return;
+      }
+      if (c.reader.poisoned()) {
+        ++report_.protocol_errors;
+        --live_;
+        finish(c);
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return;
+    }
+  }
+
+  void on_response(ClientConn& c, const serve::Response& resp) {
+    switch (resp.code) {
+      case serve::ResponseCode::kOk: {
+        const auto now = std::chrono::steady_clock::now();
+        ++report_.requests_ok;
+        report_.latency_ns.add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                 c.req_start)
+                .count()));
+        if (resp.state) report_.payload_bytes += resp.state->size();
+        report_.max_version = std::max(report_.max_version, resp.version);
+        next_request(c);
+        return;
+      }
+      case serve::ResponseCode::kRetryAfter: {
+        ++report_.responses_shed;
+        if (++c.attempt > config_.max_retries) {
+          ++report_.requests_given_up;
+          next_request(c);
+          return;
+        }
+        c.state = ClientConn::State::kBackoff;
+        c.retry_at = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(
+                         std::max<std::uint32_t>(1, resp.retry_after_ms));
+        return;
+      }
+      case serve::ResponseCode::kBadRequest:
+      case serve::ResponseCode::kShuttingDown:
+        ++report_.protocol_errors;
+        ++report_.requests_given_up;
+        --live_;
+        finish(c);
+        return;
+    }
+  }
+
+  void update_events(ClientConn& c) {
+    if (c.fd < 0) return;
+    epoll_event ev{};
+    ev.data.ptr = &c;
+    ev.events = EPOLLIN | (c.out_off < c.out.size() ? EPOLLOUT : 0u);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void finish(ClientConn& c) {
+    if (c.fd >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    c.state = ClientConn::State::kDone;
+  }
+
+  const ServeDriverConfig& config_;
+  const std::size_t num_conns_;
+  Rng rng_;
+  int epoll_fd_ = -1;
+  std::vector<ClientConn> conns_;
+  std::size_t live_ = 0;  ///< connections not yet kDone
+  std::uint64_t next_id_ = 1;
+  ServeDriverReport report_;
+};
+
+}  // namespace
+
+ServeDriverReport run_serve_driver(const ServeDriverConfig& config) {
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  std::vector<std::unique_ptr<DriverWorker>> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    // Split the population evenly; earlier threads take the remainder.
+    const std::size_t base = config.connections / threads;
+    const std::size_t conns = base + (t < config.connections % threads ? 1 : 0);
+    workers.push_back(std::make_unique<DriverWorker>(
+        config, conns, config.seed ^ (0x9E3779B97F4A7C15ULL * (t + 1))));
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers.size());
+  for (auto& w : workers) pool.emplace_back([&w] { w->run(); });
+  for (auto& th : pool) th.join();
+
+  ServeDriverReport total;
+  for (auto& w : workers) {
+    const ServeDriverReport& r = w->report();
+    total.connections_opened += r.connections_opened;
+    total.connect_failures += r.connect_failures;
+    total.requests_ok += r.requests_ok;
+    total.responses_shed += r.responses_shed;
+    total.requests_given_up += r.requests_given_up;
+    total.protocol_errors += r.protocol_errors;
+    total.io_errors += r.io_errors;
+    total.payload_bytes += r.payload_bytes;
+    total.max_version = std::max(total.max_version, r.max_version);
+    for (std::size_t i = 0; i < r.latency_ns.count(); ++i) {
+      // SampleStats has no merge; re-adding keeps exact percentiles.
+      total.latency_ns.add(r.latency_ns.sample(i));
+    }
+  }
+  return total;
+}
+
+}  // namespace admire::workload

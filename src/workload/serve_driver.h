@@ -1,0 +1,69 @@
+// Simulated client population for the serving plane: N worker threads,
+// each multiplexing many nonblocking TCP connections through its own epoll
+// loop — the flash-crowd counterpart of the event-side trace replayers.
+// Every connection runs a closed loop (request -> response -> next
+// request), draws queries from the same serve::QueryMix the DES uses, and
+// honors RETRY_AFTER hints with real backoff, so the threaded runtime and
+// the simulator face the same client behavior.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "serve/query.h"
+
+namespace admire::workload {
+
+struct ServeDriverConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< required: the front end's listening port
+  /// Client threads; connections are split evenly across them. One epoll
+  /// loop per thread scales to tens of thousands of concurrent
+  /// connections without a thread per client.
+  std::size_t threads = 2;
+  std::size_t connections = 64;  ///< concurrent connections, total
+  /// Closed-loop requests per connection (a flash crowd's rebooting
+  /// display issues 1: connect, fetch initial state, disconnect).
+  std::size_t requests_per_connection = 1;
+  serve::QueryMix mix;
+  std::uint32_t flight_space = 256;  ///< query flight ids drawn from [1, N]
+  std::uint64_t seed = 0xC11E47;
+  /// RETRY_AFTER handling: wait the server's hint, then retry the same
+  /// request, up to max_retries attempts; afterwards the request counts
+  /// as given up, not served.
+  std::size_t max_retries = 8;
+  /// Per-run wall-clock budget; connections still outstanding when it
+  /// expires are counted as errors.
+  std::chrono::milliseconds deadline{30'000};
+};
+
+struct ServeDriverReport {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t responses_shed = 0;    ///< RETRY_AFTER answers (per attempt)
+  std::uint64_t requests_given_up = 0; ///< retries exhausted
+  std::uint64_t protocol_errors = 0;   ///< bad frames / decode failures
+  std::uint64_t io_errors = 0;         ///< resets, timeouts, short reads
+  std::uint64_t payload_bytes = 0;     ///< OK-response state bytes received
+  std::uint64_t max_version = 0;       ///< newest status-table version seen
+  /// Per-request latency, first attempt -> OK response (includes backoff
+  /// waits — what a shed client actually experiences).
+  SampleStats latency_ns;
+
+  std::uint64_t requests_attempted() const {
+    return requests_ok + requests_given_up;
+  }
+  double shed_rate() const {
+    const double total = static_cast<double>(requests_ok + responses_shed);
+    return total == 0.0 ? 0.0 : static_cast<double>(responses_shed) / total;
+  }
+};
+
+/// Run the full client population to completion (or the deadline) and
+/// aggregate every thread's counters. Blocking.
+ServeDriverReport run_serve_driver(const ServeDriverConfig& config);
+
+}  // namespace admire::workload

@@ -1,0 +1,155 @@
+// The serving plane's freshness contract, exercised by interleaving state
+// updates with cached queries: an answer is never staler than the site's
+// status table as of the last update whose invalidation completed before
+// the request was admitted.
+//
+//   * ServeCacheConcurrency — a writer thread folds updates into an
+//     OperationalState and publishes each version only AFTER the cache
+//     invalidation hook ran, while reader threads hammer the same handler;
+//     every response must carry a version at least as new as the last
+//     published one. (Suite name contains "Concurrency" so the TSan CI job
+//     runs it under the race detector.)
+//   * CacheInvalidationCluster — the threaded runtime end to end: ingest a
+//     delta, drain, query through the load balancer; the decoded record
+//     must reflect the drained update, every iteration.
+//
+// The DES variant of the same interleaving lives in
+// tests/sim/sim_serving_test.cpp (both runtimes drive the same
+// RequestHandler, so the contract is asserted once per execution mode).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "ede/operational_state.h"
+#include "serve/request_handler.h"
+
+namespace admire::serve {
+namespace {
+
+Request flight_query(std::uint32_t key) {
+  Request req;
+  req.id = 1;
+  req.shape = QueryShape::kFlight;
+  req.key = key;
+  return req;
+}
+
+TEST(ServeCacheConcurrency, AnswersNeverStalerThanPublishedVersion) {
+  constexpr FlightKey kFlight = 7;
+  constexpr std::uint64_t kUpdates = 4000;
+  constexpr std::size_t kReaders = 3;
+
+  ede::OperationalState state;
+  RequestHandler handler(&state, ServeConfig{});
+
+  // `published` is the newest state version whose cache invalidation has
+  // completed — exactly the point from which the freshness contract holds.
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> ready{0};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::thread writer([&] {
+    while (ready.load(std::memory_order_acquire) < kReaders) {
+      std::this_thread::yield();
+    }
+    for (std::uint64_t i = 1; i <= kUpdates; ++i) {
+      state.update(kFlight, [&](ede::FlightRecord& r) {
+        r.passengers_ticketed = static_cast<std::uint32_t>(i);
+        ++r.updates_applied;
+      });
+      handler.on_state_update(kFlight);
+      published.store(i, std::memory_order_release);
+      // Pace against the readers so updates genuinely interleave with
+      // queries instead of the writer finishing before the first lookup.
+      if (i % 64 == 0) {
+        const std::uint64_t target = reads.load(std::memory_order_acquire) + 1;
+        while (reads.load(std::memory_order_acquire) < target) {
+          std::this_thread::yield();
+        }
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      ready.fetch_add(1, std::memory_order_release);
+      while (!done.load(std::memory_order_acquire)) {
+        reads.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t floor = published.load(std::memory_order_acquire);
+        const auto out = handler.handle(flight_query(kFlight));
+        ASSERT_TRUE(out.response.ok());
+        // Every state.update() bumps the version by exactly one, so the
+        // version floor doubles as an update-count floor.
+        ASSERT_GE(out.response.version, floor);
+        if (floor > 0) {
+          const auto records = decode_record_set(ByteSpan(
+              out.response.state->data(), out.response.state->size()));
+          ASSERT_TRUE(records);
+          ASSERT_EQ(records.value().size(), 1u);
+          ASSERT_GE(records.value()[0].passengers_ticketed, floor);
+        }
+        if (out.cache_hit) hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+
+  // The interleaving really exercised both paths.
+  EXPECT_GT(handler.cache().invalidations() + handler.cache().misses(), 0u);
+  const auto final_out = handler.handle(flight_query(kFlight));
+  EXPECT_EQ(final_out.response.version, state.version());
+}
+
+TEST(CacheInvalidationCluster, DrainedUpdatesAreVisibleThroughTheCache) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params = rules::MirroringParams{.function = rules::simple_mirroring()};
+  cluster::Cluster cluster(config);
+  cluster.start();
+
+  constexpr FlightKey kFlight = 3;
+  for (std::uint32_t i = 1; i <= 25; ++i) {
+    event::DeltaStatus st;
+    st.flight = kFlight;
+    st.status = event::FlightStatus::kBoarding;
+    st.passengers_ticketed = i;
+    event::Event ev = event::make_delta_status(1, i, st);
+    ev.mutable_header().vts.observe(1, i);
+    ASSERT_TRUE(cluster.ingest(std::move(ev)).is_ok());
+    cluster.drain();
+
+    // Query four times: the balancer round-robins over three sites, so at
+    // least one site answers twice — a rebuild then a warm cache hit — and
+    // every answer must show the drained update.
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      const Response resp = cluster.serve(flight_query(kFlight));
+      ASSERT_TRUE(resp.ok()) << "iteration " << i;
+      const auto records =
+          decode_record_set(ByteSpan(resp.state->data(), resp.state->size()));
+      ASSERT_TRUE(records);
+      ASSERT_EQ(records.value().size(), 1u);
+      EXPECT_EQ(records.value()[0].passengers_ticketed, i)
+          << "stale answer after drain, iteration " << i;
+    }
+  }
+
+  // The repeats above hit warm entries: the cache must show real traffic.
+  const auto snap = cluster.obs().snapshot();
+  double hits = 0;
+  for (const char* site : {"central", "mirror1", "mirror2"}) {
+    hits += static_cast<double>(
+        snap.counter_or(std::string("serve.") + site + ".cache.hits_total"));
+  }
+  EXPECT_GT(hits, 0.0);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace admire::serve

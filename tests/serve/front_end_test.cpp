@@ -1,0 +1,141 @@
+// Epoll TCP front end: end-to-end framed request/response over loopback
+// (driven by the real multi-connection client driver), malformed-frame
+// handling, and shutdown behavior.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "ede/operational_state.h"
+#include "serve/front_end.h"
+#include "serve/request_handler.h"
+#include "workload/serve_driver.h"
+
+namespace admire::serve {
+namespace {
+
+struct Server {
+  ede::OperationalState state;
+  std::unique_ptr<RequestHandler> handler;
+  std::unique_ptr<FrontEnd> front;
+
+  explicit Server(std::uint32_t flights = 32) {
+    for (FlightKey f = 1; f <= flights; ++f) {
+      state.update(f, [](ede::FlightRecord& r) { ++r.updates_applied; });
+    }
+    handler = std::make_unique<RequestHandler>(&state, ServeConfig{});
+    auto started = FrontEnd::start(
+        FrontEndConfig{},
+        [this](const Request& req) { return handler->handle(req).response; });
+    EXPECT_TRUE(started);
+    front = std::move(started.value());
+  }
+};
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+TEST(FrontEnd, PicksAFreePortAndServesOneRequest) {
+  Server server;
+  ASSERT_NE(server.front->port(), 0);
+
+  const int fd = connect_to(server.front->port());
+  Request req;
+  req.id = 99;
+  req.shape = QueryShape::kFlight;
+  req.key = 3;
+  const Bytes frame = frame_request(req);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  FrameReader reader;
+  Bytes chunk(4096);
+  std::optional<Bytes> body;
+  while (!body.has_value()) {
+    const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    ASSERT_GT(n, 0);
+    reader.feed(ByteSpan(chunk.data(), static_cast<std::size_t>(n)));
+    body = reader.next();
+  }
+  const auto resp = decode_response(ByteSpan(body->data(), body->size()));
+  ASSERT_TRUE(resp);
+  EXPECT_EQ(resp.value().id, 99u);
+  EXPECT_TRUE(resp.value().ok());
+  const auto records = decode_record_set(
+      ByteSpan(resp.value().state->data(), resp.value().state->size()));
+  ASSERT_TRUE(records);
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].flight, 3u);
+  ::close(fd);
+}
+
+TEST(FrontEnd, ServesAMultiConnectionCrowd) {
+  Server server;
+  workload::ServeDriverConfig driver;
+  driver.port = server.front->port();
+  driver.threads = 2;
+  driver.connections = 64;
+  driver.requests_per_connection = 4;
+  driver.flight_space = 32;
+  const auto report = workload::run_serve_driver(driver);
+  EXPECT_EQ(report.connections_opened, 64u);
+  EXPECT_EQ(report.connect_failures, 0u);
+  EXPECT_EQ(report.requests_ok, 256u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(report.io_errors, 0u);
+  EXPECT_GT(report.payload_bytes, 0u);
+  EXPECT_EQ(report.latency_ns.count(), 256u);
+  EXPECT_GE(server.front->accepted_connections(), 64u);
+  // The crowd re-asks the same 32-flight space: the cache must engage.
+  EXPECT_GT(server.handler->cache().hits(), 0u);
+}
+
+TEST(FrontEnd, MalformedFrameDropsTheConnection) {
+  Server server;
+  const int fd = connect_to(server.front->port());
+  // Length prefix far past kMaxFrameBytes poisons the reader.
+  const std::uint32_t len = 0xFFFFFFFF;
+  ASSERT_EQ(::send(fd, &len, sizeof len, 0), static_cast<ssize_t>(sizeof len));
+  Bytes chunk(64);
+  EXPECT_EQ(::recv(fd, chunk.data(), chunk.size(), 0), 0);  // server closed
+  ::close(fd);
+
+  for (int i = 0; i < 100 && server.front->protocol_errors() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.front->protocol_errors(), 1u);
+
+  // The front end is still healthy for well-formed clients.
+  workload::ServeDriverConfig driver;
+  driver.port = server.front->port();
+  driver.threads = 1;
+  driver.connections = 4;
+  driver.flight_space = 32;
+  EXPECT_EQ(workload::run_serve_driver(driver).requests_ok, 4u);
+}
+
+TEST(FrontEnd, StopIsIdempotentAndClosesConnections) {
+  Server server;
+  const int fd = connect_to(server.front->port());
+  server.front->stop();
+  server.front->stop();
+  Bytes chunk(16);
+  EXPECT_LE(::recv(fd, chunk.data(), chunk.size(), 0), 0);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace admire::serve

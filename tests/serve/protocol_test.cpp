@@ -1,0 +1,195 @@
+// Serving-plane wire protocol: frame round trips, record-set codec,
+// incremental reassembly, and the poisoning rules that make a malformed
+// client connection safe to drop (PROTOCOL.md §8).
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "serve/query.h"
+
+namespace admire::serve {
+namespace {
+
+ede::FlightRecord sample_record(FlightKey f) {
+  ede::FlightRecord rec;
+  rec.flight = f;
+  rec.position.flight = f;  // the codec canonicalizes this from `flight`
+  rec.status = event::FlightStatus::kBoarding;
+  rec.gate = 12;
+  rec.passengers_boarded = 100 + f;
+  rec.passengers_ticketed = 150 + f;
+  rec.updates_applied = 3;
+  rec.app_body = to_bytes("body");
+  return rec;
+}
+
+ByteSpan body_of(const Bytes& frame) {
+  return ByteSpan(frame.data() + 4, frame.size() - 4);
+}
+
+TEST(ServeProtocol, RequestFrameRoundTrip) {
+  Request req;
+  req.id = 0xDEADBEEF12345678;
+  req.shape = QueryShape::kAirport;
+  req.key = 7;
+  const Bytes frame = frame_request(req);
+  const auto decoded = decode_request(body_of(frame));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value(), req);
+}
+
+TEST(ServeProtocol, ResponseFrameRoundTrip) {
+  Response resp;
+  resp.id = 42;
+  resp.code = ResponseCode::kOk;
+  resp.version = 99;
+  resp.state = std::make_shared<const Bytes>(
+      encode_record_set({sample_record(3), sample_record(19)}));
+  const Bytes frame = frame_response(resp);
+  const auto decoded = decode_response(body_of(frame));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value().id, 42u);
+  EXPECT_EQ(decoded.value().code, ResponseCode::kOk);
+  EXPECT_EQ(decoded.value().version, 99u);
+  const auto records = decode_record_set(
+      ByteSpan(decoded.value().state->data(), decoded.value().state->size()));
+  ASSERT_TRUE(records);
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0], sample_record(3));
+  EXPECT_EQ(records.value()[1], sample_record(19));
+}
+
+TEST(ServeProtocol, RetryAfterCarriesHint) {
+  Response resp;
+  resp.code = ResponseCode::kRetryAfter;
+  resp.retry_after_ms = 75;
+  const auto decoded = decode_response(body_of(frame_response(resp)));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value().code, ResponseCode::kRetryAfter);
+  EXPECT_EQ(decoded.value().retry_after_ms, 75u);
+}
+
+TEST(ServeProtocol, EmptyRecordSetRoundTrip) {
+  const Bytes payload = encode_record_set({});
+  const auto records = decode_record_set(ByteSpan(payload.data(), payload.size()));
+  ASSERT_TRUE(records);
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST(ServeProtocol, DecodeRejectsWrongFrameKind) {
+  const Bytes req_frame = frame_request(Request{});
+  EXPECT_FALSE(decode_response(body_of(req_frame)));
+  const Bytes resp_frame = frame_response(Response{});
+  EXPECT_FALSE(decode_request(body_of(resp_frame)));
+}
+
+TEST(ServeProtocol, DecodeRejectsUnknownQueryShape) {
+  Bytes frame = frame_request(Request{});
+  // Body layout: version u8, kind u8, id u64, shape u8 — offset 14 with
+  // the length prefix.
+  frame[4 + 1 + 1 + 8] = std::byte{kNumQueryShapes};
+  EXPECT_FALSE(decode_request(body_of(frame)));
+}
+
+TEST(ServeProtocol, DecodeRejectsTruncatedBody) {
+  const Bytes frame = frame_request(Request{});
+  EXPECT_FALSE(decode_request(ByteSpan(frame.data() + 4, frame.size() - 6)));
+}
+
+TEST(ServeProtocol, FrameReaderReassemblesByteByByte) {
+  Request req;
+  req.id = 7;
+  req.shape = QueryShape::kRegion;
+  req.key = 2;
+  const Bytes frame = frame_request(req);
+  FrameReader reader;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(ByteSpan(frame.data() + i, 1));
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  reader.feed(ByteSpan(frame.data() + frame.size() - 1, 1));
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  const auto decoded = decode_request(ByteSpan(body->data(), body->size()));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded.value(), req);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServeProtocol, FrameReaderPopsMultipleFramesFromOneFeed) {
+  Bytes wire;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Request req;
+    req.id = id;
+    const Bytes frame = frame_request(req);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  FrameReader reader;
+  reader.feed(ByteSpan(wire.data(), wire.size()));
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto body = reader.next();
+    ASSERT_TRUE(body.has_value());
+    const auto decoded = decode_request(ByteSpan(body->data(), body->size()));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded.value().id, id);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeProtocol, FrameReaderPoisonsOnVersionMismatch) {
+  Bytes frame = frame_request(Request{});
+  frame[4] = std::byte{kServeProtocolVersion + 1};
+  FrameReader reader;
+  reader.feed(ByteSpan(frame.data(), frame.size()));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.poisoned());
+  // Poisoned is permanent: a good frame afterwards stays unread.
+  const Bytes good = frame_request(Request{});
+  reader.feed(ByteSpan(good.data(), good.size()));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeProtocol, FrameReaderPoisonsOnOversizedLength) {
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  Bytes wire(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    wire[i] = static_cast<std::byte>((len >> (8 * i)) & 0xFF);
+  }
+  FrameReader reader;
+  reader.feed(ByteSpan(wire.data(), wire.size()));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(ServeQuery, DerivedAttributesArePureArithmetic) {
+  for (FlightKey f = 0; f < 200; ++f) {
+    EXPECT_EQ(airport_of(f), f % kNumAirports);
+    EXPECT_EQ(airline_of(f), (f / kNumAirports) % kNumAirlines);
+    EXPECT_EQ(region_of(f), airport_of(f) % kNumRegions);
+    EXPECT_TRUE(query_matches(QueryShape::kFlight, f, f));
+    EXPECT_TRUE(query_matches(QueryShape::kAirport, airport_of(f), f));
+    EXPECT_TRUE(query_matches(QueryShape::kAirline, airline_of(f), f));
+    EXPECT_TRUE(query_matches(QueryShape::kRegion, region_of(f), f));
+    EXPECT_TRUE(query_matches(QueryShape::kFullState, 0, f));
+  }
+  EXPECT_FALSE(query_matches(QueryShape::kFlight, 1, 2));
+  EXPECT_FALSE(query_matches(QueryShape::kAirport, airport_of(5) + 1, 5));
+}
+
+TEST(ServeQuery, PickQueryIsDeterministicAndCoversEveryShape) {
+  QueryMix mix;  // defaults: every shape has weight
+  bool saw[kNumQueryShapes] = {};
+  for (int i = 0; i < 100; ++i) {
+    const double draw = static_cast<double>(i) / 100.0;
+    const QueryKey a = pick_query(mix, draw, 17);
+    const QueryKey b = pick_query(mix, draw, 17);
+    EXPECT_EQ(a, b);
+    saw[static_cast<std::size_t>(a.shape)] = true;
+  }
+  for (std::size_t s = 0; s < kNumQueryShapes; ++s) {
+    EXPECT_TRUE(saw[s]) << "shape " << s << " never drawn";
+  }
+}
+
+}  // namespace
+}  // namespace admire::serve

@@ -1,0 +1,166 @@
+// RequestHandler: query evaluation against the operational state, version
+// stamping, cache behavior, admission shedding and shutdown draining — the
+// transport-independent serving core every runtime shares.
+#include <gtest/gtest.h>
+
+#include "ede/operational_state.h"
+#include "serve/request_handler.h"
+
+namespace admire::serve {
+namespace {
+
+using ede::OperationalState;
+
+void set_flight(OperationalState& state, FlightKey f, std::uint32_t ticketed) {
+  state.update(f, [&](ede::FlightRecord& r) {
+    r.passengers_ticketed = ticketed;
+    ++r.updates_applied;
+  });
+}
+
+std::vector<ede::FlightRecord> records_of(const HandleOutcome& out) {
+  EXPECT_TRUE(out.response.ok());
+  if (!out.response.state) return {};
+  const auto decoded = decode_record_set(
+      ByteSpan(out.response.state->data(), out.response.state->size()));
+  EXPECT_TRUE(decoded);
+  return decoded ? decoded.value() : std::vector<ede::FlightRecord>{};
+}
+
+Request query(QueryShape shape, std::uint32_t key) {
+  Request req;
+  req.id = 1;
+  req.shape = shape;
+  req.key = key;
+  return req;
+}
+
+TEST(RequestHandler, FlightQueryReturnsExactlyThatFlight) {
+  OperationalState state;
+  set_flight(state, 5, 50);
+  set_flight(state, 6, 60);
+  RequestHandler h(&state, ServeConfig{});
+  const auto out = h.handle(query(QueryShape::kFlight, 5));
+  const auto records = records_of(out);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].flight, 5u);
+  EXPECT_EQ(records[0].passengers_ticketed, 50u);
+  EXPECT_EQ(out.response.version, state.version());
+  EXPECT_FALSE(out.shed);
+}
+
+TEST(RequestHandler, GroupQueriesSelectDerivedSets) {
+  OperationalState state;
+  // Flights 0..31: airports 0..15 twice over, airlines 0 and 1.
+  for (FlightKey f = 0; f < 32; ++f) set_flight(state, f, 1);
+  RequestHandler h(&state, ServeConfig{});
+
+  const auto airport = records_of(h.handle(query(QueryShape::kAirport, 3)));
+  ASSERT_EQ(airport.size(), 2u);  // flights 3 and 19
+  for (const auto& rec : airport) EXPECT_EQ(airport_of(rec.flight), 3u);
+
+  const auto airline = records_of(h.handle(query(QueryShape::kAirline, 1)));
+  ASSERT_EQ(airline.size(), 16u);  // flights 16..31
+  for (const auto& rec : airline) EXPECT_EQ(airline_of(rec.flight), 1u);
+
+  const auto region = records_of(h.handle(query(QueryShape::kRegion, 2)));
+  ASSERT_EQ(region.size(), 8u);  // airports 2, 6, 10, 14 twice over
+  for (const auto& rec : region) EXPECT_EQ(region_of(rec.flight), 2u);
+
+  const auto full = records_of(h.handle(query(QueryShape::kFullState, 0)));
+  EXPECT_EQ(full.size(), 32u);
+}
+
+TEST(RequestHandler, UnknownFlightAnswersEmptyOk) {
+  OperationalState state;
+  RequestHandler h(&state, ServeConfig{});
+  const auto out = h.handle(query(QueryShape::kFlight, 404));
+  EXPECT_TRUE(out.response.ok());
+  EXPECT_TRUE(records_of(out).empty());
+}
+
+TEST(RequestHandler, RepeatQueryHitsTheCache) {
+  OperationalState state;
+  set_flight(state, 7, 70);
+  RequestHandler h(&state, ServeConfig{});
+  const auto first = h.handle(query(QueryShape::kFlight, 7));
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = h.handle(query(QueryShape::kFlight, 7));
+  EXPECT_TRUE(second.cache_hit);
+  // Zero-copy: both answers share the same encoded buffer.
+  EXPECT_EQ(first.response.state.get(), second.response.state.get());
+  EXPECT_EQ(second.response.version, first.response.version);
+}
+
+TEST(RequestHandler, UpdateInvalidatesCoveredQueriesOnly) {
+  OperationalState state;
+  set_flight(state, 7, 70);
+  set_flight(state, 8, 80);
+  RequestHandler h(&state, ServeConfig{});
+  (void)h.handle(query(QueryShape::kFlight, 7));
+  (void)h.handle(query(QueryShape::kFlight, 8));
+
+  set_flight(state, 7, 71);
+  h.on_state_update(7);
+
+  const auto refetched = h.handle(query(QueryShape::kFlight, 7));
+  EXPECT_FALSE(refetched.cache_hit);
+  const auto records = records_of(refetched);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].passengers_ticketed, 71u);
+  EXPECT_EQ(refetched.response.version, state.version());
+
+  // Flight 8's entry survived (different flight, airport, airline, region).
+  EXPECT_TRUE(h.handle(query(QueryShape::kFlight, 8)).cache_hit);
+}
+
+TEST(RequestHandler, CacheDisabledAlwaysRebuilds) {
+  OperationalState state;
+  set_flight(state, 7, 70);
+  ServeConfig config;
+  config.cache_enabled = false;
+  RequestHandler h(&state, config);
+  EXPECT_FALSE(h.handle(query(QueryShape::kFlight, 7)).cache_hit);
+  EXPECT_FALSE(h.handle(query(QueryShape::kFlight, 7)).cache_hit);
+  EXPECT_EQ(h.cache().hits(), 0u);
+}
+
+TEST(RequestHandler, SaturatedGateShedsWithRetryHint) {
+  OperationalState state;
+  ServeConfig config;
+  config.max_in_flight = 1;
+  config.retry_after_ms = 33;
+  RequestHandler h(&state, config);
+  // Occupy the only admission slot, as a concurrent request would.
+  ASSERT_TRUE(h.admission().try_acquire());
+  const auto out = h.handle(query(QueryShape::kFullState, 0));
+  EXPECT_TRUE(out.shed);
+  EXPECT_EQ(out.response.code, ResponseCode::kRetryAfter);
+  EXPECT_EQ(out.response.retry_after_ms, 33u);
+  h.admission().release();
+  // Slot free again: the same request is served.
+  EXPECT_TRUE(h.handle(query(QueryShape::kFullState, 0)).response.ok());
+  EXPECT_EQ(h.admission().shed(), 1u);
+}
+
+TEST(RequestHandler, ShutdownAnswersShuttingDown) {
+  OperationalState state;
+  RequestHandler h(&state, ServeConfig{});
+  h.begin_shutdown();
+  const auto out = h.handle(query(QueryShape::kFullState, 0));
+  EXPECT_EQ(out.response.code, ResponseCode::kShuttingDown);
+}
+
+TEST(RequestHandler, StateReplacedDropsWholeCache) {
+  OperationalState state;
+  set_flight(state, 1, 10);
+  RequestHandler h(&state, ServeConfig{});
+  (void)h.handle(query(QueryShape::kFlight, 1));
+  EXPECT_EQ(h.cache().entries(), 1u);
+  h.on_state_replaced();
+  EXPECT_EQ(h.cache().entries(), 0u);
+  EXPECT_FALSE(h.handle(query(QueryShape::kFlight, 1)).cache_hit);
+}
+
+}  // namespace
+}  // namespace admire::serve

@@ -1,0 +1,118 @@
+// SnapshotCache freshness contract: generation-validated entries, covering
+// invalidation, and the insert-vs-update race resolution (a build that
+// raced an invalidation is discarded, never resurrected).
+#include <gtest/gtest.h>
+
+#include "serve/snapshot_cache.h"
+
+namespace admire::serve {
+namespace {
+
+CachedSnapshot snap(std::uint64_t version) {
+  CachedSnapshot s;
+  s.payload = std::make_shared<const Bytes>(to_bytes("payload"));
+  s.version = version;
+  s.records = 1;
+  return s;
+}
+
+/// Build-and-insert with no interleaved invalidation (the happy path).
+void put(SnapshotCache& cache, const QueryKey& key, std::uint64_t version) {
+  const auto token = cache.begin_build(key);
+  cache.insert(token, snap(version));
+}
+
+TEST(SnapshotCache, MissThenHit) {
+  SnapshotCache cache;
+  const QueryKey key{QueryShape::kFlight, 7};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  put(cache, key, 5);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->version, 5u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.hit_ratio(), 0.0);
+}
+
+TEST(SnapshotCache, InvalidateFlightDropsEveryCoveringKey) {
+  SnapshotCache cache;
+  const FlightKey f = 21;
+  const std::vector<QueryKey> covering = {
+      {QueryShape::kFlight, f},
+      {QueryShape::kAirport, airport_of(f)},
+      {QueryShape::kAirline, airline_of(f)},
+      {QueryShape::kRegion, region_of(f)},
+      {QueryShape::kFullState, 0},
+  };
+  for (const auto& key : covering) put(cache, key, 1);
+  EXPECT_EQ(cache.entries(), covering.size());
+  cache.invalidate_flight(f);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.invalidations(), covering.size());
+  for (const auto& key : covering) {
+    EXPECT_FALSE(cache.lookup(key).has_value());
+  }
+}
+
+TEST(SnapshotCache, InvalidateFlightKeepsDisjointKeys) {
+  SnapshotCache cache;
+  const FlightKey f = 21;
+  // Keys whose result sets cannot contain flight 21.
+  const QueryKey other_flight{QueryShape::kFlight, f + 1};
+  const QueryKey other_airport{QueryShape::kAirport,
+                               (airport_of(f) + 1) % kNumAirports};
+  put(cache, other_flight, 1);
+  put(cache, other_airport, 1);
+  cache.invalidate_flight(f);
+  EXPECT_TRUE(cache.lookup(other_flight).has_value());
+  EXPECT_TRUE(cache.lookup(other_airport).has_value());
+}
+
+TEST(SnapshotCache, InsertRacingInvalidationIsDiscarded) {
+  SnapshotCache cache;
+  const QueryKey key{QueryShape::kFlight, 9};
+  const auto token = cache.begin_build(key);
+  // An update lands after the builder captured its token (and thus
+  // possibly after it read pre-update state): the insert must not publish.
+  cache.invalidate_flight(9);
+  cache.insert(token, snap(1));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.entries(), 0u);
+  // A token minted after the invalidation publishes normally.
+  put(cache, key, 2);
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(SnapshotCache, InsertRacingInvalidateAllIsDiscarded) {
+  SnapshotCache cache;
+  const QueryKey key{QueryShape::kAirport, 3};
+  const auto token = cache.begin_build(key);
+  cache.invalidate_all();
+  cache.insert(token, snap(1));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(SnapshotCache, InvalidateAllDropsEverything) {
+  SnapshotCache cache;
+  put(cache, {QueryShape::kFlight, 1}, 1);
+  put(cache, {QueryShape::kFullState, 0}, 1);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+}
+
+TEST(SnapshotCache, EntryBudgetIsEnforced) {
+  SnapshotCache cache(/*max_entries=*/2);
+  put(cache, {QueryShape::kFlight, 1}, 1);
+  put(cache, {QueryShape::kFlight, 2}, 1);
+  put(cache, {QueryShape::kFlight, 3}, 1);
+  EXPECT_EQ(cache.entries(), 2u);
+  // Re-inserting an existing key is not capacity pressure.
+  put(cache, {QueryShape::kFlight, 3}, 2);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+}  // namespace
+}  // namespace admire::serve

@@ -1,0 +1,135 @@
+// Serving plane under the discrete-event simulator: typed queries answered
+// by the real serve::RequestHandler at each simulated site, with virtual
+// admission control, retry-after backoff, and the snapshot cache charging
+// the cheaper hit cost. This is the DES variant of the update/query
+// interleaving asserted end to end by tests/serve/cache_invalidation_test.cpp
+// — both runtimes drive the same handler class.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "sim/sim_cluster.h"
+
+namespace admire::sim {
+namespace {
+
+constexpr std::uint32_t kFlights = 32;
+
+SimConfig serving_config() {
+  SimConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  config.serving = serve::ServeConfig{};
+  config.serve_flight_space = kFlights;
+  return config;
+}
+
+harness::RunSpec paced_spec(double request_rate) {
+  harness::RunSpec spec;
+  spec.faa_events = 300;
+  spec.num_flights = kFlights;
+  spec.event_padding = 128;
+  spec.event_horizon = kSecond;  // events pace out: updates race queries
+  spec.request_rate = request_rate;
+  spec.requests_while_events = false;
+  spec.request_window = kSecond;
+  return spec;
+}
+
+SimResult run(SimConfig config, const harness::RunSpec& spec) {
+  SimCluster cluster(std::move(config));
+  return cluster.run(harness::make_trace(spec), harness::make_requests(spec));
+}
+
+TEST(SimServing, TypedQueriesAreServedAndAccounted) {
+  const auto spec = paced_spec(500);
+  const auto offered = harness::make_requests(spec).size();
+  const auto r = run(serving_config(), spec);
+  EXPECT_EQ(r.requests_served + r.requests_dropped, offered);
+  EXPECT_GT(r.requests_served, 0u);
+  ASSERT_NE(r.request_latency, nullptr);
+  EXPECT_EQ(r.request_latency->count(), r.requests_served);
+}
+
+TEST(SimServing, CacheInterleavesWithUpdateInvalidation) {
+  const auto r = run(serving_config(), paced_spec(2000));
+  // Queries and paced updates overlap in virtual time: the cache must both
+  // serve hits and be invalidated mid-run — the DES interleaving variant.
+  EXPECT_GT(r.serve_cache_hits, 0u);
+  EXPECT_GT(r.serve_cache_misses, 0u);
+  EXPECT_GT(r.serve_cache_hit_ratio, 0.0);
+  EXPECT_LT(r.serve_cache_hit_ratio, 1.0);
+  const auto snap = r.obs->snapshot();
+  double invalidations = 0;
+  for (const char* site : {"central", "mirror1", "mirror2"}) {
+    invalidations += static_cast<double>(snap.counter_or(
+        std::string("serve.") + site + ".cache.invalidations_total"));
+  }
+  EXPECT_GT(invalidations, 0.0);
+  // Replicas still converge with the serving plane active.
+  const auto& fps = r.state_fingerprints;
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0], fps[1]);
+  EXPECT_EQ(fps[1], fps[2]);
+}
+
+TEST(SimServing, SaturationShedsAndEveryClientIsResolved) {
+  auto config = serving_config();
+  config.serving->max_in_flight = 4;
+  config.serving->retry_after_ms = 10;
+  config.serve_max_retries = 3;
+  const auto spec = paced_spec(20'000);
+  const auto offered = harness::make_requests(spec).size();
+  const auto r = run(std::move(config), spec);
+  EXPECT_GT(r.requests_shed, 0u);
+  EXPECT_EQ(r.requests_served + r.requests_dropped, offered);
+  const auto snap = r.obs->snapshot();
+  double shed = 0;
+  for (const char* site : {"central", "mirror1", "mirror2"}) {
+    shed += static_cast<double>(
+        snap.counter_or(std::string("serve.") + site + ".shed_total"));
+  }
+  EXPECT_EQ(shed, static_cast<double>(r.requests_shed));
+}
+
+TEST(SimServing, DeterministicAcrossIdenticalRuns) {
+  const auto spec = paced_spec(5000);
+  const auto a = run(serving_config(), spec);
+  const auto b = run(serving_config(), spec);
+  EXPECT_EQ(a.requests_served, b.requests_served);
+  EXPECT_EQ(a.requests_shed, b.requests_shed);
+  EXPECT_EQ(a.requests_dropped, b.requests_dropped);
+  EXPECT_EQ(a.serve_cache_hits, b.serve_cache_hits);
+  EXPECT_EQ(a.serve_cache_misses, b.serve_cache_misses);
+  EXPECT_EQ(a.total_time, b.total_time);
+  ASSERT_NE(a.request_latency, nullptr);
+  ASSERT_NE(b.request_latency, nullptr);
+  EXPECT_EQ(a.request_latency->percentile(0.99),
+            b.request_latency->percentile(0.99));
+}
+
+TEST(SimServing, DisabledCacheStillServesEveryQuery) {
+  auto config = serving_config();
+  config.serving->cache_enabled = false;
+  const auto spec = paced_spec(1000);
+  const auto offered = harness::make_requests(spec).size();
+  const auto r = run(std::move(config), spec);
+  EXPECT_EQ(r.serve_cache_hits, 0u);
+  EXPECT_EQ(r.serve_cache_hit_ratio, 0.0);
+  EXPECT_EQ(r.requests_served + r.requests_dropped, offered);
+}
+
+TEST(SimServing, LegacyRequestPathUnchangedWhenServingUnset) {
+  SimConfig config;
+  config.num_mirrors = 1;
+  config.params.function = rules::simple_mirroring();
+  const auto spec = paced_spec(500);
+  const auto r = run(std::move(config), spec);
+  EXPECT_EQ(r.requests_shed, 0u);
+  EXPECT_EQ(r.requests_dropped, 0u);
+  EXPECT_EQ(r.serve_cache_hits, 0u);
+  EXPECT_EQ(r.serve_cache_hit_ratio, 0.0);
+  EXPECT_GT(r.requests_served, 0u);
+}
+
+}  // namespace
+}  // namespace admire::sim

@@ -10,16 +10,26 @@
 // order hash (per-flight FIFO survives the hand-off) — the bench exits
 // nonzero if either diverges.
 //
+// A second sweep does the same for the drain side: D drain shards (one
+// drainer thread each, the ThreadedCentralSite drain-pool shape) feeding a
+// TxStage fan-out, D in {1,2,4,8} x destination count — 1 drainer is the
+// old single sending task. Its gate compares rule counters, sent/bytes and
+// a per-flight order hash per destination against the 1-drainer baseline
+// (cross-flight interleaving is allowed to differ; per-flight FIFO is not).
+//
 // Prints one line per configuration; with `--json FILE` also writes the
 // numbers as a JSON object (CI artifact: BENCH_txpath.json).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/tx_stage.h"
+#include "mirror/sharded_pipeline_core.h"
+#include "obs/registry.h"
 #include "workload/scenario.h"
 
 namespace admire::bench {
@@ -142,6 +152,110 @@ bool matches(const RunResult& staged, const RunResult& serial) {
   return true;
 }
 
+// ---- Drain-shard sweep ----------------------------------------------------
+
+/// Per-destination receipt keyed by flight: an order-sensitive hash per
+/// flight, XOR-combined across flights. Equal combined hashes mean every
+/// flight arrived in the same order — the invariant drain sharding makes —
+/// while cross-flight interleaving (which D > 1 legally changes) cancels
+/// out. One TxStage worker writes each destination, so no lock is needed.
+struct FlightOrderState {
+  std::uint64_t count = 0;
+  std::map<FlightKey, std::uint64_t> flights;
+
+  void absorb(std::span<const event::Event> evs) {
+    for (const auto& ev : evs) {
+      auto it = flights.try_emplace(ev.key(), 1469598103934665603ull).first;
+      const std::uint64_t x =
+          (static_cast<std::uint64_t>(ev.key()) << 32) ^ ev.seq();
+      it->second = (it->second ^ x) * 1099511628211ull;
+    }
+    count += evs.size();
+  }
+
+  std::uint64_t combined() const {
+    std::uint64_t h = 0;
+    for (const auto& [key, fh] : flights) h ^= fh;
+    return h;
+  }
+};
+
+struct DrainRunResult {
+  double drained_events_per_sec = 0.0;  ///< ready->backup consumption rate
+  double lock_wait_mean_ns = 0.0;       ///< mean drain-lock acquisition wait
+  std::uint64_t rules_seen = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::vector<FlightOrderState> dests;
+};
+
+constexpr std::size_t kDrainRxShards = 8;
+constexpr std::size_t kDrainBatch = 256;  // drain-pool credit-sized batches
+
+/// Ingest the whole workload (not timed — the rx path has its own bench),
+/// then time D drainer threads emptying their drain shards into a TxStage
+/// fan-out, exactly the ThreadedCentralSite drain-pool shape.
+DrainRunResult run_drain(const std::vector<event::Event>& evs,
+                         std::size_t num_dests, std::size_t drains) {
+  DrainRunResult r;
+  r.dests.resize(num_dests);
+  obs::Registry registry;
+  mirror::ShardedPipelineCore core(
+      rules::ois_default_rules(rules::selective_mirroring(3)),
+      workload::kOisStreams, kDrainRxShards, drains);
+  core.instrument(registry, "bench");
+  for (const auto& ev : evs) core.on_incoming(ev, 0);
+
+  cluster::TxStage stage(cluster::TxStageConfig{});
+  for (std::size_t d = 0; d < num_dests; ++d) {
+    stage.add_destination(
+        "dest" + std::to_string(d),
+        [&r, d](std::span<const event::Event> b) { r.dests[d].absorb(b); });
+  }
+  stage.start();
+  const auto t0 = Clock::now();
+  std::vector<std::thread> drainers;
+  for (std::size_t d = 0; d < drains; ++d) {
+    drainers.emplace_back([&core, &stage, d] {
+      while (auto step = core.try_send_batch_shard(d, kDrainBatch, 0)) {
+        if (!step->to_send.empty()) stage.publish(step->to_send);
+      }
+    });
+  }
+  for (auto& t : drainers) t.join();
+  const auto flushed = core.flush(0);  // quiesced: coalescer remainders
+  if (!flushed.to_send.empty()) stage.publish(flushed.to_send);
+  const auto t1 = Clock::now();
+  stage.stop();  // every outbox drains before the gate reads r.dests
+
+  const auto pc = core.counters();
+  r.rules_seen = core.rule_counters().total_seen();
+  r.sent = pc.sent;
+  r.bytes_sent = pc.bytes_sent;
+  r.drained_events_per_sec =
+      static_cast<double>(pc.enqueued) / seconds_between(t0, t1);
+  const auto snap = registry.snapshot();
+  if (const auto* h = snap.histogram("pipeline.bench.drain.lock_wait_ns");
+      h != nullptr && h->count > 0) {
+    r.lock_wait_mean_ns = h->sum / static_cast<double>(h->count);
+  }
+  return r;
+}
+
+bool drain_matches(const DrainRunResult& sharded,
+                   const DrainRunResult& serial) {
+  if (sharded.rules_seen != serial.rules_seen) return false;
+  if (sharded.sent != serial.sent) return false;
+  if (sharded.bytes_sent != serial.bytes_sent) return false;
+  for (std::size_t d = 0; d < sharded.dests.size(); ++d) {
+    if (sharded.dests[d].count != serial.dests[d].count) return false;
+    if (sharded.dests[d].combined() != serial.dests[d].combined()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace admire::bench
 
@@ -198,6 +312,38 @@ int main(int argc, char** argv) {
         100.0 * serial_rate[c][1] / serial_rate[c][0]);
   }
 
+  // Drain-shard sweep: D drainer threads vs the 1-drainer serial baseline,
+  // per destination fan-out. The gate is semantic equality with D=1.
+  const std::size_t drain_counts[] = {1, 2, 4, 8};
+  bool drain_gate_ok = true;
+  // [dest index][drain index] -> rate / mean lock wait.
+  double drain_rate[3][4] = {};
+  double drain_lock_wait[3][4] = {};
+  std::printf("== drain-shard sweep: rx_shards=%zu, OIS selective rules ==\n",
+              kDrainRxShards);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t dests = dest_counts[c];
+    DrainRunResult baseline;
+    for (std::size_t k = 0; k < 4; ++k) {
+      DrainRunResult run = run_drain(evs, dests, drain_counts[k]);
+      drain_rate[c][k] = run.drained_events_per_sec;
+      drain_lock_wait[c][k] = run.lock_wait_mean_ns;
+      bool ok = true;
+      if (k == 0) {
+        baseline = std::move(run);
+      } else {
+        ok = drain_matches(run, baseline);
+        drain_gate_ok = drain_gate_ok && ok;
+      }
+      std::printf(
+          "dests=%zu drains=%zu  drained %12.0f ev/s  %5.2fx  "
+          "lock_wait %7.0f ns  %s\n",
+          dests, drain_counts[k], drain_rate[c][k],
+          drain_rate[c][k] / drain_rate[c][0], drain_lock_wait[c][k],
+          ok ? "counters+order ok" : "MISMATCH");
+    }
+  }
+
   if (json_path != nullptr) {
     FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {
@@ -221,15 +367,28 @@ int main(int argc, char** argv) {
                    dest_counts[c], serial_rate[c][0], serial_rate[c][1],
                    staged_rate[c][0], staged_rate[c][1], c + 1 < 3 ? "," : "");
     }
+    std::fprintf(f, "  },\n  \"drain_sweep\": {\n");
+    for (std::size_t c = 0; c < 3; ++c) {
+      std::fprintf(f, "    \"dests_%zu\": {", dest_counts[c]);
+      for (std::size_t k = 0; k < 4; ++k) {
+        std::fprintf(f,
+                     "\"drains_%zu\": {\"events_per_sec\": %.0f, "
+                     "\"lock_wait_mean_ns\": %.0f}%s",
+                     drain_counts[k], drain_rate[c][k], drain_lock_wait[c][k],
+                     k + 1 < 4 ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", c + 1 < 3 ? "," : "");
+    }
     std::fprintf(f,
                  "  },\n"
                  "  \"staged_stall_retention_dests_4\": %.3f,\n"
                  "  \"serial_stall_retention_dests_4\": %.3f,\n"
+                 "  \"drain_counters_match\": %s,\n"
                  "  \"counters_match\": %s\n"
                  "}\n",
                  staged_rate[1][1] / staged_rate[1][0],
                  serial_rate[1][1] / serial_rate[1][0],
-                 gate_ok ? "true" : "false");
+                 drain_gate_ok ? "true" : "false", gate_ok ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }
@@ -238,6 +397,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: staged delivery diverged from the serial baseline "
                  "(count or per-destination order)\n");
+    return 1;
+  }
+  if (!drain_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: sharded drain diverged from the 1-drainer baseline "
+                 "(rule counters, sent/bytes, or per-flight order)\n");
     return 1;
   }
   return 0;

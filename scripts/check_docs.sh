@@ -76,6 +76,25 @@ for m in re.finditer(r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"', src):
     fail(f"src/ registers metric `{name}` but OBSERVABILITY.md "
          "does not document it")
 
+# --- 2b. the sharded-drain metric family is pinned by name ---------------
+# The drain shards (DESIGN.md §14) added a metric family whose names the
+# bench sweep and the obs tests read back literally; a silent rename in
+# either the doc or the registration site would pass the generic checks
+# above (the pieces still exist) but break those readers. Pin the exact
+# documented forms and their registration suffixes.
+for doc_form in ("pipeline.<site>.drain.lock_wait_ns",
+                 "pipeline.<site>.drain.drained_total",
+                 "pipeline.<site>.drain.shard<k>.drained_total",
+                 "queue.<site>.shard<k>.backup.*"):
+    if f"`{doc_form}`" not in obs:
+        fail(f"OBSERVABILITY.md must document `{doc_form}` "
+             "(sharded-drain metric family, DESIGN.md §14)")
+for reg_piece in ('".drain.lock_wait_ns"', '".drain.drained_total"',
+                  '".drained_total"'):
+    if reg_piece not in src:
+        fail(f"src/ no longer registers {reg_piece} — the drain.* family "
+             "documented in OBSERVABILITY.md went stale")
+
 # --- 3. bench artifacts: docs vs CI -------------------------------------
 doc_text = "".join(read(p) for p in sorted(glob.glob("*.md")))
 ci = read(".github/workflows/ci.yml")

@@ -18,7 +18,11 @@ ThreadedCentralSite::ThreadedCentralSite(
       clock_(std::move(clock)),
       num_mirrors_(num_mirrors),
       core_(config_.params, config_.num_streams,
-            mirror::ShardedPipelineCore::resolve_shards(config_.rx_shards)),
+            mirror::ShardedPipelineCore::resolve_shards(config_.rx_shards),
+            mirror::ShardedPipelineCore::resolve_drain_shards(
+                config_.drain_shards,
+                mirror::ShardedPipelineCore::resolve_shards(
+                    config_.rx_shards))),
       main_(kCentralSite),
       serving_(&main_.state(), config_.serve, clock_),
       coordinator_(kCentralSite, /*expected_replies=*/1 + num_mirrors),
@@ -30,6 +34,10 @@ ThreadedCentralSite::ThreadedCentralSite(
   for (std::size_t i = 0; i < rx; ++i) {
     inboxes_.push_back(
         std::make_unique<BoundedQueue<event::Event>>(config_.inbox_capacity));
+  }
+  drainers_.reserve(core_.num_drain_shards());
+  for (std::size_t d = 0; d < core_.num_drain_shards(); ++d) {
+    drainers_.push_back(std::make_unique<Drainer>());
   }
   if (config_.adaptation.has_value()) {
     controller_.emplace(*config_.adaptation);
@@ -126,9 +134,9 @@ ThreadedCentralSite::~ThreadedCentralSite() { stop(); }
 void ThreadedCentralSite::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  {
-    std::lock_guard lock(send_mu_);
-    send_stop_ = false;
+  for (auto& drainer : drainers_) {
+    std::lock_guard lock(drainer->mu);
+    drainer->stop = false;
   }
   // Pick up every named central.data destination subscribed so far (mirror
   // sites, remote bridges) and start their tx workers before any traffic.
@@ -138,31 +146,38 @@ void ThreadedCentralSite::start() {
   for (std::size_t i = 0; i < inboxes_.size(); ++i) {
     recv_threads_.emplace_back([this, i] { recv_loop(i); });
   }
-  send_thread_ = std::thread([this] { send_loop(); });
+  for (std::size_t d = 0; d < drainers_.size(); ++d) {
+    drainers_[d]->thread = std::thread([this, d] { send_loop(d); });
+  }
   control_thread_ = std::thread([this] { control_loop(); });
 }
 
 void ThreadedCentralSite::stop() {
   serving_.begin_shutdown();
   if (!running_.exchange(false)) return;
-  // Shutdown ordering is the bugfix here: the send task used to watch
-  // running_ and could exit while recv threads were still draining closed
-  // inboxes and granting credits — those enqueued events were silently
-  // never mirrored. Order now: (1) close + join the receiving tasks, so
-  // every credit that will ever be granted has been; (2) signal the send
-  // task, which exits only at zero credits; (3) flush the per-destination
-  // outboxes; (4) retire the control task.
+  // Shutdown ordering is the PR 6 bugfix, kept per drainer: a sending
+  // task used to watch running_ and could exit while recv threads were
+  // still draining closed inboxes and granting credits — those enqueued
+  // events were silently never mirrored. Order now: (1) close + join the
+  // receiving tasks, so every credit that will ever be granted has been;
+  // (2) signal every sending task, each of which exits only at zero
+  // credits; (3) flush the per-destination outboxes; (4) retire the
+  // control task.
   for (auto& inbox : inboxes_) inbox->close();
   for (auto& t : recv_threads_) {
     if (t.joinable()) t.join();
   }
   recv_threads_.clear();
-  {
-    std::lock_guard lock(send_mu_);
-    send_stop_ = true;
+  for (auto& drainer : drainers_) {
+    {
+      std::lock_guard lock(drainer->mu);
+      drainer->stop = true;
+    }
+    drainer->cv.notify_all();
   }
-  send_cv_.notify_all();
-  if (send_thread_.joinable()) send_thread_.join();
+  for (auto& drainer : drainers_) {
+    if (drainer->thread.joinable()) drainer->thread.join();
+  }
   tx_.stop();
   control_inbox_.close();
   if (control_thread_.joinable()) control_thread_.join();
@@ -179,8 +194,19 @@ Status ThreadedCentralSite::ingest(event::Event ev) {
   return inboxes_[idx]->push(std::move(ev));
 }
 
+std::size_t ThreadedCentralSite::drainer_of_key(FlightKey key) const {
+  return mirror::ShardedPipelineCore::drain_shard_of(
+      mirror::ShardedPipelineCore::shard_of_key(key, core_.num_shards()),
+      drainers_.size());
+}
+
 void ThreadedCentralSite::recv_loop(std::size_t inbox_idx) {
   while (auto ev = inboxes_[inbox_idx]->pop()) {
+    // The drain shard is a pure function of the flight key; capture it
+    // before the event moves into the pipeline. A combined (tuple
+    // completion) event carries the same key, so both credits of one
+    // outcome route to the same drainer.
+    const std::size_t d = drainer_of_key(ev->key());
     const auto outcome = core_.on_incoming(std::move(*ev), clock_->now());
     // fwd(): the main unit's EDE sees the full stream (§3.2.1 semantics:
     // rules reduce mirror traffic, not the regular clients' updates).
@@ -190,11 +216,12 @@ void ThreadedCentralSite::recv_loop(std::size_t inbox_idx) {
                                   (outcome.combined_enqueued ? 1u : 0u);
     if (credits > 0) {
       credits_granted_.fetch_add(credits, std::memory_order_relaxed);
+      Drainer& drainer = *drainers_[d];
       {
-        std::lock_guard lock(send_mu_);
-        send_credits_ += credits;
+        std::lock_guard lock(drainer.mu);
+        drainer.credits += credits;
       }
-      send_cv_.notify_one();
+      drainer.cv.notify_one();
     }
     // Counted after the credit grant: drain()'s quiesce predicate reads
     // recv_done_ first, so the grant must already be visible when the last
@@ -203,22 +230,25 @@ void ThreadedCentralSite::recv_loop(std::size_t inbox_idx) {
   }
 }
 
-void ThreadedCentralSite::send_loop() {
+void ThreadedCentralSite::send_loop(std::size_t drain_shard) {
+  Drainer& drainer = *drainers_[drain_shard];
   while (true) {
     std::uint64_t credits = 0;
     {
-      std::unique_lock lock(send_mu_);
-      // send_stop_ (set only after the recv threads joined) is the exit
-      // signal, not running_: a credit granted during shutdown must still
-      // be turned into a send before this task may leave.
-      send_cv_.wait(lock, [&] { return send_credits_ > 0 || send_stop_; });
-      if (send_credits_ == 0 && send_stop_) return;
+      std::unique_lock lock(drainer.mu);
+      // stop (set only after the recv threads joined) is the exit signal,
+      // not running_: a credit granted during shutdown must still be
+      // turned into a send before this task may leave.
+      drainer.cv.wait(lock, [&] { return drainer.credits > 0 || drainer.stop; });
+      if (drainer.credits == 0 && drainer.stop) return;
       // Convert every accumulated credit into one batched send step: the
       // backlog that built up while this task was busy drains through a
       // single pop_batch + vectored fan-out instead of per-event steps.
-      credits = std::exchange(send_credits_, 0);
+      credits = std::exchange(drainer.credits, 0);
     }
-    auto step = core_.try_send_batch(credits, clock_->now());
+    // Only this drain shard's segments are popped — concurrent sending
+    // tasks merge at the TxStage outbox boundary, never inside the drain.
+    auto step = core_.try_send_batch_shard(drain_shard, credits, clock_->now());
     if (step.has_value()) {
       if (!step->to_send.empty()) {
         send_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -265,8 +295,12 @@ void ThreadedCentralSite::drop_tx_destination(const std::string& name) {
 }
 
 std::uint64_t ThreadedCentralSite::pending_send_credits() const {
-  std::lock_guard lock(send_mu_);
-  return send_credits_;
+  std::uint64_t total = 0;
+  for (const auto& drainer : drainers_) {
+    std::lock_guard lock(drainer->mu);
+    total += drainer->credits;
+  }
+  return total;
 }
 
 void ThreadedCentralSite::trigger_checkpoint() {

@@ -1,6 +1,7 @@
 // ThreadedCentralSite: the central (primary) site of Fig. 2 running as real
-// threads — a receiving task, a sending task and a control task inside the
-// auxiliary unit (exactly the paper's §3.1 task structure), plus the main
+// threads — receiving tasks, sending tasks (one per drain shard) and a
+// control task inside the auxiliary unit (the paper's §3.1 task structure,
+// with both data-path tasks scaled out by flight key), plus the main
 // unit's EDE. Communication uses ECho-style event channels:
 //   "central.data"    mirrored events -> mirror sites
 //   "central.updates" EDE state updates -> regular clients
@@ -44,6 +45,13 @@ struct CentralSiteConfig {
   /// hash(flight) % rx_threads, so per-flight order is preserved for any
   /// thread count; clamped to >= 1.
   std::size_t rx_threads = 1;
+  /// Send-side parallelism: the drain (coalescer release, send-rule work,
+  /// backup accounting) splits into this many flight-keyed drain shards,
+  /// each with its own sending task thread (0 = auto, same clamp as
+  /// rx_shards, additionally capped at the rx shard count). Send decisions
+  /// and backup contents are invariant to the drain shard count; 1 (the
+  /// default) is the classic single sending task.
+  std::size_t drain_shards = 1;
   /// Optional artificial CPU burn per processed event, emulating the
   /// paper-era business-logic cost in real time (examples use this).
   Nanos burn_per_event = 0;
@@ -136,7 +144,7 @@ class ThreadedCentralSite {
 
  private:
   void recv_loop(std::size_t inbox_idx);
-  void send_loop();
+  void send_loop(std::size_t drain_shard);
   void control_loop();
   void dispatch(const mirror::ShardedPipelineCore::SendStep& step);
   /// One logical mirror submission: account it once on the channel, then
@@ -177,19 +185,28 @@ class ThreadedCentralSite {
   std::vector<std::unique_ptr<BoundedQueue<event::Event>>> inboxes_;
   BoundedQueue<ControlItem> control_inbox_;
 
-  mutable std::mutex send_mu_;
-  std::condition_variable send_cv_;
-  std::uint64_t send_credits_ = 0;  // enqueued-but-unsent events
-  /// Set by stop() only after the recv threads have joined, so the send
-  /// loop cannot exit while credits are still being granted (the shutdown
-  /// drop this PR fixes). running_ alone is not a safe exit signal.
-  bool send_stop_ = false;
+  /// One sending task per drain shard. Credits route to the drainer whose
+  /// drain shard owns the granting event's rx shard, so a drainer is woken
+  /// only for flights it can actually pop — and the credit conversion in
+  /// send_loop never crosses drain shards. stop is set by stop() only
+  /// after the recv threads have joined, so a sending task cannot exit
+  /// while credits are still being granted (the PR 6 shutdown-drop fix,
+  /// kept per drainer). running_ alone is not a safe exit signal.
+  struct Drainer {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t credits = 0;  // enqueued-but-unsent events, this shard
+    bool stop = false;
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Drainer>> drainers_;
+  /// The drainer responsible for an event with this flight key.
+  std::size_t drainer_of_key(FlightKey key) const;
 
   TxStage tx_;
 
   std::atomic<bool> running_{false};
   std::vector<std::thread> recv_threads_;
-  std::thread send_thread_;
   std::thread control_thread_;
 
   std::atomic<std::uint64_t> ingested_{0};

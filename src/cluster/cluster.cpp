@@ -21,6 +21,7 @@ Cluster::Cluster(ClusterConfig config)
   central_config.num_streams = config_.num_streams;
   central_config.rx_shards = config_.rx_shards;
   central_config.rx_threads = config_.rx_threads;
+  central_config.drain_shards = config_.drain_shards;
   central_config.burn_per_event = config_.burn_per_event;
   central_config.obs = config_.obs.get();
   central_config.trace_sample_every = config_.trace_sample_every;

@@ -41,6 +41,10 @@ struct ClusterConfig {
   /// (see CentralSiteConfig::rx_shards / rx_threads).
   std::size_t rx_shards = 0;
   std::size_t rx_threads = 1;
+  /// Send-side parallelism at the central site: flight-keyed drain shards,
+  /// one sending task each (0 = auto, capped at the rx shard count; see
+  /// CentralSiteConfig::drain_shards). 1 = the classic serialized drain.
+  std::size_t drain_shards = 1;
   /// Send-side isolation: per-destination transmit outbox capacity in
   /// events (0 = unbounded) and the backpressure policy when a destination
   /// hits it (see TxStage / CentralSiteConfig).

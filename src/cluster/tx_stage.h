@@ -1,20 +1,24 @@
 // TxStage: the per-destination transmit half of the §3.2.1 sending task.
-// The drain under the pipeline's drain lock keeps coalescing / backup
-// accounting / per-flight FIFO serialized exactly as before, but instead of
-// writing to every outgoing channel inline it publishes each SendStep's
-// events into one bounded outbox per destination (each mirror channel plus
-// the local fwd path), and a dedicated tx worker drains each outbox into its
-// sink. A dead-slow destination therefore fills only its own outbox — the
-// backpressure policy decides whether the publisher blocks on it or the
-// oldest queued batches are shed — while healthy destinations keep draining
-// at full speed (TerraServer-style slow-component isolation; per-replica
-// sender queues as in Middleware-based Database Replication).
+// The drain shards keep coalescing / backup accounting / per-flight FIFO
+// serialized per flight key (each drain shard under its own lock — see
+// sharded_pipeline_core.h), but instead of writing to every outgoing
+// channel inline they publish each SendStep's events into one bounded
+// outbox per destination (each mirror channel plus the local fwd path),
+// and a dedicated tx worker drains each outbox into its sink. A dead-slow
+// destination therefore fills only its own outbox — the backpressure
+// policy decides whether the publisher blocks on it or the oldest queued
+// batches are shed — while healthy destinations keep draining at full
+// speed (TerraServer-style slow-component isolation; per-replica sender
+// queues as in Middleware-based Database Replication).
 //
-// Ordering: publish() appends to every open outbox under the publisher's
-// serialization (the drain lock), and each outbox is drained FIFO by one
-// worker, so per-destination delivery order equals publish order — per-flight
-// FIFO survives end to end. kDropOldest may shed whole batches from an
-// outbox's front, which drops events but never reorders the survivors.
+// Ordering: publish() appends a batch to every open outbox atomically per
+// outbox (per-outbox lock), and each outbox is drained FIFO by one worker,
+// so per-destination delivery order equals publish order. Concurrent
+// publishers (the drain pool) interleave whole batches, never events
+// within a batch — and since a flight is drained by exactly one drain
+// shard, per-flight FIFO survives end to end for any drain shard count.
+// kDropOldest may shed whole batches from an outbox's front, which drops
+// events but never reorders the survivors.
 #pragma once
 
 #include <atomic>
@@ -83,8 +87,10 @@ class TxStage {
   void stop();
 
   /// Copy `events` into every open outbox (event copies are refcount bumps)
-  /// applying the backpressure policy per destination. Called by the one
-  /// serialized drain; not safe for concurrent publishers.
+  /// applying the backpressure policy per destination. Safe for concurrent
+  /// publishers — the drain pool's sending tasks all publish here; batches
+  /// enqueue atomically per outbox, so publishers interleave whole batches
+  /// and a single publisher's batches stay in its publish order.
   void publish(std::span<const event::Event> events);
 
   /// Block until every outbox is empty and no sink call is in flight — the

@@ -60,6 +60,8 @@ sim::SimResult run_sim(const RunSpec& spec) {
   config.closed_loop_source = spec.event_horizon == 0;
   config.ni_offload = spec.ni_offload;
   config.tx_parallel = spec.tx_parallel;
+  config.rx_shards = spec.rx_shards;
+  config.drain_shards = spec.drain_shards;
   if (spec.request_rate > 0.0 && spec.requests_while_events && !spec.bursty) {
     config.auto_request_rate = spec.request_rate;
     config.request_seed = spec.seed ^ 0x5151;

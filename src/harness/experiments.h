@@ -42,6 +42,13 @@ struct RunSpec {
   /// accrues virtual time independently instead of serializing on one
   /// sending task. ni_offload takes precedence when both are set.
   bool tx_parallel = false;
+  /// Receive-side flight sharding of the central pipeline (SimConfig::
+  /// rx_shards). 1 = the classic serial receiving task.
+  std::size_t rx_shards = 1;
+  /// Send-side drain sharding (SimConfig::drain_shards, clamped to
+  /// [1, rx_shards]). 1 = the classic serial sending task, so every
+  /// existing figure experiment is unchanged.
+  std::size_t drain_shards = 1;
 
   // Client request load.
   double request_rate = 0.0;           ///< req/s, 0 = none

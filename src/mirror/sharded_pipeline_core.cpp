@@ -1,13 +1,16 @@
 #include "mirror/sharded_pipeline_core.h"
 
 #include <algorithm>
+#include <chrono>
+#include <iterator>
 #include <thread>
 
 namespace admire::mirror {
 
 ShardedPipelineCore::ShardedPipelineCore(rules::MirroringParams params,
                                          std::size_t num_streams,
-                                         std::size_t num_shards)
+                                         std::size_t num_shards,
+                                         std::size_t num_drain_shards)
     : vts_comps_(num_streams), vts_overflow_(num_streams) {
   const std::uint32_t every = params.function.checkpoint_every;
   checkpoint_every_.store(every == 0 ? 50 : every);
@@ -16,6 +19,19 @@ ShardedPipelineCore::ShardedPipelineCore(rules::MirroringParams params,
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(params));
   }
+  const std::size_t d =
+      std::clamp<std::size_t>(num_drain_shards, 1, shards_.size());
+  drain_shards_.reserve(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    drain_shards_.push_back(std::make_unique<DrainShard>());
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    drain_shards_[drain_shard_of(i, d)]->owned.push_back(i);
+  }
+  std::vector<queueing::BackupQueue*> segments;
+  segments.reserve(shards_.size());
+  for (auto& shard : shards_) segments.push_back(&shard->backup);
+  backup_view_.attach(std::move(segments));
 }
 
 ShardedPipelineCore::~ShardedPipelineCore() = default;
@@ -35,6 +51,18 @@ std::size_t ShardedPipelineCore::resolve_shards(std::size_t requested) {
   if (requested > 0) return requested;
   const std::size_t hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw, 1, kMaxAutoShards);
+}
+
+std::size_t ShardedPipelineCore::drain_shard_of(std::size_t rx_shard,
+                                                std::size_t num_drain_shards) {
+  if (num_drain_shards <= 1) return 0;
+  return rx_shard % num_drain_shards;
+}
+
+std::size_t ShardedPipelineCore::resolve_drain_shards(
+    std::size_t requested, std::size_t num_rx_shards) {
+  return std::min(resolve_shards(requested),
+                  std::max<std::size_t>(1, num_rx_shards));
 }
 
 void ShardedPipelineCore::observe_stamp(StreamId stream, SeqNo seq) {
@@ -123,11 +151,16 @@ ShardedPipelineCore::ReceiveOutcome ShardedPipelineCore::on_incoming(
   return outcome;
 }
 
-void ShardedPipelineCore::account_send(const event::Event& ev, SendStep& step) {
+void ShardedPipelineCore::account_send(Shard& shard, const event::Event& ev,
+                                       SendStep& step) {
   (void)step;
-  backup_.push(ev);
-  sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(ev.wire_size(), std::memory_order_relaxed);
+  // Coalesced/combined events keep their flight key, so every wire event a
+  // shard's coalescer releases backs up on that same shard's segment —
+  // backup contents are a function of the rx partition alone, invariant to
+  // how many drain shards consume it.
+  shard.backup.push(ev);
+  shard.sent.fetch_add(1, std::memory_order_relaxed);
+  shard.bytes_sent.fetch_add(ev.wire_size(), std::memory_order_relaxed);
 }
 
 void ShardedPipelineCore::coalesce_into(Shard& shard,
@@ -137,7 +170,7 @@ void ShardedPipelineCore::coalesce_into(Shard& shard,
   for (event::Event& ev : popped) {
     step.offered_bytes += ev.wire_size();
     for (event::Event& out : shard.coalescer.offer(std::move(ev))) {
-      account_send(out, step);
+      account_send(shard, out, step);
       step.to_send.push_back(std::move(out));
     }
   }
@@ -155,60 +188,133 @@ void ShardedPipelineCore::trace_send_step(const SendStep& step,
   }
 }
 
+std::unique_lock<std::mutex> ShardedPipelineCore::lock_drain(DrainShard& ds) {
+  obs::Histogram* lock_wait =
+      drain_lock_wait_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(ds.mu, std::defer_lock);
+  if (lock_wait == nullptr) {
+    lock.lock();
+    return lock;
+  }
+  if (lock.try_lock()) {
+    lock_wait->observe(0.0);
+    return lock;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  lock_wait->observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return lock;
+}
+
 std::optional<ShardedPipelineCore::SendStep> ShardedPipelineCore::try_send_step(
     Nanos now) {
   return try_send_batch(1, now);
 }
 
 std::optional<ShardedPipelineCore::SendStep>
+ShardedPipelineCore::try_send_step_shard(std::size_t drain_shard, Nanos now) {
+  return try_send_batch_shard(drain_shard, 1, now);
+}
+
+std::optional<ShardedPipelineCore::SendStep>
 ShardedPipelineCore::try_send_batch(std::size_t max, Nanos now) {
-  if (max == 0) return std::nullopt;
-  std::lock_guard drain(drain_mu_);
+  if (drain_shards_.size() == 1) return try_send_batch_shard(0, max, now);
+  // Single-threaded convenience over a sharded drain: visit every drain
+  // shard once, splitting the quota evenly across the shards still to
+  // come. A drain pool wants try_send_batch_shard per worker instead.
   SendStep step;
   bool consumed_any = false;
   std::size_t remaining = max;
-  // Fair merge: round-robin passes over the segments starting one past the
-  // previous drain's start, each segment yielding an equal share of the
-  // remaining quota, until the quota is spent or every segment is empty.
-  // Per-flight FIFO is preserved regardless: a flight lives in exactly one
-  // segment and this drain is the only consumer (serialized by drain_mu_).
-  const std::size_t start = drain_cursor_;
-  drain_cursor_ = (drain_cursor_ + 1) % shards_.size();
+  for (std::size_t d = 0; d < drain_shards_.size() && remaining > 0; ++d) {
+    const std::size_t left = drain_shards_.size() - d;
+    const std::size_t share =
+        std::max<std::size_t>(1, (remaining + left - 1) / left);
+    auto sub = try_send_batch_shard(d, std::min(share, remaining), now);
+    if (!sub.has_value()) continue;
+    consumed_any = true;
+    remaining -= std::min(remaining, sub->consumed);
+    step.consumed += sub->consumed;
+    step.offered_bytes += sub->offered_bytes;
+    step.to_send.insert(step.to_send.end(),
+                        std::make_move_iterator(sub->to_send.begin()),
+                        std::make_move_iterator(sub->to_send.end()));
+  }
+  if (!consumed_any) return std::nullopt;
+  return step;
+}
+
+std::optional<ShardedPipelineCore::SendStep>
+ShardedPipelineCore::try_send_batch_shard(std::size_t drain_shard,
+                                          std::size_t max, Nanos now) {
+  if (max == 0 || drain_shard >= drain_shards_.size()) return std::nullopt;
+  DrainShard& ds = *drain_shards_[drain_shard];
+  std::unique_lock<std::mutex> drain = lock_drain(ds);
+  SendStep step;
+  bool consumed_any = false;
+  std::size_t remaining = max;
+  // Fair merge: round-robin passes over this drain shard's segments
+  // starting one past the previous drain's start, each segment yielding an
+  // equal share of the remaining quota, until the quota is spent or every
+  // owned segment is empty. Per-flight FIFO is preserved regardless: a
+  // flight lives in exactly one segment, owned by exactly one drain shard,
+  // and that drain shard's consumers are serialized by ds.mu.
+  const auto& owned = ds.owned;
+  const std::size_t start = ds.cursor;
+  ds.cursor = (ds.cursor + 1) % owned.size();
   while (remaining > 0) {
     bool progress = false;
-    const std::size_t share =
-        std::max<std::size_t>(1, remaining / shards_.size());
-    for (std::size_t i = 0; i < shards_.size() && remaining > 0; ++i) {
-      Shard& shard = *shards_[(start + i) % shards_.size()];
+    const std::size_t share = std::max<std::size_t>(1, remaining / owned.size());
+    for (std::size_t i = 0; i < owned.size() && remaining > 0; ++i) {
+      Shard& shard = *shards_[owned[(start + i) % owned.size()]];
       std::vector<event::Event> popped =
           shard.ready.pop_batch(std::min(share, remaining), now);
       if (popped.empty()) continue;
       progress = true;
       consumed_any = true;
       remaining -= popped.size();
+      step.consumed += popped.size();
       coalesce_into(shard, std::move(popped), step);
     }
     if (!progress) break;
   }
   if (!consumed_any) return std::nullopt;
+  ds.drained.fetch_add(step.consumed, std::memory_order_relaxed);
   trace_send_step(step, now);
   return step;
 }
 
 ShardedPipelineCore::SendStep ShardedPipelineCore::flush(Nanos now) {
-  std::lock_guard drain(drain_mu_);
   SendStep step;
-  // Drain whatever is still on the ready segments, then the coalescers.
-  for (auto& shard : shards_) {
-    std::vector<event::Event> popped;
-    while (auto ev = shard->ready.try_pop(now)) popped.push_back(std::move(*ev));
-    if (!popped.empty()) coalesce_into(*shard, std::move(popped), step);
-  }
-  for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    for (event::Event& out : shard->coalescer.flush_all()) {
-      account_send(out, step);
-      step.to_send.push_back(std::move(out));
+  // Sweep one drain shard at a time, holding its lock across BOTH its
+  // segment drain and its coalescer flush: a concurrent drain worker on
+  // the same shard is excluded for the whole sweep, so it can neither
+  // re-buffer an event into a just-flushed coalescer nor double-release
+  // one this flush already emitted (exactly-once quiesce, the drain-pool
+  // regression in tests/stress). Distinct drain shards keep draining.
+  for (auto& ds : drain_shards_) {
+    std::unique_lock<std::mutex> drain = lock_drain(*ds);
+    for (const std::size_t idx : ds->owned) {
+      Shard& shard = *shards_[idx];
+      std::vector<event::Event> popped;
+      while (auto ev = shard.ready.try_pop(now)) {
+        popped.push_back(std::move(*ev));
+      }
+      if (!popped.empty()) {
+        step.consumed += popped.size();
+        ds->drained.fetch_add(popped.size(), std::memory_order_relaxed);
+        coalesce_into(shard, std::move(popped), step);
+      }
+    }
+    for (const std::size_t idx : ds->owned) {
+      Shard& shard = *shards_[idx];
+      std::lock_guard lock(shard.mu);
+      for (event::Event& out : shard.coalescer.flush_all()) {
+        account_send(shard, out, step);
+        step.to_send.push_back(std::move(out));
+      }
     }
   }
   return step;
@@ -256,6 +362,10 @@ std::uint64_t ShardedPipelineCore::shard_received(std::size_t shard) const {
   return shards_[shard]->received.load(std::memory_order_relaxed);
 }
 
+std::uint64_t ShardedPipelineCore::drain_shard_drained(std::size_t d) const {
+  return drain_shards_[d]->drained.load(std::memory_order_relaxed);
+}
+
 double ShardedPipelineCore::shard_imbalance() const {
   std::uint64_t total = 0;
   std::uint64_t peak = 0;
@@ -284,16 +394,28 @@ PipelineCounters ShardedPipelineCore::counters() const {
   out.received = received_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     out.enqueued += shard->enqueued.load(std::memory_order_relaxed);
+    out.sent += shard->sent.load(std::memory_order_relaxed);
+    out.bytes_sent += shard->bytes_sent.load(std::memory_order_relaxed);
   }
-  out.sent = sent_.load(std::memory_order_relaxed);
-  out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   out.checkpoints_due = checkpoints_due_.load(std::memory_order_relaxed);
   return out;
 }
 
 void ShardedPipelineCore::instrument(obs::Registry& registry,
                                      const std::string& site) {
-  backup_.instrument(registry, "queue." + site + ".backup");
+  // One rx shard: the view delegates and the classic queue.<site>.backup.*
+  // names are byte-identical to the unsharded queue. N > 1: aggregate
+  // names on the view (depth = sum, high_water = max per segment,
+  // trim_events fed once per commit with the merged size) plus
+  // per-segment queue.<site>.shard<k>.backup.* families.
+  backup_view_.instrument(registry, "queue." + site + ".backup");
+  if (shards_.size() > 1) {
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      shards_[k]->backup.instrument(
+          registry,
+          "queue." + site + ".shard" + std::to_string(k) + ".backup");
+    }
+  }
   // Resolve the registry sinks before taking any shard lock: counter()
   // locks the registry, and Registry::snapshot() invokes the probes
   // registered below while holding that same lock — resolving under a
@@ -346,10 +468,18 @@ void ShardedPipelineCore::instrument(obs::Registry& registry,
     return static_cast<double>(total);
   });
   probes_.add(registry, prefix + ".sent_total", [this] {
-    return static_cast<double>(sent_.load(std::memory_order_relaxed));
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->sent.load(std::memory_order_relaxed);
+    }
+    return static_cast<double>(total);
   });
   probes_.add(registry, prefix + ".bytes_sent_total", [this] {
-    return static_cast<double>(bytes_sent_.load(std::memory_order_relaxed));
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->bytes_sent.load(std::memory_order_relaxed);
+    }
+    return static_cast<double>(total);
   });
   probes_.add(registry, prefix + ".checkpoints_due_total", [this] {
     return static_cast<double>(
@@ -373,6 +503,34 @@ void ShardedPipelineCore::instrument(obs::Registry& registry,
     }
     probes_.add(registry, prefix + ".shard_imbalance",
                 [this] { return shard_imbalance(); });
+  }
+  // Drain-side contention metrics (OBSERVABILITY.md "Parallel drain").
+  // The lock-wait histogram registers at every shard count so a D=1 run
+  // provides the "before" profile the bench sweep compares against;
+  // per-drain-shard counters appear only when the drain is actually
+  // sharded, mirroring the rx shard<k> convention.
+  drain_lock_wait_.store(
+      &registry.histogram(prefix + ".drain.lock_wait_ns",
+                          obs::Histogram::latency_bounds()),
+      std::memory_order_release);
+  probes_.add(registry, prefix + ".drain.drained_total", [this] {
+    std::uint64_t total = 0;
+    for (const auto& ds : drain_shards_) {
+      total += ds->drained.load(std::memory_order_relaxed);
+    }
+    return static_cast<double>(total);
+  });
+  if (drain_shards_.size() > 1) {
+    for (std::size_t k = 0; k < drain_shards_.size(); ++k) {
+      DrainShard* ds = drain_shards_[k].get();
+      probes_.add(registry,
+                  prefix + ".drain.shard" + std::to_string(k) +
+                      ".drained_total",
+                  [ds] {
+                    return static_cast<double>(
+                        ds->drained.load(std::memory_order_relaxed));
+                  });
+    }
   }
 }
 

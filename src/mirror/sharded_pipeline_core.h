@@ -6,8 +6,18 @@
 // to shard hash(flight_id) % N, each shard owns its own RuleEngine +
 // StatusTable + Coalescer + ready-queue segment behind its own lock, and
 // cross-shard state is reduced to a handful of atomics (vector-timestamp
-// components, pipeline counters, checkpoint cadence) plus the shared
-// backup queue.
+// components, pipeline counters, checkpoint cadence).
+//
+// The sending task of §3.2.1 ("events are removed from the ready queue,
+// sent onto all outgoing channels, and temporarily stored in the backup
+// queue") is sharded the same way: D drain shards (D <= N), drain shard d
+// owning the rx segments {i : i % D == d} — coalescer release decisions,
+// send-rule work and backup accounting for those flights run under drain
+// shard d's lock alone, and concurrent drains merge only at the transmit
+// (TxStage outbox) boundary. Each rx shard backs its flights up on its own
+// BackupQueue segment; BackupView presents the merged queue to checkpoint
+// trim / rejoin replay, so backup contents are invariant to the drain
+// shard count (see DESIGN.md §14).
 //
 // Invariants the sharding preserves (tests/mirror/sharded_pipeline_test.cpp
 // proves them):
@@ -16,8 +26,10 @@
 //    exactly one shard, so shard count cannot change any accept/discard/
 //    absorb outcome or the merged RuleCounters.
 //  - Per-flight FIFO order holds end to end: a flight maps to one ready
-//    segment, and the drain (which merges segments fairly, round-robin)
-//    serializes senders under one drain lock.
+//    segment, every ready segment is owned by exactly one drain shard, and
+//    each drain shard is serialized under its own lock — so a flight's
+//    events are popped, coalesced and backed up by one drain at a time, in
+//    segment FIFO order, for any rx/drain shard count.
 //  - Checkpoint-due fires once per checkpoint_every processed events
 //    globally — counted on a monotonic atomic, not per shard.
 //  - Vector timestamps stay globally consistent: per-stream maxima live in
@@ -63,8 +75,11 @@ class ShardedPipelineCore {
  public:
   /// `num_shards` is clamped to >= 1; pass `resolve_shards(requested)` to
   /// get the hardware-concurrency-capped default for requested == 0.
+  /// `num_drain_shards` is clamped to [1, num_shards]; pass
+  /// `resolve_drain_shards(requested, num_shards)` for the same
+  /// 0-means-auto convention.
   ShardedPipelineCore(rules::MirroringParams params, std::size_t num_streams,
-                      std::size_t num_shards);
+                      std::size_t num_shards, std::size_t num_drain_shards = 1);
   ~ShardedPipelineCore();
 
   ShardedPipelineCore(const ShardedPipelineCore&) = delete;
@@ -103,6 +118,9 @@ class ShardedPipelineCore {
     /// set when coalescing buffered them and to_send is empty) —
     /// cost-model input for the extraction/combine work of §3.3.
     std::size_t offered_bytes = 0;
+    /// Ready-queue events this step removed (>= to_send.size() is NOT
+    /// implied either way: coalescing can buffer or release multiples).
+    std::size_t consumed = 0;
   };
   /// nullopt when every ready segment is empty. `now` (0 = unknown) feeds
   /// the ready-queue wait histogram and the event tracer.
@@ -113,8 +131,20 @@ class ShardedPipelineCore {
   /// are merged fairly — round-robin passes, each shard yielding an equal
   /// chunk — so one hot shard cannot starve the others, while per-flight
   /// FIFO order is untouched (a flight lives in exactly one segment).
+  /// With one drain shard this IS the whole drain; with D > 1 it walks
+  /// every drain shard in turn (a convenience for single-threaded
+  /// callers — a drain pool calls try_send_batch_shard per worker).
   /// nullopt when every segment is empty.
   std::optional<SendStep> try_send_batch(std::size_t max, Nanos now = 0);
+
+  /// One drain shard's send step/batch: pops only the rx segments this
+  /// drain shard owns, under this drain shard's lock — distinct drain
+  /// shards run fully concurrently (disjoint segments, coalescers and
+  /// backup segments; only counters and the TxStage boundary are shared).
+  std::optional<SendStep> try_send_step_shard(std::size_t drain_shard,
+                                              Nanos now = 0);
+  std::optional<SendStep> try_send_batch_shard(std::size_t drain_shard,
+                                               std::size_t max, Nanos now = 0);
 
   /// Flush every segment and every shard coalescer (quiesce / end of
   /// stream). The returned events have been backed up and counted like
@@ -122,6 +152,14 @@ class ShardedPipelineCore {
   /// transmit stage must publish this remainder too, then quiesce the
   /// stage's outboxes — counting here says "consumed by the send task",
   /// not "delivered to every destination".
+  ///
+  /// Safe (and exactly-once) concurrent with active drain workers: each
+  /// drain shard's segments and coalescer are emptied under that drain
+  /// shard's lock, so a worker can never re-buffer an event after its
+  /// coalescer was flushed, and no coalesced event is released twice.
+  /// Idempotent — a second flush over a quiesced pipeline returns empty.
+  /// Events ingested *while* flush runs may land after its sweep; callers
+  /// quiesce ingest first (or call flush again).
   SendStep flush(Nanos now = 0);
 
   // --- Adaptation --------------------------------------------------------
@@ -136,27 +174,46 @@ class ShardedPipelineCore {
 
   // --- Sharding ----------------------------------------------------------
   std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_drain_shards() const { return drain_shards_.size(); }
 
   /// The shard an event with this flight key routes to. Key 0 (control /
   /// keyless events) always routes to shard 0.
   static std::size_t shard_of_key(FlightKey key, std::size_t num_shards);
 
+  /// The drain shard that owns rx shard `rx_shard`: rx_shard % D, so the
+  /// segments spread evenly and drain shard 0 always owns rx shard 0
+  /// (control events included).
+  static std::size_t drain_shard_of(std::size_t rx_shard,
+                                    std::size_t num_drain_shards);
+
   /// 0 -> hardware_concurrency capped at kMaxAutoShards; otherwise the
   /// requested count clamped to >= 1.
   static std::size_t resolve_shards(std::size_t requested);
+  /// Drain-shard requests clamp exactly like rx-shard requests (shared
+  /// helper: routes through resolve_shards) with one extra bound: never
+  /// more drain shards than rx shards — a drain shard with no segments
+  /// would spin on nothing.
+  static std::size_t resolve_drain_shards(std::size_t requested,
+                                          std::size_t num_rx_shards);
   static constexpr std::size_t kMaxAutoShards = 8;
 
   /// Ready-queue depth summed over all segments (adaptation input).
   std::size_t ready_size() const;
   std::size_t shard_ready_size(std::size_t shard) const;
   std::uint64_t shard_received(std::size_t shard) const;
+  /// Ready events drain shard `d` has consumed from its segments.
+  std::uint64_t drain_shard_drained(std::size_t d) const;
   /// max/mean of per-shard received counts (1.0 = perfectly balanced,
   /// num_shards() = everything on one shard); 0 before any traffic.
   double shard_imbalance() const;
 
   // --- Introspection -----------------------------------------------------
-  queueing::BackupQueue& backup() { return backup_; }
-  const queueing::BackupQueue& backup() const { return backup_; }
+  /// Merged view over the per-rx-shard backup segments (one segment at
+  /// N=1, where every call is byte-identical to the classic single
+  /// BackupQueue). Checkpoint trim, rejoin replay and adaptation inputs
+  /// all go through this.
+  queueing::BackupView& backup() { return backup_view_; }
+  const queueing::BackupView& backup() const { return backup_view_; }
 
   /// Merged rule counters across all shards. Byte-identical to a
   /// single-shard run of the same per-flight workload.
@@ -204,7 +261,9 @@ class ShardedPipelineCore {
  private:
   /// One flight partition: rule + coalescer + status state behind its own
   /// lock, plus its segment of the ready queue (internally locked, so the
-  /// drain can pop without taking the shard lock first).
+  /// drain can pop without taking the shard lock first) and its segment of
+  /// the backup queue (internally locked; pushed to only by the one drain
+  /// shard that owns this rx shard, read/trimmed through BackupView).
   struct Shard {
     explicit Shard(const rules::MirroringParams& params)
         : engine(params),
@@ -216,20 +275,42 @@ class ShardedPipelineCore {
     rules::Coalescer coalescer;
     queueing::StatusTable table;
     queueing::ReadyQueue ready;
+    queueing::BackupQueue backup;
     std::atomic<std::uint64_t> received{0};
     std::atomic<std::uint64_t> enqueued{0};
+    // Send-side accounting lives on the rx shard (summed on read): each
+    // counter is written by the one drain shard that owns this segment,
+    // so parallel drains never share a counter cache line.
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+  };
+
+  /// One send-task partition: owns the rx segments `owned` (indices
+  /// i % D == d) — every pop/coalesce/backup decision for those flights
+  /// happens under `mu`, which is also what makes flush() exactly-once
+  /// against active drain workers. Padded: D drainer threads each hammer
+  /// their own lock word.
+  struct alignas(64) DrainShard {
+    mutable std::mutex mu;
+    std::size_t cursor = 0;  ///< rotating fair-merge start, guarded by mu
+    std::vector<std::size_t> owned;
+    std::atomic<std::uint64_t> drained{0};  ///< ready events consumed
   };
 
   void observe_stamp(StreamId stream, SeqNo seq);
-  void account_send(const event::Event& ev, SendStep& step);
+  void account_send(Shard& shard, const event::Event& ev, SendStep& step);
   /// Offer a popped segment batch to the shard's coalescer and account the
   /// released events into `step`. Takes the shard lock.
   void coalesce_into(Shard& shard, std::vector<event::Event> popped,
                      SendStep& step);
   void trace_send_step(const SendStep& step, Nanos now) const;
+  /// Acquire drain shard `ds`'s lock, feeding the drain.lock_wait_ns
+  /// histogram when instrumented (0 for uncontended acquisitions).
+  std::unique_lock<std::mutex> lock_drain(DrainShard& ds);
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  queueing::BackupQueue backup_;
+  std::vector<std::unique_ptr<DrainShard>> drain_shards_;
+  queueing::BackupView backup_view_;
 
   // Vector timestamp, striped: one atomic max-seq per stream known at
   // construction; streams beyond that (rare) spill into a mutex-guarded
@@ -249,20 +330,15 @@ class ShardedPipelineCore {
   // checkpoint_every, which a monotonic counter makes exactly-once under
   // concurrency with no reset race. It sits on its own cache line: it is
   // the one counter every ingest thread hits, and sharing a line with the
-  // drain-side counters would couple the two tasks' cores. Enqueued counts
-  // live on the shards (summed on read) so accepts touch no global line.
+  // drain-side counters would couple the two tasks' cores. Enqueued and
+  // sent/bytes counts live on the shards (summed on read) so neither
+  // accepts nor parallel drains touch a shared line.
   alignas(64) std::atomic<std::uint64_t> received_{0};
-  alignas(64) std::atomic<std::uint64_t> sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> checkpoints_due_{0};
   std::atomic<std::uint32_t> checkpoint_every_{50};
 
-  // Serializes senders: fair segment merging and the per-flight send order
-  // both depend on one drain at a time.
-  mutable std::mutex drain_mu_;
-  std::size_t drain_cursor_ = 0;
-
   std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::Histogram*> drain_lock_wait_{nullptr};
   obs::ProbeGroup probes_;
 };
 

@@ -1,5 +1,8 @@
 #include "queueing/backup_queue.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace admire::queueing {
 
 void BackupQueue::push(event::Event ev) {
@@ -53,6 +56,11 @@ std::size_t BackupQueue::high_water() const {
   return high_water_;
 }
 
+std::uint64_t BackupQueue::trimmed_count() const {
+  std::lock_guard lock(mu_);
+  return trimmed_total_;
+}
+
 void BackupQueue::instrument(obs::Registry& registry,
                              const std::string& prefix) {
   probes_.clear();
@@ -78,6 +86,91 @@ std::vector<event::Event> BackupQueue::entries_after(
     if (!from.dominates(ev.header().vts)) out.push_back(ev);
   }
   return out;
+}
+
+// --- BackupView -------------------------------------------------------------
+
+void BackupView::attach(std::vector<BackupQueue*> segments) {
+  segments_ = std::move(segments);
+}
+
+std::optional<event::VectorTimestamp> BackupView::last_vts() const {
+  std::optional<event::VectorTimestamp> merged;
+  for (const BackupQueue* seg : segments_) {
+    auto last = seg->last_vts();
+    if (!last.has_value()) continue;
+    if (!merged.has_value()) {
+      merged = std::move(last);
+    } else {
+      merged->merge(*last);
+    }
+  }
+  return merged;
+}
+
+bool BackupView::contains(const event::VectorTimestamp& vts) const {
+  for (const BackupQueue* seg : segments_) {
+    if (seg->contains(vts)) return true;
+  }
+  return false;
+}
+
+std::size_t BackupView::trim_committed(
+    const event::VectorTimestamp& committed) {
+  std::size_t trimmed = 0;
+  for (BackupQueue* seg : segments_) trimmed += seg->trim_committed(committed);
+  if (trim_events_ != nullptr) {
+    trim_events_->observe(static_cast<double>(trimmed));
+  }
+  return trimmed;
+}
+
+std::size_t BackupView::size() const {
+  std::size_t total = 0;
+  for (const BackupQueue* seg : segments_) total += seg->size();
+  return total;
+}
+
+std::size_t BackupView::high_water() const {
+  std::size_t peak = 0;
+  for (const BackupQueue* seg : segments_) {
+    peak = std::max(peak, seg->high_water());
+  }
+  return peak;
+}
+
+std::uint64_t BackupView::trimmed_count() const {
+  std::uint64_t total = 0;
+  for (const BackupQueue* seg : segments_) total += seg->trimmed_count();
+  return total;
+}
+
+std::vector<event::Event> BackupView::entries_after(
+    const event::VectorTimestamp& from) const {
+  std::vector<event::Event> out;
+  for (const BackupQueue* seg : segments_) {
+    auto part = seg->entries_after(from);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+void BackupView::instrument(obs::Registry& registry,
+                            const std::string& prefix) {
+  if (segments_.size() == 1) {
+    segments_[0]->instrument(registry, prefix);
+    return;
+  }
+  probes_.clear();
+  probes_.add(registry, prefix + ".depth",
+              [this] { return static_cast<double>(size()); });
+  probes_.add(registry, prefix + ".high_water",
+              [this] { return static_cast<double>(high_water()); });
+  probes_.add(registry, prefix + ".trimmed_total",
+              [this] { return static_cast<double>(trimmed_count()); });
+  trim_events_ = &registry.histogram(prefix + ".trim_events",
+                                     obs::Histogram::size_bounds());
 }
 
 }  // namespace admire::queueing

@@ -3,6 +3,13 @@
 // [checkpointing], all successfully checkpointed events are removed from
 // the backup queue". Ordered by send order, which is consistent with the
 // vector-timestamp order stamped at the primary site.
+//
+// BackupView is the merged facade over a set of per-shard BackupQueue
+// segments (the sharded drain backs up each flight on its rx shard's own
+// segment): same API, answers assembled across segments, so checkpoint
+// trim / rejoin replay / adaptation inputs are agnostic to how many
+// segments sit underneath. With one segment every call delegates and the
+// behavior is byte-identical to a bare BackupQueue.
 #pragma once
 
 #include <deque>
@@ -41,6 +48,8 @@ class BackupQueue {
   std::size_t size() const;
   bool empty() const { return size() == 0; }
   std::size_t high_water() const;
+  /// Entries removed by trim_committed over this queue's lifetime.
+  std::uint64_t trimmed_count() const;
 
   /// Replay support (recovery extension): copy of entries newer than
   /// `from` (i.e. not dominated by it), in order.
@@ -58,6 +67,63 @@ class BackupQueue {
   std::size_t high_water_ = 0;
   std::uint64_t trimmed_total_ = 0;
 
+  obs::ProbeGroup probes_;
+  obs::Histogram* trim_events_ = nullptr;  // owned by the registry
+};
+
+/// Merged read/trim view over per-shard backup segments. Not owning: the
+/// segments outlive the view (both live in ShardedPipelineCore). Each
+/// segment is internally locked, so concurrent callers are safe; a flight's
+/// entries all live in one segment, so per-flight replay order is exact.
+class BackupView {
+ public:
+  BackupView() = default;
+
+  /// Bind the view to its segments. Call once, before traffic.
+  void attach(std::vector<BackupQueue*> segments);
+
+  std::size_t num_segments() const { return segments_.size(); }
+  const BackupQueue& segment(std::size_t i) const { return *segments_[i]; }
+
+  /// Merge (component-max) of every segment's most recent entry VTS — a
+  /// view that covers everything any drain shard has sent, the natural
+  /// checkpoint suggestion ("usually the most recent value found in its
+  /// backup queue", §3.2.1). Participants reply with component-min against
+  /// local progress, so a merged suggestion commits exactly what all sites
+  /// cover — no entry needs to carry this exact stamp. nullopt when every
+  /// segment is empty. With one segment: that segment's last VTS verbatim.
+  std::optional<event::VectorTimestamp> last_vts() const;
+
+  /// True if any segment still holds an entry with exactly this VTS.
+  bool contains(const event::VectorTimestamp& vts) const;
+
+  /// Trim every segment against `committed`; returns the total removed.
+  /// Observes the aggregate trim size once per call (the per-commit
+  /// reclaim cadence, same as the unsharded queue's histogram).
+  std::size_t trim_committed(const event::VectorTimestamp& committed);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  /// Max per-segment high-water mark: a floor on the true simultaneous
+  /// total (same convention as the sharded ready-queue aggregate).
+  std::size_t high_water() const;
+  std::uint64_t trimmed_count() const;
+
+  /// Replay support: entries newer than `from` across all segments,
+  /// concatenated in segment order. Per-flight order is exact (a flight
+  /// lives in one segment); cross-flight interleaving is not global send
+  /// order, which replay consumers fold per flight anyway.
+  std::vector<event::Event> entries_after(
+      const event::VectorTimestamp& from) const;
+
+  /// One segment: delegate, names byte-identical to a bare BackupQueue.
+  /// N segments: aggregate `<prefix>.depth` (sum), `.high_water` (max),
+  /// `.trimmed_total` (sum) probes plus the `<prefix>.trim_events`
+  /// histogram fed once per trim_committed with the merged trim size.
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
+ private:
+  std::vector<BackupQueue*> segments_;
   obs::ProbeGroup probes_;
   obs::Histogram* trim_events_ = nullptr;  // owned by the registry
 };

@@ -13,7 +13,10 @@ using checkpoint::ControlMessage;
 struct SimCluster::Central {
   Central(const SimConfig& config)
       : core(config.params, config.num_streams,
-             std::max<std::size_t>(1, config.rx_shards)),
+             std::max<std::size_t>(1, config.rx_shards),
+             mirror::ShardedPipelineCore::resolve_drain_shards(
+                 std::max<std::size_t>(1, config.drain_shards),
+                 std::max<std::size_t>(1, config.rx_shards))),
         main(kCentralSite),
         coordinator(kCentralSite,
                     /*expected_replies=*/1 + config.num_mirrors),
@@ -79,6 +82,7 @@ SimCluster::SimCluster(SimConfig config)
       hb_rng_(config_.fault_seed ^ 0x5EED) {
   shard_free_at_.assign(std::max<std::size_t>(1, config_.rx_shards), 0);
   tx_free_at_.assign(config_.num_mirrors, 0);
+  drain_free_at_.assign(central_->core.num_drain_shards(), 0);
   for (std::size_t i = 0; i < config_.num_mirrors; ++i) {
     mirrors_.push_back(
         std::make_unique<MirrorSite>(static_cast<SiteId>(i + 1), config_));
@@ -266,25 +270,47 @@ void SimCluster::do_recv(event::Event ev) {
     check_done_flush();
     return;
   }
+  // The drain shard is a pure function of the flight key; capture it
+  // before the event moves into the pipeline. A combined (tuple
+  // completion) event keeps the key, so both send steps of one outcome
+  // land on the same drain shard — like the threaded credit routing.
+  const std::size_t drain_shard = mirror::ShardedPipelineCore::drain_shard_of(
+      mirror::ShardedPipelineCore::shard_of_key(ev.key(),
+                                                central_->core.num_shards()),
+      central_->core.num_drain_shards());
   const auto outcome = central_->core.on_incoming(std::move(ev), engine_.now());
   // fwd(): the local main unit processes the full stream.
   if (outcome.forward.has_value()) forward_to_main(*outcome.forward);
-  if (outcome.enqueued) schedule_send_step();
-  if (outcome.combined_enqueued) schedule_send_step();
+  if (outcome.enqueued) schedule_send_step(drain_shard);
+  if (outcome.combined_enqueued) schedule_send_step(drain_shard);
   if (outcome.checkpoint_due) start_checkpoint();
   check_done_flush();
 }
 
-void SimCluster::schedule_send_step() {
+Nanos SimCluster::drain_chain_start(std::size_t drain_shard) const {
+  Nanos start = engine_.now();
+  if (drain_free_at_.size() > 1) {
+    start = std::max(start, drain_free_at_[drain_shard]);
+  }
+  return start;
+}
+
+void SimCluster::note_drain_chain_done(std::size_t drain_shard, Nanos done) {
+  if (drain_free_at_.size() > 1) drain_free_at_[drain_shard] = done;
+}
+
+void SimCluster::schedule_send_step(std::size_t drain_shard) {
   ++sends_scheduled_;
-  auto step = central_->core.try_send_step(engine_.now());
+  // Pops only this drain shard's segments; with one drain shard this is
+  // byte-identical to the classic whole-pipeline send step.
+  auto step = central_->core.try_send_step_shard(drain_shard, engine_.now());
   if (!step.has_value()) {
     ++sends_completed_;
     check_done_flush();
     return;
   }
   if (config_.tx_parallel && !config_.ni_offload) {
-    schedule_tx_chains(std::move(*step));
+    schedule_tx_chains(std::move(*step), drain_shard);
     return;
   }
   Nanos work = 0;
@@ -304,13 +330,17 @@ void SimCluster::schedule_send_step() {
     // the co-processor; serialization + per-destination sends run there.
     const Nanos handoff = static_cast<Nanos>(step->to_send.size()) *
                           config_.costs.ni_handoff;
-    const Nanos host_done = central_->cpu.schedule_job(engine_.now(), handoff);
+    const Nanos host_done =
+        central_->cpu.schedule_job(drain_chain_start(drain_shard), handoff);
+    note_drain_chain_done(drain_shard, host_done);
     const Nanos nic_done = central_->nic.schedule_job(host_done, work);
     engine_.schedule_at(nic_done,
                         [this, s = std::move(*step)] { dispatch_send(s); });
     return;
   }
-  const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+  const Nanos done =
+      central_->cpu.schedule_job(drain_chain_start(drain_shard), work);
+  note_drain_chain_done(drain_shard, done);
   engine_.schedule_at(done, [this, s = std::move(*step)] { dispatch_send(s); });
 }
 
@@ -322,10 +352,11 @@ void SimCluster::dispatch_send(
 }
 
 void SimCluster::schedule_tx_chains(
-    mirror::ShardedPipelineCore::SendStep step) {
+    mirror::ShardedPipelineCore::SendStep step, std::size_t drain_shard) {
   // Host half of the sending task: the drain's extraction / coalescing /
-  // backup accounting stays serialized on the central CPU chain — exactly
-  // the part the threaded runtime keeps under the drain lock.
+  // backup accounting serializes on its drain shard's chain (the whole
+  // central CPU chain when the drain is unsharded) — exactly the part the
+  // threaded runtime keeps under that drain shard's lock.
   Nanos host_work = 0;
   if (step.to_send.empty()) {
     host_work = config_.costs.coalesce_cost(step.offered_bytes);
@@ -334,7 +365,9 @@ void SimCluster::schedule_tx_chains(
       host_work += config_.costs.mirror_fixed_cost(out.wire_size());
     }
   }
-  const Nanos host_done = central_->cpu.schedule_job(engine_.now(), host_work);
+  const Nanos host_done =
+      central_->cpu.schedule_job(drain_chain_start(drain_shard), host_work);
+  note_drain_chain_done(drain_shard, host_done);
   auto events = std::make_shared<std::vector<event::Event>>(
       std::move(step.to_send));
   // The step is "consumed" when the host half finishes (channel accounting
@@ -473,7 +506,9 @@ void SimCluster::check_done_flush() {
   if (step.to_send.empty()) return;
   ++sends_scheduled_;
   if (config_.tx_parallel && !config_.ni_offload) {
-    schedule_tx_chains(std::move(step));
+    // End-of-stream flush sweeps every drain shard; charge its host half
+    // on shard 0's chain (a single terminal step, not a hot path).
+    schedule_tx_chains(std::move(step), 0);
     return;
   }
   Nanos work = 0;

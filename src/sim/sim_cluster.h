@@ -54,6 +54,17 @@ struct SimConfig {
   /// while distinct shards overlap up to the node's CPU capacity — the
   /// same contract as the threaded rx pool.
   std::size_t rx_shards = 1;
+  /// Send-side sharding of the central drain (threaded counterpart:
+  /// CentralSiteConfig::drain_shards). With 1 the send-step charging is
+  /// exactly the classic serial sending task (figures unchanged); with
+  /// D > 1 each drain shard's host half (extraction / coalescing / backup
+  /// accounting) serializes on its own virtual-time chain — the part that
+  /// used to queue behind one drain lock — while distinct drain shards
+  /// overlap up to the node's CPU capacity. Clamped to [1, rx_shards]; 0
+  /// is treated as 1 — unlike the threaded runtime the DES never sizes
+  /// itself from host hardware, so runs stay machine-independent.
+  /// Composes with tx_parallel and ni_offload.
+  std::size_t drain_shards = 1;
   /// Closed-loop source: present the next event as soon as the receiving
   /// task accepts the previous one (the §4.1/4.2 "entire sequence of
   /// events presented to the mirroring system" throughput setup). When
@@ -194,11 +205,18 @@ class SimCluster {
   void on_arrival(event::Event ev);
   void feed_next_closed_loop();
   void do_recv(event::Event ev);
-  void schedule_send_step();
+  /// One send step on drain shard `d` (0 when the drain is unsharded).
+  void schedule_send_step(std::size_t drain_shard);
   void dispatch_send(const mirror::ShardedPipelineCore::SendStep& step);
-  /// tx_parallel charging: host half on the central CPU chain, then one
-  /// virtual-time chain per destination (tx_free_at_).
-  void schedule_tx_chains(mirror::ShardedPipelineCore::SendStep step);
+  /// tx_parallel charging: host half on drain shard `d`'s chain (the
+  /// central CPU chain when drain_shards <= 1), then one virtual-time
+  /// chain per destination (tx_free_at_).
+  void schedule_tx_chains(mirror::ShardedPipelineCore::SendStep step,
+                          std::size_t drain_shard);
+  /// Earliest start (>= now) for host-half send work on drain shard `d`,
+  /// honoring the per-drain-shard serialization when drain_shards > 1.
+  Nanos drain_chain_start(std::size_t drain_shard) const;
+  void note_drain_chain_done(std::size_t drain_shard, Nanos done);
   void forward_to_main(const event::Event& ev);
   void deliver_to_mirrors(const event::Event& ev);
   void mirror_recv(std::size_t idx, event::Event ev);
@@ -263,6 +281,7 @@ class SimCluster {
   // Run bookkeeping.
   std::vector<Nanos> shard_free_at_;  ///< per-shard ingest chains (rx_shards > 1)
   std::vector<Nanos> tx_free_at_;     ///< per-destination tx chains (tx_parallel)
+  std::vector<Nanos> drain_free_at_;  ///< per-drain-shard chains (drain_shards > 1)
   std::vector<event::Event> source_queue_;  // closed-loop mode
   std::size_t source_cursor_ = 0;
   std::uint64_t arrivals_total_ = 0;

@@ -1,0 +1,291 @@
+// Drain-shard invariants: the number of drain shards must not change any
+// send decision — merged rule counters, per-flight send order, backup
+// contents, checkpoint cadence and sent/bytes accounting are all identical
+// whether one sending task drains every segment or D tasks drain their own
+// flight partitions. These tests run everything sequentially so failures
+// implicate the drain sharding itself, not a race;
+// tests/stress/drain_concurrency_test.cpp hammers the same invariants from
+// concurrent drainer threads.
+#include "mirror/sharded_pipeline_core.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace admire::mirror {
+namespace {
+
+event::Event faa(FlightKey flight, StreamId stream, SeqNo seq) {
+  event::FaaPosition pos;
+  pos.flight = flight;
+  return event::make_faa_position(stream, seq, pos, 32);
+}
+
+event::Event delta(FlightKey flight, StreamId stream, SeqNo seq,
+                   event::FlightStatus status) {
+  event::DeltaStatus st;
+  st.flight = flight;
+  st.status = status;
+  return event::make_delta_status(stream, seq, st);
+}
+
+rules::MirroringParams params_of(rules::MirrorFunctionSpec spec) {
+  rules::MirroringParams p;
+  p.function = std::move(spec);
+  return p;
+}
+
+std::vector<event::Event> mixed_workload(std::size_t count,
+                                         std::size_t flights) {
+  std::vector<event::Event> out;
+  out.reserve(count);
+  SeqNo seq[2] = {0, 0};
+  const event::FlightStatus cycle[] = {event::FlightStatus::kLanded,
+                                       event::FlightStatus::kAtRunway,
+                                       event::FlightStatus::kAtGate};
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto flight = static_cast<FlightKey>(1 + i % flights);
+    const auto stream = static_cast<StreamId>(i % 2);
+    if (i % 7 == 6) {
+      out.push_back(delta(flight, stream, ++seq[stream], cycle[(i / 7) % 3]));
+    } else {
+      out.push_back(faa(flight, stream, ++seq[stream]));
+    }
+  }
+  return out;
+}
+
+/// Ingest everything, then drain by visiting every drain shard round-robin
+/// in small batches (the drain pool's schedule, minus the threads), then
+/// flush. Returns the wire events in emission order.
+std::vector<event::Event> run_through_shards(
+    ShardedPipelineCore& core, const std::vector<event::Event>& evs) {
+  for (const auto& ev : evs) core.on_incoming(ev, 0);
+  std::vector<event::Event> sent;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t d = 0; d < core.num_drain_shards(); ++d) {
+      if (auto step = core.try_send_batch_shard(d, 8, 0)) {
+        progress = true;
+        for (auto& ev : step->to_send) sent.push_back(std::move(ev));
+      }
+    }
+  }
+  for (auto& ev : core.flush(0).to_send) sent.push_back(std::move(ev));
+  return sent;
+}
+
+std::map<FlightKey, std::vector<SeqNo>> per_flight_order(
+    const std::vector<event::Event>& evs) {
+  std::map<FlightKey, std::vector<SeqNo>> order;
+  for (const auto& ev : evs) order[ev.key()].push_back(ev.seq());
+  return order;
+}
+
+/// Everything still in the backup view, keyed per flight — the paper's
+/// replay payload, which must not depend on how many drains produced it.
+std::map<FlightKey, std::vector<SeqNo>> backup_contents(
+    const ShardedPipelineCore& core) {
+  const event::VectorTimestamp none(4);
+  return per_flight_order(core.backup().entries_after(none));
+}
+
+TEST(DrainShard, SendResultsInvariantToDrainShardCount) {
+  const auto evs = mixed_workload(1200, 17);
+  rules::RuleCounters baseline_rules;
+  PipelineCounters baseline_pc;
+  std::map<FlightKey, std::vector<SeqNo>> baseline_order;
+  std::map<FlightKey, std::vector<SeqNo>> baseline_backup;
+  for (const std::size_t drains : {1u, 2u, 4u, 8u}) {
+    ShardedPipelineCore core(
+        rules::ois_default_rules(rules::selective_mirroring(3)), 2,
+        /*num_shards=*/8, drains);
+    ASSERT_EQ(core.num_drain_shards(), drains);
+    const auto order = per_flight_order(run_through_shards(core, evs));
+    if (drains == 1) {
+      baseline_rules = core.rule_counters();
+      baseline_pc = core.counters();
+      baseline_order = order;
+      baseline_backup = backup_contents(core);
+      EXPECT_EQ(baseline_rules.total_seen(), evs.size());
+      continue;
+    }
+    EXPECT_EQ(core.rule_counters(), baseline_rules) << drains << " drains";
+    EXPECT_EQ(core.counters().received, baseline_pc.received);
+    EXPECT_EQ(core.counters().enqueued, baseline_pc.enqueued);
+    EXPECT_EQ(core.counters().sent, baseline_pc.sent);
+    EXPECT_EQ(core.counters().bytes_sent, baseline_pc.bytes_sent);
+    EXPECT_EQ(core.counters().checkpoints_due, baseline_pc.checkpoints_due);
+    // Global interleaving may differ; each flight's subsequence may not.
+    EXPECT_EQ(order, baseline_order) << drains << " drains";
+    EXPECT_EQ(backup_contents(core), baseline_backup) << drains << " drains";
+    EXPECT_EQ(core.backup().size(), baseline_pc.sent);
+  }
+}
+
+TEST(DrainShard, ShardedDrainMatchesSerialDrainWithCoalescing) {
+  // Coalescing is the stateful part of the drain: release decisions live
+  // in per-flight combine buffers. They must be identical whether the
+  // serial drain or a drain shard owns the buffer.
+  auto spec = rules::selective_mirroring(2);
+  spec.coalesce_enabled = true;
+  spec.coalesce_max = 4;
+  const auto evs = mixed_workload(800, 9);
+  ShardedPipelineCore serial(params_of(spec), 2, 8, 1);
+  ShardedPipelineCore sharded(params_of(spec), 2, 8, 4);
+  const auto serial_order = per_flight_order(run_through_shards(serial, evs));
+  const auto sharded_order = per_flight_order(run_through_shards(sharded, evs));
+  EXPECT_EQ(serial_order, sharded_order);
+  EXPECT_EQ(serial.counters().sent, sharded.counters().sent);
+  EXPECT_EQ(backup_contents(serial), backup_contents(sharded));
+}
+
+TEST(DrainShard, OwnershipPartitionsRxShards) {
+  // Every rx shard belongs to exactly one drain shard; rx shard 0 (control
+  // events) always belongs to drain shard 0.
+  for (const std::size_t drains : {1u, 2u, 3u, 4u, 8u}) {
+    std::set<std::size_t> seen;
+    for (std::size_t rx = 0; rx < 8; ++rx) {
+      const std::size_t d = ShardedPipelineCore::drain_shard_of(rx, drains);
+      EXPECT_LT(d, drains);
+      seen.insert(d);
+    }
+    EXPECT_EQ(seen.size(), std::min<std::size_t>(drains, 8));
+    EXPECT_EQ(ShardedPipelineCore::drain_shard_of(0, drains), 0u);
+  }
+}
+
+TEST(DrainShard, BatchShardPopsOnlyOwnedSegments) {
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 8, 2);
+  SeqNo seq = 0;
+  for (FlightKey key = 1; key <= 64; ++key) core.on_incoming(faa(key, 0, ++seq), 0);
+  auto step = core.try_send_batch_shard(0, 64, 0);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_FALSE(step->to_send.empty());
+  for (const auto& ev : step->to_send) {
+    const std::size_t rx = ShardedPipelineCore::shard_of_key(ev.key(), 8);
+    EXPECT_EQ(ShardedPipelineCore::drain_shard_of(rx, 2), 0u)
+        << "drain shard 0 popped a segment it does not own";
+  }
+  // The other drain shard still holds its half.
+  auto rest = core.try_send_batch_shard(1, 64, 0);
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(step->to_send.size() + rest->to_send.size(), 64u);
+  EXPECT_EQ(core.drain_shard_drained(0), step->consumed);
+  EXPECT_EQ(core.drain_shard_drained(1), rest->consumed);
+}
+
+TEST(DrainShard, FlushIsExactlyOnceAndIdempotent) {
+  auto spec = rules::simple_mirroring();
+  spec.coalesce_enabled = true;
+  spec.coalesce_max = 100;
+  ShardedPipelineCore core(params_of(spec), 2, 8, 4);
+  SeqNo seq = 0;
+  for (FlightKey key = 1; key <= 32; ++key) core.on_incoming(faa(key, 0, ++seq), 0);
+  // Buffer everything into the shard coalescers across all drain shards...
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t d = 0; d < core.num_drain_shards(); ++d) {
+      progress |= core.try_send_batch_shard(d, 8, 0).has_value();
+    }
+  }
+  EXPECT_EQ(core.ready_size(), 0u);
+  // ...one flush releases exactly one combined event per flight...
+  const auto step = core.flush(0);
+  EXPECT_EQ(step.to_send.size(), 32u);
+  EXPECT_EQ(core.backup().size(), 32u);
+  // ...and a second flush finds a quiesced pipeline (no double release).
+  const auto again = core.flush(0);
+  EXPECT_TRUE(again.to_send.empty());
+  EXPECT_EQ(again.consumed, 0u);
+  EXPECT_EQ(core.backup().size(), 32u);
+  EXPECT_EQ(core.counters().sent, 32u);
+}
+
+TEST(DrainShard, ResolveDrainShardsClampsLikeRxShards) {
+  // Explicit requests clamp to [1, rx shards].
+  EXPECT_EQ(ShardedPipelineCore::resolve_drain_shards(3, 8), 3u);
+  EXPECT_EQ(ShardedPipelineCore::resolve_drain_shards(16, 4), 4u);
+  EXPECT_EQ(ShardedPipelineCore::resolve_drain_shards(1, 1), 1u);
+  EXPECT_EQ(ShardedPipelineCore::resolve_drain_shards(5, 0), 1u);
+  // 0 = auto: the same hardware-concurrency cap as rx shards, then the
+  // rx-count bound (shared helper, no duplicated clamp logic).
+  const std::size_t auto_rx = ShardedPipelineCore::resolve_shards(0);
+  EXPECT_EQ(ShardedPipelineCore::resolve_drain_shards(0, 64), auto_rx);
+  EXPECT_EQ(ShardedPipelineCore::resolve_drain_shards(0, 2),
+            std::min<std::size_t>(auto_rx, 2));
+  EXPECT_GE(auto_rx, 1u);
+  EXPECT_LE(auto_rx, ShardedPipelineCore::kMaxAutoShards);
+  // The constructor applies the same bound even on raw inputs.
+  ShardedPipelineCore over(params_of(rules::simple_mirroring()), 2, 2, 9);
+  EXPECT_EQ(over.num_drain_shards(), 2u);
+}
+
+TEST(DrainShard, CheckpointSuggestionCoversEverySegment) {
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 8, 4);
+  const auto evs = mixed_workload(200, 13);
+  run_through_shards(core, evs);
+  const auto last = core.backup().last_vts();
+  ASSERT_TRUE(last.has_value());
+  // The merged suggestion dominates every entry any drain shard backed up.
+  const event::VectorTimestamp none(4);
+  for (const auto& ev : core.backup().entries_after(none)) {
+    EXPECT_TRUE(last->dominates(ev.header().vts));
+  }
+  // And trimming with it empties the whole view.
+  const std::size_t trimmed = core.backup().trim_committed(*last);
+  EXPECT_EQ(trimmed, core.backup().trimmed_count());
+  EXPECT_TRUE(core.backup().empty());
+}
+
+TEST(DrainShard, InstrumentAddsDrainMetricsAndKeepsAggregates) {
+  obs::Registry registry;
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 8, 4);
+  core.instrument(registry, "central");
+  const auto evs = mixed_workload(160, 11);
+  run_through_shards(core, evs);
+  const auto snap = registry.snapshot();
+  // Classic aggregates survive the sharded drain.
+  EXPECT_EQ(snap.gauge_or("pipeline.central.received_total"), 160.0);
+  EXPECT_EQ(snap.gauge_or("pipeline.central.sent_total"),
+            static_cast<double>(core.counters().sent));
+  EXPECT_EQ(snap.gauge_or("queue.central.backup.depth"),
+            static_cast<double>(core.backup().size()));
+  // Per-drain-shard drained counters sum to the aggregate, which equals
+  // every event that reached the ready queue (everything was drained).
+  double drained_sum = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    drained_sum += snap.gauge_or("pipeline.central.drain.shard" +
+                                 std::to_string(k) + ".drained_total");
+  }
+  EXPECT_EQ(drained_sum, snap.gauge_or("pipeline.central.drain.drained_total"));
+  EXPECT_EQ(drained_sum, static_cast<double>(core.counters().enqueued));
+  // The lock-wait histogram exists and saw every drain acquisition.
+  const auto* hist = snap.histogram("pipeline.central.drain.lock_wait_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->count, 0u);
+}
+
+TEST(DrainShard, SingleSegmentBackupViewDelegatesClassicNames) {
+  obs::Registry registry;
+  ShardedPipelineCore core(params_of(rules::simple_mirroring()), 2, 1, 1);
+  core.instrument(registry, "central");
+  SeqNo seq = 0;
+  for (FlightKey key = 1; key <= 10; ++key) core.on_incoming(faa(key, 0, ++seq), 0);
+  while (core.try_send_batch(4, 0).has_value()) {
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.gauge_or("queue.central.backup.depth"), 10.0);
+  EXPECT_EQ(snap.gauge_or("queue.central.backup.high_water"), 10.0);
+  // No shard<k> backup families at one shard.
+  EXPECT_EQ(snap.gauge_or("queue.central.shard0.backup.depth", -1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace admire::mirror

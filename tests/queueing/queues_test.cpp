@@ -154,6 +154,91 @@ TEST(BackupQueue, HighWater) {
   EXPECT_EQ(q.high_water(), 7u);
 }
 
+TEST(BackupView, SingleSegmentDelegatesVerbatim) {
+  BackupQueue seg;
+  BackupView view;
+  view.attach({&seg});
+  for (SeqNo i = 1; i <= 5; ++i) seg.push(ev_with_vts(0, i));
+  EXPECT_EQ(view.size(), seg.size());
+  EXPECT_EQ(view.high_water(), seg.high_water());
+  EXPECT_EQ(*view.last_vts(), *seg.last_vts());
+  event::VectorTimestamp from;
+  from.observe(0, 3);
+  EXPECT_EQ(view.entries_after(from).size(), 2u);
+  event::VectorTimestamp commit;
+  commit.observe(0, 4);
+  EXPECT_EQ(view.trim_committed(commit), 4u);
+  EXPECT_EQ(view.trimmed_count(), seg.trimmed_count());
+  EXPECT_EQ(view.size(), 1u);
+}
+
+TEST(BackupView, MergedLastVtsIsComponentMax) {
+  // Segments advance different streams; the merged suggestion must cover
+  // both (the paper's "most recent value" generalized to a sharded drain).
+  BackupQueue a, b;
+  BackupView view;
+  view.attach({&a, &b});
+  EXPECT_FALSE(view.last_vts().has_value());
+  a.push(ev_with_vts(0, 7));
+  b.push(ev_with_vts(1, 3));
+  const auto last = view.last_vts();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->component(0), 7u);
+  EXPECT_EQ(last->component(1), 3u);
+  EXPECT_TRUE(last->dominates(*a.last_vts()));
+  EXPECT_TRUE(last->dominates(*b.last_vts()));
+  // Trimming with the merged suggestion reclaims every segment.
+  EXPECT_EQ(view.trim_committed(*last), 2u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(BackupView, TrimAndContainsSpanSegments) {
+  BackupQueue a, b;
+  BackupView view;
+  view.attach({&a, &b});
+  for (SeqNo i = 1; i <= 4; ++i) a.push(ev_with_vts(0, i));
+  for (SeqNo i = 1; i <= 4; ++i) b.push(ev_with_vts(1, i));
+  EXPECT_EQ(view.size(), 8u);
+  event::VectorTimestamp probe;
+  probe.observe(1, 2);
+  EXPECT_TRUE(view.contains(probe));  // lives in segment b only
+  event::VectorTimestamp commit;
+  commit.observe(0, 2);
+  commit.observe(1, 3);
+  EXPECT_EQ(view.trim_committed(commit), 5u);  // 2 from a + 3 from b
+  EXPECT_EQ(view.trimmed_count(), 5u);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+  // high_water is the max segment mark (floor convention).
+  EXPECT_EQ(view.high_water(), 4u);
+  // Replay concatenates in segment order; per-stream order is exact.
+  const auto replay = view.entries_after(event::VectorTimestamp());
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0].seq(), 3u);  // a: 3, 4 then b: 4
+  EXPECT_EQ(replay[1].seq(), 4u);
+  EXPECT_EQ(replay[2].seq(), 4u);
+}
+
+TEST(BackupView, InstrumentAggregatesAcrossSegments) {
+  obs::Registry registry;
+  BackupQueue a, b;
+  BackupView view;
+  view.attach({&a, &b});
+  view.instrument(registry, "queue.test.backup");
+  for (SeqNo i = 1; i <= 3; ++i) a.push(ev_with_vts(0, i));
+  b.push(ev_with_vts(1, 1));
+  event::VectorTimestamp commit;
+  commit.observe(0, 2);
+  view.trim_committed(commit);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.gauge_or("queue.test.backup.depth"), 2.0);
+  EXPECT_EQ(snap.gauge_or("queue.test.backup.trimmed_total"), 2.0);
+  const auto* hist = snap.histogram("queue.test.backup.trim_events");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);  // one observation per trim call, merged size
+  EXPECT_EQ(hist->sum, 2.0);
+}
+
 TEST(StatusTable, RunCountersPerTypeAndKey) {
   StatusTable t;
   EXPECT_EQ(t.bump_run_counter(event::EventType::kFaaPosition, 1), 0u);

@@ -1,0 +1,230 @@
+// Cache-miss build throughput: the adaptive index (src/index) versus the
+// full table scan, on the same serve::RequestHandler core the front end
+// and the DES run. Sweeps flight-space size x flight-key skew (uniform /
+// Zipfian / hotspot) under a group-heavy query mix — the workload adaptive
+// indexing exists for: hot attribute values converge to resolved pieces,
+// cold ones stay scan-cheap.
+//
+// Correctness gate: every query is answered by BOTH handlers (caches off)
+// and the encoded payloads must be byte-identical — the scan is the
+// oracle, the index may only change cost. The bench exits nonzero on any
+// divergence or completeness-check fallback.
+//
+// Prints one line per configuration; with `--json FILE` also writes the
+// numbers as a JSON object (CI artifact: BENCH_index.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ede/operational_state.h"
+#include "serve/query.h"
+#include "serve/request_handler.h"
+
+namespace admire::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+constexpr std::size_t kBodyBytes = 32;
+
+void populate(ede::OperationalState& state, std::uint32_t flights) {
+  for (std::uint32_t f = 1; f <= flights; ++f) {
+    state.update(f, [f](ede::FlightRecord& rec) {
+      rec.status = event::FlightStatus::kEnRoute;
+      rec.gate = static_cast<std::uint16_t>(f % 97);
+      rec.passengers_boarded = f % 211;
+      rec.app_body.assign(kBodyBytes, static_cast<std::byte>(f & 0xFF));
+    });
+  }
+}
+
+/// Pre-drawn query stream so the timed passes replay identical requests.
+std::vector<serve::Request> make_queries(std::size_t count,
+                                         std::uint32_t flights,
+                                         const serve::FlightDist& dist) {
+  // Group-heavy mix: cache-miss *builds* are what this bench times, and
+  // group queries are where candidate sets beat whole-table copies.
+  serve::QueryMix mix;
+  mix.flight = 0.10;
+  mix.airport = 0.40;
+  mix.airline = 0.30;
+  mix.region = 0.20;
+  mix.full_state = 0.0;
+  serve::FlightPicker picker(dist, flights);
+  Rng rng(0x1DE7 ^ flights ^ (static_cast<std::uint64_t>(dist.kind) << 32));
+  std::vector<serve::Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const serve::QueryKey q = serve::pick_query(mix, rng.next_double(),
+                                                picker.pick(rng.next_double()));
+    serve::Request req;
+    req.id = i + 1;
+    req.shape = q.shape;
+    req.key = q.key;
+    out.push_back(req);
+  }
+  return out;
+}
+
+double timed_builds_per_sec(serve::RequestHandler& handler,
+                            const std::vector<serve::Request>& queries) {
+  const auto t0 = Clock::now();
+  for (const auto& q : queries) (void)handler.handle_admitted(q);
+  return static_cast<double>(queries.size()) /
+         seconds_between(t0, Clock::now());
+}
+
+struct ConfigResult {
+  std::uint32_t flights = 0;
+  serve::FlightDist::Kind kind = serve::FlightDist::Kind::kUniform;
+  double scan_builds_per_sec = 0.0;
+  double indexed_builds_per_sec = 0.0;
+  double coverage_airport = 0.0;
+  double coverage_airline = 0.0;
+  double coverage_region = 0.0;
+  std::uint64_t cracks = 0;
+  std::uint64_t crack_keys = 0;
+  std::uint64_t fallbacks = 0;
+  bool payloads_match = true;
+
+  double speedup() const {
+    return scan_builds_per_sec == 0.0
+               ? 0.0
+               : indexed_builds_per_sec / scan_builds_per_sec;
+  }
+};
+
+ConfigResult run_config(std::uint32_t flights, const serve::FlightDist& dist,
+                        std::size_t num_queries) {
+  ConfigResult r;
+  r.flights = flights;
+  r.kind = dist.kind;
+
+  ede::OperationalState state;
+  populate(state, flights);
+  const auto queries = make_queries(num_queries, flights, dist);
+
+  serve::ServeConfig scan_cfg;
+  scan_cfg.cache_enabled = false;  // every request is a cold-miss build
+  scan_cfg.index_enabled = false;
+  serve::ServeConfig idx_cfg = scan_cfg;
+  idx_cfg.index_enabled = true;
+  serve::RequestHandler scan(&state, scan_cfg);
+  serve::RequestHandler indexed(&state, idx_cfg);
+
+  // Gate pass (untimed): scan is the oracle, byte-equality per query. This
+  // pass also converges the index, so the timed pass below measures the
+  // steady state a long-lived mirror reaches.
+  for (const auto& q : queries) {
+    const serve::HandleOutcome a = indexed.handle_admitted(q);
+    const serve::HandleOutcome b = scan.handle_admitted(q);
+    const bool same = a.response.version == b.response.version &&
+                      a.response.state && b.response.state &&
+                      *a.response.state == *b.response.state;
+    if (!same) r.payloads_match = false;
+  }
+
+  r.scan_builds_per_sec = timed_builds_per_sec(scan, queries);
+  r.indexed_builds_per_sec = timed_builds_per_sec(indexed, queries);
+
+  const auto* idx = indexed.adaptive_index();
+  r.coverage_airport = idx->coverage(serve::QueryShape::kAirport);
+  r.coverage_airline = idx->coverage(serve::QueryShape::kAirline);
+  r.coverage_region = idx->coverage(serve::QueryShape::kRegion);
+  r.cracks = idx->cracks();
+  r.crack_keys = idx->crack_keys_total();
+  r.fallbacks = indexed.index_fallbacks();
+  return r;
+}
+
+}  // namespace
+}  // namespace admire::bench
+
+int main(int argc, char** argv) {
+  using namespace admire::bench;
+  using admire::serve::FlightDist;
+  const char* json_path = nullptr;
+  std::size_t num_queries = 600;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      num_queries = std::stoul(argv[++i]);
+    }
+  }
+
+  const std::uint32_t flight_counts[] = {16384, 65536};
+  const FlightDist::Kind kinds[] = {FlightDist::Kind::kUniform,
+                                    FlightDist::Kind::kZipfian,
+                                    FlightDist::Kind::kHotspot};
+  std::printf(
+      "== micro_index: %zu queries/config, group-heavy mix, caches off ==\n",
+      num_queries);
+
+  std::vector<ConfigResult> results;
+  bool gate_ok = true;
+  for (const std::uint32_t flights : flight_counts) {
+    for (const FlightDist::Kind kind : kinds) {
+      FlightDist dist;
+      dist.kind = kind;
+      const ConfigResult r = run_config(flights, dist, num_queries);
+      gate_ok = gate_ok && r.payloads_match && r.fallbacks == 0;
+      std::printf(
+          "flights=%6u dist=%-7s  scan %9.0f b/s  indexed %9.0f b/s  "
+          "%6.2fx  coverage a/l/r %.2f/%.2f/%.2f  cracks=%llu  %s\n",
+          r.flights, admire::serve::flight_dist_name(r.kind),
+          r.scan_builds_per_sec, r.indexed_builds_per_sec, r.speedup(),
+          r.coverage_airport, r.coverage_airline, r.coverage_region,
+          static_cast<unsigned long long>(r.cracks),
+          r.payloads_match && r.fallbacks == 0 ? "payloads ok"
+                                               : "MISMATCH");
+      results.push_back(r);
+    }
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"queries_per_config\": %zu,\n  \"configs\": {\n",
+                 num_queries);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ConfigResult& r = results[i];
+      std::fprintf(
+          f,
+          "    \"flights_%u_%s\": {\"scan_builds_per_sec\": %.0f, "
+          "\"indexed_builds_per_sec\": %.0f, \"speedup\": %.3f, "
+          "\"coverage_airport\": %.4f, \"coverage_airline\": %.4f, "
+          "\"coverage_region\": %.4f, \"cracks\": %llu, "
+          "\"crack_keys\": %llu, \"fallback_scans\": %llu}%s\n",
+          r.flights, admire::serve::flight_dist_name(r.kind),
+          r.scan_builds_per_sec, r.indexed_builds_per_sec, r.speedup(),
+          r.coverage_airport, r.coverage_airline, r.coverage_region,
+          static_cast<unsigned long long>(r.cracks),
+          static_cast<unsigned long long>(r.crack_keys),
+          static_cast<unsigned long long>(r.fallbacks),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"payloads_match\": %s\n}\n",
+                 gate_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: indexed build diverged from the scan oracle "
+                 "(payload bytes, version, or a completeness fallback)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -95,6 +95,33 @@ for reg_piece in ('".drain.lock_wait_ns"', '".drain.drained_total"',
         fail(f"src/ no longer registers {reg_piece} — the drain.* family "
              "documented in OBSERVABILITY.md went stale")
 
+# --- 2c. the adaptive-index metric family is pinned by name ---------------
+# The index.<site>.* family (SERVING.md §7) is read back literally by the
+# DES tests and bench/micro_index; pin the documented forms and the
+# registration suffixes the same way §2b pins the drain family.
+for doc_form in ("index.<site>.builds_indexed_total",
+                 "index.<site>.builds_scanned_total",
+                 "index.<site>.fallback_scans_total",
+                 "index.<site>.cracks_total",
+                 "index.<site>.crack_keys_total",
+                 "index.<site>.absorbed_keys_total",
+                 "index.<site>.resets_total",
+                 "index.<site>.keys",
+                 "index.<site>.pieces",
+                 "index.<site>.coverage.airport",
+                 "index.<site>.coverage.airline",
+                 "index.<site>.coverage.region"):
+    if f"`{doc_form}`" not in obs:
+        fail(f"OBSERVABILITY.md must document `{doc_form}` "
+             "(adaptive-index metric family, SERVING.md §7)")
+for reg_piece in ('".builds_indexed_total"', '".builds_scanned_total"',
+                  '".fallback_scans_total"', '".cracks_total"',
+                  '".crack_keys_total"', '".absorbed_keys_total"',
+                  '".resets_total"', '".coverage.airport"'):
+    if reg_piece not in src:
+        fail(f"src/ no longer registers {reg_piece} — the index.* family "
+             "documented in OBSERVABILITY.md went stale")
+
 # --- 3. bench artifacts: docs vs CI -------------------------------------
 doc_text = "".join(read(p) for p in sorted(glob.glob("*.md")))
 ci = read(".github/workflows/ci.yml")

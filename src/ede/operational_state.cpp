@@ -122,6 +122,7 @@ Status OperationalState::deserialize(ByteSpan data) {
   std::lock_guard lock(mu_);
   flights_ = std::move(rebuilt);
   ++version_;
+  ++replaces_;
   return Status::ok();
 }
 
@@ -133,6 +134,46 @@ OperationalState::VersionedFlights OperationalState::all_flights_versioned()
   out.records.reserve(flights_.size());
   for (const auto& [key, rec] : flights_) out.records.push_back(rec);
   return out;
+}
+
+OperationalState::ManyResult OperationalState::get_many(
+    const std::vector<FlightKey>& keys) const {
+  std::lock_guard lock(mu_);
+  ManyResult out;
+  out.version = version_;
+  out.flight_count = flights_.size();
+  out.inserts = inserts_;
+  out.replaces = replaces_;
+  out.records.reserve(keys.size());
+  for (FlightKey key : keys) {
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      ++out.missing;
+      continue;
+    }
+    out.records.push_back(it->second);
+  }
+  return out;
+}
+
+OperationalState::KeySet OperationalState::all_flight_keys() const {
+  std::lock_guard lock(mu_);
+  KeySet out;
+  out.inserts = inserts_;
+  out.replaces = replaces_;
+  out.keys.reserve(flights_.size());
+  for (const auto& [key, rec] : flights_) out.keys.push_back(key);
+  return out;
+}
+
+std::uint64_t OperationalState::inserts_total() const {
+  std::lock_guard lock(mu_);
+  return inserts_;
+}
+
+std::uint64_t OperationalState::replaces_total() const {
+  std::lock_guard lock(mu_);
+  return replaces_;
 }
 
 std::vector<FlightRecord> OperationalState::all_flights() const {
@@ -147,6 +188,7 @@ void OperationalState::clear() {
   std::lock_guard lock(mu_);
   flights_.clear();
   ++version_;
+  ++replaces_;
 }
 
 }  // namespace admire::ede

@@ -54,7 +54,9 @@ class OperationalState {
   template <typename Fn>
   void update(FlightKey flight, Fn&& fn) {
     std::lock_guard lock(mu_);
-    auto& rec = flights_[flight];
+    auto [it, inserted] = flights_.try_emplace(flight);
+    if (inserted) ++inserts_;
+    auto& rec = it->second;
     rec.flight = flight;
     fn(rec);
     ++version_;
@@ -88,12 +90,46 @@ class OperationalState {
   };
   VersionedFlights all_flights_versioned() const;
 
+  /// Atomic capture of the records for an explicit key set, returned in
+  /// the order the keys were given (callers pass ascending keys so the
+  /// result encodes identically to a filtered all_flights_versioned()).
+  /// Carries the counters the adaptive index (src/index) needs to prove
+  /// that a key set it selected is still complete: a keyed read is only
+  /// trusted when `inserts`/`replaces` match what the index absorbed.
+  struct ManyResult {
+    std::vector<FlightRecord> records;
+    std::uint64_t version = 0;
+    std::size_t missing = 0;       ///< requested keys absent from the table
+    std::size_t flight_count = 0;  ///< table size at capture
+    std::uint64_t inserts = 0;     ///< record creations since construction
+    std::uint64_t replaces = 0;    ///< clear()/deserialize() table swaps
+  };
+  ManyResult get_many(const std::vector<FlightKey>& keys) const;
+
+  /// Atomic capture of every flight key (ascending) plus the insert and
+  /// replace counters at that instant — the adaptive index seeds itself
+  /// from this and then tracks inserts incrementally via its update hook.
+  struct KeySet {
+    std::vector<FlightKey> keys;
+    std::uint64_t inserts = 0;
+    std::uint64_t replaces = 0;
+  };
+  KeySet all_flight_keys() const;
+
+  /// Monotone count of record creations (never decremented; updates to an
+  /// existing flight do not count).
+  std::uint64_t inserts_total() const;
+  /// Count of whole-table swaps: clear() and successful deserialize().
+  std::uint64_t replaces_total() const;
+
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::map<FlightKey, FlightRecord> flights_;
   std::uint64_t version_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t replaces_ = 0;
 };
 
 }  // namespace admire::ede

@@ -1,0 +1,221 @@
+#include "index/adaptive_index.h"
+
+#include <algorithm>
+
+namespace admire::index {
+
+// The absent mask packs one bit per attribute value.
+static_assert(serve::kNumAirports <= 32, "absent_mask is a u32 bitmap");
+static_assert(serve::kNumAirlines <= 32, "absent_mask is a u32 bitmap");
+static_assert(serve::kNumRegions <= 32, "absent_mask is a u32 bitmap");
+
+void AdaptiveIndex::Column::seed(const std::vector<FlightKey>& all) {
+  keys = all;
+  pieces.clear();
+  resolved_keys = 0;
+  if (!keys.empty()) {
+    pieces.push_back(
+        Piece{0, static_cast<std::uint32_t>(keys.size()), -1, 0});
+  }
+}
+
+void AdaptiveIndex::Column::absorb(const std::vector<FlightKey>& fresh) {
+  if (fresh.empty()) return;
+  const auto begin = static_cast<std::uint32_t>(keys.size());
+  keys.insert(keys.end(), fresh.begin(), fresh.end());
+  pieces.push_back(
+      Piece{begin, static_cast<std::uint32_t>(keys.size()), -1, 0});
+}
+
+void AdaptiveIndex::Column::clear() {
+  keys.clear();
+  pieces.clear();
+  resolved_keys = 0;
+}
+
+std::uint64_t AdaptiveIndex::Column::collect(std::uint32_t value,
+                                             std::vector<FlightKey>& out,
+                                             std::uint64_t& cracks_out) {
+  const std::uint32_t bit = 1u << value;
+  std::uint64_t moved = 0;
+  for (std::size_t pi = 0; pi < pieces.size(); ++pi) {
+    Piece& p = pieces[pi];
+    if (p.value >= 0) {
+      if (static_cast<std::uint32_t>(p.value) == value) {
+        out.insert(out.end(), keys.begin() + p.begin, keys.begin() + p.end);
+      }
+      continue;
+    }
+    if ((p.absent_mask & bit) != 0) continue;  // proven empty for value
+    // Crack: deterministic in-place partition [== value | rest].
+    std::uint32_t w = p.begin;
+    for (std::uint32_t i = p.begin; i < p.end; ++i) {
+      if (derive(keys[i]) == value) {
+        std::swap(keys[w], keys[i]);
+        ++w;
+      }
+    }
+    ++cracks_out;
+    moved += p.end - p.begin;
+    if (w == p.begin) {
+      p.absent_mask |= bit;  // nothing here derives to value
+      continue;
+    }
+    out.insert(out.end(), keys.begin() + p.begin, keys.begin() + w);
+    resolved_keys += w - p.begin;
+    if (w == p.end) {
+      p.value = static_cast<std::int32_t>(value);
+      continue;
+    }
+    // Split: resolved prefix + mixed remainder that provably lacks value.
+    Piece rest{w, p.end, -1, p.absent_mask | bit};
+    p.end = w;
+    p.value = static_cast<std::int32_t>(value);
+    pieces.insert(pieces.begin() + static_cast<std::ptrdiff_t>(pi) + 1, rest);
+    ++pi;  // the remainder needs no further work for this value
+  }
+  return moved;
+}
+
+double AdaptiveIndex::Column::coverage() const {
+  if (keys.empty()) return 0.0;
+  return static_cast<double>(resolved_keys) /
+         static_cast<double>(keys.size());
+}
+
+AdaptiveIndex::AdaptiveIndex(const ede::OperationalState* state,
+                             IndexConfig config)
+    : state_(state), config_(config) {
+  columns_[0].derive = serve::airport_of;
+  columns_[1].derive = serve::airline_of;
+  columns_[2].derive = serve::region_of;
+}
+
+std::size_t AdaptiveIndex::column_slot(serve::QueryShape shape) {
+  switch (shape) {
+    case serve::QueryShape::kAirport: return 0;
+    case serve::QueryShape::kAirline: return 1;
+    case serve::QueryShape::kRegion: return 2;
+    default: return SIZE_MAX;
+  }
+}
+
+void AdaptiveIndex::seed_locked() {
+  auto snap = state_->all_flight_keys();
+  seed_inserts_ = snap.inserts;
+  seed_replaces_ = snap.replaces;
+  hook_inserts_ = 0;
+  known_.clear();
+  known_.insert(snap.keys.begin(), snap.keys.end());
+  pending_.clear();
+  for (auto& col : columns_) col.seed(snap.keys);
+  seeded_ = true;
+}
+
+void AdaptiveIndex::absorb_pending_locked() {
+  if (pending_.empty()) return;
+  for (auto& col : columns_) col.absorb(pending_);
+  absorbed_.fetch_add(pending_.size(), std::memory_order_relaxed);
+  if (absorbed_counter_ != nullptr) absorbed_counter_->inc(pending_.size());
+  pending_.clear();
+}
+
+std::optional<AdaptiveIndex::Candidates> AdaptiveIndex::candidates(
+    serve::QueryShape shape, std::uint32_t value) {
+  const std::size_t slot = column_slot(shape);
+  if (slot == SIZE_MAX) return std::nullopt;
+  std::lock_guard lock(mu_);
+  if (!seeded_) seed_locked();
+  absorb_pending_locked();
+  Column& col = columns_[slot];
+  if (col.keys.size() < config_.min_keys) return std::nullopt;
+  // Out-of-domain values (a malformed client key) match nothing, and
+  // cracking on them would waste a mask bit the u32 doesn't have.
+  const std::uint32_t cardinality =
+      slot == 0 ? serve::kNumAirports
+                : slot == 1 ? serve::kNumAirlines : serve::kNumRegions;
+  Candidates out;
+  out.expected_inserts = seed_inserts_ + hook_inserts_;
+  out.expected_replaces = seed_replaces_;
+  if (value < cardinality) {
+    std::uint64_t cracks = 0;
+    out.crack_keys = col.collect(value, out.keys, cracks);
+    if (cracks > 0) {
+      cracks_.fetch_add(cracks, std::memory_order_relaxed);
+      crack_keys_.fetch_add(out.crack_keys, std::memory_order_relaxed);
+      if (cracks_counter_ != nullptr) cracks_counter_->inc(cracks);
+      if (crack_keys_counter_ != nullptr) {
+        crack_keys_counter_->inc(out.crack_keys);
+      }
+    }
+    // Resolved runs accumulate in crack order; keyed state reads want
+    // ascending keys so the answer encodes exactly like a filtered scan.
+    std::sort(out.keys.begin(), out.keys.end());
+  }
+  return out;
+}
+
+void AdaptiveIndex::note_flight(FlightKey flight) {
+  std::lock_guard lock(mu_);
+  if (!seeded_) return;  // the next query seeds from the full key set
+  if (!known_.insert(flight).second) return;
+  pending_.push_back(flight);
+  ++hook_inserts_;
+}
+
+void AdaptiveIndex::reset() {
+  std::lock_guard lock(mu_);
+  seeded_ = false;
+  known_.clear();
+  pending_.clear();
+  hook_inserts_ = 0;
+  for (auto& col : columns_) col.clear();
+  resets_.fetch_add(1, std::memory_order_relaxed);
+  if (resets_counter_ != nullptr) resets_counter_->inc();
+}
+
+std::size_t AdaptiveIndex::key_count() const {
+  std::lock_guard lock(mu_);
+  return columns_[0].keys.size() + pending_.size();
+}
+
+std::size_t AdaptiveIndex::piece_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& col : columns_) n += col.pieces.size();
+  return n;
+}
+
+double AdaptiveIndex::coverage(serve::QueryShape shape) const {
+  const std::size_t slot = column_slot(shape);
+  if (slot == SIZE_MAX) return 0.0;
+  std::lock_guard lock(mu_);
+  return columns_[slot].coverage();
+}
+
+bool AdaptiveIndex::seeded() const {
+  std::lock_guard lock(mu_);
+  return seeded_;
+}
+
+void AdaptiveIndex::instrument(obs::Registry& registry,
+                               const std::string& label) {
+  cracks_counter_ = &registry.counter("index." + label + ".cracks_total");
+  crack_keys_counter_ =
+      &registry.counter("index." + label + ".crack_keys_total");
+  absorbed_counter_ =
+      &registry.counter("index." + label + ".absorbed_keys_total");
+  resets_counter_ = &registry.counter("index." + label + ".resets_total");
+  probes_.add(registry, "index." + label + ".keys",
+              [this] { return static_cast<double>(key_count()); });
+  probes_.add(registry, "index." + label + ".pieces",
+              [this] { return static_cast<double>(piece_count()); });
+  probes_.add(registry, "index." + label + ".coverage.airport",
+              [this] { return coverage(serve::QueryShape::kAirport); });
+  probes_.add(registry, "index." + label + ".coverage.airline",
+              [this] { return coverage(serve::QueryShape::kAirline); });
+  probes_.add(registry, "index." + label + ".coverage.region",
+              [this] { return coverage(serve::QueryShape::kRegion); });
+}
+
+}  // namespace admire::index

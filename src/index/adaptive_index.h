@@ -1,0 +1,170 @@
+// AdaptiveIndex: self-tuning secondary indexes over a mirror's replicated
+// ede::OperationalState, built by database cracking (the CrackStore /
+// scrack lineage, SNIPPETS.md §3) — zero upfront configuration, the index
+// organizes itself from the observed query pattern, independently per
+// mirror, in the autonomic spirit of H2O (PAPERS.md).
+//
+// One cracked column per grouping attribute (airport, airline, region —
+// the deterministic derivations in serve/query.h). Each column holds every
+// known flight key in an order that evolves with the queries: a lookup for
+// attribute value v partitions only the still-mixed pieces it touches into
+// a resolved run of v-keys plus a remainder, so a hot attribute converges
+// toward fully indexed while a cold one stays a single scan-cheap piece.
+// Repeated lookups of the same value touch only resolved runs — O(result)
+// — because a cracked remainder remembers which values it provably lacks.
+//
+// Completeness proof instead of trust: the index answers with candidate
+// KEYS, never records. The serving plane fetches the records atomically
+// via OperationalState::get_many() and only uses the answer when the
+// state's insert/replace counters match what the index has absorbed
+// through its on_state_update/on_state_replaced hooks — any racing insert
+// or snapshot restore fails the check and the build falls back to the full
+// scan (the correctness oracle). Grouping attributes are derived from the
+// immutable flight key, so membership can never go stale any other way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "ede/operational_state.h"
+#include "obs/registry.h"
+#include "serve/query.h"
+
+namespace admire::index {
+
+/// Knobs (documented in SERVING.md §4; ride along inside ServeConfig).
+struct IndexConfig {
+  /// Below this many tracked flights the full scan is already cheap and
+  /// the index abstains (candidates() returns nullopt). 0 = always index.
+  std::size_t min_keys = 0;
+};
+
+class AdaptiveIndex {
+ public:
+  /// `state` must outlive the index. The index seeds itself lazily from
+  /// state->all_flight_keys() on the first query after construction or
+  /// reset(), so hooks may start arriving before any query has run.
+  explicit AdaptiveIndex(const ede::OperationalState* state,
+                         IndexConfig config = {});
+
+  /// What a lookup returned: the matching flight keys (ascending) plus the
+  /// counters a keyed state read must match for the answer to be complete.
+  struct Candidates {
+    std::vector<FlightKey> keys;
+    std::uint64_t expected_inserts = 0;   ///< vs ManyResult::inserts
+    std::uint64_t expected_replaces = 0;  ///< vs ManyResult::replaces
+    std::uint64_t crack_keys = 0;  ///< keys moved cracking for this lookup
+  };
+
+  /// Candidate keys for (shape, value). Cracks the touched pieces as a
+  /// side effect. nullopt when the index abstains: a shape it does not
+  /// cover (kFlight is a point read, kFullState wants everything) or
+  /// fewer than IndexConfig::min_keys tracked flights.
+  std::optional<Candidates> candidates(serve::QueryShape shape,
+                                       std::uint32_t value);
+
+  /// Update-path hook: the site applied an event for `flight`. New keys
+  /// are absorbed into every column as an appended mixed piece on the next
+  /// query; known keys are a cheap no-op (attributes derive from the
+  /// immutable key, so an update never moves a flight between groups).
+  void note_flight(FlightKey flight);
+
+  /// Recovery hook: the whole table was replaced (snapshot restore,
+  /// rejoin seed) or cleared. Tears the index down; it re-seeds lazily.
+  void reset();
+
+  // --- Introspection (tests, probes, benches) ---------------------------
+  std::size_t key_count() const;
+  std::size_t piece_count() const;  ///< across all columns
+  /// Fraction of this attribute's keys inside resolved (cracked-out)
+  /// pieces — 1.0 = fully indexed. 0.0 for shapes the index doesn't cover.
+  double coverage(serve::QueryShape shape) const;
+  bool seeded() const;
+
+  std::uint64_t cracks() const {
+    return cracks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t crack_keys_total() const {
+    return crack_keys_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t absorbed_keys() const {
+    return absorbed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t resets() const {
+    return resets_.load(std::memory_order_relaxed);
+  }
+
+  /// Register the index.<label>.* family: cracks_total, crack_keys_total,
+  /// absorbed_keys_total, resets_total counters plus keys / pieces /
+  /// coverage.{airport,airline,region} probes.
+  void instrument(obs::Registry& registry, const std::string& label);
+
+ private:
+  /// One contiguous run of `keys`. value >= 0: resolved — every key in
+  /// [begin, end) derives to `value`. value < 0: mixed — unpartitioned,
+  /// except that the values in `absent_mask` are proven not to occur here
+  /// (set when a crack for that value came up empty), so repeated hot
+  /// lookups skip it without rescanning.
+  struct Piece {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::int32_t value = -1;
+    std::uint32_t absent_mask = 0;
+  };
+
+  /// One cracked column: all known keys, reordered in place as queries
+  /// partition them. Cardinalities are protocol constants <= 32, so the
+  /// absent mask fits a u32 (static_asserted in the .cpp).
+  struct Column {
+    std::uint32_t (*derive)(FlightKey) = nullptr;
+    std::vector<FlightKey> keys;
+    std::vector<Piece> pieces;
+    std::uint64_t resolved_keys = 0;
+
+    void seed(const std::vector<FlightKey>& all);
+    void absorb(const std::vector<FlightKey>& fresh);
+    void clear();
+    /// Append every key deriving to `value` onto `out`, cracking the mixed
+    /// pieces it had to touch. Returns keys moved while cracking.
+    std::uint64_t collect(std::uint32_t value, std::vector<FlightKey>& out,
+                          std::uint64_t& cracks_out);
+    double coverage() const;
+  };
+
+  static constexpr std::size_t kNumColumns = 3;
+  /// kAirport/kAirline/kRegion -> column slot; SIZE_MAX = not covered.
+  static std::size_t column_slot(serve::QueryShape shape);
+
+  void seed_locked();
+  void absorb_pending_locked();
+
+  const ede::OperationalState* state_;  // not owned
+  const IndexConfig config_;
+
+  mutable std::mutex mu_;
+  bool seeded_ = false;
+  Column columns_[kNumColumns];
+  std::unordered_set<FlightKey> known_;
+  std::vector<FlightKey> pending_;  ///< noted, not yet in the columns
+  std::uint64_t seed_inserts_ = 0;   ///< state inserts counter at seed time
+  std::uint64_t seed_replaces_ = 0;  ///< state replaces counter at seed time
+  std::uint64_t hook_inserts_ = 0;   ///< new keys absorbed via note_flight
+
+  std::atomic<std::uint64_t> cracks_{0};
+  std::atomic<std::uint64_t> crack_keys_{0};
+  std::atomic<std::uint64_t> absorbed_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  obs::Counter* cracks_counter_ = nullptr;
+  obs::Counter* crack_keys_counter_ = nullptr;
+  obs::Counter* absorbed_counter_ = nullptr;
+  obs::Counter* resets_counter_ = nullptr;
+  obs::ProbeGroup probes_;
+};
+
+}  // namespace admire::index

@@ -1,5 +1,8 @@
 #include "serve/query.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace admire::serve {
 
 QueryKey pick_query(const QueryMix& mix, double shape_draw,
@@ -20,6 +23,70 @@ QueryKey pick_query(const QueryMix& mix, double shape_draw,
     return {QueryShape::kRegion, region_of(flight_draw)};
   }
   return {QueryShape::kFullState, 0};
+}
+
+namespace {
+double zeta(std::uint32_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+FlightPicker::FlightPicker(const FlightDist& dist, std::uint32_t space)
+    : dist_(dist), space_(std::max<std::uint32_t>(1, space)) {
+  if (dist_.kind == FlightDist::Kind::kZipfian) {
+    // The YCSB ZipfianGenerator constants; s is clamped away from the
+    // divergent s = 1 pole so alpha stays finite.
+    theta_ = std::clamp(dist_.zipf_s, 1e-6, 0.999999);
+    zeta_n_ = zeta(space_, theta_);
+    zeta2_ = zeta(std::min<std::uint32_t>(2, space_), theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(space_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+}
+
+FlightKey FlightPicker::pick(double u) const {
+  u = std::clamp(u, 0.0, std::nextafter(1.0, 0.0));
+  switch (dist_.kind) {
+    case FlightDist::Kind::kUniform:
+      break;
+    case FlightDist::Kind::kZipfian: {
+      if (space_ == 1) return 1;
+      const double uz = u * zeta_n_;
+      if (uz < 1.0) return 1;
+      if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+      const double frac = std::pow(eta_ * u - eta_ + 1.0, alpha_);
+      const auto rank = static_cast<std::uint32_t>(
+          static_cast<double>(space_) * frac);
+      return 1 + std::min(rank, space_ - 1);
+    }
+    case FlightDist::Kind::kHotspot: {
+      const double w = std::clamp(dist_.hot_weight, 0.0, 1.0);
+      const std::uint32_t hot = std::clamp<std::uint32_t>(
+          static_cast<std::uint32_t>(dist_.hot_fraction *
+                                     static_cast<double>(space_)),
+          1, space_);
+      if (u < w) {
+        // Rescale the draw into the hot prefix [1, hot].
+        const double v = w > 0.0 ? u / w : 0.0;
+        return 1 + std::min<std::uint32_t>(
+                       static_cast<std::uint32_t>(v * hot), hot - 1);
+      }
+      if (hot == space_) return space_;
+      const double v = w < 1.0 ? (u - w) / (1.0 - w) : 0.0;
+      const std::uint32_t cold = space_ - hot;
+      return 1 + hot +
+             std::min<std::uint32_t>(static_cast<std::uint32_t>(v * cold),
+                                     cold - 1);
+    }
+  }
+  return 1 + std::min<std::uint32_t>(
+                 static_cast<std::uint32_t>(u * static_cast<double>(space_)),
+                 space_ - 1);
 }
 
 }  // namespace admire::serve

@@ -7,6 +7,7 @@
 // without configuration (documented in SERVING.md §2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -81,6 +82,22 @@ struct QueryKeyHash {
   }
 };
 
+/// Every query key whose result set includes `flight` — its exact key, its
+/// derived airport/airline/region groups, and the full-state entry. The
+/// snapshot cache invalidates exactly these on an update, and the adaptive
+/// index (src/index) derives its per-attribute memberships from the same
+/// list, so the two can never disagree about what an update touches.
+/// Exactly one entry per QueryShape, in wire-value order —
+/// tests/serve/query_test.cpp asserts this so adding a shape cannot
+/// silently skip invalidation.
+inline std::array<QueryKey, kNumQueryShapes> covering_keys(FlightKey flight) {
+  return {QueryKey{QueryShape::kFlight, flight},
+          QueryKey{QueryShape::kAirport, airport_of(flight)},
+          QueryKey{QueryShape::kAirline, airline_of(flight)},
+          QueryKey{QueryShape::kRegion, region_of(flight)},
+          QueryKey{QueryShape::kFullState, 0}};
+}
+
 /// Mix of query shapes a client population issues (fractions; the driver
 /// and the DES model normalize over the sum, so they need not add to 1).
 struct QueryMix {
@@ -95,5 +112,55 @@ struct QueryMix {
 /// a concrete query, shared by the threaded driver and the DES model.
 QueryKey pick_query(const QueryMix& mix, double shape_draw,
                     FlightKey flight_draw);
+
+/// Flight-key distribution the client population draws query keys from.
+/// Uniform is the PR 7 behavior; Zipfian and hotspot produce the skewed
+/// streams adaptive indexing exists for (hot attributes converge to
+/// indexed, cold ones stay scan-cheap). Shared by the threaded
+/// workload driver and the DES model (SimConfig::serve_flight_dist), so
+/// both runtimes face identical non-uniform query mixes.
+struct FlightDist {
+  enum class Kind : std::uint8_t {
+    kUniform = 0,  ///< every flight equally likely
+    kZipfian = 1,  ///< rank-skewed: flight 1 hottest, tail cold
+    kHotspot = 2,  ///< hot_weight of draws land in the first hot_fraction
+  };
+  Kind kind = Kind::kUniform;
+  double zipf_s = 0.99;       ///< Zipfian exponent, in (0, 1)
+  double hot_fraction = 0.10; ///< hotspot: leading fraction of the space
+  double hot_weight = 0.90;   ///< hotspot: probability mass on the hot set
+};
+
+constexpr const char* flight_dist_name(FlightDist::Kind k) {
+  switch (k) {
+    case FlightDist::Kind::kUniform: return "uniform";
+    case FlightDist::Kind::kZipfian: return "zipfian";
+    case FlightDist::Kind::kHotspot: return "hotspot";
+  }
+  return "unknown";
+}
+
+/// Deterministic inverse-CDF sampler over flight keys [1, space]: one
+/// uniform draw in [0,1) in, one key out — the same (dist, space, u)
+/// always yields the same key on every runtime. The Zipfian constants
+/// (zeta, eta, alpha — the standard YCSB formulation) are precomputed at
+/// construction, so pick() is O(1).
+class FlightPicker {
+ public:
+  FlightPicker(const FlightDist& dist, std::uint32_t space);
+
+  FlightKey pick(double u) const;  ///< u in [0, 1)
+  std::uint32_t space() const { return space_; }
+
+ private:
+  FlightDist dist_;
+  std::uint32_t space_;
+  // Zipfian precomputation (unused for other kinds).
+  double theta_ = 0.0;
+  double zeta_n_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
 
 }  // namespace admire::serve

@@ -9,7 +9,12 @@ RequestHandler::RequestHandler(const ede::OperationalState* state,
       config_(config),
       clock_(std::move(clock)),
       gate_(config.max_in_flight, config.retry_after_ms),
-      cache_(config.cache_max_entries) {}
+      cache_(config.cache_max_entries) {
+  if (config_.index_enabled) {
+    index_ = std::make_unique<admire::index::AdaptiveIndex>(
+        state_, admire::index::IndexConfig{config_.index_min_keys});
+  }
+}
 
 HandleOutcome RequestHandler::handle(const Request& req) {
   AdmissionGate::Ticket ticket(gate_);
@@ -24,6 +29,40 @@ HandleOutcome RequestHandler::handle(const Request& req) {
     return out;
   }
   return handle_admitted(req);
+}
+
+bool RequestHandler::try_index_build(const Request& req,
+                                     std::vector<ede::FlightRecord>& matching,
+                                     std::uint64_t& version,
+                                     HandleOutcome& out) {
+  if (req.shape == QueryShape::kFlight) {
+    // Point read: the status table's own key is the index; completeness
+    // needs no proof (an absent flight is an empty result, like the scan).
+    auto got = state_->get_many({req.key});
+    matching = std::move(got.records);
+    version = got.version;
+    out.records_examined = matching.size();
+    return true;
+  }
+  if (req.shape == QueryShape::kFullState) return false;
+  auto cand = index_->candidates(req.shape, req.key);
+  if (!cand) return false;  // index abstained (min_keys)
+  auto got = state_->get_many(cand->keys);
+  out.crack_keys = cand->crack_keys;
+  // Completeness check: the answer is only trusted when no insert and no
+  // table replace landed between what the index absorbed and this read —
+  // grouping attributes derive from the immutable key, so counter
+  // equality proves the candidate set is exactly the matching set.
+  if (got.replaces != cand->expected_replaces ||
+      got.inserts != cand->expected_inserts || got.missing != 0) {
+    index_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (index_fallbacks_counter_ != nullptr) index_fallbacks_counter_->inc();
+    return false;
+  }
+  matching = std::move(got.records);
+  version = got.version;
+  out.records_examined = cand->keys.size();
+  return true;
 }
 
 HandleOutcome RequestHandler::handle_admitted(const Request& req) {
@@ -56,25 +95,39 @@ HandleOutcome RequestHandler::handle_admitted(const Request& req) {
 
   // Build: capture the invalidation generation BEFORE reading the table,
   // so an update racing this build discards the insert (freshness
-  // contract, see snapshot_cache.h).
+  // contract, see snapshot_cache.h). The adaptive index answers group
+  // queries from candidate keys when it can prove completeness; the full
+  // scan remains the fallback and the correctness oracle.
   const SnapshotCache::BuildToken token = cache_.begin_build(key);
-  auto versioned = state_->all_flights_versioned();
   std::vector<ede::FlightRecord> matching;
-  for (auto& rec : versioned.records) {
-    if (query_matches(req.shape, req.key, rec.flight)) {
-      matching.push_back(std::move(rec));
+  std::uint64_t version = 0;
+  bool indexed = index_ && try_index_build(req, matching, version, out);
+  if (indexed) {
+    out.index_used = true;
+    builds_indexed_.fetch_add(1, std::memory_order_relaxed);
+    if (builds_indexed_counter_ != nullptr) builds_indexed_counter_->inc();
+  } else {
+    auto versioned = state_->all_flights_versioned();
+    version = versioned.version;
+    out.records_examined = versioned.records.size();
+    for (auto& rec : versioned.records) {
+      if (query_matches(req.shape, req.key, rec.flight)) {
+        matching.push_back(std::move(rec));
+      }
     }
+    builds_scanned_.fetch_add(1, std::memory_order_relaxed);
+    if (builds_scanned_counter_ != nullptr) builds_scanned_counter_->inc();
   }
   auto payload = std::make_shared<const Bytes>(encode_record_set(matching));
 
   out.response.code = ResponseCode::kOk;
-  out.response.version = versioned.version;
+  out.response.version = version;
   out.response.state = payload;
   out.payload_bytes = payload->size();
 
   if (config_.cache_enabled) {
     cache_.insert(token,
-                  CachedSnapshot{payload, versioned.version,
+                  CachedSnapshot{payload, version,
                                  static_cast<std::uint32_t>(matching.size())});
   }
   if (clock_ && request_ns_ != nullptr) {
@@ -90,6 +143,15 @@ void RequestHandler::instrument(obs::Registry& registry,
   requests_counter_ = &registry.counter("serve." + label + ".requests_total");
   request_ns_ = &registry.histogram("serve." + label + ".request_ns",
                                     obs::Histogram::latency_bounds());
+  if (index_) {
+    index_->instrument(registry, label);
+    builds_indexed_counter_ =
+        &registry.counter("index." + label + ".builds_indexed_total");
+    builds_scanned_counter_ =
+        &registry.counter("index." + label + ".builds_scanned_total");
+    index_fallbacks_counter_ =
+        &registry.counter("index." + label + ".fallback_scans_total");
+  }
 }
 
 }  // namespace admire::serve

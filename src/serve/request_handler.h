@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "ede/operational_state.h"
+#include "index/adaptive_index.h"
 #include "obs/registry.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
@@ -29,6 +30,15 @@ struct ServeConfig {
   /// Snapshot cache on/off and its entry budget.
   bool cache_enabled = true;
   std::size_t cache_max_entries = 4096;
+  /// Adaptive query index over the mirror state (src/index): self-tuning
+  /// cracked indexes for airport/airline/region cache-miss builds, plus a
+  /// keyed point read for flight queries. Builds fall back to the full
+  /// scan whenever the index cannot prove completeness, so disabling this
+  /// only changes cost, never answers.
+  bool index_enabled = true;
+  /// Below this many tracked flights the scan is already cheap and the
+  /// index abstains (0 = always index).
+  std::size_t index_min_keys = 0;
 };
 
 /// What handling one request did — the DES reads this to charge virtual
@@ -37,7 +47,13 @@ struct HandleOutcome {
   Response response;
   bool shed = false;       ///< stopped at the admission gate
   bool cache_hit = false;  ///< served from the snapshot cache
+  bool index_used = false; ///< build answered via the adaptive index
   std::size_t payload_bytes = 0;
+  /// Table records the build touched: the whole table for a scan, only
+  /// the candidates for an indexed build — the DES charges build cost
+  /// from this, so indexed-vs-scan shows up in virtual time too.
+  std::uint64_t records_examined = 0;
+  std::uint64_t crack_keys = 0;  ///< keys moved by cracking in this build
 };
 
 class RequestHandler {
@@ -61,20 +77,39 @@ class RequestHandler {
   /// status table. Key 0 (control/snapshot events) is a no-op — those
   /// never mutate per-flight state.
   void on_state_update(FlightKey flight) {
-    if (flight != 0) cache_.invalidate_flight(flight);
+    if (flight == 0) return;
+    cache_.invalidate_flight(flight);
+    if (index_) index_->note_flight(flight);
   }
 
   /// Recovery hook: the whole table was replaced (snapshot restore).
-  void on_state_replaced() { cache_.invalidate_all(); }
+  void on_state_replaced() {
+    cache_.invalidate_all();
+    if (index_) index_->reset();
+  }
 
   /// Flip to shutting-down: every request is answered kShuttingDown.
   void begin_shutdown() { shutting_down_.store(true, std::memory_order_release); }
 
   AdmissionGate& admission() { return gate_; }
   SnapshotCache& cache() { return cache_; }
+  /// Null when ServeConfig::index_enabled is false.
+  admire::index::AdaptiveIndex* adaptive_index() { return index_.get(); }
   const ServeConfig& config() const { return config_; }
   std::uint64_t requests_total() const {
     return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t builds_indexed() const {
+    return builds_indexed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t builds_scanned() const {
+    return builds_scanned_.load(std::memory_order_relaxed);
+  }
+  /// Indexed builds that failed the completeness check and re-ran as a
+  /// scan (a racing insert or snapshot restore) — a subset of
+  /// builds_scanned().
+  std::uint64_t index_fallbacks() const {
+    return index_fallbacks_.load(std::memory_order_relaxed);
   }
 
   /// Register the serve.<label>.* metric set (admission, cache, request
@@ -82,15 +117,28 @@ class RequestHandler {
   void instrument(obs::Registry& registry, const std::string& label);
 
  private:
+  /// Indexed build attempt: fills `matching`/`version` and returns true
+  /// only when the index answered AND the completeness check passed.
+  bool try_index_build(const Request& req,
+                       std::vector<ede::FlightRecord>& matching,
+                       std::uint64_t& version, HandleOutcome& out);
+
   const ede::OperationalState* state_;  // not owned
   const ServeConfig config_;
   std::shared_ptr<Clock> clock_;
   AdmissionGate gate_;
   SnapshotCache cache_;
+  std::unique_ptr<admire::index::AdaptiveIndex> index_;
   std::atomic<bool> shutting_down_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> builds_indexed_{0};
+  std::atomic<std::uint64_t> builds_scanned_{0};
+  std::atomic<std::uint64_t> index_fallbacks_{0};
   obs::Counter* requests_counter_ = nullptr;
   obs::Histogram* request_ns_ = nullptr;
+  obs::Counter* builds_indexed_counter_ = nullptr;
+  obs::Counter* builds_scanned_counter_ = nullptr;
+  obs::Counter* index_fallbacks_counter_ = nullptr;
 };
 
 }  // namespace admire::serve

@@ -1,19 +1,6 @@
 #include "serve/snapshot_cache.h"
 
-#include <array>
-
 namespace admire::serve {
-
-namespace {
-/// Query keys whose result sets include `flight`.
-std::array<QueryKey, 5> covering_keys(FlightKey flight) {
-  return {QueryKey{QueryShape::kFlight, flight},
-          QueryKey{QueryShape::kAirport, airport_of(flight)},
-          QueryKey{QueryShape::kAirline, airline_of(flight)},
-          QueryKey{QueryShape::kRegion, region_of(flight)},
-          QueryKey{QueryShape::kFullState, 0}};
-}
-}  // namespace
 
 std::optional<CachedSnapshot> SnapshotCache::lookup(const QueryKey& key) {
   std::lock_guard lock(mu_);

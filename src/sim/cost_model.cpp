@@ -29,6 +29,9 @@ CostModel CostModel::scaled(double factor) const {
   out.request_per_byte = request_per_byte * factor;
   out.serve_hit_base = scale_n(serve_hit_base, factor);
   out.serve_hit_per_byte = serve_hit_per_byte * factor;
+  out.serve_scan_per_record = serve_scan_per_record * factor;
+  out.serve_index_per_record = serve_index_per_record * factor;
+  out.serve_crack_per_key = serve_crack_per_key * factor;
   return out;
 }
 

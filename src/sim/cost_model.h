@@ -60,6 +60,14 @@ struct CostModel {
   /// what makes the cache matter under a flash crowd.
   Nanos serve_hit_base = 80 * kMicro;
   double serve_hit_per_byte = 12.0;
+  /// Cache-miss build costs (src/index). A scan touches every table
+  /// record (match test + possible copy); an indexed build touches only
+  /// the candidate keys but pays a little more per record (hash probe +
+  /// completeness bookkeeping) plus a one-off cracking charge per key the
+  /// partition loop moved. The index wins exactly when selectivity does.
+  double serve_scan_per_record = 400.0;
+  double serve_index_per_record = 450.0;
+  double serve_crack_per_key = 40.0;
 
   // --- Cluster data links (central -> mirror) ---------------------------
   double cluster_link_bps = 125.0e6;     ///< 1 Gbps-class SAN, bytes/sec
@@ -102,6 +110,17 @@ struct CostModel {
   Nanos serve_hit_cost(std::size_t payload_bytes) const {
     return serve_hit_base +
            static_cast<Nanos>(serve_hit_per_byte * static_cast<double>(payload_bytes));
+  }
+  /// Cache-miss build + ship-out: base/per-byte as request_cost, plus the
+  /// evaluation cost over the records the build actually examined.
+  Nanos serve_build_cost(std::size_t payload_bytes, bool indexed,
+                         std::uint64_t records_examined,
+                         std::uint64_t crack_keys) const {
+    const double per_record =
+        indexed ? serve_index_per_record : serve_scan_per_record;
+    return request_cost(payload_bytes) +
+           static_cast<Nanos>(per_record * static_cast<double>(records_examined)) +
+           static_cast<Nanos>(serve_crack_per_key * static_cast<double>(crack_keys));
   }
 
   /// Uniformly scale all CPU cost constants (sensitivity analysis).

@@ -114,6 +114,8 @@ SimCluster::SimCluster(SimConfig config)
           &mirrors_[i]->main.state(), *config_.serving);
       mirrors_[i]->serving->instrument(obs, "mirror" + std::to_string(i + 1));
     }
+    flight_picker_.emplace(config_.serve_flight_dist,
+                           std::max<std::uint32_t>(1, config_.serve_flight_space));
   }
   chan_msgs_ = &obs.counter("transport.channel.central.data.msgs_total");
   chan_bytes_ = &obs.counter("transport.channel.central.data.bytes_total");
@@ -213,6 +215,9 @@ SimResult SimCluster::run(const workload::Trace& trace,
       result.requests_shed += h.admission().shed();
       result.serve_cache_hits += h.cache().hits();
       result.serve_cache_misses += h.cache().misses();
+      result.serve_indexed_builds += h.builds_indexed();
+      result.serve_scanned_builds += h.builds_scanned();
+      result.serve_index_fallbacks += h.index_fallbacks();
     };
     fold(*central_->serving);
     for (const auto& m : mirrors_) fold(*m->serving);
@@ -971,17 +976,19 @@ void SimCluster::on_serve_request(Nanos at, std::size_t attempt) {
   req.id = next_request_id_++;
   const serve::QueryKey q = serve::pick_query(
       config_.serve_mix, request_rng_.next_double(),
-      static_cast<FlightKey>(
-          1 + request_rng_.next_below(
-                  std::max<std::uint32_t>(1, config_.serve_flight_space))));
+      flight_picker_->pick(request_rng_.next_double()));
   req.shape = q.shape;
   req.key = q.key;
   const serve::HandleOutcome outcome = serving.handle_admitted(req);
 
   ++*pending;
-  const Nanos work = outcome.cache_hit
-                         ? config_.costs.serve_hit_cost(outcome.payload_bytes)
-                         : config_.costs.request_cost(outcome.payload_bytes);
+  const Nanos work =
+      outcome.cache_hit
+          ? config_.costs.serve_hit_cost(outcome.payload_bytes)
+          : config_.costs.serve_build_cost(outcome.payload_bytes,
+                                           outcome.index_used,
+                                           outcome.records_examined,
+                                           outcome.crack_keys);
   const Nanos done = site_idx == 0
                          ? central_->cpu.schedule_job(engine_.now(), work)
                          : mirror_cpu_job(site_idx - 1, work);

@@ -138,6 +138,10 @@ struct SimConfig {
   /// Query-shape mix and the flight id space queries draw from.
   serve::QueryMix serve_mix;
   std::uint32_t serve_flight_space = 256;
+  /// How query keys are spread over the flight space (uniform / Zipfian /
+  /// hotspot) — skew is what makes the snapshot cache and the adaptive
+  /// index earn their keep. Deterministic: drawn from request_seed.
+  serve::FlightDist serve_flight_dist;
   std::size_t serve_max_retries = 8;
 };
 
@@ -183,6 +187,12 @@ struct SimResult {
   std::uint64_t serve_cache_hits = 0;
   std::uint64_t serve_cache_misses = 0;
   double serve_cache_hit_ratio = 0.0;
+  /// Cache-miss builds answered by the adaptive index vs the full scan,
+  /// summed over sites; fallbacks are completeness-check failures (a
+  /// subset of scanned).
+  std::uint64_t serve_indexed_builds = 0;
+  std::uint64_t serve_scanned_builds = 0;
+  std::uint64_t serve_index_fallbacks = 0;
 };
 
 class SimCluster {
@@ -270,6 +280,7 @@ class SimCluster {
   std::shared_ptr<metrics::LatencyRecorder> mirror_update_delays_;
   std::shared_ptr<metrics::LatencyRecorder> request_latency_;
   Rng request_rng_{0x5151};
+  std::optional<serve::FlightPicker> flight_picker_;
   Rng fault_rng_{0xFA17};
   Rng hb_rng_{0xFA17 ^ 0x5EED};  ///< heartbeat drop coin, own stream
   std::uint64_t control_messages_dropped_ = 0;

@@ -51,7 +51,11 @@ class DriverWorker {
  public:
   DriverWorker(const ServeDriverConfig& config, std::size_t conns,
                std::uint64_t seed)
-      : config_(config), num_conns_(conns), rng_(seed) {}
+      : config_(config),
+        num_conns_(conns),
+        rng_(seed),
+        picker_(config.flight_dist,
+                std::max<std::uint32_t>(1, config.flight_space)) {}
 
   void run() {
     if (num_conns_ == 0) return;
@@ -190,10 +194,7 @@ class DriverWorker {
     --c.remaining;
     c.attempt = 0;
     const serve::QueryKey q = serve::pick_query(
-        config_.mix, rng_.next_double(),
-        static_cast<FlightKey>(
-            1 + rng_.next_below(std::max<std::uint32_t>(1,
-                                                        config_.flight_space))));
+        config_.mix, rng_.next_double(), picker_.pick(rng_.next_double()));
     c.current.id = next_id_++;
     c.current.shape = q.shape;
     c.current.key = q.key;
@@ -325,6 +326,7 @@ class DriverWorker {
   const ServeDriverConfig& config_;
   const std::size_t num_conns_;
   Rng rng_;
+  serve::FlightPicker picker_;
   int epoll_fd_ = -1;
   std::vector<ClientConn> conns_;
   std::size_t live_ = 0;  ///< connections not yet kDone

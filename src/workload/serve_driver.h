@@ -29,6 +29,10 @@ struct ServeDriverConfig {
   std::size_t requests_per_connection = 1;
   serve::QueryMix mix;
   std::uint32_t flight_space = 256;  ///< query flight ids drawn from [1, N]
+  /// Flight-key skew (uniform / Zipfian / hotspot) — the same deterministic
+  /// serve::FlightPicker the DES draws from, so both runtimes can present
+  /// identical key popularity to the cache and the adaptive index.
+  serve::FlightDist flight_dist;
   std::uint64_t seed = 0xC11E47;
   /// RETRY_AFTER handling: wait the server's hint, then retry the same
   /// request, up to max_retries attempts; afterwards the request counts

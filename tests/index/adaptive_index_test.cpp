@@ -1,0 +1,218 @@
+// Unit tests for the adaptive (cracking) index: piece evolution, absent
+// masks, convergence, hook absorption, reset/reseed, and determinism —
+// the src/index invariants the serving plane's completeness proof leans
+// on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/adaptive_index.h"
+
+namespace admire::index {
+namespace {
+
+constexpr std::uint32_t kFlights = 512;
+
+void populate(ede::OperationalState& state, std::uint32_t flights,
+              std::uint32_t first = 1) {
+  for (std::uint32_t f = first; f < first + flights; ++f) {
+    state.update(f, [](ede::FlightRecord& rec) {
+      rec.status = event::FlightStatus::kEnRoute;
+    });
+  }
+}
+
+std::vector<FlightKey> matching_keys(serve::QueryShape shape,
+                                     std::uint32_t value,
+                                     const ede::OperationalState& state) {
+  std::vector<FlightKey> out;
+  for (const auto& rec : state.all_flights()) {
+    if (serve::query_matches(shape, value, rec.flight)) {
+      out.push_back(rec.flight);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AdaptiveIndex, FirstLookupCracksAndReturnsExactMatches) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  EXPECT_FALSE(index.seeded());
+
+  const auto cand = index.candidates(serve::QueryShape::kAirport, 3);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_TRUE(index.seeded());
+  EXPECT_EQ(cand->keys, matching_keys(serve::QueryShape::kAirport, 3, state));
+  EXPECT_GT(cand->crack_keys, 0u);  // the seed piece had to be partitioned
+  EXPECT_EQ(index.cracks(), 1u);
+  EXPECT_EQ(cand->expected_inserts, state.inserts_total());
+  EXPECT_EQ(cand->expected_replaces, state.replaces_total());
+}
+
+TEST(AdaptiveIndex, RepeatLookupTouchesNoMixedPieces) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  const auto first = index.candidates(serve::QueryShape::kAirline, 5);
+  ASSERT_TRUE(first.has_value());
+  const std::uint64_t cracks_after_first = index.cracks();
+
+  const auto again = index.candidates(serve::QueryShape::kAirline, 5);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->keys, first->keys);
+  EXPECT_EQ(again->crack_keys, 0u);  // resolved run + absent mask only
+  EXPECT_EQ(index.cracks(), cracks_after_first);
+}
+
+TEST(AdaptiveIndex, HotColumnConvergesColdColumnsStayUntouched) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  for (std::uint32_t v = 0; v < serve::kNumAirports; ++v) {
+    ASSERT_TRUE(index.candidates(serve::QueryShape::kAirport, v).has_value());
+  }
+  EXPECT_DOUBLE_EQ(index.coverage(serve::QueryShape::kAirport), 1.0);
+  EXPECT_DOUBLE_EQ(index.coverage(serve::QueryShape::kAirline), 0.0);
+  EXPECT_DOUBLE_EQ(index.coverage(serve::QueryShape::kRegion), 0.0);
+  // Shapes the index does not cover report zero coverage.
+  EXPECT_DOUBLE_EQ(index.coverage(serve::QueryShape::kFlight), 0.0);
+  EXPECT_DOUBLE_EQ(index.coverage(serve::QueryShape::kFullState), 0.0);
+}
+
+TEST(AdaptiveIndex, AbstainsBelowMinKeysAndForUncoveredShapes) {
+  ede::OperationalState state;
+  populate(state, 8);
+  AdaptiveIndex small(&state, IndexConfig{.min_keys = 64});
+  EXPECT_FALSE(small.candidates(serve::QueryShape::kAirport, 0).has_value());
+
+  AdaptiveIndex index(&state);
+  EXPECT_FALSE(index.candidates(serve::QueryShape::kFlight, 1).has_value());
+  EXPECT_FALSE(index.candidates(serve::QueryShape::kFullState, 0).has_value());
+}
+
+TEST(AdaptiveIndex, OutOfDomainValueMatchesNothingWithoutCracking) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  const auto cand = index.candidates(serve::QueryShape::kRegion, 999);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_TRUE(cand->keys.empty());
+  EXPECT_EQ(cand->crack_keys, 0u);
+  EXPECT_EQ(index.cracks(), 0u);
+}
+
+TEST(AdaptiveIndex, NotedInsertIsAbsorbedOnNextLookup) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  ASSERT_TRUE(index.candidates(serve::QueryShape::kAirport, 0).has_value());
+
+  // A new flight that derives to airport 0 (keys are 1-based; kFlights is a
+  // multiple of kNumAirports, so key kFlights + 16 derives to 0).
+  const FlightKey fresh = kFlights + serve::kNumAirports;
+  ASSERT_EQ(serve::airport_of(fresh), 0u);
+  populate(state, 1, fresh);
+  index.note_flight(fresh);
+  index.note_flight(fresh);  // duplicate hooks are a no-op
+
+  const auto cand = index.candidates(serve::QueryShape::kAirport, 0);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_TRUE(std::binary_search(cand->keys.begin(), cand->keys.end(), fresh));
+  EXPECT_EQ(cand->expected_inserts, state.inserts_total());
+  EXPECT_EQ(cand->keys, matching_keys(serve::QueryShape::kAirport, 0, state));
+  EXPECT_EQ(index.absorbed_keys(), 1u);
+}
+
+TEST(AdaptiveIndex, UpdateToKnownFlightIsANoOp) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  const auto before = index.candidates(serve::QueryShape::kRegion, 1);
+  ASSERT_TRUE(before.has_value());
+  state.update(7, [](ede::FlightRecord& rec) { rec.gate = 42; });
+  index.note_flight(7);  // attributes derive from the key: nothing moves
+  const auto after = index.candidates(serve::QueryShape::kRegion, 1);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->keys, before->keys);
+  EXPECT_EQ(index.absorbed_keys(), 0u);
+}
+
+TEST(AdaptiveIndex, ResetTearsDownAndReseedsFromTheNewTable) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  ASSERT_TRUE(index.candidates(serve::QueryShape::kAirport, 1).has_value());
+
+  state.clear();  // snapshot restore / rejoin path
+  populate(state, 64, /*first=*/1000);
+  index.reset();
+  EXPECT_FALSE(index.seeded());
+  EXPECT_EQ(index.resets(), 1u);
+
+  const auto cand = index.candidates(serve::QueryShape::kAirport, 1);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->keys, matching_keys(serve::QueryShape::kAirport, 1, state));
+  EXPECT_EQ(cand->expected_replaces, state.replaces_total());
+}
+
+TEST(AdaptiveIndex, CountersLetGetManyProveCompleteness) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex index(&state);
+  const auto cand = index.candidates(serve::QueryShape::kAirline, 2);
+  ASSERT_TRUE(cand.has_value());
+  const auto got = state.get_many(cand->keys);
+  EXPECT_EQ(got.missing, 0u);
+  EXPECT_EQ(got.inserts, cand->expected_inserts);
+  EXPECT_EQ(got.replaces, cand->expected_replaces);
+
+  // A racing insert the index has NOT absorbed must fail the proof.
+  populate(state, 1, /*first=*/kFlights + 1);
+  const auto stale = state.get_many(cand->keys);
+  EXPECT_NE(stale.inserts, cand->expected_inserts);
+}
+
+TEST(AdaptiveIndex, IdenticalQuerySequencesEvolveIdentically) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  AdaptiveIndex a(&state);
+  AdaptiveIndex b(&state);
+  const std::uint32_t values[] = {3, 0, 3, 7, 1, 15, 2, 3};
+  for (const std::uint32_t v : values) {
+    const auto ca = a.candidates(serve::QueryShape::kAirport, v);
+    const auto cb = b.candidates(serve::QueryShape::kAirport, v);
+    ASSERT_TRUE(ca.has_value());
+    ASSERT_TRUE(cb.has_value());
+    EXPECT_EQ(ca->keys, cb->keys);
+    EXPECT_EQ(ca->crack_keys, cb->crack_keys);
+  }
+  EXPECT_EQ(a.piece_count(), b.piece_count());
+  EXPECT_EQ(a.cracks(), b.cracks());
+  EXPECT_EQ(a.crack_keys_total(), b.crack_keys_total());
+  EXPECT_DOUBLE_EQ(a.coverage(serve::QueryShape::kAirport),
+                   b.coverage(serve::QueryShape::kAirport));
+}
+
+TEST(AdaptiveIndex, InstrumentExportsTheIndexFamily) {
+  ede::OperationalState state;
+  populate(state, kFlights);
+  obs::Registry registry;  // must outlive the index's probe group
+  AdaptiveIndex index(&state);
+  index.instrument(registry, "central");
+  ASSERT_TRUE(index.candidates(serve::QueryShape::kAirport, 4).has_value());
+
+  const auto snap = registry.snapshot();
+  EXPECT_GT(snap.counter_or("index.central.cracks_total"), 0u);
+  EXPECT_GT(snap.counter_or("index.central.crack_keys_total"), 0u);
+  EXPECT_EQ(snap.counter_or("index.central.resets_total"), 0u);
+  EXPECT_EQ(snap.gauge_or("index.central.keys"),
+            static_cast<double>(kFlights));
+  EXPECT_GT(snap.gauge_or("index.central.pieces"), 0.0);
+  EXPECT_GT(snap.gauge_or("index.central.coverage.airport"), 0.0);
+}
+
+}  // namespace
+}  // namespace admire::index

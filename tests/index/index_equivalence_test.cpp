@@ -1,0 +1,172 @@
+// Randomized equivalence property: a RequestHandler with the adaptive
+// index enabled must answer byte-identically to the scan-only oracle
+// under any interleaving of updates, queries, delayed update hooks and
+// whole-table replaces (rejoin/snapshot restore). The index may only ever
+// change cost — never answers. Deterministic seeds, so a failure replays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ede/operational_state.h"
+#include "serve/request_handler.h"
+
+namespace admire::serve {
+namespace {
+
+constexpr std::uint32_t kKeySpace = 192;
+
+Request random_query(Rng& rng) {
+  Request req;
+  req.id = rng.next_u64();
+  switch (rng.next_below(5)) {
+    case 0:
+      req.shape = QueryShape::kFlight;
+      req.key = static_cast<std::uint32_t>(1 + rng.next_below(kKeySpace));
+      break;
+    case 1:
+      req.shape = QueryShape::kAirport;
+      req.key = static_cast<std::uint32_t>(rng.next_below(kNumAirports));
+      break;
+    case 2:
+      req.shape = QueryShape::kAirline;
+      req.key = static_cast<std::uint32_t>(rng.next_below(kNumAirlines));
+      break;
+    case 3:
+      req.shape = QueryShape::kRegion;
+      req.key = static_cast<std::uint32_t>(rng.next_below(kNumRegions));
+      break;
+    default:
+      req.shape = QueryShape::kFullState;
+      req.key = 0;
+      break;
+  }
+  return req;
+}
+
+void apply_update(ede::OperationalState& state, FlightKey key,
+                  std::uint32_t salt) {
+  state.update(key, [salt](ede::FlightRecord& rec) {
+    rec.status = event::FlightStatus::kBoarding;
+    rec.gate = static_cast<std::uint16_t>(salt % 131);
+    rec.passengers_boarded = salt;
+    rec.app_body.assign(1 + salt % 24, static_cast<std::byte>(salt));
+  });
+}
+
+/// One run of the property machine. `cache_on` exercises the indexed
+/// handler with its snapshot cache too — invalidation must keep cached
+/// indexed answers equivalent as well.
+void run_property(std::uint64_t seed, bool cache_on) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed
+                                    << " cache_on=" << cache_on);
+  ede::OperationalState state;
+  ServeConfig idx_cfg;
+  idx_cfg.index_enabled = true;
+  idx_cfg.cache_enabled = cache_on;
+  ServeConfig scan_cfg;
+  scan_cfg.index_enabled = false;
+  scan_cfg.cache_enabled = false;  // the oracle always scans
+  RequestHandler indexed(&state, idx_cfg);
+  RequestHandler scan(&state, scan_cfg);
+
+  Rng rng(seed);
+  std::vector<FlightKey> delayed_hooks;  // update applied, hook not yet run
+  std::uint32_t salt = 0;
+  std::uint64_t queries = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t op = rng.next_below(100);
+    if (op < 45) {  // update (sometimes with a delayed hook: the race)
+      const FlightKey key =
+          static_cast<FlightKey>(1 + rng.next_below(kKeySpace));
+      apply_update(state, key, ++salt);
+      scan.on_state_update(key);
+      // Delayed hooks model the update/build race (only without the
+      // cache: invalidation is synchronous in both real runtimes, so a
+      // delayed hook would violate the cache contract, not exercise it).
+      if (!cache_on && rng.next_bool(0.15)) {
+        delayed_hooks.push_back(key);  // index briefly behind the table
+      } else {
+        indexed.on_state_update(key);
+      }
+    } else if (op < 50) {  // deliver the delayed hooks (the race resolves)
+      for (const FlightKey key : delayed_hooks) {
+        indexed.on_state_update(key);
+      }
+      delayed_hooks.clear();
+    } else if (op < 53) {  // rejoin / snapshot restore: table swapped
+      state.clear();
+      const std::uint64_t reseed = 1 + rng.next_below(kKeySpace);
+      for (std::uint64_t k = 1; k <= reseed; ++k) {
+        apply_update(state, static_cast<FlightKey>(k), ++salt);
+      }
+      delayed_hooks.clear();
+      indexed.on_state_replaced();
+      scan.on_state_replaced();
+    } else {  // query both handlers, require byte equality
+      const Request req = random_query(rng);
+      const HandleOutcome a = indexed.handle_admitted(req);
+      const HandleOutcome b = scan.handle_admitted(req);
+      ASSERT_EQ(a.response.code, b.response.code);
+      if (!cache_on) {
+        // A cache hit legitimately reports the (older) version it was
+        // built at; without the cache both sides read the live table.
+        ASSERT_EQ(a.response.version, b.response.version)
+            << "shape=" << query_shape_name(req.shape) << " key=" << req.key;
+      }
+      ASSERT_NE(a.response.state, nullptr);
+      ASSERT_NE(b.response.state, nullptr);
+      ASSERT_EQ(*a.response.state, *b.response.state)
+          << "shape=" << query_shape_name(req.shape) << " key=" << req.key;
+      ++queries;
+    }
+  }
+
+  EXPECT_GT(queries, 0u);
+  // The machine must have exercised the interesting paths: indexed builds
+  // happened, and delayed hooks forced at least one completeness fallback.
+  EXPECT_GT(indexed.builds_indexed(), 0u);
+  if (!cache_on) EXPECT_GT(indexed.index_fallbacks(), 0u);
+}
+
+TEST(IndexEquivalence, RandomInterleavingsMatchTheScanOracle) {
+  for (const std::uint64_t seed : {0x1DE7ull, 0xC0FFEEull, 0xBADF00Dull}) {
+    run_property(seed, /*cache_on=*/false);
+  }
+}
+
+TEST(IndexEquivalence, CachedIndexedHandlerStaysEquivalent) {
+  for (const std::uint64_t seed : {0x5EEDull, 0xFACADEull}) {
+    run_property(seed, /*cache_on=*/true);
+  }
+}
+
+TEST(IndexEquivalence, FallbackRealignsAfterDelayedHooksArrive) {
+  ede::OperationalState state;
+  for (std::uint32_t k = 1; k <= 64; ++k) apply_update(state, k, k);
+  ServeConfig cfg;
+  cfg.cache_enabled = false;
+  RequestHandler indexed(&state, cfg);
+
+  Request req;
+  req.id = 1;
+  req.shape = QueryShape::kAirport;
+  req.key = 2;
+  ASSERT_EQ(indexed.handle_admitted(req).index_used, true);  // seeds + cracks
+
+  // An insert whose hook never ran: the completeness proof must fail and
+  // the build must fall back to the scan (still correct).
+  apply_update(state, 65, 65);
+  const HandleOutcome stale = indexed.handle_admitted(req);
+  EXPECT_FALSE(stale.index_used);
+  EXPECT_EQ(indexed.index_fallbacks(), 1u);
+
+  // Once the hook arrives the proof holds again — no permanent scan mode.
+  indexed.on_state_update(65);
+  const HandleOutcome realigned = indexed.handle_admitted(req);
+  EXPECT_TRUE(realigned.index_used);
+}
+
+}  // namespace
+}  // namespace admire::serve

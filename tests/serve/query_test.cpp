@@ -1,0 +1,139 @@
+// Query vocabulary invariants: the shared covering-key derivation (cache
+// invalidation and the adaptive index derive membership from the SAME
+// list) and the deterministic flight-key distributions both client
+// populations draw from.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "serve/query.h"
+
+namespace admire::serve {
+namespace {
+
+TEST(CoveringKeys, ExactlyOneEntryPerShapeInWireOrder) {
+  for (const FlightKey flight : {1u, 17u, 255u, 65'536u}) {
+    const auto keys = covering_keys(flight);
+    ASSERT_EQ(keys.size(), kNumQueryShapes);
+    for (std::uint8_t s = 0; s < kNumQueryShapes; ++s) {
+      // Wire-value order, so adding a QueryShape without extending
+      // covering_keys() trips this loop rather than silently skipping
+      // invalidation for the new shape.
+      EXPECT_EQ(static_cast<std::uint8_t>(keys[s].shape), s);
+    }
+  }
+}
+
+TEST(CoveringKeys, EveryEntryMatchesTheFlightItCovers) {
+  for (const FlightKey flight : {1u, 16u, 129u, 4'095u}) {
+    for (const QueryKey& k : covering_keys(flight)) {
+      EXPECT_TRUE(query_matches(k.shape, k.key, flight))
+          << query_shape_name(k.shape) << " key=" << k.key
+          << " flight=" << flight;
+    }
+  }
+}
+
+TEST(CoveringKeys, UsesTheSharedDerivations) {
+  const FlightKey flight = 1234;
+  const auto keys = covering_keys(flight);
+  EXPECT_EQ(keys[0].key, flight);
+  EXPECT_EQ(keys[1].key, airport_of(flight));
+  EXPECT_EQ(keys[2].key, airline_of(flight));
+  EXPECT_EQ(keys[3].key, region_of(flight));
+  EXPECT_EQ(keys[4].key, 0u);  // full state ignores the key
+}
+
+TEST(FlightPickerTest, AllKindsStayInBoundsAndAreDeterministic) {
+  constexpr std::uint32_t kSpace = 1000;
+  for (const FlightDist::Kind kind :
+       {FlightDist::Kind::kUniform, FlightDist::Kind::kZipfian,
+        FlightDist::Kind::kHotspot}) {
+    FlightDist dist;
+    dist.kind = kind;
+    const FlightPicker a(dist, kSpace);
+    const FlightPicker b(dist, kSpace);
+    Rng rng(0x5EED);
+    for (int i = 0; i < 20'000; ++i) {
+      const double u = rng.next_double();
+      const FlightKey key = a.pick(u);
+      EXPECT_GE(key, 1u);
+      EXPECT_LE(key, kSpace);
+      EXPECT_EQ(key, b.pick(u)) << flight_dist_name(kind) << " u=" << u;
+    }
+    // Boundary draws must not escape [1, space].
+    EXPECT_GE(a.pick(0.0), 1u);
+    EXPECT_LE(a.pick(0.0), kSpace);
+    EXPECT_GE(a.pick(0.999999999), 1u);
+    EXPECT_LE(a.pick(0.999999999), kSpace);
+  }
+}
+
+TEST(FlightPickerTest, ZipfianConcentratesMassOnLowRanks) {
+  FlightDist dist;
+  dist.kind = FlightDist::Kind::kZipfian;
+  const std::uint32_t kSpace = 10'000;
+  const FlightPicker picker(dist, kSpace);
+  Rng rng(0xC11E47);
+  std::map<FlightKey, std::uint64_t> counts;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[picker.pick(rng.next_double())];
+  // Under uniform the hottest key would get ~5 draws; Zipf(0.99) gives the
+  // head orders of magnitude more.
+  std::uint64_t head = 0;
+  for (FlightKey k = 1; k <= 10; ++k) head += counts[k];
+  EXPECT_GT(head, kDraws / 10) << "top-10 keys got " << head << " draws";
+  EXPECT_GT(counts[1], counts.count(kSpace) ? counts[kSpace] * 10 : 100u);
+}
+
+TEST(FlightPickerTest, HotspotPutsHotWeightOnTheHotPrefix) {
+  FlightDist dist;
+  dist.kind = FlightDist::Kind::kHotspot;
+  dist.hot_fraction = 0.10;
+  dist.hot_weight = 0.90;
+  const std::uint32_t kSpace = 1000;
+  const FlightPicker picker(dist, kSpace);
+  Rng rng(0xF00D);
+  constexpr int kDraws = 50'000;
+  int hot = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (picker.pick(rng.next_double()) <= kSpace / 10) ++hot;
+  }
+  const double hot_share = static_cast<double>(hot) / kDraws;
+  EXPECT_GT(hot_share, 0.85);
+  EXPECT_LT(hot_share, 0.95);
+}
+
+TEST(FlightPickerTest, UniformMatchesTheLegacyDraw) {
+  FlightDist dist;  // default kUniform
+  const std::uint32_t kSpace = 256;
+  const FlightPicker picker(dist, kSpace);
+  Rng rng(0xABCD);
+  std::map<FlightKey, std::uint64_t> counts;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[picker.pick(rng.next_double())];
+  EXPECT_EQ(counts.size(), kSpace);  // every key reachable
+  for (const auto& [key, n] : counts) {
+    // Each key expects ~390 draws; 4x slack keeps this airtight-free.
+    EXPECT_GT(n, 100u) << "key " << key;
+    EXPECT_LT(n, 1600u) << "key " << key;
+  }
+}
+
+TEST(FlightPickerTest, DegenerateSpaceAlwaysPicksTheOnlyKey) {
+  for (const FlightDist::Kind kind :
+       {FlightDist::Kind::kUniform, FlightDist::Kind::kZipfian,
+        FlightDist::Kind::kHotspot}) {
+    FlightDist dist;
+    dist.kind = kind;
+    const FlightPicker picker(dist, 1);
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(picker.pick(rng.next_double()), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace admire::serve

@@ -118,6 +118,86 @@ TEST(SimServing, DisabledCacheStillServesEveryQuery) {
   EXPECT_EQ(r.requests_served + r.requests_dropped, offered);
 }
 
+TEST(SimServing, IndexedBuildsHappenAndExportMetrics) {
+  auto config = serving_config();
+  config.serve_flight_dist.kind = serve::FlightDist::Kind::kZipfian;
+  const auto r = run(std::move(config), paced_spec(2000));
+  EXPECT_GT(r.serve_indexed_builds, 0u);
+  const auto snap = r.obs->snapshot();
+  double indexed = 0, scanned = 0;
+  for (const char* site : {"central", "mirror1", "mirror2"}) {
+    indexed += static_cast<double>(snap.counter_or(
+        std::string("index.") + site + ".builds_indexed_total"));
+    scanned += static_cast<double>(snap.counter_or(
+        std::string("index.") + site + ".builds_scanned_total"));
+  }
+  EXPECT_EQ(indexed, static_cast<double>(r.serve_indexed_builds));
+  EXPECT_EQ(scanned, static_cast<double>(r.serve_scanned_builds));
+  // The cracking family is live under query load.
+  EXPECT_GT(snap.counter_or("index.central.cracks_total") +
+                snap.counter_or("index.mirror1.cracks_total") +
+                snap.counter_or("index.mirror2.cracks_total"),
+            0u);
+}
+
+TEST(SimServing, IndexingIsBitDeterministicAcrossRepeats) {
+  auto make = [] {
+    auto config = serving_config();
+    config.serve_flight_dist.kind = serve::FlightDist::Kind::kZipfian;
+    return config;
+  };
+  const auto spec = paced_spec(5000);
+  const auto a = run(make(), spec);
+  const auto b = run(make(), spec);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.requests_served, b.requests_served);
+  EXPECT_EQ(a.serve_indexed_builds, b.serve_indexed_builds);
+  EXPECT_EQ(a.serve_scanned_builds, b.serve_scanned_builds);
+  EXPECT_EQ(a.serve_index_fallbacks, b.serve_index_fallbacks);
+  EXPECT_EQ(a.serve_cache_hits, b.serve_cache_hits);
+  EXPECT_EQ(a.state_fingerprints, b.state_fingerprints);
+  ASSERT_NE(a.request_latency, nullptr);
+  ASSERT_NE(b.request_latency, nullptr);
+  EXPECT_EQ(a.request_latency->percentile(0.99),
+            b.request_latency->percentile(0.99));
+}
+
+TEST(SimServing, DisablingTheIndexOnlyChangesCostNeverAnswers) {
+  auto indexed_cfg = serving_config();
+  indexed_cfg.serve_flight_dist.kind = serve::FlightDist::Kind::kHotspot;
+  auto scan_cfg = serving_config();
+  scan_cfg.serve_flight_dist.kind = serve::FlightDist::Kind::kHotspot;
+  scan_cfg.serving->index_enabled = false;
+  const auto spec = paced_spec(2000);
+  const auto a = run(std::move(indexed_cfg), spec);
+  const auto b = run(std::move(scan_cfg), spec);
+  // Identical answers => identical cache behavior and replica state; only
+  // the virtual-time cost of the builds may differ.
+  EXPECT_EQ(a.requests_served, b.requests_served);
+  EXPECT_EQ(a.serve_cache_hits, b.serve_cache_hits);
+  EXPECT_EQ(a.serve_cache_misses, b.serve_cache_misses);
+  EXPECT_EQ(a.state_fingerprints, b.state_fingerprints);
+  EXPECT_GT(a.serve_indexed_builds, 0u);
+  EXPECT_EQ(b.serve_indexed_builds, 0u);
+  EXPECT_EQ(b.obs->snapshot().counter_or("index.central.cracks_total"), 0u);
+}
+
+TEST(SimServing, SkewedDistsAreServedEndToEnd) {
+  for (const serve::FlightDist::Kind kind :
+       {serve::FlightDist::Kind::kZipfian,
+        serve::FlightDist::Kind::kHotspot}) {
+    auto config = serving_config();
+    config.serve_flight_dist.kind = kind;
+    const auto spec = paced_spec(1000);
+    const auto offered = harness::make_requests(spec).size();
+    const auto r = run(std::move(config), spec);
+    EXPECT_EQ(r.requests_served + r.requests_dropped, offered)
+        << serve::flight_dist_name(kind);
+    // Skew concentrates repeat queries: the cache must see hits.
+    EXPECT_GT(r.serve_cache_hits, 0u) << serve::flight_dist_name(kind);
+  }
+}
+
 TEST(SimServing, LegacyRequestPathUnchangedWhenServingUnset) {
   SimConfig config;
   config.num_mirrors = 1;

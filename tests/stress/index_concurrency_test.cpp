@@ -1,0 +1,170 @@
+// Multi-threaded stress over the adaptive index: reader threads hammer
+// cracking lookups while writers insert flights (update hooks) and
+// periodically replace the whole table (reset), the serving-plane shape
+// where mirror update application races query builds. Suite name contains
+// "Concurrency" so the ADMIRE_TSAN CI job includes it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/adaptive_index.h"
+#include "serve/request_handler.h"
+
+namespace admire::index {
+namespace {
+
+void apply_update(ede::OperationalState& state, FlightKey key,
+                  std::uint32_t salt) {
+  state.update(key, [salt](ede::FlightRecord& rec) {
+    rec.status = event::FlightStatus::kEnRoute;
+    rec.passengers_boarded = salt;
+  });
+}
+
+TEST(IndexConcurrency, CandidatesStaySoundUnderChurn) {
+  ede::OperationalState state;
+  for (std::uint32_t k = 1; k <= 256; ++k) apply_update(state, k, k);
+  AdaptiveIndex index(&state);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<bool> sound{true};
+
+  // Readers: every candidate key must derive to the queried value — the
+  // membership invariant holds on every interleaving, because attributes
+  // derive from the immutable key.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(0x1DE7 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto shape = static_cast<serve::QueryShape>(
+            1 + rng.next_below(3));  // airport / airline / region
+        const std::uint32_t domain =
+            shape == serve::QueryShape::kAirport  ? serve::kNumAirports
+            : shape == serve::QueryShape::kAirline ? serve::kNumAirlines
+                                                   : serve::kNumRegions;
+        const auto value = static_cast<std::uint32_t>(rng.next_below(domain));
+        const auto cand = index.candidates(shape, value);
+        if (!cand) continue;
+        for (const FlightKey key : cand->keys) {
+          if (!serve::query_matches(shape, value, key)) {
+            sound.store(false, std::memory_order_relaxed);
+          }
+        }
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: fresh inserts + hooks, with occasional whole-table replaces.
+  std::thread writer([&] {
+    Rng rng(0xF00D);
+    FlightKey next = 257;
+    for (int i = 0; i < 20'000; ++i) {
+      if (rng.next_bool(0.002)) {
+        state.clear();
+        for (std::uint32_t k = 1; k <= 64; ++k) apply_update(state, k, k);
+        index.reset();
+        continue;
+      }
+      const FlightKey key = rng.next_bool(0.5)
+                                ? next++
+                                : static_cast<FlightKey>(
+                                      1 + rng.next_below(next - 1));
+      apply_update(state, key, static_cast<std::uint32_t>(i));
+      index.note_flight(key);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_TRUE(sound.load());
+  EXPECT_GT(lookups.load(), 0u);
+  EXPECT_GT(index.resets(), 0u);
+
+  // Quiesced: a final lookup agrees exactly with a fresh table scan.
+  const auto cand = index.candidates(serve::QueryShape::kAirport, 1);
+  ASSERT_TRUE(cand.has_value());
+  std::vector<FlightKey> expect;
+  for (const auto& rec : state.all_flights()) {
+    if (serve::airport_of(rec.flight) == 1) expect.push_back(rec.flight);
+  }
+  EXPECT_EQ(cand->keys, expect);
+}
+
+TEST(IndexConcurrency, HandlerBuildsRaceUpdatesWithoutDivergence) {
+  ede::OperationalState state;
+  for (std::uint32_t k = 1; k <= 128; ++k) apply_update(state, k, k);
+  serve::ServeConfig cfg;
+  cfg.cache_enabled = false;  // every request exercises the build path
+  serve::RequestHandler handler(&state, cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(0xC11E47 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::Request req;
+        req.id = rng.next_u64();
+        req.shape = static_cast<serve::QueryShape>(rng.next_below(5));
+        req.key = static_cast<std::uint32_t>(rng.next_below(256));
+        const auto out = handler.handle_admitted(req);
+        if (out.response.code == serve::ResponseCode::kOk) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::thread updater([&] {
+    Rng rng(0xBEEF);
+    for (int i = 0; i < 15'000; ++i) {
+      if (rng.next_bool(0.001)) {
+        state.clear();
+        for (std::uint32_t k = 1; k <= 32; ++k) apply_update(state, k, k);
+        handler.on_state_replaced();
+        continue;
+      }
+      const FlightKey key =
+          static_cast<FlightKey>(1 + rng.next_below(192));
+      apply_update(state, key, static_cast<std::uint32_t>(i));
+      handler.on_state_update(key);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  updater.join();
+  for (auto& t : clients) t.join();
+
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_GT(handler.builds_indexed(), 0u);
+  // Quiesced equivalence: the indexed build answers exactly like a scan
+  // oracle over the final table.
+  serve::ServeConfig oracle_cfg;
+  oracle_cfg.cache_enabled = false;
+  oracle_cfg.index_enabled = false;
+  serve::RequestHandler oracle(&state, oracle_cfg);
+  for (std::uint32_t value = 0; value < serve::kNumAirports; ++value) {
+    serve::Request req;
+    req.id = value;
+    req.shape = serve::QueryShape::kAirport;
+    req.key = value;
+    const auto a = handler.handle_admitted(req);
+    const auto b = oracle.handle_admitted(req);
+    ASSERT_NE(a.response.state, nullptr);
+    ASSERT_NE(b.response.state, nullptr);
+    EXPECT_EQ(*a.response.state, *b.response.state) << "airport " << value;
+  }
+}
+
+}  // namespace
+}  // namespace admire::index

@@ -1,0 +1,185 @@
+// Strategy × scenario matrix (ROADMAP item 1): every adaptation strategy
+// (threshold / pid / utility / bandit) against the standard deterministic
+// scenario library (diurnal load, flash crowd, sustained overload,
+// correlated failures, one-way partition, lossy WAN, slow WAN), scored on
+// update-delay percentiles, oscillation (transitions), time engaged,
+// shed/dropped requests and rejoin perturbation.
+//
+// Gates:
+//  * ThresholdStrategy under the Fig. 9 scenario reproduces the exact
+//    transition count the pre-refactor controller produced (the strategy
+//    extraction is bit-reproducing, not merely similar);
+//  * the matrix is deterministic: a same-seed rerun of a scenario yields
+//    an identical scorecard;
+//  * every strategy ran against every scenario.
+//
+// With `--json FILE` also writes the full scorecard as a JSON array (CI
+// artifact: BENCH_scenarios.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fig_common.h"
+#include "scenario/scenario.h"
+
+using namespace admire;
+
+namespace {
+
+/// The Fig. 9 adaptive experiment, verbatim (bench/fig9_adaptation.cpp):
+/// the bit-reproduction gate replays it through the refactored controller.
+harness::RunSpec fig9_spec() {
+  harness::RunSpec spec;
+  spec.faa_events = 12000;
+  spec.num_flights = 50;
+  spec.event_padding = 1024;
+  spec.mirrors = 1;
+  spec.event_horizon = 15 * kSecond;
+  spec.lb = sim::LbPolicy::kAllSites;
+  spec.bursty = true;
+  spec.request_rate = 20;
+  spec.burst_rate = 600;
+  spec.burst_period = 5 * kSecond;
+  spec.burst_duty = 0.3;
+  spec.request_window = 15 * kSecond;
+  spec.requests_while_events = false;
+  spec.function = rules::fig9_function_a();
+  return spec;
+}
+
+/// Transition count the pre-refactor threshold controller produced for the
+/// Fig. 9 scenario (measured at the refactor baseline). ThresholdStrategy
+/// must reproduce it exactly.
+constexpr std::uint64_t kFig9BaselineTransitions = 6;
+
+void print_card(const scenario::ScoreCard& c) {
+  std::printf(
+      "  %-20s %-10s p50=%7.2fms p99=%8.2fms trans=%3llu engaged=%5.1f%% "
+      "served=%6llu shed=%5llu dropped=%4llu rejoins=%zu (%.1fms)\n",
+      c.scenario.c_str(), c.strategy.c_str(), c.update_p50_ms, c.update_p99_ms,
+      static_cast<unsigned long long>(c.transitions),
+      c.engaged_fraction * 100.0,
+      static_cast<unsigned long long>(c.requests_served),
+      static_cast<unsigned long long>(c.requests_shed),
+      static_cast<unsigned long long>(c.requests_dropped), c.rejoins,
+      c.rejoin_ms_mean);
+}
+
+void json_card(FILE* f, const scenario::ScoreCard& c, bool last) {
+  std::fprintf(
+      f,
+      "    {\"scenario\": \"%s\", \"strategy\": \"%s\", "
+      "\"update_p50_ms\": %.4f, \"update_p99_ms\": %.4f, "
+      "\"mirror_p99_ms\": %.4f, \"transitions\": %llu, "
+      "\"engaged_fraction\": %.6f, \"requests_served\": %llu, "
+      "\"requests_shed\": %llu, \"requests_dropped\": %llu, "
+      "\"rejoins\": %zu, \"rejoin_ms_mean\": %.4f}%s\n",
+      c.scenario.c_str(), c.strategy.c_str(), c.update_p50_ms, c.update_p99_ms,
+      c.mirror_p99_ms, static_cast<unsigned long long>(c.transitions),
+      c.engaged_fraction, static_cast<unsigned long long>(c.requests_served),
+      static_cast<unsigned long long>(c.requests_shed),
+      static_cast<unsigned long long>(c.requests_dropped), c.rejoins,
+      c.rejoin_ms_mean, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  bench::FigureReport report(
+      "Scenario matrix",
+      "Adaptation strategies x deterministic scenario library (DES)",
+      "scenario", "scorecard");
+
+  // --- Gate 1: bit-reproduction of the pre-refactor controller ------------
+  harness::RunSpec adaptive = fig9_spec();
+  adaptive.adaptation = scenario::default_scenario_policy();
+  const auto fig9 = harness::run_sim(adaptive);
+  report.check(
+      "threshold strategy bit-reproduces the Fig. 9 controller",
+      fig9.adaptation_transitions == kFig9BaselineTransitions,
+      bench::fmt("%.0f transitions (baseline %.0f)",
+                 static_cast<double>(fig9.adaptation_transitions),
+                 static_cast<double>(kFig9BaselineTransitions)));
+  report.check("Fig. 9 timeline matches the transition counter",
+               fig9.adaptation_timeline.size() == fig9.adaptation_transitions,
+               bench::fmt("%.0f timeline entries",
+                          static_cast<double>(fig9.adaptation_timeline.size())));
+
+  // --- The matrix ----------------------------------------------------------
+  const scenario::ScenarioRunner runner;
+  const auto scenarios = scenario::standard_scenarios(/*seed=*/42);
+  const auto cards = runner.run_matrix(scenarios);
+
+  std::printf("--- scorecard (%zu scenarios x %zu strategies) ---\n",
+              scenarios.size(), runner.config().strategies.size());
+  for (const auto& c : cards) print_card(c);
+  std::printf("\n");
+
+  report.check(
+      "matrix covers every strategy x every scenario",
+      cards.size() == scenarios.size() * runner.config().strategies.size() &&
+          scenarios.size() >= 6,
+      bench::fmt("%.0f cards", static_cast<double>(cards.size())));
+
+  // --- Gate 2: determinism (same seed -> same scorecard) -------------------
+  bool deterministic = true;
+  for (const auto& s : scenario::standard_scenarios(/*seed=*/42)) {
+    if (s.name != "flash_crowd" && s.name != "lossy_wan") continue;
+    for (const auto& strat : runner.config().strategies) {
+      const auto a = runner.run_one(s, strat);
+      auto it = std::find_if(cards.begin(), cards.end(),
+                             [&](const scenario::ScoreCard& c) {
+                               return c.scenario == a.scenario &&
+                                      c.strategy == a.strategy;
+                             });
+      if (it == cards.end() || !(*it == a)) deterministic = false;
+    }
+  }
+  report.check("same seed reproduces identical scorecards", deterministic,
+               "flash_crowd + lossy_wan, all strategies, rerun");
+
+  // Strategies should actually differ somewhere: at least one scenario
+  // where two strategies disagree on transitions or time engaged.
+  bool differ = false;
+  for (const auto& a : cards) {
+    for (const auto& b : cards) {
+      if (a.scenario == b.scenario && a.strategy != b.strategy &&
+          (a.transitions != b.transitions ||
+           a.engaged_fraction != b.engaged_fraction)) {
+        differ = true;
+      }
+    }
+  }
+  report.check("strategies make observably different decisions", differ,
+               "transitions or engaged-time differ within a scenario");
+
+  const int failed = report.finish();
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::perror("fopen --json");
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"fig9_transitions\": %llu,\n"
+                 "  \"fig9_baseline_transitions\": %llu,\n"
+                 "  \"scorecard\": [\n",
+                 static_cast<unsigned long long>(fig9.adaptation_transitions),
+                 static_cast<unsigned long long>(kFig9BaselineTransitions));
+    for (std::size_t i = 0; i < cards.size(); ++i) {
+      json_card(f, cards[i], i + 1 == cards.size());
+    }
+    std::fprintf(f, "  ],\n  \"checks_failed\": %d\n}\n", failed);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return failed;
+}

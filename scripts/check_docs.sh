@@ -122,6 +122,27 @@ for reg_piece in ('".builds_indexed_total"', '".builds_scanned_total"',
         fail(f"src/ no longer registers {reg_piece} — the index.* family "
              "documented in OBSERVABILITY.md went stale")
 
+# --- 2d. the adaptation metric family is pinned by name -------------------
+# The adapt.* family (DESIGN.md §16) is read back literally by the
+# controller tests; pin the documented forms and the registration
+# suffixes the same way §2b/§2c pin theirs.
+for doc_form in ("adapt.value.<variable>",
+                 "adapt.engaged",
+                 "adapt.excluded_sites",
+                 "adapt.transitions_total",
+                 "adapt.engage_total",
+                 "adapt.release_total",
+                 "adapt.decision_ns.<strategy>"):
+    if f"`{doc_form}`" not in obs:
+        fail(f"OBSERVABILITY.md must document `{doc_form}` "
+             "(adaptation metric family, DESIGN.md §16)")
+for reg_piece in ('"adapt.value."', '"adapt.engaged"', '"adapt.excluded_sites"',
+                  '"adapt.transitions_total"', '"adapt.engage_total"',
+                  '"adapt.release_total"', '"adapt.decision_ns."'):
+    if reg_piece not in src:
+        fail(f"src/ no longer registers {reg_piece} — the adapt.* family "
+             "documented in OBSERVABILITY.md went stale")
+
 # --- 3. bench artifacts: docs vs CI -------------------------------------
 doc_text = "".join(read(p) for p in sorted(glob.glob("*.md")))
 ci = read(".github/workflows/ci.yml")

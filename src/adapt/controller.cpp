@@ -1,6 +1,9 @@
 #include "adapt/controller.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/registry.h"
 
 namespace admire::adapt {
 
@@ -17,42 +20,46 @@ void AdaptationController::observe(SiteId site, MonitoredVariable variable,
   values_[{site, variable}] = value;
 }
 
+double AdaptationController::max_of_locked(MonitoredVariable v) const {
+  double m = 0.0;
+  for (const auto& [key, value] : values_) {
+    if (key.second == v && !excluded_.contains(key.first)) {
+      m = std::max(m, value);
+    }
+  }
+  return m;
+}
+
 std::optional<AdaptationDirective> AdaptationController::evaluate() {
   std::lock_guard lock(mu_);
 
-  auto max_of = [&](MonitoredVariable v) {
-    double m = 0.0;
-    for (const auto& [key, value] : values_) {
-      if (key.second == v && !excluded_.contains(key.first)) {
-        m = std::max(m, value);
-      }
-    }
-    return m;
-  };
+  StrategyInputs inputs;
+  for (std::size_t i = 0; i < kNumMonitoredVariables; ++i) {
+    inputs.values[i] = max_of_locked(static_cast<MonitoredVariable>(i));
+    if (value_gauges_[i] != nullptr) value_gauges_[i]->set(inputs.values[i]);
+  }
+  strategy_->ingest(inputs);
 
-  bool should_engage = engaged_;
-  if (!engaged_) {
-    // Engage when any monitored variable reaches its primary threshold.
-    for (const auto& t : policy_.thresholds) {
-      if (max_of(t.variable) >= t.primary) {
-        should_engage = true;
-        break;
-      }
-    }
+  std::optional<bool> decision;
+  if (decision_hist_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    decision = strategy_->evaluate(engaged_);
+    const auto t1 = std::chrono::steady_clock::now();
+    decision_hist_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
   } else {
-    // Release only when every variable fell below (primary - secondary).
-    should_engage = false;
-    for (const auto& t : policy_.thresholds) {
-      if (max_of(t.variable) >= t.primary - t.secondary) {
-        should_engage = true;
-        break;
-      }
-    }
+    decision = strategy_->evaluate(engaged_);
   }
 
+  const bool should_engage = decision.value_or(engaged_);
   if (should_engage == engaged_) return std::nullopt;
   engaged_ = should_engage;
   ++transitions_;
+  if (engaged_gauge_ != nullptr) engaged_gauge_->set(engaged_ ? 1.0 : 0.0);
+  if (transitions_counter_ != nullptr) transitions_counter_->inc();
+  if (engaged_ && engage_counter_ != nullptr) engage_counter_->inc();
+  if (!engaged_ && release_counter_ != nullptr) release_counter_->inc();
 
   AdaptationDirective d;
   d.epoch = ++epoch_;
@@ -83,13 +90,7 @@ std::uint64_t AdaptationController::transitions() const {
 
 double AdaptationController::max_value(MonitoredVariable variable) const {
   std::lock_guard lock(mu_);
-  double m = 0.0;
-  for (const auto& [key, value] : values_) {
-    if (key.second == variable && !excluded_.contains(key.first)) {
-      m = std::max(m, value);
-    }
-  }
-  return m;
+  return max_of_locked(variable);
 }
 
 void AdaptationController::set_site_excluded(SiteId site, bool excluded) {
@@ -99,11 +100,56 @@ void AdaptationController::set_site_excluded(SiteId site, bool excluded) {
   } else {
     excluded_.erase(site);
   }
+  if (excluded_gauge_ != nullptr) {
+    excluded_gauge_->set(static_cast<double>(excluded_.size()));
+  }
 }
 
 bool AdaptationController::site_excluded(SiteId site) const {
   std::lock_guard lock(mu_);
   return excluded_.contains(site);
+}
+
+void AdaptationController::forget_site(SiteId site) {
+  std::lock_guard lock(mu_);
+  values_.erase(values_.lower_bound({site, static_cast<MonitoredVariable>(0)}),
+                values_.upper_bound(
+                    {site, static_cast<MonitoredVariable>(
+                               kNumMonitoredVariables - 1)}));
+  excluded_.erase(site);
+  if (excluded_gauge_ != nullptr) {
+    excluded_gauge_->set(static_cast<double>(excluded_.size()));
+  }
+}
+
+std::size_t AdaptationController::tracked_sites() const {
+  std::lock_guard lock(mu_);
+  std::set<SiteId> sites;
+  for (const auto& [key, value] : values_) sites.insert(key.first);
+  return sites.size();
+}
+
+void AdaptationController::instrument(obs::Registry& registry) {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < kNumMonitoredVariables; ++i) {
+    value_gauges_[i] = &registry.gauge(
+        std::string("adapt.value.") +
+        monitored_variable_name(static_cast<MonitoredVariable>(i)));
+  }
+  engaged_gauge_ = &registry.gauge("adapt.engaged");
+  excluded_gauge_ = &registry.gauge("adapt.excluded_sites");
+  transitions_counter_ = &registry.counter("adapt.transitions_total");
+  engage_counter_ = &registry.counter("adapt.engage_total");
+  release_counter_ = &registry.counter("adapt.release_total");
+  decision_hist_ = &registry.histogram(
+      std::string("adapt.decision_ns.") + std::string(strategy_->name()),
+      obs::Histogram::latency_bounds());
+  engaged_gauge_->set(engaged_ ? 1.0 : 0.0);
+  excluded_gauge_->set(static_cast<double>(excluded_.size()));
+}
+
+std::string_view AdaptationController::strategy_name() const {
+  return strategy_->name();
 }
 
 std::optional<rules::MirrorFunctionSpec> DirectiveApplier::apply(

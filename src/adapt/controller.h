@@ -3,7 +3,10 @@
 // across mirror sites, adaptation decisions are made at the main site,
 // thereby ensuring that all mirrors are adapted in the same fashion").
 //
-// Strategy implemented is the paper's: each monitored variable has a
+// The controller owns the mechanics — per-site monitor values, fd-driven
+// exclusions, regime state, monotone directive epochs — and delegates the
+// regime decision itself to a pluggable Strategy (strategy.h). The default
+// ThresholdStrategy is the paper's policy: each monitored variable has a
 // primary and a secondary threshold; reaching the primary engages the
 // modified mirroring configuration, and the original is reinstalled only
 // when the value falls below (primary - secondary) — a hysteresis band
@@ -11,11 +14,21 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "adapt/directive.h"
+#include "adapt/strategy.h"
+
+namespace admire::obs {
+class Registry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace admire::obs
 
 namespace admire::adapt {
 
@@ -31,12 +44,14 @@ struct AdaptationPolicy {
   rules::MirrorFunctionSpec normal_spec;
   rules::MirrorFunctionSpec engaged_spec;          // kSwitchFunction
   std::vector<ParamAdjustment> adjustments;        // kAdjustParams
+  StrategyConfig strategy;  ///< decision maker; defaults to kThreshold
 };
 
 class AdaptationController {
  public:
   explicit AdaptationController(AdaptationPolicy policy)
-      : policy_(std::move(policy)) {}
+      : policy_(std::move(policy)),
+        strategy_(make_strategy(policy_.strategy, policy_.thresholds)) {}
 
   /// Ingest a monitor report from a site (latest value per variable wins).
   void ingest(const MonitorReport& report);
@@ -44,7 +59,8 @@ class AdaptationController {
   /// Convenience for locally observed values at the central site.
   void observe(SiteId site, MonitoredVariable variable, double value);
 
-  /// Evaluate thresholds; returns a new directive exactly when the regime
+  /// Feed the strategy the current per-variable cluster maxima and let it
+  /// decide the regime; returns a new directive exactly when the regime
   /// flips (engage or release), nullopt while it is unchanged. The caller
   /// piggybacks the directive on the next checkpoint message.
   std::optional<AdaptationDirective> evaluate();
@@ -67,19 +83,48 @@ class AdaptationController {
   void set_site_excluded(SiteId site, bool excluded);
   bool site_excluded(SiteId site) const;
 
+  /// Permanently drop a failed/removed site's monitor values (and any
+  /// exclusion mark). Without this a dead site's last readings pin the
+  /// per-variable maxima forever, and a replacement incarnation reusing
+  /// the SiteId inherits them.
+  void forget_site(SiteId site);
+
+  /// Number of sites with at least one retained monitor value.
+  std::size_t tracked_sites() const;
+
+  /// Register the adapt.* metric family (see OBSERVABILITY.md): per-
+  /// variable max gauges, engaged/excluded gauges, transition counters and
+  /// the per-strategy decision-latency histogram. Wall-clock is used only
+  /// to time the strategy call for that histogram — never for decisions —
+  /// so instrumenting a DES run does not perturb determinism.
+  void instrument(obs::Registry& registry);
+
+  std::string_view strategy_name() const;
+
   const AdaptationPolicy& policy() const { return policy_; }
 
  private:
   rules::MirrorFunctionSpec engaged_spec_locked() const;
+  double max_of_locked(MonitoredVariable variable) const;
 
   AdaptationPolicy policy_;
   mutable std::mutex mu_;
+  std::unique_ptr<Strategy> strategy_;
   // (site, variable) -> latest value
   std::map<std::pair<SiteId, MonitoredVariable>, double> values_;
   std::set<SiteId> excluded_;
   bool engaged_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t transitions_ = 0;
+
+  // Metric sinks (null until instrument(); updated under mu_).
+  obs::Gauge* value_gauges_[kNumMonitoredVariables] = {};
+  obs::Gauge* engaged_gauge_ = nullptr;
+  obs::Gauge* excluded_gauge_ = nullptr;
+  obs::Counter* transitions_counter_ = nullptr;
+  obs::Counter* engage_counter_ = nullptr;
+  obs::Counter* release_counter_ = nullptr;
+  obs::Histogram* decision_hist_ = nullptr;
 };
 
 /// Mirror-side applier: installs directives in epoch order, at most once.

@@ -18,11 +18,17 @@ namespace admire::adapt {
 
 /// Runtime quantities the paper monitors: "the lengths of the ready and
 /// backup queues in mirror sites ... the length of an application level
-/// buffer holding all pending client requests".
+/// buffer holding all pending client requests". kUpdateDelayMs and
+/// kShedRate extend the paper's set with end-to-end signals (EDE update
+/// delay, serving-plane admission sheds) for the utility/bandit strategies;
+/// the on-wire sample encoding carries the variable as a u8, so old and new
+/// reports interoperate.
 enum class MonitoredVariable : std::uint8_t {
   kReadyQueueLength = 0,
   kBackupQueueLength = 1,
   kPendingRequests = 2,
+  kUpdateDelayMs = 3,
+  kShedRate = 4,
 };
 
 constexpr const char* monitored_variable_name(MonitoredVariable v) {
@@ -30,6 +36,8 @@ constexpr const char* monitored_variable_name(MonitoredVariable v) {
     case MonitoredVariable::kReadyQueueLength: return "ready_queue";
     case MonitoredVariable::kBackupQueueLength: return "backup_queue";
     case MonitoredVariable::kPendingRequests: return "pending_requests";
+    case MonitoredVariable::kUpdateDelayMs: return "update_delay_ms";
+    case MonitoredVariable::kShedRate: return "shed_rate";
   }
   return "unknown";
 }

@@ -1,0 +1,110 @@
+#include "adapt/strategy.h"
+
+#include <algorithm>
+
+namespace admire::adapt {
+
+double CostWeights::cost(const StrategyInputs& in) const {
+  return ready_queue * in.of(MonitoredVariable::kReadyQueueLength) +
+         backup_queue * in.of(MonitoredVariable::kBackupQueueLength) +
+         pending_requests * in.of(MonitoredVariable::kPendingRequests) +
+         update_delay_ms * in.of(MonitoredVariable::kUpdateDelayMs) +
+         shed_rate * in.of(MonitoredVariable::kShedRate);
+}
+
+std::optional<bool> ThresholdStrategy::evaluate(bool currently_engaged) {
+  if (!currently_engaged) {
+    for (const auto& t : thresholds_) {
+      if (in_.of(t.variable) >= t.primary) return true;
+    }
+    return std::nullopt;
+  }
+  // Engaged: release only when every variable has fallen below its
+  // secondary (hysteresis) threshold.
+  for (const auto& t : thresholds_) {
+    if (in_.of(t.variable) >= t.primary - t.secondary) return std::nullopt;
+  }
+  return false;
+}
+
+std::optional<bool> PidStrategy::evaluate(bool currently_engaged) {
+  const double error = in_.of(config_.variable) - config_.setpoint;
+  integral_ = std::clamp(integral_ + error, -config_.integral_limit,
+                         config_.integral_limit);
+  const double derivative = has_prev_ ? error - prev_error_ : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+  const double output =
+      config_.kp * error + config_.ki * integral_ + config_.kd * derivative;
+  if (!currently_engaged && output >= config_.engage_above) return true;
+  if (currently_engaged && output <= config_.release_below) return false;
+  return std::nullopt;
+}
+
+std::optional<bool> UtilityStrategy::evaluate(bool currently_engaged) {
+  const double load = config_.weights.cost(in_);
+  const double u_normal = -load;
+  const double u_engaged =
+      -load * (1.0 - config_.engaged_relief) - config_.engaged_penalty;
+  const double u_current = currently_engaged ? u_engaged : u_normal;
+  const double u_other = currently_engaged ? u_normal : u_engaged;
+  if (u_other > u_current + config_.switch_margin) return !currently_engaged;
+  return std::nullopt;
+}
+
+double BanditStrategy::windowed_mean(const std::deque<double>& rewards) const {
+  double sum = 0.0;
+  for (double r : rewards) sum += r;
+  return sum / static_cast<double>(rewards.size());
+}
+
+void BanditStrategy::credit(bool regime, double reward) {
+  auto& window = rewards_[regime ? 1 : 0];
+  window.push_back(reward);
+  while (window.size() > config_.window) window.pop_front();
+}
+
+std::optional<bool> BanditStrategy::evaluate(bool currently_engaged) {
+  // The regime active since the last round produced these inputs — credit
+  // it with reward = negative weighted cost.
+  credit(currently_engaged, -config_.weights.cost(in_));
+
+  if (dwell_left_ > 0) {
+    --dwell_left_;
+    return std::nullopt;
+  }
+
+  bool choice;
+  if (rewards_[0].empty()) {
+    choice = false;  // explore the unplayed arm first
+  } else if (rewards_[1].empty()) {
+    choice = true;
+  } else if (rng_.next_double() < config_.epsilon) {
+    choice = rng_.next_bool(0.5);
+  } else {
+    choice = windowed_mean(rewards_[1]) > windowed_mean(rewards_[0]);
+  }
+  if (choice != currently_engaged) {
+    dwell_left_ = config_.min_dwell;
+    return choice;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Strategy> make_strategy(
+    const StrategyConfig& config,
+    const std::vector<ThresholdSpec>& thresholds) {
+  switch (config.kind) {
+    case StrategyKind::kThreshold:
+      return std::make_unique<ThresholdStrategy>(thresholds);
+    case StrategyKind::kPid:
+      return std::make_unique<PidStrategy>(config.pid);
+    case StrategyKind::kUtility:
+      return std::make_unique<UtilityStrategy>(config.utility);
+    case StrategyKind::kBandit:
+      return std::make_unique<BanditStrategy>(config.bandit);
+  }
+  return std::make_unique<ThresholdStrategy>(thresholds);
+}
+
+}  // namespace admire::adapt

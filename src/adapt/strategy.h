@@ -1,0 +1,243 @@
+// Pluggable adaptation strategies (ROADMAP item 1, RDMSim-style): the
+// decision-making half of §3.2.2 extracted behind a Strategy interface so
+// the paper's threshold+hysteresis policy becomes one implementation among
+// several. The AdaptationController keeps every mechanical guarantee —
+// epoch-ordered directives, per-site value tracking, failure-detection
+// exclusions — and delegates only the regime decision:
+//
+//   ingest()    sees the cluster-wide per-variable maxima for one
+//               evaluation round (the paper's "decision variables");
+//   evaluate()  answers which regime should be active: nullopt keeps the
+//               current one, true selects the engaged (modified-mirroring)
+//               regime, false the normal regime.
+//
+// Strategies are deliberately deterministic given their input sequence —
+// BanditStrategy draws from its own seeded PRNG — so the discrete-event
+// simulator replays any scenario bit-identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "adapt/directive.h"
+#include "common/rng.h"
+
+namespace admire::adapt {
+
+/// Number of distinct MonitoredVariable values (array sizing).
+inline constexpr std::size_t kNumMonitoredVariables = 5;
+
+/// What a strategy sees each evaluation round: the highest value currently
+/// known for each monitored variable across all non-excluded sites.
+struct StrategyInputs {
+  std::array<double, kNumMonitoredVariables> values{};
+
+  double of(MonitoredVariable v) const {
+    return values[static_cast<std::size_t>(v)];
+  }
+  double& of(MonitoredVariable v) {
+    return values[static_cast<std::size_t>(v)];
+  }
+};
+
+/// The pluggable decision maker. One instance lives inside one
+/// AdaptationController and is called under the controller's lock, so
+/// implementations need no synchronization of their own.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Stable identifier ("threshold", "pid", ...) used in metric names and
+  /// scenario scorecards.
+  virtual std::string_view name() const = 0;
+
+  /// Observe the decision variables for this evaluation round. Called
+  /// exactly once before each evaluate().
+  virtual void ingest(const StrategyInputs& inputs) = 0;
+
+  /// Decide the regime: nullopt = no opinion (keep `currently_engaged`),
+  /// true = engaged regime, false = normal regime.
+  virtual std::optional<bool> evaluate(bool currently_engaged) = 0;
+};
+
+// --- Strategy configurations (plain data, copyable) -------------------------
+
+/// PID setpoint tracking on one monitored variable's cluster-wide max.
+/// Engage when the control output exceeds `engage_above`, release when it
+/// falls below `release_below` — the gap is the hysteresis band. The
+/// integral term is clamped to ±integral_limit (anti-windup), so a long
+/// saturated burst does not leave the controller stuck engaged long after
+/// the load subsided.
+struct PidStrategyConfig {
+  MonitoredVariable variable = MonitoredVariable::kPendingRequests;
+  double setpoint = 0.0;  ///< target for the variable's cluster max
+  double kp = 1.0;
+  double ki = 0.1;
+  double kd = 0.0;
+  double integral_limit = 50.0;  ///< anti-windup clamp on |integral|
+  double engage_above = 1.0;
+  double release_below = -1.0;
+
+  bool operator==(const PidStrategyConfig&) const = default;
+};
+
+/// Weights folding the decision variables into one scalar load figure
+/// (shared by UtilityStrategy's utilities and BanditStrategy's rewards).
+struct CostWeights {
+  double ready_queue = 1.0;
+  double backup_queue = 0.5;
+  double pending_requests = 2.0;
+  double update_delay_ms = 1.0;  ///< central EDE mean update delay
+  double shed_rate = 4.0;        ///< serving-plane sheds since last round
+
+  double cost(const StrategyInputs& in) const;
+
+  bool operator==(const CostWeights&) const = default;
+};
+
+/// Utility-based selection: each regime gets a utility and the argmax wins.
+///   u(normal)  = -load
+///   u(engaged) = -load * (1 - engaged_relief) - engaged_penalty
+/// where `load` is the weighted cost of the current inputs. The engaged
+/// regime's more aggressive coalescing/overwriting is expected to relieve
+/// `engaged_relief` of the load but costs `engaged_penalty` in mirroring
+/// fidelity; `switch_margin` is the extra utility a challenger regime must
+/// clear to dethrone the incumbent (anti-flapping at indifference points).
+struct UtilityStrategyConfig {
+  CostWeights weights;
+  double engaged_relief = 0.5;
+  double engaged_penalty = 4.0;
+  double switch_margin = 0.5;
+
+  bool operator==(const UtilityStrategyConfig&) const = default;
+};
+
+/// Epsilon-greedy bandit over the two regimes with a seeded PRNG. Each
+/// round the regime that was active since the previous round is credited
+/// reward = -cost(inputs) into a sliding window of the last `window`
+/// rewards per regime; with probability epsilon the strategy explores a
+/// uniformly random regime, otherwise it exploits the regime with the
+/// higher windowed mean (unplayed regimes are explored first). A regime
+/// switch starts a dwell period of `min_dwell` rounds during which the
+/// choice is frozen, bounding oscillation.
+struct BanditStrategyConfig {
+  double epsilon = 0.1;
+  std::uint64_t seed = 0xB4D17;
+  std::size_t window = 8;
+  std::size_t min_dwell = 2;
+  CostWeights weights;
+
+  bool operator==(const BanditStrategyConfig&) const = default;
+};
+
+enum class StrategyKind : std::uint8_t {
+  kThreshold = 0,  ///< the paper's threshold+hysteresis (§3.2.2)
+  kPid = 1,
+  kUtility = 2,
+  kBandit = 3,
+};
+
+constexpr const char* strategy_kind_name(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kThreshold: return "threshold";
+    case StrategyKind::kPid: return "pid";
+    case StrategyKind::kUtility: return "utility";
+    case StrategyKind::kBandit: return "bandit";
+  }
+  return "unknown";
+}
+
+/// Tagged union selecting and parameterizing the controller's strategy.
+/// Embedded in AdaptationPolicy, so ClusterConfig (threaded) and SimConfig
+/// (DES) select strategies through the identical struct. kThreshold reads
+/// its thresholds from AdaptationPolicy::thresholds (the paper's fields).
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kThreshold;
+  PidStrategyConfig pid;
+  UtilityStrategyConfig utility;
+  BanditStrategyConfig bandit;
+
+  bool operator==(const StrategyConfig&) const = default;
+};
+
+// --- Implementations --------------------------------------------------------
+
+/// The paper's policy, bit-for-bit: engage when any monitored variable
+/// reaches its primary threshold; release only when every variable fell
+/// below (primary - secondary).
+class ThresholdStrategy final : public Strategy {
+ public:
+  explicit ThresholdStrategy(std::vector<ThresholdSpec> thresholds)
+      : thresholds_(std::move(thresholds)) {}
+
+  std::string_view name() const override { return "threshold"; }
+  void ingest(const StrategyInputs& inputs) override { in_ = inputs; }
+  std::optional<bool> evaluate(bool currently_engaged) override;
+
+ private:
+  std::vector<ThresholdSpec> thresholds_;
+  StrategyInputs in_;
+};
+
+class PidStrategy final : public Strategy {
+ public:
+  explicit PidStrategy(PidStrategyConfig config) : config_(config) {}
+
+  std::string_view name() const override { return "pid"; }
+  void ingest(const StrategyInputs& inputs) override { in_ = inputs; }
+  std::optional<bool> evaluate(bool currently_engaged) override;
+
+  double integral() const { return integral_; }  ///< anti-windup tests
+
+ private:
+  PidStrategyConfig config_;
+  StrategyInputs in_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+class UtilityStrategy final : public Strategy {
+ public:
+  explicit UtilityStrategy(UtilityStrategyConfig config) : config_(config) {}
+
+  std::string_view name() const override { return "utility"; }
+  void ingest(const StrategyInputs& inputs) override { in_ = inputs; }
+  std::optional<bool> evaluate(bool currently_engaged) override;
+
+ private:
+  UtilityStrategyConfig config_;
+  StrategyInputs in_;
+};
+
+class BanditStrategy final : public Strategy {
+ public:
+  explicit BanditStrategy(BanditStrategyConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  std::string_view name() const override { return "bandit"; }
+  void ingest(const StrategyInputs& inputs) override { in_ = inputs; }
+  std::optional<bool> evaluate(bool currently_engaged) override;
+
+ private:
+  double windowed_mean(const std::deque<double>& rewards) const;
+  void credit(bool regime, double reward);
+
+  BanditStrategyConfig config_;
+  Rng rng_;
+  StrategyInputs in_;
+  std::deque<double> rewards_[2];  ///< [0] normal, [1] engaged
+  std::size_t dwell_left_ = 0;
+};
+
+/// Factory for the tagged union. `thresholds` backs kThreshold (the
+/// paper's AdaptationPolicy::thresholds).
+std::unique_ptr<Strategy> make_strategy(
+    const StrategyConfig& config, const std::vector<ThresholdSpec>& thresholds);
+
+}  // namespace admire::adapt

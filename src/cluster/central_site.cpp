@@ -45,6 +45,7 @@ ThreadedCentralSite::ThreadedCentralSite(
   if (config_.obs != nullptr) {
     core_.instrument(*config_.obs, "central");
     serving_.instrument(*config_.obs, "central");
+    if (controller_.has_value()) controller_->instrument(*config_.obs);
     coordinator_.instrument(*config_.obs, "checkpoint.coordinator");
     request_service_ns_ =
         &config_.obs->histogram("cluster.central.request_service_ns",
@@ -354,9 +355,22 @@ Bytes ThreadedCentralSite::evaluate_adaptation() {
                        static_cast<double>(core_.backup().size()));
   controller_->observe(kCentralSite, adapt::MonitoredVariable::kPendingRequests,
                        static_cast<double>(pending_requests_.load()));
+  // End-to-end signals for the utility/bandit strategies (harmless extras
+  // for the threshold strategy, which only reads its configured variables).
+  controller_->observe(kCentralSite, adapt::MonitoredVariable::kUpdateDelayMs,
+                       update_delays_.mean() / 1e6);
+  const std::uint64_t shed = serving_.admission().shed();
+  controller_->observe(
+      kCentralSite, adapt::MonitoredVariable::kShedRate,
+      static_cast<double>(shed - adaptation_shed_seen_));
+  adaptation_shed_seen_ = shed;
   auto directive = controller_->evaluate();
   if (!directive.has_value()) return {};
   adaptation_transitions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(adaptation_sequence_mu_);
+    adaptation_sequence_.push_back(directive->engaged);
+  }
   core_.install(directive->spec);
   ADMIRE_LOG(kInfo, "central: adaptation ",
              directive->engaged ? "ENGAGED" : "RELEASED", " -> ",

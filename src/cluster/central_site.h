@@ -221,6 +221,13 @@ class ThreadedCentralSite {
   std::atomic<std::uint64_t> ede_processed_{0};
   std::atomic<std::uint64_t> pending_requests_{0};
   std::atomic<std::uint64_t> adaptation_transitions_{0};
+  std::uint64_t adaptation_shed_seen_ = 0;  ///< control thread only
+
+  /// Engaged-state after each regime flip, in decision order — the
+  /// threaded counterpart of SimResult::adaptation_timeline, compared
+  /// against the DES in the strategy-parity test.
+  mutable std::mutex adaptation_sequence_mu_;
+  std::vector<bool> adaptation_sequence_;
 
   metrics::LatencyRecorder update_delays_;
   obs::Histogram* request_service_ns_ = nullptr;  // null = not instrumented
@@ -229,6 +236,10 @@ class ThreadedCentralSite {
  public:
   std::uint64_t adaptation_transitions() const {
     return adaptation_transitions_.load();
+  }
+  std::vector<bool> adaptation_sequence() const {
+    std::lock_guard lock(adaptation_sequence_mu_);
+    return adaptation_sequence_;
   }
 };
 

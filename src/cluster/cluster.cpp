@@ -224,6 +224,12 @@ void Cluster::fail_mirror(std::size_t i) {
                    TargetHealth::kDown);
   }
   victim->stop();
+  // Drop the dead site's monitor values from the adaptation controller so
+  // its final (typically inflated) readings stop pinning the cluster
+  // maxima, and a replacement incarnation reusing the SiteId starts fresh.
+  if (auto* controller = central_->controller()) {
+    controller->forget_site(victim->site());
+  }
   // Discard the dead destination's transmit outbox (everything queued for
   // it is shed and counted in tx.<dest>.dropped_total) and retire its tx
   // worker. After the stop() above: the closed inbox has unblocked any

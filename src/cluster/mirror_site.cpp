@@ -205,6 +205,15 @@ void ThreadedMirrorSite::on_control(const ControlMessage& msg) {
           {adapt::MonitoredVariable::kPendingRequests,
            static_cast<double>(pending_requests_.load())},
       };
+      {
+        // Serving-plane signal: sheds since the previous report (the
+        // central utility/bandit strategies weigh it; threshold configs
+        // that don't monitor kShedRate simply ignore the sample).
+        const std::uint64_t shed = serving_.admission().shed();
+        report.samples.push_back({adapt::MonitoredVariable::kShedRate,
+                                  static_cast<double>(shed - shed_reported_)});
+        shed_reported_ = shed;
+      }
       forwarded->piggyback = adapt::encode_report(report);
       ctrl_up_->submit(checkpoint::to_control_event(*forwarded));
       break;

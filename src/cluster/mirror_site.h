@@ -123,6 +123,7 @@ class ThreadedMirrorSite {
   mirror::MirrorAuxCore aux_;
   mirror::MainUnitCore main_;
   serve::RequestHandler serving_;
+  std::uint64_t shed_reported_ = 0;  ///< control thread only (kShedRate delta)
   adapt::DirectiveApplier applier_;
   mutable std::mutex spec_mu_;
   rules::MirrorFunctionSpec installed_spec_;

@@ -1,0 +1,294 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace admire::scenario {
+
+namespace {
+
+/// Shared event workload: paced replay so virtual time spans the scenario
+/// window and scripted faults land mid-run. Small enough that the full
+/// 4-strategy × 7-scenario matrix runs in seconds.
+harness::RunSpec base_spec(std::uint64_t seed) {
+  harness::RunSpec spec;
+  spec.faa_events = 6000;
+  spec.num_flights = 50;
+  spec.event_padding = 512;
+  spec.mirrors = 2;
+  spec.event_horizon = 12 * kSecond;
+  spec.seed = seed;
+  spec.function = rules::fig9_function_a();
+  return spec;
+}
+
+fd::DetectorConfig scenario_fd() {
+  fd::DetectorConfig d;
+  d.heartbeat_interval = 20 * kMilli;
+  d.suspect_after_missed = 3;
+  d.confirm_window = 120 * kMilli;
+  d.alive_after_beats = 2;
+  return d;
+}
+
+}  // namespace
+
+adapt::AdaptationPolicy default_scenario_policy() {
+  adapt::AdaptationPolicy policy;
+  policy.thresholds = {{adapt::MonitoredVariable::kPendingRequests, 3, 2},
+                       {adapt::MonitoredVariable::kReadyQueueLength, 50, 40}};
+  policy.mode = adapt::PolicyMode::kSwitchFunction;
+  policy.normal_spec = rules::fig9_function_a();
+  policy.engaged_spec = rules::fig9_function_b();
+  return policy;
+}
+
+std::vector<adapt::StrategyConfig> all_strategies() {
+  std::vector<adapt::StrategyConfig> out(4);
+  out[0].kind = adapt::StrategyKind::kThreshold;
+  out[1].kind = adapt::StrategyKind::kPid;
+  out[1].pid.variable = adapt::MonitoredVariable::kPendingRequests;
+  out[1].pid.setpoint = 2.0;
+  out[1].pid.kp = 1.0;
+  out[1].pid.ki = 0.2;
+  out[1].pid.kd = 0.5;
+  out[1].pid.integral_limit = 30.0;
+  out[1].pid.engage_above = 2.0;
+  out[1].pid.release_below = -1.0;
+  out[2].kind = adapt::StrategyKind::kUtility;
+  out[3].kind = adapt::StrategyKind::kBandit;
+  return out;
+}
+
+workload::RequestTrace diurnal_requests(double base_per_second,
+                                        double amplitude_per_second,
+                                        Nanos period, Nanos duration,
+                                        std::uint64_t seed) {
+  // Lewis thinning: draw a homogeneous Poisson stream at the peak rate and
+  // keep each arrival with probability rate(t) / peak.
+  workload::RequestTrace trace;
+  const double peak = base_per_second + amplitude_per_second;
+  if (peak <= 0.0 || duration <= 0) return trace;
+  Rng rng(seed);
+  const double mean_gap_ns = 1e9 / peak;
+  double t = 0.0;
+  while (true) {
+    t += rng.next_exponential(mean_gap_ns);
+    if (t >= static_cast<double>(duration)) break;
+    const double phase =
+        2.0 * M_PI * t / static_cast<double>(period) - M_PI / 2.0;
+    const double rate =
+        base_per_second + amplitude_per_second * (1.0 + std::sin(phase)) / 2.0;
+    if (rng.next_double() < rate / peak) {
+      trace.arrivals.push_back(static_cast<Nanos>(t));
+    }
+  }
+  return trace;
+}
+
+Scenario diurnal_load(std::uint64_t seed) {
+  Scenario s;
+  s.name = "diurnal_load";
+  s.description =
+      "day/night sinusoidal request wave over two periods; serving plane on";
+  s.spec = base_spec(seed);
+  s.extra_requests = diurnal_requests(
+      /*base=*/20.0, /*amplitude=*/400.0, /*period=*/6 * kSecond,
+      /*duration=*/s.spec.event_horizon, seed ^ 0xD1);
+  s.serving = true;
+  s.serve_max_in_flight = 48;
+  return s;
+}
+
+Scenario flash_crowd(std::uint64_t seed) {
+  Scenario s;
+  s.name = "flash_crowd";
+  s.description =
+      "quiet background then a thundering-herd spike mid-run (power-failure "
+      "recovery); serving plane on";
+  s.spec = base_spec(seed);
+  s.extra_requests = workload::recovery_spike_requests(
+      /*count=*/1500, /*at=*/6 * kSecond, /*background=*/15.0,
+      /*duration=*/s.spec.event_horizon, seed ^ 0xFC);
+  s.serving = true;
+  s.serve_max_in_flight = 32;
+  return s;
+}
+
+Scenario sustained_overload(std::uint64_t seed) {
+  Scenario s;
+  s.name = "sustained_overload";
+  s.description =
+      "constant request load well above serving capacity for the whole run";
+  s.spec = base_spec(seed);
+  s.extra_requests = workload::constant_rate_requests(
+      /*per_second=*/500.0, /*duration=*/s.spec.event_horizon, seed ^ 0x50);
+  s.serving = true;
+  s.serve_max_in_flight = 24;
+  return s;
+}
+
+Scenario correlated_failures(std::uint64_t seed) {
+  Scenario s;
+  s.name = "correlated_failures";
+  s.description =
+      "both mirrors crash-stop within half a second (rack power loss), then "
+      "auto-rejoin";
+  s.spec = base_spec(seed);
+  s.spec.request_rate = 40.0;  // steady background via auto requests
+  s.fd = scenario_fd();
+  s.faults = {{.at = 4 * kSecond, .mirror = 0,
+               .kind = faultinject::FaultKind::kCrashStop,
+               .duration = 2 * kSecond},
+              {.at = 4 * kSecond + 500 * kMilli, .mirror = 1,
+               .kind = faultinject::FaultKind::kCrashStop,
+               .duration = 2 * kSecond}};
+  s.auto_rejoin = true;
+  s.rejoin_after = 500 * kMilli;
+  return s;
+}
+
+Scenario one_way_partition(std::uint64_t seed) {
+  Scenario s;
+  s.name = "one_way_partition";
+  s.description =
+      "mirror 1's heartbeats stop reaching the detector for 2s (asymmetric "
+      "network split) while its data path keeps working";
+  s.spec = base_spec(seed);
+  s.spec.request_rate = 40.0;
+  s.fd = scenario_fd();
+  s.faults = {{.at = 5 * kSecond, .mirror = 0,
+               .kind = faultinject::FaultKind::kPartitionIn,
+               .duration = 2 * kSecond}};
+  s.auto_rejoin = true;
+  s.rejoin_after = 500 * kMilli;
+  return s;
+}
+
+Scenario lossy_wan(std::uint64_t seed) {
+  Scenario s;
+  s.name = "lossy_wan";
+  s.description =
+      "30% heartbeat loss on both mirrors plus 5% control-message loss — "
+      "flapping suspicion without real failures";
+  s.spec = base_spec(seed);
+  s.spec.request_rate = 40.0;
+  s.fd = scenario_fd();
+  s.faults = {{.at = 2 * kSecond, .mirror = 0,
+               .kind = faultinject::FaultKind::kDrop,
+               .duration = 8 * kSecond, .probability = 0.30},
+              {.at = 2 * kSecond, .mirror = 1,
+               .kind = faultinject::FaultKind::kDrop,
+               .duration = 8 * kSecond, .probability = 0.30}};
+  s.control_loss = 0.05;
+  return s;
+}
+
+Scenario slow_wan(std::uint64_t seed) {
+  Scenario s;
+  s.name = "slow_wan";
+  s.description =
+      "per-heartbeat delay ramps on both mirrors (congested long-haul link) "
+      "— late beats flirt with the suspicion window";
+  s.spec = base_spec(seed);
+  s.spec.request_rate = 40.0;
+  s.fd = scenario_fd();
+  s.faults = {{.at = 3 * kSecond, .mirror = 0,
+               .kind = faultinject::FaultKind::kDelay,
+               .duration = 5 * kSecond, .delay = 45 * kMilli},
+              {.at = 3 * kSecond, .mirror = 1,
+               .kind = faultinject::FaultKind::kDelay,
+               .duration = 5 * kSecond, .delay = 55 * kMilli}};
+  return s;
+}
+
+std::vector<Scenario> standard_scenarios(std::uint64_t seed) {
+  return {diurnal_load(seed),    flash_crowd(seed),
+          sustained_overload(seed), correlated_failures(seed),
+          one_way_partition(seed),  lossy_wan(seed),
+          slow_wan(seed)};
+}
+
+ScoreCard ScenarioRunner::run_one(
+    const Scenario& scenario, const adapt::StrategyConfig& strategy) const {
+  const harness::RunSpec& spec = scenario.spec;
+
+  // The same RunSpec -> SimConfig mapping harness::run_sim uses, extended
+  // with the scenario's fault/fd/serving dimensions.
+  sim::SimConfig config;
+  config.num_mirrors = spec.mirrors;
+  config.mirroring_enabled = spec.mirroring_enabled;
+  config.params = [&] {
+    rules::MirroringParams p;
+    p.function = spec.function;
+    return p;
+  }();
+  adapt::AdaptationPolicy policy = config_.base_policy;
+  policy.strategy = strategy;
+  config.adaptation = policy;
+  config.costs = spec.costs;
+  config.lb = spec.lb;
+  config.num_streams = workload::kOisStreams;
+  config.closed_loop_source = spec.event_horizon == 0;
+  if (spec.request_rate > 0.0 && spec.requests_while_events) {
+    config.auto_request_rate = spec.request_rate;
+    config.request_seed = spec.seed ^ 0x5151;
+  }
+  config.fd = scenario.fd;
+  config.fault_schedule = scenario.faults;
+  config.fd_auto_rejoin = scenario.auto_rejoin;
+  config.fd_rejoin_after = scenario.rejoin_after;
+  config.control_loss_probability = scenario.control_loss;
+  if (scenario.serving) {
+    serve::ServeConfig serve;
+    serve.max_in_flight = scenario.serve_max_in_flight;
+    serve.retry_after_ms = 20;
+    config.serving = serve;
+    config.serve_flight_space = spec.num_flights;
+  }
+
+  workload::RequestTrace requests = harness::make_requests(spec);
+  if (!scenario.extra_requests.arrivals.empty()) {
+    requests = workload::merge_requests(
+        {std::move(requests), scenario.extra_requests});
+  }
+
+  sim::SimCluster cluster(std::move(config));
+  const sim::SimResult r = cluster.run(harness::make_trace(spec), requests);
+
+  ScoreCard card;
+  card.scenario = scenario.name;
+  card.strategy = adapt::strategy_kind_name(strategy.kind);
+  card.update_p50_ms = r.update_delays->percentile(0.50) / 1e6;
+  card.update_p99_ms = r.update_delays->percentile(0.99) / 1e6;
+  card.mirror_p99_ms = r.mirror_update_delays->percentile(0.99) / 1e6;
+  card.transitions = r.adaptation_transitions;
+  card.engaged_fraction =
+      r.total_time > 0 ? static_cast<double>(r.time_engaged) /
+                             static_cast<double>(r.total_time)
+                       : 0.0;
+  card.requests_served = r.requests_served;
+  card.requests_shed = r.requests_shed;
+  card.requests_dropped = r.requests_dropped;
+  card.rejoins = r.rejoin_times.size();
+  if (!r.rejoin_times.empty()) {
+    double sum = 0.0;
+    for (const Nanos t : r.rejoin_times) sum += static_cast<double>(t);
+    card.rejoin_ms_mean = sum / static_cast<double>(r.rejoin_times.size()) / 1e6;
+  }
+  return card;
+}
+
+std::vector<ScoreCard> ScenarioRunner::run_matrix(
+    const std::vector<Scenario>& scenarios) const {
+  std::vector<ScoreCard> cards;
+  cards.reserve(scenarios.size() * config_.strategies.size());
+  for (const Scenario& s : scenarios) {
+    for (const adapt::StrategyConfig& strat : config_.strategies) {
+      cards.push_back(run_one(s, strat));
+    }
+  }
+  return cards;
+}
+
+}  // namespace admire::scenario

@@ -1,0 +1,118 @@
+// Scenario library + strategy × scenario matrix runner (ROADMAP item 1).
+//
+// A Scenario is a named, fully deterministic experiment: an event/request
+// workload (harness::RunSpec + extra scenario-shaped request arrivals), an
+// optional failure-detection config and fault script, and serving-plane
+// knobs. The library covers the situations RDMSim-style strategy
+// comparisons need — diurnal load, flash crowds, sustained overload,
+// correlated mirror failures, one-way partitions, lossy/slow WAN links —
+// and the ScenarioRunner plays every adaptation strategy against every
+// scenario on the DES, scoring each run into a ScoreCard. Same seed →
+// bit-identical scorecards, so the matrix is a CI artifact
+// (bench/fig_scenarios → BENCH_scenarios.json), not a flaky benchmark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adapt/strategy.h"
+#include "fd/detector.h"
+#include "harness/experiments.h"
+
+namespace admire::scenario {
+
+/// One named deterministic experiment.
+struct Scenario {
+  std::string name;
+  std::string description;
+  harness::RunSpec spec;  ///< events + base request load
+  /// Scenario-shaped request arrivals merged on top of the spec's load
+  /// (diurnal wave, flash crowd spike, ...).
+  workload::RequestTrace extra_requests;
+  /// Failure detection + fault script (empty = healthy cluster).
+  std::optional<fd::DetectorConfig> fd;
+  faultinject::Schedule faults;
+  bool auto_rejoin = false;
+  Nanos rejoin_after = 0;
+  double control_loss = 0.0;  ///< per-control-message drop probability
+  /// Run the serving plane (admission gate + cache) so shed-rate signals
+  /// feed the strategies; sized by serve_max_in_flight.
+  bool serving = false;
+  std::size_t serve_max_in_flight = 64;
+};
+
+/// One strategy's performance under one scenario. Doubles are exact-equal
+/// comparable here because the DES is deterministic: the same seed must
+/// reproduce the same card bit-for-bit.
+struct ScoreCard {
+  std::string scenario;
+  std::string strategy;
+  double update_p50_ms = 0.0;  ///< central EDE update delay
+  double update_p99_ms = 0.0;
+  double mirror_p99_ms = 0.0;  ///< what mirror-attached clients see
+  std::uint64_t transitions = 0;      ///< regime flips (oscillation)
+  double engaged_fraction = 0.0;      ///< time engaged / total time
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_shed = 0;    ///< RETRY_AFTER answers
+  std::uint64_t requests_dropped = 0; ///< clients that exhausted retries
+  std::size_t rejoins = 0;
+  double rejoin_ms_mean = 0.0;        ///< dead -> back-alive interval
+
+  bool operator==(const ScoreCard&) const = default;
+};
+
+/// The paper-flavoured base policy every strategy run shares: pending /
+/// ready-queue thresholds (used by ThresholdStrategy), fnA normally and
+/// fnB (coalescing+overwriting) when engaged.
+adapt::AdaptationPolicy default_scenario_policy();
+
+/// All four strategy configurations, threshold first.
+std::vector<adapt::StrategyConfig> all_strategies();
+
+/// The standard library: ≥6 scenarios, all derived deterministically from
+/// `seed`.
+std::vector<Scenario> standard_scenarios(std::uint64_t seed = 42);
+
+// Individual generators (composable in custom matrices).
+Scenario diurnal_load(std::uint64_t seed);
+Scenario flash_crowd(std::uint64_t seed);
+Scenario sustained_overload(std::uint64_t seed);
+Scenario correlated_failures(std::uint64_t seed);
+Scenario one_way_partition(std::uint64_t seed);
+Scenario lossy_wan(std::uint64_t seed);
+Scenario slow_wan(std::uint64_t seed);
+
+/// Sinusoidal-rate arrivals (day/night wave) via Lewis thinning:
+/// rate(t) = base + amplitude * (1 + sin(2π t / period - π/2)) / 2,
+/// i.e. starts at `base`, peaks at base + amplitude mid-period.
+workload::RequestTrace diurnal_requests(double base_per_second,
+                                        double amplitude_per_second,
+                                        Nanos period, Nanos duration,
+                                        std::uint64_t seed);
+
+struct MatrixConfig {
+  std::vector<adapt::StrategyConfig> strategies = all_strategies();
+  adapt::AdaptationPolicy base_policy = default_scenario_policy();
+};
+
+/// Runs each strategy against each scenario on the DES.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(MatrixConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// One cell of the matrix.
+  ScoreCard run_one(const Scenario& scenario,
+                    const adapt::StrategyConfig& strategy) const;
+
+  /// The full matrix, scenario-major: for each scenario, every strategy.
+  std::vector<ScoreCard> run_matrix(
+      const std::vector<Scenario>& scenarios) const;
+
+  const MatrixConfig& config() const { return config_; }
+
+ private:
+  MatrixConfig config_;
+};
+
+}  // namespace admire::scenario

@@ -69,6 +69,7 @@ struct SimCluster::MirrorSite {
   std::unique_ptr<recovery::RejoinFilter> rejoin_filter;
   /// Serving plane over this site's replicated state (SimConfig::serving).
   std::unique_ptr<serve::RequestHandler> serving;
+  std::uint64_t shed_seen = 0;  ///< shed() base for the kShedRate delta
 };
 
 SimCluster::SimCluster(SimConfig config)
@@ -131,6 +132,12 @@ SimCluster::SimCluster(SimConfig config)
     detector_.emplace(*config_.fd);
     detector_->instrument(obs);
   }
+  if (central_->controller.has_value()) {
+    // adapt.* family — same names as the threaded runtime. The decision
+    // latency histogram times wall-clock around the strategy call only;
+    // virtual-time decisions stay deterministic.
+    central_->controller->instrument(obs);
+  }
 }
 
 SimCluster::~SimCluster() = default;
@@ -153,6 +160,13 @@ SimResult SimCluster::run(const workload::Trace& trace,
     engine_.schedule_at(at, [this, at] { on_request(at); });
   }
   if (config_.auto_request_rate > 0.0) schedule_next_auto_request();
+  for (const auto& ob : config_.monitor_script) {
+    engine_.schedule_at(ob.at, [this, ob] {
+      if (central_->controller.has_value()) {
+        central_->controller->observe(ob.site, ob.variable, ob.value);
+      }
+    });
+  }
 
   if (detector_.has_value()) {
     const auto& d = *config_.fd;
@@ -191,6 +205,21 @@ SimResult SimCluster::run(const workload::Trace& trace,
   result.checkpoints_started = central_->coordinator.rounds_started();
   result.control_messages_dropped = control_messages_dropped_;
   result.adaptation_transitions = adaptation_transitions_;
+  result.adaptation_timeline = adaptation_timeline_;
+  {
+    // Integrate engaged intervals over [0, total_time].
+    Nanos engaged_since = -1;
+    for (const auto& [at, engaged] : adaptation_timeline_) {
+      if (engaged && engaged_since < 0) engaged_since = at;
+      if (!engaged && engaged_since >= 0) {
+        result.time_engaged += at - engaged_since;
+        engaged_since = -1;
+      }
+    }
+    if (engaged_since >= 0 && completion_watermark_ > engaged_since) {
+      result.time_engaged += completion_watermark_ - engaged_since;
+    }
+  }
   result.backup_sizes.push_back(central_->core.backup().size());
   for (const auto& m : mirrors_) {
     result.backup_sizes.push_back(m->aux.backup().size());
@@ -577,6 +606,12 @@ void SimCluster::mirror_on_chkpt(std::size_t idx, ControlMessage chkpt) {
         {adapt::MonitoredVariable::kPendingRequests,
          static_cast<double>(s.pending_requests)},
     };
+    if (s.serving) {
+      const std::uint64_t shed = s.serving->admission().shed();
+      report.samples.push_back({adapt::MonitoredVariable::kShedRate,
+                                static_cast<double>(shed - s.shed_seen)});
+      s.shed_seen = shed;
+    }
     forwarded->piggyback = adapt::encode_report(report);
     if (drop_control()) return;  // CHKPT_REP lost on the wire
     engine_.schedule_after(
@@ -646,9 +681,20 @@ Bytes SimCluster::evaluate_adaptation() {
                      static_cast<double>(central_->core.backup().size()));
   controller.observe(kCentralSite, adapt::MonitoredVariable::kPendingRequests,
                      static_cast<double>(central_->pending_requests));
+  // End-to-end signals for the utility/bandit strategies: mean EDE update
+  // delay so far (ms) and serving-plane sheds since the last evaluation.
+  controller.observe(kCentralSite, adapt::MonitoredVariable::kUpdateDelayMs,
+                     update_delays_->mean() / 1e6);
+  if (central_->serving) {
+    const std::uint64_t shed = central_->serving->admission().shed();
+    controller.observe(kCentralSite, adapt::MonitoredVariable::kShedRate,
+                       static_cast<double>(shed - central_shed_seen_));
+    central_shed_seen_ = shed;
+  }
   auto directive = controller.evaluate();
   if (!directive.has_value()) return {};
   ++adaptation_transitions_;
+  adaptation_timeline_.emplace_back(engine_.now(), directive->engaged);
   // Apply to the central pipeline immediately; mirrors get it by piggyback.
   central_->core.install(directive->spec);
   ADMIRE_LOG(kInfo, "adaptation ", directive->engaged ? "ENGAGED" : "RELEASED",
@@ -776,6 +822,11 @@ void SimCluster::react_fd(const std::vector<fd::Transition>& transitions) {
         s.dead_at = t.at;
         ADMIRE_LOG(kWarn, "sim fd: mirror ", t.site, " declared dead at t=",
                    to_seconds(t.at), "s");
+        // The dead site's monitor values must not pin the cluster maxima;
+        // a replacement incarnation starts from fresh readings.
+        if (central_->controller.has_value()) {
+          central_->controller->forget_site(t.site);
+        }
         // fail_mirror: shrink checkpoint membership. An in-flight round
         // waiting only on the dead site's reply commits right here.
         auto commit = central_->coordinator.set_expected_replies(

@@ -37,6 +37,14 @@ enum class LbPolicy : std::uint8_t {
   kLeastLoaded = 2,  ///< pick the site with fewest outstanding requests
 };
 
+/// One scripted adaptation-monitor reading (SimConfig::monitor_script).
+struct ScriptedObservation {
+  Nanos at = 0;
+  SiteId site = 0;
+  adapt::MonitoredVariable variable = adapt::MonitoredVariable::kReadyQueueLength;
+  double value = 0.0;
+};
+
 struct SimConfig {
   std::size_t num_mirrors = 1;
   /// false = baseline "no mirroring" server: events go straight to the EDE
@@ -143,6 +151,14 @@ struct SimConfig {
   /// index earn their keep. Deterministic: drawn from request_seed.
   serve::FlightDist serve_flight_dist;
   std::size_t serve_max_retries = 8;
+  /// Scripted monitor observations injected into the adaptation controller
+  /// at exact virtual times (in addition to the organically measured
+  /// queue/pending values). Lets tests drive the decision plane with a
+  /// known input sequence — the threaded/DES strategy-parity test feeds
+  /// the identical script to both runtimes and compares transition
+  /// sequences. Typically uses a SiteId outside the cluster so organic
+  /// readings don't interfere.
+  std::vector<ScriptedObservation> monitor_script;
 };
 
 struct SimResult {
@@ -156,6 +172,13 @@ struct SimResult {
   std::uint64_t checkpoints_started = 0;
   std::uint64_t control_messages_dropped = 0;
   std::uint64_t adaptation_transitions = 0;
+  /// Every regime flip in virtual-time order: (when, engaged-after-flip).
+  /// The scenario runner scores oscillation and the Fig. 9 gate compares
+  /// exact sequences from this.
+  std::vector<std::pair<Nanos, bool>> adaptation_timeline;
+  /// Virtual time spent in the engaged regime (integral of the timeline
+  /// over [0, total_time]).
+  Nanos time_engaged = 0;
   /// Residual backup-queue sizes after the run: [central aux, mirrors...].
   std::vector<std::size_t> backup_sizes;
 
@@ -311,6 +334,8 @@ class SimCluster {
   Nanos event_completion_ = 0;
   Nanos request_completion_ = 0;
   std::uint64_t adaptation_transitions_ = 0;
+  std::vector<std::pair<Nanos, bool>> adaptation_timeline_;
+  std::uint64_t central_shed_seen_ = 0;  ///< last admission.shed() delta base
 };
 
 }  // namespace admire::sim

@@ -174,6 +174,32 @@ TEST(Controller, ExcludedSitesDoNotDriveAdaptation) {
   EXPECT_TRUE(c.engaged());
 }
 
+TEST(Applier, OutOfOrderArrivalKeepsNewestEpoch) {
+  // Directives ride on checkpoint messages, which can be reordered across
+  // rounds: a mirror seeing epoch 3 first must ignore the late epoch 2.
+  DirectiveApplier applier;
+  AdaptationDirective d2{2, false, rules::fig9_function_a()};
+  AdaptationDirective d3{3, true, rules::fig9_function_b()};
+  ASSERT_TRUE(applier.apply(d3).has_value());
+  EXPECT_FALSE(applier.apply(d2).has_value());  // arrived late, stale
+  EXPECT_EQ(applier.last_epoch(), 3u);
+  EXPECT_EQ(applier.applied_count(), 1u);
+}
+
+TEST(Applier, EpochGapsAreForwardJumpsNotErrors) {
+  // A mirror that missed rounds (e.g. dropped control messages) catches up
+  // on the next directive it does see; epochs need not be contiguous.
+  DirectiveApplier applier;
+  AdaptationDirective d1{1, true, rules::fig9_function_b()};
+  AdaptationDirective d5{5, false, rules::fig9_function_a()};
+  ASSERT_TRUE(applier.apply(d1).has_value());
+  const auto spec = applier.apply(d5);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(*spec, rules::fig9_function_a());
+  EXPECT_EQ(applier.last_epoch(), 5u);
+  EXPECT_EQ(applier.applied_count(), 2u);
+}
+
 TEST(Applier, AppliesInEpochOrderOnce) {
   DirectiveApplier applier;
   AdaptationDirective d1{1, true, rules::fig9_function_b()};

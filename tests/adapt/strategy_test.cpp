@@ -1,0 +1,435 @@
+// Strategy-extraction tests (DESIGN.md §16): the pluggable decision makers
+// behind AdaptationController. The centerpiece is the bit-reproduction
+// property test — the refactored controller with ThresholdStrategy must
+// produce the exact directive sequence the pre-refactor threshold+hysteresis
+// controller produced for arbitrary observe/exclude/evaluate interleavings,
+// not merely pass the same example-based tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "adapt/controller.h"
+#include "adapt/strategy.h"
+#include "common/rng.h"
+#include "obs/registry.h"
+
+namespace admire::adapt {
+namespace {
+
+AdaptationPolicy threshold_policy(std::vector<ThresholdSpec> thresholds) {
+  AdaptationPolicy p;
+  p.thresholds = std::move(thresholds);
+  p.mode = PolicyMode::kSwitchFunction;
+  p.normal_spec = rules::fig9_function_a();
+  p.engaged_spec = rules::fig9_function_b();
+  return p;
+}
+
+StrategyInputs inputs_with(MonitoredVariable v, double value) {
+  StrategyInputs in;
+  in.of(v) = value;
+  return in;
+}
+
+// --- Bit-reproduction: the pre-refactor controller as an oracle -------------
+
+/// The pre-refactor controller's decision logic, transcribed verbatim from
+/// the seed's AdaptationController::evaluate(): engage when ANY monitored
+/// variable's non-excluded cluster max reaches its primary threshold;
+/// once engaged, stay while ANY max is still >= (primary - secondary).
+struct LegacyThresholdOracle {
+  std::vector<ThresholdSpec> thresholds;
+  std::map<std::pair<SiteId, MonitoredVariable>, double> values;
+  std::set<SiteId> excluded;
+  bool engaged = false;
+  std::uint64_t epoch = 0;
+
+  double max_of(MonitoredVariable v) const {
+    double best = 0.0;
+    for (const auto& [key, value] : values) {
+      if (key.second != v || excluded.count(key.first) > 0) continue;
+      best = std::max(best, value);
+    }
+    return best;
+  }
+
+  /// Mirrors evaluate(): (epoch, engaged) when the regime flips.
+  std::optional<std::pair<std::uint64_t, bool>> evaluate() {
+    bool should_engage = engaged;
+    if (!engaged) {
+      for (const auto& t : thresholds) {
+        if (max_of(t.variable) >= t.primary) {
+          should_engage = true;
+          break;
+        }
+      }
+    } else {
+      bool any_above_release = false;
+      for (const auto& t : thresholds) {
+        if (max_of(t.variable) >= t.primary - t.secondary) {
+          any_above_release = true;
+          break;
+        }
+      }
+      should_engage = any_above_release;
+    }
+    if (should_engage == engaged) return std::nullopt;
+    engaged = should_engage;
+    ++epoch;
+    return std::make_pair(epoch, engaged);
+  }
+};
+
+TEST(StrategyBitRepro, RandomSequencesMatchLegacyController) {
+  // Random policies x random observe/exclude/evaluate interleavings: the
+  // refactored controller and the legacy oracle must emit identical
+  // directive sequences (same epochs, same engaged flags, same specs).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 0x9E3779B9);
+    std::vector<ThresholdSpec> thresholds;
+    const std::size_t num_thresholds = 1 + seed % 3;
+    for (std::size_t i = 0; i < num_thresholds; ++i) {
+      ThresholdSpec t;
+      t.variable =
+          static_cast<MonitoredVariable>(static_cast<std::uint8_t>(
+              rng.next_double() * static_cast<double>(kNumMonitoredVariables)));
+      t.primary = 5.0 + rng.next_double() * 10.0;
+      t.secondary = 1.0 + rng.next_double() * (t.primary - 1.0);
+      thresholds.push_back(t);
+    }
+
+    AdaptationController controller(threshold_policy(thresholds));
+    LegacyThresholdOracle oracle;
+    oracle.thresholds = thresholds;
+
+    for (int op = 0; op < 2000; ++op) {
+      const double pick = rng.next_double();
+      if (pick < 0.55) {
+        const SiteId site = static_cast<SiteId>(rng.next_double() * 6.0);
+        const auto variable =
+            static_cast<MonitoredVariable>(static_cast<std::uint8_t>(
+                rng.next_double() *
+                static_cast<double>(kNumMonitoredVariables)));
+        const double value = rng.next_double() * 20.0;
+        controller.observe(site, variable, value);
+        oracle.values[{site, variable}] = value;
+      } else if (pick < 0.70) {
+        const SiteId site = static_cast<SiteId>(rng.next_double() * 6.0);
+        const bool exclude = rng.next_bool(0.5);
+        controller.set_site_excluded(site, exclude);
+        if (exclude) {
+          oracle.excluded.insert(site);
+        } else {
+          oracle.excluded.erase(site);
+        }
+      } else {
+        const auto got = controller.evaluate();
+        const auto want = oracle.evaluate();
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "seed " << seed << " op " << op;
+        if (got.has_value()) {
+          EXPECT_EQ(got->epoch, want->first) << "seed " << seed;
+          EXPECT_EQ(got->engaged, want->second) << "seed " << seed;
+          EXPECT_EQ(got->spec, want->second ? rules::fig9_function_b()
+                                            : rules::fig9_function_a());
+        }
+        EXPECT_EQ(controller.engaged(), oracle.engaged);
+      }
+    }
+    EXPECT_EQ(controller.transitions(), oracle.epoch) << "seed " << seed;
+  }
+}
+
+// --- ThresholdStrategy ------------------------------------------------------
+
+TEST(ThresholdStrategyTest, EngageAtPrimaryReleaseBelowBand) {
+  ThresholdStrategy s({{MonitoredVariable::kPendingRequests, 10, 5}});
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 9.99));
+  EXPECT_EQ(s.evaluate(false), std::nullopt);
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 10.0));
+  EXPECT_EQ(s.evaluate(false), std::make_optional(true));
+  // Inside the hysteresis band: no opinion either way.
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 5.0));
+  EXPECT_EQ(s.evaluate(true), std::nullopt);
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 4.99));
+  EXPECT_EQ(s.evaluate(true), std::make_optional(false));
+}
+
+// --- PidStrategy ------------------------------------------------------------
+
+PidStrategyConfig pid_config() {
+  PidStrategyConfig c;
+  c.variable = MonitoredVariable::kPendingRequests;
+  c.setpoint = 5.0;
+  c.kp = 1.0;
+  c.ki = 0.5;
+  c.kd = 0.0;
+  c.integral_limit = 10.0;
+  c.engage_above = 4.0;
+  c.release_below = -4.0;
+  return c;
+}
+
+TEST(PidStrategyTest, EngagesOnSustainedErrorNotBlip) {
+  PidStrategy s(pid_config());
+  // error = +1: output = 1*1 + 0.5*integral — takes sustained pressure.
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 6.0));
+  EXPECT_EQ(s.evaluate(false), std::nullopt);
+  std::optional<bool> decision;
+  for (int round = 0; round < 10 && !decision.has_value(); ++round) {
+    s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 6.0));
+    decision = s.evaluate(false);
+  }
+  EXPECT_EQ(decision, std::make_optional(true));
+}
+
+TEST(PidStrategyTest, AntiWindupClampsIntegralAndReleasesPromptly) {
+  PidStrategy s(pid_config());
+  // Saturate: error = +20 per round would integrate to 200 unclamped.
+  for (int round = 0; round < 10; ++round) {
+    s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 25.0));
+    (void)s.evaluate(true);
+  }
+  EXPECT_DOUBLE_EQ(s.integral(), 10.0);  // clamped at +integral_limit
+  // Load vanishes (error = -5 per round). With the clamp the integral
+  // unwinds within a few rounds and the strategy releases; an unclamped
+  // integral of 200 would hold it engaged for ~40 rounds.
+  std::optional<bool> decision;
+  int rounds_to_release = 0;
+  while (rounds_to_release < 10) {
+    ++rounds_to_release;
+    s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 0.0));
+    decision = s.evaluate(true);
+    if (decision.has_value()) break;
+  }
+  EXPECT_EQ(decision, std::make_optional(false));
+  EXPECT_LE(rounds_to_release, 5);
+  EXPECT_GE(s.integral(), -10.0);  // clamped at -integral_limit too
+}
+
+TEST(PidStrategyTest, DeadBandBetweenEngageAndReleaseHoldsRegime) {
+  PidStrategy s(pid_config());
+  // error = 0 forever: output 0 sits strictly inside (-4, 4).
+  for (int round = 0; round < 5; ++round) {
+    s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 5.0));
+    EXPECT_EQ(s.evaluate(false), std::nullopt);
+    s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 5.0));
+    EXPECT_EQ(s.evaluate(true), std::nullopt);
+  }
+}
+
+// --- UtilityStrategy --------------------------------------------------------
+
+TEST(UtilityStrategyTest, ArgmaxSwitchesUnderLoadAndBackAtIdle) {
+  UtilityStrategyConfig config;  // relief 0.5, penalty 4, margin 0.5
+  UtilityStrategy s(config);
+  // load = 2.0 * pending. Engaging pays when load * relief > penalty +
+  // margin, i.e. pending > 4.5.
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 4.0));
+  EXPECT_EQ(s.evaluate(false), std::nullopt);
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 5.0));
+  EXPECT_EQ(s.evaluate(false), std::make_optional(true));
+  // Idle: the engaged regime's fidelity penalty dominates.
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 0.0));
+  EXPECT_EQ(s.evaluate(true), std::make_optional(false));
+}
+
+TEST(UtilityStrategyTest, SwitchMarginPreventsFlappingAtIndifference) {
+  UtilityStrategyConfig config;
+  UtilityStrategy s(config);
+  // pending = 4.0 -> load = 8.0: u(engaged) - u(normal) = 8*0.5 - 4 = 0.
+  // Exactly indifferent — the margin keeps whichever regime is incumbent.
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 4.0));
+  EXPECT_EQ(s.evaluate(false), std::nullopt);
+  s.ingest(inputs_with(MonitoredVariable::kPendingRequests, 4.0));
+  EXPECT_EQ(s.evaluate(true), std::nullopt);
+}
+
+TEST(UtilityStrategyTest, CostWeightsFoldAllFiveVariables) {
+  CostWeights w;
+  StrategyInputs in;
+  in.of(MonitoredVariable::kReadyQueueLength) = 1.0;
+  in.of(MonitoredVariable::kBackupQueueLength) = 2.0;
+  in.of(MonitoredVariable::kPendingRequests) = 3.0;
+  in.of(MonitoredVariable::kUpdateDelayMs) = 4.0;
+  in.of(MonitoredVariable::kShedRate) = 5.0;
+  // 1*1 + 2*0.5 + 3*2 + 4*1 + 5*4 = 32.
+  EXPECT_DOUBLE_EQ(w.cost(in), 32.0);
+}
+
+// --- BanditStrategy ---------------------------------------------------------
+
+TEST(BanditStrategyTest, DeterministicGivenSeed) {
+  BanditStrategyConfig config;
+  config.epsilon = 0.3;  // exploration-heavy: the PRNG matters
+  BanditStrategy a(config);
+  BanditStrategy b(config);
+  Rng load(7);
+  bool engaged_a = false;
+  bool engaged_b = false;
+  for (int round = 0; round < 300; ++round) {
+    const auto in = inputs_with(MonitoredVariable::kPendingRequests,
+                                load.next_double() * 10.0);
+    a.ingest(in);
+    b.ingest(in);
+    const auto da = a.evaluate(engaged_a);
+    const auto db = b.evaluate(engaged_b);
+    ASSERT_EQ(da, db) << "round " << round;
+    engaged_a = da.value_or(engaged_a);
+    engaged_b = db.value_or(engaged_b);
+  }
+}
+
+TEST(BanditStrategyTest, MinDwellFreezesChoiceAfterSwitch) {
+  BanditStrategyConfig config;
+  config.epsilon = 0.5;
+  config.min_dwell = 3;
+  BanditStrategy s(config);
+  bool engaged = false;
+  int rounds_since_switch = 1000;
+  for (int round = 0; round < 400; ++round) {
+    s.ingest(inputs_with(MonitoredVariable::kReadyQueueLength, 1.0));
+    const auto d = s.evaluate(engaged);
+    if (d.has_value() && *d != engaged) {
+      // A regime flip must be preceded by >= min_dwell frozen rounds.
+      EXPECT_GE(rounds_since_switch, 3) << "round " << round;
+      rounds_since_switch = 0;
+      engaged = *d;
+    } else {
+      ++rounds_since_switch;
+    }
+  }
+}
+
+TEST(BanditStrategyTest, ExploresUnplayedRegimeBeforeExploiting) {
+  BanditStrategyConfig config;
+  config.epsilon = 0.0;  // pure exploitation after both arms have data
+  config.min_dwell = 0;
+  // Running in the normal regime: the engaged arm has no reward sample yet,
+  // so the first decision explores it regardless of the reward comparison.
+  BanditStrategy from_normal(config);
+  from_normal.ingest(inputs_with(MonitoredVariable::kPendingRequests, 1.0));
+  EXPECT_EQ(from_normal.evaluate(false), std::make_optional(true));
+  // Symmetric: starting engaged, the unplayed normal arm is tried first.
+  BanditStrategy from_engaged(config);
+  from_engaged.ingest(inputs_with(MonitoredVariable::kPendingRequests, 1.0));
+  EXPECT_EQ(from_engaged.evaluate(true), std::make_optional(false));
+}
+
+// --- Factory + config plumbing ----------------------------------------------
+
+TEST(StrategyFactory, MakesEveryKindWithMatchingName) {
+  const std::vector<ThresholdSpec> thresholds = {
+      {MonitoredVariable::kReadyQueueLength, 10, 5}};
+  for (const auto& [kind, want] :
+       {std::pair{StrategyKind::kThreshold, "threshold"},
+        std::pair{StrategyKind::kPid, "pid"},
+        std::pair{StrategyKind::kUtility, "utility"},
+        std::pair{StrategyKind::kBandit, "bandit"}}) {
+    StrategyConfig config;
+    config.kind = kind;
+    const auto s = make_strategy(config, thresholds);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), want);
+    EXPECT_STREQ(strategy_kind_name(kind), want);
+  }
+}
+
+TEST(StrategyFactory, ControllerSelectsStrategyFromPolicy) {
+  AdaptationPolicy policy =
+      threshold_policy({{MonitoredVariable::kPendingRequests, 10, 5}});
+  policy.strategy.kind = StrategyKind::kPid;
+  policy.strategy.pid = pid_config();
+  AdaptationController controller(policy);
+  EXPECT_EQ(controller.strategy_name(), "pid");
+  // The PID decision plane actually drives directives end to end.
+  std::optional<AdaptationDirective> directive;
+  for (int round = 0; round < 10 && !directive.has_value(); ++round) {
+    controller.observe(1, MonitoredVariable::kPendingRequests, 25.0);
+    directive = controller.evaluate();
+  }
+  ASSERT_TRUE(directive.has_value());
+  EXPECT_TRUE(directive->engaged);
+  EXPECT_EQ(directive->spec, rules::fig9_function_b());
+}
+
+// --- New monitored variables ------------------------------------------------
+
+TEST(MonitoredVariables, ExtendedSetHasNamesAndCodecSupport) {
+  EXPECT_STREQ(monitored_variable_name(MonitoredVariable::kUpdateDelayMs),
+               "update_delay_ms");
+  EXPECT_STREQ(monitored_variable_name(MonitoredVariable::kShedRate),
+               "shed_rate");
+  MonitorReport r;
+  r.site = 7;
+  r.samples = {{MonitoredVariable::kUpdateDelayMs, 12.5},
+               {MonitoredVariable::kShedRate, 3.0}};
+  const Bytes body = encode_report(r);
+  const auto decoded = decode_report(ByteSpan(body.data(), body.size()));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), r);
+}
+
+// --- forget_site ------------------------------------------------------------
+
+TEST(ControllerForget, DropsValuesAndExclusionMark) {
+  AdaptationController c(
+      threshold_policy({{MonitoredVariable::kPendingRequests, 10, 5}}));
+  c.observe(1, MonitoredVariable::kPendingRequests, 50.0);
+  c.observe(1, MonitoredVariable::kReadyQueueLength, 3.0);
+  c.observe(2, MonitoredVariable::kPendingRequests, 2.0);
+  EXPECT_EQ(c.tracked_sites(), 2u);
+  EXPECT_DOUBLE_EQ(c.max_value(MonitoredVariable::kPendingRequests), 50.0);
+
+  // Without forget_site the dead site 1 pins the maximum at 50 forever.
+  c.forget_site(1);
+  EXPECT_EQ(c.tracked_sites(), 1u);
+  EXPECT_DOUBLE_EQ(c.max_value(MonitoredVariable::kPendingRequests), 2.0);
+  EXPECT_FALSE(c.evaluate().has_value());
+  EXPECT_FALSE(c.engaged());
+
+  // The exclusion mark dies with the site: a replacement incarnation
+  // reusing the SiteId starts with a clean slate and a live vote.
+  c.observe(3, MonitoredVariable::kPendingRequests, 1.0);
+  c.set_site_excluded(3, true);
+  c.forget_site(3);
+  EXPECT_FALSE(c.site_excluded(3));
+  c.observe(3, MonitoredVariable::kPendingRequests, 11.0);
+  EXPECT_TRUE(c.evaluate().has_value());
+  EXPECT_TRUE(c.engaged());
+}
+
+// --- Instrumentation (adapt.* family, OBSERVABILITY.md) ---------------------
+
+TEST(ControllerInstrument, PublishesAdaptMetricFamily) {
+  obs::Registry registry;
+  AdaptationController c(
+      threshold_policy({{MonitoredVariable::kPendingRequests, 10, 5}}));
+  c.instrument(registry);
+
+  c.observe(1, MonitoredVariable::kPendingRequests, 12.0);
+  EXPECT_TRUE(c.evaluate().has_value());  // engage
+  c.observe(1, MonitoredVariable::kPendingRequests, 1.0);
+  EXPECT_TRUE(c.evaluate().has_value());  // release
+  c.set_site_excluded(1, true);
+  EXPECT_FALSE(c.evaluate().has_value());  // refreshes the value gauges
+
+  EXPECT_DOUBLE_EQ(registry.gauge("adapt.value.pending_requests").value(),
+                   0.0);  // excluded site no longer drives the max
+  EXPECT_DOUBLE_EQ(registry.gauge("adapt.engaged").value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("adapt.excluded_sites").value(), 1.0);
+  EXPECT_EQ(registry.counter("adapt.transitions_total").value(), 2u);
+  EXPECT_EQ(registry.counter("adapt.engage_total").value(), 1u);
+  EXPECT_EQ(registry.counter("adapt.release_total").value(), 1u);
+  // One decision-latency sample per evaluate(), keyed by strategy name.
+  EXPECT_EQ(registry
+                .histogram("adapt.decision_ns.threshold",
+                           obs::Histogram::latency_bounds())
+                .count(),
+            3u);
+}
+
+}  // namespace
+}  // namespace admire::adapt

@@ -1,0 +1,116 @@
+// Threaded/DES strategy parity: both runtimes embed the SAME
+// AdaptationController + ThresholdStrategy, so a scripted monitor-value
+// sequence must produce the identical regime-transition sequence whether
+// the decision plane runs on the threaded control task or on the
+// discrete-event calendar. The script drives a SiteId outside the cluster
+// (99) on a variable whose organic readings stay zero in both runtimes
+// (kPendingRequests with no client load), so the crossings — and nothing
+// else — determine the sequence.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "harness/experiments.h"
+#include "sim/sim_cluster.h"
+
+namespace admire::cluster {
+namespace {
+
+constexpr SiteId kScriptedSite = 99;
+
+/// Dense-checkpoint mirror functions: coalescing off and a 5-send
+/// checkpoint cadence, so evaluations comfortably outnumber the scripted
+/// observations in the DES run (>= one evaluation between script steps).
+rules::MirrorFunctionSpec dense_spec(const char* name,
+                                     std::uint32_t overwrite_max) {
+  rules::MirrorFunctionSpec spec;
+  spec.name = name;
+  spec.coalesce_enabled = false;
+  spec.coalesce_max = 1;
+  spec.overwrite_max = overwrite_max;
+  spec.checkpoint_every = 5;
+  return spec;
+}
+
+adapt::AdaptationPolicy parity_policy() {
+  adapt::AdaptationPolicy policy;
+  policy.thresholds = {{adapt::MonitoredVariable::kPendingRequests, 10, 5}};
+  policy.mode = adapt::PolicyMode::kSwitchFunction;
+  policy.normal_spec = dense_spec("parity-A", 10);
+  policy.engaged_spec = dense_spec("parity-B", 20);
+  return policy;
+}
+
+// Scripted pending-requests maxima and the transition sequence the
+// threshold policy (primary 10, secondary 5) must derive from them:
+// 2 (quiet) -> 12 engages -> 7 holds (hysteresis band) -> 4 releases ->
+// 11 engages -> 1 releases.
+const std::vector<double> kScript = {2.0, 12.0, 7.0, 4.0, 11.0, 1.0};
+const std::vector<bool> kExpected = {true, false, true, false};
+
+TEST(ClusterAdaptationParity, ThresholdTransitionSequenceMatchesDes) {
+  // --- Threaded run: one evaluation per explicit checkpoint round ---------
+  ClusterConfig threaded_config;
+  threaded_config.num_mirrors = 1;
+  threaded_config.params =
+      rules::MirroringParams{.function = dense_spec("parity-A", 10)};
+  threaded_config.adaptation = parity_policy();
+  Cluster cluster(threaded_config);
+  cluster.start();
+  auto* controller = cluster.central().controller();
+  ASSERT_NE(controller, nullptr);
+  for (const double value : kScript) {
+    controller->observe(kScriptedSite,
+                        adapt::MonitoredVariable::kPendingRequests, value);
+    cluster.checkpoint_and_wait();
+  }
+  const std::vector<bool> threaded_sequence =
+      cluster.central().adaptation_sequence();
+  const std::uint64_t threaded_transitions =
+      cluster.central().adaptation_transitions();
+  cluster.stop();
+
+  EXPECT_EQ(threaded_sequence, kExpected);
+  EXPECT_EQ(threaded_transitions, kExpected.size());
+
+  // --- DES run: same policy, script injected at virtual times -------------
+  harness::RunSpec spec;
+  spec.faa_events = 2000;
+  spec.num_flights = 20;
+  spec.event_padding = 256;
+  spec.mirrors = 1;
+  spec.event_horizon = 4 * kSecond;  // paced replay spans the script window
+
+  sim::SimConfig sim_config;
+  sim_config.num_mirrors = 1;
+  sim_config.params =
+      rules::MirroringParams{.function = dense_spec("parity-A", 10)};
+  sim_config.adaptation = parity_policy();
+  sim_config.num_streams = workload::kOisStreams;
+  for (std::size_t i = 0; i < kScript.size(); ++i) {
+    sim_config.monitor_script.push_back(
+        {.at = static_cast<Nanos>(i + 1) * 500 * kMilli,
+         .site = kScriptedSite,
+         .variable = adapt::MonitoredVariable::kPendingRequests,
+         .value = kScript[i]});
+  }
+
+  sim::SimCluster sim(std::move(sim_config));
+  const sim::SimResult r =
+      sim.run(harness::make_trace(spec), workload::RequestTrace{});
+
+  std::vector<bool> des_sequence;
+  des_sequence.reserve(r.adaptation_timeline.size());
+  for (const auto& [at, engaged] : r.adaptation_timeline) {
+    des_sequence.push_back(engaged);
+  }
+  EXPECT_EQ(des_sequence, kExpected);
+  EXPECT_EQ(r.adaptation_transitions, kExpected.size());
+  EXPECT_GT(r.time_engaged, 0);
+  EXPECT_LT(r.time_engaged, r.total_time);
+
+  // The headline assertion: identical transition sequences across runtimes.
+  EXPECT_EQ(threaded_sequence, des_sequence);
+}
+
+}  // namespace
+}  // namespace admire::cluster

@@ -1,0 +1,97 @@
+// Scenario library + matrix runner (DESIGN.md §16): the standard library
+// covers the required situations, the generators are deterministic, and a
+// same-seed rerun of any matrix cell reproduces its ScoreCard bit-for-bit
+// (exact double equality — the DES guarantees it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scenario/scenario.h"
+
+namespace admire::scenario {
+namespace {
+
+TEST(ScenarioMatrix, StandardLibraryCoversRequiredSituations) {
+  const auto scenarios = standard_scenarios(42);
+  EXPECT_GE(scenarios.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& s : scenarios) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    EXPECT_GT(s.spec.event_horizon, 0) << s.name << " must be paced replay";
+  }
+  for (const char* required :
+       {"diurnal_load", "flash_crowd", "sustained_overload",
+        "correlated_failures", "one_way_partition", "lossy_wan"}) {
+    EXPECT_TRUE(names.contains(required)) << required;
+  }
+}
+
+TEST(ScenarioMatrix, AllStrategiesCoversEveryKindThresholdFirst) {
+  const auto strategies = all_strategies();
+  ASSERT_EQ(strategies.size(), 4u);
+  EXPECT_EQ(strategies[0].kind, adapt::StrategyKind::kThreshold);
+  std::set<adapt::StrategyKind> kinds;
+  for (const auto& s : strategies) kinds.insert(s.kind);
+  EXPECT_EQ(kinds.size(), 4u);
+  // The shared base policy defaults to the paper's strategy.
+  EXPECT_EQ(default_scenario_policy().strategy.kind,
+            adapt::StrategyKind::kThreshold);
+}
+
+TEST(ScenarioMatrix, DiurnalRequestsDeterministicSortedAndBounded) {
+  const Nanos period = kSecond;
+  const Nanos duration = 2 * kSecond;
+  const auto a = diurnal_requests(20.0, 200.0, period, duration, 99);
+  const auto b = diurnal_requests(20.0, 200.0, period, duration, 99);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  ASSERT_FALSE(a.arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(a.arrivals.begin(), a.arrivals.end()));
+  EXPECT_GE(a.arrivals.front(), 0);
+  EXPECT_LT(a.arrivals.back(), duration);
+  // The wave peaks mid-period: the busiest half carries clearly more
+  // arrivals than the trough half.
+  const auto mid_of = [&](Nanos t) {
+    const Nanos phase = t % period;
+    return phase >= period / 4 && phase < 3 * period / 4;
+  };
+  std::size_t mid = 0;
+  for (const Nanos t : a.arrivals) {
+    if (mid_of(t)) ++mid;
+  }
+  EXPECT_GT(mid, a.arrivals.size() - mid);
+}
+
+TEST(ScenarioMatrix, SameSeedReproducesIdenticalScoreCards) {
+  const ScenarioRunner runner;
+  const auto scenario = flash_crowd(/*seed=*/7);
+  for (const auto& strategy : runner.config().strategies) {
+    const ScoreCard first = runner.run_one(scenario, strategy);
+    const ScoreCard again = runner.run_one(scenario, strategy);
+    EXPECT_EQ(first, again) << first.strategy;
+    EXPECT_EQ(first.scenario, "flash_crowd");
+  }
+}
+
+TEST(ScenarioMatrix, RunMatrixIsScenarioMajorAndComplete) {
+  const ScenarioRunner runner;
+  const std::vector<Scenario> scenarios = {flash_crowd(5), slow_wan(5)};
+  const auto cards = runner.run_matrix(scenarios);
+  const auto& strategies = runner.config().strategies;
+  ASSERT_EQ(cards.size(), scenarios.size() * strategies.size());
+  for (std::size_t i = 0; i < cards.size(); ++i) {
+    const auto& card = cards[i];
+    EXPECT_EQ(card.scenario, scenarios[i / strategies.size()].name);
+    EXPECT_EQ(card.strategy, adapt::strategy_kind_name(
+                                 strategies[i % strategies.size()].kind));
+  }
+  // The flash crowd actually sheds under every strategy — the
+  // serving-plane signal the utility/bandit strategies feed on is live.
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    EXPECT_GT(cards[i].requests_shed, 0u) << cards[i].strategy;
+  }
+}
+
+}  // namespace
+}  // namespace admire::scenario

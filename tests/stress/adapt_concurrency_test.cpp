@@ -1,0 +1,139 @@
+// Multi-threaded stress over the adaptation plane: DirectiveApplier's
+// at-most-once epoch ordering under racing appliers, and the
+// AdaptationController's observe/ingest/evaluate/exclude/forget surface
+// hammered from many threads. Suite names contain "Concurrency" so the
+// ADMIRE_TSAN CI job picks them up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "obs/registry.h"
+
+namespace admire::adapt {
+namespace {
+
+TEST(AdaptConcurrency, ApplierGrantsEachEpochToAtMostOneThread) {
+  // Every thread walks the same directive sequence 1..kEpochs in order —
+  // the checkpoint fan-in can deliver the same piggybacked directive to the
+  // applier through several paths. Each epoch must be installed by exactly
+  // one racer in total, and the applier must end at the final epoch.
+  constexpr std::uint64_t kEpochs = 400;
+  constexpr int kThreads = 8;
+
+  DirectiveApplier applier;
+  std::vector<std::atomic<int>> installs(kEpochs + 1);
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (std::uint64_t epoch = 1; epoch <= kEpochs; ++epoch) {
+        AdaptationDirective d;
+        d.epoch = epoch;
+        d.engaged = epoch % 2 == 1;
+        d.spec = d.engaged ? rules::fig9_function_b()
+                           : rules::fig9_function_a();
+        if (applier.apply(d).has_value()) {
+          installs[epoch].fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+
+  std::uint64_t total_installs = 0;
+  for (std::uint64_t epoch = 1; epoch <= kEpochs; ++epoch) {
+    EXPECT_LE(installs[epoch].load(), 1) << "epoch " << epoch;
+    total_installs += static_cast<std::uint64_t>(installs[epoch].load());
+  }
+  // The last epoch is always installed: whichever thread reaches it first
+  // finds last_epoch < kEpochs.
+  EXPECT_EQ(installs[kEpochs].load(), 1);
+  EXPECT_EQ(applier.last_epoch(), kEpochs);
+  EXPECT_EQ(applier.applied_count(), total_installs);
+}
+
+TEST(AdaptConcurrency, ControllerSurvivesObserveEvaluateExcludeForgetRace) {
+  // Observers, report ingesters, an exclusion toggler and a forgetter all
+  // race the evaluating thread on one instrumented controller. Directive
+  // epochs must come out strictly increasing and agree with the transition
+  // counter — and TSan must stay quiet across every entry point.
+  AdaptationPolicy policy;
+  policy.thresholds = {{MonitoredVariable::kPendingRequests, 10, 5},
+                       {MonitoredVariable::kReadyQueueLength, 40, 20}};
+  policy.mode = PolicyMode::kSwitchFunction;
+  policy.normal_spec = rules::fig9_function_a();
+  policy.engaged_spec = rules::fig9_function_b();
+
+  obs::Registry registry;
+  AdaptationController controller(policy);
+  controller.instrument(registry);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+
+  for (SiteId site = 1; site <= 4; ++site) {
+    workers.emplace_back([&, site] {
+      std::uint64_t i = 0;
+      while (!stop.load()) {
+        // Sawtooth across the hysteresis band so regimes actually flip.
+        controller.observe(site, MonitoredVariable::kPendingRequests,
+                           static_cast<double>(i % 20));
+        ++i;
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    MonitorReport report;
+    report.site = 5;
+    std::uint64_t i = 0;
+    while (!stop.load()) {
+      report.samples = {
+          {MonitoredVariable::kReadyQueueLength, static_cast<double>(i % 60)},
+          {MonitoredVariable::kShedRate, static_cast<double>(i % 3)}};
+      controller.ingest(report);
+      ++i;
+    }
+  });
+  workers.emplace_back([&] {
+    bool exclude = true;
+    while (!stop.load()) {
+      controller.set_site_excluded(2, exclude);
+      (void)controller.site_excluded(2);
+      (void)controller.max_value(MonitoredVariable::kPendingRequests);
+      exclude = !exclude;
+    }
+  });
+  workers.emplace_back([&] {
+    while (!stop.load()) {
+      controller.forget_site(3);
+      (void)controller.tracked_sites();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<AdaptationDirective> directives;
+  for (int round = 0; round < 3000; ++round) {
+    if (auto d = controller.evaluate()) directives.push_back(*d);
+  }
+  stop.store(true);
+  for (auto& th : workers) th.join();
+
+  for (std::size_t i = 1; i < directives.size(); ++i) {
+    EXPECT_EQ(directives[i].epoch, directives[i - 1].epoch + 1);
+    EXPECT_NE(directives[i].engaged, directives[i - 1].engaged);
+  }
+  EXPECT_EQ(controller.transitions(), directives.size());
+  EXPECT_EQ(registry.counter("adapt.transitions_total").value(),
+            directives.size());
+}
+
+}  // namespace
+}  // namespace admire::adapt

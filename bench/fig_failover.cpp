@@ -119,6 +119,64 @@ double p99_ms(const std::shared_ptr<metrics::LatencyRecorder>& rec) {
   return rec == nullptr ? 0.0 : rec->percentile(0.99) / 1e6;
 }
 
+// --- Chunked rejoin under full traffic (DESIGN.md §17) ----------------------
+// A heavier state table (~1500 flights, ~300 KB) under ~80% donor CPU load,
+// so HOW the donor produces the bootstrap state is visible in what live
+// clients experience: one monolithic capture stalls the central EDE for the
+// whole serialization, while bounded chunks interleave with live folds.
+
+harness::RunSpec chunked_spec() {
+  harness::RunSpec spec;
+  spec.faa_events = 2600;  // ~75% donor CPU utilization: loaded, not drowning
+  spec.num_flights = 1500;
+  spec.event_padding = 128;
+  spec.event_horizon = kSecond;
+  // Pure FAA stream, no requests: the per-flight delta cascade and the
+  // snapshot-serving cost would drown the donor at this table size and
+  // hide the capture perturbation this experiment isolates.
+  spec.include_delta_stream = false;
+  spec.request_rate = 0;
+  return spec;
+}
+
+sim::SimResult run_heavy_sim(SimConfig config) {
+  SimCluster cluster(std::move(config));
+  const auto spec = chunked_spec();
+  return cluster.run(harness::make_trace(spec), harness::make_requests(spec));
+}
+
+struct RejoinNumbers {
+  sim::SimResult result;
+  bool converged = false;
+  double donor_p99_ms = 0;     ///< central (donor) EDE update delay p99
+  double transfer_ms = 0;      ///< begin-transfer -> filter armed
+};
+
+/// Crash mirror 0 under the heavy trace and revive it through the chunked
+/// transfer (`chunk_records` per capture; ~1'000'000 = the whole table in
+/// one chunk = a monolithic-stall baseline through the same machinery).
+RejoinNumbers run_chunked_rejoin(std::size_t chunk_records, Nanos interval) {
+  SimConfig config = base_config();
+  config.fd = detector_with(10 * kMilli);
+  config.fault_schedule = faultinject::Schedule{
+      {.at = kCrashAt, .mirror = 0, .kind = faultinject::FaultKind::kCrashStop},
+  };
+  config.fd_auto_rejoin = true;
+  config.fd_rejoin_after = kRejoinAfter;
+  config.recovery_chunk_records = chunk_records;
+  config.recovery_chunk_interval = interval;
+  RejoinNumbers out;
+  out.result = run_heavy_sim(std::move(config));
+  const auto& fps = out.result.state_fingerprints;
+  out.converged = fps.size() == 3 && fps[0] == fps[1] && fps[0] == fps[2];
+  out.donor_p99_ms = p99_ms(out.result.update_delays);
+  out.transfer_ms =
+      out.result.recovery_transfer_times.empty()
+          ? 0.0
+          : static_cast<double>(out.result.recovery_transfer_times[0]) / kMilli;
+  return out;
+}
+
 }  // namespace
 }  // namespace admire::bench
 
@@ -218,6 +276,48 @@ int main(int argc, char** argv) {
                    static_cast<double>(perturbed.requests_served),
                    static_cast<double>(baseline.requests_served)));
 
+  // --- Chunked rejoin: bounded donor perturbation --------------------------
+  // Same crash + auto-rejoin, but with the heavy trace and a ~300 KB table.
+  // Monolithic = the whole table in one capture (the pre-chunking behavior,
+  // expressed as one giant chunk); chunked = 128-record chunks with a 2ms
+  // inter-chunk gap. The gate: bounded chunks keep the donor's own update
+  // delay p99 close to the no-failover baseline, while the monolithic
+  // capture stalls the donor for the whole serialization.
+  const auto heavy_base = run_heavy_sim(base_config());
+  const double heavy_base_p99 = p99_ms(heavy_base.update_delays);
+  const auto mono = run_chunked_rejoin(1'000'000, 0);
+  const auto chunked = run_chunked_rejoin(128, 2 * kMilli);
+
+  auto& donor_series = report.add_series("donor update delay p99 (ms)");
+  donor_series.points.push_back({0.0, heavy_base_p99});
+  donor_series.points.push_back({1.0, mono.donor_p99_ms});
+  donor_series.points.push_back({2.0, chunked.donor_p99_ms});
+
+  report.check("chunked rejoin converges under full traffic",
+               chunked.converged, "central == survivor == replacement");
+  report.check("monolithic rejoin converges under full traffic",
+               mono.converged, "central == survivor == replacement");
+  report.check(
+      "transfer really was chunked",
+      chunked.result.recovery_chunks > 4 && mono.result.recovery_chunks == 1 &&
+          !chunked.result.recovery_transfer_times.empty(),
+      fmt("%.0f chunks vs %.0f monolithic, %.1fms transfer",
+          static_cast<double>(chunked.result.recovery_chunks),
+          static_cast<double>(mono.result.recovery_chunks),
+          chunked.transfer_ms));
+  report.check(
+      "live stream replays the transfer window",
+      chunked.result.recovery_replay_events + chunked.result.recovery_chunks >
+          0,
+      fmt("%.0f replayed after the final anchor",
+          static_cast<double>(chunked.result.recovery_replay_events)));
+  report.check(
+      "chunking bounds the donor update-delay p99 perturbation",
+      chunked.donor_p99_ms <= mono.donor_p99_ms &&
+          chunked.donor_p99_ms <= 2.0 * heavy_base_p99 + 5.0,
+      fmt("chunked %.2fms vs monolithic %.2fms (baseline %.2fms)",
+          chunked.donor_p99_ms, mono.donor_p99_ms, heavy_base_p99));
+
   const int failed = report.finish();
 
   if (json_path != nullptr) {
@@ -250,13 +350,33 @@ int main(int argc, char** argv) {
                  "  \"mirror_update_delay_p99_ms\": {\"baseline\": %.3f, "
                  "\"failover\": %.3f},\n"
                  "  \"requests_served\": {\"baseline\": %llu, \"failover\": "
-                 "%llu},\n"
-                 "  \"checks_failed\": %d\n"
-                 "}\n",
+                 "%llu},\n",
                  base_p99, fail_p99,
                  static_cast<unsigned long long>(baseline.requests_served),
-                 static_cast<unsigned long long>(perturbed.requests_served),
-                 failed);
+                 static_cast<unsigned long long>(perturbed.requests_served));
+    std::fprintf(
+        f,
+        "  \"chunked_rejoin\": {\n"
+        "    \"donor_update_delay_p99_ms\": {\"baseline\": %.3f, "
+        "\"monolithic\": %.3f, \"chunked\": %.3f},\n"
+        "    \"chunks\": {\"monolithic\": %llu, \"chunked\": %llu},\n"
+        "    \"bytes\": {\"monolithic\": %llu, \"chunked\": %llu},\n"
+        "    \"replay_events\": {\"monolithic\": %llu, \"chunked\": %llu},\n"
+        "    \"transfer_ms\": {\"monolithic\": %.3f, \"chunked\": %.3f},\n"
+        "    \"converged\": {\"monolithic\": %s, \"chunked\": %s}\n"
+        "  },\n"
+        "  \"checks_failed\": %d\n"
+        "}\n",
+        heavy_base_p99, mono.donor_p99_ms, chunked.donor_p99_ms,
+        static_cast<unsigned long long>(mono.result.recovery_chunks),
+        static_cast<unsigned long long>(chunked.result.recovery_chunks),
+        static_cast<unsigned long long>(mono.result.recovery_bytes),
+        static_cast<unsigned long long>(chunked.result.recovery_bytes),
+        static_cast<unsigned long long>(mono.result.recovery_replay_events),
+        static_cast<unsigned long long>(chunked.result.recovery_replay_events),
+        mono.transfer_ms, chunked.transfer_ms,
+        mono.converged ? "true" : "false",
+        chunked.converged ? "true" : "false", failed);
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

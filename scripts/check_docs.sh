@@ -143,6 +143,28 @@ for reg_piece in ('"adapt.value."', '"adapt.engaged"', '"adapt.excluded_sites"',
         fail(f"src/ no longer registers {reg_piece} — the adapt.* family "
              "documented in OBSERVABILITY.md went stale")
 
+# --- 2e. the chunked-recovery metric family is pinned by name -------------
+# The recovery.* family (DESIGN.md §17) is read back literally by the
+# DES failover tests and by dashboards comparing monolithic vs chunked
+# bootstraps; pin the documented forms and registration literals the
+# same way §2b-§2d pin theirs.
+for doc_form in ("recovery.chunks_total",
+                 "recovery.bytes_total",
+                 "recovery.replay_events_total",
+                 "recovery.bootstraps_total",
+                 "recovery.donor_pause_ns",
+                 "recovery.reintegration_ns"):
+    if f"`{doc_form}`" not in obs:
+        fail(f"OBSERVABILITY.md must document `{doc_form}` "
+             "(chunked-recovery metric family, DESIGN.md §17)")
+for reg_piece in ('"recovery.chunks_total"', '"recovery.bytes_total"',
+                  '"recovery.replay_events_total"',
+                  '"recovery.bootstraps_total"', '"recovery.donor_pause_ns"',
+                  '"recovery.reintegration_ns"'):
+    if reg_piece not in src:
+        fail(f"src/ no longer registers {reg_piece} — the recovery.* family "
+             "documented in OBSERVABILITY.md went stale")
+
 # --- 3. bench artifacts: docs vs CI -------------------------------------
 doc_text = "".join(read(p) for p in sorted(glob.glob("*.md")))
 ci = read(".github/workflows/ci.yml")
@@ -156,6 +178,15 @@ for art in sorted(ci_artifacts - doc_artifacts):
 # Every artifact needs a bench that can emit JSON at all.
 if doc_artifacts and "--json" not in bench_src:
     fail("docs name BENCH_*.json artifacts but no bench takes --json")
+# The chunked-rejoin experiment (DESIGN.md §17) lands in the failover
+# artifact; pin it so neither the doc mention nor the CI production can
+# silently drop.
+if "BENCH_failover.json" not in (doc_artifacts & ci_artifacts):
+    fail("BENCH_failover.json (chunked-rejoin gate, DESIGN.md §17) must be "
+         "documented and produced by CI")
+if "chunked_rejoin" not in bench_src:
+    fail("bench/fig_failover no longer emits the chunked_rejoin JSON block "
+         "documented with DESIGN.md §17")
 
 # --- 4. PROTOCOL.md §8 constants match the serve headers ----------------
 proto_doc = read("PROTOCOL.md")

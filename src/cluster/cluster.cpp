@@ -1,6 +1,8 @@
 #include "cluster/cluster.h"
 
+#include <chrono>
 #include <future>
+#include <thread>
 
 namespace admire::cluster {
 
@@ -14,6 +16,7 @@ Cluster::Cluster(ClusterConfig config)
   // transport.channel.<name>.*.
   registry_->instrument_all(*config_.obs);
   lb_.instrument(*config_.obs);
+  recovery_metrics_.instrument(*config_.obs);
 
   CentralSiteConfig central_config;
   central_config.params = config_.params;
@@ -255,38 +258,133 @@ bool Cluster::mirror_failed(std::size_t i) const {
 }
 
 Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
-  std::lock_guard lock(membership_mu_);
-  if (donor > mirrors_.size()) {
-    return err(StatusCode::kInvalidArgument, "no such donor site");
+  JoinOptions options;
+  options.donor = donor;
+  return join_new_mirror(options);
+}
+
+Result<std::size_t> Cluster::join_new_mirror(const JoinOptions& options) {
+  const std::size_t chunk_records =
+      options.chunk_records.value_or(config_.recovery_chunk_records);
+  const auto chunk_interval =
+      options.chunk_interval.value_or(config_.recovery_chunk_interval);
+  const Nanos join_start = clock_->now();
+
+  // Phase 1 (membership locked): allocate the identity, subscribe, and
+  // resolve the donor. Subscribe FIRST so no event falls between the donor
+  // state transfer and the live stream; the inbox buffers until start().
+  // The tx destination must exist before any state is captured: an event
+  // published before the outbox existed never reaches the joiner's buffer,
+  // so its only carrier is the transferred state — the barrier below makes
+  // sure the donor has folded it before the first capture. Everything
+  // published after flows through the new outbox (duplicates are
+  // RejoinFilter'd). A re-used destination name resumes the same
+  // tx.<dest>.* counters — sequence continuity across the fail/rejoin
+  // cycle stays visible.
+  std::unique_ptr<ThreadedMirrorSite> site;
+  mirror::MainUnitCore* donor_main = nullptr;
+  SiteId site_id = 0;
+  event::VectorTimestamp subscribe_watermark;
+  {
+    std::lock_guard lock(membership_mu_);
+    if (options.donor > mirrors_.size()) {
+      return err(StatusCode::kInvalidArgument, "no such donor site");
+    }
+    if (options.donor != 0 && failed_[options.donor - 1]) {
+      return err(StatusCode::kInvalidArgument, "donor site has failed");
+    }
+    MirrorSiteConfig mc;
+    mc.site = next_site_id_++;
+    mc.burn_per_event = config_.burn_per_event;
+    mc.burn_per_request = config_.burn_per_request;
+    mc.serve = config_.serve;
+    mc.obs = config_.obs.get();
+    site = std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_);
+    site_id = mc.site;
+    central_->add_tx_destination("mirror" + std::to_string(mc.site));
+    // Central progress as of the subscription: everything folded at the
+    // central at or before this point may have been published before the
+    // joiner's outbox existed.
+    subscribe_watermark = central_->main_unit().progress();
+    // Stable across the unlocked phase: mirror slots are never erased
+    // (fail_mirror freezes them in place), and the unique_ptr targets
+    // survive vector growth.
+    donor_main = options.donor == 0
+                     ? &central_->main_unit()
+                     : &mirrors_[options.donor - 1]->main_unit();
   }
-  MirrorSiteConfig mc;
-  mc.site = next_site_id_++;
-  mc.burn_per_event = config_.burn_per_event;
-  mc.burn_per_request = config_.burn_per_request;
-  mc.serve = config_.serve;
-  mc.obs = config_.obs.get();
-  // Subscribe FIRST so no event falls between the donor snapshot and the
-  // live stream; the inbox buffers until start(). The tx destination must
-  // exist before the snapshot is built: every event published before the
-  // outbox existed was fwd()'d to the donor's main unit before its send
-  // step, so it is inside the snapshot; everything after flows through the
-  // new outbox (duplicates are RejoinFilter'd). A re-used destination name
-  // resumes the same tx.<dest>.* counters — sequence continuity across the
-  // fail/rejoin cycle stays visible.
-  auto site = std::make_unique<ThreadedMirrorSite>(mc, registry_, clock_);
-  central_->add_tx_destination("mirror" + std::to_string(mc.site));
-  mirror::MainUnitCore& donor_main =
-      donor == 0 ? central_->main_unit() : mirrors_[donor - 1]->main_unit();
-  const auto package = recovery::build_bootstrap_package(
-      donor_main, next_recovery_request_++);
-  auto status = site->seed_from(package);
-  if (!status.is_ok()) return status;
+
+  // Phase 2 (UNLOCKED): stream the donor's state. The donor's fold lock is
+  // held only inside each capture and membership_mu_ not at all, so the
+  // donor keeps serving and the cluster keeps routing/failing/joining
+  // while a large table transfers.
+  //
+  // Capture barrier (the threaded analog of the DES busy_until() wait):
+  // the donor must first catch up to everything published before the
+  // subscription. A mirror donor lags the central by its rx queue; an
+  // event it folds only after its key-range's capture is in no chunk, and
+  // one published before the subscription is in no buffer either — lost
+  // with no error. The central donor passes immediately (it folds before
+  // it publishes). A donor that deliberately tracks a stream subset never
+  // catches up — fail the join loudly rather than seed partial state.
+  if (options.donor != 0) {
+    const auto barrier_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!donor_main->progress().dominates(subscribe_watermark)) {
+      if (std::chrono::steady_clock::now() >= barrier_deadline) {
+        central_->drop_tx_destination("mirror" + std::to_string(site_id));
+        return err(StatusCode::kUnavailable,
+                   "donor never caught up to the live stream");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  Status status;
+  if (chunk_records == 0) {
+    // Legacy monolithic bootstrap: one snapshot, one restore point.
+    const auto package = recovery::build_bootstrap_package(
+        *donor_main, next_recovery_request_.fetch_add(1));
+    status = site->seed_from(package);
+  } else {
+    recovery::ChunkCursor cursor(*donor_main, chunk_records);
+    std::size_t index = 0;
+    while (!cursor.done()) {
+      const Nanos capture_start = clock_->now();
+      const auto chunk = cursor.next();
+      const Nanos pause_ns = clock_->now() - capture_start;
+      status = site->install_chunk(chunk);
+      if (!status.is_ok()) break;
+      if (recovery_metrics_.chunks != nullptr) {
+        recovery_metrics_.chunks->inc();
+        recovery_metrics_.bytes->inc(chunk.records.size());
+        recovery_metrics_.donor_pause->observe(static_cast<double>(pause_ns));
+      }
+      if (options.on_chunk) options.on_chunk(index);
+      ++index;
+      if (!cursor.done() && chunk_interval.count() > 0) {
+        std::this_thread::sleep_for(chunk_interval);
+      }
+    }
+    if (status.is_ok()) {
+      status = site->arm_rejoin_filter(cursor.ranges(), cursor.end_anchor());
+    }
+  }
+  if (!status.is_ok()) {
+    // The half-joined site never started and never entered membership;
+    // retire its tx outbox so the central stage stops queueing for a
+    // destination that will never drain.
+    central_->drop_tx_destination("mirror" + std::to_string(site_id));
+    return status;
+  }
+
+  // Phase 3 (membership locked): go live and join the pools.
+  std::lock_guard lock(membership_mu_);
   site->start();
   auto& coord = central_->coordinator();
   (void)coord.set_expected_replies(coord.expected_replies() + 1);
   auto* raw = site.get();
   lb_.add_target(LoadBalancer::Target{
-      "mirror" + std::to_string(mc.site),
+      "mirror" + std::to_string(site_id),
       [raw](std::uint64_t id, ServiceCallback cb) {
         return raw->submit_request(id, std::move(cb));
       },
@@ -296,6 +394,11 @@ Result<std::size_t> Cluster::join_new_mirror(std::size_t donor) {
       }});
   mirrors_.push_back(std::move(site));
   failed_.push_back(false);
+  if (recovery_metrics_.bootstraps != nullptr) {
+    recovery_metrics_.bootstraps->inc();
+    recovery_metrics_.reintegration->observe(
+        static_cast<double>(clock_->now() - join_start));
+  }
   return mirrors_.size() - 1;
 }
 

@@ -6,7 +6,9 @@
 // (see examples/multiprocess_cluster.cpp).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/central_site.h"
@@ -64,6 +66,14 @@ struct ClusterConfig {
   /// When set, the self-healing control plane runs: per-mirror heartbeat
   /// links, failure detection, automatic fail/rejoin (see control_plane.h).
   std::optional<ControlPlaneConfig> control_plane;
+  /// Chunked rejoin (DESIGN.md §17): records per state chunk when a new
+  /// mirror bootstraps via join_new_mirror. 0 = the legacy monolithic
+  /// one-shot snapshot. With chunks, the donor's fold lock is held only
+  /// per capture, so it keeps serving during the transfer.
+  std::size_t recovery_chunk_records = 512;
+  /// Pause between chunk captures — bounds the donor's transfer duty
+  /// cycle (0 = stream chunks back to back).
+  std::chrono::microseconds recovery_chunk_interval{0};
   /// Serving-plane knobs applied to every site (admission gate + snapshot
   /// cache); see SERVING.md.
   serve::ServeConfig serve;
@@ -148,11 +158,28 @@ class Cluster {
   /// True once fail_mirror(i) has completed for that slot.
   bool mirror_failed(std::size_t i) const;
 
+  /// Per-join overrides for the chunked bootstrap.
+  struct JoinOptions {
+    std::size_t donor = 0;  ///< 0 = central, 1.. = mirror index+1
+    /// Override ClusterConfig::recovery_chunk_records (0 = monolithic).
+    std::optional<std::size_t> chunk_records;
+    /// Override ClusterConfig::recovery_chunk_interval.
+    std::optional<std::chrono::microseconds> chunk_interval;
+    /// Test hook: runs after each chunk installs (argument = chunk index),
+    /// OUTSIDE membership_mu_ and the donor's fold lock — a callback may
+    /// therefore touch cluster membership APIs to prove neither is held.
+    std::function<void(std::size_t)> on_chunk;
+  };
+
   /// Bring a replacement mirror online at runtime: a new site subscribes,
-  /// bootstraps from `donor` (0 = central, 1.. = mirror index+1) via
-  /// snapshot + rejoin filter, starts, and joins the request pool.
+  /// then bootstraps from `donor` (0 = central, 1.. = mirror index+1) —
+  /// streaming bounded state chunks with per-range rejoin anchors
+  /// (DESIGN.md §17), or via the legacy one-shot snapshot when the chunk
+  /// size is 0 — starts, and joins the request pool. Membership is locked
+  /// only around the join's bookends, never across the state transfer.
   /// Returns the new mirror's index.
   Result<std::size_t> join_new_mirror(std::size_t donor = 0);
+  Result<std::size_t> join_new_mirror(const JoinOptions& options);
 
  private:
   ClusterConfig config_;
@@ -172,9 +199,12 @@ class Cluster {
   std::unique_ptr<oplog::LogWriter> oplog_;
   echo::Subscription oplog_sub_;
   LoadBalancer lb_;
+  recovery::RecoveryMetrics recovery_metrics_;
   std::atomic<bool> started_{false};
   SiteId next_site_id_ = 1;
-  std::uint64_t next_recovery_request_ = 1'000'000;
+  /// Atomic: bumped during the unlocked transfer phase of join_new_mirror,
+  /// where concurrent joins may race.
+  std::atomic<std::uint64_t> next_recovery_request_{1'000'000};
 };
 
 }  // namespace admire::cluster

@@ -124,6 +124,25 @@ Status ThreadedMirrorSite::seed_from(const recovery::RecoveryPackage& package) {
   return Status::ok();
 }
 
+Status ThreadedMirrorSite::install_chunk(const recovery::StateChunk& chunk) {
+  if (running_.load()) {
+    return err(StatusCode::kInvalidArgument, "install chunks before start()");
+  }
+  return recovery::install_chunk(chunk, main_.state());
+}
+
+Status ThreadedMirrorSite::arm_rejoin_filter(
+    std::vector<recovery::RejoinFilter::Range> ranges,
+    const event::VectorTimestamp& as_of) {
+  if (running_.load()) {
+    return err(StatusCode::kInvalidArgument, "arm filter before start()");
+  }
+  main_.seed_progress(as_of);
+  serving_.on_state_replaced();  // the whole table changed under the cache
+  rejoin_filter_ = std::make_unique<recovery::RejoinFilter>(std::move(ranges));
+  return Status::ok();
+}
+
 void ThreadedMirrorSite::event_loop() {
   while (auto ev = inbox_.pop()) {
     if (rejoin_filter_ && !rejoin_filter_->should_apply(*ev)) {

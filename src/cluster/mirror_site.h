@@ -84,6 +84,18 @@ class ThreadedMirrorSite {
   /// built, so no event can fall in the gap.
   Status seed_from(const recovery::RecoveryPackage& package);
 
+  /// Chunked recovery (call before start()): fold one donor state chunk
+  /// into the local table. Live events meanwhile buffer in the inbox (the
+  /// subscription exists from construction) and are filtered at start.
+  Status install_chunk(const recovery::StateChunk& chunk);
+
+  /// Chunked recovery (call before start(), after the last chunk): arm a
+  /// range-anchored RejoinFilter from the completed transfer and seed EDE
+  /// progress with the final capture anchor — the chunked analog of
+  /// seed_from()'s restore point.
+  Status arm_rejoin_filter(std::vector<recovery::RejoinFilter::Range> ranges,
+                           const event::VectorTimestamp& as_of);
+
   std::uint64_t rejoin_skipped() const {
     return rejoin_filter_ ? rejoin_filter_->skipped() : 0;
   }

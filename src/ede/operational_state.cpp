@@ -102,6 +102,23 @@ Bytes OperationalState::serialize() const {
   return w.take();
 }
 
+OperationalState::RangeSlice OperationalState::serialize_range(
+    FlightKey from, std::size_t max_records) const {
+  std::lock_guard lock(mu_);
+  RangeSlice out;
+  serialize::Writer w(std::min(max_records, flights_.size()) * 80 + 16);
+  auto it = flights_.lower_bound(from);
+  while (it != flights_.end() && out.count < max_records) {
+    encode_record(it->second, w);
+    out.last_key = it->first;
+    ++out.count;
+    ++it;
+  }
+  out.done = it == flights_.end();
+  out.records = w.take();
+  return out;
+}
+
 Status OperationalState::deserialize(ByteSpan data) {
   serialize::Reader r(data);
   const std::uint64_t n = r.varint();

@@ -76,6 +76,18 @@ class OperationalState {
   /// "understand future data events being streamed"). Deterministic.
   Bytes serialize() const;
 
+  /// One bounded, key-ordered slice of the table for the chunked rejoin
+  /// transfer (DESIGN.md §17): up to `max_records` records with key >=
+  /// `from`, as a raw encode_flight_record() sequence (no count header —
+  /// chunks concatenate).
+  struct RangeSlice {
+    Bytes records;
+    std::size_t count = 0;
+    FlightKey last_key = 0;  ///< highest key included (0 when count == 0)
+    bool done = true;        ///< no records beyond last_key remained
+  };
+  RangeSlice serialize_range(FlightKey from, std::size_t max_records) const;
+
   /// Rebuild from serialize() output; kCorrupt on malformed input.
   Status deserialize(ByteSpan data);
 

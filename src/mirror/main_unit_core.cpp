@@ -8,6 +8,44 @@ std::vector<event::Event> MainUnitCore::process(const event::Event& ev) {
   return ede_.process(ev);
 }
 
+Status MainUnitCore::apply_replay(const event::Event& ev) {
+  bool valid = true;
+  switch (ev.type()) {
+    case event::EventType::kFaaPosition:
+      valid = ev.as<event::FaaPosition>() != nullptr;
+      break;
+    case event::EventType::kDeltaStatus:
+      valid = ev.as<event::DeltaStatus>() != nullptr;
+      break;
+    case event::EventType::kPassengerBoarded:
+      valid = ev.as<event::PassengerBoarded>() != nullptr;
+      break;
+    case event::EventType::kBaggageLoaded:
+      valid = ev.as<event::BaggageLoaded>() != nullptr;
+      break;
+    case event::EventType::kDerived:
+      valid = ev.as<event::Derived>() != nullptr;
+      break;
+    default:
+      break;  // kSnapshot / kControl fold as no-ops; nothing to validate
+  }
+  if (!valid) {
+    return err(StatusCode::kCorrupt,
+               "replay event payload does not match its declared type");
+  }
+  (void)process(ev);
+  return Status::ok();
+}
+
+MainUnitCore::CapturedRange MainUnitCore::capture_range(
+    FlightKey from, std::size_t max_records) const {
+  std::lock_guard lock(mu_);
+  CapturedRange out;
+  out.slice = state_->serialize_range(from, max_records);
+  out.anchor = ede_.progress();
+  return out;
+}
+
 checkpoint::ControlMessage MainUnitCore::on_chkpt(
     const checkpoint::ControlMessage& chkpt) {
   return participant_.make_reply(chkpt, progress());

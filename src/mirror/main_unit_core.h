@@ -33,6 +33,23 @@ class MainUnitCore {
   /// it in this unit's backup queue, and return derived client updates.
   std::vector<event::Event> process(const event::Event& ev);
 
+  /// Recovery replay: validate the event's payload against its declared
+  /// type BEFORE folding (Ede::process silently drops a mismatched body —
+  /// fine on the live path where the codec already validated, fatal on a
+  /// replay where a dropped event means a silently divergent mirror), then
+  /// process it. kCorrupt when the payload does not match the type.
+  Status apply_replay(const event::Event& ev);
+
+  /// Chunked-rejoin donor side (DESIGN.md §17): atomically capture one
+  /// key-ordered state slice AND the EDE progress it reflects. Holding this
+  /// unit's lock for one bounded slice — instead of the whole table — is
+  /// what keeps the donor serving during a bootstrap.
+  struct CapturedRange {
+    ede::OperationalState::RangeSlice slice;
+    event::VectorTimestamp anchor;  ///< EDE progress at capture
+  };
+  CapturedRange capture_range(FlightKey from, std::size_t max_records) const;
+
   /// Fig. 3 Main Unit, CHKPT: "chkpt_rep = min{chkpt, last in backup}".
   checkpoint::ControlMessage on_chkpt(const checkpoint::ControlMessage& chkpt);
 

@@ -7,16 +7,80 @@
 namespace admire::oplog {
 
 namespace {
+
 std::string path_for(const std::string& base, std::uint32_t index) {
   char suffix[16];
   std::snprintf(suffix, sizeof suffix, ".%05u", index);
   return base + suffix;
 }
+
+bool segment_exists(const std::string& base, std::uint32_t index) {
+  std::FILE* f = std::fopen(path_for(base, index).c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+/// Parse result of one segment file: the valid record prefix, whether the
+/// segment ends in a torn/corrupt record, and whether the read itself
+/// failed at the I/O level (distinct from a torn tail — the bytes could
+/// not even be fetched, so nothing can be said about what they hold).
+struct SegmentScan {
+  std::vector<event::Event> events;
+  bool torn = false;
+  bool io_error = false;
+};
+
+SegmentScan scan_segment(const std::string& path) {
+  SegmentScan out;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    out.io_error = true;
+    return out;
+  }
+  serialize::FrameParser parser;
+  std::byte buf[64 * 1024];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    parser.feed(ByteSpan(buf, n));
+  }
+  // fread reports a failed read and a clean EOF identically (returns 0);
+  // only ferror tells them apart, and a failed read must not masquerade as
+  // an intact-but-short log.
+  out.io_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (out.io_error) return out;
+  while (true) {
+    auto body = parser.next();
+    if (!body.is_ok()) {
+      if (body.status().code() == StatusCode::kCorrupt ||
+          parser.pending_bytes() > 0) {
+        out.torn = true;  // torn or corrupt tail record
+      }
+      break;
+    }
+    auto ev = serialize::decode_event(
+        ByteSpan(body.value().data(), body.value().size()));
+    if (!ev.is_ok()) {
+      out.torn = true;
+      break;
+    }
+    out.events.push_back(std::move(ev).value());
+  }
+  return out;
+}
+
 }  // namespace
 
 LogWriter::LogWriter(std::string base_path, LogWriterConfig config)
     : base_path_(std::move(base_path)), config_(config) {
-  status_ = open_segment(0);
+  if (config_.truncate_existing || !segment_exists(base_path_, 0)) {
+    status_ = open_segment(0, /*append=*/false);
+    return;
+  }
+  std::uint32_t last = 0;
+  while (segment_exists(base_path_, last + 1)) ++last;
+  status_ = resume_existing(last);
 }
 
 LogWriter::~LogWriter() { close_segment(); }
@@ -25,15 +89,57 @@ std::string LogWriter::segment_path(std::uint32_t index) const {
   return path_for(base_path_, index);
 }
 
-Status LogWriter::open_segment(std::uint32_t index) {
+Status LogWriter::open_segment(std::uint32_t index, bool append) {
   close_segment();
   segment_index_ = index;
   segment_bytes_ = 0;
-  file_ = std::fopen(path_for(base_path_, index).c_str(), "wb");
+  file_ = std::fopen(path_for(base_path_, index).c_str(), append ? "ab" : "wb");
   if (file_ == nullptr) {
     return err(StatusCode::kUnavailable,
                "cannot open log segment " + path_for(base_path_, index));
   }
+  return Status::ok();
+}
+
+Status LogWriter::resume_existing(std::uint32_t last_index) {
+  const std::string tail_path = path_for(base_path_, last_index);
+  SegmentScan scan = scan_segment(tail_path);
+  if (scan.io_error) {
+    return err(StatusCode::kUnavailable,
+               "I/O error scanning log segment " + tail_path + " for resume");
+  }
+  resumed_ = true;
+  salvaged_ = scan.events.size();
+  if (scan.torn) {
+    // A torn record would orphan everything appended after it (readers stop
+    // at the first bad record), so the clean prefix is rewritten before the
+    // segment reopens for append. Rewriting from the decoded events is
+    // byte-faithful: the codec is canonical.
+    auto status = open_segment(last_index, /*append=*/false);
+    if (!status.is_ok()) return status;
+    for (const auto& ev : scan.events) {
+      const Bytes record = serialize::frame_event(ev);
+      if (std::fwrite(record.data(), 1, record.size(), file_) !=
+          record.size()) {
+        return err(StatusCode::kUnavailable,
+                   "short write salvaging log segment " + tail_path);
+      }
+      segment_bytes_ += record.size();
+    }
+    if (std::fflush(file_) != 0) {
+      return err(StatusCode::kUnavailable, "flush failed salvaging " +
+                                               tail_path);
+    }
+    return Status::ok();
+  }
+  auto status = open_segment(last_index, /*append=*/true);
+  if (!status.is_ok()) return status;
+  const long at = std::ftell(file_);
+  if (at < 0) {
+    return err(StatusCode::kUnavailable,
+               "cannot size resumed log segment " + tail_path);
+  }
+  segment_bytes_ = static_cast<std::size_t>(at);
   return Status::ok();
 }
 
@@ -49,7 +155,7 @@ Status LogWriter::append(const event::Event& ev) {
   const Bytes record = serialize::frame_event(ev);
   if (segment_bytes_ + record.size() > config_.max_segment_bytes &&
       segment_bytes_ > 0) {
-    status_ = open_segment(segment_index_ + 1);
+    status_ = open_segment(segment_index_ + 1, /*append=*/false);
     if (!status_.is_ok()) return status_;
   }
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
@@ -76,36 +182,25 @@ Status LogWriter::flush() {
 Result<ReadResult> read_log(const std::string& base_path) {
   ReadResult out;
   for (std::uint32_t index = 0;; ++index) {
-    std::FILE* file = std::fopen(path_for(base_path, index).c_str(), "rb");
-    if (file == nullptr) {
+    const std::string path = path_for(base_path, index);
+    if (!segment_exists(base_path, index)) {
       if (index == 0) {
         return err(StatusCode::kNotFound, "no log segments at " + base_path);
       }
       break;
     }
-    serialize::FrameParser parser;
-    std::byte buf[64 * 1024];
-    std::size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
-      parser.feed(ByteSpan(buf, n));
+    SegmentScan scan = scan_segment(path);
+    if (scan.io_error) {
+      return err(StatusCode::kUnavailable,
+                 "I/O error reading log segment " + path);
     }
-    std::fclose(file);
-    while (true) {
-      auto body = parser.next();
-      if (!body.is_ok()) {
-        if (body.status().code() == StatusCode::kCorrupt ||
-            parser.pending_bytes() > 0) {
-          out.truncated_tail = true;  // torn or corrupt tail record
-        }
-        break;
-      }
-      auto ev = serialize::decode_event(
-          ByteSpan(body.value().data(), body.value().size()));
-      if (!ev.is_ok()) {
-        out.truncated_tail = true;
-        break;
-      }
-      out.events.push_back(std::move(ev).value());
+    for (auto& ev : scan.events) out.events.push_back(std::move(ev));
+    if (scan.torn) {
+      out.truncated_tail = true;
+      // Replay must never splice segment k+1 after a hole in segment k:
+      // stop here and surface the gap when more history exists past it.
+      if (segment_exists(base_path, index + 1)) out.gap_segment = index;
+      break;
     }
   }
   return out;

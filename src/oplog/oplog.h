@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,11 @@ struct LogWriterConfig {
   std::size_t max_segment_bytes = 8 * 1024 * 1024;
   /// fflush the active segment every N appends (0 = only on rotate/close).
   std::uint32_t flush_every = 64;
+  /// When true, an existing log at the base path is wiped and the writer
+  /// starts over at segment .00000 (the old behavior). Default false:
+  /// resume — existing segments are preserved, a torn tail record in the
+  /// last segment is truncated away, and appends continue at the tail.
+  bool truncate_existing = false;
 };
 
 /// Appends events to `<base>.00000`, `<base>.00001`, ... Each record is a
@@ -27,8 +33,8 @@ struct LogWriterConfig {
 /// (PROTOCOL.md §1/§2), so torn tails are detectable.
 class LogWriter {
  public:
-  /// Creates/truncates the first segment eagerly so open errors surface at
-  /// construction time via ok()/status().
+  /// Opens (or resumes, see LogWriterConfig::truncate_existing) the log
+  /// eagerly so open errors surface at construction time via ok()/status().
   LogWriter(std::string base_path, LogWriterConfig config = {});
   ~LogWriter();
 
@@ -41,12 +47,20 @@ class LogWriter {
   Status append(const event::Event& ev);
   Status flush();
 
+  /// Records appended by THIS writer (resumed history not included).
   std::uint64_t records_written() const { return records_; }
   std::uint32_t segments() const { return segment_index_ + 1; }
   std::string segment_path(std::uint32_t index) const;
 
+  /// True when construction continued an existing log instead of creating
+  /// a fresh one.
+  bool resumed() const { return resumed_; }
+  /// Records preserved in the resumed tail segment (0 for a fresh log).
+  std::uint64_t salvaged_records() const { return salvaged_; }
+
  private:
-  Status open_segment(std::uint32_t index);
+  Status open_segment(std::uint32_t index, bool append);
+  Status resume_existing(std::uint32_t last_index);
   void close_segment();
 
   const std::string base_path_;
@@ -57,6 +71,8 @@ class LogWriter {
   std::size_t segment_bytes_ = 0;
   std::uint64_t records_ = 0;
   std::uint32_t since_flush_ = 0;
+  bool resumed_ = false;
+  std::uint64_t salvaged_ = 0;
 };
 
 struct ReadResult {
@@ -64,9 +80,17 @@ struct ReadResult {
   /// True when a segment ended in a torn/corrupt record (events holds
   /// everything salvaged before it).
   bool truncated_tail = false;
+  /// Set when the torn segment was NOT the last one on disk: replay
+  /// stopped at the hole rather than splicing later segments after it,
+  /// and this is the index of the segment holding the gap.
+  std::optional<std::uint32_t> gap_segment;
 };
 
-/// Read every record from all segments of `base_path`, in order.
+/// Read every record from all segments of `base_path`, in order. Stops at
+/// the first torn record; when later segments exist past the hole they are
+/// NOT read (see ReadResult::gap_segment) — replay never reorders history.
+/// A read(2)-level I/O error surfaces as kUnavailable, distinct from the
+/// in-band torn-tail signal.
 Result<ReadResult> read_log(const std::string& base_path);
 
 /// Remove all segments of a log (test cleanup / retention).

@@ -1,6 +1,57 @@
 #include "recovery/recovery.h"
 
+#include <algorithm>
+
+#include "oplog/oplog.h"
+#include "serialize/wire.h"
+
 namespace admire::recovery {
+
+ChunkCursor::ChunkCursor(mirror::MainUnitCore& donor,
+                         std::size_t chunk_records)
+    : donor_(donor), chunk_records_(std::max<std::size_t>(1, chunk_records)) {}
+
+StateChunk ChunkCursor::next() {
+  auto captured = donor_.capture_range(next_from_, chunk_records_);
+  StateChunk chunk;
+  chunk.records = std::move(captured.slice.records);
+  chunk.count = captured.slice.count;
+  chunk.anchor = captured.anchor;
+  chunk.final_chunk = captured.slice.done;
+  if (captured.slice.done) {
+    // The final chunk claims the remaining key space: keys that appear
+    // AFTER this capture arrive via live events the anchor cannot
+    // dominate, so claiming them is safe and makes the range cover total.
+    chunk.upto = std::numeric_limits<FlightKey>::max();
+    done_ = true;
+  } else {
+    chunk.upto = captured.slice.last_key;
+    next_from_ = captured.slice.last_key + 1;
+  }
+  if (chunks_ == 0) start_anchor_ = chunk.anchor;
+  end_anchor_ = chunk.anchor;
+  ranges_.push_back(RejoinFilter::Range{chunk.upto, chunk.anchor});
+  ++chunks_;
+  bytes_ += chunk.records.size();
+  return chunk;
+}
+
+Status install_chunk(const StateChunk& chunk, ede::OperationalState& target) {
+  serialize::Reader r(ByteSpan(chunk.records.data(), chunk.records.size()));
+  std::size_t decoded = 0;
+  while (r.remaining() > 0) {
+    ede::FlightRecord rec;
+    if (!ede::decode_flight_record(r, rec)) {
+      return err(StatusCode::kCorrupt, "bad flight record in state chunk");
+    }
+    target.update(rec.flight, [&](ede::FlightRecord& slot) { slot = rec; });
+    ++decoded;
+  }
+  if (decoded != chunk.count) {
+    return err(StatusCode::kCorrupt, "state chunk record count mismatch");
+  }
+  return Status::ok();
+}
 
 RecoveryPackage build_bootstrap_package(mirror::MainUnitCore& donor,
                                         std::uint64_t request_id) {
@@ -33,7 +84,9 @@ Result<RecoveryPackage> build_rejoin_package(
 }
 
 Status install_package(const RecoveryPackage& package,
-                       mirror::MainUnitCore& target) {
+                       mirror::MainUnitCore& target,
+                       std::size_t* events_applied) {
+  if (events_applied != nullptr) *events_applied = 0;
   if (!package.snapshot_chunks.empty()) {
     auto status = ede::SnapshotService::restore(package.snapshot_chunks,
                                                 target.state());
@@ -41,25 +94,74 @@ Status install_package(const RecoveryPackage& package,
   }
   target.seed_progress(package.as_of);
   for (const auto& ev : package.replay) {
-    (void)target.process(ev);
+    auto status = target.apply_replay(ev);
+    if (!status.is_ok()) return status;  // first failure wins; stop replaying
+    if (events_applied != nullptr) ++*events_applied;
   }
   return Status::ok();
+}
+
+Result<LogReplayReport> replay_log_tail(const std::string& base_path,
+                                        const event::VectorTimestamp& after,
+                                        mirror::MainUnitCore& target) {
+  auto read = oplog::read_log(base_path);
+  if (!read.is_ok()) return read.status();
+  LogReplayReport report;
+  report.events_seen = read.value().events.size();
+  report.truncated_tail = read.value().truncated_tail;
+  report.gap_segment = read.value().gap_segment;
+  for (const auto& ev : read.value().events) {
+    const auto& vts = ev.header().vts;
+    if (vts.num_streams() > 0 && after.dominates(vts)) continue;
+    auto status = target.apply_replay(ev);
+    if (!status.is_ok()) return status;
+    ++report.events_applied;
+  }
+  return report;
 }
 
 bool RejoinFilter::should_apply(const event::Event& ev) {
   std::lock_guard lock(mu_);
   const auto& vts = ev.header().vts;
   if (vts.num_streams() == 0) return true;  // unstamped: cannot dedup
-  if (restore_point_.dominates(vts)) {
+  if (floor_.num_streams() > 0 && floor_.dominates(vts)) {
     ++skipped_;
     return false;
   }
+  const FlightKey key = ev.key();
+  if (key != 0 && !ranges_.empty()) {
+    // First range whose upto covers the key — ranges are ascending and a
+    // completed transfer ends with upto = max, so a hit is guaranteed.
+    auto it = std::lower_bound(
+        ranges_.begin(), ranges_.end(), key,
+        [](const Range& r, FlightKey k) { return r.upto < k; });
+    if (it != ranges_.end() && it->anchor.dominates(vts)) {
+      ++skipped_;
+      return false;
+    }
+  }
   return true;
+}
+
+void RejoinFilter::raise_floor(const event::VectorTimestamp& vts) {
+  std::lock_guard lock(mu_);
+  floor_.merge(vts);
 }
 
 std::uint64_t RejoinFilter::skipped() const {
   std::lock_guard lock(mu_);
   return skipped_;
+}
+
+void RecoveryMetrics::instrument(obs::Registry& reg) {
+  chunks = &reg.counter("recovery.chunks_total");
+  bytes = &reg.counter("recovery.bytes_total");
+  replay_events = &reg.counter("recovery.replay_events_total");
+  bootstraps = &reg.counter("recovery.bootstraps_total");
+  donor_pause =
+      &reg.histogram("recovery.donor_pause_ns", obs::Histogram::latency_bounds());
+  reintegration = &reg.histogram("recovery.reintegration_ns",
+                                 obs::Histogram::latency_bounds());
 }
 
 }  // namespace admire::recovery

@@ -2,28 +2,148 @@
 // mirroring infrastructure with recovery support, for both client
 // failures, and failures of a node within the cluster server" (§6).
 //
-// Two flows are provided, both built on the pieces the base design
+// Three flows are provided, all built on the pieces the base design
 // already maintains for exactly this purpose:
-//  * Bootstrap: a brand-new (or wiped) mirror obtains a state snapshot
-//    from any live donor site, then joins the live data channel, with a
-//    RejoinFilter discarding events the snapshot already covers.
+//  * Chunked bootstrap (DESIGN.md §17): a brand-new (or wiped) mirror
+//    subscribes to the live data channel FIRST, then streams the donor's
+//    state in bounded, key-ordered chunks via a ChunkCursor. Each chunk
+//    carries the donor's EDE progress at its capture instant, so the
+//    joiner's RejoinFilter can discard, per key range, exactly the live
+//    events whose effects the chunk already folded in. The donor is never
+//    paused for more than one chunk's capture.
+//  * Monolithic bootstrap (legacy): one snapshot + one restore point; kept
+//    for small states and as the simulator's instant-recovery baseline.
 //  * Stale rejoin: a mirror that was down briefly asks a donor for the
 //    backup-queue suffix after its last-applied vector timestamp — valid
 //    whenever the missed events have not yet been trimmed by a global
 //    checkpoint commit beyond that point.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "ede/snapshot.h"
 #include "event/vector_timestamp.h"
 #include "mirror/main_unit_core.h"
+#include "obs/registry.h"
 
 namespace admire::recovery {
 
-/// Everything a joining mirror needs from a donor.
+/// Live-stream deduplication for a joiner: events whose effects the
+/// restored state already contains must not be applied twice (the counting
+/// folds — passengers_boarded, bags_loaded — are not idempotent).
+/// Thread-safe.
+///
+/// Two modes share one filter:
+///  * Whole-state floor (legacy ctor): one restore point covering every
+///    key; events it dominates are skipped.
+///  * Range anchors (chunked ctor): the chunk transfer leaves one anchor
+///    per key range [prev.upto+1 .. upto]; an event is skipped iff the
+///    anchor covering ITS key dominates it. Correct because each chunk's
+///    slice and anchor are captured atomically under the donor's fold
+///    lock: an event's effect is in the chunk iff the anchor covers the
+///    event (given the per-stream in-order fold contract, DESIGN.md §17).
+class RejoinFilter {
+ public:
+  /// One chunk's coverage: every key <= `upto` not covered by an earlier
+  /// range was transferred at donor progress `anchor`. The final range
+  /// from a completed transfer has upto = max FlightKey, so every key is
+  /// covered.
+  struct Range {
+    FlightKey upto = 0;
+    event::VectorTimestamp anchor;
+  };
+
+  /// Whole-state restore point (monolithic bootstrap / stale rejoin).
+  explicit RejoinFilter(event::VectorTimestamp restore_point)
+      : floor_(std::move(restore_point)) {}
+
+  /// Per-range anchors from a chunked transfer; `ranges` must be sorted by
+  /// ascending `upto` (ChunkCursor::ranges() produces exactly this).
+  explicit RejoinFilter(std::vector<Range> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  /// True if the event is NEW relative to the restored state and should be
+  /// applied. Events with no vector timestamp are always applied; keyless
+  /// stamped events are checked against the whole-state floor only.
+  bool should_apply(const event::Event& ev);
+
+  /// Merge `vts` into the whole-state floor — used after a post-transfer
+  /// replay (e.g. the simulator's backup-queue suffix) advances the entire
+  /// state past the per-range anchors.
+  void raise_floor(const event::VectorTimestamp& vts);
+
+  std::uint64_t skipped() const;
+
+ private:
+  mutable std::mutex mu_;
+  event::VectorTimestamp floor_;
+  std::vector<Range> ranges_;  ///< ascending upto; empty in floor mode
+  std::uint64_t skipped_ = 0;
+};
+
+/// One bounded slice of donor state plus the delta-transfer metadata the
+/// joiner needs to splice it against the live stream.
+struct StateChunk {
+  Bytes records;          ///< raw encode_flight_record() sequence
+  std::size_t count = 0;  ///< records in this chunk
+  /// Keys covered by this chunk: (previous chunk's upto, upto]. The final
+  /// chunk claims the whole remaining key space (max FlightKey) so the
+  /// resulting range set covers every key, present or future.
+  FlightKey upto = 0;
+  event::VectorTimestamp anchor;  ///< donor EDE progress at capture
+  bool final_chunk = false;
+};
+
+/// Donor-side chunk producer: walks the donor's state table in key order,
+/// capturing one bounded slice (and its fold-progress anchor) per next()
+/// call. The donor's fold lock is held only inside next(), never across
+/// calls — the caller paces the transfer (and the donor's pause pattern)
+/// by how often it calls next().
+class ChunkCursor {
+ public:
+  /// `chunk_records` is the per-chunk record bound (>= 1 enforced).
+  ChunkCursor(mirror::MainUnitCore& donor, std::size_t chunk_records);
+
+  bool done() const { return done_; }
+
+  /// Capture and return the next chunk. Must not be called after done().
+  StateChunk next();
+
+  /// The per-range anchors accumulated so far — complete (covers all keys)
+  /// once done(). Feed to RejoinFilter's chunked constructor.
+  const std::vector<RejoinFilter::Range>& ranges() const { return ranges_; }
+
+  /// Donor progress when the first / most recent chunk was captured.
+  const event::VectorTimestamp& start_anchor() const { return start_anchor_; }
+  const event::VectorTimestamp& end_anchor() const { return end_anchor_; }
+
+  std::uint64_t chunks_produced() const { return chunks_; }
+  std::uint64_t bytes_produced() const { return bytes_; }
+
+ private:
+  mirror::MainUnitCore& donor_;
+  const std::size_t chunk_records_;
+  FlightKey next_from_ = 0;
+  bool done_ = false;
+  std::vector<RejoinFilter::Range> ranges_;
+  event::VectorTimestamp start_anchor_;
+  event::VectorTimestamp end_anchor_;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Fold one chunk's records into `target` (insert-or-replace per flight).
+/// kCorrupt when the chunk bytes don't decode to exactly `count` records.
+Status install_chunk(const StateChunk& chunk, ede::OperationalState& target);
+
+/// Everything a joining mirror needs from a donor (monolithic form).
 struct RecoveryPackage {
   std::vector<event::Event> snapshot_chunks;  ///< kSnapshot events
   event::VectorTimestamp as_of;  ///< stream progress the snapshot covers
@@ -46,28 +166,44 @@ Result<RecoveryPackage> build_rejoin_package(mirror::MainUnitCore& donor,
                                                  stale_as_of);
 
 /// Install a package into a (fresh or stale) mirror main unit: restore the
-/// snapshot if present, then replay the suffix through the EDE.
+/// snapshot if present, then replay the suffix through the EDE. Replay
+/// failures propagate: the FIRST non-ok status is returned, with
+/// `*events_applied` (when non-null) counting the events applied before
+/// the failure (== replay size on success).
 Status install_package(const RecoveryPackage& package,
-                       mirror::MainUnitCore& target);
+                       mirror::MainUnitCore& target,
+                       std::size_t* events_applied = nullptr);
 
-/// Live-stream deduplication for a joiner: events whose vector timestamp
-/// is already covered by the restore point must not be applied twice.
-/// Thread-safe.
-class RejoinFilter {
- public:
-  explicit RejoinFilter(event::VectorTimestamp restore_point)
-      : restore_point_(std::move(restore_point)) {}
+/// Outcome of replaying an operational-log tail into a main unit.
+struct LogReplayReport {
+  std::size_t events_seen = 0;     ///< records recovered from the log
+  std::size_t events_applied = 0;  ///< records newer than the floor, applied
+  bool truncated_tail = false;     ///< log ended in a torn record
+  /// Index of a torn NON-final segment replay stopped at (history exists
+  /// past the hole but was not spliced in) — see oplog::ReadResult.
+  std::optional<std::uint32_t> gap_segment;
+};
 
-  /// True if the event is NEW relative to the restore point and should be
-  /// applied. Events with no vector timestamp are always applied.
-  bool should_apply(const event::Event& ev);
+/// Restart path for an update-log consumer (a node rebuilding its DERIVED
+/// view from its own durable log): replay every logged event not already
+/// covered by `after` into `target`, stopping — and propagating — on the
+/// first apply failure. NOT a substitute for the mirror-stream delta: the
+/// log holds published updates, which fold less than their raw sources
+/// (DESIGN.md §17), so a mirror must bootstrap from a donor instead.
+Result<LogReplayReport> replay_log_tail(const std::string& base_path,
+                                        const event::VectorTimestamp& after,
+                                        mirror::MainUnitCore& target);
 
-  std::uint64_t skipped() const;
-
- private:
-  mutable std::mutex mu_;
-  event::VectorTimestamp restore_point_;
-  std::uint64_t skipped_ = 0;
+/// Instrument handles for the recovery.* observability family (cached
+/// registry references; see OBSERVABILITY.md).
+struct RecoveryMetrics {
+  obs::Counter* chunks = nullptr;          ///< recovery.chunks_total
+  obs::Counter* bytes = nullptr;           ///< recovery.bytes_total
+  obs::Counter* replay_events = nullptr;   ///< recovery.replay_events_total
+  obs::Counter* bootstraps = nullptr;      ///< recovery.bootstraps_total
+  obs::Histogram* donor_pause = nullptr;   ///< recovery.donor_pause_ns
+  obs::Histogram* reintegration = nullptr; ///< recovery.reintegration_ns
+  void instrument(obs::Registry& reg);
 };
 
 }  // namespace admire::recovery

@@ -25,6 +25,8 @@ CostModel CostModel::scaled(double factor) const {
   out.mirror_recv_per_byte = mirror_recv_per_byte * factor;
   out.chkpt_coordinator = scale_n(chkpt_coordinator, factor);
   out.chkpt_participant = scale_n(chkpt_participant, factor);
+  out.recovery_chunk_base = scale_n(recovery_chunk_base, factor);
+  out.recovery_chunk_per_byte = recovery_chunk_per_byte * factor;
   out.request_base = scale_n(request_base, factor);
   out.request_per_byte = request_per_byte * factor;
   out.serve_hit_base = scale_n(serve_hit_base, factor);

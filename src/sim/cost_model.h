@@ -69,6 +69,13 @@ struct CostModel {
   double serve_index_per_record = 450.0;
   double serve_crack_per_key = 40.0;
 
+  // --- Chunked rejoin transfer (DESIGN.md §17) ---------------------------
+  /// Donor-side cost of capturing + serializing one state chunk: table
+  /// slice under the fold lock plus per-byte encode. Charged on the donor
+  /// node's CPU, which is exactly how a bootstrap perturbs live traffic.
+  Nanos recovery_chunk_base = 200 * kMicro;
+  double recovery_chunk_per_byte = 100.0;
+
   // --- Cluster data links (central -> mirror) ---------------------------
   double cluster_link_bps = 125.0e6;     ///< 1 Gbps-class SAN, bytes/sec
   Nanos cluster_link_latency = 100 * kMicro;
@@ -110,6 +117,11 @@ struct CostModel {
   Nanos serve_hit_cost(std::size_t payload_bytes) const {
     return serve_hit_base +
            static_cast<Nanos>(serve_hit_per_byte * static_cast<double>(payload_bytes));
+  }
+  Nanos recovery_chunk_cost(std::size_t bytes) const {
+    return recovery_chunk_base +
+           static_cast<Nanos>(recovery_chunk_per_byte *
+                              static_cast<double>(bytes));
   }
   /// Cache-miss build + ship-out: base/per-byte as request_cost, plus the
   /// evaluation cost over the records the build actually examined.

@@ -67,6 +67,11 @@ struct SimCluster::MirrorSite {
   fd::Health lb_health = fd::Health::kAlive;
   Nanos last_applied = 0;      ///< ingress time of newest EDE-folded event
   std::unique_ptr<recovery::RejoinFilter> rejoin_filter;
+  /// Chunked revive in progress: the mirror is back on the data channel
+  /// (subscribe-first) but buffers deliveries until the transfer lands.
+  bool bootstrapping = false;
+  std::vector<event::Event> bootstrap_buffer;
+  Nanos revive_started = 0;    ///< begin of the current chunked transfer
   /// Serving plane over this site's replicated state (SimConfig::serving).
   std::unique_ptr<serve::RequestHandler> serving;
   std::uint64_t shed_seen = 0;  ///< shed() base for the kShedRate delta
@@ -132,6 +137,9 @@ SimCluster::SimCluster(SimConfig config)
     detector_.emplace(*config_.fd);
     detector_->instrument(obs);
   }
+  // recovery.* family — same names/semantics as the threaded Cluster, so
+  // one OBSERVABILITY.md row covers both runtimes.
+  recovery_metrics_.instrument(obs);
   if (central_->controller.has_value()) {
     // adapt.* family — same names as the threaded runtime. The decision
     // latency histogram times wall-clock around the strategy call only;
@@ -260,6 +268,11 @@ SimResult SimCluster::run(const workload::Trace& trace,
   result.obs = config_.obs;
   if (detector_.has_value()) result.fd_transitions = detector_->history();
   result.rejoin_times = rejoin_times_;
+  result.recovery_chunks = recovery_chunks_;
+  result.recovery_bytes = recovery_bytes_;
+  result.recovery_replay_events = recovery_replay_events_;
+  result.recovery_donor_busy = recovery_donor_busy_;
+  result.recovery_transfer_times = recovery_transfer_times_;
   return result;
 }
 
@@ -485,6 +498,13 @@ void SimCluster::deliver_to_mirrors(const event::Event& ev) {
 }
 
 void SimCluster::mirror_recv(std::size_t idx, event::Event ev) {
+  if (mirrors_[idx]->bootstrapping) {
+    // Joining mirror, subscribe-first: deliveries land but wait out the
+    // chunk transfer, then re-enter this same path (the outstanding count
+    // stays up so the run cannot complete around a half-joined site).
+    mirrors_[idx]->bootstrap_buffer.push_back(std::move(ev));
+    return;
+  }
   if (mirrors_[idx]->crashed || mirrors_[idx]->dead) {
     // A crashed node black-holes arriving traffic.
     --outstanding_mirror_events_;
@@ -729,7 +749,12 @@ bool SimCluster::events_fully_done() const {
 // --- Failure detection / fault injection (SimConfig::fd) ---------------------
 
 bool SimCluster::fd_active() const {
-  return engine_.now() < fd_horizon_ || !events_fully_done();
+  if (engine_.now() < fd_horizon_ || !events_fully_done()) return true;
+  if (engine_.now() < recovery_active_until_) return true;
+  for (const auto& m : mirrors_) {
+    if (m->bootstrapping) return true;  // transfer still needs the chains
+  }
+  return false;
 }
 
 void SimCluster::schedule_heartbeat(std::size_t idx) {
@@ -860,6 +885,10 @@ void SimCluster::react_fd(const std::vector<fd::Transition>& transitions) {
 void SimCluster::revive_mirror(std::size_t idx) {
   auto& s = *mirrors_[idx];
   if (!s.dead) return;  // healed/revived already, or never confirmed dead
+  if (config_.recovery_chunk_records > 0) {
+    begin_chunked_revive(idx);
+    return;
+  }
   // Recovery bootstrap from the central donor: state snapshot plus the
   // central backup-queue suffix past the snapshot's progress stamp.
   auto package = recovery::build_bootstrap_package(central_->main,
@@ -893,6 +922,134 @@ void SimCluster::revive_mirror(std::size_t idx) {
       central_->coordinator.expected_replies() + 1);
   if (commit.has_value()) broadcast_commit(*commit);
   react_fd(detector_->begin_rejoin(s.aux.site(), s.aux.site(), engine_.now()));
+}
+
+void SimCluster::begin_chunked_revive(std::size_t idx) {
+  auto& s = *mirrors_[idx];
+  // Subscribe-first: dead=false puts the mirror back on the data channel
+  // this instant, so nothing published from here on can be missed — it
+  // buffers (bootstrapping) until the transfer lands. crashed stays true
+  // so the site neither beats nor joins checkpoint rounds while its
+  // membership slot is still out of the quorum.
+  s.dead = false;
+  s.crashed = true;
+  s.bootstrapping = true;
+  s.hb_partition = false;
+  s.hb_delay = 0;
+  s.hb_drop = 0.0;
+  s.lb_health = fd::Health::kRejoining;
+  s.revive_started = engine_.now();
+  // Wipe pre-crash remnants; the chunks rebuild the table from the donor.
+  while (s.aux.next_for_main(engine_.now()).has_value()) {
+  }
+  s.main.state().clear();
+  auto cursor = std::make_shared<recovery::ChunkCursor>(
+      central_->main, config_.recovery_chunk_records);
+  run_chunk_step(idx, cursor, /*first=*/true);
+}
+
+void SimCluster::run_chunk_step(std::size_t idx,
+                                std::shared_ptr<recovery::ChunkCursor> cursor,
+                                bool first) {
+  // The first capture waits out the donor CPU backlog: every event whose
+  // delivery was already scheduled (and possibly black-holed while the
+  // mirror was dead) has a fold job reserved on the donor CPUs, so
+  // capturing after busy_until() guarantees its effect is in the chunks —
+  // the fold-before-send invariant the threaded donor gets for free.
+  const Nanos at =
+      first ? std::max(engine_.now(), central_->cpu.busy_until()) : engine_.now();
+  engine_.schedule_at(at, [this, idx, cursor] {
+    // Capture is atomic at this instant: slice + anchor under the donor's
+    // fold lock. The charge below models its CPU cost competing with live
+    // receive/EDE/send work — the donor perturbation the bench measures.
+    auto chunk = std::make_shared<recovery::StateChunk>(cursor->next());
+    const Nanos work = config_.costs.recovery_chunk_cost(chunk->records.size());
+    recovery_donor_busy_ += work;
+    ++recovery_chunks_;
+    recovery_bytes_ += chunk->records.size();
+    if (recovery_metrics_.chunks != nullptr) {
+      recovery_metrics_.chunks->inc();
+      recovery_metrics_.bytes->inc(chunk->records.size());
+      recovery_metrics_.donor_pause->observe(static_cast<double>(work));
+    }
+    const Nanos done = central_->cpu.schedule_job(engine_.now(), work);
+    engine_.schedule_at(done, [this, idx, cursor, chunk] {
+      const Nanos arrive = mirrors_[idx]->data_link.delivery_time(
+          engine_.now(), chunk->records.size());
+      engine_.schedule_at(arrive, [this, idx, cursor, chunk] {
+        auto& s = *mirrors_[idx];
+        if (auto status = recovery::install_chunk(*chunk, s.main.state());
+            !status.is_ok()) {
+          ADMIRE_LOG(kError, "sim fd: chunk install at mirror ", s.aux.site(),
+                     " failed: ", status.message());
+        }
+        if (cursor->done()) {
+          finish_chunked_revive(idx, cursor);
+          return;
+        }
+        engine_.schedule_after(config_.recovery_chunk_interval,
+                               [this, idx, cursor] {
+                                 run_chunk_step(idx, cursor, /*first=*/false);
+                               });
+      });
+    });
+  });
+}
+
+void SimCluster::finish_chunked_revive(
+    std::size_t idx, std::shared_ptr<recovery::ChunkCursor> cursor) {
+  auto& s = *mirrors_[idx];
+  // No donor-backup replay here, matching the threaded donor: the live
+  // stream is the sole carrier of everything folded after each range's
+  // capture. Subscribe-first makes it complete — any event folded after
+  // the first capture was delivered after the revive instant (its fold
+  // and send jobs were scheduled together, and the first capture waited
+  // out busy_until()), so it sits in bootstrap_buffer. A backup replay
+  // would need a dedup floor against those buffered copies, and no single
+  // vector-timestamp floor can express the gap left when a checkpoint
+  // commit trims the donor backup mid-transfer — the floor then swallows
+  // live events whose effects are in no chunk (lost updates).
+  s.main.seed_progress(cursor->end_anchor());
+  s.rejoin_filter =
+      std::make_unique<recovery::RejoinFilter>(cursor->ranges());
+  s.aux.backup().trim_committed(cursor->end_anchor());
+  // "Replay length" in the chunked protocol = the buffered live tail the
+  // transfer window accumulated; it drains through the filter below.
+  recovery_replay_events_ += s.bootstrap_buffer.size();
+  if (recovery_metrics_.replay_events != nullptr) {
+    recovery_metrics_.replay_events->inc(s.bootstrap_buffer.size());
+  }
+  if (s.serving) s.serving->on_state_replaced();  // whole table swapped
+  s.crashed = false;
+  s.bootstrapping = false;
+  recovery_transfer_times_.push_back(engine_.now() - s.revive_started);
+  if (recovery_metrics_.bootstraps != nullptr) {
+    recovery_metrics_.bootstraps->inc();
+    recovery_metrics_.reintegration->observe(
+        static_cast<double>(engine_.now() - s.revive_started));
+  }
+  // Membership grows back; growing the quorum can never unblock a round.
+  auto commit = central_->coordinator.set_expected_replies(
+      central_->coordinator.expected_replies() + 1);
+  if (commit.has_value()) broadcast_commit(*commit);
+  if (config_.fd.has_value()) {
+    // The transfer may outlast fd_horizon_'s static slack; keep the
+    // heartbeat chains alive long enough for kRejoining -> kAlive to land.
+    recovery_active_until_ = std::max(
+        recovery_active_until_,
+        engine_.now() +
+            config_.fd->heartbeat_interval *
+                static_cast<Nanos>(config_.fd->alive_after_beats + 5) +
+            config_.fd->confirm_window);
+  }
+  if (detector_.has_value()) {
+    react_fd(detector_->begin_rejoin(s.aux.site(), s.aux.site(), engine_.now()));
+  }
+  // Release the buffered live stream through the normal receive path; the
+  // rejoin filter discards what the chunks and replay already covered.
+  auto buffered = std::move(s.bootstrap_buffer);
+  s.bootstrap_buffer.clear();
+  for (auto& ev : buffered) mirror_recv(idx, std::move(ev));
 }
 
 void SimCluster::schedule_next_auto_request() {

@@ -21,6 +21,7 @@
 #include "mirror/pipeline_core.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "recovery/recovery.h"
 #include "serve/request_handler.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
@@ -135,6 +136,16 @@ struct SimConfig {
   /// kRejoin schedule entries request the same for one mirror explicitly.
   bool fd_auto_rejoin = false;
   Nanos fd_rejoin_after = 0;
+  /// Chunked rejoin (DESIGN.md §17): records per donor state chunk when a
+  /// dead mirror revives. 0 (default) = the legacy instant monolithic
+  /// bootstrap, keeping all pre-existing figures bit-identical. With
+  /// chunks, each capture charges recovery_chunk_cost on the central
+  /// (donor) CPUs — so a bootstrap perturbs live update delays exactly
+  /// the way the threaded donor's bounded pauses do — and the reviving
+  /// mirror buffers live deliveries until the transfer lands.
+  std::size_t recovery_chunk_records = 0;
+  /// Virtual-time pause between chunk captures (donor duty-cycle bound).
+  Nanos recovery_chunk_interval = 0;
   /// Serving-plane model: when set, client requests become typed queries
   /// answered by the REAL serve::RequestHandler at each site (admission
   /// gate + snapshot cache + query evaluation) — the same class the
@@ -203,6 +214,14 @@ struct SimResult {
   /// per completed rejoin the dead-declaration -> back-alive interval.
   std::vector<fd::Transition> fd_transitions;
   std::vector<Nanos> rejoin_times;
+
+  // --- Chunked rejoin (zero unless SimConfig::recovery_chunk_records) ----
+  std::uint64_t recovery_chunks = 0;        ///< state chunks captured+shipped
+  std::uint64_t recovery_bytes = 0;         ///< chunk payload bytes
+  std::uint64_t recovery_replay_events = 0; ///< backup-suffix events replayed
+  Nanos recovery_donor_busy = 0;            ///< donor CPU charged to captures
+  /// Per completed revive: begin-transfer -> rejoin-filter-armed interval.
+  std::vector<Nanos> recovery_transfer_times;
 
   // --- Serving plane (zero unless SimConfig::serving) ---------------------
   std::uint64_t requests_shed = 0;     ///< RETRY_AFTER answers (per attempt)
@@ -279,6 +298,18 @@ class SimCluster {
   void apply_sim_fault(const faultinject::ScheduledFault& f);
   void react_fd(const std::vector<fd::Transition>& transitions);
   void revive_mirror(std::size_t idx);
+  /// Chunked revive (SimConfig::recovery_chunk_records > 0): re-subscribe
+  /// the mirror (deliveries buffer), then stream donor chunks on the
+  /// calendar. The FIRST capture is barriered behind the donor CPU backlog
+  /// so every event already shipped (and black-holed while dead) has
+  /// folded into the donor state it captures — the DES analog of the
+  /// threaded fold-before-send invariant (DESIGN.md §17).
+  void begin_chunked_revive(std::size_t idx);
+  void run_chunk_step(std::size_t idx,
+                      std::shared_ptr<recovery::ChunkCursor> cursor,
+                      bool first);
+  void finish_chunked_revive(std::size_t idx,
+                             std::shared_ptr<recovery::ChunkCursor> cursor);
   bool drop_control();  ///< failure injection coin flip
   /// Schedule CPU work at mirror `idx`, deferring starts that fall inside
   /// the configured brown-out window.
@@ -309,8 +340,18 @@ class SimCluster {
   std::uint64_t control_messages_dropped_ = 0;
   std::optional<fd::FailureDetector> detector_;
   Nanos fd_horizon_ = 0;  ///< keep fd chains alive at least this long
+  /// Keep fd chains alive this long after a chunked transfer lands, so the
+  /// revived mirror's kRejoining -> kAlive beats still have a heartbeat
+  /// chain to ride (transfers can outlast the static fd_horizon_ slack).
+  Nanos recovery_active_until_ = 0;
   std::vector<Nanos> rejoin_times_;
   std::uint64_t next_recovery_request_ = 2'000'000;
+  recovery::RecoveryMetrics recovery_metrics_;  ///< obs parity w/ threaded
+  std::uint64_t recovery_chunks_ = 0;
+  std::uint64_t recovery_bytes_ = 0;
+  std::uint64_t recovery_replay_events_ = 0;
+  Nanos recovery_donor_busy_ = 0;
+  std::vector<Nanos> recovery_transfer_times_;
 
   // Run bookkeeping.
   std::vector<Nanos> shard_free_at_;  ///< per-shard ingest chains (rx_shards > 1)

@@ -2,13 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "cluster/cluster.h"
+#include "common/rng.h"
 #include "workload/scenario.h"
 
 namespace admire::oplog {
 namespace {
+
+std::string segment_suffix(std::uint32_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, ".%05u", index);
+  return buf;
+}
 
 event::Event update(FlightKey flight, SeqNo seq) {
   event::Derived d;
@@ -106,6 +116,190 @@ TEST_F(OplogTest, CorruptMiddleStopsAtCorruption) {
   ASSERT_TRUE(read.is_ok());
   EXPECT_LT(read.value().events.size(), 10u);
   EXPECT_TRUE(read.value().truncated_tail);
+}
+
+TEST_F(OplogTest, ReopenResumesInsteadOfTruncating) {
+  {
+    LogWriter writer(base_);
+    for (SeqNo i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(writer.append(update(1, i)).is_ok());
+    }
+    ASSERT_TRUE(writer.flush().is_ok());
+  }
+  // The crash/restart path: a second writer on the same base path must
+  // continue the history, not wipe it ("wb" would have).
+  LogWriter writer(base_);
+  ASSERT_TRUE(writer.ok()) << writer.status().to_string();
+  EXPECT_TRUE(writer.resumed());
+  EXPECT_EQ(writer.salvaged_records(), 20u);
+  for (SeqNo i = 21; i <= 30; ++i) {
+    ASSERT_TRUE(writer.append(update(1, i)).is_ok());
+  }
+  ASSERT_TRUE(writer.flush().is_ok());
+
+  auto read = read_log(base_);
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().events.size(), 30u);
+  EXPECT_FALSE(read.value().truncated_tail);
+  for (SeqNo i = 1; i <= 30; ++i) {
+    EXPECT_EQ(read.value().events[i - 1].seq(), i);
+  }
+}
+
+TEST_F(OplogTest, ReopenSalvagesTornTailThenAppendsCleanly) {
+  {
+    LogWriter writer(base_);
+    for (SeqNo i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(writer.append(update(1, i)).is_ok());
+    }
+    ASSERT_TRUE(writer.flush().is_ok());
+  }
+  // Crash mid-append: the final record is torn. A resuming writer must
+  // drop the torn bytes BEFORE appending, or the new records would sit
+  // unreachable behind the hole.
+  const std::string segment = base_ + ".00000";
+  std::FILE* f = std::fopen(segment.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(segment.c_str(), size - 7), 0);
+
+  LogWriter writer(base_);
+  ASSERT_TRUE(writer.ok()) << writer.status().to_string();
+  EXPECT_TRUE(writer.resumed());
+  EXPECT_EQ(writer.salvaged_records(), 19u);  // record 20 was torn away
+  ASSERT_TRUE(writer.append(update(1, 100)).is_ok());
+  ASSERT_TRUE(writer.flush().is_ok());
+
+  auto read = read_log(base_);
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().events.size(), 20u);
+  EXPECT_FALSE(read.value().truncated_tail);  // salvage left no hole
+  EXPECT_EQ(read.value().events.back().seq(), 100u);
+}
+
+TEST_F(OplogTest, TruncateExistingConfigStillWipes) {
+  {
+    LogWriter writer(base_);
+    for (SeqNo i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(writer.append(update(1, i)).is_ok());
+    }
+    ASSERT_TRUE(writer.flush().is_ok());
+  }
+  LogWriterConfig config;
+  config.truncate_existing = true;
+  LogWriter writer(base_, config);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE(writer.resumed());
+  for (SeqNo i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(writer.append(update(1, i)).is_ok());
+  }
+  ASSERT_TRUE(writer.flush().is_ok());
+  auto read = read_log(base_);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().events.size(), 5u);
+}
+
+TEST_F(OplogTest, TornNonFinalSegmentStopsReplayAtTheGap) {
+  LogWriterConfig config;
+  config.max_segment_bytes = 512;
+  {
+    LogWriter writer(base_, config);
+    for (SeqNo i = 1; i <= 60; ++i) {
+      ASSERT_TRUE(writer.append(update(1, i)).is_ok());
+    }
+    ASSERT_TRUE(writer.flush().is_ok());
+    ASSERT_GT(writer.segments(), 3u);
+  }
+  // Corrupt a record in segment .00001 — a hole in the MIDDLE of history.
+  const std::string segment = base_ + ".00001";
+  std::FILE* f = std::fopen(segment.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 40, SEEK_SET);
+  const char junk = 0x5A;
+  ASSERT_EQ(std::fwrite(&junk, 1, 1, f), 1u);
+  std::fclose(f);
+
+  auto read = read_log(base_);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_TRUE(read.value().truncated_tail);
+  // Replay stopped AT the hole: later segments exist but were not spliced
+  // in after it (that would reorder history), and the gap is reported.
+  ASSERT_TRUE(read.value().gap_segment.has_value());
+  EXPECT_EQ(*read.value().gap_segment, 1u);
+  ASSERT_FALSE(read.value().events.empty());
+  SeqNo prev = 0;
+  for (const auto& ev : read.value().events) {
+    EXPECT_EQ(ev.seq(), prev + 1);  // contiguous prefix, nothing skipped
+    prev = ev.seq();
+  }
+  EXPECT_LT(read.value().events.size(), 60u);
+}
+
+TEST_F(OplogTest, ReadErrorIsUnavailableNotTornTail) {
+  // A directory where a segment should be: fopen succeeds, fread fails.
+  // That is an I/O error, not a torn record — the reader must not present
+  // it as a salvageable truncation.
+  const std::string segment = base_ + ".00000";
+  ASSERT_EQ(::mkdir(segment.c_str(), 0755), 0);
+  const auto read = read_log(base_);
+  EXPECT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  ASSERT_EQ(::rmdir(segment.c_str()), 0);
+}
+
+TEST_F(OplogTest, CrashReopenPropertyLoopNeverLosesDurablePrefix) {
+  // Repeated crash/salvage/append rounds across segment rotations: after
+  // every reopen the log must read back as a clean, contiguous prefix of
+  // everything appended, and new appends must land after the salvage.
+  LogWriterConfig config;
+  config.max_segment_bytes = 256;
+  config.flush_every = 1;  // every append is durable before the "crash"
+  SeqNo next_seq = 1;
+  Rng rng(7);
+  for (int round = 0; round < 8; ++round) {
+    {
+      LogWriter writer(base_, config);
+      ASSERT_TRUE(writer.ok()) << writer.status().to_string();
+      for (int k = 0; k < 12; ++k) {
+        ASSERT_TRUE(writer.append(update(1, next_seq)).is_ok());
+        ++next_seq;
+      }
+      ASSERT_TRUE(writer.flush().is_ok());
+    }
+    // Chop a few bytes off the newest segment: at most the last record is
+    // lost; the durable prefix must survive intact.
+    std::uint32_t last = 0;
+    while (std::FILE* f =
+               std::fopen((base_ + segment_suffix(last + 1)).c_str(), "rb")) {
+      std::fclose(f);
+      ++last;
+    }
+    const std::string tail_segment = base_ + segment_suffix(last);
+    std::FILE* f = std::fopen(tail_segment.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    const long chop = static_cast<long>(rng.next_below(10));
+    if (size > chop) {
+      ASSERT_EQ(::truncate(tail_segment.c_str(), size - chop), 0);
+    }
+
+    auto read = read_log(base_);
+    ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+    EXPECT_FALSE(read.value().gap_segment.has_value());
+    SeqNo prev = 0;
+    for (const auto& ev : read.value().events) {
+      ASSERT_EQ(ev.seq(), prev + 1);
+      prev = ev.seq();
+    }
+    // Rewind the sequence to just past the salvaged prefix so the next
+    // round's appends stay contiguous.
+    next_seq = prev + 1;
+  }
+  EXPECT_GT(next_seq, 60u);  // several rounds' worth of history survived
 }
 
 TEST_F(OplogTest, MissingLogIsNotFound) {

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <limits>
+#include <thread>
+
 #include "cluster/cluster.h"
+#include "oplog/oplog.h"
 #include "workload/scenario.h"
 
 namespace admire::recovery {
@@ -92,6 +98,118 @@ TEST(Recovery, RejoinAllowedWhenStalePointAtOrBeyondCommit) {
   EXPECT_EQ(package.value().replay.size(), 8u);
 }
 
+TEST(ChunkedRecovery, CursorWalksTableInBoundedChunks) {
+  mirror::MainUnitCore donor(0);
+  for (SeqNo i = 1; i <= 60; ++i) donor.process(faa(1 + i % 30, i));
+  ASSERT_EQ(donor.state().flight_count(), 30u);
+
+  ChunkCursor cursor(donor, 8);
+  ede::OperationalState rebuilt;
+  while (!cursor.done()) {
+    const auto chunk = cursor.next();
+    EXPECT_LE(chunk.count, 8u);
+    ASSERT_TRUE(install_chunk(chunk, rebuilt).is_ok());
+  }
+  EXPECT_EQ(cursor.chunks_produced(), 4u);  // ceil(30 / 8)
+  EXPECT_GT(cursor.bytes_produced(), 0u);
+  EXPECT_EQ(rebuilt.fingerprint(), donor.state().fingerprint());
+
+  // The range set is strictly ascending and covers the whole key space.
+  const auto& ranges = cursor.ranges();
+  ASSERT_EQ(ranges.size(), 4u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_GT(ranges[i].upto, ranges[i - 1].upto);
+  }
+  EXPECT_EQ(ranges.back().upto, std::numeric_limits<FlightKey>::max());
+  EXPECT_EQ(cursor.end_anchor().component(0), 60u);
+}
+
+TEST(ChunkedRecovery, EmptyDonorYieldsOneFinalCoveringChunk) {
+  mirror::MainUnitCore donor(0);
+  ChunkCursor cursor(donor, 8);
+  ASSERT_FALSE(cursor.done());
+  const auto chunk = cursor.next();
+  EXPECT_EQ(chunk.count, 0u);
+  EXPECT_TRUE(chunk.final_chunk);
+  EXPECT_EQ(chunk.upto, std::numeric_limits<FlightKey>::max());
+  EXPECT_TRUE(cursor.done());
+  ASSERT_EQ(cursor.ranges().size(), 1u);
+}
+
+TEST(ChunkedRecovery, AnchorsReflectLiveFoldsBetweenCaptures) {
+  // The donor keeps folding between captures: each chunk's anchor is the
+  // donor progress AT ITS capture, so later chunks carry later anchors —
+  // the property the per-range RejoinFilter depends on.
+  mirror::MainUnitCore donor(0);
+  for (SeqNo i = 1; i <= 16; ++i) donor.process(faa(1 + i % 16, i));
+  ChunkCursor cursor(donor, 8);
+  const auto first = cursor.next();
+  donor.process(faa(1, 17));  // live fold mid-transfer
+  const auto second = cursor.next();
+  EXPECT_EQ(first.anchor.component(0), 16u);
+  EXPECT_EQ(second.anchor.component(0), 17u);
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(ChunkedRecovery, InstallChunkRejectsCorruptRecords) {
+  ede::OperationalState target;
+  StateChunk garbage;
+  garbage.records = Bytes{std::byte{0xFF}, std::byte{0x01}, std::byte{0x02},
+                          std::byte{0x03}};
+  garbage.count = 1;
+  EXPECT_EQ(install_chunk(garbage, target).code(), StatusCode::kCorrupt);
+
+  mirror::MainUnitCore donor(0);
+  for (SeqNo i = 1; i <= 4; ++i) donor.process(faa(i, i));
+  ChunkCursor cursor(donor, 16);
+  auto chunk = cursor.next();
+  ++chunk.count;  // claimed count no longer matches the payload
+  EXPECT_EQ(install_chunk(chunk, target).code(), StatusCode::kCorrupt);
+}
+
+TEST(Recovery, InstallPackagePropagatesFirstReplayFailure) {
+  mirror::MainUnitCore donor(0);
+  for (SeqNo i = 1; i <= 5; ++i) donor.process(faa(1, i));
+  auto package = build_bootstrap_package(donor, 1);
+  package.replay.push_back(faa(2, 6));
+  event::Event bad = faa(2, 7);
+  bad.mutable_header().type = event::EventType::kDeltaStatus;  // wrong payload
+  package.replay.push_back(bad);
+  package.replay.push_back(faa(2, 8));
+
+  mirror::MainUnitCore joiner(9);
+  std::size_t applied = 0;
+  const auto status = install_package(package, joiner, &applied);
+  ASSERT_FALSE(status.is_ok());  // silently dropping the event would
+                                 // leave the joiner divergent forever
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_EQ(applied, 1u);  // only the event before the failure landed
+}
+
+TEST(Recovery, ReplayLogTailSkipsCoveredAndReportsCounts) {
+  const std::string base = "/tmp/admire_recovery_log_replay_test";
+  oplog::remove_log(base);
+  {
+    oplog::LogWriter writer(base);
+    ASSERT_TRUE(writer.ok());
+    for (SeqNo i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(writer.append(faa(1 + i % 4, i)).is_ok());
+    }
+    ASSERT_TRUE(writer.flush().is_ok());
+  }
+  event::VectorTimestamp after;
+  after.observe(0, 12);
+  mirror::MainUnitCore node(3);
+  const auto report = replay_log_tail(base, after, node);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().events_seen, 20u);
+  EXPECT_EQ(report.value().events_applied, 8u);  // 13..20
+  EXPECT_FALSE(report.value().truncated_tail);
+  EXPECT_FALSE(report.value().gap_segment.has_value());
+  EXPECT_EQ(node.progress().component(0), 20u);
+  oplog::remove_log(base);
+}
+
 TEST(RejoinFilter, SkipsCoveredAppliesNew) {
   event::VectorTimestamp restore;
   restore.observe(0, 10);
@@ -110,6 +228,31 @@ TEST(RejoinFilter, UnstampedEventsAlwaysApply) {
   pos.flight = 1;
   event::Event raw = event::make_faa_position(0, 3, pos);  // empty vts
   EXPECT_TRUE(filter.should_apply(raw));
+}
+
+TEST(RejoinFilter, RangeAnchorsGatePerKey) {
+  // Two chunks: keys <= 10 transferred at donor progress 5, the rest at
+  // progress 8. Whether a live event is a duplicate depends on which
+  // chunk carries ITS key, not on any global floor.
+  event::VectorTimestamp a5, a8;
+  a5.observe(0, 5);
+  a8.observe(0, 8);
+  std::vector<RejoinFilter::Range> ranges;
+  ranges.push_back({10, a5});
+  ranges.push_back({std::numeric_limits<FlightKey>::max(), a8});
+  RejoinFilter filter(std::move(ranges));
+
+  EXPECT_FALSE(filter.should_apply(faa(3, 5)));   // in the key<=10 chunk
+  EXPECT_TRUE(filter.should_apply(faa(3, 6)));    // folded after its capture
+  EXPECT_FALSE(filter.should_apply(faa(20, 8)));  // in the second chunk
+  EXPECT_TRUE(filter.should_apply(faa(20, 9)));
+  EXPECT_EQ(filter.skipped(), 2u);
+
+  // A raised floor composes with the ranges (post-transfer whole-state
+  // replay advances every key at once).
+  filter.raise_floor(a8);
+  EXPECT_FALSE(filter.should_apply(faa(3, 7)));
+  EXPECT_TRUE(filter.should_apply(faa(3, 9)));
 }
 
 TEST(RecoveryCluster, FailAndReplaceMirrorAtRuntime) {
@@ -177,6 +320,88 @@ TEST(RecoveryCluster, JoinerSkipsDuplicateLiveEvents) {
   }
   server.drain();
   // Central state (donor) and joiner agree under simple mirroring.
+  EXPECT_EQ(server.mirror(joined.value()).main_unit().state().fingerprint(),
+            server.central().main_unit().state().fingerprint());
+  server.stop();
+}
+
+TEST(RecoveryCluster, ChunkedJoinUnderLiveTrafficConverges) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 1;
+  cluster::Cluster server(config);
+  server.start();
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 400;
+  scenario.num_flights = 40;
+  scenario.event_padding = 64;
+  const auto trace = workload::make_ois_trace(scenario);
+  const std::size_t half = trace.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+  }
+  server.drain();
+
+  // Publisher keeps folding the second half WHILE the chunked transfer
+  // runs — the per-range anchors must classify every live duplicate.
+  std::thread publisher([&] {
+    for (std::size_t i = half; i < trace.size(); ++i) {
+      ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+    }
+  });
+
+  cluster::Cluster::JoinOptions options;
+  options.donor = 0;
+  options.chunk_records = 8;
+  options.chunk_interval = std::chrono::microseconds(200);
+  std::atomic<std::size_t> chunks{0};
+  options.on_chunk = [&](std::size_t) { chunks.fetch_add(1); };
+  auto joined = server.join_new_mirror(options);
+  publisher.join();
+  ASSERT_TRUE(joined.is_ok()) << joined.status().to_string();
+  EXPECT_GT(chunks.load(), 1u) << "transfer was not actually chunked";
+
+  server.drain();
+  EXPECT_EQ(server.mirror(joined.value()).main_unit().state().fingerprint(),
+            server.central().main_unit().state().fingerprint());
+  server.stop();
+}
+
+TEST(RecoveryCluster, JoinDoesNotHoldMembershipLockDuringTransfer) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 1;
+  cluster::Cluster server(config);
+  server.start();
+
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = 200;
+  scenario.num_flights = 25;
+  const auto trace = workload::make_ois_trace(scenario);
+  for (const auto& item : trace.items) {
+    ASSERT_TRUE(server.ingest(item.ev).is_ok());
+  }
+  server.drain();
+
+  cluster::Cluster::JoinOptions options;
+  options.donor = 0;
+  options.chunk_records = 4;
+  std::atomic<bool> probed{false};
+  options.on_chunk = [&](std::size_t) {
+    if (probed.exchange(true)) return;
+    // num_mirrors() takes membership_mu_. If join_new_mirror still held
+    // it across chunk production, this would deadlock — bound the probe.
+    auto fut = std::async(std::launch::async, [&] {
+      return server.num_mirrors();
+    });
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(2)),
+              std::future_status::ready)
+        << "membership lock held across the state transfer";
+    EXPECT_EQ(fut.get(), 1u);
+  };
+  auto joined = server.join_new_mirror(options);
+  ASSERT_TRUE(joined.is_ok()) << joined.status().to_string();
+  EXPECT_TRUE(probed.load());
+  server.drain();
   EXPECT_EQ(server.mirror(joined.value()).main_unit().state().fingerprint(),
             server.central().main_unit().state().fingerprint());
   server.stop();

@@ -176,6 +176,100 @@ TEST(FailoverSim, ShortPartitionSuspectsThenRecovers) {
   EXPECT_EQ(r.obs->snapshot().counter_or("fd.dead_total"), 0u);
 }
 
+TEST(FailoverSim, ChunkedReviveConvergesUnderLiveTraffic) {
+  // Chunked revive (DESIGN.md §17) under the DES: the revived mirror
+  // subscribes first, then streams donor state in bounded chunks while the
+  // live trace keeps folding. Per-range anchors classify every buffered
+  // duplicate; replicas must converge exactly.
+  auto config = failover_config();
+  config.recovery_chunk_records = 16;
+  config.recovery_chunk_interval = kMilli;
+  SimCluster cluster(config);
+  harness::RunSpec spec;
+  spec.faa_events = 800;
+  spec.num_flights = 100;  // enough distinct keys for several chunks
+  spec.event_padding = 128;
+  spec.event_horizon = kSecond;
+  const auto r = cluster.run(harness::make_trace(spec), {});
+
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[2]);
+
+  // The transfer really happened in bounded pieces.
+  EXPECT_GT(r.recovery_chunks, 1u);
+  EXPECT_GT(r.recovery_bytes, 0u);
+  ASSERT_EQ(r.recovery_transfer_times.size(), 1u);
+  EXPECT_GT(r.recovery_transfer_times[0], 0);
+  // Chunk pacing stretches the transfer across at least the inter-chunk
+  // gaps (first capture is free of a preceding interval).
+  EXPECT_GE(r.recovery_transfer_times[0],
+            static_cast<Nanos>(r.recovery_chunks - 1) * kMilli);
+
+  // The fd story is unchanged by the transfer mechanics.
+  const std::vector<std::pair<fd::Health, fd::Health>> expected{
+      {fd::Health::kAlive, fd::Health::kSuspect},
+      {fd::Health::kSuspect, fd::Health::kDead},
+      {fd::Health::kDead, fd::Health::kRejoining},
+      {fd::Health::kRejoining, fd::Health::kAlive},
+  };
+  EXPECT_EQ(site_story(r.fd_transitions, 1), expected);
+
+  // Obs parity with the threaded runtime's recovery.* family.
+  const auto snap = r.obs->snapshot();
+  EXPECT_EQ(snap.counter_or("recovery.chunks_total"), r.recovery_chunks);
+  EXPECT_EQ(snap.counter_or("recovery.bytes_total"), r.recovery_bytes);
+  EXPECT_EQ(snap.counter_or("recovery.bootstraps_total"), 1u);
+}
+
+TEST(FailoverSim, ChunkedReviveIsDeterministic) {
+  auto run_once = [] {
+    auto config = failover_config();
+    config.recovery_chunk_records = 16;
+    config.recovery_chunk_interval = kMilli;
+    SimCluster cluster(config);
+    harness::RunSpec spec;
+    spec.faa_events = 500;
+    spec.num_flights = 60;
+    spec.event_horizon = kSecond;
+    return cluster.run(harness::make_trace(spec), {});
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.state_fingerprints, b.state_fingerprints);
+  EXPECT_EQ(a.recovery_chunks, b.recovery_chunks);
+  EXPECT_EQ(a.recovery_bytes, b.recovery_bytes);
+  EXPECT_EQ(a.recovery_replay_events, b.recovery_replay_events);
+  EXPECT_EQ(a.recovery_transfer_times, b.recovery_transfer_times);
+  EXPECT_EQ(a.total_time, b.total_time);
+}
+
+TEST(FailoverSim, HugeChunkDegeneratesToMonolithicAndStillConverges) {
+  // chunk_records >= table size: one covering chunk — the chunked path's
+  // degenerate case must behave like the legacy bootstrap.
+  auto config = failover_config();
+  config.recovery_chunk_records = 1'000'000;
+  SimCluster cluster(config);
+  const auto r = cluster.run(spread_trace(500), {});
+  EXPECT_EQ(r.recovery_chunks, 1u);
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[2]);
+}
+
+TEST(FailoverSim, LegacyReviveReportsNoChunkMetrics) {
+  // recovery_chunk_records = 0 keeps the original one-shot revive; the
+  // recovery.* family must stay silent so dashboards can tell them apart.
+  SimCluster cluster(failover_config());
+  const auto r = cluster.run(spread_trace(500), {});
+  ASSERT_EQ(r.state_fingerprints.size(), 3u);
+  EXPECT_EQ(r.state_fingerprints[0], r.state_fingerprints[1]);
+  EXPECT_EQ(r.recovery_chunks, 0u);
+  EXPECT_EQ(r.recovery_bytes, 0u);
+  EXPECT_TRUE(r.recovery_transfer_times.empty());
+  EXPECT_EQ(r.obs->snapshot().counter_or("recovery.chunks_total"), 0u);
+}
+
 TEST(FailoverSim, ThreadedAndSimAgreeOnTransitionSequence) {
   // The acceptance bar for "the SAME logic runs in both runtimes": one
   // scenario (crash-stop, auto-rejoin), two drivers, identical suspicion

@@ -1,0 +1,125 @@
+// Concurrency stress for the chunked donor path (DESIGN.md §17): a new
+// mirror streams bounded state chunks out of a live donor while producer
+// threads keep ingesting and a reader thread hammers request_snapshot.
+// The donor's fold lock is only held per capture and membership_mu_ only
+// around the join bookends, so nothing here may deadlock or diverge.
+// Suite names contain "Concurrency" so the ADMIRE_TSAN CI job picks them
+// up; the CMake target labels them `slow`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "workload/scenario.h"
+
+namespace admire {
+namespace {
+
+workload::Trace stress_trace(std::uint64_t events, std::uint32_t flights) {
+  workload::ScenarioConfig scenario;
+  scenario.faa_events = events;
+  scenario.num_flights = flights;
+  scenario.event_padding = 64;
+  return workload::make_ois_trace(scenario);
+}
+
+TEST(RecoveryConcurrency, ChunkedJoinUnderConcurrentPublishAndRequests) {
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  cluster::Cluster server(config);
+  server.start();
+
+  const auto trace = stress_trace(3000, 48);
+  const std::size_t half = trace.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+  }
+  server.drain();
+
+  std::atomic<bool> stop_requests{false};
+  std::atomic<std::size_t> served{0};
+  std::thread reader([&] {
+    std::uint64_t id = 9'000'000;
+    while (!stop_requests.load()) {
+      if (server.request_snapshot(id++).is_ok()) served.fetch_add(1);
+    }
+  });
+  std::thread publisher([&] {
+    for (std::size_t i = half; i < trace.size(); ++i) {
+      ASSERT_TRUE(server.ingest(trace.items[i].ev).is_ok());
+    }
+  });
+
+  // Two chunked joins back to back while both side threads run: the
+  // second exercises a join whose donor membership changed mid-run.
+  cluster::Cluster::JoinOptions options;
+  options.donor = 0;
+  options.chunk_records = 8;
+  options.chunk_interval = std::chrono::microseconds(100);
+  std::atomic<std::size_t> chunks{0};
+  options.on_chunk = [&](std::size_t) { chunks.fetch_add(1); };
+  auto first = server.join_new_mirror(options);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  options.donor = 1;  // bootstrap the second joiner from a mirror
+  auto second = server.join_new_mirror(options);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+
+  publisher.join();
+  stop_requests.store(true);
+  reader.join();
+  server.drain();
+
+  EXPECT_GT(chunks.load(), 2u);
+  EXPECT_GT(served.load(), 0u);
+  const auto want = server.central().main_unit().state().fingerprint();
+  EXPECT_EQ(server.mirror(first.value()).main_unit().state().fingerprint(),
+            want);
+  EXPECT_EQ(server.mirror(second.value()).main_unit().state().fingerprint(),
+            want);
+  server.stop();
+}
+
+TEST(RecoveryConcurrency, RepeatedChunkedFailAndReplaceStaysConsistent) {
+  // Churn loop: fail a mirror and chunk-bootstrap its replacement while
+  // ingest never pauses. Every survivor must agree with central at the end.
+  cluster::ClusterConfig config;
+  config.num_mirrors = 2;
+  config.params.function = rules::simple_mirroring();
+  cluster::Cluster server(config);
+  server.start();
+
+  const auto trace = stress_trace(4000, 32);
+  std::atomic<std::size_t> fed{0};
+  std::thread publisher([&] {
+    for (const auto& item : trace.items) {
+      ASSERT_TRUE(server.ingest(item.ev).is_ok());
+      fed.fetch_add(1);
+    }
+  });
+
+  cluster::Cluster::JoinOptions options;
+  options.chunk_records = 16;
+  std::vector<std::size_t> alive{0, 1};
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t victim = alive[round % alive.size()];
+    server.fail_mirror(victim);
+    options.donor = 0;  // central always survives
+    auto joined = server.join_new_mirror(options);
+    ASSERT_TRUE(joined.is_ok()) << joined.status().to_string();
+    alive[round % alive.size()] = joined.value();
+  }
+
+  publisher.join();
+  server.drain();
+  const auto want = server.central().main_unit().state().fingerprint();
+  for (const std::size_t idx : alive) {
+    EXPECT_EQ(server.mirror(idx).main_unit().state().fingerprint(), want);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace admire
